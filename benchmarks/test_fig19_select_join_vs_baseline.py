@@ -1,0 +1,29 @@
+"""Figure 19: kNN-select on the inner relation of a kNN-join.
+
+Series: the conceptually correct QEP (full join, then filter) vs the
+Block-Marking algorithm.  The paper reports roughly three orders of magnitude
+between them at full scale; at benchmark scale the gap is smaller but
+Block-Marking must still win clearly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+
+pytestmark = pytest.mark.benchmark(group="fig19-select-join")
+
+_WORKLOAD, _SWEEP, _RUNNERS = build_figure_runners(19)
+
+
+def test_fig19_conceptual_qep(benchmark):
+    """Baseline: one neighborhood per outer point, then filter."""
+    result = benchmark.pedantic(_RUNNERS["conceptual-qep"], rounds=1, iterations=1)
+    assert isinstance(result, list)
+
+
+def test_fig19_block_marking(benchmark):
+    """Optimized: Procedure 2/3 prunes whole outer blocks before joining."""
+    result = benchmark.pedantic(_RUNNERS["block-marking"], rounds=1, iterations=1)
+    assert isinstance(result, list)

@@ -1,0 +1,28 @@
+"""Figure 20: Counting vs Block-Marking with a *sparse* outer relation.
+
+The paper's claim: when the outer relation has few points, the Counting
+algorithm's per-tuple check is cheaper than Block-Marking's per-block
+preprocessing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+
+pytestmark = pytest.mark.benchmark(group="fig20-sparse-outer")
+
+_WORKLOAD, _SWEEP, _RUNNERS = build_figure_runners(20)
+
+
+def test_fig20_counting(benchmark):
+    """Counting algorithm (Procedure 1)."""
+    result = benchmark.pedantic(_RUNNERS["counting"], rounds=1, iterations=1)
+    assert isinstance(result, list)
+
+
+def test_fig20_block_marking(benchmark):
+    """Block-Marking algorithm (Procedures 2-3)."""
+    result = benchmark.pedantic(_RUNNERS["block-marking"], rounds=1, iterations=1)
+    assert isinstance(result, list)

@@ -1,0 +1,28 @@
+"""Figure 21: Counting vs Block-Marking with a *dense* outer relation.
+
+The paper's claim: with a dense outer relation Block-Marking wins because
+whole blocks are excluded from the join, while Counting pays its per-tuple
+check for every outer point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+
+pytestmark = pytest.mark.benchmark(group="fig21-dense-outer")
+
+_WORKLOAD, _SWEEP, _RUNNERS = build_figure_runners(21)
+
+
+def test_fig21_counting(benchmark):
+    """Counting algorithm (Procedure 1)."""
+    result = benchmark.pedantic(_RUNNERS["counting"], rounds=1, iterations=1)
+    assert isinstance(result, list)
+
+
+def test_fig21_block_marking(benchmark):
+    """Block-Marking algorithm (Procedures 2-3)."""
+    result = benchmark.pedantic(_RUNNERS["block-marking"], rounds=1, iterations=1)
+    assert isinstance(result, list)

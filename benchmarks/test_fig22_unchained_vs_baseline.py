@@ -1,0 +1,28 @@
+"""Figure 22: two unchained kNN-joins, A clustered, B and C BerlinMOD-like.
+
+Series: the conceptually correct ∩B plan vs the Block-Marking algorithm
+(Procedure 4).  The paper reports about an order of magnitude, with
+Block-Marking nearly flat in |C| because non-contributing C blocks are pruned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+
+pytestmark = pytest.mark.benchmark(group="fig22-unchained")
+
+_WORKLOAD, _SWEEP, _RUNNERS = build_figure_runners(22)
+
+
+def test_fig22_conceptual_qep(benchmark):
+    """Baseline: evaluate both joins in full, intersect on B."""
+    result = benchmark.pedantic(_RUNNERS["conceptual-qep"], rounds=1, iterations=1)
+    assert isinstance(result, list)
+
+
+def test_fig22_block_marking(benchmark):
+    """Optimized: Candidate/Safe marking on B prunes blocks of C."""
+    result = benchmark.pedantic(_RUNNERS["block-marking"], rounds=1, iterations=1)
+    assert isinstance(result, list)

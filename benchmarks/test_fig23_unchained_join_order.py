@@ -1,0 +1,30 @@
+"""Figure 23: unchained kNN-joins with both outer relations clustered.
+
+Series: starting the evaluation with the (C ⋈ B) join (C has fewer clusters)
+vs starting with the (A ⋈ B) join.  The paper's claim: starting with the
+relation of smaller cluster coverage prunes more work in the second join.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+
+pytestmark = pytest.mark.benchmark(group="fig23-join-order")
+
+# Benchmark the largest cluster-count difference (last sweep point), where the
+# join-order effect is strongest.
+_WORKLOAD, _SWEEP, _RUNNERS = build_figure_runners(23)
+
+
+def test_fig23_start_with_c_join(benchmark):
+    """Evaluation starts with the join whose outer relation has fewer clusters."""
+    result = benchmark.pedantic(_RUNNERS["start-with-C-join"], rounds=1, iterations=1)
+    assert isinstance(result, list)
+
+
+def test_fig23_start_with_a_join(benchmark):
+    """Evaluation starts with the join whose outer relation has more clusters."""
+    result = benchmark.pedantic(_RUNNERS["start-with-A-join"], rounds=1, iterations=1)
+    assert isinstance(result, list)

@@ -1,0 +1,27 @@
+"""Figure 24: chained kNN-joins — Nested Join with vs without the cache.
+
+The paper's claim: caching the (B ⋈ C) neighborhoods by B point removes the
+repeated computations of the Nested Join plan and clearly improves it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+
+pytestmark = pytest.mark.benchmark(group="fig24-chained-cache")
+
+_WORKLOAD, _SWEEP, _RUNNERS = build_figure_runners(24)
+
+
+def test_fig24_nested_join_cached(benchmark):
+    """QEP3 with the B->C neighborhood cache."""
+    result = benchmark.pedantic(_RUNNERS["nested-join-cached"], rounds=1, iterations=1)
+    assert isinstance(result, list)
+
+
+def test_fig24_nested_join_no_cache(benchmark):
+    """QEP3 recomputing the neighborhood of every matched B point."""
+    result = benchmark.pedantic(_RUNNERS["nested-join-no-cache"], rounds=1, iterations=1)
+    assert isinstance(result, list)

@@ -1,0 +1,28 @@
+"""Figure 25: chained kNN-joins over clustered B.
+
+Series: Nested Join (cached) vs the Join Intersection plan (QEP2).  The
+paper's claim: as B becomes more clustered, QEP2 wastes work on B clusters
+that no A point ever reaches, while the Nested Join plan never touches them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+
+pytestmark = pytest.mark.benchmark(group="fig25-chained-clustered")
+
+_WORKLOAD, _SWEEP, _RUNNERS = build_figure_runners(25)
+
+
+def test_fig25_nested_join_cached(benchmark):
+    """QEP3 (Nested Join) with the neighborhood cache."""
+    result = benchmark.pedantic(_RUNNERS["nested-join-cached"], rounds=1, iterations=1)
+    assert isinstance(result, list)
+
+
+def test_fig25_join_intersection(benchmark):
+    """QEP2: both joins evaluated in full, intersected on B."""
+    result = benchmark.pedantic(_RUNNERS["join-intersection"], rounds=1, iterations=1)
+    assert isinstance(result, list)

@@ -1,0 +1,28 @@
+"""Figure 26: two kNN-selects with k1 = 10 and a much larger k2.
+
+Series: the conceptually correct plan (both selects in full, then intersect)
+vs the 2-kNN-select algorithm (Procedure 5).  The paper reports almost two
+orders of magnitude at log2(k2/k1) = 8; the benchmark measures that point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+
+pytestmark = pytest.mark.benchmark(group="fig26-two-selects")
+
+_WORKLOAD, _SWEEP, _RUNNERS = build_figure_runners(26)
+
+
+def test_fig26_conceptual_qep(benchmark):
+    """Baseline: both neighborhoods computed over their full localities."""
+    result = benchmark.pedantic(_RUNNERS["conceptual-qep"], rounds=1, iterations=1)
+    assert isinstance(result, list)
+
+
+def test_fig26_2knn_select(benchmark):
+    """Optimized: the larger select's locality is clipped to the smaller's result."""
+    result = benchmark.pedantic(_RUNNERS["2-knn-select"], rounds=1, iterations=1)
+    assert isinstance(result, list)

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the ``src`` layout importable without installation.
+
+The test and benchmark suites import :mod:`repro` directly.  When the package
+has been installed (``pip install -e .``) this file is a no-op; otherwise it
+prepends ``src/`` to ``sys.path`` so the suites also run in offline
+environments where an editable install is not possible.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

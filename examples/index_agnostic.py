@@ -1,0 +1,58 @@
+"""Index-agnosticism: the same query over a grid, a quadtree and an R-tree.
+
+Section 2 of the paper: "The algorithms we present do not assume a specific
+indexing structure."  This example runs the select-inside-join query over all
+three index structures shipped with the library and verifies the answers are
+identical, then reports per-index timings.
+
+Run with::
+
+    python examples/index_agnostic.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import Dataset, KnnJoin, KnnSelect, Point, Query
+from repro.datagen import berlinmod_snapshot, uniform_points
+from repro.geometry import Rect
+
+EXTENT = Rect(0.0, 0.0, 40_000.0, 40_000.0)
+
+
+def main() -> None:
+    vehicles = berlinmod_snapshot(n=15_000, seed=31)
+    stations = uniform_points(1_500, EXTENT, seed=32, start_pid=1_000_000)
+    focal = Point(20_000.0, 20_000.0)
+
+    answers = {}
+    timings = {}
+    for kind in ("grid", "quadtree", "rtree"):
+        datasets = {
+            "vehicles": Dataset("vehicles", vehicles, index_kind=kind),
+            "stations": Dataset("stations", stations, index_kind=kind),
+        }
+        # Force index construction outside the timed region.
+        _ = datasets["vehicles"].index, datasets["stations"].index
+
+        query = Query(
+            KnnJoin(outer="stations", inner="vehicles", k=3),
+            KnnSelect(relation="vehicles", focal=focal, k=100),
+        )
+        start = time.perf_counter()
+        result = query.run(datasets)
+        timings[kind] = time.perf_counter() - start
+        answers[kind] = {pair.pids for pair in result.pairs}
+        print(
+            f"{kind:<9} {timings[kind] * 1000.0:8.1f} ms  "
+            f"({result.strategy}, {len(result.pairs)} pairs, "
+            f"{datasets['vehicles'].index.num_blocks} vehicle blocks)"
+        )
+
+    assert answers["grid"] == answers["quadtree"] == answers["rtree"]
+    print("\nall three index structures return exactly the same pairs")
+
+
+if __name__ == "__main__":
+    main()

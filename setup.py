@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The project is configured through ``pyproject.toml``; this file exists so the
+package can be installed in editable mode on machines without the ``wheel``
+package (offline environments), via::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

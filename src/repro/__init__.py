@@ -1,0 +1,111 @@
+"""repro — a reproduction of "Spatial Queries with Two kNN Predicates" (VLDB 2012).
+
+The library implements the paper's optimized algorithms for queries combining
+two kNN predicates (kNN-select and kNN-join) over 2-D point data, together
+with every substrate they need: planar geometry, block-based spatial indexes
+(grid, quadtree, R-tree), the locality-based kNN search of Sankaranarayanan et
+al., the primitive operators, a small query planner and a declarative query
+API.
+
+Quick start::
+
+    from repro import Dataset, Query, KnnJoin, KnnSelect, Point
+
+    shops = Dataset.from_points("shops", [(1.0, 1.0), (5.0, 2.0)])
+    hotels = Dataset.from_points("hotels", [(1.5, 1.2), (4.0, 2.5), (9.0, 9.0)])
+    result = Query(
+        KnnJoin(outer="shops", inner="hotels", k=2),
+        KnnSelect(relation="hotels", focal=Point(4.5, 2.0), k=2),
+    ).run({"shops": shops, "hotels": hotels})
+"""
+
+from repro.exceptions import (
+    ReproError,
+    GeometryError,
+    IndexError_ as SpatialIndexError,
+    EmptyDatasetError,
+    InvalidParameterError,
+    PlanError,
+    InvalidPlanError,
+    UnsupportedQueryError,
+)
+from repro.geometry import Point, Rect
+from repro.index import GridIndex, QuadtreeIndex, RTreeIndex, SpatialIndex, Block
+from repro.locality import Neighborhood, get_knn, brute_force_knn
+from repro.operators import (
+    JoinPair,
+    JoinTriplet,
+    knn_select,
+    knn_join_pairs,
+    intersect_points,
+    intersect_pairs_on_inner,
+)
+from repro.core import (
+    select_join_baseline,
+    select_join_counting,
+    select_join_block_marking,
+    outer_select_join_pushdown,
+    unchained_joins_baseline,
+    unchained_joins_block_marking,
+    chained_joins_nested,
+    two_knn_selects_baseline,
+    two_knn_selects_optimized,
+)
+from repro.core.stats import PruningStats
+from repro.planner import Optimizer, SelectJoinStrategy
+from repro.query import Dataset, KnnJoin, KnnSelect, Query, QueryResult, RangeSelect
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    # exceptions
+    "ReproError",
+    "GeometryError",
+    "SpatialIndexError",
+    "EmptyDatasetError",
+    "InvalidParameterError",
+    "PlanError",
+    "InvalidPlanError",
+    "UnsupportedQueryError",
+    # geometry
+    "Point",
+    "Rect",
+    # indexes
+    "SpatialIndex",
+    "GridIndex",
+    "QuadtreeIndex",
+    "RTreeIndex",
+    "Block",
+    # kNN
+    "Neighborhood",
+    "get_knn",
+    "brute_force_knn",
+    # operators
+    "JoinPair",
+    "JoinTriplet",
+    "knn_select",
+    "knn_join_pairs",
+    "intersect_points",
+    "intersect_pairs_on_inner",
+    # core algorithms
+    "select_join_baseline",
+    "select_join_counting",
+    "select_join_block_marking",
+    "outer_select_join_pushdown",
+    "unchained_joins_baseline",
+    "unchained_joins_block_marking",
+    "chained_joins_nested",
+    "two_knn_selects_baseline",
+    "two_knn_selects_optimized",
+    "PruningStats",
+    # planner & query API
+    "Optimizer",
+    "SelectJoinStrategy",
+    "Dataset",
+    "KnnJoin",
+    "KnnSelect",
+    "RangeSelect",
+    "Query",
+    "QueryResult",
+]

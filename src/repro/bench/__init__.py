@@ -1,0 +1,33 @@
+"""Benchmark harness that regenerates every figure of the paper's evaluation.
+
+The paper's Section 6 reports eight figures (19–26), each a sweep of one
+parameter with two time series (an optimized algorithm vs. a baseline).  This
+package provides:
+
+* :mod:`repro.bench.workloads` — a declarative workload per figure: which
+  datasets to generate, which parameter to sweep, and which algorithms to time.
+* :mod:`repro.bench.harness` — timing and table formatting.
+* :mod:`repro.bench.figures` — one-call helpers that run a figure end to end.
+* ``python -m repro.bench`` — the command-line entry point.
+
+Absolute times are not comparable with the paper (different language and
+hardware, scaled-down datasets); the harness reports the same *series* so the
+shape — who wins, by what factor, where the crossover lies — can be compared.
+"""
+
+from repro.bench.workloads import FigureWorkload, figure_workload, ALL_FIGURES
+from repro.bench.harness import FigureResult, MeasuredPoint, run_figure, format_table
+from repro.bench.figures import run_and_format
+from repro.bench.plotting import format_ascii_chart
+
+__all__ = [
+    "FigureWorkload",
+    "figure_workload",
+    "ALL_FIGURES",
+    "FigureResult",
+    "MeasuredPoint",
+    "run_figure",
+    "format_table",
+    "run_and_format",
+    "format_ascii_chart",
+]

@@ -1,0 +1,154 @@
+"""Timing harness and table formatting for the figure workloads."""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.bench.workloads import FigureWorkload, figure_workload
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["MeasuredPoint", "FigureResult", "run_figure", "format_table"]
+
+
+@dataclass(frozen=True, slots=True)
+class MeasuredPoint:
+    """One (sweep value, series) measurement."""
+
+    sweep_value: object
+    series: str
+    seconds: float
+    result_size: int
+
+
+@dataclass
+class FigureResult:
+    """All measurements of one figure's sweep."""
+
+    workload: FigureWorkload
+    points: list[MeasuredPoint] = field(default_factory=list)
+
+    @property
+    def figure(self) -> int:
+        return self.workload.figure
+
+    def seconds(self, sweep_value: object, series: str) -> float:
+        """Measured time of one series at one sweep value."""
+        for p in self.points:
+            if p.sweep_value == sweep_value and p.series == series:
+                return p.seconds
+        raise KeyError((sweep_value, series))
+
+    def speedups(self, baseline: str, optimized: str) -> list[float]:
+        """Per-sweep-value speedup of ``optimized`` over ``baseline``."""
+        out = []
+        for value in self.workload.sweep_values:
+            base = self.seconds(value, baseline)
+            opt = self.seconds(value, optimized)
+            out.append(base / opt if opt > 0 else float("inf"))
+        return out
+
+    def median_speedup(self, baseline: str, optimized: str) -> float:
+        """Median speedup across the sweep."""
+        return statistics.median(self.speedups(baseline, optimized))
+
+
+def _time_callable(fn: Callable[[], object], repeats: int) -> tuple[float, int]:
+    """Return (best wall-clock seconds, result size) over ``repeats`` runs."""
+    best = float("inf")
+    size = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        try:
+            size = len(result)  # type: ignore[arg-type]
+        except TypeError:
+            size = 0
+    return best, size
+
+
+def run_figure(
+    figure: int | FigureWorkload,
+    scale: float = 0.05,
+    repeats: int = 1,
+    sweep_values: tuple | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> FigureResult:
+    """Run one figure's sweep and collect the measurements.
+
+    Parameters
+    ----------
+    figure:
+        Figure number (19–26) or an already-built workload.
+    scale:
+        Dataset-size scale factor (ignored when a workload object is given).
+    repeats:
+        Number of repetitions per measurement; the best time is kept.
+    sweep_values:
+        Optional subset of the sweep to run (e.g. a single point for smoke
+        tests).
+    progress:
+        Optional callback receiving one human-readable line per measurement.
+    """
+    if repeats <= 0:
+        raise InvalidParameterError("repeats must be positive")
+    workload = figure if isinstance(figure, FigureWorkload) else figure_workload(figure, scale)
+    values = workload.sweep_values if sweep_values is None else tuple(sweep_values)
+    result = FigureResult(workload=workload)
+    for value in values:
+        runners = workload.build(value)
+        for series in workload.series:
+            seconds, size = _time_callable(runners[series], repeats)
+            result.points.append(
+                MeasuredPoint(sweep_value=value, series=series, seconds=seconds, result_size=size)
+            )
+            if progress is not None:
+                progress(
+                    f"figure {workload.figure} | {workload.sweep_name}={value} | "
+                    f"{series}: {seconds * 1000.0:.1f} ms ({size} rows)"
+                )
+    return result
+
+
+def format_table(result: FigureResult) -> str:
+    """Render a figure's measurements as a paper-style text table."""
+    workload = result.workload
+    header = [workload.sweep_name] + [f"{s} (ms)" for s in workload.series]
+    rows: list[list[str]] = []
+    measured_values = sorted({p.sweep_value for p in result.points}, key=_sort_key)
+    for value in measured_values:
+        row = [str(value)]
+        for series in workload.series:
+            try:
+                row.append(f"{result.seconds(value, series) * 1000.0:.1f}")
+            except KeyError:
+                row.append("-")
+        rows.append(row)
+
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows)) for i in range(len(header))]
+    lines = [
+        f"Figure {workload.figure}: {workload.title}",
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+    if len(workload.series) == 2 and len(measured_values) == len(workload.sweep_values):
+        baseline, optimized = workload.series
+        try:
+            speedup = result.median_speedup(baseline, optimized)
+            lines.append(
+                f"median speedup of '{optimized}' over '{baseline}': {speedup:.1f}x"
+            )
+        except KeyError:
+            pass
+    return "\n".join(lines)
+
+
+def _sort_key(value: object):
+    return (0, value) if isinstance(value, (int, float)) else (1, str(value))

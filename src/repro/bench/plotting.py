@@ -1,0 +1,56 @@
+"""Plain-text (ASCII) charts for figure results.
+
+The harness's tables are exact; the charts give a quick visual impression of
+each figure's shape — which series grows, where they diverge — without any
+plotting dependency.  ``python -m repro.bench --chart`` appends a chart below
+each table.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import FigureResult
+
+__all__ = ["format_ascii_chart"]
+
+_MARKERS = ("#", "o", "+", "x")
+
+
+def format_ascii_chart(result: FigureResult, width: int = 60, height: int = 12) -> str:
+    """Render one figure's measurements as an ASCII scatter/line chart.
+
+    The x axis is the sweep position (equally spaced), the y axis is time in
+    milliseconds (linear, starting at zero).  Each series gets its own marker.
+    """
+    workload = result.workload
+    values = [v for v in workload.sweep_values if any(p.sweep_value == v for p in result.points)]
+    if not values:
+        return f"Figure {workload.figure}: no measurements"
+
+    series_times: dict[str, list[float]] = {}
+    for series in workload.series:
+        times = []
+        for value in values:
+            try:
+                times.append(result.seconds(value, series) * 1000.0)
+            except KeyError:
+                times.append(0.0)
+        series_times[series] = times
+
+    max_time = max(max(times) for times in series_times.values()) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (series, times) in enumerate(series_times.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for i, t in enumerate(times):
+            x = int(round(i / max(1, len(values) - 1) * (width - 1)))
+            y = int(round((t / max_time) * (height - 1)))
+            grid[height - 1 - y][x] = marker
+
+    lines = [f"Figure {workload.figure} — time in ms (y, 0..{max_time:.0f}) vs {workload.sweep_name} (x)"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    legend = "  ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {series}" for i, series in enumerate(workload.series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

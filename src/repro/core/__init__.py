@@ -1,0 +1,47 @@
+"""The paper's core contribution: optimized evaluation of two-kNN-predicate queries.
+
+Subpackages, one per combination of predicates studied in the paper:
+
+* :mod:`repro.core.select_join` — a kNN-select interacting with a kNN-join
+  (Section 3): the conceptually correct plan, the Counting algorithm
+  (Procedure 1), the Block-Marking algorithm (Procedures 2–3) and the valid
+  outer-relation push-down.
+* :mod:`repro.core.two_joins` — two kNN-joins (Section 4): unchained joins
+  (baseline ``∩B`` plan, Procedure 4, join-order heuristic) and chained joins
+  (QEP1/QEP2/QEP3 with the neighborhood cache).
+* :mod:`repro.core.two_selects` — two kNN-selects (Section 5): the independent
+  evaluation baseline and the 2-kNN-select algorithm (Procedure 5).
+"""
+
+from repro.core.select_join import (
+    select_join_baseline,
+    select_join_counting,
+    select_join_block_marking,
+    outer_select_join_pushdown,
+    outer_select_join_after,
+)
+from repro.core.two_joins import (
+    unchained_joins_baseline,
+    unchained_joins_block_marking,
+    choose_unchained_join_order,
+    chained_joins_qep1,
+    chained_joins_qep2,
+    chained_joins_nested,
+)
+from repro.core.two_selects import two_knn_selects_baseline, two_knn_selects_optimized
+
+__all__ = [
+    "select_join_baseline",
+    "select_join_counting",
+    "select_join_block_marking",
+    "outer_select_join_pushdown",
+    "outer_select_join_after",
+    "unchained_joins_baseline",
+    "unchained_joins_block_marking",
+    "choose_unchained_join_order",
+    "chained_joins_qep1",
+    "chained_joins_qep2",
+    "chained_joins_nested",
+    "two_knn_selects_baseline",
+    "two_knn_selects_optimized",
+]

@@ -1,0 +1,42 @@
+"""kNN-select combined with a kNN-join (Section 3 of the paper).
+
+The query evaluated here is
+
+    (E1 join_kNN E2) ∩ (E1 × sigma_{kσ, f}(E2))
+
+i.e. report the pairs ``(e1, e2)`` such that ``e2`` is among the k⋈ nearest
+neighbors of ``e1`` *and* among the kσ nearest neighbors of the focal point
+``f``.  Pushing the selection below the join's inner relation would change the
+answer (Figures 1–2), so the paper introduces the Counting and Block-Marking
+algorithms, which keep the conceptually correct semantics but prune outer
+points/blocks that provably cannot contribute.
+
+The symmetric case — a kNN-select on the *outer* relation — is a valid
+push-down and is provided for completeness (:mod:`outer_select`).
+"""
+
+from repro.core.select_join.baseline import select_join_baseline
+from repro.core.select_join.counting import select_join_counting
+from repro.core.select_join.block_marking import (
+    select_join_block_marking,
+    preprocess_contributing_blocks,
+)
+from repro.core.select_join.outer_select import (
+    outer_select_join_pushdown,
+    outer_select_join_after,
+)
+from repro.core.select_join.range_inner import (
+    range_inner_join_baseline,
+    range_inner_join_block_marking,
+)
+
+__all__ = [
+    "select_join_baseline",
+    "select_join_counting",
+    "select_join_block_marking",
+    "preprocess_contributing_blocks",
+    "outer_select_join_pushdown",
+    "outer_select_join_after",
+    "range_inner_join_baseline",
+    "range_inner_join_block_marking",
+]

@@ -1,0 +1,65 @@
+"""Conceptually correct QEP for a kNN-select on the inner relation of a kNN-join.
+
+The correct plan (Figure 1) performs the full kNN-join first and only then
+applies the selection to the join's inner column:
+
+1. ``sigma_{kσ, f}(E2)`` — the neighborhood of the focal point ``f`` in E2.
+2. ``E1 join_kNN E2`` — for *every* outer point, compute its k⋈-neighborhood
+   in E2.
+3. Keep the pairs whose inner point also belongs to the selection result.
+
+This plan is correct but wasteful: it computes a neighborhood for every outer
+point even when that neighborhood cannot possibly overlap the selection
+result.  It is the baseline that Figures 19–21 compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.index.base import SpatialIndex
+from repro.locality.knn import get_knn
+from repro.operators.results import JoinPair
+
+__all__ = ["select_join_baseline"]
+
+
+def select_join_baseline(
+    outer: Iterable[Point],
+    inner_index: SpatialIndex,
+    focal: Point,
+    k_join: int,
+    k_select: int,
+) -> list[JoinPair]:
+    """Evaluate ``(E1 join_kNN E2) ∩ (E1 × sigma_{kσ,f}(E2))`` the conceptually correct way.
+
+    Parameters
+    ----------
+    outer:
+        The outer relation ``E1``.
+    inner_index:
+        Spatial index over the inner relation ``E2``.
+    focal:
+        Focal point ``f`` of the kNN-select on ``E2``.
+    k_join:
+        ``k⋈`` — the k value of the join.
+    k_select:
+        ``kσ`` — the k value of the selection.
+
+    Returns
+    -------
+    list[JoinPair]
+        All pairs ``(e1, e2)`` with ``e2`` in both the k⋈-neighborhood of
+        ``e1`` and the kσ-neighborhood of ``f``.
+    """
+    if k_join <= 0 or k_select <= 0:
+        raise InvalidParameterError("k_join and k_select must be positive")
+    selection = get_knn(inner_index, focal, k_select)
+    pairs: list[JoinPair] = []
+    for e1 in outer:
+        neighborhood = get_knn(inner_index, e1, k_join)
+        for e2 in neighborhood.intersection(selection):
+            pairs.append(JoinPair(e1, e2))
+    return pairs

@@ -1,0 +1,102 @@
+"""The Counting algorithm (Procedure 1 of the paper).
+
+For each outer point ``e1`` the algorithm decides — *without* computing the
+neighborhood of ``e1`` — whether that neighborhood could possibly intersect the
+neighborhood of the focal point ``f``:
+
+1. ``searchThreshold`` = distance from ``e1`` to the nearest point of
+   ``nbr_f`` (the selection result).
+2. Scan the blocks of E2 in increasing MAXDIST order from ``e1`` and sum the
+   point counts of blocks *completely* contained within the search threshold.
+3. If the count exceeds ``k⋈``, at least ``k⋈`` points of E2 are strictly
+   closer to ``e1`` than every point of ``nbr_f``; the neighborhood of ``e1``
+   cannot contain any point of ``nbr_f`` and ``e1`` is skipped.
+4. Otherwise the neighborhood of ``e1`` is computed and intersected with
+   ``nbr_f``.
+
+The per-tuple block scan is the algorithm's overhead; Section 3.3 explains why
+it wins for sparse outer relations and loses to Block-Marking for dense ones.
+
+Deviation from the paper's pseudocode (see DESIGN.md, "Tie handling"): a block
+is counted only when its MAXDIST is *strictly* below the search threshold,
+which makes the pruning decision safe even when distances tie.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.stats import PruningStats
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.index.base import SpatialIndex
+from repro.locality.knn import get_knn
+from repro.operators.results import JoinPair
+
+__all__ = ["select_join_counting"]
+
+
+def select_join_counting(
+    outer: Iterable[Point],
+    inner_index: SpatialIndex,
+    focal: Point,
+    k_join: int,
+    k_select: int,
+    stats: PruningStats | None = None,
+) -> list[JoinPair]:
+    """Evaluate a kNN-select on the inner relation of a kNN-join by Counting.
+
+    Produces exactly the same pairs as
+    :func:`repro.core.select_join.baseline.select_join_baseline`.
+
+    Parameters
+    ----------
+    outer:
+        The outer relation ``E1``.
+    inner_index:
+        Spatial index over the inner relation ``E2``.
+    focal:
+        Focal point ``f`` of the kNN-select on ``E2``.
+    k_join, k_select:
+        The join's and the selection's k values (``k⋈`` and ``kσ``).
+    stats:
+        Optional counters filled with pruning information.
+    """
+    if k_join <= 0 or k_select <= 0:
+        raise InvalidParameterError("k_join and k_select must be positive")
+
+    selection = get_knn(inner_index, focal, k_select)  # nbr_f
+    pairs: list[JoinPair] = []
+    for e1 in outer:
+        if _can_skip(inner_index, e1, selection.distance_to_nearest_member(e1), k_join):
+            if stats is not None:
+                stats.points_pruned += 1
+            continue
+        if stats is not None:
+            stats.neighborhoods_computed += 1
+        neighborhood = get_knn(inner_index, e1, k_join)
+        for e2 in neighborhood.intersection(selection):
+            pairs.append(JoinPair(e1, e2))
+    return pairs
+
+
+def _can_skip(
+    inner_index: SpatialIndex,
+    e1: Point,
+    search_threshold: float,
+    k_join: int,
+) -> bool:
+    """True when the neighborhood of ``e1`` provably misses the selection result.
+
+    Procedure 1 scans blocks in MAXDIST order, accumulating the counts of
+    blocks completely inside ``search_threshold``, and stops as soon as the
+    running count exceeds ``k_join`` or a block reaches beyond the threshold.
+    Because the scan is in MAXDIST order, its final decision depends only on
+    the *total* count of points in blocks whose MAXDIST is below the
+    threshold; the early exit is a constant-factor optimization.  We therefore
+    compute that total with one vectorized pass over the block table, which is
+    both faster in Python and bit-for-bit the same decision.
+    """
+    maxdists = inner_index.maxdists(e1)
+    count = int(inner_index.block_counts[maxdists < search_threshold].sum())
+    return count > k_join

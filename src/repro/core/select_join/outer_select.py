@@ -1,0 +1,64 @@
+"""kNN-select on the *outer* relation of a kNN-join (Section 3, Figure 3).
+
+Unlike the inner-relation case, pushing the selection below the outer relation
+of a kNN-join is a valid transformation:
+
+    (E1 join_kNN E2) ∩ (sigma_{kσ,f}(E1) × E2)  ≡  sigma_{kσ,f}(E1) join_kNN E2
+
+Outer points excluded by the selection would have their join output discarded
+by the final filter anyway, so joining them is pure waste.  The push-down plan
+is therefore both correct and cheaper; this module provides both plans (QEP1 =
+push-down, QEP2 = select-after-join) so tests and benchmarks can confirm the
+equivalence and quantify the saving.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.index.base import SpatialIndex
+from repro.locality.knn import get_knn
+from repro.operators.knn_join import knn_join_pairs
+from repro.operators.results import JoinPair
+
+__all__ = ["outer_select_join_pushdown", "outer_select_join_after"]
+
+
+def outer_select_join_pushdown(
+    outer_index: SpatialIndex,
+    inner_index: SpatialIndex,
+    focal: Point,
+    k_join: int,
+    k_select: int,
+) -> list[JoinPair]:
+    """QEP1 of Figure 3: apply the kNN-select to E1 first, then join.
+
+    Only the kσ points of ``E1`` nearest to ``focal`` are joined against
+    ``E2``.
+    """
+    if k_join <= 0 or k_select <= 0:
+        raise InvalidParameterError("k_join and k_select must be positive")
+    selected_outer = get_knn(outer_index, focal, k_select)
+    return knn_join_pairs(selected_outer.points, inner_index, k_join)
+
+
+def outer_select_join_after(
+    outer: Iterable[Point],
+    outer_index: SpatialIndex,
+    inner_index: SpatialIndex,
+    focal: Point,
+    k_join: int,
+    k_select: int,
+) -> list[JoinPair]:
+    """QEP2 of Figure 3: join every outer point, then filter by the selection.
+
+    Kept as the reference plan; produces the same pairs as the push-down.
+    """
+    if k_join <= 0 or k_select <= 0:
+        raise InvalidParameterError("k_join and k_select must be positive")
+    selected_outer = get_knn(outer_index, focal, k_select)
+    selected_pids = selected_outer.pids
+    pairs = knn_join_pairs(outer, inner_index, k_join)
+    return [pair for pair in pairs if pair.outer.pid in selected_pids]

@@ -1,0 +1,97 @@
+"""Range-select on the inner relation of a kNN-join (footnote 1 of Section 3).
+
+The query is ``(E1 join_kNN E2) ∩ (E1 × range(E2))``: report the pairs
+``(e1, e2)`` where ``e2`` is among the k nearest E2 points to ``e1`` *and*
+lies inside a rectangular window.  Exactly as with a kNN-select, pushing the
+range predicate below the join's inner relation changes the answer, so the
+window must be applied to the join's output — and the same block-level pruning
+idea applies:
+
+A block of E1 is Non-Contributing when the k-neighborhood of *any* point
+inside it provably cannot reach the window.  Using the block center ``c`` with
+``r`` = distance from ``c`` to the farthest of its k nearest E2 points and
+``d`` = block diagonal, every point of the block has k E2-points within
+``r + d`` of itself (Theorem 1's argument), so the block can be skipped when
+
+    MINDIST(c, window) > r + d.
+
+The window's role replaces the focal neighborhood of the kNN-select variant;
+the rest of the Block-Marking machinery is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.stats import PruningStats
+from repro.exceptions import InvalidParameterError
+from repro.geometry.distance import mindist_point_rect
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import SpatialIndex
+from repro.locality.knn import get_knn
+from repro.operators.results import JoinPair
+
+__all__ = ["range_inner_join_baseline", "range_inner_join_block_marking"]
+
+
+def range_inner_join_baseline(
+    outer: Iterable[Point],
+    inner_index: SpatialIndex,
+    window: Rect,
+    k_join: int,
+) -> list[JoinPair]:
+    """Conceptually correct plan: full kNN-join, then filter by the window."""
+    if k_join <= 0:
+        raise InvalidParameterError("k_join must be positive")
+    pairs: list[JoinPair] = []
+    for e1 in outer:
+        neighborhood = get_knn(inner_index, e1, k_join)
+        pairs.extend(JoinPair(e1, e2) for e2 in neighborhood if window.contains_point(e2))
+    return pairs
+
+
+def range_inner_join_block_marking(
+    outer_index: SpatialIndex,
+    inner_index: SpatialIndex,
+    window: Rect,
+    k_join: int,
+    stats: PruningStats | None = None,
+) -> list[JoinPair]:
+    """Block-Marking adaptation for a rectangular range on the inner relation.
+
+    Produces exactly the same pairs as :func:`range_inner_join_baseline` over
+    the points of ``outer_index``.
+    """
+    if k_join <= 0:
+        raise InvalidParameterError("k_join must be positive")
+
+    pairs: list[JoinPair] = []
+    pruned_points = 0
+    for block in outer_index.blocks:
+        if block.is_empty:
+            continue
+        if stats is not None:
+            stats.blocks_examined += 1
+        center = block.center
+        center_neighborhood = get_knn(inner_index, center, k_join)
+        reach = center_neighborhood.farthest_distance + block.diagonal
+        if mindist_point_rect(center, window) > reach:
+            # No point of this block can have a k-neighborhood that reaches
+            # into the window; skip the whole block.
+            if stats is not None:
+                stats.blocks_pruned += 1
+            pruned_points += block.count
+            continue
+        if stats is not None:
+            stats.blocks_contributing += 1
+        for e1 in block:
+            if stats is not None:
+                stats.neighborhoods_computed += 1
+            neighborhood = get_knn(inner_index, e1, k_join)
+            pairs.extend(
+                JoinPair(e1, e2) for e2 in neighborhood if window.contains_point(e2)
+            )
+    if stats is not None:
+        stats.points_pruned += pruned_points
+    return pairs

@@ -1,0 +1,61 @@
+"""Execution counters shared by the optimized algorithms.
+
+The paper's figures are wall-clock times, but the *mechanism* behind every
+speed-up is pruning: outer points or whole blocks whose neighborhoods are never
+computed.  The optimized algorithms optionally fill a :class:`PruningStats`
+object so tests and benchmarks can assert that pruning actually happened (and
+how much), independently of machine speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PruningStats"]
+
+
+@dataclass
+class PruningStats:
+    """Counters describing how much work an optimized algorithm avoided."""
+
+    #: Outer points whose neighborhood was actually computed.
+    neighborhoods_computed: int = 0
+    #: Outer points pruned without a neighborhood computation.
+    points_pruned: int = 0
+    #: Blocks examined during a preprocessing phase.
+    blocks_examined: int = 0
+    #: Blocks marked Non-Contributing (their points are skipped wholesale).
+    blocks_pruned: int = 0
+    #: Blocks marked Contributing.
+    blocks_contributing: int = 0
+    #: Blocks never examined because a closed contour ended the scan early.
+    blocks_skipped_by_contour: int = 0
+    #: Cache hits (chained-join neighborhood cache).
+    cache_hits: int = 0
+    #: Cache misses.
+    cache_misses: int = 0
+    #: Index blocks admitted into a restricted locality (2-kNN-select).
+    locality_blocks: int = 0
+
+    def merge(self, other: "PruningStats") -> None:
+        """Accumulate ``other`` into this object (used by multi-phase plans)."""
+        self.neighborhoods_computed += other.neighborhoods_computed
+        self.points_pruned += other.points_pruned
+        self.blocks_examined += other.blocks_examined
+        self.blocks_pruned += other.blocks_pruned
+        self.blocks_contributing += other.blocks_contributing
+        self.blocks_skipped_by_contour += other.blocks_skipped_by_contour
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.locality_blocks += other.locality_blocks
+
+    @property
+    def points_considered(self) -> int:
+        """Total outer points the algorithm looked at."""
+        return self.neighborhoods_computed + self.points_pruned
+
+    @property
+    def prune_fraction(self) -> float:
+        """Fraction of outer points pruned (0.0 when nothing was considered)."""
+        total = self.points_considered
+        return self.points_pruned / total if total else 0.0

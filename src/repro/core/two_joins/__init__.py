@@ -1,0 +1,37 @@
+"""Queries with two kNN-joins (Section 4 of the paper).
+
+The kNN-join is not symmetric, so a query over three relations A, B, C can
+combine its two joins in two non-equivalent ways:
+
+* **unchained** — ``(A join_kNN B) ∩B (C join_kNN B)``: both joins share B as
+  their inner relation.  Evaluating either join first and feeding its output
+  into the other is *incorrect* (Figures 8–9); the correct plan evaluates the
+  joins independently and intersects on B (Figure 10).  Procedure 4 adds
+  block-level pruning on the second join's outer relation.
+* **chained** — ``(A join_kNN B) ∩ (B join_kNN C)`` (A → B → C): all three
+  QEPs of Figure 13 are equivalent; QEP3 (Nested Join) avoids computing
+  neighborhoods for B points that never appear in the first join's output and
+  becomes strictly better with a neighborhood cache.
+"""
+
+from repro.core.two_joins.unchained import (
+    unchained_joins_baseline,
+    unchained_joins_block_marking,
+    choose_unchained_join_order,
+    unchained_joins_auto,
+)
+from repro.core.two_joins.chained import (
+    chained_joins_qep1,
+    chained_joins_qep2,
+    chained_joins_nested,
+)
+
+__all__ = [
+    "unchained_joins_baseline",
+    "unchained_joins_block_marking",
+    "choose_unchained_join_order",
+    "unchained_joins_auto",
+    "chained_joins_qep1",
+    "chained_joins_qep2",
+    "chained_joins_nested",
+]

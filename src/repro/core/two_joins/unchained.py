@@ -1,0 +1,209 @@
+"""Unchained kNN-joins: ``(A join_kNN B) ∩B (C join_kNN B)`` (Section 4.1).
+
+The conceptually correct plan evaluates both joins independently and
+intersects their pair sets on the shared inner relation B (Figure 10).  The
+optimized plan (Procedure 4) evaluates the first join, marks the blocks of B
+that received at least one join partner as *Candidate* (all others are
+*Safe*), and then prunes blocks of the second join's outer relation whose
+points' neighborhoods can only fall inside Safe blocks — those points cannot
+produce triplets.
+
+Join order matters for the amount of pruning (Section 4.1.2):
+:func:`choose_unchained_join_order` implements the paper's heuristic (start
+with the more clustered / smaller-coverage relation) and
+:func:`unchained_joins_auto` applies it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.core.stats import PruningStats
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.index.base import SpatialIndex
+from repro.index.block import Block
+from repro.index.stats import IndexStats
+from repro.locality.knn import get_knn
+from repro.operators.intersection import intersect_pairs_on_inner
+from repro.operators.knn_join import knn_join_pairs
+from repro.operators.results import JoinPair, JoinTriplet
+
+__all__ = [
+    "unchained_joins_baseline",
+    "unchained_joins_block_marking",
+    "choose_unchained_join_order",
+    "unchained_joins_auto",
+]
+
+
+def unchained_joins_baseline(
+    a_points: Iterable[Point],
+    c_points: Iterable[Point],
+    b_index: SpatialIndex,
+    k_ab: int,
+    k_cb: int,
+) -> list[JoinTriplet]:
+    """The conceptually correct QEP of Figure 10.
+
+    Both joins are evaluated independently and their outputs are intersected
+    on B, producing triplets ``(a, b, c)``.
+    """
+    if k_ab <= 0 or k_cb <= 0:
+        raise InvalidParameterError("k_ab and k_cb must be positive")
+    ab_pairs = knn_join_pairs(a_points, b_index, k_ab)
+    cb_pairs = knn_join_pairs(c_points, b_index, k_cb)
+    return intersect_pairs_on_inner(ab_pairs, cb_pairs)
+
+
+def _candidate_blocks(b_index: SpatialIndex, ab_pairs: Sequence[JoinPair]) -> set[int]:
+    """Block ids of B blocks holding at least one joined inner point (Candidate)."""
+    candidates: set[int] = set()
+    for pair in ab_pairs:
+        block = b_index.locate(pair.inner)
+        if block is not None:
+            candidates.add(block.block_id)
+    return candidates
+
+
+def _contributing_blocks(
+    second_outer_index: SpatialIndex,
+    b_index: SpatialIndex,
+    candidate_ids: set[int],
+    k_second: int,
+    stats: PruningStats | None,
+) -> list[Block]:
+    """Preprocessing step of Procedure 4: mark second-outer blocks.
+
+    A block of the second join's outer relation is Non-Contributing when every
+    B block fully or partially inside its search threshold (the center's
+    ``k``-neighborhood radius plus the block diagonal) is Safe; otherwise it is
+    Contributing.
+    """
+    blocks_by_id = {b.block_id: b for b in b_index.blocks}
+    candidate_blocks = [blocks_by_id[i] for i in sorted(candidate_ids)]
+    contributing: list[Block] = []
+    for block in second_outer_index.blocks:
+        if block.is_empty:
+            continue
+        if stats is not None:
+            stats.blocks_examined += 1
+        center = block.center
+        # Cheap shortcut: if the center already lies inside a Candidate block,
+        # the threshold disk trivially touches a Candidate block.
+        if any(cb.rect.contains_point(center) for cb in candidate_blocks):
+            contributing.append(block)
+            if stats is not None:
+                stats.blocks_contributing += 1
+            continue
+        neighborhood = get_knn(b_index, center, k_second)
+        threshold = neighborhood.farthest_distance + block.diagonal
+        if any(cb.mindist(center) <= threshold for cb in candidate_blocks):
+            contributing.append(block)
+            if stats is not None:
+                stats.blocks_contributing += 1
+        else:
+            if stats is not None:
+                stats.blocks_pruned += 1
+    return contributing
+
+
+def unchained_joins_block_marking(
+    a_points: Iterable[Point],
+    c_index: SpatialIndex,
+    b_index: SpatialIndex,
+    k_ab: int,
+    k_cb: int,
+    stats: PruningStats | None = None,
+) -> list[JoinTriplet]:
+    """Procedure 4: evaluate the unchained joins with block-level pruning on C.
+
+    The join ``A join_kNN B`` is evaluated first; the blocks of B touched by
+    its output become Candidate blocks.  Blocks of C whose points cannot reach
+    a Candidate block are skipped entirely in the second join.
+
+    Produces exactly the same triplets as :func:`unchained_joins_baseline`.
+
+    Parameters
+    ----------
+    a_points:
+        Outer relation of the first join (A).
+    c_index:
+        Index over the outer relation of the second join (C); the algorithm
+        needs its blocks.
+    b_index:
+        Index over the shared inner relation (B).
+    k_ab, k_cb:
+        The k values of ``A join_kNN B`` and ``C join_kNN B``.
+    stats:
+        Optional pruning counters.
+    """
+    if k_ab <= 0 or k_cb <= 0:
+        raise InvalidParameterError("k_ab and k_cb must be positive")
+
+    ab_pairs = knn_join_pairs(a_points, b_index, k_ab)
+    candidate_ids = _candidate_blocks(b_index, ab_pairs)
+    contributing = _contributing_blocks(c_index, b_index, candidate_ids, k_cb, stats)
+
+    # Index the AB pairs by their inner (B) point for the ∩B step.
+    ab_by_inner: dict[int, list[JoinPair]] = defaultdict(list)
+    for pair in ab_pairs:
+        ab_by_inner[pair.inner.pid].append(pair)
+
+    triplets: list[JoinTriplet] = []
+    computed = 0
+    for block in contributing:
+        for c in block:
+            computed += 1
+            neighborhood = get_knn(b_index, c, k_cb)
+            for b in neighborhood:
+                for ab in ab_by_inner.get(b.pid, ()):
+                    triplets.append(JoinTriplet(ab.outer, ab.inner, c))
+    if stats is not None:
+        stats.neighborhoods_computed += computed
+        stats.points_pruned += c_index.num_points - computed
+    return triplets
+
+
+def choose_unchained_join_order(
+    a_index: SpatialIndex,
+    c_index: SpatialIndex,
+) -> str:
+    """Section 4.1.2 heuristic: which outer relation's join to evaluate first.
+
+    Returns ``"A"`` or ``"C"`` — the relation whose join should run first.
+    The more clustered relation (smaller occupied area) goes first so that
+    more blocks of B stay Safe and more blocks of the *other* outer relation
+    get pruned.  When neither is clustered the order does not matter and
+    ``"A"`` is returned.
+    """
+    a_stats = IndexStats.from_index(a_index)
+    c_stats = IndexStats.from_index(c_index)
+    if c_stats.clustering_ratio > a_stats.clustering_ratio:
+        return "C"
+    return "A"
+
+
+def unchained_joins_auto(
+    a_index: SpatialIndex,
+    c_index: SpatialIndex,
+    b_index: SpatialIndex,
+    k_ab: int,
+    k_cb: int,
+    stats: PruningStats | None = None,
+) -> list[JoinTriplet]:
+    """Evaluate the unchained joins with the paper's join-order heuristic.
+
+    Regardless of the internal evaluation order, triplets are always returned
+    as ``(a, b, c)``.
+    """
+    order = choose_unchained_join_order(a_index, c_index)
+    if order == "A":
+        return unchained_joins_block_marking(
+            list(a_index.points()), c_index, b_index, k_ab, k_cb, stats=stats
+        )
+    swapped = unchained_joins_block_marking(
+        list(c_index.points()), a_index, b_index, k_cb, k_ab, stats=stats
+    )
+    return [JoinTriplet(t.c, t.b, t.a) for t in swapped]

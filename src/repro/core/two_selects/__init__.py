@@ -1,0 +1,13 @@
+"""Queries with two kNN-select predicates (Section 5 of the paper).
+
+Evaluating either select first and feeding its output into the other is wrong
+(Figures 14–15); the correct plan evaluates both selects independently over
+the full relation and intersects their results (Figure 16).  The 2-kNN-select
+algorithm (Procedure 5) keeps that semantics but restricts the locality of the
+larger-k select to the region that can actually affect the intersection.
+"""
+
+from repro.core.two_selects.baseline import two_knn_selects_baseline
+from repro.core.two_selects.optimized import two_knn_selects_optimized
+
+__all__ = ["two_knn_selects_baseline", "two_knn_selects_optimized"]

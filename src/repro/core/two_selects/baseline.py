@@ -1,0 +1,37 @@
+"""Conceptually correct QEP for two kNN-selects (Figure 16).
+
+Both selects are evaluated independently over the full relation and their
+results are intersected.  Correct, but when the two k values differ widely the
+larger select's locality covers most of the space even though only the points
+near the smaller select's result can survive the intersection — that waste is
+what Procedure 5 removes.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.index.base import SpatialIndex
+from repro.locality.knn import get_knn
+from repro.operators.intersection import intersect_points
+
+__all__ = ["two_knn_selects_baseline"]
+
+
+def two_knn_selects_baseline(
+    index: SpatialIndex,
+    focal1: Point,
+    k1: int,
+    focal2: Point,
+    k2: int,
+) -> list[Point]:
+    """Evaluate ``sigma_{k1,f1}(E) ∩ sigma_{k2,f2}(E)`` the conceptually correct way.
+
+    Returns the points of ``E`` that are simultaneously among the k1 nearest
+    neighbors of ``focal1`` and the k2 nearest neighbors of ``focal2``.
+    """
+    if k1 <= 0 or k2 <= 0:
+        raise InvalidParameterError("k1 and k2 must be positive")
+    first = get_knn(index, focal1, k1)
+    second = get_knn(index, focal2, k2)
+    return intersect_points(first, second)

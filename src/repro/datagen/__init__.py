@@ -1,0 +1,39 @@
+"""Workload and dataset generators.
+
+The paper's evaluation uses the BerlinMOD benchmark (≈2000 simulated cars
+moving over Berlin for 28 days, with the time dimension dropped to obtain
+snapshots of 32k–2.56M points) plus synthetic clustered datasets.  BerlinMOD
+itself requires the Secondo DBMS and a network download, so this package
+provides a faithful, fully self-contained substitute:
+
+* :mod:`repro.datagen.network` — a synthetic street network of a city-like
+  region (ring + radial arterials + local grid streets).
+* :mod:`repro.datagen.berlinmod` — a trip-based moving-object simulator over
+  that network whose position snapshots reproduce the skewed, street-aligned,
+  multi-cluster distribution that drives the paper's pruning effects.
+* :mod:`repro.datagen.uniform` / :mod:`repro.datagen.clustered` — the uniform
+  and clustered synthetic datasets of Sections 4.1.2 and 6.2.
+* :mod:`repro.datagen.workload` — named dataset recipes used by the benchmark
+  harness.
+
+All generators are deterministic given a seed.
+"""
+
+from repro.datagen.uniform import uniform_points, gaussian_points
+from repro.datagen.clustered import clustered_points, cluster_centers
+from repro.datagen.network import StreetNetwork, build_street_network
+from repro.datagen.berlinmod import BerlinModConfig, berlinmod_snapshot
+from repro.datagen.workload import DatasetSpec, make_dataset
+
+__all__ = [
+    "uniform_points",
+    "gaussian_points",
+    "clustered_points",
+    "cluster_centers",
+    "StreetNetwork",
+    "build_street_network",
+    "BerlinModConfig",
+    "berlinmod_snapshot",
+    "DatasetSpec",
+    "make_dataset",
+]

@@ -1,0 +1,95 @@
+"""Clustered point generators (Sections 4.1.2 and 6.2 of the paper).
+
+The paper's cluster experiments use equal-size, equal-area, non-overlapping
+clusters ("All the clusters have the same number of points (4000), have the
+same area, and are non-overlapping").  ``cluster_centers`` places cluster
+centers on a jittered grid so that clusters of a given radius never overlap;
+``clustered_points`` fills each cluster with uniformly distributed points.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+__all__ = ["cluster_centers", "clustered_points"]
+
+
+def cluster_centers(
+    num_clusters: int,
+    bounds: Rect,
+    cluster_radius: float,
+    seed: int = 0,
+) -> list[Point]:
+    """Choose ``num_clusters`` non-overlapping cluster centers inside ``bounds``.
+
+    Centers sit on a coarse grid (one cluster per grid cell, jittered within
+    the cell), which guarantees non-overlap as long as the grid cell is at
+    least two radii wide.
+
+    Raises
+    ------
+    InvalidParameterError
+        If the requested number of clusters of the given radius cannot fit in
+        ``bounds`` without overlapping.
+    """
+    if num_clusters <= 0:
+        raise InvalidParameterError("num_clusters must be positive")
+    if cluster_radius <= 0:
+        raise InvalidParameterError("cluster_radius must be positive")
+    side_cells = math.ceil(math.sqrt(num_clusters))
+    cell_w = bounds.width / side_cells
+    cell_h = bounds.height / side_cells
+    if cell_w < 2 * cluster_radius or cell_h < 2 * cluster_radius:
+        raise InvalidParameterError(
+            f"{num_clusters} clusters of radius {cluster_radius} do not fit in {bounds}"
+        )
+    rng = np.random.default_rng(seed)
+    cells = [(ix, iy) for iy in range(side_cells) for ix in range(side_cells)]
+    rng.shuffle(cells)
+    centers: list[Point] = []
+    for ix, iy in cells[:num_clusters]:
+        slack_x = cell_w - 2 * cluster_radius
+        slack_y = cell_h - 2 * cluster_radius
+        cx = bounds.xmin + ix * cell_w + cluster_radius + rng.uniform(0, slack_x)
+        cy = bounds.ymin + iy * cell_h + cluster_radius + rng.uniform(0, slack_y)
+        centers.append(Point(float(cx), float(cy)))
+    return centers
+
+
+def clustered_points(
+    num_clusters: int,
+    points_per_cluster: int,
+    bounds: Rect,
+    cluster_radius: float,
+    seed: int = 0,
+    start_pid: int = 0,
+) -> list[Point]:
+    """Generate ``num_clusters`` equal-size, equal-area, non-overlapping clusters.
+
+    Each cluster holds ``points_per_cluster`` points distributed uniformly in
+    a disk of ``cluster_radius`` around its center.
+    """
+    if points_per_cluster <= 0:
+        raise InvalidParameterError("points_per_cluster must be positive")
+    centers = cluster_centers(num_clusters, bounds, cluster_radius, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    points: list[Point] = []
+    pid = start_pid
+    for center in centers:
+        # Uniform sampling in a disk: radius ~ sqrt(U) * R.
+        radii = cluster_radius * np.sqrt(rng.uniform(0, 1, size=points_per_cluster))
+        angles = rng.uniform(0, 2 * math.pi, size=points_per_cluster)
+        xs = center.x + radii * np.cos(angles)
+        ys = center.y + radii * np.sin(angles)
+        xs = np.clip(xs, bounds.xmin, bounds.xmax)
+        ys = np.clip(ys, bounds.ymin, bounds.ymax)
+        for x, y in zip(xs, ys):
+            points.append(Point(float(x), float(y), pid))
+            pid += 1
+    return points

@@ -1,0 +1,65 @@
+"""Uniform and Gaussian point generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+__all__ = ["uniform_points", "gaussian_points"]
+
+
+def uniform_points(
+    n: int,
+    bounds: Rect,
+    seed: int = 0,
+    start_pid: int = 0,
+) -> list[Point]:
+    """Generate ``n`` points uniformly at random inside ``bounds``.
+
+    Parameters
+    ----------
+    n:
+        Number of points.
+    bounds:
+        Rectangle to fill.
+    seed:
+        Seed of the pseudo-random generator (datasets are reproducible).
+    start_pid:
+        First point identifier; points get consecutive ids from here, which
+        keeps ids unique across several generated relations.
+    """
+    if n < 0:
+        raise InvalidParameterError("n must be non-negative")
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(bounds.xmin, bounds.xmax, size=n)
+    ys = rng.uniform(bounds.ymin, bounds.ymax, size=n)
+    return [Point(float(x), float(y), start_pid + i) for i, (x, y) in enumerate(zip(xs, ys))]
+
+
+def gaussian_points(
+    n: int,
+    center: Point,
+    std: float,
+    bounds: Rect | None = None,
+    seed: int = 0,
+    start_pid: int = 0,
+) -> list[Point]:
+    """Generate ``n`` points from an isotropic Gaussian around ``center``.
+
+    When ``bounds`` is given the samples are clipped to the rectangle so that
+    all generated points share a common extent with other relations.
+    """
+    if n < 0:
+        raise InvalidParameterError("n must be non-negative")
+    if std < 0:
+        raise InvalidParameterError("std must be non-negative")
+    rng = np.random.default_rng(seed)
+    xs = rng.normal(center.x, std, size=n)
+    ys = rng.normal(center.y, std, size=n)
+    if bounds is not None:
+        xs = np.clip(xs, bounds.xmin, bounds.xmax)
+        ys = np.clip(ys, bounds.ymin, bounds.ymax)
+    return [Point(float(x), float(y), start_pid + i) for i, (x, y) in enumerate(zip(xs, ys))]

@@ -1,0 +1,78 @@
+"""Named dataset recipes used by examples, tests and the benchmark harness.
+
+A :class:`DatasetSpec` describes *what* data to generate (distribution, size,
+extent, seed); :func:`make_dataset` turns it into points.  The benchmark
+harness composes specs per figure so every experiment's workload is recorded
+declaratively and reproducibly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.datagen.berlinmod import BerlinModConfig, berlinmod_snapshot
+from repro.datagen.clustered import clustered_points
+from repro.datagen.uniform import gaussian_points, uniform_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+__all__ = ["DatasetSpec", "make_dataset", "DEFAULT_EXTENT"]
+
+#: Shared extent used by all recipes so relations overlay the same space.
+DEFAULT_EXTENT = Rect(0.0, 0.0, 40_000.0, 40_000.0)
+
+Distribution = Literal["uniform", "gaussian", "clustered", "berlinmod"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetSpec:
+    """A declarative description of one generated dataset."""
+
+    distribution: Distribution
+    n: int
+    seed: int = 0
+    bounds: Rect = DEFAULT_EXTENT
+    #: clustered only: number of clusters.
+    num_clusters: int = 4
+    #: clustered only: radius of each cluster.
+    cluster_radius: float = 1500.0
+    #: gaussian only: relative center (fractions of the extent) and std.
+    gaussian_center: tuple[float, float] = (0.5, 0.5)
+    gaussian_std: float = 4000.0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise InvalidParameterError("dataset size must be positive")
+
+
+def make_dataset(spec: DatasetSpec, start_pid: int = 0) -> list[Point]:
+    """Materialize ``spec`` into a list of points with ids from ``start_pid``."""
+    if spec.distribution == "uniform":
+        return uniform_points(spec.n, spec.bounds, seed=spec.seed, start_pid=start_pid)
+    if spec.distribution == "gaussian":
+        cx = spec.bounds.xmin + spec.gaussian_center[0] * spec.bounds.width
+        cy = spec.bounds.ymin + spec.gaussian_center[1] * spec.bounds.height
+        return gaussian_points(
+            spec.n,
+            Point(cx, cy),
+            spec.gaussian_std,
+            bounds=spec.bounds,
+            seed=spec.seed,
+            start_pid=start_pid,
+        )
+    if spec.distribution == "clustered":
+        points_per_cluster = max(1, spec.n // spec.num_clusters)
+        return clustered_points(
+            spec.num_clusters,
+            points_per_cluster,
+            spec.bounds,
+            spec.cluster_radius,
+            seed=spec.seed,
+            start_pid=start_pid,
+        )[: spec.n]
+    if spec.distribution == "berlinmod":
+        config = BerlinModConfig(bounds=spec.bounds, seed=spec.seed)
+        return berlinmod_snapshot(config=config, n=spec.n, start_pid=start_pid)
+    raise InvalidParameterError(f"unknown distribution: {spec.distribution!r}")

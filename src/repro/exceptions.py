@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish configuration errors from query-planning errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class GeometryError(ReproError):
+    """Raised for invalid geometric constructions (e.g. inverted rectangles)."""
+
+
+class IndexError_(ReproError):
+    """Raised for invalid spatial-index configurations or operations.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`; exported as ``SpatialIndexError`` from the package
+    root.
+    """
+
+
+class EmptyDatasetError(ReproError):
+    """Raised when an operation requires a non-empty dataset but got none."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when a query or algorithm parameter is out of range (e.g. k <= 0)."""
+
+
+class PlanError(ReproError):
+    """Raised when a query evaluation plan is malformed."""
+
+
+class InvalidPlanError(PlanError):
+    """Raised when a QEP violates the paper's correctness rules.
+
+    The canonical example is pushing a kNN-select below the *inner* relation
+    of a kNN-join (Section 1 and Section 3 of the paper), which changes the
+    query answer and is therefore rejected by the planner.
+    """
+
+
+class UnsupportedQueryError(ReproError):
+    """Raised when the query API is asked for a combination it cannot plan."""

@@ -1,0 +1,35 @@
+"""Planar geometry primitives used throughout the library.
+
+The paper operates on points in the two-dimensional Euclidean plane and on
+axis-aligned rectangular *blocks* produced by a space-partitioning index.  The
+two metrics MINDIST and MAXDIST (Roussopoulos et al. [13]) between a point and
+a block drive every pruning rule in the paper; they live in
+:mod:`repro.geometry.distance`.
+"""
+
+from repro.geometry.point import Point, PointArray, as_point_array, centroid
+from repro.geometry.rectangle import Rect
+from repro.geometry.distance import (
+    euclidean,
+    euclidean_squared,
+    mindist_point_rect,
+    maxdist_point_rect,
+    mindist_rect_rect,
+    pairwise_distances,
+    distances_to_point,
+)
+
+__all__ = [
+    "Point",
+    "PointArray",
+    "as_point_array",
+    "centroid",
+    "Rect",
+    "euclidean",
+    "euclidean_squared",
+    "mindist_point_rect",
+    "maxdist_point_rect",
+    "mindist_rect_rect",
+    "pairwise_distances",
+    "distances_to_point",
+]

@@ -1,0 +1,99 @@
+"""Distance metrics: Euclidean, MINDIST and MAXDIST.
+
+MINDIST(p, b) is the smallest possible distance between point ``p`` and any
+point of block ``b``; MAXDIST(p, b) is the largest possible such distance
+(Roussopoulos et al., "Nearest neighbor queries", SIGMOD 1995).  The paper's
+algorithms scan index blocks in MINDIST or MAXDIST order from a point and use
+the two metrics for every pruning bound.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.point import Point, PointArray
+from repro.geometry.rectangle import Rect
+
+__all__ = [
+    "euclidean",
+    "euclidean_squared",
+    "mindist_point_rect",
+    "maxdist_point_rect",
+    "mindist_rect_rect",
+    "pairwise_distances",
+    "distances_to_point",
+]
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def euclidean_squared(a: Point, b: Point) -> float:
+    """Squared Euclidean distance between two points."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def mindist_point_rect(p: Point, rect: Rect) -> float:
+    """MINDIST between point ``p`` and rectangle ``rect``.
+
+    Zero when ``p`` lies inside (or on the boundary of) the rectangle.
+    """
+    dx = 0.0
+    if p.x < rect.xmin:
+        dx = rect.xmin - p.x
+    elif p.x > rect.xmax:
+        dx = p.x - rect.xmax
+    dy = 0.0
+    if p.y < rect.ymin:
+        dy = rect.ymin - p.y
+    elif p.y > rect.ymax:
+        dy = p.y - rect.ymax
+    return math.hypot(dx, dy)
+
+
+def maxdist_point_rect(p: Point, rect: Rect) -> float:
+    """MAXDIST between point ``p`` and rectangle ``rect``.
+
+    The distance from ``p`` to the farthest corner of the rectangle; any point
+    inside the rectangle is at most this far from ``p``.
+    """
+    dx = max(abs(p.x - rect.xmin), abs(p.x - rect.xmax))
+    dy = max(abs(p.y - rect.ymin), abs(p.y - rect.ymax))
+    return math.hypot(dx, dy)
+
+
+def mindist_rect_rect(a: Rect, b: Rect) -> float:
+    """MINDIST between two rectangles (zero when they intersect)."""
+    dx = max(0.0, max(a.xmin, b.xmin) - min(a.xmax, b.xmax))
+    dy = max(0.0, max(a.ymin, b.ymin) - min(a.ymax, b.ymax))
+    return math.hypot(dx, dy)
+
+
+def distances_to_point(coords: PointArray, p: Point) -> np.ndarray:
+    """Vectorized Euclidean distances from every row of ``coords`` to ``p``.
+
+    ``coords`` must be an ``(n, 2)`` array; the result is an ``(n,)`` array.
+    """
+    if coords.size == 0:
+        return np.empty(0, dtype=np.float64)
+    diff = coords - np.array([p.x, p.y], dtype=np.float64)
+    return np.hypot(diff[:, 0], diff[:, 1])
+
+
+def pairwise_distances(a: PointArray, b: PointArray) -> np.ndarray:
+    """Full ``(len(a), len(b))`` matrix of Euclidean distances.
+
+    Intended for small blocks of points (the brute-force reference kNN and
+    unit tests); the library's algorithms never materialize a full distance
+    matrix over whole datasets.
+    """
+    if a.size == 0 or b.size == 0:
+        return np.empty((a.shape[0], b.shape[0]), dtype=np.float64)
+    diff = a[:, None, :] - b[None, :, :]
+    return np.hypot(diff[..., 0], diff[..., 1])

@@ -1,0 +1,161 @@
+"""Axis-aligned rectangles.
+
+Rectangles represent index *blocks* (grid cells, quadtree leaves, R-tree leaf
+MBRs) and the spatial extent of datasets.  The paper's pruning rules use the
+block center, the block diagonal length, and the MINDIST/MAXDIST metrics; all
+of these are provided here.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.exceptions import GeometryError
+from repro.geometry.point import Point
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise GeometryError(
+                f"inverted rectangle: ({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"
+            )
+        for value in (self.xmin, self.ymin, self.xmax, self.ymax):
+            if not math.isfinite(value):
+                raise GeometryError("rectangle bounds must be finite")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """Return the minimum bounding rectangle of ``points``."""
+        xs: list[float] = []
+        ys: list[float] = []
+        for p in points:
+            xs.append(p.x)
+            ys.append(p.y)
+        if not xs:
+            raise GeometryError("cannot build a rectangle from an empty point collection")
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """Return a rectangle of the given size centered at ``center``."""
+        if width < 0 or height < 0:
+            raise GeometryError("rectangle width/height must be non-negative")
+        hw, hh = width / 2.0, height / 2.0
+        return cls(center.x - hw, center.y - hh, center.x + hw, center.y + hh)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the rectangle's diagonal (the paper's ``d``)."""
+        return math.hypot(self.width, self.height)
+
+    @property
+    def center(self) -> Point:
+        """The rectangle's center point (the paper's block center ``c``)."""
+        return Point((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    def corners(self) -> Iterator[Point]:
+        """Yield the four corner points."""
+        yield Point(self.xmin, self.ymin)
+        yield Point(self.xmax, self.ymin)
+        yield Point(self.xmax, self.ymax)
+        yield Point(self.xmin, self.ymax)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def contains_point(self, p: Point) -> bool:
+        """True if ``p`` lies inside or on the boundary of the rectangle."""
+        return self.xmin <= p.x <= self.xmax and self.ymin <= p.y <= self.ymax
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` is fully contained in this rectangle."""
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and self.xmax >= other.xmax
+            and self.ymax >= other.ymax
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the two (closed) rectangles share at least one point."""
+        return not (
+            self.xmax < other.xmin
+            or other.xmax < self.xmin
+            or self.ymax < other.ymin
+            or other.ymax < self.ymin
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Return the intersection rectangle, or ``None`` if disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.xmin, other.xmin),
+            max(self.ymin, other.ymin),
+            min(self.xmax, other.xmax),
+            min(self.ymax, other.ymax),
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        """Return the smallest rectangle containing both rectangles."""
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def expand(self, margin: float) -> "Rect":
+        """Return this rectangle grown by ``margin`` on every side."""
+        if margin < 0 and (self.width < -2 * margin or self.height < -2 * margin):
+            raise GeometryError("cannot shrink the rectangle below zero size")
+        return Rect(self.xmin - margin, self.ymin - margin, self.xmax + margin, self.ymax + margin)
+
+    # ------------------------------------------------------------------
+    # Subdivision (used by the quadtree)
+    # ------------------------------------------------------------------
+    def quadrants(self) -> tuple["Rect", "Rect", "Rect", "Rect"]:
+        """Split into four equal quadrants (SW, SE, NW, NE)."""
+        cx = (self.xmin + self.xmax) / 2.0
+        cy = (self.ymin + self.ymax) / 2.0
+        return (
+            Rect(self.xmin, self.ymin, cx, cy),
+            Rect(cx, self.ymin, self.xmax, cy),
+            Rect(self.xmin, cy, cx, self.ymax),
+            Rect(cx, cy, self.xmax, self.ymax),
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        """Return ``(xmin, ymin, xmax, ymax)``."""
+        return (self.xmin, self.ymin, self.xmax, self.ymax)

@@ -1,0 +1,42 @@
+"""Spatial indexes exposing the block interface required by the paper.
+
+Every algorithm in the paper is index-agnostic (Section 2): it only needs a
+space-partitioning index that
+
+* partitions the plane into *blocks*,
+* stores the number of points inside each block, and
+* can enumerate blocks in MINDIST or MAXDIST order from a query point.
+
+Three concrete indexes are provided:
+
+* :class:`~repro.index.grid.GridIndex` — the uniform grid used in the paper's
+  evaluation (Section 6).
+* :class:`~repro.index.quadtree.QuadtreeIndex` — a PR-quadtree whose leaves
+  are the blocks.
+* :class:`~repro.index.rtree.RTreeIndex` — an STR bulk-loaded R-tree whose
+  leaf MBRs are the blocks.
+"""
+
+from repro.index.block import Block
+from repro.index.base import SpatialIndex
+from repro.index.grid import GridIndex
+from repro.index.quadtree import QuadtreeIndex
+from repro.index.rtree import RTreeIndex
+from repro.index.orderings import (
+    BlockDistance,
+    mindist_ordering,
+    maxdist_ordering,
+)
+from repro.index.stats import IndexStats
+
+__all__ = [
+    "Block",
+    "SpatialIndex",
+    "GridIndex",
+    "QuadtreeIndex",
+    "RTreeIndex",
+    "BlockDistance",
+    "mindist_ordering",
+    "maxdist_ordering",
+    "IndexStats",
+]

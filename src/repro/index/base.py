@@ -1,0 +1,164 @@
+"""Abstract base class for the block-based spatial indexes.
+
+The interface is intentionally small: the paper's algorithms only need block
+enumeration, per-block counts, MINDIST/MAXDIST orderings from a point, and
+point location.  Vectorized MINDIST/MAXDIST computation over all blocks is
+provided here once so every concrete index gets efficient orderings for free.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.block import Block
+from repro.index.orderings import BlockDistance, maxdist_ordering, mindist_ordering
+
+__all__ = ["SpatialIndex"]
+
+
+class SpatialIndex(abc.ABC):
+    """A space-partitioning index over a static set of 2-D points.
+
+    Concrete subclasses build their blocks at construction time and then call
+    :meth:`_finalize` with the resulting block list; the base class takes care
+    of the bounds, the vectorized per-block bound arrays, and the orderings.
+    """
+
+    def __init__(self) -> None:
+        self._blocks: tuple[Block, ...] = ()
+        self._bounds: Rect | None = None
+        self._block_bounds: np.ndarray = np.empty((0, 4), dtype=np.float64)
+        self._block_counts: np.ndarray = np.empty(0, dtype=np.int64)
+        self._num_points = 0
+
+    # ------------------------------------------------------------------
+    # Construction support for subclasses
+    # ------------------------------------------------------------------
+    def _finalize(self, blocks: Sequence[Block], bounds: Rect) -> None:
+        """Record the final block list; called once by subclass constructors."""
+        self._blocks = tuple(blocks)
+        self._bounds = bounds
+        if self._blocks:
+            self._block_bounds = np.array(
+                [b.rect.as_tuple() for b in self._blocks], dtype=np.float64
+            )
+            self._block_counts = np.array([b.count for b in self._blocks], dtype=np.int64)
+        else:
+            self._block_bounds = np.empty((0, 4), dtype=np.float64)
+            self._block_counts = np.empty(0, dtype=np.int64)
+        self._num_points = int(self._block_counts.sum())
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def blocks(self) -> tuple[Block, ...]:
+        """All blocks of the index (their order is arbitrary but stable)."""
+        return self._blocks
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def num_points(self) -> int:
+        """Total number of indexed points."""
+        return self._num_points
+
+    @property
+    def bounds(self) -> Rect:
+        """The spatial extent covered by the index."""
+        if self._bounds is None:
+            raise EmptyDatasetError("index has not been built")
+        return self._bounds
+
+    @property
+    def block_counts(self) -> np.ndarray:
+        """Per-block point counts, aligned with :attr:`blocks`."""
+        return self._block_counts
+
+    def points(self) -> Iterator[Point]:
+        """Iterate over every indexed point (block by block)."""
+        for block in self._blocks:
+            yield from block
+
+    def __len__(self) -> int:
+        return self._num_points
+
+    # ------------------------------------------------------------------
+    # Vectorized metrics
+    # ------------------------------------------------------------------
+    def mindists(self, p: Point) -> np.ndarray:
+        """MINDIST from ``p`` to every block, aligned with :attr:`blocks`."""
+        if self._block_bounds.size == 0:
+            return np.empty(0, dtype=np.float64)
+        xmin, ymin, xmax, ymax = self._block_bounds.T
+        dx = np.maximum(0.0, np.maximum(xmin - p.x, p.x - xmax))
+        dy = np.maximum(0.0, np.maximum(ymin - p.y, p.y - ymax))
+        return np.hypot(dx, dy)
+
+    def maxdists(self, p: Point) -> np.ndarray:
+        """MAXDIST from ``p`` to every block, aligned with :attr:`blocks`."""
+        if self._block_bounds.size == 0:
+            return np.empty(0, dtype=np.float64)
+        xmin, ymin, xmax, ymax = self._block_bounds.T
+        dx = np.maximum(np.abs(p.x - xmin), np.abs(p.x - xmax))
+        dy = np.maximum(np.abs(p.y - ymin), np.abs(p.y - ymax))
+        return np.hypot(dx, dy)
+
+    # ------------------------------------------------------------------
+    # Orderings (Section 2 of the paper)
+    # ------------------------------------------------------------------
+    def mindist_order(self, p: Point) -> Iterator[BlockDistance]:
+        """Blocks in increasing MINDIST order from ``p`` (lazy)."""
+        return mindist_ordering(self._blocks, p, self.mindists(p))
+
+    def maxdist_order(self, p: Point) -> Iterator[BlockDistance]:
+        """Blocks in increasing MAXDIST order from ``p`` (lazy)."""
+        return maxdist_ordering(self._blocks, p, self.maxdists(p))
+
+    # ------------------------------------------------------------------
+    # Point location
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def locate(self, p: Point) -> Block | None:
+        """Return the block whose region contains ``p`` (``None`` if outside).
+
+        For indexes whose blocks do not tile the space (the R-tree), the block
+        whose rectangle contains ``p`` and holds the point with the smallest
+        distance is returned; ``None`` if no block rectangle contains ``p``.
+        """
+
+    # ------------------------------------------------------------------
+    # Convenience queries
+    # ------------------------------------------------------------------
+    def blocks_intersecting(self, rect: Rect) -> list[Block]:
+        """All blocks whose rectangle intersects ``rect``."""
+        return [b for b in self._blocks if b.rect.intersects(rect)]
+
+    def blocks_within(self, p: Point, radius: float) -> list[Block]:
+        """All blocks whose MINDIST from ``p`` is at most ``radius``."""
+        if not self._blocks:
+            return []
+        mind = self.mindists(p)
+        return [self._blocks[i] for i in np.nonzero(mind <= radius)[0]]
+
+    def count_points_within_maxdist(self, p: Point, radius: float) -> int:
+        """Total count of points in blocks *completely* inside ``radius`` of ``p``.
+
+        "Completely inside" means MAXDIST(block, p) <= radius; this is the
+        quantity the Counting algorithm accumulates.
+        """
+        if not self._blocks:
+            return 0
+        maxd = self.maxdists(p)
+        return int(self._block_counts[maxd <= radius].sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(points={self.num_points}, blocks={self.num_blocks})"

@@ -1,0 +1,120 @@
+"""The block abstraction shared by every spatial index.
+
+A block is a rectangular region of space together with the points it contains.
+The paper's algorithms rely on three pieces of per-block information:
+
+* the number of points in the block (Section 2: "the index maintains the count
+  of points in each block"),
+* the block's center and diagonal (Block-Marking search thresholds), and
+* MINDIST/MAXDIST from a query point to the block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.distance import maxdist_point_rect, mindist_point_rect
+from repro.geometry.point import Point, PointArray
+from repro.geometry.rectangle import Rect
+
+__all__ = ["Block"]
+
+
+class Block:
+    """A rectangular index block holding a set of points.
+
+    Blocks are created by the index builders and are treated as immutable by
+    the query algorithms.  ``block_id`` is unique within one index and is used
+    for hashing and for per-query marks kept in external dictionaries (the
+    algorithms never mutate blocks).
+    """
+
+    __slots__ = ("block_id", "rect", "_points", "_coords", "tag")
+
+    def __init__(
+        self,
+        block_id: int,
+        rect: Rect,
+        points: Sequence[Point] | None = None,
+        tag: Any = None,
+    ) -> None:
+        self.block_id = int(block_id)
+        self.rect = rect
+        self._points: tuple[Point, ...] = tuple(points) if points else ()
+        self._coords: PointArray | None = None
+        #: Free-form tag used by index builders (e.g. grid cell coordinates).
+        self.tag = tag
+
+    # ------------------------------------------------------------------
+    # Contents
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> tuple[Point, ...]:
+        """The points stored in this block."""
+        return self._points
+
+    @property
+    def count(self) -> int:
+        """Number of points in the block (the paper's ``numberOfPoints``)."""
+        return len(self._points)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._points
+
+    @property
+    def coords(self) -> PointArray:
+        """Lazily built ``(count, 2)`` coordinate array for vectorized math."""
+        if self._coords is None:
+            if self._points:
+                self._coords = np.array([(p.x, p.y) for p in self._points], dtype=np.float64)
+            else:
+                self._coords = np.empty((0, 2), dtype=np.float64)
+        return self._coords
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._points)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    # ------------------------------------------------------------------
+    # Geometry shortcuts used by the algorithms
+    # ------------------------------------------------------------------
+    @property
+    def center(self) -> Point:
+        """Center of the block (used by Block-Marking preprocessing)."""
+        return self.rect.center
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the block diagonal (the paper's ``d``)."""
+        return self.rect.diagonal
+
+    def mindist(self, p: Point) -> float:
+        """MINDIST between ``p`` and this block."""
+        return mindist_point_rect(p, self.rect)
+
+    def maxdist(self, p: Point) -> float:
+        """MAXDIST between ``p`` and this block."""
+        return maxdist_point_rect(p, self.rect)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def __hash__(self) -> int:
+        return hash((id(self.__class__), self.block_id))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Block):
+            return NotImplemented
+        return self is other or (self.block_id == other.block_id and self.rect == other.rect)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        r = self.rect
+        return (
+            f"Block(id={self.block_id}, n={self.count}, "
+            f"rect=({r.xmin:.4g}, {r.ymin:.4g}, {r.xmax:.4g}, {r.ymax:.4g}))"
+        )

@@ -1,0 +1,141 @@
+"""Uniform grid index.
+
+This is the index used in the paper's evaluation (Section 6): "We index the
+data points into a simple grid.  Since our algorithms are independent of a
+specific indexing structure, we choose a grid in order to be able to see the
+effectiveness of our algorithms even with simple structures."
+
+The grid partitions the dataset bounds into ``cells_per_side x cells_per_side``
+equal cells.  Every cell is a block, including empty cells (empty blocks are
+kept so that MINDIST/MAXDIST contours are complete; they carry a zero count
+and are skipped quickly by every algorithm).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import SpatialIndex
+from repro.index.block import Block
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex(SpatialIndex):
+    """A uniform grid over the bounding rectangle of the indexed points.
+
+    Parameters
+    ----------
+    points:
+        The points to index.
+    cells_per_side:
+        Number of cells along each axis.  If omitted, a value is derived from
+        the dataset size targeting roughly ``target_points_per_cell`` points
+        per non-empty cell.
+    bounds:
+        Optional explicit spatial extent.  Supplying the same bounds for
+        several datasets makes their grids share the same cell decomposition,
+        which is what the paper assumes for the unchained-join Candidate/Safe
+        block marking (see DESIGN.md note 2).
+    target_points_per_cell:
+        Sizing hint used only when ``cells_per_side`` is not given.
+    keep_empty_cells:
+        Whether to materialize empty cells as blocks (default ``True``).
+    """
+
+    def __init__(
+        self,
+        points: Iterable[Point],
+        cells_per_side: int | None = None,
+        bounds: Rect | None = None,
+        target_points_per_cell: int = 64,
+        keep_empty_cells: bool = True,
+    ) -> None:
+        super().__init__()
+        pts = list(points)
+        if not pts:
+            raise EmptyDatasetError("GridIndex requires at least one point")
+        if bounds is None:
+            bounds = Rect.from_points(pts)
+            # Grow degenerate bounds slightly so every point falls strictly inside.
+            if bounds.width == 0 or bounds.height == 0:
+                bounds = bounds.expand(max(1e-9, 0.5))
+        if cells_per_side is None:
+            if target_points_per_cell <= 0:
+                raise InvalidParameterError("target_points_per_cell must be positive")
+            cells_per_side = max(1, int(math.sqrt(len(pts) / target_points_per_cell)))
+        if cells_per_side <= 0:
+            raise InvalidParameterError("cells_per_side must be positive")
+
+        self.cells_per_side = int(cells_per_side)
+        self._cell_width = bounds.width / self.cells_per_side
+        self._cell_height = bounds.height / self.cells_per_side
+        self._grid_bounds = bounds
+
+        buckets: dict[tuple[int, int], list[Point]] = {}
+        for p in pts:
+            buckets.setdefault(self._cell_of(p, bounds), []).append(p)
+
+        blocks: list[Block] = []
+        self._cell_to_block: dict[tuple[int, int], Block] = {}
+        block_id = 0
+        for iy in range(self.cells_per_side):
+            for ix in range(self.cells_per_side):
+                cell_points = buckets.get((ix, iy))
+                if not cell_points and not keep_empty_cells:
+                    continue
+                rect = self._cell_rect(ix, iy, bounds)
+                block = Block(block_id, rect, cell_points or (), tag=(ix, iy))
+                blocks.append(block)
+                self._cell_to_block[(ix, iy)] = block
+                block_id += 1
+        self._finalize(blocks, bounds)
+
+    # ------------------------------------------------------------------
+    # Cell arithmetic
+    # ------------------------------------------------------------------
+    def _cell_of(self, p: Point, bounds: Rect) -> tuple[int, int]:
+        """Return the (ix, iy) cell containing ``p``, clamped to the grid."""
+        if self._cell_width > 0:
+            ix = int((p.x - bounds.xmin) / self._cell_width)
+        else:
+            ix = 0
+        if self._cell_height > 0:
+            iy = int((p.y - bounds.ymin) / self._cell_height)
+        else:
+            iy = 0
+        ix = min(max(ix, 0), self.cells_per_side - 1)
+        iy = min(max(iy, 0), self.cells_per_side - 1)
+        return ix, iy
+
+    def _cell_rect(self, ix: int, iy: int, bounds: Rect) -> Rect:
+        xmin = bounds.xmin + ix * self._cell_width
+        ymin = bounds.ymin + iy * self._cell_height
+        # Snap the last row/column to the exact bound to avoid FP gaps.
+        xmax = bounds.xmax if ix == self.cells_per_side - 1 else xmin + self._cell_width
+        ymax = bounds.ymax if iy == self.cells_per_side - 1 else ymin + self._cell_height
+        return Rect(xmin, ymin, xmax, ymax)
+
+    # ------------------------------------------------------------------
+    # SpatialIndex interface
+    # ------------------------------------------------------------------
+    def locate(self, p: Point) -> Block | None:
+        """Return the grid cell containing ``p`` (``None`` if outside the grid)."""
+        if not self._grid_bounds.contains_point(p):
+            return None
+        return self._cell_to_block.get(self._cell_of(p, self._grid_bounds))
+
+    def cell_block(self, ix: int, iy: int) -> Block | None:
+        """Return the block for cell ``(ix, iy)`` if it exists."""
+        return self._cell_to_block.get((ix, iy))
+
+    @property
+    def cell_size(self) -> tuple[float, float]:
+        """The ``(width, height)`` of each grid cell."""
+        return (self._cell_width, self._cell_height)

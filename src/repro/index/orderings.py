@@ -1,0 +1,90 @@
+"""MINDIST and MAXDIST orderings of index blocks.
+
+Section 2 of the paper: "we process the blocks in a certain order according to
+their MINDIST (or MAXDIST) from a certain point.  An ordering of the blocks
+based on the MINDIST or MAXDIST from a certain point is termed a MINDIST or
+MAXDIST ordering."
+
+The orderings here are lazy iterators so that algorithms that stop early (all
+of them do) never pay for sorting the tail.  For small block counts a full
+vectorized sort would also work; the heap keeps the asymptotics friendly when
+indexes have many blocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.index.block import Block
+
+__all__ = [
+    "BlockDistance",
+    "mindist_ordering",
+    "maxdist_ordering",
+    "ordering_from_distances",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class BlockDistance:
+    """A block paired with its distance from the ordering's query point."""
+
+    distance: float
+    block: Block
+
+
+def _heap_ordering(
+    blocks: Sequence[Block],
+    distances: np.ndarray,
+) -> Iterator[BlockDistance]:
+    """Yield blocks in increasing order of ``distances`` lazily.
+
+    Ties are broken by ``block_id`` so orderings are deterministic.
+    """
+    heap: list[tuple[float, int, int]] = [
+        (float(distances[i]), blocks[i].block_id, i) for i in range(len(blocks))
+    ]
+    heapq.heapify(heap)
+    while heap:
+        dist, _, i = heapq.heappop(heap)
+        yield BlockDistance(dist, blocks[i])
+
+
+def mindist_ordering(
+    blocks: Sequence[Block],
+    p: Point,
+    distances: np.ndarray | None = None,
+) -> Iterator[BlockDistance]:
+    """Yield ``blocks`` in increasing MINDIST order from ``p``.
+
+    ``distances`` may supply precomputed MINDIST values (one per block) to
+    avoid recomputation; indexes pass their vectorized values here.
+    """
+    if distances is None:
+        distances = np.array([b.mindist(p) for b in blocks], dtype=np.float64)
+    return _heap_ordering(blocks, distances)
+
+
+def maxdist_ordering(
+    blocks: Sequence[Block],
+    p: Point,
+    distances: np.ndarray | None = None,
+) -> Iterator[BlockDistance]:
+    """Yield ``blocks`` in increasing MAXDIST order from ``p``."""
+    if distances is None:
+        distances = np.array([b.maxdist(p) for b in blocks], dtype=np.float64)
+    return _heap_ordering(blocks, distances)
+
+
+def ordering_from_distances(
+    blocks: Sequence[Block],
+    distances: Iterable[float],
+) -> Iterator[BlockDistance]:
+    """Order ``blocks`` by arbitrary caller-supplied distances."""
+    arr = np.fromiter(distances, dtype=np.float64, count=len(blocks))
+    return _heap_ordering(blocks, arr)

@@ -1,0 +1,153 @@
+"""PR-quadtree index.
+
+The quadtree recursively splits a square region into four quadrants until the
+number of points in a node drops below a capacity threshold (Section 2 of the
+paper describes exactly this family of structures).  The *leaves* of the tree
+are the blocks exposed to the algorithms; internal nodes exist only during
+construction and for point location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import SpatialIndex
+from repro.index.block import Block
+
+__all__ = ["QuadtreeIndex"]
+
+
+@dataclass
+class _Node:
+    """A quadtree node; either a leaf holding points or four children."""
+
+    rect: Rect
+    depth: int
+    points: list[Point] = field(default_factory=list)
+    children: "list[_Node] | None" = None
+    block: Block | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class QuadtreeIndex(SpatialIndex):
+    """A point-region quadtree whose leaves are the index blocks.
+
+    Parameters
+    ----------
+    points:
+        Points to index.
+    capacity:
+        Maximum number of points in a leaf before it splits.
+    max_depth:
+        Hard recursion limit; leaves at this depth keep all their points even
+        if they exceed ``capacity`` (protects against many coincident points).
+    bounds:
+        Optional explicit extent (made square internally).
+    """
+
+    def __init__(
+        self,
+        points: Iterable[Point],
+        capacity: int = 128,
+        max_depth: int = 16,
+        bounds: Rect | None = None,
+    ) -> None:
+        super().__init__()
+        pts = list(points)
+        if not pts:
+            raise EmptyDatasetError("QuadtreeIndex requires at least one point")
+        if capacity <= 0:
+            raise InvalidParameterError("capacity must be positive")
+        if max_depth <= 0:
+            raise InvalidParameterError("max_depth must be positive")
+        self.capacity = int(capacity)
+        self.max_depth = int(max_depth)
+
+        if bounds is None:
+            bounds = Rect.from_points(pts)
+        # Make the root square (classic PR-quadtree) and non-degenerate.
+        side = max(bounds.width, bounds.height)
+        if side == 0:
+            side = 1.0
+        bounds = Rect(bounds.xmin, bounds.ymin, bounds.xmin + side, bounds.ymin + side)
+
+        self._root = _Node(rect=bounds, depth=0, points=list(pts))
+        self._split(self._root)
+
+        blocks: list[Block] = []
+        self._collect_leaves(self._root, blocks)
+        self._finalize(blocks, bounds)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _split(self, node: _Node) -> None:
+        """Recursively split ``node`` until every leaf satisfies the capacity."""
+        if len(node.points) <= self.capacity or node.depth >= self.max_depth:
+            return
+        quadrants = node.rect.quadrants()
+        children = [_Node(rect=q, depth=node.depth + 1) for q in quadrants]
+        for p in node.points:
+            children[self._quadrant_of(node.rect, p)].points.append(p)
+        node.points = []
+        node.children = children
+        for child in children:
+            self._split(child)
+
+    @staticmethod
+    def _quadrant_of(rect: Rect, p: Point) -> int:
+        """Index (SW=0, SE=1, NW=2, NE=3) of the quadrant of ``rect`` holding ``p``."""
+        cx = (rect.xmin + rect.xmax) / 2.0
+        cy = (rect.ymin + rect.ymax) / 2.0
+        east = p.x >= cx
+        north = p.y >= cy
+        return (2 if north else 0) + (1 if east else 0)
+
+    def _collect_leaves(self, node: _Node, out: list[Block]) -> None:
+        if node.is_leaf:
+            block = Block(len(out), node.rect, node.points, tag=("leaf", node.depth))
+            node.block = block
+            out.append(block)
+            return
+        assert node.children is not None
+        for child in node.children:
+            self._collect_leaves(child, out)
+
+    # ------------------------------------------------------------------
+    # SpatialIndex interface
+    # ------------------------------------------------------------------
+    def locate(self, p: Point) -> Block | None:
+        """Return the leaf block whose region contains ``p``."""
+        if not self._root.rect.contains_point(p):
+            return None
+        node = self._root
+        while not node.is_leaf:
+            assert node.children is not None
+            node = node.children[self._quadrant_of(node.rect, p)]
+        return node.block
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (used in tests and ablations)
+    # ------------------------------------------------------------------
+    def depth(self) -> int:
+        """Maximum leaf depth of the tree."""
+        best = 0
+
+        def visit(node: _Node) -> None:
+            nonlocal best
+            if node.is_leaf:
+                best = max(best, node.depth)
+            else:
+                assert node.children is not None
+                for child in node.children:
+                    visit(child)
+
+        visit(self._root)
+        return best

@@ -1,0 +1,150 @@
+"""STR bulk-loaded R-tree index.
+
+The R-tree is built with the Sort-Tile-Recursive (STR) packing algorithm: the
+points are sorted into vertical slices by x, each slice is sorted by y and cut
+into leaf pages of at most ``leaf_capacity`` points.  The leaf pages (their
+minimum bounding rectangles) are the blocks exposed to the paper's algorithms;
+upper levels of the tree are kept for point location.
+
+Unlike the grid and the quadtree, R-tree leaf MBRs do not tile the plane:
+``locate`` returns ``None`` for points that fall outside every leaf MBR.  The
+paper's algorithms only call ``locate`` for points that are known to be
+indexed, so this difference is benign and is covered by tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import SpatialIndex
+from repro.index.block import Block
+
+__all__ = ["RTreeIndex"]
+
+
+@dataclass
+class _RNode:
+    """An internal R-tree node: an MBR plus child nodes or a leaf block."""
+
+    rect: Rect
+    children: "list[_RNode]" = field(default_factory=list)
+    block: Block | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.block is not None
+
+
+class RTreeIndex(SpatialIndex):
+    """An R-tree bulk loaded with Sort-Tile-Recursive packing.
+
+    Parameters
+    ----------
+    points:
+        Points to index.
+    leaf_capacity:
+        Maximum number of points per leaf page.
+    fanout:
+        Maximum number of children of an internal node.
+    """
+
+    def __init__(
+        self,
+        points: Iterable[Point],
+        leaf_capacity: int = 128,
+        fanout: int = 16,
+    ) -> None:
+        super().__init__()
+        pts = list(points)
+        if not pts:
+            raise EmptyDatasetError("RTreeIndex requires at least one point")
+        if leaf_capacity <= 0:
+            raise InvalidParameterError("leaf_capacity must be positive")
+        if fanout < 2:
+            raise InvalidParameterError("fanout must be at least 2")
+        self.leaf_capacity = int(leaf_capacity)
+        self.fanout = int(fanout)
+
+        blocks = self._pack_leaves(pts)
+        self._root = self._build_upper_levels([_RNode(rect=b.rect, block=b) for b in blocks])
+        self._finalize(blocks, Rect.from_points(pts))
+
+    # ------------------------------------------------------------------
+    # STR packing
+    # ------------------------------------------------------------------
+    def _pack_leaves(self, pts: list[Point]) -> list[Block]:
+        """Pack ``pts`` into leaf blocks using Sort-Tile-Recursive."""
+        n = len(pts)
+        leaf_count = math.ceil(n / self.leaf_capacity)
+        slices = max(1, math.ceil(math.sqrt(leaf_count)))
+        per_slice = math.ceil(n / slices)
+
+        by_x = sorted(pts, key=lambda p: (p.x, p.y, p.pid))
+        blocks: list[Block] = []
+        for s in range(slices):
+            chunk = by_x[s * per_slice : (s + 1) * per_slice]
+            if not chunk:
+                continue
+            chunk.sort(key=lambda p: (p.y, p.x, p.pid))
+            for i in range(0, len(chunk), self.leaf_capacity):
+                page = chunk[i : i + self.leaf_capacity]
+                rect = Rect.from_points(page)
+                blocks.append(Block(len(blocks), rect, page, tag=("leaf", s)))
+        return blocks
+
+    def _build_upper_levels(self, nodes: list[_RNode]) -> _RNode:
+        """Group ``nodes`` bottom-up into internal nodes until one root remains."""
+        while len(nodes) > 1:
+            nodes.sort(key=lambda nd: (nd.rect.center.x, nd.rect.center.y))
+            parents: list[_RNode] = []
+            for i in range(0, len(nodes), self.fanout):
+                group = nodes[i : i + self.fanout]
+                rect = group[0].rect
+                for child in group[1:]:
+                    rect = rect.union(child.rect)
+                parents.append(_RNode(rect=rect, children=group))
+            nodes = parents
+        return nodes[0]
+
+    # ------------------------------------------------------------------
+    # SpatialIndex interface
+    # ------------------------------------------------------------------
+    def locate(self, p: Point) -> Block | None:
+        """Return a leaf block whose MBR contains ``p`` (``None`` otherwise).
+
+        If several leaf MBRs overlap at ``p``, the one containing a point
+        nearest to ``p`` is returned, which is the block an insertion-based
+        R-tree would most plausibly have routed the point to.
+        """
+        candidates: list[Block] = []
+
+        def visit(node: _RNode) -> None:
+            if not node.rect.contains_point(p):
+                return
+            if node.is_leaf:
+                assert node.block is not None
+                candidates.append(node.block)
+                return
+            for child in node.children:
+                visit(child)
+
+        visit(self._root)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+
+        def nearest_point_distance(block: Block) -> float:
+            if block.is_empty:
+                return math.inf
+            diff = block.coords - np.array([p.x, p.y])
+            return float(np.hypot(diff[:, 0], diff[:, 1]).min())
+
+        return min(candidates, key=nearest_point_distance)

@@ -1,0 +1,66 @@
+"""Simple statistics describing an index and its data distribution.
+
+The planner's heuristics (Counting vs Block-Marking, unchained join order,
+two-select ordering) use cheap summary statistics rather than the data itself,
+mirroring how the paper reasons about density and cluster coverage in
+Sections 3.3 and 4.1.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.index.base import SpatialIndex
+
+__all__ = ["IndexStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class IndexStats:
+    """Summary statistics over the blocks of one index."""
+
+    num_points: int
+    num_blocks: int
+    num_nonempty_blocks: int
+    mean_points_per_nonempty_block: float
+    max_points_per_block: int
+    occupied_area_fraction: float
+    total_area: float
+
+    @classmethod
+    def from_index(cls, index: SpatialIndex) -> "IndexStats":
+        """Compute statistics for ``index``."""
+        counts = index.block_counts
+        nonempty = counts[counts > 0]
+        total_area = index.bounds.area
+        if total_area <= 0:
+            total_area = 1.0
+        occupied_area = sum(b.rect.area for b in index.blocks if b.count > 0)
+        return cls(
+            num_points=index.num_points,
+            num_blocks=index.num_blocks,
+            num_nonempty_blocks=int(nonempty.size),
+            mean_points_per_nonempty_block=float(nonempty.mean()) if nonempty.size else 0.0,
+            max_points_per_block=int(counts.max()) if counts.size else 0,
+            occupied_area_fraction=min(1.0, occupied_area / total_area),
+            total_area=float(total_area),
+        )
+
+    @property
+    def density(self) -> float:
+        """Points per unit area over the whole extent."""
+        return self.num_points / self.total_area if self.total_area else 0.0
+
+    @property
+    def clustering_ratio(self) -> float:
+        """A crude clusteredness measure in [0, 1].
+
+        1.0 means all points live in a vanishing fraction of the blocks (highly
+        clustered); 0.0 means every block is occupied (spread out / uniform).
+        The unchained-join order heuristic (Section 4.1.2) prefers starting
+        with the relation whose clusters cover the *smaller* area, i.e. the
+        one with the higher clustering ratio.
+        """
+        return 1.0 - self.occupied_area_fraction

@@ -1,0 +1,27 @@
+"""Brute-force kNN reference implementation.
+
+Used as the ground truth in tests (the locality-based ``get_knn`` must return
+exactly the same neighborhood) and as a fallback for tiny datasets where
+building an index would be overkill.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.locality.neighborhood import Neighborhood
+
+__all__ = ["brute_force_knn"]
+
+
+def brute_force_knn(points: Iterable[Point], p: Point, k: int) -> Neighborhood:
+    """Return the ``k`` nearest neighbors of ``p`` by scanning every point.
+
+    Ties are broken by ``(distance, pid)`` exactly as in the locality-based
+    search, so the two implementations are interchangeable.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    return Neighborhood.from_candidates(p, k, points)

@@ -1,0 +1,167 @@
+"""Locality-based kNN search (the paper's ``getkNN`` primitive).
+
+The locality algorithm of Sankaranarayanan, Samet and Varshney [15] builds the
+minimal set of index blocks guaranteed to contain the k nearest neighbors of a
+query point, and only then looks at actual points:
+
+1. Scan blocks in increasing **MAXDIST** order from the query point, summing
+   the per-block point counts, until the running count reaches ``k``.  Record
+   ``M``, the largest MAXDIST seen so far.  At this moment at least ``k``
+   points are known to lie within distance ``M`` of the query point, so no
+   block farther than ``M`` (in MINDIST terms) can contribute a neighbor.
+2. The locality is the set of blocks whose **MINDIST** from the query point is
+   at most ``M``.
+3. The neighborhood is computed by ranking the points of the locality blocks.
+
+``get_knn`` is the single kNN entry point used by every operator and algorithm
+in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.index.base import SpatialIndex
+from repro.index.block import Block
+from repro.locality.neighborhood import Neighborhood
+
+__all__ = ["Locality", "build_locality", "get_knn", "neighborhood_from_blocks"]
+
+
+@dataclass(frozen=True, slots=True)
+class Locality:
+    """The locality of a query point: blocks guaranteed to hold its kNN.
+
+    Attributes
+    ----------
+    center:
+        The query point.
+    k:
+        The neighborhood size the locality was built for.
+    blocks:
+        The locality blocks.
+    maxdist_bound:
+        The bound ``M`` from the MAXDIST phase: at least ``k`` points lie
+        within distance ``M`` of ``center`` (``inf`` when the index holds
+        fewer than ``k`` points).
+    """
+
+    center: Point
+    k: int
+    blocks: tuple[Block, ...]
+    maxdist_bound: float
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def num_points(self) -> int:
+        return sum(b.count for b in self.blocks)
+
+
+def build_locality(index: SpatialIndex, p: Point, k: int) -> Locality:
+    """Build the minimal locality of ``p`` for a ``k``-neighborhood.
+
+    Follows [15]: a MAXDIST-order scan determines the bound ``M``; the locality
+    is every block whose MINDIST from ``p`` does not exceed ``M``.  Empty
+    blocks are excluded (they cannot contribute neighbors).
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if index.num_points == 0:
+        raise EmptyDatasetError("cannot build a locality over an empty index")
+
+    blocks = index.blocks
+    counts = index.block_counts
+    maxdists = index.maxdists(p)
+    mindists = index.mindists(p)
+
+    # Phase 1: MAXDIST order, accumulate counts until we have k points.
+    order = np.lexsort((np.arange(len(blocks)), maxdists))
+    running = 0
+    bound = float("inf")
+    for i in order:
+        if counts[i] == 0:
+            continue
+        running += int(counts[i])
+        if running >= k:
+            bound = float(maxdists[i])
+            break
+
+    # Phase 2: the locality is every non-empty block with MINDIST <= bound.
+    if np.isinf(bound):
+        selected = [b for b, c in zip(blocks, counts) if c > 0]
+    else:
+        mask = (mindists <= bound) & (counts > 0)
+        selected = [blocks[i] for i in np.nonzero(mask)[0]]
+    return Locality(center=p, k=k, blocks=tuple(selected), maxdist_bound=bound)
+
+
+def neighborhood_from_blocks(
+    p: Point,
+    k: int,
+    blocks: Sequence[Block],
+) -> Neighborhood:
+    """Rank the points of ``blocks`` around ``p`` and keep the nearest ``k``.
+
+    This is the final step of ``getkNN`` and is also used directly by the
+    2-kNN-select algorithm, which computes a neighborhood from a *restricted*
+    locality (Procedure 5).
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    candidate_blocks = [b for b in blocks if b.count > 0]
+    if not candidate_blocks:
+        return Neighborhood(p, k, [], [])
+
+    coords = np.concatenate([b.coords for b in candidate_blocks], axis=0)
+    points: list[Point] = []
+    for b in candidate_blocks:
+        points.extend(b.points)
+    diff = coords - np.array([p.x, p.y], dtype=np.float64)
+    dists = np.hypot(diff[:, 0], diff[:, 1])
+    pids = np.fromiter((pt.pid for pt in points), dtype=np.int64, count=len(points))
+
+    if len(points) > k:
+        # Partial selection first, then an exact (distance, pid) sort of the head.
+        head = k_extended(k, dists)
+        if head < len(points):
+            idx = np.argpartition(dists, head - 1)[:head]
+        else:
+            idx = np.arange(len(points))
+        idx = idx[np.lexsort((pids[idx], dists[idx]))][:k]
+    else:
+        idx = np.lexsort((pids, dists))
+    members = [points[i] for i in idx]
+    member_dists = [float(dists[i]) for i in idx]
+    return Neighborhood(p, k, members, member_dists)
+
+
+def k_extended(k: int, dists: np.ndarray) -> int:
+    """Number of head candidates to fully sort after ``argpartition``.
+
+    ``argpartition`` guarantees the ``k`` smallest distances occupy the first
+    ``k`` slots but leaves ties straddling the boundary in arbitrary order.  To
+    keep the deterministic ``(distance, pid)`` tie-break exact we widen the head
+    to include every candidate whose distance equals the k-th smallest one.
+    """
+    if len(dists) <= k:
+        return len(dists)
+    kth = np.partition(dists, k - 1)[k - 1]
+    return int((dists <= kth).sum())
+
+
+def get_knn(index: SpatialIndex, p: Point, k: int) -> Neighborhood:
+    """Return the ``k`` nearest neighbors of ``p`` among the points of ``index``.
+
+    This is the paper's ``getkNN(p, k)``.  The locality is built first; the
+    neighborhood is then computed only from the locality's blocks.
+    """
+    locality = build_locality(index, p, k)
+    return neighborhood_from_blocks(p, k, locality.blocks)

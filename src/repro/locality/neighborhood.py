@@ -1,0 +1,200 @@
+"""The ``Neighborhood`` result type returned by every kNN computation.
+
+A neighborhood is the answer of ``getkNN(p, k)``: the ``k`` points nearest to
+the query point, ordered by ``(distance, pid)`` so that ties are resolved
+deterministically.  The class exposes exactly the accessors the paper's
+pseudocode uses: ``nearest``, ``farthest``, membership tests, intersection and
+"farthest from another point" (needed by the 2-kNN-select algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.distance import distances_to_point
+from repro.geometry.point import Point, PointArray
+
+__all__ = ["Neighborhood"]
+
+
+class Neighborhood:
+    """The k nearest neighbors of a query point.
+
+    Parameters
+    ----------
+    center:
+        The query point whose neighborhood this is.
+    k:
+        The requested number of neighbors.  The neighborhood may contain fewer
+        points when the dataset itself has fewer than ``k`` points.
+    members:
+        The neighbor points, in ascending ``(distance, pid)`` order.
+    distances:
+        The distance of each member from ``center`` (same order).
+    """
+
+    __slots__ = ("center", "k", "_members", "_distances", "_pid_set", "_coords")
+
+    def __init__(
+        self,
+        center: Point,
+        k: int,
+        members: Sequence[Point],
+        distances: Sequence[float],
+    ) -> None:
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        if len(members) != len(distances):
+            raise InvalidParameterError("members and distances must have equal length")
+        self.center = center
+        self.k = int(k)
+        self._members: tuple[Point, ...] = tuple(members)
+        self._distances: tuple[float, ...] = tuple(float(d) for d in distances)
+        self._pid_set = frozenset(p.pid for p in self._members)
+        self._coords: PointArray | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_candidates(cls, center: Point, k: int, candidates: Iterable[Point]) -> "Neighborhood":
+        """Build the neighborhood by ranking ``candidates`` around ``center``.
+
+        The candidates are ranked by ``(distance, pid)`` and the top ``k`` are
+        kept.  This is the common final step of both the locality-based and
+        the brute-force kNN searches.
+        """
+        ranked = sorted(
+            ((center.distance_to(p), p.pid, p) for p in candidates),
+            key=lambda t: (t[0], t[1]),
+        )[: max(k, 0)]
+        return cls(center, k, [p for _, __, p in ranked], [d for d, __, ___ in ranked])
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> tuple[Point, ...]:
+        """The neighbors in ascending distance order."""
+        return self._members
+
+    @property
+    def distances(self) -> tuple[float, ...]:
+        """Distances of the neighbors from :attr:`center` (ascending)."""
+        return self._distances
+
+    @property
+    def is_full(self) -> bool:
+        """True when the neighborhood actually holds ``k`` points."""
+        return len(self._members) >= self.k
+
+    @property
+    def nearest(self) -> Point:
+        """The nearest neighbor (the paper's ``nbr.nearest``)."""
+        if not self._members:
+            raise InvalidParameterError("empty neighborhood has no nearest member")
+        return self._members[0]
+
+    @property
+    def farthest(self) -> Point:
+        """The farthest of the k neighbors (the paper's ``nbr.farthest``)."""
+        if not self._members:
+            raise InvalidParameterError("empty neighborhood has no farthest member")
+        return self._members[-1]
+
+    @property
+    def nearest_distance(self) -> float:
+        """Distance from the center to the nearest neighbor."""
+        if not self._distances:
+            raise InvalidParameterError("empty neighborhood has no nearest member")
+        return self._distances[0]
+
+    @property
+    def farthest_distance(self) -> float:
+        """Distance from the center to the farthest neighbor."""
+        if not self._distances:
+            raise InvalidParameterError("empty neighborhood has no farthest member")
+        return self._distances[-1]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._members)
+
+    def __contains__(self, point: Point) -> bool:
+        return point.pid in self._pid_set
+
+    def contains_pid(self, pid: int) -> bool:
+        """Membership test by point identifier."""
+        return pid in self._pid_set
+
+    @property
+    def pids(self) -> frozenset[int]:
+        """The identifiers of the member points."""
+        return self._pid_set
+
+    # ------------------------------------------------------------------
+    # Queries relative to *other* points (used by the algorithms)
+    # ------------------------------------------------------------------
+    @property
+    def coords(self) -> PointArray:
+        """Member coordinates as an ``(n, 2)`` array (lazily built)."""
+        if self._coords is None:
+            if self._members:
+                self._coords = np.array([(p.x, p.y) for p in self._members], dtype=np.float64)
+            else:
+                self._coords = np.empty((0, 2), dtype=np.float64)
+        return self._coords
+
+    def distance_to_nearest_member(self, q: Point) -> float:
+        """Distance from ``q`` to the member closest to ``q``.
+
+        This is the Counting algorithm's *search threshold*: the distance from
+        an outer point ``e1`` to the nearest point in the neighborhood of the
+        select's focal point.
+        """
+        if not self._members:
+            raise InvalidParameterError("empty neighborhood")
+        return float(distances_to_point(self.coords, q).min())
+
+    def distance_to_farthest_member(self, q: Point) -> float:
+        """Distance from ``q`` to the member farthest from ``q``.
+
+        This is the 2-kNN-select algorithm's search threshold (the paper's
+        ``nbr1.farthestTof2``).
+        """
+        if not self._members:
+            raise InvalidParameterError("empty neighborhood")
+        return float(distances_to_point(self.coords, q).max())
+
+    def farthest_member_from(self, q: Point) -> Point:
+        """The member that is farthest from ``q``."""
+        if not self._members:
+            raise InvalidParameterError("empty neighborhood")
+        dists = distances_to_point(self.coords, q)
+        return self._members[int(dists.argmax())]
+
+    # ------------------------------------------------------------------
+    # Set operations
+    # ------------------------------------------------------------------
+    def intersection(self, other: "Neighborhood") -> list[Point]:
+        """The paper's ``intersect(P, Q)``: members common to both neighborhoods.
+
+        Points are matched by ``pid`` and returned in this neighborhood's
+        distance order.
+        """
+        other_pids = other._pid_set
+        return [p for p in self._members if p.pid in other_pids]
+
+    def intersection_pids(self, other: "Neighborhood") -> frozenset[int]:
+        """Identifiers common to both neighborhoods."""
+        return self._pid_set & other._pid_set
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Neighborhood(center={self.center!r}, k={self.k}, size={len(self._members)})"
+        )

@@ -1,0 +1,67 @@
+"""The kNN-join operator ``E1 join_kNN E2``.
+
+``E1 join_kNN E2`` returns all pairs ``(e1, e2)`` with ``e1 in E1``, ``e2 in
+E2`` and ``e2`` among the k closest points of ``E2`` to ``e1`` (Section 1).
+The operator is *not* symmetric: the outer relation drives the per-point
+neighborhood computations against the inner relation's index.
+
+This module provides the straightforward evaluation (one ``getkNN`` per outer
+point); the optimized algorithms of the paper reuse it as their inner building
+block but avoid calling it for outer points or blocks they can prove will not
+contribute to the final query answer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.index.base import SpatialIndex
+from repro.locality.knn import get_knn
+from repro.locality.neighborhood import Neighborhood
+from repro.operators.results import JoinPair
+
+__all__ = ["knn_join", "knn_join_pairs"]
+
+
+def knn_join(
+    outer: Iterable[Point],
+    inner_index: SpatialIndex,
+    k: int,
+    knn: Callable[[SpatialIndex, Point, int], Neighborhood] = get_knn,
+) -> Iterator[tuple[Point, Neighborhood]]:
+    """Lazily yield ``(e1, neighborhood-of-e1-in-E2)`` for every outer point.
+
+    Yielding the whole neighborhood (instead of flat pairs) lets callers reuse
+    it — e.g. the chained-join Nested Join plan probes a cache keyed by the
+    inner point before computing the next-level neighborhood.
+
+    Parameters
+    ----------
+    outer:
+        The outer relation ``E1``.
+    inner_index:
+        Spatial index over the inner relation ``E2``.
+    k:
+        The join's k value.
+    knn:
+        The kNN primitive to use; injectable for testing and ablations.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    for e1 in outer:
+        yield e1, knn(inner_index, e1, k)
+
+
+def knn_join_pairs(
+    outer: Iterable[Point],
+    inner_index: SpatialIndex,
+    k: int,
+    knn: Callable[[SpatialIndex, Point, int], Neighborhood] = get_knn,
+) -> list[JoinPair]:
+    """Materialize ``E1 join_kNN E2`` as a list of :class:`JoinPair` rows."""
+    pairs: list[JoinPair] = []
+    for e1, nbr in knn_join(outer, inner_index, k, knn=knn):
+        pairs.extend(JoinPair(e1, e2) for e2 in nbr)
+    return pairs

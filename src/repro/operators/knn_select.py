@@ -1,0 +1,39 @@
+"""The kNN-select operator ``sigma_{k,f}(E)``.
+
+For a focal point ``f``, the operator returns the k points of ``E`` closest to
+``f`` — i.e. it is simply the neighborhood of ``f`` in ``E`` (Section 1 of the
+paper).
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.index.base import SpatialIndex
+from repro.locality.knn import get_knn
+from repro.locality.neighborhood import Neighborhood
+
+__all__ = ["knn_select"]
+
+
+def knn_select(index: SpatialIndex, focal: Point, k: int) -> Neighborhood:
+    """Evaluate ``sigma_{k, focal}(E)`` where ``E`` is the data behind ``index``.
+
+    Parameters
+    ----------
+    index:
+        Spatial index over the relation ``E``.
+    focal:
+        The focal point ``f`` of the selection.
+    k:
+        Number of nearest neighbors to select.
+
+    Returns
+    -------
+    Neighborhood
+        The k points of ``E`` nearest to ``focal`` in ``(distance, pid)``
+        order.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    return get_knn(index, focal, k)

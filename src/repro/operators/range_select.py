@@ -1,0 +1,58 @@
+"""Range-select operators (rectangular window and circular range).
+
+Footnote 1 of the paper notes that the select-below-inner-join pitfall "exists
+if the selection is a spatial range (e.g., rectangle), or a relational
+attribute-based selection" as well.  These operators provide the range
+flavors; :mod:`repro.core.select_join.range_inner` adapts the Block-Marking
+idea to them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import SpatialIndex
+
+__all__ = ["range_select", "radius_select"]
+
+
+def range_select(index: SpatialIndex, window: Rect) -> list[Point]:
+    """Return every indexed point inside the rectangular ``window``.
+
+    Blocks whose rectangle does not intersect the window are skipped without
+    looking at their points; blocks fully contained in the window contribute
+    all their points without per-point tests.
+    """
+    result: list[Point] = []
+    for block in index.blocks:
+        if block.is_empty or not block.rect.intersects(window):
+            continue
+        if window.contains_rect(block.rect):
+            result.extend(block.points)
+        else:
+            result.extend(p for p in block if window.contains_point(p))
+    return result
+
+
+def radius_select(index: SpatialIndex, center: Point, radius: float) -> list[Point]:
+    """Return every indexed point within ``radius`` of ``center`` (closed ball).
+
+    Uses MINDIST/MAXDIST to skip blocks entirely outside the ball and to take
+    blocks entirely inside it without per-point distance tests.
+    """
+    if radius < 0:
+        raise InvalidParameterError("radius must be non-negative")
+    result: list[Point] = []
+    for block in index.blocks:
+        if block.is_empty:
+            continue
+        if block.mindist(center) > radius:
+            continue
+        if block.maxdist(center) <= radius:
+            result.extend(block.points)
+        else:
+            result.extend(p for p in block if p.distance_to(center) <= radius)
+    return result

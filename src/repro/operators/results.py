@@ -1,0 +1,49 @@
+"""Result row types produced by joins and multi-predicate queries."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.geometry.point import Point
+
+__all__ = ["JoinPair", "JoinTriplet", "pair_key", "triplet_key"]
+
+
+class JoinPair(NamedTuple):
+    """One output row of a kNN-join: ``inner`` is a k-nearest neighbor of ``outer``."""
+
+    outer: Point
+    inner: Point
+
+    @property
+    def pids(self) -> tuple[int, int]:
+        """The ``(outer pid, inner pid)`` identifier pair."""
+        return (self.outer.pid, self.inner.pid)
+
+    @property
+    def distance(self) -> float:
+        """Distance between the two points of the pair."""
+        return self.outer.distance_to(self.inner)
+
+
+class JoinTriplet(NamedTuple):
+    """One output row of a two-join query over relations A, B and C."""
+
+    a: Point
+    b: Point
+    c: Point
+
+    @property
+    def pids(self) -> tuple[int, int, int]:
+        """The ``(a pid, b pid, c pid)`` identifier triple."""
+        return (self.a.pid, self.b.pid, self.c.pid)
+
+
+def pair_key(pair: JoinPair) -> tuple[int, int]:
+    """Canonical identifier key of a pair (for set comparisons and sorting)."""
+    return pair.pids
+
+
+def triplet_key(triplet: JoinTriplet) -> tuple[int, int, int]:
+    """Canonical identifier key of a triplet (for set comparisons and sorting)."""
+    return triplet.pids

@@ -1,0 +1,61 @@
+"""Query planning for two-kNN-predicate queries.
+
+The planner mirrors the paper's reasoning:
+
+* :mod:`repro.planner.plan` — a small logical-plan algebra (relations,
+  kNN-selects, kNN-joins, intersections) used to describe QEPs explicitly.
+* :mod:`repro.planner.rules` — the validity rules of Sections 1, 3, 4 and 5:
+  which push-downs and orderings preserve the query answer and which do not.
+* :mod:`repro.planner.cost` — a coarse cost model that counts the expensive
+  unit of work (neighborhood computations) each strategy would perform.
+* :mod:`repro.planner.optimizer` — picks the physical algorithm for each of
+  the paper's query classes (Counting vs Block-Marking, unchained join order,
+  chained-join caching, 2-kNN-select ordering).
+"""
+
+from repro.planner.plan import (
+    PlanNode,
+    RelationNode,
+    KnnSelectNode,
+    KnnJoinNode,
+    IntersectNode,
+    IntersectOnInnerNode,
+    explain,
+)
+from repro.planner.rules import (
+    can_push_select_below_outer,
+    can_push_select_below_inner,
+    chained_plans_equivalent,
+    unchained_requires_independent_joins,
+    two_selects_require_independent_evaluation,
+    validate_plan,
+)
+from repro.planner.cost import CostModel, CostEstimate
+from repro.planner.optimizer import (
+    SelectJoinStrategy,
+    choose_select_join_strategy,
+    choose_two_select_order,
+    Optimizer,
+)
+
+__all__ = [
+    "PlanNode",
+    "RelationNode",
+    "KnnSelectNode",
+    "KnnJoinNode",
+    "IntersectNode",
+    "IntersectOnInnerNode",
+    "explain",
+    "can_push_select_below_outer",
+    "can_push_select_below_inner",
+    "chained_plans_equivalent",
+    "unchained_requires_independent_joins",
+    "two_selects_require_independent_evaluation",
+    "validate_plan",
+    "CostModel",
+    "CostEstimate",
+    "SelectJoinStrategy",
+    "choose_select_join_strategy",
+    "choose_two_select_order",
+    "Optimizer",
+]

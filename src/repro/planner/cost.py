@@ -1,0 +1,119 @@
+"""A coarse cost model for choosing among the paper's algorithms.
+
+The dominant cost of every strategy is the number of neighborhood (``getkNN``)
+computations it performs, optionally weighted by the expected locality size.
+The model does not try to predict wall-clock time; it ranks strategies, which
+is all the optimizer needs (Section 3.3's "Counting vs Block-Marking"
+discussion is exactly such a ranking argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.index.base import SpatialIndex
+from repro.index.stats import IndexStats
+
+__all__ = ["CostEstimate", "CostModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class CostEstimate:
+    """Estimated work of one strategy, in abstract units."""
+
+    strategy: str
+    neighborhood_computations: float
+    per_tuple_overhead: float = 0.0
+    per_block_overhead: float = 0.0
+
+    @property
+    def total(self) -> float:
+        """Total abstract cost."""
+        return self.neighborhood_computations + self.per_tuple_overhead + self.per_block_overhead
+
+
+class CostModel:
+    """Ranks the paper's strategies using simple block statistics.
+
+    Parameters
+    ----------
+    prune_selectivity:
+        Expected fraction of outer points whose neighborhoods overlap the
+        selection result (i.e. survive pruning).  The true value depends on
+        data and k; the default is deliberately pessimistic so that the model
+        never underestimates the optimized algorithms' work.
+    block_check_cost:
+        Relative cost of one per-block preprocessing check (one center
+        neighborhood computation) compared to one point neighborhood
+        computation.
+    tuple_check_cost:
+        Relative cost of the Counting algorithm's per-tuple MAXDIST scan
+        compared to one neighborhood computation.
+    """
+
+    def __init__(
+        self,
+        prune_selectivity: float = 0.05,
+        block_check_cost: float = 1.0,
+        tuple_check_cost: float = 0.15,
+    ) -> None:
+        self.prune_selectivity = prune_selectivity
+        self.block_check_cost = block_check_cost
+        self.tuple_check_cost = tuple_check_cost
+
+    # ------------------------------------------------------------------
+    # Select (inner) + join strategies — Section 3
+    # ------------------------------------------------------------------
+    def baseline_select_join(self, outer_size: int) -> CostEstimate:
+        """Conceptually correct QEP: one neighborhood per outer point."""
+        return CostEstimate("baseline", neighborhood_computations=float(outer_size))
+
+    def counting_select_join(self, outer_size: int) -> CostEstimate:
+        """Counting: per-tuple block scan plus neighborhoods for survivors."""
+        survivors = outer_size * self.prune_selectivity
+        return CostEstimate(
+            "counting",
+            neighborhood_computations=survivors,
+            per_tuple_overhead=outer_size * self.tuple_check_cost,
+        )
+
+    def block_marking_select_join(self, outer_index: SpatialIndex) -> CostEstimate:
+        """Block-Marking: per-block checks plus neighborhoods in surviving blocks."""
+        stats = IndexStats.from_index(outer_index)
+        survivors = outer_index.num_points * self.prune_selectivity
+        return CostEstimate(
+            "block_marking",
+            neighborhood_computations=survivors,
+            per_block_overhead=stats.num_nonempty_blocks * self.block_check_cost,
+        )
+
+    # ------------------------------------------------------------------
+    # Chained joins — Section 4.2
+    # ------------------------------------------------------------------
+    def chained_qep2(self, a_size: int, b_size: int) -> CostEstimate:
+        """Join Intersection: every A point and every B point gets a neighborhood."""
+        return CostEstimate("qep2_join_intersection", neighborhood_computations=float(a_size + b_size))
+
+    def chained_nested(self, a_size: int, k_ab: int, distinct_fraction: float = 0.6) -> CostEstimate:
+        """Nested Join with cache: A neighborhoods plus one per *distinct* matched B point."""
+        matched_b = a_size * k_ab * distinct_fraction
+        return CostEstimate("qep3_nested_cached", neighborhood_computations=float(a_size + matched_b))
+
+    # ------------------------------------------------------------------
+    # Two selects — Section 5
+    # ------------------------------------------------------------------
+    def two_selects_baseline(self, index: SpatialIndex, k1: int, k2: int) -> CostEstimate:
+        """Both localities built in full; cost grows with max(k1, k2)."""
+        stats = IndexStats.from_index(index)
+        avg_per_block = max(stats.mean_points_per_nonempty_block, 1.0)
+        blocks_needed = (k1 + k2) / avg_per_block
+        return CostEstimate("two_selects_baseline", neighborhood_computations=2.0,
+                            per_block_overhead=blocks_needed)
+
+    def two_selects_optimized(self, index: SpatialIndex, k1: int, k2: int) -> CostEstimate:
+        """Procedure 5: the larger select's locality shrinks to the smaller's extent."""
+        stats = IndexStats.from_index(index)
+        avg_per_block = max(stats.mean_points_per_nonempty_block, 1.0)
+        blocks_needed = 2.0 * min(k1, k2) / avg_per_block
+        return CostEstimate("two_selects_optimized", neighborhood_computations=2.0,
+                            per_block_overhead=blocks_needed)

@@ -1,0 +1,120 @@
+"""Physical-strategy selection for the paper's query classes.
+
+The optimizer applies the paper's qualitative guidance:
+
+* **Counting vs Block-Marking** (Section 3.3): Counting wins when the outer
+  relation is small/sparse (the per-block preprocessing would not pay off);
+  Block-Marking wins when the outer relation is dense, because whole blocks
+  are excluded from the join.
+* **Unchained join order** (Section 4.1.2): start with the more clustered
+  outer relation (smaller cluster coverage) so that more blocks of the shared
+  inner relation stay Safe.
+* **Chained joins**: the Nested Join plan with the neighborhood cache
+  dominates QEP1/QEP2 (Section 4.2.1, Figures 24–25) and is always chosen.
+* **Two selects**: evaluate the smaller-k predicate first (Procedure 5 swaps
+  internally, so the optimizer only reports the order for explanation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.index.base import SpatialIndex
+from repro.index.stats import IndexStats
+from repro.planner.cost import CostModel
+
+__all__ = [
+    "SelectJoinStrategy",
+    "choose_select_join_strategy",
+    "choose_two_select_order",
+    "Optimizer",
+]
+
+
+class SelectJoinStrategy(str, Enum):
+    """Physical strategies for a kNN-select on the inner relation of a kNN-join."""
+
+    BASELINE = "baseline"
+    COUNTING = "counting"
+    BLOCK_MARKING = "block_marking"
+
+
+def choose_select_join_strategy(
+    outer_index: SpatialIndex,
+    dense_points_per_block: float = 24.0,
+) -> SelectJoinStrategy:
+    """Pick Counting or Block-Marking from the outer relation's density.
+
+    The decision statistic is the mean number of points per non-empty outer
+    block: above ``dense_points_per_block`` the per-block preprocessing of
+    Block-Marking amortizes well (whole blocks are pruned); below it the
+    Counting algorithm's per-tuple check is cheaper overall.  This mirrors the
+    crossover shown in Figures 20–21.
+    """
+    stats = IndexStats.from_index(outer_index)
+    if stats.mean_points_per_nonempty_block >= dense_points_per_block:
+        return SelectJoinStrategy.BLOCK_MARKING
+    return SelectJoinStrategy.COUNTING
+
+
+def choose_two_select_order(k1: int, k2: int) -> tuple[int, int]:
+    """Return the (first, second) predicate indices (0/1) for two kNN-selects.
+
+    The predicate with the smaller k is evaluated first; its neighborhood then
+    bounds the locality of the larger-k predicate (Procedure 5).
+    """
+    return (0, 1) if k1 <= k2 else (1, 0)
+
+
+@dataclass
+class Optimizer:
+    """Facade bundling the per-query-class decisions with a cost model.
+
+    The cost model is exposed for explanation purposes (``explain_*`` methods
+    return both the chosen strategy and the estimates that justified it).
+    """
+
+    cost_model: CostModel | None = None
+    dense_points_per_block: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.cost_model is None:
+            self.cost_model = CostModel()
+
+    # ------------------------------------------------------------------
+    # Section 3: select (inner) + join
+    # ------------------------------------------------------------------
+    def select_join_strategy(self, outer_index: SpatialIndex) -> SelectJoinStrategy:
+        """Strategy for a kNN-select on the inner relation of a kNN-join."""
+        return choose_select_join_strategy(outer_index, self.dense_points_per_block)
+
+    def explain_select_join(self, outer_index: SpatialIndex) -> dict[str, object]:
+        """Chosen strategy plus the cost estimates for every alternative."""
+        assert self.cost_model is not None
+        strategy = self.select_join_strategy(outer_index)
+        outer_size = outer_index.num_points
+        return {
+            "strategy": strategy,
+            "estimates": {
+                "baseline": self.cost_model.baseline_select_join(outer_size),
+                "counting": self.cost_model.counting_select_join(outer_size),
+                "block_marking": self.cost_model.block_marking_select_join(outer_index),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Section 4.1: unchained joins
+    # ------------------------------------------------------------------
+    def unchained_first_join(self, a_index: SpatialIndex, c_index: SpatialIndex) -> str:
+        """``"A"`` or ``"C"``: which outer relation's join to evaluate first."""
+        a_stats = IndexStats.from_index(a_index)
+        c_stats = IndexStats.from_index(c_index)
+        return "C" if c_stats.clustering_ratio > a_stats.clustering_ratio else "A"
+
+    # ------------------------------------------------------------------
+    # Section 5: two selects
+    # ------------------------------------------------------------------
+    def two_select_order(self, k1: int, k2: int) -> tuple[int, int]:
+        """Evaluation order of two kNN-select predicates (smaller k first)."""
+        return choose_two_select_order(k1, k2)

@@ -1,0 +1,132 @@
+"""Logical query-plan nodes for spatial queries with kNN predicates.
+
+The nodes model exactly the operators that appear in the paper's QEP figures:
+base relations, kNN-selects, kNN-joins, point-set intersection and the ``∩B``
+pair intersection.  They carry no data — they describe *structure*, which the
+rules module inspects to accept or reject a plan and which ``explain`` renders
+for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.exceptions import PlanError
+from repro.geometry.point import Point
+
+__all__ = [
+    "PlanNode",
+    "RelationNode",
+    "KnnSelectNode",
+    "KnnJoinNode",
+    "IntersectNode",
+    "IntersectOnInnerNode",
+    "explain",
+]
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """Base class of all logical plan nodes."""
+
+    def children(self) -> tuple["PlanNode", ...]:
+        """The node's child operators (empty for leaves)."""
+        return ()
+
+    def walk(self) -> Iterator["PlanNode"]:
+        """Pre-order traversal of the plan tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def label(self) -> str:
+        """Short human-readable label used by :func:`explain`."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class RelationNode(PlanNode):
+    """A base relation (a named point set)."""
+
+    name: str
+
+    def label(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class KnnSelectNode(PlanNode):
+    """``sigma_{k, focal}(child)`` — a kNN-select over its child."""
+
+    child: PlanNode
+    focal: Point
+    k: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise PlanError("kNN-select requires k > 0")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+    def label(self) -> str:
+        suffix = f" [{self.name}]" if self.name else ""
+        return f"kNN-select(k={self.k}){suffix}"
+
+
+@dataclass(frozen=True)
+class KnnJoinNode(PlanNode):
+    """``outer join_kNN inner`` — pairs each outer point with its k inner neighbors."""
+
+    outer: PlanNode
+    inner: PlanNode
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise PlanError("kNN-join requires k > 0")
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.outer, self.inner)
+
+    def label(self) -> str:
+        return f"kNN-join(k={self.k})"
+
+
+@dataclass(frozen=True)
+class IntersectNode(PlanNode):
+    """Plain set intersection of two point-producing subplans."""
+
+    left: PlanNode
+    right: PlanNode
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return "∩"
+
+
+@dataclass(frozen=True)
+class IntersectOnInnerNode(PlanNode):
+    """The paper's ``∩B``: intersect two pair sets on their shared inner relation."""
+
+    left: PlanNode
+    right: PlanNode
+    shared: str = "B"
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.left, self.right)
+
+    def label(self) -> str:
+        return f"∩_{self.shared}"
+
+
+def explain(plan: PlanNode, indent: int = 0) -> str:
+    """Render ``plan`` as an indented single-string tree (one node per line)."""
+    lines = ["  " * indent + plan.label()]
+    for child in plan.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Validity rules for plans containing two kNN predicates.
+
+These rules encode the paper's correctness results:
+
+* A kNN-select may be pushed below the **outer** relation of a kNN-join
+  (Section 3, Figure 3) — the transformation preserves the answer.
+* A kNN-select may **not** be pushed below the **inner** relation of a
+  kNN-join (Section 1, Figures 1–2) — the join would see a truncated inner
+  relation.
+* Two **unchained** kNN-joins must be evaluated independently and intersected
+  on the shared inner relation (Section 4.1, Figures 8–10); feeding either
+  join's output into the other is invalid.
+* Two **chained** kNN-joins may be evaluated in any of the three QEPs of
+  Figure 13 (they are equivalent).
+* Two kNN-selects must each be evaluated against the full relation and then
+  intersected (Section 5, Figures 14–16).
+
+``validate_plan`` walks a logical plan tree and raises
+:class:`~repro.exceptions.InvalidPlanError` when it finds the invalid
+select-below-inner pattern.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import InvalidPlanError
+from repro.planner.plan import KnnJoinNode, KnnSelectNode, PlanNode
+
+__all__ = [
+    "can_push_select_below_outer",
+    "can_push_select_below_inner",
+    "chained_plans_equivalent",
+    "unchained_requires_independent_joins",
+    "two_selects_require_independent_evaluation",
+    "validate_plan",
+]
+
+
+def can_push_select_below_outer() -> bool:
+    """A kNN-select on the outer relation of a kNN-join may be pushed down.
+
+    ``(E1 ⋈kNN E2) ∩ (σ(E1) × E2) ≡ σ(E1) ⋈kNN E2`` — outer points removed by
+    the selection could only have produced pairs that the final filter would
+    discard anyway.
+    """
+    return True
+
+
+def can_push_select_below_inner() -> bool:
+    """A kNN-select on the inner relation of a kNN-join may NOT be pushed down.
+
+    Pushing it truncates the inner relation, so outer points join against a
+    reduced point set and the k nearest neighbors change:
+    ``(E1 ⋈kNN E2) ∩ (E1 × σ(E2)) ≢ E1 ⋈kNN σ(E2)``.
+    """
+    return False
+
+
+def chained_plans_equivalent() -> bool:
+    """The three chained-join QEPs of Figure 13 produce identical answers.
+
+    ``(A ⋈ B) ∩ (B ⋈ C) ≡ (A ⋈ B) ⋈ C ≡ A ⋈ (B ⋈ C)`` because the first join
+    acts as a selection on the *outer* relation of the second join, which is a
+    valid push-down.
+    """
+    return True
+
+
+def unchained_requires_independent_joins() -> bool:
+    """Unchained joins must be evaluated independently and intersected on B.
+
+    Evaluating either join first and feeding its output to the other is
+    equivalent to pushing a selection below the inner relation of a kNN-join,
+    which is invalid.
+    """
+    return True
+
+
+def two_selects_require_independent_evaluation() -> bool:
+    """Two kNN-selects must each see the full relation before intersecting."""
+    return True
+
+
+def _is_relation_restricted_by_select(node: PlanNode) -> bool:
+    """True when ``node`` is (or wraps) a kNN-select restricting a relation."""
+    return isinstance(node, KnnSelectNode)
+
+
+def validate_plan(plan: PlanNode) -> None:
+    """Reject plans that apply a kNN-select below a kNN-join's inner relation.
+
+    Raises
+    ------
+    InvalidPlanError
+        If any kNN-join in the plan has a kNN-select (directly) as its inner
+        input, which Section 1 of the paper proves changes the query answer.
+    """
+    for node in plan.walk():
+        if isinstance(node, KnnJoinNode) and _is_relation_restricted_by_select(node.inner):
+            raise InvalidPlanError(
+                "invalid QEP: a kNN-select may not be pushed below the inner "
+                "relation of a kNN-join (the join would see a truncated inner "
+                "relation); evaluate the join first and filter its output, or "
+                "use the Counting / Block-Marking algorithms"
+            )

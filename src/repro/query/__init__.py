@@ -1,0 +1,46 @@
+"""The user-facing declarative query API.
+
+Typical use::
+
+    from repro import Dataset, Query, KnnSelect, KnnJoin, Point
+
+    hotels = Dataset.from_points("hotels", hotel_points)
+    shops = Dataset.from_points("shops", shop_points)
+
+    query = Query(
+        KnnJoin(outer="shops", inner="hotels", k=2),
+        KnnSelect(relation="hotels", focal=Point(3.0, 4.0), k=2),
+    )
+    result = query.run({"shops": shops, "hotels": hotels})
+    for pair in result.pairs:
+        ...
+
+``Query.run`` classifies the predicate combination (two selects, select +
+join on the inner/outer relation, chained or unchained joins), validates it
+against the paper's correctness rules, asks the optimizer for the physical
+strategy and executes it.
+"""
+
+from repro.query.dataset import Dataset
+from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+from repro.query.results import QueryResult
+from repro.query.query import Query
+from repro.query.io import (
+    load_points_csv,
+    save_points_csv,
+    save_pairs_csv,
+    save_triplets_csv,
+)
+
+__all__ = [
+    "Dataset",
+    "KnnJoin",
+    "KnnSelect",
+    "RangeSelect",
+    "QueryResult",
+    "Query",
+    "load_points_csv",
+    "save_points_csv",
+    "save_pairs_csv",
+    "save_triplets_csv",
+]

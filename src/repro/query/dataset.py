@@ -1,0 +1,133 @@
+"""The ``Dataset`` wrapper: a named point set plus its spatial index."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Literal, Sequence
+
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.base import SpatialIndex
+from repro.index.grid import GridIndex
+from repro.index.quadtree import QuadtreeIndex
+from repro.index.rtree import RTreeIndex
+from repro.index.stats import IndexStats
+
+__all__ = ["Dataset"]
+
+IndexKind = Literal["grid", "quadtree", "rtree"]
+
+_INDEX_BUILDERS: dict[str, Callable[..., SpatialIndex]] = {
+    "grid": GridIndex,
+    "quadtree": QuadtreeIndex,
+    "rtree": RTreeIndex,
+}
+
+
+class Dataset:
+    """A named relation of 2-D points with a lazily built spatial index.
+
+    Parameters
+    ----------
+    name:
+        Relation name used to refer to this dataset in query predicates.
+    points:
+        The relation's points.  Points should carry unique ``pid`` values; use
+        :meth:`from_points` to assign them automatically when absent.
+    index_kind:
+        Which index to build (``"grid"``, ``"quadtree"`` or ``"rtree"``); the
+        paper's evaluation uses the grid.
+    bounds:
+        Optional shared extent.  Give several datasets the same bounds when
+        they should share a grid decomposition (e.g. relations of one query).
+    index_options:
+        Extra keyword arguments forwarded to the index constructor.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        points: Sequence[Point],
+        index_kind: IndexKind = "grid",
+        bounds: Rect | None = None,
+        **index_options: object,
+    ) -> None:
+        if not name:
+            raise InvalidParameterError("dataset name must be non-empty")
+        if not points:
+            raise EmptyDatasetError(f"dataset {name!r} has no points")
+        if index_kind not in _INDEX_BUILDERS:
+            raise InvalidParameterError(f"unknown index kind: {index_kind!r}")
+        self.name = name
+        self._points: tuple[Point, ...] = tuple(points)
+        self._index_kind: IndexKind = index_kind
+        self._bounds = bounds
+        self._index_options = dict(index_options)
+        self._index: SpatialIndex | None = None
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_points(
+        cls,
+        name: str,
+        points: Iterable[Point | tuple[float, float]],
+        index_kind: IndexKind = "grid",
+        bounds: Rect | None = None,
+        start_pid: int = 0,
+        **index_options: object,
+    ) -> "Dataset":
+        """Build a dataset, assigning fresh ``pid`` values when missing.
+
+        Plain coordinate tuples are accepted and converted to points.
+        """
+        normalized: list[Point] = []
+        pid = start_pid
+        for item in points:
+            if isinstance(item, Point):
+                if item.pid >= 0:
+                    normalized.append(item)
+                else:
+                    normalized.append(Point(item.x, item.y, pid, item.payload))
+                    pid += 1
+            else:
+                x, y = item
+                normalized.append(Point(float(x), float(y), pid))
+                pid += 1
+        return cls(name, normalized, index_kind=index_kind, bounds=bounds, **index_options)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def points(self) -> tuple[Point, ...]:
+        """The relation's points."""
+        return self._points
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def index(self) -> SpatialIndex:
+        """The dataset's spatial index (built on first access)."""
+        if self._index is None:
+            builder = _INDEX_BUILDERS[self._index_kind]
+            options = dict(self._index_options)
+            if self._bounds is not None and self._index_kind in ("grid", "quadtree"):
+                options["bounds"] = self._bounds
+            self._index = builder(self._points, **options)
+        return self._index
+
+    @property
+    def index_kind(self) -> IndexKind:
+        """Which index structure backs this dataset."""
+        return self._index_kind
+
+    @property
+    def stats(self) -> IndexStats:
+        """Block statistics of the dataset's index."""
+        return IndexStats.from_index(self.index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Dataset(name={self.name!r}, points={len(self._points)}, index={self._index_kind})"

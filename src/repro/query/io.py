@@ -1,0 +1,99 @@
+"""CSV import/export for datasets and query results.
+
+Real deployments rarely start from a generator: points arrive as CSV exports
+of a GPS log or a POI database.  These helpers move data in and out of the
+library without any dependency beyond the standard library:
+
+* :func:`load_points_csv` / :func:`save_points_csv` — point relations with
+  ``id,x,y`` columns (extra columns are preserved in the point payload).
+* :func:`save_pairs_csv` / :func:`save_triplets_csv` — join results.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.operators.results import JoinPair, JoinTriplet
+
+__all__ = [
+    "load_points_csv",
+    "save_points_csv",
+    "save_pairs_csv",
+    "save_triplets_csv",
+]
+
+
+def load_points_csv(
+    path: str | Path,
+    id_column: str = "id",
+    x_column: str = "x",
+    y_column: str = "y",
+) -> list[Point]:
+    """Load a point relation from a CSV file with a header row.
+
+    The ``id`` column is optional: when missing, sequential identifiers are
+    assigned in file order.  Any remaining columns are stored in the point's
+    payload as a dictionary.
+    """
+    path = Path(path)
+    points: list[Point] = []
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise InvalidParameterError(f"{path} has no header row")
+        if x_column not in reader.fieldnames or y_column not in reader.fieldnames:
+            raise InvalidParameterError(
+                f"{path} must have {x_column!r} and {y_column!r} columns, "
+                f"found {reader.fieldnames}"
+            )
+        has_id = id_column in reader.fieldnames
+        for i, row in enumerate(reader):
+            pid = int(row[id_column]) if has_id and row[id_column] != "" else i
+            extras = {
+                key: value
+                for key, value in row.items()
+                if key not in (id_column, x_column, y_column)
+            }
+            points.append(
+                Point(float(row[x_column]), float(row[y_column]), pid, payload=extras or None)
+            )
+    return points
+
+
+def save_points_csv(points: Iterable[Point], path: str | Path) -> int:
+    """Write a point relation as ``id,x,y`` CSV; returns the number of rows."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["id", "x", "y"])
+        for p in points:
+            writer.writerow([p.pid, repr(p.x), repr(p.y)])
+            count += 1
+    return count
+
+
+def save_pairs_csv(pairs: Sequence[JoinPair], path: str | Path) -> int:
+    """Write kNN-join pairs as ``outer_id,inner_id,distance`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["outer_id", "inner_id", "distance"])
+        for pair in pairs:
+            writer.writerow([pair.outer.pid, pair.inner.pid, repr(pair.distance)])
+    return len(pairs)
+
+
+def save_triplets_csv(triplets: Sequence[JoinTriplet], path: str | Path) -> int:
+    """Write two-join triplets as ``a_id,b_id,c_id`` CSV."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["a_id", "b_id", "c_id"])
+        for triplet in triplets:
+            writer.writerow([triplet.a.pid, triplet.b.pid, triplet.c.pid])
+    return len(triplets)

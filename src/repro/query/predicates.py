@@ -1,0 +1,62 @@
+"""Declarative predicates referenced by relation name."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+__all__ = ["KnnSelect", "KnnJoin", "RangeSelect"]
+
+
+@dataclass(frozen=True, slots=True)
+class KnnSelect:
+    """``sigma_{k, focal}(relation)`` — keep the k points nearest to ``focal``."""
+
+    relation: str
+    focal: Point
+    k: int
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise InvalidParameterError("KnnSelect.relation must be non-empty")
+        if self.k <= 0:
+            raise InvalidParameterError("KnnSelect.k must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class RangeSelect:
+    """``range_{window}(relation)`` — keep the points inside a rectangular window.
+
+    Footnote 1 of the paper: a spatial-range selection interacts with a
+    kNN-join exactly like a kNN-select does — pushing it below the join's
+    inner relation is invalid.  The query dispatcher therefore treats a
+    ``RangeSelect`` on the inner relation with the same machinery (baseline
+    plan or the Block-Marking-style pruned plan).
+    """
+
+    relation: str
+    window: Rect
+
+    def __post_init__(self) -> None:
+        if not self.relation:
+            raise InvalidParameterError("RangeSelect.relation must be non-empty")
+
+
+@dataclass(frozen=True, slots=True)
+class KnnJoin:
+    """``outer join_kNN inner`` — pair each outer point with its k nearest inner points."""
+
+    outer: str
+    inner: str
+    k: int
+
+    def __post_init__(self) -> None:
+        if not self.outer or not self.inner:
+            raise InvalidParameterError("KnnJoin.outer and KnnJoin.inner must be non-empty")
+        if self.outer == self.inner:
+            raise InvalidParameterError("KnnJoin requires two distinct relations")
+        if self.k <= 0:
+            raise InvalidParameterError("KnnJoin.k must be positive")

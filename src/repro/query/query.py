@@ -1,0 +1,358 @@
+"""The ``Query`` dispatcher: classify, validate, optimize and execute.
+
+A query holds one or two kNN predicates over named relations.  ``run`` maps
+the predicate combination onto one of the paper's query classes, checks the
+combination against the correctness rules, lets the optimizer pick a physical
+algorithm (unless the caller forces one) and executes it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.select_join.baseline import select_join_baseline
+from repro.core.select_join.block_marking import select_join_block_marking
+from repro.core.select_join.counting import select_join_counting
+from repro.core.select_join.outer_select import outer_select_join_pushdown
+from repro.core.stats import PruningStats
+from repro.core.two_joins.chained import chained_joins_nested
+from repro.core.two_joins.unchained import (
+    unchained_joins_auto,
+    unchained_joins_baseline,
+)
+from repro.core.two_selects.baseline import two_knn_selects_baseline
+from repro.core.two_selects.optimized import two_knn_selects_optimized
+from repro.core.select_join.range_inner import (
+    range_inner_join_baseline,
+    range_inner_join_block_marking,
+)
+from repro.exceptions import InvalidParameterError, UnsupportedQueryError
+from repro.operators.intersection import intersect_points
+from repro.operators.knn_join import knn_join_pairs
+from repro.operators.knn_select import knn_select
+from repro.operators.range_select import range_select
+from repro.planner.optimizer import Optimizer, SelectJoinStrategy
+from repro.query.dataset import Dataset
+from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+from repro.query.results import QueryResult
+
+__all__ = ["Query"]
+
+Predicate = KnnSelect | KnnJoin | RangeSelect
+
+
+class Query:
+    """A spatial query made of one or two kNN predicates.
+
+    Parameters
+    ----------
+    *predicates:
+        One or two :class:`KnnSelect` / :class:`KnnJoin` predicates.
+    strategy:
+        ``"auto"`` (default) lets the optimizer choose the paper's optimized
+        algorithm; ``"baseline"`` forces the conceptually correct QEP;
+        ``"counting"`` / ``"block_marking"`` force a specific select+join
+        algorithm.
+    optimizer:
+        Optional custom :class:`~repro.planner.optimizer.Optimizer`.
+    """
+
+    def __init__(
+        self,
+        *predicates: Predicate,
+        strategy: str = "auto",
+        optimizer: Optimizer | None = None,
+    ) -> None:
+        if not 1 <= len(predicates) <= 2:
+            raise UnsupportedQueryError("a query must have one or two kNN predicates")
+        for predicate in predicates:
+            if not isinstance(predicate, (KnnSelect, KnnJoin, RangeSelect)):
+                raise InvalidParameterError(f"unsupported predicate: {predicate!r}")
+        if strategy not in ("auto", "baseline", "counting", "block_marking"):
+            raise InvalidParameterError(f"unknown strategy: {strategy!r}")
+        self.predicates: tuple[Predicate, ...] = tuple(predicates)
+        self.strategy = strategy
+        self.optimizer = optimizer or Optimizer()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, datasets: Mapping[str, Dataset]) -> QueryResult:
+        """Execute the query against the given relations (name → dataset)."""
+        self._check_relations_exist(datasets)
+        selects = [p for p in self.predicates if isinstance(p, KnnSelect)]
+        joins = [p for p in self.predicates if isinstance(p, KnnJoin)]
+        ranges = [p for p in self.predicates if isinstance(p, RangeSelect)]
+
+        if len(self.predicates) == 1:
+            if selects:
+                return self._run_single_select(selects[0], datasets)
+            if ranges:
+                return self._run_single_range(ranges[0], datasets)
+            return self._run_single_join(joins[0], datasets)
+        if len(selects) == 2:
+            return self._run_two_selects(selects[0], selects[1], datasets)
+        if len(selects) == 1 and len(joins) == 1:
+            return self._run_select_join(selects[0], joins[0], datasets)
+        if len(ranges) == 1 and len(joins) == 1:
+            return self._run_range_join(ranges[0], joins[0], datasets)
+        if len(ranges) == 1 and len(selects) == 1:
+            return self._run_range_and_knn_select(ranges[0], selects[0], datasets)
+        if len(ranges) == 2:
+            return self._run_two_ranges(ranges[0], ranges[1], datasets)
+        return self._run_two_joins(joins[0], joins[1], datasets)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_relations_exist(self, datasets: Mapping[str, Dataset]) -> None:
+        names: set[str] = set()
+        for predicate in self.predicates:
+            if isinstance(predicate, (KnnSelect, RangeSelect)):
+                names.add(predicate.relation)
+            else:
+                names.add(predicate.outer)
+                names.add(predicate.inner)
+        missing = sorted(n for n in names if n not in datasets)
+        if missing:
+            raise UnsupportedQueryError(f"datasets missing for relations: {', '.join(missing)}")
+
+    # -- single-predicate queries --------------------------------------
+    def _run_single_select(
+        self, select: KnnSelect, datasets: Mapping[str, Dataset]
+    ) -> QueryResult:
+        neighborhood = knn_select(datasets[select.relation].index, select.focal, select.k)
+        return QueryResult(
+            strategy="knn-select",
+            query_class="single-select",
+            points=tuple(neighborhood),
+        )
+
+    def _run_single_range(
+        self, predicate: RangeSelect, datasets: Mapping[str, Dataset]
+    ) -> QueryResult:
+        points = range_select(datasets[predicate.relation].index, predicate.window)
+        return QueryResult(
+            strategy="range-select",
+            query_class="single-range",
+            points=tuple(points),
+        )
+
+    def _run_single_join(self, join: KnnJoin, datasets: Mapping[str, Dataset]) -> QueryResult:
+        pairs = knn_join_pairs(
+            datasets[join.outer].points, datasets[join.inner].index, join.k
+        )
+        return QueryResult(
+            strategy="knn-join",
+            query_class="single-join",
+            pairs=tuple(pairs),
+        )
+
+    # -- two selects ----------------------------------------------------
+    def _run_two_selects(
+        self, first: KnnSelect, second: KnnSelect, datasets: Mapping[str, Dataset]
+    ) -> QueryResult:
+        if first.relation != second.relation:
+            raise UnsupportedQueryError(
+                "two kNN-selects must target the same relation to be intersected"
+            )
+        index = datasets[first.relation].index
+        stats = PruningStats()
+        if self.strategy == "baseline":
+            points = two_knn_selects_baseline(index, first.focal, first.k, second.focal, second.k)
+            strategy = "two-selects-baseline"
+        else:
+            points = two_knn_selects_optimized(
+                index, first.focal, first.k, second.focal, second.k, stats=stats
+            )
+            strategy = "2-kNN-select"
+        return QueryResult(
+            strategy=strategy,
+            query_class="two-selects",
+            points=tuple(points),
+            stats=stats,
+        )
+
+    # -- select + join ----------------------------------------------------
+    def _run_select_join(
+        self, select: KnnSelect, join: KnnJoin, datasets: Mapping[str, Dataset]
+    ) -> QueryResult:
+        outer = datasets[join.outer]
+        inner = datasets[join.inner]
+        stats = PruningStats()
+
+        if select.relation == join.outer:
+            pairs = outer_select_join_pushdown(
+                outer.index, inner.index, select.focal, join.k, select.k
+            )
+            return QueryResult(
+                strategy="outer-select-pushdown",
+                query_class="select-outer-of-join",
+                pairs=tuple(pairs),
+                stats=stats,
+            )
+        if select.relation != join.inner:
+            raise UnsupportedQueryError(
+                "the kNN-select must target either the join's outer or inner relation"
+            )
+
+        strategy = self._select_join_strategy(outer)
+        if strategy is SelectJoinStrategy.BASELINE:
+            pairs = select_join_baseline(
+                outer.points, inner.index, select.focal, join.k, select.k
+            )
+        elif strategy is SelectJoinStrategy.COUNTING:
+            pairs = select_join_counting(
+                outer.points, inner.index, select.focal, join.k, select.k, stats=stats
+            )
+        else:
+            pairs = select_join_block_marking(
+                outer.index, inner.index, select.focal, join.k, select.k, stats=stats
+            )
+        return QueryResult(
+            strategy=strategy.value,
+            query_class="select-inner-of-join",
+            pairs=tuple(pairs),
+            stats=stats,
+        )
+
+    def _select_join_strategy(self, outer: Dataset) -> SelectJoinStrategy:
+        if self.strategy == "baseline":
+            return SelectJoinStrategy.BASELINE
+        if self.strategy == "counting":
+            return SelectJoinStrategy.COUNTING
+        if self.strategy == "block_marking":
+            return SelectJoinStrategy.BLOCK_MARKING
+        return self.optimizer.select_join_strategy(outer.index)
+
+    # -- range-select combinations (footnote 1) ---------------------------
+    def _run_range_join(
+        self, predicate: RangeSelect, join: KnnJoin, datasets: Mapping[str, Dataset]
+    ) -> QueryResult:
+        outer = datasets[join.outer]
+        inner = datasets[join.inner]
+        stats = PruningStats()
+
+        if predicate.relation == join.outer:
+            # Valid push-down: restrict the outer relation before joining.
+            selected_outer = range_select(outer.index, predicate.window)
+            pairs = knn_join_pairs(selected_outer, inner.index, join.k)
+            return QueryResult(
+                strategy="outer-range-pushdown",
+                query_class="range-outer-of-join",
+                pairs=tuple(pairs),
+                stats=stats,
+            )
+        if predicate.relation != join.inner:
+            raise UnsupportedQueryError(
+                "the range-select must target either the join's outer or inner relation"
+            )
+        if self.strategy == "baseline":
+            pairs = range_inner_join_baseline(
+                outer.points, inner.index, predicate.window, join.k
+            )
+            strategy = "range-inner-baseline"
+        else:
+            pairs = range_inner_join_block_marking(
+                outer.index, inner.index, predicate.window, join.k, stats=stats
+            )
+            strategy = "range-inner-block-marking"
+        return QueryResult(
+            strategy=strategy,
+            query_class="range-inner-of-join",
+            pairs=tuple(pairs),
+            stats=stats,
+        )
+
+    def _run_range_and_knn_select(
+        self, predicate: RangeSelect, select: KnnSelect, datasets: Mapping[str, Dataset]
+    ) -> QueryResult:
+        if predicate.relation != select.relation:
+            raise UnsupportedQueryError(
+                "a range-select and a kNN-select must target the same relation"
+            )
+        index = datasets[select.relation].index
+        neighborhood = knn_select(index, select.focal, select.k)
+        points = [p for p in neighborhood if predicate.window.contains_point(p)]
+        return QueryResult(
+            strategy="knn-select-then-range-filter",
+            query_class="range-and-knn-select",
+            points=tuple(points),
+        )
+
+    def _run_two_ranges(
+        self, first: RangeSelect, second: RangeSelect, datasets: Mapping[str, Dataset]
+    ) -> QueryResult:
+        if first.relation != second.relation:
+            raise UnsupportedQueryError(
+                "two range-selects must target the same relation to be intersected"
+            )
+        index = datasets[first.relation].index
+        points = intersect_points(
+            range_select(index, first.window), range_select(index, second.window)
+        )
+        return QueryResult(
+            strategy="range-intersection",
+            query_class="two-ranges",
+            points=tuple(points),
+        )
+
+    # -- two joins --------------------------------------------------------
+    def _run_two_joins(
+        self, first: KnnJoin, second: KnnJoin, datasets: Mapping[str, Dataset]
+    ) -> QueryResult:
+        stats = PruningStats()
+        # Chained: A -> B -> C (the first join's inner is the second's outer).
+        if first.inner == second.outer:
+            return self._run_chained(first, second, datasets, stats)
+        if second.inner == first.outer:
+            return self._run_chained(second, first, datasets, stats)
+        # Unchained: both joins share the same inner relation.
+        if first.inner == second.inner:
+            return self._run_unchained(first, second, datasets, stats)
+        raise UnsupportedQueryError(
+            "two kNN-joins must be chained (A->B->C) or share their inner relation"
+        )
+
+    def _run_chained(
+        self,
+        ab: KnnJoin,
+        bc: KnnJoin,
+        datasets: Mapping[str, Dataset],
+        stats: PruningStats,
+    ) -> QueryResult:
+        a = datasets[ab.outer]
+        b = datasets[ab.inner]
+        c = datasets[bc.inner]
+        triplets = chained_joins_nested(
+            a.points, b.index, c.index, ab.k, bc.k, cache=True, stats=stats
+        )
+        return QueryResult(
+            strategy="nested-join-cached",
+            query_class="chained-joins",
+            triplets=tuple(triplets),
+            stats=stats,
+        )
+
+    def _run_unchained(
+        self,
+        ab: KnnJoin,
+        cb: KnnJoin,
+        datasets: Mapping[str, Dataset],
+        stats: PruningStats,
+    ) -> QueryResult:
+        a = datasets[ab.outer]
+        c = datasets[cb.outer]
+        b = datasets[ab.inner]
+        if self.strategy == "baseline":
+            triplets = unchained_joins_baseline(a.points, c.points, b.index, ab.k, cb.k)
+            strategy = "unchained-baseline"
+        else:
+            triplets = unchained_joins_auto(a.index, c.index, b.index, ab.k, cb.k, stats=stats)
+            strategy = "unchained-block-marking"
+        return QueryResult(
+            strategy=strategy,
+            query_class="unchained-joins",
+            triplets=tuple(triplets),
+            stats=stats,
+        )

@@ -1,0 +1,65 @@
+"""Query result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.stats import PruningStats
+from repro.exceptions import UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.operators.results import JoinPair, JoinTriplet
+
+__all__ = ["QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """The answer of a :class:`repro.query.query.Query`.
+
+    Exactly one of :attr:`points`, :attr:`pairs` or :attr:`triplets` is
+    populated, depending on the query's shape (two selects produce points, a
+    select/join combination produces pairs, two joins produce triplets).
+    """
+
+    #: Human-readable description of the physical strategy that was executed.
+    strategy: str
+    #: Which of the paper's query classes the query belongs to.
+    query_class: str
+    points: tuple[Point, ...] = ()
+    pairs: tuple[JoinPair, ...] = ()
+    triplets: tuple[JoinTriplet, ...] = ()
+    #: Pruning counters collected by the optimized algorithms (when available).
+    stats: PruningStats = field(default_factory=PruningStats)
+
+    @property
+    def rows(self) -> Sequence[Point] | Sequence[JoinPair] | Sequence[JoinTriplet]:
+        """The populated result collection, whichever kind it is."""
+        if self.points:
+            return self.points
+        if self.pairs:
+            return self.pairs
+        if self.triplets:
+            return self.triplets
+        return ()
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def require_points(self) -> tuple[Point, ...]:
+        """Return the point rows, or raise if this result does not hold points."""
+        if self.pairs or self.triplets:
+            raise UnsupportedQueryError("this query produced pairs/triplets, not points")
+        return self.points
+
+    def require_pairs(self) -> tuple[JoinPair, ...]:
+        """Return the pair rows, or raise if this result does not hold pairs."""
+        if self.points or self.triplets:
+            raise UnsupportedQueryError("this query produced points/triplets, not pairs")
+        return self.pairs
+
+    def require_triplets(self) -> tuple[JoinTriplet, ...]:
+        """Return the triplet rows, or raise if this result does not hold triplets."""
+        if self.points or self.pairs:
+            raise UnsupportedQueryError("this query produced points/pairs, not triplets")
+        return self.triplets

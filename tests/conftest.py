@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import berlinmod_snapshot, clustered_points, uniform_points
+from repro.geometry import Point, Rect
+from repro.index import GridIndex, QuadtreeIndex, RTreeIndex
+
+#: Extent shared by most test datasets.
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+@pytest.fixture(scope="session")
+def bounds() -> Rect:
+    """The common test extent."""
+    return BOUNDS
+
+
+@pytest.fixture(scope="session")
+def uniform_small() -> list[Point]:
+    """300 uniform points (pid 0..299)."""
+    return uniform_points(300, BOUNDS, seed=11)
+
+
+@pytest.fixture(scope="session")
+def uniform_medium() -> list[Point]:
+    """1500 uniform points (pid 100000..)."""
+    return uniform_points(1500, BOUNDS, seed=12, start_pid=100_000)
+
+
+@pytest.fixture(scope="session")
+def clustered_small() -> list[Point]:
+    """Two tight clusters of 150 points each (pid 200000..)."""
+    return clustered_points(2, 150, BOUNDS, cluster_radius=60.0, seed=13, start_pid=200_000)
+
+
+@pytest.fixture(scope="session")
+def berlinmod_small() -> list[Point]:
+    """A small BerlinMOD-like snapshot, rescaled to the test extent."""
+    raw = berlinmod_snapshot(n=2000, seed=14, start_pid=300_000)
+    scale = BOUNDS.width / 40_000.0
+    return [Point(p.x * scale, p.y * scale, p.pid) for p in raw]
+
+
+@pytest.fixture(scope="session")
+def grid_uniform_small(uniform_small: list[Point]) -> GridIndex:
+    """Grid index over the small uniform dataset."""
+    return GridIndex(uniform_small, cells_per_side=8, bounds=BOUNDS)
+
+
+@pytest.fixture(scope="session")
+def grid_uniform_medium(uniform_medium: list[Point]) -> GridIndex:
+    """Grid index over the medium uniform dataset."""
+    return GridIndex(uniform_medium, cells_per_side=12, bounds=BOUNDS)
+
+
+@pytest.fixture(
+    scope="session",
+    params=["grid", "quadtree", "rtree"],
+    ids=["grid", "quadtree", "rtree"],
+)
+def any_index_uniform_small(request: pytest.FixtureRequest, uniform_small: list[Point]):
+    """The small uniform dataset behind each of the three index structures."""
+    if request.param == "grid":
+        return GridIndex(uniform_small, cells_per_side=8, bounds=BOUNDS)
+    if request.param == "quadtree":
+        return QuadtreeIndex(uniform_small, capacity=32, bounds=BOUNDS)
+    return RTreeIndex(uniform_small, leaf_capacity=32)
+
+
+def pair_pid_set(pairs) -> set[tuple[int, int]]:
+    """Canonical comparable form of a pair collection."""
+    return {p.pids for p in pairs}
+
+
+def triplet_pid_set(triplets) -> set[tuple[int, int, int]]:
+    """Canonical comparable form of a triplet collection."""
+    return {t.pids for t in triplets}
+
+
+def point_pid_set(points) -> set[int]:
+    """Canonical comparable form of a point collection."""
+    return {p.pid for p in points}

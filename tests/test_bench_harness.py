@@ -1,0 +1,92 @@
+"""Unit tests for the benchmark harness (repro.bench)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import format_table, run_figure
+from repro.bench.workloads import ALL_FIGURES, FigureWorkload, figure_workload
+from repro.exceptions import InvalidParameterError
+
+
+class TestWorkloadDefinitions:
+    def test_all_figures_listed(self):
+        assert ALL_FIGURES == (19, 20, 21, 22, 23, 24, 25, 26)
+
+    @pytest.mark.parametrize("figure", ALL_FIGURES)
+    def test_every_workload_has_two_series_and_a_sweep(self, figure):
+        workload = figure_workload(figure, scale=0.01)
+        assert len(workload.series) == 2
+        assert len(workload.sweep_values) >= 4
+        assert workload.sweep_name
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            figure_workload(3)
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            figure_workload(19, scale=0.0)
+
+    def test_builder_produces_runnable_series(self):
+        workload = figure_workload(26, scale=0.01)
+        runners = workload.build(workload.sweep_values[0])
+        assert set(runners) == set(workload.series)
+        for runner in runners.values():
+            assert callable(runner)
+
+
+class TestRunFigure:
+    @pytest.fixture(scope="class")
+    def fig26_result(self):
+        workload = figure_workload(26, scale=0.01)
+        return run_figure(workload, sweep_values=workload.sweep_values[:2])
+
+    def test_measurements_cover_requested_points(self, fig26_result):
+        assert len(fig26_result.points) == 2 * 2  # 2 sweep values x 2 series
+        assert all(p.seconds >= 0 for p in fig26_result.points)
+
+    def test_both_series_produce_identical_result_sizes(self, fig26_result):
+        """Optimized and baseline answer sets have the same cardinality."""
+        for value in {p.sweep_value for p in fig26_result.points}:
+            sizes = {
+                p.result_size for p in fig26_result.points if p.sweep_value == value
+            }
+            assert len(sizes) == 1
+
+    def test_seconds_lookup_and_speedups(self, fig26_result):
+        value = fig26_result.points[0].sweep_value
+        assert fig26_result.seconds(value, "conceptual-qep") >= 0.0
+        with pytest.raises(KeyError):
+            fig26_result.seconds(value, "nonexistent-series")
+
+    def test_format_table_mentions_every_series(self, fig26_result):
+        table = format_table(fig26_result)
+        assert "Figure 26" in table
+        assert "conceptual-qep" in table and "2-knn-select" in table
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(InvalidParameterError):
+            run_figure(26, repeats=0)
+
+
+class TestCliEntryPoint:
+    def test_main_runs_single_figure(self, capsys, tmp_path):
+        from repro.bench.__main__ import main
+
+        out_file = tmp_path / "table.txt"
+        code = main(
+            [
+                "--figure",
+                "26",
+                "--scale",
+                "0.01",
+                "--quiet",
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Figure 26" in captured.out
+        assert out_file.read_text().startswith("Figure 26")

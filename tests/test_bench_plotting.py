@@ -1,0 +1,49 @@
+"""Tests for the ASCII chart renderer (repro.bench.plotting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import FigureResult, MeasuredPoint, run_figure
+from repro.bench.plotting import format_ascii_chart
+from repro.bench.workloads import figure_workload
+
+
+@pytest.fixture(scope="module")
+def small_result() -> FigureResult:
+    workload = figure_workload(26, scale=0.01)
+    return run_figure(workload, sweep_values=workload.sweep_values[:3])
+
+
+class TestAsciiChart:
+    def test_chart_contains_axes_and_legend(self, small_result):
+        chart = format_ascii_chart(small_result)
+        lines = chart.splitlines()
+        assert lines[0].startswith("Figure 26")
+        assert any(line.startswith("+---") for line in lines)
+        assert "conceptual-qep" in lines[-1] and "2-knn-select" in lines[-1]
+
+    def test_chart_dimensions(self, small_result):
+        chart = format_ascii_chart(small_result, width=40, height=8)
+        body = [line for line in chart.splitlines() if line.startswith("|")]
+        assert len(body) == 8
+        assert all(len(line) == 41 for line in body)  # '|' + width columns
+
+    def test_markers_present_for_both_series(self, small_result):
+        chart = format_ascii_chart(small_result)
+        body = "\n".join(line for line in chart.splitlines() if line.startswith("|"))
+        assert "#" in body and "o" in body
+
+    def test_empty_result_handled(self):
+        workload = figure_workload(26, scale=0.01)
+        empty = FigureResult(workload=workload, points=[])
+        assert "no measurements" in format_ascii_chart(empty)
+
+    def test_cli_chart_flag(self, capsys):
+        from repro.bench.__main__ import main
+
+        code = main(["--figure", "26", "--scale", "0.01", "--quiet", "--chart"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 26" in out
+        assert "+---" in out  # the chart's x axis

@@ -1,0 +1,174 @@
+"""Edge-case tests for the core algorithms.
+
+These cover the awkward inputs the paper does not discuss explicitly but a
+production implementation must survive: k values exceeding the relation size,
+duplicate coordinates, focal points coinciding with data points, outer and
+inner relations sharing locations, and degenerate (single-block) indexes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.select_join.baseline import select_join_baseline
+from repro.core.select_join.block_marking import select_join_block_marking
+from repro.core.select_join.counting import select_join_counting
+from repro.core.two_joins.chained import chained_joins_nested, chained_joins_qep2
+from repro.core.two_joins.unchained import (
+    unchained_joins_baseline,
+    unchained_joins_block_marking,
+)
+from repro.core.two_selects.baseline import two_knn_selects_baseline
+from repro.core.two_selects.optimized import two_knn_selects_optimized
+from repro.datagen import uniform_points
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def _grid(points, cells=4):
+    return GridIndex(points, cells_per_side=cells, bounds=BOUNDS)
+
+
+class TestSelectJoinEdgeCases:
+    def test_k_select_exceeds_inner_size(self):
+        outer = uniform_points(20, BOUNDS, seed=1)
+        inner = uniform_points(15, BOUNDS, seed=2, start_pid=100)
+        inner_index = _grid(inner)
+        focal = Point(50, 50)
+        base = select_join_baseline(outer, inner_index, focal, 3, 500)
+        cnt = select_join_counting(outer, inner_index, focal, 3, 500)
+        bm = select_join_block_marking(_grid(outer), inner_index, focal, 3, 500)
+        # With the selection covering all of E2 the query degenerates to the join.
+        assert len(base) == len(outer) * 3
+        assert {p.pids for p in cnt} == {p.pids for p in base}
+        assert {p.pids for p in bm} == {p.pids for p in base}
+
+    def test_k_join_exceeds_inner_size(self):
+        outer = uniform_points(10, BOUNDS, seed=3)
+        inner = uniform_points(4, BOUNDS, seed=4, start_pid=100)
+        inner_index = _grid(inner)
+        focal = Point(10, 10)
+        base = select_join_baseline(outer, inner_index, focal, 50, 2)
+        cnt = select_join_counting(outer, inner_index, focal, 50, 2)
+        bm = select_join_block_marking(_grid(outer), inner_index, focal, 50, 2)
+        assert {p.pids for p in cnt} == {p.pids for p in base}
+        assert {p.pids for p in bm} == {p.pids for p in base}
+
+    def test_focal_point_coincides_with_a_data_point(self):
+        inner = uniform_points(60, BOUNDS, seed=5, start_pid=100)
+        outer = uniform_points(25, BOUNDS, seed=6)
+        inner_index = _grid(inner)
+        focal = Point(inner[7].x, inner[7].y)
+        base = select_join_baseline(outer, inner_index, focal, 2, 5)
+        cnt = select_join_counting(outer, inner_index, focal, 2, 5)
+        bm = select_join_block_marking(_grid(outer), inner_index, focal, 2, 5)
+        assert {p.pids for p in cnt} == {p.pids for p in base}
+        assert {p.pids for p in bm} == {p.pids for p in base}
+
+    def test_outer_and_inner_share_locations(self):
+        """Co-located points in E1 and E2 (distance zero everywhere)."""
+        shared = [(10.0 * i, 10.0 * i) for i in range(1, 9)]
+        outer = [Point(x, y, i) for i, (x, y) in enumerate(shared)]
+        inner = [Point(x, y, 100 + i) for i, (x, y) in enumerate(shared)]
+        inner_index = _grid(inner)
+        focal = Point(40.0, 40.0)
+        base = select_join_baseline(outer, inner_index, focal, 2, 3)
+        cnt = select_join_counting(outer, inner_index, focal, 2, 3)
+        bm = select_join_block_marking(_grid(outer), inner_index, focal, 2, 3)
+        assert {p.pids for p in cnt} == {p.pids for p in base}
+        assert {p.pids for p in bm} == {p.pids for p in base}
+
+    def test_single_block_indexes(self):
+        """cells_per_side=1: no pruning possible, but answers must still match."""
+        outer = uniform_points(30, BOUNDS, seed=7)
+        inner = uniform_points(50, BOUNDS, seed=8, start_pid=100)
+        inner_index = _grid(inner, cells=1)
+        outer_index = _grid(outer, cells=1)
+        focal = Point(75.0, 20.0)
+        base = select_join_baseline(outer, inner_index, focal, 3, 6)
+        cnt = select_join_counting(outer, inner_index, focal, 3, 6)
+        bm = select_join_block_marking(outer_index, inner_index, focal, 3, 6)
+        assert {p.pids for p in cnt} == {p.pids for p in base}
+        assert {p.pids for p in bm} == {p.pids for p in base}
+
+    def test_duplicate_coordinates_in_inner(self):
+        inner = [Point(50.0, 50.0, 100 + i) for i in range(10)] + uniform_points(
+            40, BOUNDS, seed=9, start_pid=200
+        )
+        outer = uniform_points(15, BOUNDS, seed=10)
+        inner_index = _grid(inner)
+        focal = Point(50.0, 50.0)
+        base = select_join_baseline(outer, inner_index, focal, 4, 6)
+        cnt = select_join_counting(outer, inner_index, focal, 4, 6)
+        bm = select_join_block_marking(_grid(outer), inner_index, focal, 4, 6)
+        assert {p.pids for p in cnt} == {p.pids for p in base}
+        assert {p.pids for p in bm} == {p.pids for p in base}
+
+
+class TestTwoJoinsEdgeCases:
+    def test_tiny_relations(self):
+        a = [Point(10, 10, 1)]
+        b = [Point(12, 10, 11), Point(90, 90, 12)]
+        c = [Point(11, 11, 21)]
+        ib = _grid(b)
+        ic = _grid(c)
+        base = unchained_joins_baseline(a, c, ib, 1, 1)
+        got = unchained_joins_block_marking(a, ic, ib, 1, 1)
+        assert {t.pids for t in got} == {t.pids for t in base} == {(1, 11, 21)}
+
+    def test_k_exceeding_relation_sizes(self):
+        a = uniform_points(5, BOUNDS, seed=11)
+        b = uniform_points(3, BOUNDS, seed=12, start_pid=100)
+        c = uniform_points(4, BOUNDS, seed=13, start_pid=200)
+        ib, ic = _grid(b), _grid(c)
+        base = unchained_joins_baseline(a, c, ib, 10, 10)
+        got = unchained_joins_block_marking(a, ic, ib, 10, 10)
+        assert {t.pids for t in got} == {t.pids for t in base}
+        chained_base = chained_joins_qep2(a, b, ib, ic, 10, 10)
+        chained_got = chained_joins_nested(a, ib, ic, 10, 10)
+        assert {t.pids for t in chained_got} == {t.pids for t in chained_base}
+
+    def test_identical_a_and_c_relations(self):
+        """A and C holding the same coordinates (but distinct ids)."""
+        coords = [(20.0, 20.0), (40.0, 60.0), (70.0, 30.0)]
+        a = [Point(x, y, i) for i, (x, y) in enumerate(coords)]
+        c = [Point(x, y, 100 + i) for i, (x, y) in enumerate(coords)]
+        b = uniform_points(30, BOUNDS, seed=14, start_pid=200)
+        ib, ic = _grid(b), _grid(c)
+        base = unchained_joins_baseline(a, c, ib, 2, 2)
+        got = unchained_joins_block_marking(a, ic, ib, 2, 2)
+        assert {t.pids for t in got} == {t.pids for t in base}
+
+
+class TestTwoSelectsEdgeCases:
+    def test_identical_focal_points_different_k(self):
+        pts = uniform_points(100, BOUNDS, seed=15)
+        idx = _grid(pts)
+        f = Point(33.0, 66.0)
+        base = two_knn_selects_baseline(idx, f, 5, f, 50)
+        got = two_knn_selects_optimized(idx, f, 5, f, 50)
+        assert {p.pid for p in got} == {p.pid for p in base}
+        assert len(got) == 5  # the smaller neighborhood is a subset of the larger
+
+    def test_equal_k_values(self):
+        pts = uniform_points(80, BOUNDS, seed=16)
+        idx = _grid(pts)
+        base = two_knn_selects_baseline(idx, Point(10, 10), 12, Point(15, 12), 12)
+        got = two_knn_selects_optimized(idx, Point(10, 10), 12, Point(15, 12), 12)
+        assert {p.pid for p in got} == {p.pid for p in base}
+
+    def test_single_point_relation(self):
+        idx = _grid([Point(50.0, 50.0, 1)])
+        got = two_knn_selects_optimized(idx, Point(0, 0), 3, Point(99, 99), 7)
+        assert [p.pid for p in got] == [1]
+
+    def test_both_focals_far_outside_extent(self):
+        pts = uniform_points(60, BOUNDS, seed=17)
+        idx = _grid(pts)
+        f1, f2 = Point(-500.0, -500.0), Point(600.0, 600.0)
+        base = two_knn_selects_baseline(idx, f1, 8, f2, 40)
+        got = two_knn_selects_optimized(idx, f1, 8, f2, 40)
+        assert {p.pid for p in got} == {p.pid for p in base}

@@ -1,0 +1,107 @@
+"""Index-agnosticism of the core algorithms (Section 2's claim).
+
+Every optimized algorithm must return the same answer regardless of whether
+the relations are indexed by the grid, the quadtree or the R-tree — and that
+answer must equal the conceptually correct QEP's answer computed over the grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.select_join.baseline import select_join_baseline
+from repro.core.select_join.block_marking import select_join_block_marking
+from repro.core.select_join.counting import select_join_counting
+from repro.core.two_joins.chained import chained_joins_nested, chained_joins_qep2
+from repro.core.two_joins.unchained import (
+    unchained_joins_baseline,
+    unchained_joins_block_marking,
+)
+from repro.core.two_selects.baseline import two_knn_selects_baseline
+from repro.core.two_selects.optimized import two_knn_selects_optimized
+from repro.datagen import clustered_points, uniform_points
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.index.quadtree import QuadtreeIndex
+from repro.index.rtree import RTreeIndex
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+OUTER = uniform_points(150, BOUNDS, seed=201)
+INNER = uniform_points(700, BOUNDS, seed=202, start_pid=10_000)
+THIRD = clustered_points(2, 80, BOUNDS, cluster_radius=70.0, seed=203, start_pid=20_000)
+FOCAL = Point(420.0, 390.0)
+
+
+def _index(points, kind: str):
+    if kind == "grid":
+        return GridIndex(points, cells_per_side=9, bounds=BOUNDS)
+    if kind == "quadtree":
+        return QuadtreeIndex(points, capacity=48, bounds=BOUNDS)
+    return RTreeIndex(points, leaf_capacity=48)
+
+
+INDEX_KINDS = ("grid", "quadtree", "rtree")
+
+
+class TestSelectJoinIndexAgnostic:
+    reference = {
+        p.pids
+        for p in select_join_baseline(OUTER, _index(INNER, "grid"), FOCAL, 3, 20)
+    }
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_counting(self, kind):
+        got = select_join_counting(OUTER, _index(INNER, kind), FOCAL, 3, 20)
+        assert {p.pids for p in got} == self.reference
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_block_marking(self, kind):
+        got = select_join_block_marking(
+            _index(OUTER, kind), _index(INNER, kind), FOCAL, 3, 20
+        )
+        assert {p.pids for p in got} == self.reference
+
+
+class TestTwoJoinsIndexAgnostic:
+    unchained_reference = {
+        t.pids
+        for t in unchained_joins_baseline(THIRD, OUTER, _index(INNER, "grid"), 2, 2)
+    }
+    chained_reference = {
+        t.pids
+        for t in chained_joins_qep2(
+            THIRD, INNER, _index(INNER, "grid"), _index(OUTER, "grid"), 2, 2
+        )
+    }
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_unchained_block_marking(self, kind):
+        got = unchained_joins_block_marking(
+            THIRD, _index(OUTER, kind), _index(INNER, kind), 2, 2
+        )
+        assert {t.pids for t in got} == self.unchained_reference
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_chained_nested(self, kind):
+        got = chained_joins_nested(
+            THIRD, _index(INNER, kind), _index(OUTER, kind), 2, 2, cache=True
+        )
+        assert {t.pids for t in got} == self.chained_reference
+
+
+class TestTwoSelectsIndexAgnostic:
+    reference = {
+        p.pid
+        for p in two_knn_selects_baseline(
+            _index(INNER, "grid"), FOCAL, 15, Point(470.0, 430.0), 200
+        )
+    }
+
+    @pytest.mark.parametrize("kind", INDEX_KINDS)
+    def test_two_selects(self, kind):
+        got = two_knn_selects_optimized(
+            _index(INNER, kind), FOCAL, 15, Point(470.0, 430.0), 200
+        )
+        assert {p.pid for p in got} == self.reference

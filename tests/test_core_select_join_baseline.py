@@ -1,0 +1,77 @@
+"""Unit tests for the conceptually correct select-inner-of-join QEP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.select_join.baseline import select_join_baseline
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.locality.brute import brute_force_knn
+
+from tests.conftest import pair_pid_set
+
+
+class TestSelectJoinBaseline:
+    def test_small_handcrafted_scenario(self):
+        """The roadside-assistance example of Section 1 (Figures 1-2), reduced.
+
+        Hotels near the shopping center are h1, h2; mechanic m1 is near them,
+        mechanic m2 is far away with two other hotels next to it.  Performing
+        the join first and then the selection keeps only the (m1, h1)/(m1, h2)
+        pairs; m2 must not be paired with h1/h2.
+        """
+        bounds = Rect(0, 0, 100, 100)
+        hotels = [
+            Point(10, 10, 1),  # h1 (near shopping center)
+            Point(12, 10, 2),  # h2 (near shopping center)
+            Point(80, 80, 3),  # h3 (near m2)
+            Point(82, 80, 4),  # h4 (near m2)
+        ]
+        mechanics = [Point(11, 12, 100), Point(81, 82, 101)]
+        shopping_center = Point(11, 9)
+        hotel_index = GridIndex(hotels, cells_per_side=4, bounds=bounds)
+
+        pairs = select_join_baseline(mechanics, hotel_index, shopping_center, k_join=2, k_select=2)
+        assert pair_pid_set(pairs) == {(100, 1), (100, 2)}
+
+    def test_pairs_require_membership_in_both_neighborhoods(
+        self, grid_uniform_medium, uniform_medium, uniform_small
+    ):
+        focal = Point(400.0, 400.0)
+        k_join, k_select = 4, 25
+        outer = uniform_small[:60]
+        pairs = select_join_baseline(outer, grid_uniform_medium, focal, k_join, k_select)
+        selection = set(brute_force_knn(uniform_medium, focal, k_select).pids)
+        for pair in pairs:
+            join_nbr = set(brute_force_knn(uniform_medium, pair.outer, k_join).pids)
+            assert pair.inner.pid in selection
+            assert pair.inner.pid in join_nbr
+
+    def test_every_qualifying_pair_is_reported(
+        self, grid_uniform_medium, uniform_medium, uniform_small
+    ):
+        focal = Point(640.0, 380.0)
+        k_join, k_select = 3, 40
+        outer = uniform_small[:80]
+        got = pair_pid_set(
+            select_join_baseline(outer, grid_uniform_medium, focal, k_join, k_select)
+        )
+        selection = set(brute_force_knn(uniform_medium, focal, k_select).pids)
+        expected = set()
+        for e1 in outer:
+            for pid in brute_force_knn(uniform_medium, e1, k_join).pids:
+                if pid in selection:
+                    expected.add((e1.pid, pid))
+        assert got == expected
+
+    def test_rejects_bad_parameters(self, grid_uniform_small):
+        with pytest.raises(InvalidParameterError):
+            select_join_baseline([], grid_uniform_small, Point(0, 0), 0, 2)
+        with pytest.raises(InvalidParameterError):
+            select_join_baseline([], grid_uniform_small, Point(0, 0), 2, 0)
+
+    def test_empty_outer_gives_no_pairs(self, grid_uniform_small):
+        assert select_join_baseline([], grid_uniform_small, Point(0, 0), 2, 2) == []

@@ -1,0 +1,117 @@
+"""Unit tests for the Block-Marking algorithm (Procedures 2-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.select_join.baseline import select_join_baseline
+from repro.core.select_join.block_marking import (
+    preprocess_contributing_blocks,
+    select_join_block_marking,
+)
+from repro.core.stats import PruningStats
+from repro.datagen import clustered_points, uniform_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.locality.knn import get_knn
+
+from tests.conftest import pair_pid_set
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestBlockMarkingEquivalence:
+    @pytest.mark.parametrize("k_join,k_select", [(1, 1), (2, 5), (5, 20), (8, 2)])
+    def test_matches_baseline_uniform(
+        self, grid_uniform_small, grid_uniform_medium, uniform_small, k_join, k_select
+    ):
+        focal = Point(300.0, 650.0)
+        base = select_join_baseline(uniform_small, grid_uniform_medium, focal, k_join, k_select)
+        got = select_join_block_marking(
+            grid_uniform_small, grid_uniform_medium, focal, k_join, k_select
+        )
+        assert pair_pid_set(got) == pair_pid_set(base)
+
+    def test_matches_baseline_dense_outer(self):
+        outer = uniform_points(2500, BOUNDS, seed=31)
+        inner = uniform_points(1000, BOUNDS, seed=32, start_pid=50_000)
+        outer_index = GridIndex(outer, cells_per_side=14, bounds=BOUNDS)
+        inner_index = GridIndex(inner, cells_per_side=14, bounds=BOUNDS)
+        focal = Point(250.0, 250.0)
+        base = select_join_baseline(outer, inner_index, focal, 3, 12)
+        got = select_join_block_marking(outer_index, inner_index, focal, 3, 12)
+        assert pair_pid_set(got) == pair_pid_set(base)
+
+    def test_matches_baseline_clustered_outer(self):
+        outer = clustered_points(2, 400, BOUNDS, cluster_radius=70.0, seed=33, start_pid=60_000)
+        inner = uniform_points(900, BOUNDS, seed=34, start_pid=70_000)
+        outer_index = GridIndex(outer, cells_per_side=12, bounds=BOUNDS)
+        inner_index = GridIndex(inner, cells_per_side=12, bounds=BOUNDS)
+        focal = Point(850.0, 120.0)
+        base = select_join_baseline(outer, inner_index, focal, 2, 8)
+        got = select_join_block_marking(outer_index, inner_index, focal, 2, 8)
+        assert pair_pid_set(got) == pair_pid_set(base)
+
+    def test_matches_baseline_focal_far_outside_data(self, grid_uniform_small, grid_uniform_medium, uniform_small):
+        focal = Point(-400.0, -400.0)
+        base = select_join_baseline(uniform_small, grid_uniform_medium, focal, 3, 6)
+        got = select_join_block_marking(grid_uniform_small, grid_uniform_medium, focal, 3, 6)
+        assert pair_pid_set(got) == pair_pid_set(base)
+
+
+class TestPreprocessing:
+    def test_contributing_blocks_cover_all_result_outer_points(
+        self, grid_uniform_small, grid_uniform_medium, uniform_small
+    ):
+        """No outer point that produces a result pair may sit in a pruned block."""
+        focal = Point(480.0, 510.0)
+        k_join, k_select = 3, 15
+        selection = get_knn(grid_uniform_medium, focal, k_select)
+        contributing = preprocess_contributing_blocks(
+            grid_uniform_small, grid_uniform_medium, focal, selection, k_join
+        )
+        contributing_ids = {b.block_id for b in contributing}
+        base = select_join_baseline(uniform_small, grid_uniform_medium, focal, k_join, k_select)
+        for pair in base:
+            block = grid_uniform_small.locate(pair.outer)
+            assert block is not None
+            assert block.block_id in contributing_ids
+
+    def test_contributing_blocks_are_nonempty(self, grid_uniform_small, grid_uniform_medium):
+        focal = Point(100.0, 900.0)
+        selection = get_knn(grid_uniform_medium, focal, 10)
+        contributing = preprocess_contributing_blocks(
+            grid_uniform_small, grid_uniform_medium, focal, selection, 4
+        )
+        assert all(not b.is_empty for b in contributing)
+
+    def test_stats_record_examined_and_pruned_blocks(self, grid_uniform_small, grid_uniform_medium):
+        focal = Point(10.0, 10.0)
+        stats = PruningStats()
+        select_join_block_marking(grid_uniform_small, grid_uniform_medium, focal, 2, 4, stats=stats)
+        assert stats.blocks_examined > 0
+        assert stats.blocks_examined <= grid_uniform_small.num_blocks
+        assert (
+            stats.blocks_pruned + stats.blocks_contributing
+            <= stats.blocks_examined
+        ) or stats.blocks_skipped_by_contour >= 0
+
+    def test_blocks_are_pruned_when_selection_is_local(self):
+        """With a tight selection and dense data, most outer blocks must be pruned."""
+        outer = uniform_points(3000, BOUNDS, seed=41, start_pid=80_000)
+        inner = uniform_points(3000, BOUNDS, seed=42, start_pid=90_000)
+        outer_index = GridIndex(outer, cells_per_side=15, bounds=BOUNDS)
+        inner_index = GridIndex(inner, cells_per_side=15, bounds=BOUNDS)
+        stats = PruningStats()
+        select_join_block_marking(outer_index, inner_index, Point(500, 500), 2, 4, stats=stats)
+        assert stats.points_pruned > 0.5 * len(outer)
+
+
+class TestBlockMarkingValidation:
+    def test_rejects_bad_parameters(self, grid_uniform_small, grid_uniform_medium):
+        with pytest.raises(InvalidParameterError):
+            select_join_block_marking(grid_uniform_small, grid_uniform_medium, Point(0, 0), 0, 1)
+        with pytest.raises(InvalidParameterError):
+            select_join_block_marking(grid_uniform_small, grid_uniform_medium, Point(0, 0), 1, 0)

@@ -1,0 +1,81 @@
+"""Unit tests for the Counting algorithm (Procedure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.select_join.baseline import select_join_baseline
+from repro.core.select_join.counting import select_join_counting
+from repro.core.stats import PruningStats
+from repro.datagen import clustered_points, uniform_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+
+from tests.conftest import pair_pid_set
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestCountingEquivalence:
+    @pytest.mark.parametrize("k_join,k_select", [(1, 1), (2, 5), (5, 20), (10, 3)])
+    def test_matches_baseline_uniform(
+        self, grid_uniform_medium, uniform_small, k_join, k_select
+    ):
+        focal = Point(700.0, 250.0)
+        outer = uniform_small
+        base = select_join_baseline(outer, grid_uniform_medium, focal, k_join, k_select)
+        got = select_join_counting(outer, grid_uniform_medium, focal, k_join, k_select)
+        assert pair_pid_set(got) == pair_pid_set(base)
+
+    def test_matches_baseline_clustered_inner(self):
+        inner = clustered_points(3, 200, BOUNDS, cluster_radius=60.0, seed=21, start_pid=5000)
+        outer = uniform_points(150, BOUNDS, seed=22)
+        inner_index = GridIndex(inner, cells_per_side=10, bounds=BOUNDS)
+        focal = Point(100.0, 100.0)
+        base = select_join_baseline(outer, inner_index, focal, 3, 10)
+        got = select_join_counting(outer, inner_index, focal, 3, 10)
+        assert pair_pid_set(got) == pair_pid_set(base)
+
+    def test_matches_baseline_on_every_index(self, any_index_uniform_small, uniform_small):
+        focal = Point(820.0, 150.0)
+        outer = [Point(37.0 * i % 1000, 91.0 * i % 1000, 9000 + i) for i in range(40)]
+        base = select_join_baseline(outer, any_index_uniform_small, focal, 2, 6)
+        got = select_join_counting(outer, any_index_uniform_small, focal, 2, 6)
+        assert pair_pid_set(got) == pair_pid_set(base)
+
+
+class TestCountingPruning:
+    def test_far_outer_points_are_pruned(self, grid_uniform_medium):
+        """Outer points far from the focal point must be skipped, not joined."""
+        focal = Point(900.0, 900.0)
+        far_outer = [Point(20.0 + i, 30.0, 7000 + i) for i in range(30)]
+        stats = PruningStats()
+        select_join_counting(far_outer, grid_uniform_medium, focal, 2, 4, stats=stats)
+        assert stats.points_pruned > 0
+        assert stats.points_considered == len(far_outer)
+
+    def test_pruned_plus_computed_equals_outer_size(self, grid_uniform_medium, uniform_small):
+        stats = PruningStats()
+        select_join_counting(uniform_small, grid_uniform_medium, Point(500, 500), 3, 10, stats=stats)
+        assert stats.points_considered == len(uniform_small)
+
+    def test_outer_point_near_selection_is_not_pruned(self, grid_uniform_medium, uniform_medium):
+        focal = Point(500.0, 500.0)
+        stats = PruningStats()
+        near_outer = [Point(500.0, 500.0, 8000)]
+        pairs = select_join_counting(near_outer, grid_uniform_medium, focal, 2, 50, stats=stats)
+        assert stats.neighborhoods_computed == 1
+        assert pairs  # the nearest neighbors of the focal point trivially overlap
+
+
+class TestCountingValidation:
+    def test_rejects_bad_parameters(self, grid_uniform_small):
+        with pytest.raises(InvalidParameterError):
+            select_join_counting([], grid_uniform_small, Point(0, 0), 0, 1)
+        with pytest.raises(InvalidParameterError):
+            select_join_counting([], grid_uniform_small, Point(0, 0), 1, -2)
+
+    def test_empty_outer(self, grid_uniform_small):
+        assert select_join_counting([], grid_uniform_small, Point(0, 0), 1, 1) == []

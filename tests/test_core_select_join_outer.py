@@ -1,0 +1,54 @@
+"""Unit tests for the outer-relation kNN-select push-down (Section 3, Figure 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.select_join.outer_select import (
+    outer_select_join_after,
+    outer_select_join_pushdown,
+)
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.locality.brute import brute_force_knn
+
+from tests.conftest import pair_pid_set
+
+
+class TestOuterSelectEquivalence:
+    @pytest.mark.parametrize("k_join,k_select", [(1, 1), (2, 2), (3, 10), (6, 4)])
+    def test_pushdown_equals_select_after_join(
+        self, grid_uniform_small, grid_uniform_medium, uniform_small, k_join, k_select
+    ):
+        """Figure 3: both QEPs produce the same pairs — the push-down is valid."""
+        focal = Point(420.0, 310.0)
+        pushed = outer_select_join_pushdown(
+            grid_uniform_small, grid_uniform_medium, focal, k_join, k_select
+        )
+        after = outer_select_join_after(
+            uniform_small, grid_uniform_small, grid_uniform_medium, focal, k_join, k_select
+        )
+        assert pair_pid_set(pushed) == pair_pid_set(after)
+
+    def test_pushdown_output_size(self, grid_uniform_small, grid_uniform_medium):
+        focal = Point(500.0, 500.0)
+        pairs = outer_select_join_pushdown(grid_uniform_small, grid_uniform_medium, focal, 3, 7)
+        # Exactly k_select outer points survive, each contributing k_join pairs.
+        assert len(pairs) == 7 * 3
+
+    def test_only_selected_outer_points_appear(
+        self, grid_uniform_small, grid_uniform_medium, uniform_small
+    ):
+        focal = Point(111.0, 222.0)
+        k_select = 5
+        pairs = outer_select_join_pushdown(grid_uniform_small, grid_uniform_medium, focal, 2, k_select)
+        allowed = set(brute_force_knn(uniform_small, focal, k_select).pids)
+        assert {p.outer.pid for p in pairs} <= allowed
+
+    def test_rejects_bad_parameters(self, grid_uniform_small, grid_uniform_medium):
+        with pytest.raises(InvalidParameterError):
+            outer_select_join_pushdown(grid_uniform_small, grid_uniform_medium, Point(0, 0), 0, 1)
+        with pytest.raises(InvalidParameterError):
+            outer_select_join_after(
+                [], grid_uniform_small, grid_uniform_medium, Point(0, 0), 1, 0
+            )

@@ -1,0 +1,79 @@
+"""Tests for the range-select-on-inner-relation extension (footnote 1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.select_join.range_inner import (
+    range_inner_join_baseline,
+    range_inner_join_block_marking,
+)
+from repro.core.stats import PruningStats
+from repro.datagen import uniform_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+COORD = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False)
+
+
+class TestRangeInnerJoin:
+    def test_baseline_semantics(self, grid_uniform_medium, uniform_medium, uniform_small):
+        window = Rect(300.0, 300.0, 520.0, 560.0)
+        outer = uniform_small[:50]
+        pairs = range_inner_join_baseline(outer, grid_uniform_medium, window, 4)
+        from repro.locality.brute import brute_force_knn
+
+        for pair in pairs:
+            assert window.contains_point(pair.inner)
+            assert pair.inner.pid in set(brute_force_knn(uniform_medium, pair.outer, 4).pids)
+
+    def test_block_marking_matches_baseline(
+        self, grid_uniform_small, grid_uniform_medium, uniform_small
+    ):
+        window = Rect(600.0, 100.0, 850.0, 420.0)
+        base = range_inner_join_baseline(uniform_small, grid_uniform_medium, window, 3)
+        got = range_inner_join_block_marking(grid_uniform_small, grid_uniform_medium, window, 3)
+        assert {p.pids for p in got} == {p.pids for p in base}
+
+    def test_far_window_prunes_blocks(self, grid_uniform_small, grid_uniform_medium):
+        stats = PruningStats()
+        window = Rect(950.0, 950.0, 1000.0, 1000.0)
+        range_inner_join_block_marking(
+            grid_uniform_small, grid_uniform_medium, window, 2, stats=stats
+        )
+        assert stats.blocks_pruned > 0
+
+    def test_rejects_bad_k(self, grid_uniform_small, grid_uniform_medium):
+        with pytest.raises(InvalidParameterError):
+            range_inner_join_baseline([], grid_uniform_medium, BOUNDS, 0)
+        with pytest.raises(InvalidParameterError):
+            range_inner_join_block_marking(grid_uniform_small, grid_uniform_medium, BOUNDS, 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    outer_coords=st.lists(st.tuples(COORD, COORD), min_size=2, max_size=25),
+    inner_coords=st.lists(st.tuples(COORD, COORD), min_size=3, max_size=60),
+    x1=COORD,
+    y1=COORD,
+    x2=COORD,
+    y2=COORD,
+    k=st.integers(min_value=1, max_value=5),
+    cells=st.integers(min_value=1, max_value=6),
+)
+def test_property_block_marking_equals_baseline(
+    outer_coords, inner_coords, x1, y1, x2, y2, k, cells
+):
+    """For random data and windows, the pruned plan equals the baseline."""
+    outer = [Point(x, y, i) for i, (x, y) in enumerate(outer_coords)]
+    inner = [Point(x, y, 10_000 + i) for i, (x, y) in enumerate(inner_coords)]
+    window = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+    outer_index = GridIndex(outer, cells_per_side=cells, bounds=BOUNDS)
+    inner_index = GridIndex(inner, cells_per_side=cells, bounds=BOUNDS)
+    base = range_inner_join_baseline(outer, inner_index, window, k)
+    got = range_inner_join_block_marking(outer_index, inner_index, window, k)
+    assert {p.pids for p in got} == {p.pids for p in base}

@@ -1,0 +1,53 @@
+"""Unit tests for the pruning counters (repro.core.stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import PruningStats
+
+
+class TestPruningStats:
+    def test_defaults_are_zero(self):
+        s = PruningStats()
+        assert s.points_considered == 0
+        assert s.prune_fraction == 0.0
+
+    def test_points_considered(self):
+        s = PruningStats(neighborhoods_computed=3, points_pruned=7)
+        assert s.points_considered == 10
+        assert s.prune_fraction == pytest.approx(0.7)
+
+    def test_merge_accumulates_every_counter(self):
+        a = PruningStats(
+            neighborhoods_computed=1,
+            points_pruned=2,
+            blocks_examined=3,
+            blocks_pruned=4,
+            blocks_contributing=5,
+            blocks_skipped_by_contour=6,
+            cache_hits=7,
+            cache_misses=8,
+            locality_blocks=9,
+        )
+        b = PruningStats(
+            neighborhoods_computed=10,
+            points_pruned=20,
+            blocks_examined=30,
+            blocks_pruned=40,
+            blocks_contributing=50,
+            blocks_skipped_by_contour=60,
+            cache_hits=70,
+            cache_misses=80,
+            locality_blocks=90,
+        )
+        a.merge(b)
+        assert a.neighborhoods_computed == 11
+        assert a.points_pruned == 22
+        assert a.blocks_examined == 33
+        assert a.blocks_pruned == 44
+        assert a.blocks_contributing == 55
+        assert a.blocks_skipped_by_contour == 66
+        assert a.cache_hits == 77
+        assert a.cache_misses == 88
+        assert a.locality_blocks == 99

@@ -1,0 +1,106 @@
+"""Unit tests for chained kNN-joins (Section 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import PruningStats
+from repro.core.two_joins.chained import (
+    chained_joins_nested,
+    chained_joins_qep1,
+    chained_joins_qep2,
+)
+from repro.datagen import clustered_points, uniform_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.locality.brute import brute_force_knn
+
+from tests.conftest import triplet_pid_set
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def _make_datasets(seed: int, clustered_b: bool = False):
+    a = uniform_points(120, BOUNDS, seed=seed, start_pid=1_000)
+    if clustered_b:
+        b = clustered_points(3, 150, BOUNDS, cluster_radius=60.0, seed=seed + 1, start_pid=10_000)
+    else:
+        b = uniform_points(450, BOUNDS, seed=seed + 1, start_pid=10_000)
+    c = uniform_points(300, BOUNDS, seed=seed + 2, start_pid=20_000)
+    ib = GridIndex(b, cells_per_side=10, bounds=BOUNDS)
+    ic = GridIndex(c, cells_per_side=10, bounds=BOUNDS)
+    return a, b, c, ib, ic
+
+
+class TestChainedEquivalence:
+    @pytest.mark.parametrize("k_ab,k_bc", [(1, 1), (2, 2), (3, 4)])
+    def test_all_three_qeps_agree(self, k_ab, k_bc):
+        """Figure 13: QEP1 ≡ QEP2 ≡ QEP3."""
+        a, b, c, ib, ic = _make_datasets(seed=70)
+        qep1 = chained_joins_qep1(a, b, ib, ic, k_ab, k_bc)
+        qep2 = chained_joins_qep2(a, b, ib, ic, k_ab, k_bc)
+        qep3 = chained_joins_nested(a, ib, ic, k_ab, k_bc, cache=True)
+        assert triplet_pid_set(qep1) == triplet_pid_set(qep2) == triplet_pid_set(qep3)
+
+    def test_cache_does_not_change_results(self):
+        a, b, c, ib, ic = _make_datasets(seed=71, clustered_b=True)
+        cached = chained_joins_nested(a, ib, ic, 2, 3, cache=True)
+        uncached = chained_joins_nested(a, ib, ic, 2, 3, cache=False)
+        assert triplet_pid_set(cached) == triplet_pid_set(uncached)
+
+    def test_triplets_satisfy_both_predicates(self):
+        a, b, c, ib, ic = _make_datasets(seed=72)
+        triplets = chained_joins_nested(a, ib, ic, 2, 2, cache=True)
+        a_by_pid = {p.pid: p for p in a}
+        b_by_pid = {p.pid: p for p in b}
+        for t in triplets[:200]:
+            assert t.b.pid in set(brute_force_knn(b, a_by_pid[t.a.pid], 2).pids)
+            assert t.c.pid in set(brute_force_knn(c, b_by_pid[t.b.pid], 2).pids)
+
+    def test_output_cardinality(self):
+        """Every (a, matched b) pair contributes exactly k_bc triplets."""
+        a, b, c, ib, ic = _make_datasets(seed=73)
+        k_ab, k_bc = 3, 2
+        triplets = chained_joins_nested(a, ib, ic, k_ab, k_bc, cache=True)
+        assert len(triplets) == len(a) * k_ab * k_bc
+
+
+class TestCacheBehaviour:
+    def test_cache_hits_occur_when_b_points_are_shared(self):
+        """With clustered B, many A points share B neighbors -> cache hits."""
+        a, b, c, ib, ic = _make_datasets(seed=74, clustered_b=True)
+        stats = PruningStats()
+        chained_joins_nested(a, ib, ic, 3, 2, cache=True, stats=stats)
+        assert stats.cache_hits > 0
+        assert stats.cache_misses > 0
+        assert stats.cache_hits + stats.cache_misses == len(a) * 3
+
+    def test_cached_variant_computes_fewer_neighborhoods(self):
+        a, b, c, ib, ic = _make_datasets(seed=75, clustered_b=True)
+        cached_stats = PruningStats()
+        uncached_stats = PruningStats()
+        chained_joins_nested(a, ib, ic, 3, 2, cache=True, stats=cached_stats)
+        chained_joins_nested(a, ib, ic, 3, 2, cache=False, stats=uncached_stats)
+        assert cached_stats.neighborhoods_computed < uncached_stats.neighborhoods_computed
+
+    def test_nested_join_skips_unmatched_b_points(self):
+        """QEP3 only computes C-neighborhoods for B points matched by some A point."""
+        a, b, c, ib, ic = _make_datasets(seed=76, clustered_b=True)
+        stats = PruningStats()
+        chained_joins_nested(a, ib, ic, 2, 2, cache=True, stats=stats)
+        # Distinct matched B points <= |A| * k_ab and (for clustered B) < |B|.
+        assert stats.neighborhoods_computed <= len(a) * 2
+        assert stats.neighborhoods_computed < len(b)
+
+
+class TestValidation:
+    def test_rejects_bad_k(self):
+        a, b, c, ib, ic = _make_datasets(seed=77)
+        with pytest.raises(InvalidParameterError):
+            chained_joins_nested(a, ib, ic, 0, 1)
+        with pytest.raises(InvalidParameterError):
+            chained_joins_qep1(a, b, ib, ic, 1, 0)
+        with pytest.raises(InvalidParameterError):
+            chained_joins_qep2(a, b, ib, ic, -1, 1)

@@ -1,0 +1,112 @@
+"""Unit tests for unchained kNN-joins (Section 4.1, Procedure 4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import PruningStats
+from repro.core.two_joins.unchained import (
+    choose_unchained_join_order,
+    unchained_joins_auto,
+    unchained_joins_baseline,
+    unchained_joins_block_marking,
+)
+from repro.datagen import clustered_points, uniform_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.locality.brute import brute_force_knn
+
+from tests.conftest import triplet_pid_set
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def _make_datasets(seed: int, clustered_a: bool = True):
+    if clustered_a:
+        a = clustered_points(2, 120, BOUNDS, cluster_radius=60.0, seed=seed, start_pid=1_000)
+    else:
+        a = uniform_points(240, BOUNDS, seed=seed, start_pid=1_000)
+    b = uniform_points(500, BOUNDS, seed=seed + 1, start_pid=10_000)
+    c = uniform_points(300, BOUNDS, seed=seed + 2, start_pid=20_000)
+    ia = GridIndex(a, cells_per_side=10, bounds=BOUNDS)
+    ib = GridIndex(b, cells_per_side=10, bounds=BOUNDS)
+    ic = GridIndex(c, cells_per_side=10, bounds=BOUNDS)
+    return a, b, c, ia, ib, ic
+
+
+class TestBaselineSemantics:
+    def test_triplets_satisfy_both_join_predicates(self):
+        a, b, c, _, ib, _ = _make_datasets(seed=50)
+        triplets = unchained_joins_baseline(a, c, ib, 2, 3)
+        a_by_pid = {p.pid: p for p in a}
+        c_by_pid = {p.pid: p for p in c}
+        for t in triplets:
+            assert t.b.pid in set(brute_force_knn(b, a_by_pid[t.a.pid], 2).pids)
+            assert t.b.pid in set(brute_force_knn(b, c_by_pid[t.c.pid], 3).pids)
+
+    def test_rejects_bad_k(self):
+        a, b, c, _, ib, _ = _make_datasets(seed=51)
+        with pytest.raises(InvalidParameterError):
+            unchained_joins_baseline(a, c, ib, 0, 1)
+
+
+class TestBlockMarkingEquivalence:
+    @pytest.mark.parametrize("k_ab,k_cb", [(1, 1), (2, 2), (3, 5)])
+    def test_matches_baseline(self, k_ab, k_cb):
+        a, _, c, _, ib, ic = _make_datasets(seed=52)
+        base = unchained_joins_baseline(a, c, ib, k_ab, k_cb)
+        got = unchained_joins_block_marking(a, ic, ib, k_ab, k_cb)
+        assert triplet_pid_set(got) == triplet_pid_set(base)
+
+    def test_matches_baseline_uniform_a(self):
+        a, _, c, _, ib, ic = _make_datasets(seed=53, clustered_a=False)
+        base = unchained_joins_baseline(a, c, ib, 2, 2)
+        got = unchained_joins_block_marking(a, ic, ib, 2, 2)
+        assert triplet_pid_set(got) == triplet_pid_set(base)
+
+    def test_clustered_first_join_prunes_c_blocks(self):
+        """When A is clustered, blocks of C far from A's clusters are pruned."""
+        a, _, c, _, ib, ic = _make_datasets(seed=54)
+        stats = PruningStats()
+        unchained_joins_block_marking(a, ic, ib, 2, 2, stats=stats)
+        assert stats.blocks_pruned > 0
+        assert stats.points_pruned > 0
+
+    def test_stats_account_for_all_c_points(self):
+        a, _, c, _, ib, ic = _make_datasets(seed=55)
+        stats = PruningStats()
+        unchained_joins_block_marking(a, ic, ib, 2, 2, stats=stats)
+        assert stats.neighborhoods_computed + stats.points_pruned == len(c)
+
+
+class TestJoinOrder:
+    def test_clustered_relation_goes_first(self):
+        a, _, c, ia, _, ic = _make_datasets(seed=56, clustered_a=True)
+        # A clustered, C uniform -> start with A.
+        assert choose_unchained_join_order(ia, ic) == "A"
+        assert choose_unchained_join_order(ic, ia) == "C"
+
+    def test_auto_matches_baseline_and_preserves_column_order(self):
+        a, _, c, ia, ib, ic = _make_datasets(seed=57)
+        base = unchained_joins_baseline(a, c, ib, 2, 3)
+        got = unchained_joins_auto(ia, ic, ib, 2, 3)
+        assert triplet_pid_set(got) == triplet_pid_set(base)
+        a_pids = {p.pid for p in a}
+        c_pids = {p.pid for p in c}
+        for t in got:
+            assert t.a.pid in a_pids
+            assert t.c.pid in c_pids
+
+    def test_auto_with_clustered_c_swaps_order(self):
+        c = clustered_points(2, 100, BOUNDS, cluster_radius=50.0, seed=58, start_pid=30_000)
+        a = uniform_points(200, BOUNDS, seed=59, start_pid=40_000)
+        b = uniform_points(400, BOUNDS, seed=60, start_pid=50_000)
+        ia = GridIndex(a, cells_per_side=10, bounds=BOUNDS)
+        ib = GridIndex(b, cells_per_side=10, bounds=BOUNDS)
+        ic = GridIndex(c, cells_per_side=10, bounds=BOUNDS)
+        assert choose_unchained_join_order(ia, ic) == "C"
+        base = unchained_joins_baseline(a, c, ib, 2, 2)
+        got = unchained_joins_auto(ia, ic, ib, 2, 2)
+        assert triplet_pid_set(got) == triplet_pid_set(base)

@@ -1,0 +1,113 @@
+"""Unit tests for two kNN-selects (Section 5, Procedure 5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import PruningStats
+from repro.core.two_selects.baseline import two_knn_selects_baseline
+from repro.core.two_selects.optimized import two_knn_selects_optimized
+from repro.datagen import clustered_points, uniform_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.locality.brute import brute_force_knn
+
+from tests.conftest import point_pid_set
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestBaselineSemantics:
+    def test_result_is_intersection_of_brute_force_neighborhoods(
+        self, grid_uniform_medium, uniform_medium
+    ):
+        f1, k1 = Point(300.0, 300.0), 20
+        f2, k2 = Point(330.0, 320.0), 60
+        got = point_pid_set(two_knn_selects_baseline(grid_uniform_medium, f1, k1, f2, k2))
+        expected = set(brute_force_knn(uniform_medium, f1, k1).pids) & set(
+            brute_force_knn(uniform_medium, f2, k2).pids
+        )
+        assert got == expected
+
+    def test_same_focal_same_k_returns_whole_neighborhood(self, grid_uniform_medium):
+        f = Point(500.0, 500.0)
+        got = two_knn_selects_baseline(grid_uniform_medium, f, 15, f, 15)
+        assert len(got) == 15
+
+    def test_distant_focals_with_small_k_intersect_empty(self, grid_uniform_medium):
+        got = two_knn_selects_baseline(
+            grid_uniform_medium, Point(10.0, 10.0), 3, Point(990.0, 990.0), 3
+        )
+        assert got == []
+
+
+class TestOptimizedEquivalence:
+    @pytest.mark.parametrize(
+        "k1,k2",
+        [(1, 1), (5, 5), (10, 100), (100, 10), (3, 700), (50, 51)],
+    )
+    def test_matches_baseline(self, grid_uniform_medium, k1, k2):
+        f1 = Point(420.0, 450.0)
+        f2 = Point(560.0, 470.0)
+        base = two_knn_selects_baseline(grid_uniform_medium, f1, k1, f2, k2)
+        got = two_knn_selects_optimized(grid_uniform_medium, f1, k1, f2, k2)
+        assert point_pid_set(got) == point_pid_set(base)
+
+    def test_matches_baseline_far_apart_focals(self, grid_uniform_medium):
+        f1 = Point(50.0, 50.0)
+        f2 = Point(950.0, 950.0)
+        base = two_knn_selects_baseline(grid_uniform_medium, f1, 10, f2, 500)
+        got = two_knn_selects_optimized(grid_uniform_medium, f1, 10, f2, 500)
+        assert point_pid_set(got) == point_pid_set(base)
+
+    def test_matches_baseline_clustered_data(self):
+        pts = clustered_points(3, 400, BOUNDS, cluster_radius=80.0, seed=81)
+        idx = GridIndex(pts, cells_per_side=12, bounds=BOUNDS)
+        f1 = Point(200.0, 200.0)
+        f2 = Point(260.0, 240.0)
+        base = two_knn_selects_baseline(idx, f1, 8, f2, 300)
+        got = two_knn_selects_optimized(idx, f1, 8, f2, 300)
+        assert point_pid_set(got) == point_pid_set(base)
+
+    def test_matches_baseline_k_exceeding_dataset(self, grid_uniform_small, uniform_small):
+        f1 = Point(10.0, 10.0)
+        f2 = Point(20.0, 900.0)
+        k2 = len(uniform_small) + 100
+        base = two_knn_selects_baseline(grid_uniform_small, f1, 5, f2, k2)
+        got = two_knn_selects_optimized(grid_uniform_small, f1, 5, f2, k2)
+        assert point_pid_set(got) == point_pid_set(base)
+
+    def test_matches_baseline_on_every_index(self, any_index_uniform_small):
+        f1 = Point(333.0, 444.0)
+        f2 = Point(350.0, 460.0)
+        base = two_knn_selects_baseline(any_index_uniform_small, f1, 7, f2, 120)
+        got = two_knn_selects_optimized(any_index_uniform_small, f1, 7, f2, 120)
+        assert point_pid_set(got) == point_pid_set(base)
+
+
+class TestOptimizedPruning:
+    def test_restricted_locality_is_smaller_for_large_k2(self, grid_uniform_medium):
+        """The point of Procedure 5: the large-k select's locality shrinks."""
+        f1 = Point(200.0, 800.0)
+        f2 = Point(220.0, 820.0)
+        stats = PruningStats()
+        two_knn_selects_optimized(grid_uniform_medium, f1, 5, f2, 1000, stats=stats)
+        nonempty_blocks = sum(1 for b in grid_uniform_medium.blocks if b.count > 0)
+        assert stats.locality_blocks < nonempty_blocks
+
+    def test_swap_makes_result_independent_of_argument_order(self, grid_uniform_medium):
+        f1 = Point(600.0, 600.0)
+        f2 = Point(630.0, 640.0)
+        one = two_knn_selects_optimized(grid_uniform_medium, f1, 10, f2, 200)
+        two = two_knn_selects_optimized(grid_uniform_medium, f2, 200, f1, 10)
+        assert point_pid_set(one) == point_pid_set(two)
+
+
+class TestValidation:
+    def test_rejects_bad_k(self, grid_uniform_small):
+        with pytest.raises(InvalidParameterError):
+            two_knn_selects_baseline(grid_uniform_small, Point(0, 0), 0, Point(1, 1), 1)
+        with pytest.raises(InvalidParameterError):
+            two_knn_selects_optimized(grid_uniform_small, Point(0, 0), 1, Point(1, 1), 0)

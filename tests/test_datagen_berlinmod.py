@@ -1,0 +1,88 @@
+"""Unit tests for the synthetic BerlinMOD-like snapshot generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.berlinmod import BerlinModConfig, berlinmod_snapshot
+from repro.exceptions import InvalidParameterError
+from repro.geometry.rectangle import Rect
+
+
+class TestConfig:
+    def test_total_points(self):
+        cfg = BerlinModConfig(num_vehicles=10, reports_per_vehicle=4)
+        assert cfg.total_points == 40
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BerlinModConfig(num_vehicles=0)
+        with pytest.raises(InvalidParameterError):
+            BerlinModConfig(reports_per_vehicle=0)
+        with pytest.raises(InvalidParameterError):
+            BerlinModConfig(center_concentration=0.0)
+        with pytest.raises(InvalidParameterError):
+            BerlinModConfig(gps_jitter=-1.0)
+
+
+class TestSnapshot:
+    def test_exact_point_count_with_n(self):
+        pts = berlinmod_snapshot(n=1234, seed=1)
+        assert len(pts) == 1234
+
+    def test_points_inside_bounds(self):
+        cfg = BerlinModConfig(num_vehicles=200, reports_per_vehicle=8, seed=2)
+        pts = berlinmod_snapshot(config=cfg)
+        assert all(cfg.bounds.contains_point(p) for p in pts)
+
+    def test_pids_sequential_from_start(self):
+        pts = berlinmod_snapshot(n=100, seed=3, start_pid=5000)
+        assert [p.pid for p in pts] == list(range(5000, 5100))
+
+    def test_deterministic_given_seed(self):
+        a = berlinmod_snapshot(n=500, seed=4)
+        b = berlinmod_snapshot(n=500, seed=4)
+        assert [(p.x, p.y) for p in a] == [(p.x, p.y) for p in b]
+
+    def test_different_seeds_differ(self):
+        a = berlinmod_snapshot(n=500, seed=5)
+        b = berlinmod_snapshot(n=500, seed=6)
+        assert [(p.x, p.y) for p in a] != [(p.x, p.y) for p in b]
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(InvalidParameterError):
+            berlinmod_snapshot(n=0)
+
+    def test_payload_records_vehicle(self):
+        pts = berlinmod_snapshot(n=64, seed=7)
+        assert all(p.payload is not None and p.payload[0] == "vehicle" for p in pts)
+        # Consecutive reports of a vehicle share the vehicle id.
+        assert pts[0].payload == pts[1].payload
+
+
+class TestDistributionShape:
+    def test_distribution_is_center_skewed(self):
+        """Urban-core density must exceed the periphery (as in BerlinMOD)."""
+        cfg = BerlinModConfig(num_vehicles=800, reports_per_vehicle=8, seed=8)
+        pts = berlinmod_snapshot(config=cfg)
+        center = cfg.bounds.center
+        half = 0.25 * min(cfg.bounds.width, cfg.bounds.height)
+        inner = sum(1 for p in pts if abs(p.x - center.x) < half and abs(p.y - center.y) < half)
+        inner_fraction = inner / len(pts)
+        inner_area_fraction = (2 * half) ** 2 / cfg.bounds.area
+        assert inner_fraction > 2 * inner_area_fraction
+
+    def test_distribution_is_not_uniform(self):
+        """A chi-square-style check: cell occupancy variance far above uniform."""
+        cfg = BerlinModConfig(num_vehicles=500, reports_per_vehicle=8, seed=9)
+        pts = berlinmod_snapshot(config=cfg)
+        grid = 10
+        counts = np.zeros((grid, grid))
+        for p in pts:
+            ix = min(grid - 1, int((p.x - cfg.bounds.xmin) / cfg.bounds.width * grid))
+            iy = min(grid - 1, int((p.y - cfg.bounds.ymin) / cfg.bounds.height * grid))
+            counts[iy, ix] += 1
+        expected = len(pts) / grid**2
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        assert chi2 > 5 * grid**2  # vastly non-uniform

@@ -1,0 +1,76 @@
+"""Unit tests for the clustered generator (equal-area, non-overlapping clusters)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.clustered import cluster_centers, clustered_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestClusterCenters:
+    def test_requested_number_of_centers(self):
+        centers = cluster_centers(7, BOUNDS, cluster_radius=40.0, seed=1)
+        assert len(centers) == 7
+
+    def test_centers_are_non_overlapping(self):
+        radius = 50.0
+        centers = cluster_centers(9, BOUNDS, cluster_radius=radius, seed=2)
+        for i, a in enumerate(centers):
+            for b in centers[i + 1 :]:
+                assert a.distance_to(b) >= 2 * radius - 1e-9
+
+    def test_centers_keep_clusters_inside_bounds(self):
+        radius = 60.0
+        for c in cluster_centers(5, BOUNDS, cluster_radius=radius, seed=3):
+            assert BOUNDS.expand(-radius + 1e-9).contains_point(c)
+
+    def test_too_many_clusters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cluster_centers(100, Rect(0, 0, 100, 100), cluster_radius=20.0)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cluster_centers(0, BOUNDS, cluster_radius=10.0)
+        with pytest.raises(InvalidParameterError):
+            cluster_centers(3, BOUNDS, cluster_radius=0.0)
+
+
+class TestClusteredPoints:
+    def test_total_count(self):
+        pts = clustered_points(4, 250, BOUNDS, cluster_radius=50.0, seed=4)
+        assert len(pts) == 1000
+
+    def test_points_form_tight_clusters(self):
+        """The paper's setup: equal-size clusters; every point within one radius
+        of some cluster center."""
+        radius = 45.0
+        pts = clustered_points(3, 200, BOUNDS, cluster_radius=radius, seed=5)
+        centers = cluster_centers(3, BOUNDS, cluster_radius=radius, seed=5)
+        for p in pts:
+            assert min(p.distance_to(c) for c in centers) <= radius + 1e-6
+
+    def test_pids_are_sequential(self):
+        pts = clustered_points(2, 10, BOUNDS, cluster_radius=30.0, seed=6, start_pid=500)
+        assert [p.pid for p in pts] == list(range(500, 520))
+
+    def test_deterministic(self):
+        a = clustered_points(2, 50, BOUNDS, cluster_radius=30.0, seed=7)
+        b = clustered_points(2, 50, BOUNDS, cluster_radius=30.0, seed=7)
+        assert [(p.x, p.y) for p in a] == [(p.x, p.y) for p in b]
+
+    def test_rejects_bad_points_per_cluster(self):
+        with pytest.raises(InvalidParameterError):
+            clustered_points(2, 0, BOUNDS, cluster_radius=30.0)
+
+    def test_clusters_cover_small_fraction_of_space(self):
+        """Cluster coverage (the statistic of Section 4.1.2) stays small."""
+        radius = 40.0
+        num = 5
+        cluster_area = num * np.pi * radius**2
+        assert cluster_area / BOUNDS.area < 0.05

@@ -1,0 +1,69 @@
+"""Unit tests for the synthetic street network generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.network import StreetNetwork, StreetSegment, build_street_network
+from repro.exceptions import InvalidParameterError
+from repro.geometry.rectangle import Rect
+
+BOUNDS = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+
+
+class TestStreetSegment:
+    def test_length_and_interpolation(self):
+        seg = StreetSegment(0, 0, 3, 4, weight=1.0)
+        assert seg.length == pytest.approx(5.0)
+        assert seg.interpolate(0.0) == (0.0, 0.0)
+        assert seg.interpolate(1.0) == (3.0, 4.0)
+        assert seg.interpolate(0.5) == (1.5, 2.0)
+
+
+class TestBuildNetwork:
+    def test_network_has_all_street_kinds(self):
+        net = build_street_network(BOUNDS, grid_streets=10, arterials=6, rings=2, seed=1)
+        weights = {s.weight for s in net.segments}
+        assert {1.0, 2.0, 3.0} <= weights  # rings, arterials, core grid
+
+    def test_segment_counts(self):
+        net = build_street_network(BOUNDS, grid_streets=10, arterials=6, rings=2, seed=2)
+        assert net.num_segments == 2 * 10 + 6 + 2 * 24
+
+    def test_total_length_positive(self):
+        net = build_street_network(BOUNDS, seed=3)
+        assert net.total_length > 0
+
+    def test_sampling_weights_normalized(self):
+        net = build_street_network(BOUNDS, seed=4)
+        w = net.sampling_weights()
+        assert w.shape == (net.num_segments,)
+        assert w.sum() == pytest.approx(1.0)
+        assert (w > 0).all()
+
+    def test_deterministic_given_seed(self):
+        a = build_street_network(BOUNDS, seed=5)
+        b = build_street_network(BOUNDS, seed=5)
+        assert [(s.x1, s.y1, s.x2, s.y2) for s in a.segments] == [
+            (s.x1, s.y1, s.x2, s.y2) for s in b.segments
+        ]
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            build_street_network(BOUNDS, grid_streets=1)
+        with pytest.raises(InvalidParameterError):
+            build_street_network(BOUNDS, arterials=1)
+
+    def test_empty_network_weights_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            StreetNetwork(bounds=BOUNDS, segments=[]).sampling_weights()
+
+    def test_core_streets_denser_than_periphery(self):
+        """Inner-city grid segments concentrate near the center of the extent."""
+        net = build_street_network(BOUNDS, seed=6)
+        center = BOUNDS.center
+        core = [s for s in net.segments if s.weight == 3.0]
+        mids = np.array([s.interpolate(0.5) for s in core])
+        dists = np.hypot(mids[:, 0] - center.x, mids[:, 1] - center.y)
+        assert dists.max() < 0.35 * BOUNDS.width

@@ -1,0 +1,63 @@
+"""Unit tests for the uniform and Gaussian generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.uniform import gaussian_points, uniform_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+BOUNDS = Rect(10.0, 20.0, 110.0, 220.0)
+
+
+class TestUniform:
+    def test_count_and_pids(self):
+        pts = uniform_points(50, BOUNDS, seed=1, start_pid=7)
+        assert len(pts) == 50
+        assert [p.pid for p in pts] == list(range(7, 57))
+
+    def test_all_points_inside_bounds(self):
+        pts = uniform_points(500, BOUNDS, seed=2)
+        assert all(BOUNDS.contains_point(p) for p in pts)
+
+    def test_deterministic_given_seed(self):
+        a = uniform_points(20, BOUNDS, seed=3)
+        b = uniform_points(20, BOUNDS, seed=3)
+        assert [(p.x, p.y) for p in a] == [(p.x, p.y) for p in b]
+
+    def test_different_seed_different_points(self):
+        a = uniform_points(20, BOUNDS, seed=4)
+        b = uniform_points(20, BOUNDS, seed=5)
+        assert [(p.x, p.y) for p in a] != [(p.x, p.y) for p in b]
+
+    def test_roughly_uniform_spread(self):
+        pts = uniform_points(4000, BOUNDS, seed=6)
+        xs = np.array([p.x for p in pts])
+        left = (xs < BOUNDS.xmin + BOUNDS.width / 2).mean()
+        assert 0.45 < left < 0.55
+
+    def test_zero_points(self):
+        assert uniform_points(0, BOUNDS) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            uniform_points(-1, BOUNDS)
+
+
+class TestGaussian:
+    def test_clipped_to_bounds(self):
+        pts = gaussian_points(300, Point(10.0, 20.0), 200.0, bounds=BOUNDS, seed=7)
+        assert all(BOUNDS.contains_point(p) for p in pts)
+
+    def test_concentrates_around_center(self):
+        center = Point(60.0, 120.0)
+        pts = gaussian_points(2000, center, 5.0, seed=8)
+        mean_dist = np.mean([p.distance_to(center) for p in pts])
+        assert mean_dist < 15.0
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(InvalidParameterError):
+            gaussian_points(10, Point(0, 0), -1.0)

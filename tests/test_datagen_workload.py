@@ -1,0 +1,43 @@
+"""Unit tests for the declarative dataset recipes (repro.datagen.workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.workload import DEFAULT_EXTENT, DatasetSpec, make_dataset
+from repro.exceptions import InvalidParameterError
+
+
+class TestDatasetSpec:
+    def test_rejects_bad_size(self):
+        with pytest.raises(InvalidParameterError):
+            DatasetSpec(distribution="uniform", n=0)
+
+    @pytest.mark.parametrize("dist", ["uniform", "gaussian", "clustered", "berlinmod"])
+    def test_make_dataset_produces_requested_size(self, dist):
+        spec = DatasetSpec(distribution=dist, n=400, seed=1)
+        pts = make_dataset(spec)
+        assert len(pts) == 400 or (dist == "clustered" and len(pts) <= 400)
+        assert all(DEFAULT_EXTENT.contains_point(p) for p in pts)
+
+    def test_start_pid_offsets_ids(self):
+        spec = DatasetSpec(distribution="uniform", n=10, seed=2)
+        pts = make_dataset(spec, start_pid=1000)
+        assert pts[0].pid == 1000
+
+    def test_unknown_distribution_rejected(self):
+        spec = DatasetSpec(distribution="uniform", n=10)
+        object.__setattr__(spec, "distribution", "zipfian")
+        with pytest.raises(InvalidParameterError):
+            make_dataset(spec)
+
+    def test_clustered_spec_controls_cluster_count(self):
+        spec = DatasetSpec(distribution="clustered", n=900, num_clusters=3, seed=3)
+        pts = make_dataset(spec)
+        assert len(pts) == 900
+
+    def test_deterministic(self):
+        spec = DatasetSpec(distribution="berlinmod", n=256, seed=4)
+        assert [(p.x, p.y) for p in make_dataset(spec)] == [
+            (p.x, p.y) for p in make_dataset(spec)
+        ]

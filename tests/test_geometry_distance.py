@@ -1,0 +1,106 @@
+"""Unit tests for repro.geometry.distance (MINDIST / MAXDIST)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.distance import (
+    distances_to_point,
+    euclidean,
+    euclidean_squared,
+    maxdist_point_rect,
+    mindist_point_rect,
+    mindist_rect_rect,
+    pairwise_distances,
+)
+from repro.geometry.point import Point, as_point_array
+from repro.geometry.rectangle import Rect
+
+RECT = Rect(2.0, 2.0, 4.0, 6.0)
+
+
+class TestEuclidean:
+    def test_matches_hypot(self):
+        assert euclidean(Point(0, 0), Point(6, 8)) == pytest.approx(10.0)
+
+    def test_squared(self):
+        assert euclidean_squared(Point(1, 1), Point(4, 5)) == pytest.approx(25.0)
+
+
+class TestMindistPointRect:
+    def test_point_inside_is_zero(self):
+        assert mindist_point_rect(Point(3, 4), RECT) == 0.0
+
+    def test_point_on_boundary_is_zero(self):
+        assert mindist_point_rect(Point(2, 2), RECT) == 0.0
+
+    def test_point_left_of_rect(self):
+        assert mindist_point_rect(Point(0, 4), RECT) == pytest.approx(2.0)
+
+    def test_point_diagonal_from_corner(self):
+        assert mindist_point_rect(Point(0, 0), RECT) == pytest.approx(math.hypot(2, 2))
+
+    def test_lower_bound_of_actual_distances(self):
+        p = Point(-3.0, 9.0)
+        inside = [Point(x, y) for x in np.linspace(2, 4, 7) for y in np.linspace(2, 6, 7)]
+        lower = mindist_point_rect(p, RECT)
+        assert all(p.distance_to(q) >= lower - 1e-12 for q in inside)
+
+
+class TestMaxdistPointRect:
+    def test_point_at_center(self):
+        # Farthest corner of RECT from its center (3, 4) is at distance hypot(1, 2).
+        assert maxdist_point_rect(Point(3, 4), RECT) == pytest.approx(math.hypot(1, 2))
+
+    def test_upper_bound_of_actual_distances(self):
+        p = Point(10.0, -1.0)
+        inside = [Point(x, y) for x in np.linspace(2, 4, 7) for y in np.linspace(2, 6, 7)]
+        upper = maxdist_point_rect(p, RECT)
+        assert all(p.distance_to(q) <= upper + 1e-12 for q in inside)
+
+    def test_maxdist_at_least_mindist(self):
+        for p in (Point(0, 0), Point(3, 3), Point(7, 7), Point(-5, 10)):
+            assert maxdist_point_rect(p, RECT) >= mindist_point_rect(p, RECT)
+
+    def test_degenerate_rect_maxdist_equals_distance(self):
+        r = Rect(1, 1, 1, 1)
+        p = Point(4, 5)
+        assert maxdist_point_rect(p, r) == pytest.approx(5.0)
+        assert mindist_point_rect(p, r) == pytest.approx(5.0)
+
+
+class TestMindistRectRect:
+    def test_overlapping_is_zero(self):
+        assert mindist_rect_rect(Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)) == 0.0
+
+    def test_touching_is_zero(self):
+        assert mindist_rect_rect(Rect(0, 0, 1, 1), Rect(1, 1, 2, 2)) == 0.0
+
+    def test_separated_horizontally(self):
+        assert mindist_rect_rect(Rect(0, 0, 1, 1), Rect(3, 0, 4, 1)) == pytest.approx(2.0)
+
+    def test_separated_diagonally(self):
+        assert mindist_rect_rect(Rect(0, 0, 1, 1), Rect(4, 5, 6, 7)) == pytest.approx(5.0)
+
+
+class TestVectorized:
+    def test_distances_to_point(self):
+        coords = as_point_array([(0, 0), (3, 4), (6, 8)])
+        out = distances_to_point(coords, Point(0, 0))
+        assert out.tolist() == pytest.approx([0.0, 5.0, 10.0])
+
+    def test_distances_to_point_empty(self):
+        assert distances_to_point(as_point_array([]), Point(0, 0)).shape == (0,)
+
+    def test_pairwise(self):
+        a = as_point_array([(0, 0), (1, 0)])
+        b = as_point_array([(0, 0), (0, 1), (4, 3)])
+        m = pairwise_distances(a, b)
+        assert m.shape == (2, 3)
+        assert m[0].tolist() == pytest.approx([0.0, 1.0, 5.0])
+
+    def test_pairwise_empty(self):
+        assert pairwise_distances(as_point_array([]), as_point_array([(1, 1)])).shape == (0, 1)

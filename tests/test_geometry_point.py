@@ -1,0 +1,94 @@
+"""Unit tests for repro.geometry.point."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.point import Point, as_point_array, centroid
+
+
+class TestPoint:
+    def test_distance_to_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-3.0, 7.25)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_squared_distance_matches_distance(self):
+        a, b = Point(2.0, 3.0), Point(-1.0, 5.5)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(4.2, -7.9)
+        assert p.distance_to(p) == 0.0
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.0, 2.0)
+        assert p.as_tuple() == (1.0, 2.0)
+        assert tuple(p) == (1.0, 2.0)
+
+    def test_translate_keeps_identity(self):
+        p = Point(1.0, 2.0, pid=7, payload="hotel")
+        moved = p.translate(3.0, -1.0)
+        assert (moved.x, moved.y) == (4.0, 1.0)
+        assert moved.pid == 7
+        assert moved.payload == "hotel"
+
+    def test_default_pid_is_negative_one(self):
+        assert Point(0.0, 0.0).pid == -1
+
+    def test_points_are_hashable_and_equal_by_value(self):
+        assert Point(1.0, 2.0, 3) == Point(1.0, 2.0, 3)
+        assert len({Point(1.0, 2.0, 3), Point(1.0, 2.0, 3)}) == 1
+
+    def test_payload_not_part_of_equality(self):
+        assert Point(1.0, 2.0, 3, payload="a") == Point(1.0, 2.0, 3, payload="b")
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_coordinates_rejected(self, bad):
+        with pytest.raises(GeometryError):
+            Point(bad, 0.0)
+        with pytest.raises(GeometryError):
+            Point(0.0, bad)
+
+
+class TestAsPointArray:
+    def test_from_points(self):
+        arr = as_point_array([Point(1, 2), Point(3, 4)])
+        assert arr.shape == (2, 2)
+        assert arr.dtype == np.float64
+        assert arr.tolist() == [[1.0, 2.0], [3.0, 4.0]]
+
+    def test_from_tuples(self):
+        arr = as_point_array([(1, 2), (3.5, 4.5)])
+        assert arr.tolist() == [[1.0, 2.0], [3.5, 4.5]]
+
+    def test_from_empty(self):
+        assert as_point_array([]).shape == (0, 2)
+
+    def test_from_existing_array_passthrough(self):
+        src = np.array([[1.0, 2.0]])
+        assert as_point_array(src).tolist() == [[1.0, 2.0]]
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GeometryError):
+            as_point_array(np.zeros((3, 3)))
+
+
+class TestCentroid:
+    def test_centroid_of_symmetric_points(self):
+        c = centroid([Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)])
+        assert (c.x, c.y) == (1.0, 1.0)
+
+    def test_centroid_of_single_point(self):
+        c = centroid([Point(5.0, -3.0)])
+        assert (c.x, c.y) == (5.0, -3.0)
+
+    def test_centroid_of_empty_raises(self):
+        with pytest.raises(GeometryError):
+            centroid([])

@@ -1,0 +1,108 @@
+"""Unit tests for repro.geometry.rectangle."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+
+class TestConstruction:
+    def test_inverted_rectangle_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(5, 0, 0, 1)
+        with pytest.raises(GeometryError):
+            Rect(0, 5, 1, 0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, float("inf"), 1)
+
+    def test_degenerate_allowed(self):
+        r = Rect(1, 1, 1, 1)
+        assert r.area == 0.0
+        assert r.diagonal == 0.0
+
+    def test_from_points(self):
+        r = Rect.from_points([Point(1, 5), Point(-2, 3), Point(4, 4)])
+        assert r.as_tuple() == (-2, 3, 4, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(GeometryError):
+            Rect.from_points([])
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5, 5), 4, 2)
+        assert r.as_tuple() == (3, 4, 7, 6)
+
+
+class TestProperties:
+    def test_width_height_area_diagonal(self):
+        r = Rect(0, 0, 3, 4)
+        assert r.width == 3
+        assert r.height == 4
+        assert r.area == 12
+        assert r.diagonal == pytest.approx(5.0)
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_corners(self):
+        corners = list(Rect(0, 0, 1, 2).corners())
+        assert len(corners) == 4
+        assert Point(0, 0) in corners and Point(1, 2) in corners
+
+
+class TestPredicates:
+    def test_contains_point_boundary_inclusive(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(2, 2))
+        assert r.contains_point(Point(1, 1))
+        assert not r.contains_point(Point(2.0001, 1))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+
+    def test_intersects_touching_edges(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.001, 0, 2, 1))
+
+    def test_intersection(self):
+        inter = Rect(0, 0, 4, 4).intersection(Rect(2, 2, 6, 6))
+        assert inter is not None
+        assert inter.as_tuple() == (2, 2, 4, 4)
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)).as_tuple() == (0, 0, 3, 3)
+
+    def test_expand(self):
+        assert Rect(1, 1, 2, 2).expand(1).as_tuple() == (0, 0, 3, 3)
+
+    def test_expand_negative_too_far_raises(self):
+        with pytest.raises(GeometryError):
+            Rect(0, 0, 1, 1).expand(-1)
+
+
+class TestQuadrants:
+    def test_quadrants_tile_the_rectangle(self):
+        r = Rect(0, 0, 4, 4)
+        quads = r.quadrants()
+        assert len(quads) == 4
+        assert sum(q.area for q in quads) == pytest.approx(r.area)
+        # Every quadrant lies inside the parent.
+        assert all(r.contains_rect(q) for q in quads)
+
+    def test_quadrants_cover_every_point(self):
+        r = Rect(0, 0, 4, 4)
+        quads = r.quadrants()
+        for p in (Point(0.5, 0.5), Point(3.5, 0.5), Point(0.5, 3.5), Point(3.5, 3.5), Point(2, 2)):
+            assert any(q.contains_point(p) for q in quads)

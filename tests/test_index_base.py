@@ -1,0 +1,88 @@
+"""Unit tests for the shared SpatialIndex behaviour (repro.index.base)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+
+class TestVectorizedMetrics:
+    def test_mindists_match_scalar(self, any_index_uniform_small):
+        q = Point(123.0, 456.0)
+        vec = any_index_uniform_small.mindists(q)
+        scalar = np.array([b.mindist(q) for b in any_index_uniform_small.blocks])
+        assert np.allclose(vec, scalar)
+
+    def test_maxdists_match_scalar(self, any_index_uniform_small):
+        q = Point(987.0, 12.0)
+        vec = any_index_uniform_small.maxdists(q)
+        scalar = np.array([b.maxdist(q) for b in any_index_uniform_small.blocks])
+        assert np.allclose(vec, scalar)
+
+    def test_mindist_never_exceeds_maxdist(self, any_index_uniform_small):
+        q = Point(500.0, 500.0)
+        assert np.all(
+            any_index_uniform_small.mindists(q) <= any_index_uniform_small.maxdists(q) + 1e-12
+        )
+
+
+class TestOrderings:
+    def test_mindist_order_is_sorted(self, any_index_uniform_small):
+        q = Point(250.0, 750.0)
+        dists = [e.distance for e in any_index_uniform_small.mindist_order(q)]
+        assert dists == sorted(dists)
+        assert len(dists) == any_index_uniform_small.num_blocks
+
+    def test_maxdist_order_is_sorted(self, any_index_uniform_small):
+        q = Point(250.0, 750.0)
+        dists = [e.distance for e in any_index_uniform_small.maxdist_order(q)]
+        assert dists == sorted(dists)
+
+
+class TestConvenienceQueries:
+    def test_blocks_within_matches_definition(self, grid_uniform_small):
+        q = Point(500.0, 500.0)
+        radius = 200.0
+        expected = {b.block_id for b in grid_uniform_small.blocks if b.mindist(q) <= radius}
+        got = {b.block_id for b in grid_uniform_small.blocks_within(q, radius)}
+        assert got == expected
+
+    def test_blocks_intersecting(self, grid_uniform_small):
+        rect = Rect(0.0, 0.0, 250.0, 250.0)
+        got = grid_uniform_small.blocks_intersecting(rect)
+        assert got
+        assert all(b.rect.intersects(rect) for b in got)
+
+    def test_count_points_within_maxdist_counts_fully_covered_blocks(self, grid_uniform_small):
+        q = Point(500.0, 500.0)
+        radius = 300.0
+        expected = sum(b.count for b in grid_uniform_small.blocks if b.maxdist(q) <= radius)
+        assert grid_uniform_small.count_points_within_maxdist(q, radius) == expected
+
+    def test_count_points_within_huge_radius_is_everything(self, grid_uniform_small):
+        q = Point(0.0, 0.0)
+        assert (
+            grid_uniform_small.count_points_within_maxdist(q, 1e9)
+            == grid_uniform_small.num_points
+        )
+
+
+class TestAccounting:
+    def test_len_and_num_points(self, any_index_uniform_small, uniform_small):
+        assert len(any_index_uniform_small) == len(uniform_small)
+        assert any_index_uniform_small.num_points == len(uniform_small)
+
+    def test_block_counts_aligned_with_blocks(self, any_index_uniform_small):
+        counts = any_index_uniform_small.block_counts
+        assert len(counts) == any_index_uniform_small.num_blocks
+        assert [b.count for b in any_index_uniform_small.blocks] == counts.tolist()
+
+    def test_points_iterator_covers_all_pids(self, any_index_uniform_small, uniform_small):
+        assert {p.pid for p in any_index_uniform_small.points()} == {p.pid for p in uniform_small}
+
+    def test_bounds_contains_every_point(self, any_index_uniform_small, uniform_small):
+        bounds = any_index_uniform_small.bounds
+        assert all(bounds.contains_point(p) for p in uniform_small)

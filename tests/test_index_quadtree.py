@@ -1,0 +1,81 @@
+"""Unit tests for repro.index.quadtree.QuadtreeIndex."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import clustered_points, uniform_points
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.quadtree import QuadtreeIndex
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestConstruction:
+    def test_requires_points(self):
+        with pytest.raises(EmptyDatasetError):
+            QuadtreeIndex([])
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            QuadtreeIndex([Point(1, 1, 0)], capacity=0)
+
+    def test_single_point_single_leaf(self):
+        idx = QuadtreeIndex([Point(1, 1, 0)], capacity=4)
+        assert idx.num_blocks == 1
+        assert idx.num_points == 1
+
+    def test_leaf_capacity_respected(self):
+        pts = uniform_points(400, BOUNDS, seed=1)
+        idx = QuadtreeIndex(pts, capacity=32, bounds=BOUNDS)
+        assert all(b.count <= 32 for b in idx.blocks)
+
+    def test_max_depth_limits_splitting(self):
+        # Many nearly coincident points cannot be separated; the depth limit
+        # must stop the recursion.
+        pts = [Point(50.0, 50.0, i) for i in range(100)]
+        idx = QuadtreeIndex(pts, capacity=4, max_depth=5, bounds=BOUNDS)
+        assert idx.depth() <= 5
+        assert idx.num_points == 100
+
+
+class TestPartitioning:
+    def test_no_points_lost(self):
+        pts = clustered_points(3, 120, BOUNDS, cluster_radius=8.0, seed=2)
+        idx = QuadtreeIndex(pts, capacity=16, bounds=BOUNDS)
+        assert idx.num_points == len(pts)
+        assert {p.pid for p in idx.points()} == {p.pid for p in pts}
+
+    def test_points_inside_their_leaf(self):
+        pts = uniform_points(300, BOUNDS, seed=3)
+        idx = QuadtreeIndex(pts, capacity=16, bounds=BOUNDS)
+        for block in idx.blocks:
+            for p in block:
+                assert block.rect.contains_point(p)
+
+    def test_leaves_tile_the_root(self):
+        pts = uniform_points(200, BOUNDS, seed=4)
+        idx = QuadtreeIndex(pts, capacity=16, bounds=BOUNDS)
+        assert sum(b.rect.area for b in idx.blocks) == pytest.approx(idx.bounds.area)
+
+    def test_clustered_data_gives_uneven_leaf_sizes(self):
+        pts = clustered_points(2, 200, BOUNDS, cluster_radius=5.0, seed=5)
+        idx = QuadtreeIndex(pts, capacity=16, bounds=BOUNDS)
+        areas = [b.rect.area for b in idx.blocks]
+        assert max(areas) > min(areas)  # adaptive splitting
+
+
+class TestLocate:
+    def test_locate_returns_leaf_containing_point(self):
+        pts = uniform_points(250, BOUNDS, seed=6)
+        idx = QuadtreeIndex(pts, capacity=16, bounds=BOUNDS)
+        for p in pts[:50]:
+            block = idx.locate(p)
+            assert block is not None
+            assert block.rect.contains_point(p)
+
+    def test_locate_outside_root_returns_none(self):
+        idx = QuadtreeIndex([Point(1, 1, 0)], bounds=BOUNDS)
+        assert idx.locate(Point(-5, -5)) is None

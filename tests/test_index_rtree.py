@@ -1,0 +1,70 @@
+"""Unit tests for repro.index.rtree.RTreeIndex."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import clustered_points, uniform_points
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.rtree import RTreeIndex
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestConstruction:
+    def test_requires_points(self):
+        with pytest.raises(EmptyDatasetError):
+            RTreeIndex([])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            RTreeIndex([Point(1, 1, 0)], leaf_capacity=0)
+        with pytest.raises(InvalidParameterError):
+            RTreeIndex([Point(1, 1, 0)], fanout=1)
+
+    def test_leaf_capacity_respected(self):
+        pts = uniform_points(500, BOUNDS, seed=1)
+        idx = RTreeIndex(pts, leaf_capacity=32)
+        assert all(b.count <= 32 for b in idx.blocks)
+
+    def test_expected_number_of_leaves(self):
+        pts = uniform_points(256, BOUNDS, seed=2)
+        idx = RTreeIndex(pts, leaf_capacity=32)
+        # STR packing fills leaves nearly to capacity.
+        assert 8 <= idx.num_blocks <= 12
+
+
+class TestPacking:
+    def test_no_points_lost(self):
+        pts = clustered_points(4, 100, BOUNDS, cluster_radius=6.0, seed=3)
+        idx = RTreeIndex(pts, leaf_capacity=20)
+        assert idx.num_points == len(pts)
+        assert {p.pid for p in idx.points()} == {p.pid for p in pts}
+
+    def test_leaf_mbr_contains_its_points(self):
+        pts = uniform_points(300, BOUNDS, seed=4)
+        idx = RTreeIndex(pts, leaf_capacity=25)
+        for block in idx.blocks:
+            for p in block:
+                assert block.rect.contains_point(p)
+
+    def test_leaves_are_nonempty(self):
+        pts = uniform_points(100, BOUNDS, seed=5)
+        idx = RTreeIndex(pts, leaf_capacity=16)
+        assert all(b.count > 0 for b in idx.blocks)
+
+
+class TestLocate:
+    def test_locate_indexed_point_finds_its_leaf(self):
+        pts = uniform_points(200, BOUNDS, seed=6)
+        idx = RTreeIndex(pts, leaf_capacity=16)
+        for p in pts[:60]:
+            block = idx.locate(p)
+            assert block is not None
+            assert block.rect.contains_point(p)
+
+    def test_locate_far_outside_returns_none(self):
+        idx = RTreeIndex(uniform_points(50, BOUNDS, seed=7), leaf_capacity=16)
+        assert idx.locate(Point(1e6, 1e6)) is None

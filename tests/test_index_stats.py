@@ -1,0 +1,64 @@
+"""Unit tests for repro.index.stats.IndexStats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import clustered_points, uniform_points
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.index.stats import IndexStats
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestBasicCounters:
+    def test_counts_match_index(self, grid_uniform_small):
+        stats = IndexStats.from_index(grid_uniform_small)
+        assert stats.num_points == grid_uniform_small.num_points
+        assert stats.num_blocks == grid_uniform_small.num_blocks
+        nonempty = [b for b in grid_uniform_small.blocks if b.count > 0]
+        assert stats.num_nonempty_blocks == len(nonempty)
+        assert stats.max_points_per_block == max(b.count for b in grid_uniform_small.blocks)
+
+    def test_mean_points_per_nonempty_block(self, grid_uniform_small):
+        stats = IndexStats.from_index(grid_uniform_small)
+        nonempty = [b.count for b in grid_uniform_small.blocks if b.count > 0]
+        assert stats.mean_points_per_nonempty_block == pytest.approx(
+            sum(nonempty) / len(nonempty)
+        )
+
+    def test_density(self, grid_uniform_small):
+        stats = IndexStats.from_index(grid_uniform_small)
+        assert stats.density == pytest.approx(stats.num_points / stats.total_area)
+
+
+class TestClusteringRatio:
+    def test_uniform_data_has_low_clustering_ratio(self):
+        pts = uniform_points(2000, BOUNDS, seed=1)
+        idx = GridIndex(pts, cells_per_side=10, bounds=BOUNDS)
+        stats = IndexStats.from_index(idx)
+        assert stats.clustering_ratio < 0.2
+
+    def test_clustered_data_has_high_clustering_ratio(self):
+        pts = clustered_points(2, 1000, BOUNDS, cluster_radius=40.0, seed=2)
+        idx = GridIndex(pts, cells_per_side=10, bounds=BOUNDS)
+        stats = IndexStats.from_index(idx)
+        assert stats.clustering_ratio > 0.7
+
+    def test_clustered_ratio_ordering_drives_join_order(self):
+        """The more clustered relation must rank higher (used by Section 4.1.2)."""
+        uniform_idx = GridIndex(uniform_points(1500, BOUNDS, seed=3), cells_per_side=10, bounds=BOUNDS)
+        clustered_idx = GridIndex(
+            clustered_points(3, 500, BOUNDS, cluster_radius=50.0, seed=4),
+            cells_per_side=10,
+            bounds=BOUNDS,
+        )
+        assert (
+            IndexStats.from_index(clustered_idx).clustering_ratio
+            > IndexStats.from_index(uniform_idx).clustering_ratio
+        )
+
+    def test_occupied_area_fraction_bounded(self, grid_uniform_small):
+        stats = IndexStats.from_index(grid_uniform_small)
+        assert 0.0 <= stats.occupied_area_fraction <= 1.0

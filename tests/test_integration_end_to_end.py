@@ -1,0 +1,99 @@
+"""End-to-end integration tests across datagen, indexes, planner and query API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import figure_workload
+from repro.datagen import berlinmod_snapshot, clustered_points, uniform_points
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.dataset import Dataset
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+
+from tests.conftest import pair_pid_set, point_pid_set, triplet_pid_set
+
+BOUNDS = Rect(0.0, 0.0, 40_000.0, 40_000.0)
+
+
+@pytest.fixture(scope="module")
+def city() -> dict[str, Dataset]:
+    """A small city scenario on BerlinMOD-like data."""
+    vehicles = berlinmod_snapshot(n=3000, seed=101, start_pid=0)
+    hotels = uniform_points(800, BOUNDS, seed=102, start_pid=100_000)
+    depots = clustered_points(2, 100, BOUNDS, cluster_radius=1500.0, seed=103, start_pid=200_000)
+    return {
+        "vehicles": Dataset("vehicles", vehicles, bounds=BOUNDS, cells_per_side=16),
+        "hotels": Dataset("hotels", hotels, bounds=BOUNDS, cells_per_side=16),
+        "depots": Dataset("depots", depots, bounds=BOUNDS, cells_per_side=16),
+    }
+
+
+class TestEndToEndOnBerlinModData:
+    def test_select_inner_of_join_consistent_across_strategies(self, city):
+        predicates = (
+            KnnJoin(outer="depots", inner="vehicles", k=3),
+            KnnSelect("vehicles", Point(20_000.0, 20_000.0), 50),
+        )
+        results = {
+            name: Query(*predicates, strategy=name).run(city)
+            for name in ("baseline", "counting", "block_marking")
+        }
+        reference = pair_pid_set(results["baseline"].pairs)
+        assert pair_pid_set(results["counting"].pairs) == reference
+        assert pair_pid_set(results["block_marking"].pairs) == reference
+
+    def test_two_selects_consistent(self, city):
+        predicates = (
+            KnnSelect("vehicles", Point(18_000.0, 21_000.0), 20),
+            KnnSelect("vehicles", Point(22_000.0, 19_000.0), 400),
+        )
+        optimized = Query(*predicates).run(city)
+        baseline = Query(*predicates, strategy="baseline").run(city)
+        assert point_pid_set(optimized.points) == point_pid_set(baseline.points)
+
+    def test_unchained_joins_consistent(self, city):
+        predicates = (
+            KnnJoin(outer="depots", inner="vehicles", k=2),
+            KnnJoin(outer="hotels", inner="vehicles", k=2),
+        )
+        optimized = Query(*predicates).run(city)
+        baseline = Query(*predicates, strategy="baseline").run(city)
+        assert triplet_pid_set(optimized.triplets) == triplet_pid_set(baseline.triplets)
+        assert optimized.stats.blocks_examined >= 0
+
+    def test_chained_joins_produce_expected_cardinality(self, city):
+        result = Query(
+            KnnJoin(outer="depots", inner="hotels", k=2),
+            KnnJoin(outer="hotels", inner="vehicles", k=3),
+        ).run(city)
+        assert len(result.require_triplets()) == len(city["depots"]) * 2 * 3
+
+    def test_index_agnosticism_of_full_query(self):
+        """The same query gives the same answer over grid, quadtree and R-tree."""
+        vehicles = berlinmod_snapshot(n=1500, seed=104)
+        depots = uniform_points(60, BOUNDS, seed=105, start_pid=500_000)
+        focal = Point(20_000.0, 20_000.0)
+        answers = []
+        for kind in ("grid", "quadtree", "rtree"):
+            datasets = {
+                "vehicles": Dataset("vehicles", vehicles, index_kind=kind),
+                "depots": Dataset("depots", depots, index_kind=kind),
+            }
+            result = Query(
+                KnnJoin(outer="depots", inner="vehicles", k=2),
+                KnnSelect("vehicles", focal, 30),
+            ).run(datasets)
+            answers.append(pair_pid_set(result.pairs))
+        assert answers[0] == answers[1] == answers[2]
+
+
+class TestBenchWorkloadPlumbing:
+    def test_every_figure_workload_is_buildable(self):
+        """The benchmark harness can construct a (scaled-down) workload per figure."""
+        for figure in (19, 20, 21, 22, 23, 24, 25, 26):
+            workload = figure_workload(figure, scale=0.02)
+            assert workload.figure == figure
+            assert workload.series  # at least one data series
+            assert workload.sweep_values

@@ -1,0 +1,39 @@
+"""Unit tests for the brute-force kNN reference (repro.locality.brute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.locality.brute import brute_force_knn
+
+POINTS = [Point(0, 0, 0), Point(1, 0, 1), Point(0, 3, 2), Point(5, 5, 3), Point(-2, 0, 4)]
+
+
+class TestBruteForce:
+    def test_returns_k_nearest_in_order(self):
+        nbr = brute_force_knn(POINTS, Point(0.1, 0.0), 3)
+        assert [p.pid for p in nbr] == [0, 1, 4]
+
+    def test_k_larger_than_dataset(self):
+        nbr = brute_force_knn(POINTS, Point(0, 0), 50)
+        assert len(nbr) == len(POINTS)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            brute_force_knn(POINTS, Point(0, 0), 0)
+
+    def test_empty_input_gives_empty_neighborhood(self):
+        nbr = brute_force_knn([], Point(0, 0), 2)
+        assert len(nbr) == 0
+        assert not nbr.is_full
+
+    def test_tie_break_by_pid(self):
+        pts = [Point(1, 0, 10), Point(-1, 0, 2), Point(0, 1, 7)]
+        nbr = brute_force_knn(pts, Point(0, 0), 2)
+        assert [p.pid for p in nbr] == [2, 7]
+
+    def test_distances_reported(self):
+        nbr = brute_force_knn(POINTS, Point(0, 0), 2)
+        assert nbr.distances == pytest.approx((0.0, 1.0))

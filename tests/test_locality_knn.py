@@ -1,0 +1,110 @@
+"""Unit tests for the locality algorithm and get_knn (repro.locality.knn)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import clustered_points, uniform_points
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.locality.brute import brute_force_knn
+from repro.locality.knn import build_locality, get_knn, neighborhood_from_blocks
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestBuildLocality:
+    def test_rejects_bad_k(self, grid_uniform_small):
+        with pytest.raises(InvalidParameterError):
+            build_locality(grid_uniform_small, Point(1, 1), 0)
+
+    def test_locality_contains_at_least_k_points(self, grid_uniform_small):
+        loc = build_locality(grid_uniform_small, Point(500, 500), 10)
+        assert loc.num_points >= 10
+
+    def test_locality_blocks_are_nonempty(self, grid_uniform_small):
+        loc = build_locality(grid_uniform_small, Point(500, 500), 10)
+        assert all(b.count > 0 for b in loc.blocks)
+
+    def test_locality_contains_true_neighborhood(self, grid_uniform_small, uniform_small):
+        """Definition 2: the kNN of p must live inside the locality's blocks."""
+        q = Point(333.0, 777.0)
+        k = 15
+        loc = build_locality(grid_uniform_small, q, k)
+        locality_pids = {p.pid for b in loc.blocks for p in b}
+        true_knn = brute_force_knn(uniform_small, q, k)
+        assert set(true_knn.pids) <= locality_pids
+
+    def test_locality_is_subset_of_all_blocks(self, grid_uniform_small):
+        loc = build_locality(grid_uniform_small, Point(10, 10), 5)
+        assert len(loc.blocks) <= grid_uniform_small.num_blocks
+
+    def test_small_k_gives_small_locality(self, grid_uniform_medium):
+        small = build_locality(grid_uniform_medium, Point(500, 500), 2)
+        large = build_locality(grid_uniform_medium, Point(500, 500), 400)
+        assert small.num_blocks < large.num_blocks
+
+    def test_k_larger_than_dataset_takes_every_nonempty_block(self, grid_uniform_small):
+        loc = build_locality(grid_uniform_small, Point(500, 500), 10_000)
+        nonempty = [b for b in grid_uniform_small.blocks if b.count > 0]
+        assert set(b.block_id for b in loc.blocks) == {b.block_id for b in nonempty}
+
+
+class TestGetKnn:
+    def test_matches_brute_force(self, grid_uniform_small, uniform_small):
+        for q in (Point(500, 500), Point(0, 0), Point(999, 1), Point(250, 750)):
+            got = get_knn(grid_uniform_small, q, 12)
+            ref = brute_force_knn(uniform_small, q, 12)
+            assert [p.pid for p in got] == [p.pid for p in ref]
+
+    def test_matches_brute_force_on_every_index(self, any_index_uniform_small, uniform_small):
+        q = Point(421.0, 640.0)
+        got = get_knn(any_index_uniform_small, q, 9)
+        ref = brute_force_knn(uniform_small, q, 9)
+        assert [p.pid for p in got] == [p.pid for p in ref]
+
+    def test_distances_are_sorted(self, grid_uniform_small):
+        nbr = get_knn(grid_uniform_small, Point(100, 100), 20)
+        assert list(nbr.distances) == sorted(nbr.distances)
+
+    def test_k_one_returns_nearest_point(self, grid_uniform_small, uniform_small):
+        q = Point(512.0, 512.0)
+        nearest = min(uniform_small, key=lambda p: (p.distance_to(q), p.pid))
+        assert get_knn(grid_uniform_small, q, 1).nearest.pid == nearest.pid
+
+    def test_query_point_on_a_data_point(self, grid_uniform_small, uniform_small):
+        target = uniform_small[42]
+        nbr = get_knn(grid_uniform_small, Point(target.x, target.y), 3)
+        assert nbr.nearest.pid == target.pid
+        assert nbr.nearest_distance == 0.0
+
+    def test_k_exceeding_dataset_returns_all_points(self, grid_uniform_small, uniform_small):
+        nbr = get_knn(grid_uniform_small, Point(500, 500), len(uniform_small) + 50)
+        assert len(nbr) == len(uniform_small)
+
+    def test_empty_index_rejected(self):
+        idx = GridIndex([Point(1, 1, 0)], cells_per_side=2)
+        with pytest.raises(InvalidParameterError):
+            get_knn(idx, Point(0, 0), 0)
+
+    def test_clustered_data(self):
+        pts = clustered_points(3, 100, BOUNDS, cluster_radius=30.0, seed=8)
+        idx = GridIndex(pts, cells_per_side=10, bounds=BOUNDS)
+        q = Point(20.0, 980.0)
+        got = get_knn(idx, q, 7)
+        ref = brute_force_knn(pts, q, 7)
+        assert [p.pid for p in got] == [p.pid for p in ref]
+
+
+class TestNeighborhoodFromBlocks:
+    def test_empty_block_list_gives_empty_neighborhood(self):
+        nbr = neighborhood_from_blocks(Point(0, 0), 3, [])
+        assert len(nbr) == 0
+
+    def test_subset_of_blocks_ranks_only_those_points(self, grid_uniform_small):
+        some_blocks = [b for b in grid_uniform_small.blocks if b.count > 0][:3]
+        nbr = neighborhood_from_blocks(Point(500, 500), 5, some_blocks)
+        allowed = {p.pid for b in some_blocks for p in b}
+        assert set(nbr.pids) <= allowed

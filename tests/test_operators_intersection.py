@@ -1,0 +1,77 @@
+"""Unit tests for the intersection operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.locality.neighborhood import Neighborhood
+from repro.operators.intersection import (
+    intersect_pairs_on_inner,
+    intersect_points,
+    pairs_to_triplets,
+)
+from repro.operators.results import JoinPair
+
+
+def P(pid: int, x: float = 0.0, y: float = 0.0) -> Point:
+    return Point(x, y, pid)
+
+
+class TestIntersectPoints:
+    def test_intersection_by_pid(self):
+        left = [P(1), P(2), P(3)]
+        right = [P(3), P(4), P(2)]
+        assert [p.pid for p in intersect_points(left, right)] == [2, 3]
+
+    def test_accepts_neighborhoods(self):
+        left = Neighborhood(P(0), 2, [P(5), P(6)], [1.0, 2.0])
+        right = Neighborhood(P(0), 2, [P(6), P(7)], [1.0, 2.0])
+        assert [p.pid for p in intersect_points(left, right)] == [6]
+
+    def test_disjoint(self):
+        assert intersect_points([P(1)], [P(2)]) == []
+
+    def test_duplicates_in_first_collapse(self):
+        assert [p.pid for p in intersect_points([P(1), P(1)], [P(1)])] == [1]
+
+    def test_preserves_first_order(self):
+        left = [P(9), P(1), P(5)]
+        right = [P(5), P(9)]
+        assert [p.pid for p in intersect_points(left, right)] == [9, 5]
+
+
+class TestIntersectPairsOnInner:
+    def test_matching_on_shared_inner(self):
+        ab = [JoinPair(P(1), P(10)), JoinPair(P(2), P(11))]
+        cb = [JoinPair(P(31), P(10)), JoinPair(P(32), P(10)), JoinPair(P(33), P(12))]
+        triplets = intersect_pairs_on_inner(ab, cb)
+        assert {t.pids for t in triplets} == {(1, 10, 31), (1, 10, 32)}
+
+    def test_no_shared_inner_gives_empty(self):
+        ab = [JoinPair(P(1), P(10))]
+        cb = [JoinPair(P(2), P(20))]
+        assert intersect_pairs_on_inner(ab, cb) == []
+
+    def test_cartesian_on_duplicate_inners(self):
+        ab = [JoinPair(P(1), P(10)), JoinPair(P(2), P(10))]
+        cb = [JoinPair(P(3), P(10)), JoinPair(P(4), P(10))]
+        assert len(intersect_pairs_on_inner(ab, cb)) == 4
+
+    def test_triplet_column_order_is_a_b_c(self):
+        ab = [JoinPair(P(1), P(10))]
+        cb = [JoinPair(P(3), P(10))]
+        t = intersect_pairs_on_inner(ab, cb)[0]
+        assert (t.a.pid, t.b.pid, t.c.pid) == (1, 10, 3)
+
+
+class TestPairsToTriplets:
+    def test_chained_combination(self):
+        ab = [JoinPair(P(1), P(10)), JoinPair(P(2), P(11))]
+        bc = [JoinPair(P(10), P(100)), JoinPair(P(10), P(101)), JoinPair(P(12), P(102))]
+        triplets = pairs_to_triplets(ab, bc)
+        assert {t.pids for t in triplets} == {(1, 10, 100), (1, 10, 101)}
+
+    def test_empty_inputs(self):
+        assert pairs_to_triplets([], []) == []
+        assert pairs_to_triplets([JoinPair(P(1), P(2))], []) == []

@@ -1,0 +1,72 @@
+"""Unit tests for the kNN-join operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.locality.brute import brute_force_knn
+from repro.operators.knn_join import knn_join, knn_join_pairs
+
+
+class TestKnnJoinPairs:
+    def test_every_outer_point_produces_k_pairs(self, grid_uniform_small, uniform_small):
+        outer = [Point(100.0 * i, 100.0 * i, 900 + i) for i in range(5)]
+        pairs = knn_join_pairs(outer, grid_uniform_small, 4)
+        assert len(pairs) == len(outer) * 4
+        per_outer = {o.pid: 0 for o in outer}
+        for p in pairs:
+            per_outer[p.outer.pid] += 1
+        assert all(v == 4 for v in per_outer.values())
+
+    def test_pairs_match_brute_force_neighborhoods(self, grid_uniform_small, uniform_small):
+        outer = [Point(420.0, 580.0, 1000), Point(50.0, 900.0, 1001)]
+        pairs = knn_join_pairs(outer, grid_uniform_small, 3)
+        for o in outer:
+            expected = set(brute_force_knn(uniform_small, o, 3).pids)
+            got = {p.inner.pid for p in pairs if p.outer.pid == o.pid}
+            assert got == expected
+
+    def test_join_is_not_symmetric(self):
+        """E1 join E2 differs from E2 join E1 (Section 1 / Section 4)."""
+        bounds = Rect(0, 0, 10, 10)
+        e1 = [Point(0, 0, 0), Point(1, 0, 1)]
+        e2 = [Point(5, 0, 10), Point(6, 0, 11), Point(9, 9, 12)]
+        i1 = GridIndex(e1, cells_per_side=2, bounds=bounds)
+        i2 = GridIndex(e2, cells_per_side=2, bounds=bounds)
+        forward = {(p.outer.pid, p.inner.pid) for p in knn_join_pairs(e1, i2, 1)}
+        backward = {(p.outer.pid, p.inner.pid) for p in knn_join_pairs(e2, i1, 1)}
+        assert forward != {(b, a) for a, b in backward}
+
+    def test_rejects_bad_k(self, grid_uniform_small):
+        with pytest.raises(InvalidParameterError):
+            knn_join_pairs([Point(0, 0, 1)], grid_uniform_small, 0)
+
+    def test_empty_outer_produces_no_pairs(self, grid_uniform_small):
+        assert knn_join_pairs([], grid_uniform_small, 3) == []
+
+
+class TestKnnJoinGenerator:
+    def test_yields_neighborhoods_lazily(self, grid_uniform_small):
+        outer = [Point(10.0, 10.0, 2000), Point(990.0, 990.0, 2001)]
+        results = list(knn_join(outer, grid_uniform_small, 2))
+        assert len(results) == 2
+        for e1, nbr in results:
+            assert len(nbr) == 2
+            assert nbr.center == e1
+
+    def test_custom_knn_callable_is_used(self, grid_uniform_small):
+        calls = []
+
+        def spy(index, p, k):
+            calls.append((p.pid, k))
+            from repro.locality.knn import get_knn
+
+            return get_knn(index, p, k)
+
+        outer = [Point(1.0, 1.0, 3000)]
+        list(knn_join(outer, grid_uniform_small, 5, knn=spy))
+        assert calls == [(3000, 5)]

@@ -1,0 +1,42 @@
+"""Unit tests for the kNN-select operator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.locality.brute import brute_force_knn
+from repro.operators.knn_select import knn_select
+
+
+class TestKnnSelect:
+    def test_matches_brute_force(self, grid_uniform_small, uniform_small):
+        focal = Point(600.0, 400.0)
+        got = knn_select(grid_uniform_small, focal, 8)
+        ref = brute_force_knn(uniform_small, focal, 8)
+        assert [p.pid for p in got] == [p.pid for p in ref]
+
+    def test_returns_exactly_k_points(self, grid_uniform_small):
+        assert len(knn_select(grid_uniform_small, Point(10, 10), 5)) == 5
+
+    def test_focal_point_need_not_be_in_dataset(self, grid_uniform_small):
+        nbr = knn_select(grid_uniform_small, Point(-50.0, -50.0), 3)
+        assert len(nbr) == 3
+
+    def test_rejects_bad_k(self, grid_uniform_small):
+        with pytest.raises(InvalidParameterError):
+            knn_select(grid_uniform_small, Point(0, 0), 0)
+
+    def test_select_is_monotone_in_k(self, grid_uniform_small):
+        """The k-NN set is a prefix of the (k+5)-NN set."""
+        focal = Point(500.0, 500.0)
+        small = knn_select(grid_uniform_small, focal, 5)
+        large = knn_select(grid_uniform_small, focal, 10)
+        assert [p.pid for p in small] == [p.pid for p in large][:5]
+
+    def test_index_agnostic(self, any_index_uniform_small, uniform_small):
+        focal = Point(300.0, 300.0)
+        got = knn_select(any_index_uniform_small, focal, 6)
+        ref = brute_force_knn(uniform_small, focal, 6)
+        assert [p.pid for p in got] == [p.pid for p in ref]

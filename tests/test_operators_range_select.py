@@ -1,0 +1,58 @@
+"""Unit tests for the range-select operators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.operators.range_select import radius_select, range_select
+
+
+class TestRangeSelect:
+    def test_matches_linear_scan(self, grid_uniform_small, uniform_small):
+        window = Rect(200.0, 300.0, 650.0, 720.0)
+        got = {p.pid for p in range_select(grid_uniform_small, window)}
+        expected = {p.pid for p in uniform_small if window.contains_point(p)}
+        assert got == expected
+
+    def test_window_covering_everything(self, grid_uniform_small, uniform_small):
+        window = Rect(-10.0, -10.0, 2000.0, 2000.0)
+        assert len(range_select(grid_uniform_small, window)) == len(uniform_small)
+
+    def test_window_outside_extent(self, grid_uniform_small):
+        assert range_select(grid_uniform_small, Rect(5000.0, 5000.0, 6000.0, 6000.0)) == []
+
+    def test_degenerate_window_on_a_point(self, grid_uniform_small, uniform_small):
+        target = uniform_small[17]
+        window = Rect(target.x, target.y, target.x, target.y)
+        got = {p.pid for p in range_select(grid_uniform_small, window)}
+        assert target.pid in got
+
+    def test_index_agnostic(self, any_index_uniform_small, uniform_small):
+        window = Rect(100.0, 100.0, 500.0, 400.0)
+        got = {p.pid for p in range_select(any_index_uniform_small, window)}
+        expected = {p.pid for p in uniform_small if window.contains_point(p)}
+        assert got == expected
+
+
+class TestRadiusSelect:
+    def test_matches_linear_scan(self, grid_uniform_small, uniform_small):
+        center, radius = Point(480.0, 520.0), 180.0
+        got = {p.pid for p in radius_select(grid_uniform_small, center, radius)}
+        expected = {p.pid for p in uniform_small if p.distance_to(center) <= radius}
+        assert got == expected
+
+    def test_zero_radius(self, grid_uniform_small, uniform_small):
+        target = uniform_small[3]
+        got = {p.pid for p in radius_select(grid_uniform_small, Point(target.x, target.y), 0.0)}
+        assert target.pid in got
+
+    def test_negative_radius_rejected(self, grid_uniform_small):
+        with pytest.raises(InvalidParameterError):
+            radius_select(grid_uniform_small, Point(0, 0), -1.0)
+
+    def test_huge_radius_returns_everything(self, grid_uniform_small, uniform_small):
+        got = radius_select(grid_uniform_small, Point(0.0, 0.0), 1e9)
+        assert len(got) == len(uniform_small)

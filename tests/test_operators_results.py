@@ -1,0 +1,34 @@
+"""Unit tests for the join result row types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.operators.results import JoinPair, JoinTriplet, pair_key, triplet_key
+
+
+class TestJoinPair:
+    def test_pids_and_key(self):
+        pair = JoinPair(Point(0, 0, 1), Point(3, 4, 2))
+        assert pair.pids == (1, 2)
+        assert pair_key(pair) == (1, 2)
+
+    def test_distance(self):
+        pair = JoinPair(Point(0, 0, 1), Point(3, 4, 2))
+        assert pair.distance == pytest.approx(5.0)
+
+    def test_tuple_unpacking(self):
+        outer, inner = JoinPair(Point(0, 0, 1), Point(1, 1, 2))
+        assert outer.pid == 1 and inner.pid == 2
+
+
+class TestJoinTriplet:
+    def test_pids_and_key(self):
+        t = JoinTriplet(Point(0, 0, 1), Point(1, 0, 2), Point(2, 0, 3))
+        assert t.pids == (1, 2, 3)
+        assert triplet_key(t) == (1, 2, 3)
+
+    def test_field_names(self):
+        t = JoinTriplet(Point(0, 0, 1), Point(1, 0, 2), Point(2, 0, 3))
+        assert t.a.pid == 1 and t.b.pid == 2 and t.c.pid == 3

@@ -1,0 +1,148 @@
+"""Tests recreating the paper's worked examples and correctness arguments.
+
+These tests do not check performance; they check the *semantic* claims that
+motivate the paper (Figures 1-3, 8-10, 13-16): which plan transformations
+change the answer and which do not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.select_join.baseline import select_join_baseline
+from repro.core.two_joins.unchained import unchained_joins_baseline
+from repro.core.two_selects.baseline import two_knn_selects_baseline
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.locality.knn import get_knn
+from repro.operators.intersection import intersect_pairs_on_inner, intersect_points
+from repro.operators.knn_join import knn_join_pairs
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestSection1RoadsideAssistance:
+    """Figures 1-2: pushing a kNN-select below the inner relation is invalid."""
+
+    def setup_method(self):
+        # Hotels: two near the shopping center, two near the remote mechanic.
+        self.hotels = [
+            Point(20.0, 20.0, 1),  # h1, near shopping center
+            Point(24.0, 22.0, 2),  # h2, near shopping center
+            Point(78.0, 76.0, 3),  # h3, near m2
+            Point(82.0, 74.0, 4),  # h4, near m2
+        ]
+        self.mechanics = [
+            Point(22.0, 26.0, 100),  # m1, near the shopping center
+            Point(80.0, 80.0, 101),  # m2, far away
+        ]
+        self.shopping_center = Point(22.0, 18.0)
+        self.hotel_index = GridIndex(self.hotels, cells_per_side=5, bounds=BOUNDS)
+
+    def test_correct_plan_filters_join_output(self):
+        """Figure 1: join first, then select — only hotels near the center survive."""
+        pairs = select_join_baseline(
+            self.mechanics, self.hotel_index, self.shopping_center, k_join=2, k_select=2
+        )
+        got = {p.pids for p in pairs}
+        # m1's two nearest hotels are h1, h2 and both are in the selection;
+        # m2's two nearest hotels are h3, h4, neither of which qualifies.
+        assert got == {(100, 1), (100, 2)}
+
+    def test_pushed_down_select_changes_the_answer(self):
+        """Figure 2: joining against the pre-selected hotels is wrong."""
+        selection = get_knn(self.hotel_index, self.shopping_center, 2)
+        restricted_index = GridIndex(list(selection), cells_per_side=5, bounds=BOUNDS)
+        wrong_pairs = {
+            p.pids for p in knn_join_pairs(self.mechanics, restricted_index, 2)
+        }
+        correct_pairs = {
+            p.pids
+            for p in select_join_baseline(
+                self.mechanics, self.hotel_index, self.shopping_center, 2, 2
+            )
+        }
+        # The invalid plan pairs the far-away mechanic with h1/h2.
+        assert (101, 1) in wrong_pairs and (101, 2) in wrong_pairs
+        assert wrong_pairs != correct_pairs
+
+
+class TestSection4UnchainedJoins:
+    """Figures 8-10: neither join may be evaluated on the other's output."""
+
+    def setup_method(self):
+        # B has two groups: b_near (between A and C) and b_far.
+        self.a = [Point(10.0, 50.0, 1), Point(14.0, 52.0, 2)]
+        self.c = [Point(30.0, 50.0, 31), Point(34.0, 52.0, 32)]
+        self.b = [
+            Point(20.0, 50.0, 11),   # near both A and C
+            Point(22.0, 52.0, 12),   # near both A and C
+            Point(12.0, 46.0, 13),   # close to A only
+            Point(32.0, 46.0, 14),   # close to C only
+        ]
+        self.ib = GridIndex(self.b, cells_per_side=5, bounds=BOUNDS)
+
+    def test_correct_plan_intersects_independent_joins(self):
+        # k = 3 so that each side's neighborhood covers its private B point
+        # (b13 / b14) plus the two shared ones; only the shared ones survive ∩B.
+        triplets = unchained_joins_baseline(self.a, self.c, self.ib, 3, 3)
+        b_in_result = {t.b.pid for t in triplets}
+        # Only B points that are simultaneously neighbors of some a and some c.
+        assert b_in_result == {11, 12}
+        assert triplets
+
+    def test_feeding_one_join_into_the_other_is_wrong(self):
+        """Evaluating (A join B) first and restricting B for (C join B) changes the answer."""
+        ab_pairs = knn_join_pairs(self.a, self.ib, 3)
+        surviving_b = {p.inner.pid for p in ab_pairs}
+        restricted_b = [p for p in self.b if p.pid in surviving_b]
+        restricted_index = GridIndex(restricted_b, cells_per_side=5, bounds=BOUNDS)
+        cb_pairs_wrong = knn_join_pairs(self.c, restricted_index, 3)
+        wrong = {t.pids for t in intersect_pairs_on_inner(ab_pairs, cb_pairs_wrong)}
+        correct = {t.pids for t in unchained_joins_baseline(self.a, self.c, self.ib, 3, 3)}
+        assert wrong != correct
+
+
+class TestSection5TwoSelects:
+    """Figures 14-16: each select must see the full relation."""
+
+    def setup_method(self):
+        # Houses: x, y lie between work and school; others cluster near one focal only.
+        self.houses = [
+            Point(48.0, 50.0, 1),   # x — between both
+            Point(52.0, 50.0, 2),   # y — between both
+            Point(20.0, 50.0, 3),   # near work only
+            Point(22.0, 52.0, 4),   # near work only
+            Point(24.0, 48.0, 5),   # near work only
+            Point(80.0, 50.0, 6),   # near school only
+            Point(78.0, 52.0, 7),   # near school only
+            Point(76.0, 48.0, 8),   # near school only
+        ]
+        self.work = Point(25.0, 50.0)
+        self.school = Point(75.0, 50.0)
+        self.index = GridIndex(self.houses, cells_per_side=4, bounds=BOUNDS)
+
+    def test_correct_plan_is_intersection_of_independent_selects(self):
+        result = {p.pid for p in two_knn_selects_baseline(self.index, self.work, 5, self.school, 5)}
+        assert result == {1, 2}
+
+    def test_cascading_the_selects_is_wrong(self):
+        """Applying the second select to the first select's output is wrong."""
+        first = get_knn(self.index, self.work, 5)
+        cascaded_index = GridIndex(list(first), cells_per_side=4, bounds=BOUNDS)
+        cascaded = {p.pid for p in get_knn(cascaded_index, self.school, 5)}
+        correct = {
+            p.pid for p in two_knn_selects_baseline(self.index, self.work, 5, self.school, 5)
+        }
+        # The cascade returns 5 houses (everything the first select kept),
+        # including houses that are nowhere near the school.
+        assert cascaded != correct
+        assert len(cascaded) == 5
+
+    def test_intersection_operator_matches_manual_intersection(self):
+        first = get_knn(self.index, self.work, 5)
+        second = get_knn(self.index, self.school, 5)
+        via_operator = {p.pid for p in intersect_points(first, second)}
+        manual = set(first.pids) & set(second.pids)
+        assert via_operator == manual

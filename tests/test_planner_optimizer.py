@@ -1,0 +1,61 @@
+"""Unit tests for the optimizer (repro.planner.optimizer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import clustered_points, uniform_points
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.planner.optimizer import (
+    Optimizer,
+    SelectJoinStrategy,
+    choose_select_join_strategy,
+    choose_two_select_order,
+)
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestSelectJoinStrategy:
+    def test_sparse_outer_prefers_counting(self):
+        sparse = GridIndex(uniform_points(200, BOUNDS, seed=1), cells_per_side=10, bounds=BOUNDS)
+        assert choose_select_join_strategy(sparse) is SelectJoinStrategy.COUNTING
+
+    def test_dense_outer_prefers_block_marking(self):
+        dense = GridIndex(uniform_points(20_000, BOUNDS, seed=2), cells_per_side=10, bounds=BOUNDS)
+        assert choose_select_join_strategy(dense) is SelectJoinStrategy.BLOCK_MARKING
+
+    def test_threshold_is_configurable(self):
+        idx = GridIndex(uniform_points(1000, BOUNDS, seed=3), cells_per_side=10, bounds=BOUNDS)
+        assert choose_select_join_strategy(idx, dense_points_per_block=1.0) is (
+            SelectJoinStrategy.BLOCK_MARKING
+        )
+        assert choose_select_join_strategy(idx, dense_points_per_block=1e9) is (
+            SelectJoinStrategy.COUNTING
+        )
+
+    def test_explain_reports_all_estimates(self):
+        idx = GridIndex(uniform_points(500, BOUNDS, seed=4), cells_per_side=8, bounds=BOUNDS)
+        explanation = Optimizer().explain_select_join(idx)
+        assert set(explanation["estimates"].keys()) == {"baseline", "counting", "block_marking"}
+        assert isinstance(explanation["strategy"], SelectJoinStrategy)
+
+
+class TestUnchainedOrderAndSelects:
+    def test_clustered_relation_first(self):
+        clustered = GridIndex(
+            clustered_points(2, 300, BOUNDS, cluster_radius=60.0, seed=5),
+            cells_per_side=10,
+            bounds=BOUNDS,
+        )
+        uniform = GridIndex(uniform_points(600, BOUNDS, seed=6), cells_per_side=10, bounds=BOUNDS)
+        opt = Optimizer()
+        assert opt.unchained_first_join(clustered, uniform) == "A"
+        assert opt.unchained_first_join(uniform, clustered) == "C"
+
+    def test_two_select_order_puts_smaller_k_first(self):
+        assert choose_two_select_order(10, 100) == (0, 1)
+        assert choose_two_select_order(100, 10) == (1, 0)
+        assert choose_two_select_order(7, 7) == (0, 1)
+        assert Optimizer().two_select_order(3, 2) == (1, 0)

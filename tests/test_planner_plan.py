@@ -1,0 +1,63 @@
+"""Unit tests for the logical plan nodes (repro.planner.plan)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlanError
+from repro.geometry.point import Point
+from repro.planner.plan import (
+    IntersectNode,
+    IntersectOnInnerNode,
+    KnnJoinNode,
+    KnnSelectNode,
+    RelationNode,
+    explain,
+)
+
+
+def sample_plan():
+    hotels = RelationNode("hotels")
+    shops = RelationNode("shops")
+    join = KnnJoinNode(outer=shops, inner=hotels, k=2)
+    select = KnnSelectNode(child=hotels, focal=Point(0, 0), k=2, name="near-mall")
+    return IntersectNode(join, select)
+
+
+class TestNodes:
+    def test_children_and_walk(self):
+        plan = sample_plan()
+        labels = [n.label() for n in plan.walk()]
+        assert labels[0] == "∩"
+        assert "hotels" in labels and "shops" in labels
+        # intersect + join + shops + hotels + select + hotels (again) = 6 nodes
+        assert len(list(plan.walk())) == 6
+
+    def test_relation_label(self):
+        assert RelationNode("houses").label() == "houses"
+
+    def test_select_rejects_bad_k(self):
+        with pytest.raises(PlanError):
+            KnnSelectNode(child=RelationNode("r"), focal=Point(0, 0), k=0)
+
+    def test_join_rejects_bad_k(self):
+        with pytest.raises(PlanError):
+            KnnJoinNode(outer=RelationNode("a"), inner=RelationNode("b"), k=-1)
+
+    def test_intersect_on_inner_label(self):
+        node = IntersectOnInnerNode(RelationNode("x"), RelationNode("y"), shared="B")
+        assert node.label() == "∩_B"
+
+
+class TestExplain:
+    def test_explain_renders_every_node(self):
+        text = explain(sample_plan())
+        assert "kNN-join(k=2)" in text
+        assert "kNN-select(k=2) [near-mall]" in text
+        assert "hotels" in text and "shops" in text
+
+    def test_explain_indentation_reflects_depth(self):
+        text = explain(sample_plan())
+        lines = text.splitlines()
+        assert lines[0].startswith("∩")
+        assert lines[1].startswith("  ")

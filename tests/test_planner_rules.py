@@ -1,0 +1,72 @@
+"""Unit tests for the plan validity rules (repro.planner.rules)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidPlanError
+from repro.geometry.point import Point
+from repro.planner.plan import IntersectNode, KnnJoinNode, KnnSelectNode, RelationNode
+from repro.planner.rules import (
+    can_push_select_below_inner,
+    can_push_select_below_outer,
+    chained_plans_equivalent,
+    two_selects_require_independent_evaluation,
+    unchained_requires_independent_joins,
+    validate_plan,
+)
+
+
+class TestRuleFlags:
+    def test_push_below_outer_is_valid(self):
+        assert can_push_select_below_outer() is True
+
+    def test_push_below_inner_is_invalid(self):
+        assert can_push_select_below_inner() is False
+
+    def test_chained_plans_equivalent(self):
+        assert chained_plans_equivalent() is True
+
+    def test_unchained_and_two_selects_need_independent_evaluation(self):
+        assert unchained_requires_independent_joins() is True
+        assert two_selects_require_independent_evaluation() is True
+
+
+class TestValidatePlan:
+    def test_select_below_inner_rejected(self):
+        """The invalid QEP of Figure 2 must be refused."""
+        hotels = RelationNode("hotels")
+        mechanics = RelationNode("mechanics")
+        pushed = KnnSelectNode(child=hotels, focal=Point(0, 0), k=2)
+        bad = KnnJoinNode(outer=mechanics, inner=pushed, k=2)
+        with pytest.raises(InvalidPlanError):
+            validate_plan(bad)
+
+    def test_select_below_outer_accepted(self):
+        """The valid push-down of Figure 3 must be accepted."""
+        hotels = RelationNode("hotels")
+        mechanics = RelationNode("mechanics")
+        pushed = KnnSelectNode(child=mechanics, focal=Point(0, 0), k=2)
+        good = KnnJoinNode(outer=pushed, inner=hotels, k=2)
+        validate_plan(good)  # must not raise
+
+    def test_select_after_join_accepted(self):
+        """The conceptually correct QEP of Figure 1 must be accepted."""
+        hotels = RelationNode("hotels")
+        mechanics = RelationNode("mechanics")
+        join = KnnJoinNode(outer=mechanics, inner=hotels, k=2)
+        select = KnnSelectNode(child=hotels, focal=Point(0, 0), k=2)
+        validate_plan(IntersectNode(join, select))  # must not raise
+
+    def test_nested_invalid_pattern_found_deep_in_tree(self):
+        hotels = RelationNode("hotels")
+        shops = RelationNode("shops")
+        centers = RelationNode("centers")
+        inner_bad = KnnJoinNode(
+            outer=shops,
+            inner=KnnSelectNode(child=hotels, focal=Point(1, 1), k=3),
+            k=2,
+        )
+        wrapped = IntersectNode(RelationNode("other"), IntersectNode(centers, inner_bad))
+        with pytest.raises(InvalidPlanError):
+            validate_plan(wrapped)

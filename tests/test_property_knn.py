@@ -1,0 +1,106 @@
+"""Property-based tests: locality-based kNN vs brute force, index invariants."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.distance import maxdist_point_rect, mindist_point_rect
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.index.quadtree import QuadtreeIndex
+from repro.index.rtree import RTreeIndex
+from repro.locality.brute import brute_force_knn
+from repro.locality.knn import build_locality, get_knn
+
+COORD = st.floats(min_value=0.0, max_value=1000.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def point_sets(draw, min_size: int = 5, max_size: int = 120):
+    """A list of points with distinct ids and float coordinates."""
+    coords = draw(
+        st.lists(st.tuples(COORD, COORD), min_size=min_size, max_size=max_size)
+    )
+    return [Point(x, y, i) for i, (x, y) in enumerate(coords)]
+
+
+@st.composite
+def indexed_dataset(draw):
+    pts = draw(point_sets())
+    kind = draw(st.sampled_from(["grid", "quadtree", "rtree"]))
+    if kind == "grid":
+        cells = draw(st.integers(min_value=1, max_value=8))
+        index = GridIndex(pts, cells_per_side=cells)
+    elif kind == "quadtree":
+        capacity = draw(st.integers(min_value=1, max_value=32))
+        index = QuadtreeIndex(pts, capacity=capacity)
+    else:
+        capacity = draw(st.integers(min_value=1, max_value=32))
+        index = RTreeIndex(pts, leaf_capacity=capacity)
+    return pts, index
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=indexed_dataset(), qx=COORD, qy=COORD, k=st.integers(min_value=1, max_value=20))
+def test_get_knn_matches_brute_force(data, qx, qy, k):
+    """The locality-based getkNN equals the brute-force kNN for any index."""
+    pts, index = data
+    q = Point(qx, qy)
+    got = get_knn(index, q, k)
+    ref = brute_force_knn(pts, q, k)
+    assert [p.pid for p in got] == [p.pid for p in ref]
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=indexed_dataset(), qx=COORD, qy=COORD, k=st.integers(min_value=1, max_value=15))
+def test_locality_contains_true_neighborhood(data, qx, qy, k):
+    """Definition 2: the locality's blocks always contain the true kNN."""
+    pts, index = data
+    q = Point(qx, qy)
+    locality = build_locality(index, q, k)
+    locality_pids = {p.pid for b in locality.blocks for p in b}
+    true_knn = brute_force_knn(pts, q, k)
+    assert set(true_knn.pids) <= locality_pids
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=indexed_dataset(), qx=COORD, qy=COORD)
+def test_mindist_maxdist_bound_every_point_distance(data, qx, qy):
+    """For every block and every point inside it: MINDIST <= dist <= MAXDIST."""
+    _, index = data
+    q = Point(qx, qy)
+    for block in index.blocks:
+        lo = mindist_point_rect(q, block.rect)
+        hi = maxdist_point_rect(q, block.rect)
+        for p in block:
+            d = q.distance_to(p)
+            assert lo - 1e-9 <= d <= hi + 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=indexed_dataset())
+def test_index_preserves_every_point(data):
+    """No index loses or duplicates points."""
+    pts, index = data
+    assert sorted(p.pid for p in index.points()) == sorted(p.pid for p in pts)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    data=indexed_dataset(),
+    qx=COORD,
+    qy=COORD,
+    k1=st.integers(min_value=1, max_value=10),
+    k2=st.integers(min_value=1, max_value=10),
+)
+def test_knn_monotone_in_k(data, qx, qy, k1, k2):
+    """The k-NN result is a prefix of the (k+m)-NN result."""
+    _, index = data
+    q = Point(qx, qy)
+    lo, hi = sorted((k1, k2))
+    small = get_knn(index, q, lo)
+    large = get_knn(index, q, hi)
+    assert [p.pid for p in small] == [p.pid for p in large][: len(small)]

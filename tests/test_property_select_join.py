@@ -1,0 +1,80 @@
+"""Property-based tests: Counting and Block-Marking are exactly equivalent to
+the conceptually correct select-inner-of-join QEP."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.select_join.baseline import select_join_baseline
+from repro.core.select_join.block_marking import select_join_block_marking
+from repro.core.select_join.counting import select_join_counting
+from repro.core.select_join.outer_select import (
+    outer_select_join_after,
+    outer_select_join_pushdown,
+)
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+
+COORD = st.floats(min_value=0.0, max_value=500.0, allow_nan=False, allow_infinity=False)
+BOUNDS = Rect(0.0, 0.0, 500.0, 500.0)
+
+
+@st.composite
+def select_join_instance(draw):
+    """Outer points, inner points, a focal point and the two k values."""
+    outer_coords = draw(st.lists(st.tuples(COORD, COORD), min_size=2, max_size=40))
+    inner_coords = draw(st.lists(st.tuples(COORD, COORD), min_size=3, max_size=80))
+    outer = [Point(x, y, i) for i, (x, y) in enumerate(outer_coords)]
+    inner = [Point(x, y, 10_000 + i) for i, (x, y) in enumerate(inner_coords)]
+    focal = Point(draw(COORD), draw(COORD))
+    k_join = draw(st.integers(min_value=1, max_value=6))
+    k_select = draw(st.integers(min_value=1, max_value=12))
+    outer_cells = draw(st.integers(min_value=1, max_value=6))
+    inner_cells = draw(st.integers(min_value=1, max_value=6))
+    outer_index = GridIndex(outer, cells_per_side=outer_cells, bounds=BOUNDS)
+    inner_index = GridIndex(inner, cells_per_side=inner_cells, bounds=BOUNDS)
+    return outer, outer_index, inner_index, focal, k_join, k_select
+
+
+@settings(max_examples=50, deadline=None)
+@given(instance=select_join_instance())
+def test_counting_equals_baseline(instance):
+    outer, _, inner_index, focal, k_join, k_select = instance
+    base = select_join_baseline(outer, inner_index, focal, k_join, k_select)
+    got = select_join_counting(outer, inner_index, focal, k_join, k_select)
+    assert {p.pids for p in got} == {p.pids for p in base}
+
+
+@settings(max_examples=50, deadline=None)
+@given(instance=select_join_instance())
+def test_block_marking_equals_baseline(instance):
+    outer, outer_index, inner_index, focal, k_join, k_select = instance
+    base = select_join_baseline(outer, inner_index, focal, k_join, k_select)
+    got = select_join_block_marking(outer_index, inner_index, focal, k_join, k_select)
+    assert {p.pids for p in got} == {p.pids for p in base}
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=select_join_instance())
+def test_outer_select_pushdown_is_valid(instance):
+    """Pushing the select below the *outer* relation never changes the answer."""
+    outer, outer_index, inner_index, focal, k_join, k_select = instance
+    pushed = outer_select_join_pushdown(outer_index, inner_index, focal, k_join, k_select)
+    after = outer_select_join_after(outer, outer_index, inner_index, focal, k_join, k_select)
+    assert {p.pids for p in pushed} == {p.pids for p in after}
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=select_join_instance())
+def test_result_pairs_always_satisfy_both_predicates(instance):
+    """Soundness: every reported pair satisfies the join and the selection."""
+    outer, _, inner_index, focal, k_join, k_select = instance
+    from repro.locality.knn import get_knn
+
+    selection = set(get_knn(inner_index, focal, k_select).pids)
+    pairs = select_join_counting(outer, inner_index, focal, k_join, k_select)
+    for pair in pairs:
+        join_nbr = set(get_knn(inner_index, pair.outer, k_join).pids)
+        assert pair.inner.pid in selection
+        assert pair.inner.pid in join_nbr

@@ -1,0 +1,80 @@
+"""Property-based tests for two-kNN-join queries (unchained and chained)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.two_joins.chained import (
+    chained_joins_nested,
+    chained_joins_qep1,
+    chained_joins_qep2,
+)
+from repro.core.two_joins.unchained import (
+    unchained_joins_auto,
+    unchained_joins_baseline,
+    unchained_joins_block_marking,
+)
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+
+COORD = st.floats(min_value=0.0, max_value=400.0, allow_nan=False, allow_infinity=False)
+BOUNDS = Rect(0.0, 0.0, 400.0, 400.0)
+
+
+@st.composite
+def three_relations(draw):
+    """Three point sets A, B, C with shared extent and their grid indexes."""
+    a_coords = draw(st.lists(st.tuples(COORD, COORD), min_size=2, max_size=25))
+    b_coords = draw(st.lists(st.tuples(COORD, COORD), min_size=3, max_size=50))
+    c_coords = draw(st.lists(st.tuples(COORD, COORD), min_size=2, max_size=25))
+    a = [Point(x, y, i) for i, (x, y) in enumerate(a_coords)]
+    b = [Point(x, y, 10_000 + i) for i, (x, y) in enumerate(b_coords)]
+    c = [Point(x, y, 20_000 + i) for i, (x, y) in enumerate(c_coords)]
+    cells = draw(st.integers(min_value=1, max_value=5))
+    ia = GridIndex(a, cells_per_side=cells, bounds=BOUNDS)
+    ib = GridIndex(b, cells_per_side=cells, bounds=BOUNDS)
+    ic = GridIndex(c, cells_per_side=cells, bounds=BOUNDS)
+    k_ab = draw(st.integers(min_value=1, max_value=4))
+    k_cb = draw(st.integers(min_value=1, max_value=4))
+    return a, b, c, ia, ib, ic, k_ab, k_cb
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=three_relations())
+def test_unchained_block_marking_equals_baseline(instance):
+    a, _, c, _, ib, ic, k_ab, k_cb = instance
+    base = unchained_joins_baseline(a, c, ib, k_ab, k_cb)
+    got = unchained_joins_block_marking(a, ic, ib, k_ab, k_cb)
+    assert {t.pids for t in got} == {t.pids for t in base}
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance=three_relations())
+def test_unchained_auto_join_order_preserves_answer(instance):
+    a, _, c, ia, ib, ic, k_ab, k_cb = instance
+    base = unchained_joins_baseline(a, c, ib, k_ab, k_cb)
+    got = unchained_joins_auto(ia, ic, ib, k_ab, k_cb)
+    assert {t.pids for t in got} == {t.pids for t in base}
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=three_relations())
+def test_chained_qeps_are_equivalent(instance):
+    """Figure 13: QEP1 ≡ QEP2 ≡ QEP3 (cached and uncached)."""
+    a, b, _, _, ib, ic, k_ab, k_bc = instance
+    qep1 = {t.pids for t in chained_joins_qep1(a, b, ib, ic, k_ab, k_bc)}
+    qep2 = {t.pids for t in chained_joins_qep2(a, b, ib, ic, k_ab, k_bc)}
+    nested_cached = {t.pids for t in chained_joins_nested(a, ib, ic, k_ab, k_bc, cache=True)}
+    nested_plain = {t.pids for t in chained_joins_nested(a, ib, ic, k_ab, k_bc, cache=False)}
+    assert qep1 == qep2 == nested_cached == nested_plain
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance=three_relations())
+def test_chained_output_cardinality(instance):
+    """Nested join emits exactly |A| * k_ab * k_bc triplets (with enough data)."""
+    a, b, c, _, ib, ic, k_ab, k_bc = instance
+    triplets = chained_joins_nested(a, ib, ic, k_ab, k_bc, cache=True)
+    expected = len(a) * min(k_ab, len(b)) * min(k_bc, len(c))
+    assert len(triplets) == expected

@@ -1,0 +1,71 @@
+"""Property-based tests: the 2-kNN-select algorithm is exactly equivalent to the
+conceptually correct two-select QEP."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.two_selects.baseline import two_knn_selects_baseline
+from repro.core.two_selects.optimized import two_knn_selects_optimized
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.index.quadtree import QuadtreeIndex
+from repro.locality.brute import brute_force_knn
+
+COORD = st.floats(min_value=0.0, max_value=600.0, allow_nan=False, allow_infinity=False)
+BOUNDS = Rect(0.0, 0.0, 600.0, 600.0)
+
+
+@st.composite
+def two_select_instance(draw):
+    coords = draw(st.lists(st.tuples(COORD, COORD), min_size=3, max_size=120))
+    points = [Point(x, y, i) for i, (x, y) in enumerate(coords)]
+    kind = draw(st.sampled_from(["grid", "quadtree"]))
+    if kind == "grid":
+        index = GridIndex(points, cells_per_side=draw(st.integers(1, 7)), bounds=BOUNDS)
+    else:
+        index = QuadtreeIndex(points, capacity=draw(st.integers(1, 16)), bounds=BOUNDS)
+    f1 = Point(draw(COORD), draw(COORD))
+    f2 = Point(draw(COORD), draw(COORD))
+    k1 = draw(st.integers(min_value=1, max_value=20))
+    k2 = draw(st.integers(min_value=1, max_value=150))
+    return points, index, f1, k1, f2, k2
+
+
+@settings(max_examples=60, deadline=None)
+@given(instance=two_select_instance())
+def test_optimized_equals_baseline(instance):
+    _, index, f1, k1, f2, k2 = instance
+    base = two_knn_selects_baseline(index, f1, k1, f2, k2)
+    got = two_knn_selects_optimized(index, f1, k1, f2, k2)
+    assert {p.pid for p in got} == {p.pid for p in base}
+
+
+@settings(max_examples=40, deadline=None)
+@given(instance=two_select_instance())
+def test_result_is_brute_force_intersection(instance):
+    """Semantics: the answer equals the intersection of the two brute-force kNN sets."""
+    points, index, f1, k1, f2, k2 = instance
+    got = {p.pid for p in two_knn_selects_optimized(index, f1, k1, f2, k2)}
+    expected = set(brute_force_knn(points, f1, k1).pids) & set(
+        brute_force_knn(points, f2, k2).pids
+    )
+    assert got == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance=two_select_instance())
+def test_argument_order_is_irrelevant(instance):
+    _, index, f1, k1, f2, k2 = instance
+    one = {p.pid for p in two_knn_selects_optimized(index, f1, k1, f2, k2)}
+    two = {p.pid for p in two_knn_selects_optimized(index, f2, k2, f1, k1)}
+    assert one == two
+
+
+@settings(max_examples=30, deadline=None)
+@given(instance=two_select_instance())
+def test_result_never_larger_than_smaller_k(instance):
+    _, index, f1, k1, f2, k2 = instance
+    got = two_knn_selects_optimized(index, f1, k1, f2, k2)
+    assert len(got) <= min(k1, k2)

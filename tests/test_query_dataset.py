@@ -1,0 +1,73 @@
+"""Unit tests for repro.query.dataset.Dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.grid import GridIndex
+from repro.index.quadtree import QuadtreeIndex
+from repro.index.rtree import RTreeIndex
+from repro.query.dataset import Dataset
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+POINTS = [Point(float(i), float(i), i) for i in range(20)]
+
+
+class TestConstruction:
+    def test_requires_name_and_points(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset("", POINTS)
+        with pytest.raises(EmptyDatasetError):
+            Dataset("empty", [])
+
+    def test_rejects_unknown_index_kind(self):
+        with pytest.raises(InvalidParameterError):
+            Dataset("x", POINTS, index_kind="kdtree")  # type: ignore[arg-type]
+
+    def test_from_points_assigns_pids_to_tuples(self):
+        ds = Dataset.from_points("cafes", [(1.0, 2.0), (3.0, 4.0)])
+        assert [p.pid for p in ds.points] == [0, 1]
+
+    def test_from_points_keeps_existing_pids(self):
+        ds = Dataset.from_points("cafes", [Point(1, 2, 42), (3.0, 4.0)])
+        assert [p.pid for p in ds.points] == [42, 0]
+
+    def test_from_points_start_pid(self):
+        ds = Dataset.from_points("cafes", [(1.0, 2.0), (3.0, 4.0)], start_pid=100)
+        assert [p.pid for p in ds.points] == [100, 101]
+
+
+class TestIndexing:
+    def test_default_index_is_grid(self):
+        ds = Dataset("x", POINTS)
+        assert isinstance(ds.index, GridIndex)
+        assert ds.index_kind == "grid"
+
+    def test_quadtree_and_rtree_variants(self):
+        assert isinstance(Dataset("q", POINTS, index_kind="quadtree").index, QuadtreeIndex)
+        assert isinstance(Dataset("r", POINTS, index_kind="rtree").index, RTreeIndex)
+
+    def test_index_is_lazy_and_cached(self):
+        ds = Dataset("x", POINTS)
+        assert ds._index is None
+        first = ds.index
+        assert ds.index is first
+
+    def test_shared_bounds_forwarded_to_grid(self):
+        ds = Dataset("x", POINTS, bounds=BOUNDS, cells_per_side=5)
+        assert ds.index.bounds == BOUNDS
+        assert ds.index.num_blocks == 25
+
+    def test_index_options_forwarded(self):
+        ds = Dataset("x", POINTS, index_kind="quadtree", capacity=2)
+        assert all(b.count <= 2 for b in ds.index.blocks)
+
+    def test_stats_accessor(self):
+        stats = Dataset("x", POINTS).stats
+        assert stats.num_points == len(POINTS)
+
+    def test_len(self):
+        assert len(Dataset("x", POINTS)) == len(POINTS)

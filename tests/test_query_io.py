@@ -1,0 +1,69 @@
+"""Tests for CSV import/export (repro.query.io)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import uniform_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.operators.results import JoinPair, JoinTriplet
+from repro.query.io import (
+    load_points_csv,
+    save_pairs_csv,
+    save_points_csv,
+    save_triplets_csv,
+)
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestPointsRoundTrip:
+    def test_save_and_load_preserves_points_exactly(self, tmp_path):
+        points = uniform_points(50, BOUNDS, seed=1, start_pid=10)
+        path = tmp_path / "points.csv"
+        assert save_points_csv(points, path) == 50
+        loaded = load_points_csv(path)
+        assert [(p.pid, p.x, p.y) for p in loaded] == [(p.pid, p.x, p.y) for p in points]
+
+    def test_load_without_id_column_assigns_sequential_ids(self, tmp_path):
+        path = tmp_path / "noid.csv"
+        path.write_text("x,y\n1.5,2.5\n3.0,4.0\n")
+        loaded = load_points_csv(path)
+        assert [p.pid for p in loaded] == [0, 1]
+
+    def test_extra_columns_preserved_as_payload(self, tmp_path):
+        path = tmp_path / "extra.csv"
+        path.write_text("id,x,y,name\n7,1.0,2.0,hotel-garni\n")
+        loaded = load_points_csv(path)
+        assert loaded[0].payload == {"name": "hotel-garni"}
+
+    def test_missing_coordinate_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,lon,lat\n1,2,3\n")
+        with pytest.raises(InvalidParameterError):
+            load_points_csv(path)
+
+    def test_custom_column_names(self, tmp_path):
+        path = tmp_path / "custom.csv"
+        path.write_text("pid,lon,lat\n3,5.0,6.0\n")
+        loaded = load_points_csv(path, id_column="pid", x_column="lon", y_column="lat")
+        assert loaded[0].pid == 3 and loaded[0].x == 5.0
+
+
+class TestResultExports:
+    def test_pairs_csv(self, tmp_path):
+        pairs = [JoinPair(Point(0, 0, 1), Point(3, 4, 2))]
+        path = tmp_path / "pairs.csv"
+        assert save_pairs_csv(pairs, path) == 1
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "outer_id,inner_id,distance"
+        assert lines[1].startswith("1,2,5.0")
+
+    def test_triplets_csv(self, tmp_path):
+        triplets = [JoinTriplet(Point(0, 0, 1), Point(1, 0, 2), Point(2, 0, 3))]
+        path = tmp_path / "triplets.csv"
+        assert save_triplets_csv(triplets, path) == 1
+        lines = path.read_text().strip().splitlines()
+        assert lines == ["a_id,b_id,c_id", "1,2,3"]

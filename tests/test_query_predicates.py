@@ -1,0 +1,50 @@
+"""Unit tests for the declarative predicates (repro.query.predicates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.query.predicates import KnnJoin, KnnSelect
+
+
+class TestKnnSelect:
+    def test_valid(self):
+        p = KnnSelect(relation="hotels", focal=Point(1, 2), k=3)
+        assert p.relation == "hotels"
+        assert p.k == 3
+
+    def test_rejects_empty_relation(self):
+        with pytest.raises(InvalidParameterError):
+            KnnSelect(relation="", focal=Point(0, 0), k=1)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            KnnSelect(relation="hotels", focal=Point(0, 0), k=0)
+
+    def test_is_hashable_value_object(self):
+        a = KnnSelect(relation="hotels", focal=Point(1, 2), k=3)
+        b = KnnSelect(relation="hotels", focal=Point(1, 2), k=3)
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestKnnJoin:
+    def test_valid(self):
+        j = KnnJoin(outer="shops", inner="hotels", k=2)
+        assert (j.outer, j.inner, j.k) == ("shops", "hotels", 2)
+
+    def test_rejects_same_relation_on_both_sides(self):
+        with pytest.raises(InvalidParameterError):
+            KnnJoin(outer="hotels", inner="hotels", k=2)
+
+    def test_rejects_empty_names(self):
+        with pytest.raises(InvalidParameterError):
+            KnnJoin(outer="", inner="hotels", k=2)
+        with pytest.raises(InvalidParameterError):
+            KnnJoin(outer="shops", inner="", k=2)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            KnnJoin(outer="shops", inner="hotels", k=-1)

@@ -1,0 +1,186 @@
+"""Unit and integration tests for the Query dispatcher (repro.query.query)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import clustered_points, uniform_points
+from repro.exceptions import InvalidParameterError, UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.dataset import Dataset
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+
+from tests.conftest import pair_pid_set, point_pid_set, triplet_pid_set
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+@pytest.fixture(scope="module")
+def relations() -> dict[str, Dataset]:
+    shops = uniform_points(120, BOUNDS, seed=90, start_pid=1_000)
+    hotels = uniform_points(600, BOUNDS, seed=91, start_pid=10_000)
+    malls = clustered_points(2, 80, BOUNDS, cluster_radius=60.0, seed=92, start_pid=20_000)
+    return {
+        "shops": Dataset("shops", shops, bounds=BOUNDS, cells_per_side=10),
+        "hotels": Dataset("hotels", hotels, bounds=BOUNDS, cells_per_side=10),
+        "malls": Dataset("malls", malls, bounds=BOUNDS, cells_per_side=10),
+    }
+
+
+class TestConstruction:
+    def test_requires_one_or_two_predicates(self):
+        with pytest.raises(UnsupportedQueryError):
+            Query()
+        with pytest.raises(UnsupportedQueryError):
+            Query(
+                KnnSelect("a", Point(0, 0), 1),
+                KnnSelect("a", Point(0, 0), 1),
+                KnnSelect("a", Point(0, 0), 1),
+            )
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(InvalidParameterError):
+            Query(KnnSelect("a", Point(0, 0), 1), strategy="magic")
+
+    def test_rejects_non_predicate(self):
+        with pytest.raises(InvalidParameterError):
+            Query("not a predicate")  # type: ignore[arg-type]
+
+    def test_missing_relation_detected_at_run_time(self, relations):
+        query = Query(KnnSelect("restaurants", Point(0, 0), 3))
+        with pytest.raises(UnsupportedQueryError, match="restaurants"):
+            query.run(relations)
+
+
+class TestSinglePredicateQueries:
+    def test_single_select(self, relations):
+        result = Query(KnnSelect("hotels", Point(500, 500), 7)).run(relations)
+        assert result.query_class == "single-select"
+        assert len(result.require_points()) == 7
+
+    def test_single_join(self, relations):
+        result = Query(KnnJoin(outer="shops", inner="hotels", k=2)).run(relations)
+        assert result.query_class == "single-join"
+        assert len(result.require_pairs()) == len(relations["shops"]) * 2
+
+
+class TestTwoSelects:
+    def test_optimized_matches_baseline(self, relations):
+        predicates = (
+            KnnSelect("hotels", Point(300, 300), 10),
+            KnnSelect("hotels", Point(340, 320), 150),
+        )
+        optimized = Query(*predicates).run(relations)
+        baseline = Query(*predicates, strategy="baseline").run(relations)
+        assert point_pid_set(optimized.points) == point_pid_set(baseline.points)
+        assert optimized.strategy == "2-kNN-select"
+        assert baseline.strategy == "two-selects-baseline"
+
+    def test_two_selects_on_different_relations_rejected(self, relations):
+        query = Query(
+            KnnSelect("hotels", Point(0, 0), 5),
+            KnnSelect("shops", Point(0, 0), 5),
+        )
+        with pytest.raises(UnsupportedQueryError):
+            query.run(relations)
+
+
+class TestSelectJoinQueries:
+    def test_select_on_inner_auto_matches_baseline(self, relations):
+        predicates = (
+            KnnJoin(outer="shops", inner="hotels", k=2),
+            KnnSelect("hotels", Point(450, 520), 25),
+        )
+        auto = Query(*predicates).run(relations)
+        baseline = Query(*predicates, strategy="baseline").run(relations)
+        assert pair_pid_set(auto.pairs) == pair_pid_set(baseline.pairs)
+        assert auto.query_class == "select-inner-of-join"
+        assert auto.strategy in ("counting", "block_marking")
+
+    def test_forced_strategies_agree(self, relations):
+        predicates = (
+            KnnJoin(outer="shops", inner="hotels", k=3),
+            KnnSelect("hotels", Point(200, 700), 30),
+        )
+        counting = Query(*predicates, strategy="counting").run(relations)
+        marking = Query(*predicates, strategy="block_marking").run(relations)
+        assert pair_pid_set(counting.pairs) == pair_pid_set(marking.pairs)
+        assert counting.strategy == "counting"
+        assert marking.strategy == "block_marking"
+
+    def test_select_on_outer_uses_pushdown(self, relations):
+        result = Query(
+            KnnJoin(outer="shops", inner="hotels", k=2),
+            KnnSelect("shops", Point(100, 100), 5),
+        ).run(relations)
+        assert result.query_class == "select-outer-of-join"
+        assert result.strategy == "outer-select-pushdown"
+        assert len(result.pairs) == 5 * 2
+
+    def test_select_on_unrelated_relation_rejected(self, relations):
+        query = Query(
+            KnnJoin(outer="shops", inner="hotels", k=2),
+            KnnSelect("malls", Point(0, 0), 5),
+        )
+        with pytest.raises(UnsupportedQueryError):
+            query.run(relations)
+
+
+class TestTwoJoinQueries:
+    def test_unchained_auto_matches_baseline(self, relations):
+        predicates = (
+            KnnJoin(outer="malls", inner="hotels", k=2),
+            KnnJoin(outer="shops", inner="hotels", k=2),
+        )
+        auto = Query(*predicates).run(relations)
+        baseline = Query(*predicates, strategy="baseline").run(relations)
+        assert triplet_pid_set(auto.triplets) == triplet_pid_set(baseline.triplets)
+        assert auto.query_class == "unchained-joins"
+
+    def test_chained_query(self, relations):
+        result = Query(
+            KnnJoin(outer="malls", inner="hotels", k=2),
+            KnnJoin(outer="hotels", inner="shops", k=2),
+        ).run(relations)
+        assert result.query_class == "chained-joins"
+        assert result.strategy == "nested-join-cached"
+        assert len(result.require_triplets()) == len(relations["malls"]) * 2 * 2
+
+    def test_chained_query_given_in_reverse_order(self, relations):
+        forward = Query(
+            KnnJoin(outer="malls", inner="hotels", k=2),
+            KnnJoin(outer="hotels", inner="shops", k=2),
+        ).run(relations)
+        reverse = Query(
+            KnnJoin(outer="hotels", inner="shops", k=2),
+            KnnJoin(outer="malls", inner="hotels", k=2),
+        ).run(relations)
+        assert triplet_pid_set(forward.triplets) == triplet_pid_set(reverse.triplets)
+
+    def test_unrelated_joins_rejected(self, relations):
+        query = Query(
+            KnnJoin(outer="malls", inner="hotels", k=2),
+            KnnJoin(outer="shops", inner="malls", k=2),
+        )
+        # shops->malls and malls->hotels is chained (malls is inner of none...)
+        # Actually malls is outer of the first and inner of the second: chained.
+        result = query.run(relations)
+        assert result.query_class == "chained-joins"
+
+    def test_truly_unrelated_joins_rejected(self, relations):
+        extra = Dataset(
+            "parks",
+            uniform_points(50, BOUNDS, seed=99, start_pid=90_000),
+            bounds=BOUNDS,
+            cells_per_side=10,
+        )
+        datasets = dict(relations)
+        datasets["parks"] = extra
+        query = Query(
+            KnnJoin(outer="shops", inner="hotels", k=2),
+            KnnJoin(outer="malls", inner="parks", k=2),
+        )
+        with pytest.raises(UnsupportedQueryError):
+            query.run(datasets)

@@ -1,0 +1,130 @@
+"""Tests for the RangeSelect predicate and its query-API integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.select_join.range_inner import range_inner_join_baseline
+from repro.datagen import uniform_points
+from repro.exceptions import InvalidParameterError, UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.dataset import Dataset
+from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+from repro.query.query import Query
+
+from tests.conftest import pair_pid_set, point_pid_set
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+WINDOW = Rect(200.0, 200.0, 600.0, 650.0)
+
+
+@pytest.fixture(scope="module")
+def relations() -> dict[str, Dataset]:
+    hotels = uniform_points(500, BOUNDS, seed=301, start_pid=0)
+    shops = uniform_points(80, BOUNDS, seed=302, start_pid=10_000)
+    return {
+        "hotels": Dataset("hotels", hotels, bounds=BOUNDS, cells_per_side=10),
+        "shops": Dataset("shops", shops, bounds=BOUNDS, cells_per_side=10),
+    }
+
+
+class TestRangeSelectPredicate:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            RangeSelect(relation="", window=WINDOW)
+
+    def test_value_object(self):
+        assert RangeSelect("hotels", WINDOW) == RangeSelect("hotels", WINDOW)
+
+
+class TestSingleRangeQuery:
+    def test_returns_points_in_window(self, relations):
+        result = Query(RangeSelect("hotels", WINDOW)).run(relations)
+        assert result.query_class == "single-range"
+        expected = {p.pid for p in relations["hotels"].points if WINDOW.contains_point(p)}
+        assert point_pid_set(result.points) == expected
+
+
+class TestRangeInnerOfJoin:
+    def test_optimized_matches_baseline(self, relations):
+        predicates = (
+            KnnJoin(outer="shops", inner="hotels", k=3),
+            RangeSelect("hotels", WINDOW),
+        )
+        optimized = Query(*predicates).run(relations)
+        baseline = Query(*predicates, strategy="baseline").run(relations)
+        assert pair_pid_set(optimized.pairs) == pair_pid_set(baseline.pairs)
+        assert optimized.query_class == "range-inner-of-join"
+        assert optimized.strategy == "range-inner-block-marking"
+        assert baseline.strategy == "range-inner-baseline"
+
+    def test_matches_direct_algorithm_call(self, relations):
+        result = Query(
+            KnnJoin(outer="shops", inner="hotels", k=2),
+            RangeSelect("hotels", WINDOW),
+        ).run(relations)
+        direct = range_inner_join_baseline(
+            relations["shops"].points, relations["hotels"].index, WINDOW, 2
+        )
+        assert pair_pid_set(result.pairs) == pair_pid_set(direct)
+
+    def test_every_reported_inner_point_is_in_window(self, relations):
+        result = Query(
+            KnnJoin(outer="shops", inner="hotels", k=3),
+            RangeSelect("hotels", WINDOW),
+        ).run(relations)
+        assert all(WINDOW.contains_point(pair.inner) for pair in result.pairs)
+
+
+class TestRangeOuterOfJoin:
+    def test_pushdown_is_used_and_correct(self, relations):
+        result = Query(
+            KnnJoin(outer="shops", inner="hotels", k=2),
+            RangeSelect("shops", WINDOW),
+        ).run(relations)
+        assert result.query_class == "range-outer-of-join"
+        shops_in_window = {
+            p.pid for p in relations["shops"].points if WINDOW.contains_point(p)
+        }
+        assert {pair.outer.pid for pair in result.pairs} == shops_in_window
+        assert len(result.pairs) == 2 * len(shops_in_window)
+
+    def test_unrelated_relation_rejected(self, relations):
+        query = Query(
+            KnnJoin(outer="shops", inner="hotels", k=2),
+            RangeSelect("restaurants", WINDOW),
+        )
+        with pytest.raises(UnsupportedQueryError):
+            query.run(relations)
+
+
+class TestRangeWithKnnSelectAndTwoRanges:
+    def test_range_and_knn_select(self, relations):
+        focal = Point(400.0, 400.0)
+        result = Query(
+            RangeSelect("hotels", WINDOW),
+            KnnSelect("hotels", focal, 30),
+        ).run(relations)
+        assert result.query_class == "range-and-knn-select"
+        knn_only = Query(KnnSelect("hotels", focal, 30)).run(relations)
+        expected = {p.pid for p in knn_only.points if WINDOW.contains_point(p)}
+        assert point_pid_set(result.points) == expected
+
+    def test_two_ranges_intersect(self, relations):
+        other = Rect(400.0, 100.0, 900.0, 500.0)
+        result = Query(
+            RangeSelect("hotels", WINDOW), RangeSelect("hotels", other)
+        ).run(relations)
+        assert result.query_class == "two-ranges"
+        expected = {
+            p.pid
+            for p in relations["hotels"].points
+            if WINDOW.contains_point(p) and other.contains_point(p)
+        }
+        assert point_pid_set(result.points) == expected
+
+    def test_two_ranges_on_different_relations_rejected(self, relations):
+        query = Query(RangeSelect("hotels", WINDOW), RangeSelect("shops", WINDOW))
+        with pytest.raises(UnsupportedQueryError):
+            query.run(relations)

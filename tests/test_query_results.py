@@ -1,0 +1,45 @@
+"""Unit tests for the QueryResult container (repro.query.results)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.operators.results import JoinPair, JoinTriplet
+from repro.query.results import QueryResult
+
+P = [Point(float(i), 0.0, i) for i in range(5)]
+
+
+class TestQueryResult:
+    def test_point_result(self):
+        r = QueryResult(strategy="s", query_class="two-selects", points=(P[0], P[1]))
+        assert len(r) == 2
+        assert r.require_points() == (P[0], P[1])
+        assert list(r.rows) == [P[0], P[1]]
+
+    def test_pair_result(self):
+        pairs = (JoinPair(P[0], P[1]),)
+        r = QueryResult(strategy="s", query_class="select-inner-of-join", pairs=pairs)
+        assert r.require_pairs() == pairs
+        with pytest.raises(UnsupportedQueryError):
+            r.require_points()
+
+    def test_triplet_result(self):
+        triplets = (JoinTriplet(P[0], P[1], P[2]),)
+        r = QueryResult(strategy="s", query_class="chained-joins", triplets=triplets)
+        assert r.require_triplets() == triplets
+        with pytest.raises(UnsupportedQueryError):
+            r.require_pairs()
+
+    def test_empty_result(self):
+        r = QueryResult(strategy="s", query_class="two-selects")
+        assert len(r) == 0
+        assert list(r.rows) == []
+        # An empty result can still be asked for any row kind without raising.
+        assert r.require_points() == ()
+
+    def test_stats_default(self):
+        r = QueryResult(strategy="s", query_class="two-selects")
+        assert r.stats.points_considered == 0
