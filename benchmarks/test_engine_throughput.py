@@ -1,0 +1,36 @@
+"""Engine throughput: cached repeated queries vs cold ``Query.run`` loops.
+
+Beyond the paper's figures: the ``repro.engine`` layer amortizes planning,
+index statistics and the chained-join B→C neighborhood cache across a batch
+of repeated queries, where one-shot ``Query.run`` pays everything per call.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+from repro.bench.workloads import ENGINE_THROUGHPUT_FIGURE
+
+pytestmark = pytest.mark.benchmark(group="engine-throughput")
+
+_WORKLOAD, _SWEEP, _RUNNERS = build_figure_runners(ENGINE_THROUGHPUT_FIGURE)
+
+
+def test_engine_cached_batch(benchmark):
+    """A batch of identical chained queries through the caching engine."""
+    results = benchmark.pedantic(_RUNNERS["engine-cached"], rounds=1, iterations=1)
+    assert len(results) == _SWEEP
+
+
+def test_cold_query_run_batch(benchmark):
+    """The same batch through one-shot ``Query.run`` calls."""
+    results = benchmark.pedantic(_RUNNERS["cold-query-run"], rounds=1, iterations=1)
+    assert len(results) == _SWEEP
+
+
+def test_engine_and_cold_agree():
+    """The cached engine returns exactly what cold execution returns."""
+    cold = _RUNNERS["cold-query-run"]()
+    cached = _RUNNERS["engine-cached"]()
+    assert [r.triplets for r in cold] == [r.triplets for r in cached]

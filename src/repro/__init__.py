@@ -54,6 +54,7 @@ from repro.core import (
 from repro.core.stats import PruningStats
 from repro.planner import Optimizer, SelectJoinStrategy
 from repro.query import Dataset, KnnJoin, KnnSelect, Query, QueryResult, RangeSelect
+from repro.engine import SpatialEngine
 
 __version__ = "0.1.0"
 
@@ -108,4 +109,6 @@ __all__ = [
     "RangeSelect",
     "Query",
     "QueryResult",
+    # engine
+    "SpatialEngine",
 ]

@@ -18,7 +18,7 @@ import sys
 
 from repro.bench.figures import run_and_format, run_all_figures
 from repro.bench.plotting import format_ascii_chart
-from repro.bench.workloads import ALL_FIGURES
+from repro.bench.workloads import ALL_FIGURES, ENGINE_THROUGHPUT_FIGURE
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -28,7 +28,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     target = parser.add_mutually_exclusive_group(required=True)
     target.add_argument(
-        "--figure", type=int, choices=ALL_FIGURES, help="reproduce a single figure"
+        "--figure",
+        type=int,
+        choices=ALL_FIGURES + (ENGINE_THROUGHPUT_FIGURE,),
+        help=f"reproduce a single figure ({ENGINE_THROUGHPUT_FIGURE} = engine throughput, beyond the paper)",
     )
     target.add_argument("--all", action="store_true", help="reproduce every figure")
     parser.add_argument(

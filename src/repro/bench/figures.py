@@ -5,9 +5,9 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.bench.harness import FigureResult, format_table, run_figure
-from repro.bench.workloads import ALL_FIGURES
+from repro.bench.workloads import ALL_FIGURES, ENGINE_THROUGHPUT_FIGURE
 
-__all__ = ["run_and_format", "run_all_figures"]
+__all__ = ["run_and_format", "run_all_figures", "run_engine_throughput"]
 
 
 def run_and_format(
@@ -35,3 +35,23 @@ def run_all_figures(
     for figure in figures:
         out[figure] = run_and_format(figure, scale=scale, repeats=repeats, progress=progress)
     return out
+
+
+def run_engine_throughput(
+    scale: float = 0.05,
+    repeats: int = 1,
+    sweep_values: tuple | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> tuple[FigureResult, str]:
+    """Run the engine-throughput workload (engine-cached vs cold ``Query.run``).
+
+    This is not a paper figure; it measures what the ``repro.engine`` layer
+    adds on top of the paper's algorithms when the same query shape repeats.
+    """
+    return run_and_format(
+        ENGINE_THROUGHPUT_FIGURE,
+        scale=scale,
+        repeats=repeats,
+        sweep_values=sweep_values,
+        progress=progress,
+    )

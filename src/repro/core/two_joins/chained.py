@@ -17,7 +17,7 @@ QEPs of Figure 13 are equivalent:
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Iterable, MutableMapping
 
 from repro.core.stats import PruningStats
 from repro.exceptions import InvalidParameterError
@@ -89,6 +89,7 @@ def chained_joins_nested(
     k_bc: int,
     cache: bool = True,
     stats: PruningStats | None = None,
+    neighborhood_cache: MutableMapping[int, Neighborhood] | None = None,
 ) -> list[JoinTriplet]:
     """QEP3: nested join, optionally caching B→C neighborhoods.
 
@@ -97,11 +98,18 @@ def chained_joins_nested(
     recommended variant) the neighborhood of each distinct B point is computed
     at most once, even when it neighbors many A points.
 
+    ``neighborhood_cache`` optionally supplies the B→C cache mapping (pid →
+    neighborhood) so that several queries over the same B/C relations and
+    ``k_bc`` — e.g. a batch executed by the engine — share one cache and warm
+    it for each other.  Callers are responsible for only sharing a cache
+    between compatible queries.
+
     Produces exactly the same triplets as QEP1 and QEP2.
     """
     if k_ab <= 0 or k_bc <= 0:
         raise InvalidParameterError("k_ab and k_bc must be positive")
-    neighborhood_cache: dict[int, Neighborhood] = {}
+    if neighborhood_cache is None:
+        neighborhood_cache = {}
     triplets: list[JoinTriplet] = []
     for a in a_points:
         b_neighborhood = get_knn(b_index, a, k_ab)

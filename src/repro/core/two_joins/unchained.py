@@ -169,6 +169,8 @@ def unchained_joins_block_marking(
 def choose_unchained_join_order(
     a_index: SpatialIndex,
     c_index: SpatialIndex,
+    a_stats: IndexStats | None = None,
+    c_stats: IndexStats | None = None,
 ) -> str:
     """Section 4.1.2 heuristic: which outer relation's join to evaluate first.
 
@@ -177,9 +179,14 @@ def choose_unchained_join_order(
     more blocks of B stay Safe and more blocks of the *other* outer relation
     get pruned.  When neither is clustered the order does not matter and
     ``"A"`` is returned.
+
+    ``a_stats`` / ``c_stats`` let callers with cached statistics (the engine)
+    skip the O(n) recomputation.
     """
-    a_stats = IndexStats.from_index(a_index)
-    c_stats = IndexStats.from_index(c_index)
+    if a_stats is None:
+        a_stats = IndexStats.from_index(a_index)
+    if c_stats is None:
+        c_stats = IndexStats.from_index(c_index)
     if c_stats.clustering_ratio > a_stats.clustering_ratio:
         return "C"
     return "A"
@@ -192,13 +199,21 @@ def unchained_joins_auto(
     k_ab: int,
     k_cb: int,
     stats: PruningStats | None = None,
+    order: str | None = None,
+    a_stats: IndexStats | None = None,
+    c_stats: IndexStats | None = None,
 ) -> list[JoinTriplet]:
     """Evaluate the unchained joins with the paper's join-order heuristic.
 
     Regardless of the internal evaluation order, triplets are always returned
-    as ``(a, b, c)``.
+    as ``(a, b, c)``.  ``order`` forces ``"A"`` or ``"C"`` first (a cached
+    planning decision); when ``None`` the heuristic decides, reusing
+    ``a_stats`` / ``c_stats`` when given.
     """
-    order = choose_unchained_join_order(a_index, c_index)
+    if order is None:
+        order = choose_unchained_join_order(a_index, c_index, a_stats, c_stats)
+    elif order not in ("A", "C"):
+        raise InvalidParameterError(f"order must be 'A' or 'C', got {order!r}")
     if order == "A":
         return unchained_joins_block_marking(
             list(a_index.points()), c_index, b_index, k_ab, k_cb, stats=stats

@@ -1,0 +1,25 @@
+"""``repro.engine`` — a long-lived spatial query engine.
+
+The engine layer turns the one-shot :class:`repro.Query` API into a serving
+system: datasets are registered once, index statistics and physical plans are
+cached across queries, batches execute concurrently, and incremental updates
+maintain the index while invalidating exactly the affected cache entries.
+
+See :class:`SpatialEngine` for the entry point.
+"""
+
+from repro.engine.executor import SharedNeighborhoodCaches, run_batch
+from repro.engine.explain import Explain
+from repro.engine.plan_cache import CachedPlan, PlanCache
+from repro.engine.session import SpatialEngine
+from repro.engine.stats_cache import StatsCache
+
+__all__ = [
+    "SpatialEngine",
+    "PlanCache",
+    "CachedPlan",
+    "StatsCache",
+    "Explain",
+    "SharedNeighborhoodCaches",
+    "run_batch",
+]

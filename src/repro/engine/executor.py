@@ -1,0 +1,153 @@
+"""Batched/concurrent execution support for the engine.
+
+Two pieces live here:
+
+* :func:`run_batch` — run a list of zero-argument jobs on a thread pool,
+  preserving input order and propagating the first exception.  The paper's
+  algorithms are pure index reads, so queries over registered (immutable
+  between mutations) datasets parallelize safely; NumPy's vectorized
+  MINDIST/MAXDIST kernels release the GIL for part of the work.
+* :class:`SharedNeighborhoodCaches` — a registry of B→C neighborhood caches
+  for chained joins, keyed by the identity *and version* of the B and C
+  relations plus ``k_bc``.  Within one batch (and across batches) every
+  chained query over the same relations shares one cache, so a B point whose
+  neighborhood was computed by one query is a cache hit for every later query
+  (Section 4.2.1's caching argument, amortized across the whole workload
+  instead of a single query).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterator, MutableMapping, Sequence, TypeVar
+
+from repro.exceptions import InvalidParameterError
+from repro.locality.neighborhood import Neighborhood
+
+__all__ = ["run_batch", "SharedNeighborhoodCaches", "ReadWriteLock"]
+
+T = TypeVar("T")
+
+#: (b_relation, b_version, c_relation, c_version, k_bc)
+CacheKey = tuple[str, int, str, int, int]
+
+
+def run_batch(
+    jobs: Sequence[Callable[[], T]],
+    max_workers: int | None = None,
+) -> list[T]:
+    """Run ``jobs`` and return their results in input order.
+
+    ``max_workers=1`` (or a single job) degrades to a plain sequential loop,
+    which keeps tracebacks simple and avoids pool overhead for tiny batches.
+    The first job exception is re-raised.
+    """
+    if max_workers is not None and max_workers <= 0:
+        raise InvalidParameterError("max_workers must be positive")
+    if not jobs:
+        return []
+    if max_workers == 1 or len(jobs) == 1:
+        return [job() for job in jobs]
+    workers = max_workers if max_workers is not None else min(8, len(jobs))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(lambda job: job(), jobs))
+
+
+class ReadWriteLock:
+    """Many concurrent readers or one exclusive writer.
+
+    The engine runs queries under the read side (they may overlap freely) and
+    dataset mutations under the write side, so an ``insert``/``remove`` can
+    never swap an index out from under an in-flight query.  No writer
+    preference: a writer waits for in-flight readers to drain, and readers
+    arriving meanwhile are admitted (mutations can be delayed under constant
+    read load, but no lock acquisition can deadlock).
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    @contextlib.contextmanager
+    def read(self) -> Iterator[None]:
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextlib.contextmanager
+    def write(self) -> Iterator[None]:
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+class SharedNeighborhoodCaches:
+    """Registry of shared B→C neighborhood caches for chained joins.
+
+    Keys include the dataset versions, so a mutated relation naturally starts
+    from a fresh cache; :meth:`invalidate_relation` additionally drops the
+    stale mappings eagerly.  The registry is LRU-bounded to ``max_caches``
+    keys (each key's mapping can grow toward |B| neighborhoods, so unbounded
+    distinct shapes — e.g. user-chosen ``k`` values — must not accumulate for
+    the process lifetime).  The per-key mapping is a plain dict — its
+    ``get``/``__setitem__`` uses are atomic under the GIL, and a duplicated
+    neighborhood computation by two racing queries is benign (both compute
+    the same value).
+    """
+
+    def __init__(self, max_caches: int = 32) -> None:
+        if max_caches <= 0:
+            raise InvalidParameterError("max_caches must be positive")
+        self.max_caches = max_caches
+        self._caches: OrderedDict[CacheKey, dict[int, Neighborhood]] = OrderedDict()
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def cache_for(self, key: CacheKey) -> MutableMapping[int, Neighborhood]:
+        """The shared cache mapping for ``key``, created on first use."""
+        with self._lock:
+            cache = self._caches.setdefault(key, {})
+            self._caches.move_to_end(key)
+            while len(self._caches) > self.max_caches:
+                self._caches.popitem(last=False)
+                self.evictions += 1
+            return cache
+
+    def invalidate_relation(self, name: str) -> int:
+        """Drop every cache involving relation ``name``; returns the count."""
+        with self._lock:
+            doomed = [k for k in self._caches if k[0] == name or k[2] == name]
+            for key in doomed:
+                del self._caches[key]
+            return len(doomed)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._caches.clear()
+
+    def __len__(self) -> int:
+        return len(self._caches)
+
+    def total_entries(self) -> int:
+        """Total cached neighborhoods across every key."""
+        with self._lock:
+            return sum(len(c) for c in self._caches.values())

@@ -1,0 +1,83 @@
+"""The ``Explain`` record: why the engine chose a physical strategy.
+
+Every plan-cache entry carries an :class:`Explain` alongside the executable
+:class:`~repro.planner.plan.PhysicalPlan`, so ``engine.explain(query)`` is as
+cheap as a cache lookup once the query shape has been planned.  The
+:meth:`Explain.render` output is deliberately stable (sorted keys, fixed
+layout) so it can be snapshot-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.planner.plan import PhysicalPlan
+
+__all__ = ["Explain"]
+
+
+def _fmt(value: object) -> str:
+    """Render a decision value compactly and deterministically."""
+    if isinstance(value, Enum):
+        return str(value.value)
+    if isinstance(value, tuple):
+        return "(" + ", ".join(_fmt(v) for v in value) + ")"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Explain:
+    """A human-readable record of one planning decision.
+
+    Attributes
+    ----------
+    query_class / strategy:
+        The paper query class and the chosen physical strategy.
+    relations:
+        The relation names the query touches, sorted.
+    decisions:
+        The optimizer's per-class choices, stringified, sorted by key.
+    estimates:
+        Cost-model totals per considered strategy (empty when the strategy
+        was forced or needs no comparison), sorted by strategy name.
+    """
+
+    query_class: str
+    strategy: str
+    relations: tuple[str, ...]
+    decisions: tuple[tuple[str, str], ...] = ()
+    estimates: tuple[tuple[str, float], ...] = ()
+
+    @classmethod
+    def from_plan(cls, plan: PhysicalPlan, relations: frozenset[str]) -> "Explain":
+        """Build the record for a freshly derived plan."""
+        return cls(
+            query_class=plan.query_class,
+            strategy=plan.strategy,
+            relations=tuple(sorted(relations)),
+            decisions=tuple(sorted((k, _fmt(v)) for k, v in plan.decisions.items())),
+            estimates=tuple(sorted((k, float(v)) for k, v in plan.estimates.items())),
+        )
+
+    def render(self) -> str:
+        """A stable, indented EXPLAIN text block."""
+        lines = [
+            "EXPLAIN",
+            f"  query class: {self.query_class}",
+            f"  strategy:    {self.strategy}",
+            f"  relations:   {', '.join(self.relations)}",
+        ]
+        if self.decisions:
+            lines.append("  decisions:")
+            for key, value in self.decisions:
+                lines.append(f"    {key} = {value}")
+        if self.estimates:
+            lines.append("  cost estimates:")
+            width = max(len(name) for name, _ in self.estimates)
+            for name, total in self.estimates:
+                lines.append(f"    {name.ljust(width)} = {total:.2f}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,99 @@
+"""LRU plan cache keyed on canonical query signatures.
+
+The signature (:meth:`repro.query.query.Query.signature`) covers everything
+the planner's decisions depend on — predicate classes, relation names, index
+kinds, bucketed k-values and any forced strategy — and nothing they don't
+(focal points, range windows).  Repeated queries of the same *shape* therefore
+hit the cache even when their parameters differ, which is the common pattern
+of serving traffic ("nearest k cafés to <wherever the user is>").
+
+Entries remember which relations they touch so a dataset mutation can evict
+exactly the plans it could stale.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.engine.explain import Explain
+from repro.exceptions import InvalidParameterError
+from repro.planner.plan import PhysicalPlan
+
+__all__ = ["CachedPlan", "PlanCache"]
+
+Signature = tuple
+
+
+@dataclass
+class CachedPlan:
+    """One plan-cache entry: the executable plan plus its EXPLAIN record."""
+
+    signature: Signature
+    plan: PhysicalPlan
+    explain: Explain
+    relations: frozenset[str]
+    hits: int = field(default=0)
+
+
+class PlanCache:
+    """A thread-safe LRU mapping of query signature → :class:`CachedPlan`."""
+
+    def __init__(self, max_size: int = 256) -> None:
+        if max_size <= 0:
+            raise InvalidParameterError("plan cache max_size must be positive")
+        self.max_size = max_size
+        self._entries: OrderedDict[Signature, CachedPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def get(self, signature: Signature) -> CachedPlan | None:
+        """Look up a signature, updating LRU order and hit/miss counters."""
+        with self._lock:
+            entry = self._entries.get(signature)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(signature)
+            self.hits += 1
+            entry.hits += 1
+            return entry
+
+    def put(self, entry: CachedPlan) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        with self._lock:
+            self._entries[entry.signature] = entry
+            self._entries.move_to_end(entry.signature)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate_relation(self, name: str) -> int:
+        """Evict every plan that touches relation ``name``; returns the count."""
+        with self._lock:
+            doomed = [sig for sig, e in self._entries.items() if name in e.relations]
+            for sig in doomed:
+                del self._entries[sig]
+            self.invalidations += len(doomed)
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, signature: Signature) -> bool:
+        return signature in self._entries
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanCache(entries={len(self._entries)}/{self.max_size}, "
+            f"hits={self.hits}, misses={self.misses})"
+        )

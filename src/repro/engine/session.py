@@ -1,0 +1,337 @@
+"""The long-lived :class:`SpatialEngine`: register once, query many times.
+
+``Query.run`` is a one-shot API: every call re-derives the physical strategy
+and recomputes the index statistics behind it.  The engine amortizes both
+across the lifetime of a serving process:
+
+* **Datasets** are registered once by name; their indexes are built eagerly at
+  registration so no query thread ever races a lazy index build.
+* **Statistics** (`IndexStats`) are cached per dataset version in a
+  :class:`~repro.engine.stats_cache.StatsCache`.
+* **Plans** are cached in an LRU :class:`~repro.engine.plan_cache.PlanCache`
+  keyed on the canonical query signature; a cache hit executes with zero
+  statistics computations and zero strategy re-derivations.
+* **Batches** run on a thread pool via :meth:`run_many`; chained-join queries
+  in a batch share a B→C neighborhood cache.
+* **Mutations** (:meth:`insert` / :meth:`remove`) maintain the index and
+  invalidate exactly the cache entries the mutated relation could stale.
+
+Typical usage::
+
+    engine = SpatialEngine()
+    engine.register(name="cafes", points=cafe_points)
+    engine.register(name="offices", points=office_points)
+    result = engine.run(Query(KnnSelect(relation="cafes", focal=home, k=5)))
+    results = engine.run_many(queries)          # concurrent batch
+    print(engine.explain(queries[0]).render())  # cached EXPLAIN
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.engine.executor import ReadWriteLock, SharedNeighborhoodCaches, run_batch
+from repro.engine.explain import Explain
+from repro.engine.plan_cache import CachedPlan, PlanCache
+from repro.engine.stats_cache import StatsCache
+from repro.exceptions import InvalidParameterError, UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.stats import IndexStats
+from repro.planner.optimizer import Optimizer
+from repro.planner.plan import PhysicalPlan
+from repro.query.dataset import Dataset, IndexKind
+from repro.query.predicates import KnnJoin
+from repro.query.query import Query
+from repro.query.results import QueryResult
+
+__all__ = ["SpatialEngine"]
+
+
+class SpatialEngine:
+    """A registry of named datasets plus plan/statistics caches.
+
+    Parameters
+    ----------
+    optimizer:
+        The optimizer shared by every query the engine plans.  Queries run
+        through the engine use this optimizer (their own ``optimizer``
+        attribute only matters for standalone ``Query.run`` calls), so one
+        configuration governs the whole plan cache.
+    plan_cache_size:
+        Maximum number of cached plans (LRU eviction beyond it).
+    max_workers:
+        Default thread-pool width for :meth:`run_many`.
+    """
+
+    def __init__(
+        self,
+        optimizer: Optimizer | None = None,
+        plan_cache_size: int = 256,
+        max_workers: int | None = None,
+    ) -> None:
+        self.optimizer = optimizer or Optimizer()
+        self.max_workers = max_workers
+        self._datasets: dict[str, Dataset] = {}
+        self._stats_cache = StatsCache()
+        self._plan_cache = PlanCache(plan_cache_size)
+        self._chained_caches = SharedNeighborhoodCaches()
+        # Queries run under the read side, mutations under the write side, so
+        # an insert/remove never swaps an index under an in-flight query.
+        self._rw = ReadWriteLock()
+        self.queries_executed = 0
+        self.batches_executed = 0
+
+    # ------------------------------------------------------------------
+    # Dataset registry
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        dataset: Dataset | None = None,
+        *,
+        name: str | None = None,
+        points: Iterable[Point | tuple[float, float]] | None = None,
+        index_kind: IndexKind = "grid",
+        bounds: Rect | None = None,
+        **index_options: object,
+    ) -> Dataset:
+        """Register a relation, replacing any previous one of the same name.
+
+        Either pass a ready-made :class:`Dataset`, or ``name=`` and
+        ``points=`` (plus index options) to build one.  The index is built
+        and the statistics cache warmed before the method returns, so the
+        first query pays no hidden construction cost and concurrent readers
+        never trigger a lazy build.
+        """
+        if dataset is None:
+            if name is None or points is None:
+                raise InvalidParameterError(
+                    "register() needs a Dataset or both name= and points="
+                )
+            dataset = Dataset.from_points(
+                name, points, index_kind=index_kind, bounds=bounds, **index_options
+            )
+        elif name is not None and name != dataset.name:
+            raise InvalidParameterError(
+                f"dataset is named {dataset.name!r} but name={name!r} was given"
+            )
+        with self._rw.write():
+            if dataset.name in self._datasets:
+                self._invalidate(dataset.name)
+            self._datasets[dataset.name] = dataset
+            dataset.index  # build eagerly
+            self._stats_cache.get(dataset)  # warm the statistics cache
+        return dataset
+
+    def unregister(self, name: str) -> None:
+        """Remove a relation and every cache entry that touches it."""
+        with self._rw.write():
+            if name not in self._datasets:
+                raise UnsupportedQueryError(f"no dataset registered as {name!r}")
+            self._invalidate(name)
+            del self._datasets[name]
+
+    def dataset(self, name: str) -> Dataset:
+        """The registered dataset called ``name``."""
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise UnsupportedQueryError(f"no dataset registered as {name!r}") from None
+
+    @property
+    def datasets(self) -> Mapping[str, Dataset]:
+        """Read-only view of the registered relations (name → dataset)."""
+        return dict(self._datasets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._datasets
+
+    def __len__(self) -> int:
+        return len(self._datasets)
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+    def insert(self, name: str, points: Iterable[Point | tuple[float, float]]) -> int:
+        """Add points to a registered relation; maintains index and caches."""
+        with self._rw.write():
+            dataset = self.dataset(name)
+            added = dataset.insert(points)
+            if added:
+                self._refresh(dataset)
+            return added
+
+    def remove(self, name: str, pids: Iterable[int]) -> int:
+        """Remove points (by pid) from a registered relation."""
+        with self._rw.write():
+            dataset = self.dataset(name)
+            removed = dataset.remove(pids)
+            if removed:
+                self._refresh(dataset)
+            return removed
+
+    def _refresh(self, dataset: Dataset) -> None:
+        """After a mutation: drop stale cache entries, rebuild index + stats."""
+        self._invalidate(dataset.name)
+        dataset.index  # rebuild eagerly (keeps concurrent reads race-free)
+        self._stats_cache.get(dataset)
+
+    def _invalidate(self, name: str) -> None:
+        self._stats_cache.invalidate(name)
+        self._plan_cache.invalidate_relation(name)
+        self._chained_caches.invalidate_relation(name)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def stats(self, name: str) -> IndexStats:
+        """Cached block statistics of a registered relation."""
+        with self._rw.read():
+            return self._stats_cache.get(self.dataset(name))
+
+    def _stats_provider(self, dataset: Dataset) -> IndexStats:
+        return self._stats_cache.get(dataset)
+
+    # ------------------------------------------------------------------
+    # Planning / EXPLAIN
+    # ------------------------------------------------------------------
+    def plan(self, query: Query) -> PhysicalPlan:
+        """The (cached) physical plan the engine would execute for ``query``."""
+        with self._rw.read():
+            return self._cached_plan(query).plan
+
+    def explain(self, query: Query) -> Explain:
+        """The (cached) EXPLAIN record for ``query``."""
+        with self._rw.read():
+            return self._cached_plan(query).explain
+
+    def _cached_plan(self, query: Query) -> CachedPlan:
+        signature = query.signature(self._datasets)
+        entry = self._plan_cache.get(signature)
+        if entry is not None:
+            return entry
+        # Plan with this engine's optimizer and cached statistics.
+        planner = Query(*query.predicates, strategy=query.strategy, optimizer=self.optimizer)
+        plan = planner.plan(self._datasets, stats_provider=self._stats_provider)
+        entry = CachedPlan(
+            signature=signature,
+            plan=plan,
+            explain=Explain.from_plan(plan, query.relations()),
+            relations=query.relations(),
+        )
+        self._plan_cache.put(entry)
+        return entry
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> QueryResult:
+        """Execute ``query`` against the registered relations.
+
+        The first execution of a query shape derives and caches its plan;
+        every later execution reuses it — no statistics recomputation, no
+        strategy re-derivation.
+        """
+        with self._rw.read():
+            entry = self._cached_plan(query)
+            result = query.run(
+                self._datasets,
+                plan=entry.plan,
+                chained_cache=self._chained_cache_for(query, entry.plan),
+            )
+        self.queries_executed += 1
+        return result
+
+    def run_many(
+        self,
+        queries: Sequence[Query],
+        max_workers: int | None = None,
+    ) -> list[QueryResult]:
+        """Execute a batch of queries, returning results in input order.
+
+        Plans are resolved up front (sequentially — they are cache lookups
+        after the first occurrence of each shape), then execution fans out on
+        a thread pool.  Chained-join queries over the same relations share a
+        B→C neighborhood cache, so later queries in the batch benefit from
+        the neighborhoods computed by earlier ones.
+        """
+        with self._rw.read():
+            entries = [self._cached_plan(q) for q in queries]
+
+        def job(query: Query, entry: CachedPlan):
+            def run() -> QueryResult:
+                # Each job holds the read side for its whole execution, so a
+                # concurrent mutation waits for the batch's queries to drain.
+                with self._rw.read():
+                    return query.run(
+                        self._datasets,
+                        plan=entry.plan,
+                        chained_cache=self._chained_cache_for(query, entry.plan),
+                    )
+
+            return run
+
+        jobs = [job(query, entry) for query, entry in zip(queries, entries)]
+        workers = max_workers if max_workers is not None else self.max_workers
+        results = run_batch(jobs, max_workers=workers)
+        self.queries_executed += len(queries)
+        self.batches_executed += 1
+        return results
+
+    def _chained_cache_for(self, query: Query, plan: PhysicalPlan):
+        """The shared B→C cache for a chained-join query (else ``None``)."""
+        if plan.query_class != "chained-joins":
+            return None
+        joins = [p for p in query.predicates if isinstance(p, KnnJoin)]
+        chained = Query._chain_order(joins[0], joins[1])
+        if chained is None:
+            return None
+        ab, bc = chained
+        b = self._datasets[ab.inner]
+        c = self._datasets[bc.inner]
+        key = (b.name, b.version, c.name, c.version, bc.k)
+        return self._chained_caches.cache_for(key)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict[str, object]:
+        """Counters describing how well the caches are doing."""
+        return {
+            "datasets": len(self._datasets),
+            "queries_executed": self.queries_executed,
+            "batches_executed": self.batches_executed,
+            "plan_cache": {
+                "size": len(self._plan_cache),
+                "hits": self._plan_cache.hits,
+                "misses": self._plan_cache.misses,
+                "evictions": self._plan_cache.evictions,
+                "invalidations": self._plan_cache.invalidations,
+            },
+            "stats_cache": {
+                "size": len(self._stats_cache),
+                "hits": self._stats_cache.hits,
+                "misses": self._stats_cache.misses,
+                "invalidations": self._stats_cache.invalidations,
+            },
+            "chained_caches": {
+                "caches": len(self._chained_caches),
+                "neighborhoods": self._chained_caches.total_entries(),
+            },
+        }
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The engine's plan cache (exposed for tests and monitoring)."""
+        return self._plan_cache
+
+    @property
+    def stats_cache(self) -> StatsCache:
+        """The engine's statistics cache (exposed for tests and monitoring)."""
+        return self._stats_cache
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpatialEngine(datasets={sorted(self._datasets)}, "
+            f"plans={len(self._plan_cache)}, queries={self.queries_executed})"
+        )

@@ -1,0 +1,79 @@
+"""Per-dataset :class:`IndexStats` cache keyed on ``(name, version)``.
+
+``IndexStats.from_index`` walks every block of an index — O(number of blocks)
+with a Python-level loop over block rectangles — and the planner consults the
+statistics of up to two relations per query.  A long-lived engine serving many
+queries over the same registered relations should pay that walk once per
+dataset *version*, not once per query; this cache provides exactly that.
+
+Entries are validated against :attr:`Dataset.version`, so a stale entry left
+behind by :meth:`Dataset.insert` / :meth:`Dataset.remove` can never be served
+even if the owner forgets to call :meth:`StatsCache.invalidate`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.index.stats import IndexStats
+from repro.query.dataset import Dataset
+
+__all__ = ["StatsCache"]
+
+
+class StatsCache:
+    """Thread-safe cache of per-dataset index statistics.
+
+    The cache is correct without explicit invalidation (entries carry the
+    dataset version they were computed at), but :meth:`invalidate` frees the
+    memory eagerly and keeps the hit/miss counters honest after mutations.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, tuple[int, IndexStats]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def get(self, dataset: Dataset) -> IndexStats:
+        """Statistics for ``dataset``, computed at most once per version."""
+        with self._lock:
+            entry = self._entries.get(dataset.name)
+            if entry is not None and entry[0] == dataset.version:
+                self.hits += 1
+                return entry[1]
+        # Compute outside the lock: from_index is the expensive part, and a
+        # duplicated computation under contention is benign (last write wins).
+        stats = IndexStats.from_index(dataset.index)
+        with self._lock:
+            self.misses += 1
+            self._entries[dataset.name] = (dataset.version, stats)
+        return stats
+
+    def peek(self, dataset: Dataset) -> IndexStats | None:
+        """Return the cached statistics without computing on a miss."""
+        with self._lock:
+            entry = self._entries.get(dataset.name)
+            if entry is not None and entry[0] == dataset.version:
+                return entry[1]
+            return None
+
+    def invalidate(self, name: str) -> bool:
+        """Drop the entry for ``name``; returns whether one existed."""
+        with self._lock:
+            existed = self._entries.pop(name, None) is not None
+            if existed:
+                self.invalidations += 1
+            return existed
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"StatsCache(entries={len(self._entries)}, hits={self.hits}, misses={self.misses})"

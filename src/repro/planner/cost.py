@@ -5,6 +5,11 @@ computations it performs, optionally weighted by the expected locality size.
 The model does not try to predict wall-clock time; it ranks strategies, which
 is all the optimizer needs (Section 3.3's "Counting vs Block-Marking"
 discussion is exactly such a ranking argument).
+
+Every estimator that needs block statistics accepts an optional precomputed
+:class:`~repro.index.stats.IndexStats`, so a caller comparing several
+strategies over the same index (or serving many queries, as the engine does)
+computes the O(n) statistics once instead of once per estimate.
 """
 
 from __future__ import annotations
@@ -77,9 +82,12 @@ class CostModel:
             per_tuple_overhead=outer_size * self.tuple_check_cost,
         )
 
-    def block_marking_select_join(self, outer_index: SpatialIndex) -> CostEstimate:
+    def block_marking_select_join(
+        self, outer_index: SpatialIndex, stats: IndexStats | None = None
+    ) -> CostEstimate:
         """Block-Marking: per-block checks plus neighborhoods in surviving blocks."""
-        stats = IndexStats.from_index(outer_index)
+        if stats is None:
+            stats = IndexStats.from_index(outer_index)
         survivors = outer_index.num_points * self.prune_selectivity
         return CostEstimate(
             "block_marking",
@@ -102,17 +110,23 @@ class CostModel:
     # ------------------------------------------------------------------
     # Two selects — Section 5
     # ------------------------------------------------------------------
-    def two_selects_baseline(self, index: SpatialIndex, k1: int, k2: int) -> CostEstimate:
+    def two_selects_baseline(
+        self, index: SpatialIndex, k1: int, k2: int, stats: IndexStats | None = None
+    ) -> CostEstimate:
         """Both localities built in full; cost grows with max(k1, k2)."""
-        stats = IndexStats.from_index(index)
+        if stats is None:
+            stats = IndexStats.from_index(index)
         avg_per_block = max(stats.mean_points_per_nonempty_block, 1.0)
         blocks_needed = (k1 + k2) / avg_per_block
         return CostEstimate("two_selects_baseline", neighborhood_computations=2.0,
                             per_block_overhead=blocks_needed)
 
-    def two_selects_optimized(self, index: SpatialIndex, k1: int, k2: int) -> CostEstimate:
+    def two_selects_optimized(
+        self, index: SpatialIndex, k1: int, k2: int, stats: IndexStats | None = None
+    ) -> CostEstimate:
         """Procedure 5: the larger select's locality shrinks to the smaller's extent."""
-        stats = IndexStats.from_index(index)
+        if stats is None:
+            stats = IndexStats.from_index(index)
         avg_per_block = max(stats.mean_points_per_nonempty_block, 1.0)
         blocks_needed = 2.0 * min(k1, k2) / avg_per_block
         return CostEstimate("two_selects_optimized", neighborhood_computations=2.0,

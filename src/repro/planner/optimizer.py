@@ -43,6 +43,7 @@ class SelectJoinStrategy(str, Enum):
 def choose_select_join_strategy(
     outer_index: SpatialIndex,
     dense_points_per_block: float = 24.0,
+    stats: IndexStats | None = None,
 ) -> SelectJoinStrategy:
     """Pick Counting or Block-Marking from the outer relation's density.
 
@@ -51,8 +52,12 @@ def choose_select_join_strategy(
     Block-Marking amortizes well (whole blocks are pruned); below it the
     Counting algorithm's per-tuple check is cheaper overall.  This mirrors the
     crossover shown in Figures 20–21.
+
+    ``stats`` lets callers (the engine's statistics cache, or anything else
+    that already computed them) avoid the O(n) recomputation.
     """
-    stats = IndexStats.from_index(outer_index)
+    if stats is None:
+        stats = IndexStats.from_index(outer_index)
     if stats.mean_points_per_nonempty_block >= dense_points_per_block:
         return SelectJoinStrategy.BLOCK_MARKING
     return SelectJoinStrategy.COUNTING
@@ -85,31 +90,49 @@ class Optimizer:
     # ------------------------------------------------------------------
     # Section 3: select (inner) + join
     # ------------------------------------------------------------------
-    def select_join_strategy(self, outer_index: SpatialIndex) -> SelectJoinStrategy:
+    def select_join_strategy(
+        self, outer_index: SpatialIndex, stats: IndexStats | None = None
+    ) -> SelectJoinStrategy:
         """Strategy for a kNN-select on the inner relation of a kNN-join."""
-        return choose_select_join_strategy(outer_index, self.dense_points_per_block)
+        return choose_select_join_strategy(outer_index, self.dense_points_per_block, stats)
 
-    def explain_select_join(self, outer_index: SpatialIndex) -> dict[str, object]:
-        """Chosen strategy plus the cost estimates for every alternative."""
+    def explain_select_join(
+        self, outer_index: SpatialIndex, stats: IndexStats | None = None
+    ) -> dict[str, object]:
+        """Chosen strategy plus the cost estimates for every alternative.
+
+        The outer relation's block statistics are computed once and threaded
+        through every estimate instead of once per call site.
+        """
         assert self.cost_model is not None
-        strategy = self.select_join_strategy(outer_index)
+        if stats is None:
+            stats = IndexStats.from_index(outer_index)
+        strategy = self.select_join_strategy(outer_index, stats)
         outer_size = outer_index.num_points
         return {
             "strategy": strategy,
             "estimates": {
                 "baseline": self.cost_model.baseline_select_join(outer_size),
                 "counting": self.cost_model.counting_select_join(outer_size),
-                "block_marking": self.cost_model.block_marking_select_join(outer_index),
+                "block_marking": self.cost_model.block_marking_select_join(outer_index, stats),
             },
         }
 
     # ------------------------------------------------------------------
     # Section 4.1: unchained joins
     # ------------------------------------------------------------------
-    def unchained_first_join(self, a_index: SpatialIndex, c_index: SpatialIndex) -> str:
+    def unchained_first_join(
+        self,
+        a_index: SpatialIndex,
+        c_index: SpatialIndex,
+        a_stats: IndexStats | None = None,
+        c_stats: IndexStats | None = None,
+    ) -> str:
         """``"A"`` or ``"C"``: which outer relation's join to evaluate first."""
-        a_stats = IndexStats.from_index(a_index)
-        c_stats = IndexStats.from_index(c_index)
+        if a_stats is None:
+            a_stats = IndexStats.from_index(a_index)
+        if c_stats is None:
+            c_stats = IndexStats.from_index(c_index)
         return "C" if c_stats.clustering_ratio > a_stats.clustering_ratio else "A"
 
     # ------------------------------------------------------------------

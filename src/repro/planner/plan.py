@@ -22,8 +22,31 @@ __all__ = [
     "KnnJoinNode",
     "IntersectNode",
     "IntersectOnInnerNode",
+    "PhysicalPlan",
     "explain",
 ]
+
+
+@dataclass(frozen=True)
+class PhysicalPlan:
+    """A fully resolved execution decision for one query.
+
+    Produced by :meth:`repro.query.query.Query.plan` and consumed by
+    :meth:`repro.query.query.Query.run`; the engine's plan cache stores these
+    so that repeated queries skip strategy re-derivation (and the statistics
+    reads behind it) entirely.
+
+    ``decisions`` holds the per-query-class choices that would otherwise be
+    re-derived at execution time, e.g. ``{"select_join_strategy":
+    SelectJoinStrategy.COUNTING}`` or ``{"unchained_first": "A"}``.
+    ``estimates`` optionally records the cost-model totals (strategy → abstract
+    cost) that justified the choice, for EXPLAIN output.
+    """
+
+    query_class: str
+    strategy: str
+    decisions: dict[str, object] = field(default_factory=dict)
+    estimates: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,11 @@
-"""The ``Dataset`` wrapper: a named point set plus its spatial index."""
+"""The ``Dataset`` wrapper: a named point set plus its spatial index.
+
+Datasets are mutable through :meth:`Dataset.insert` and :meth:`Dataset.remove`
+only.  Every mutation bumps a monotonically increasing :attr:`Dataset.version`
+and marks the index stale; the index is rebuilt lazily on next access.  Caches
+layered on top (the engine's statistics and plan caches) key their entries on
+``(name, version)`` so a mutation automatically invalidates them.
+"""
 
 from __future__ import annotations
 
@@ -64,6 +71,7 @@ class Dataset:
         self._bounds = bounds
         self._index_options = dict(index_options)
         self._index: SpatialIndex | None = None
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -125,9 +133,86 @@ class Dataset:
         return self._index_kind
 
     @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every :meth:`insert` / :meth:`remove`."""
+        return self._version
+
+    @property
     def stats(self) -> IndexStats:
         """Block statistics of the dataset's index."""
         return IndexStats.from_index(self.index)
+
+    # ------------------------------------------------------------------
+    # Incremental updates
+    # ------------------------------------------------------------------
+    def insert(self, points: Iterable[Point | tuple[float, float]]) -> int:
+        """Add points to the relation; returns the number of points added.
+
+        Plain coordinate tuples (and points without a ``pid``) get fresh
+        ``pid`` values above the current maximum.  Points carrying an explicit
+        ``pid`` that already exists in the relation are rejected — join and
+        intersection operators key on pids, so duplicates would silently
+        corrupt results.  The index is marked stale and rebuilt on next
+        access; :attr:`version` is bumped so that caches keyed on it drop
+        their entries.
+        """
+        existing = {p.pid for p in self._points}
+        next_pid = max(existing, default=-1) + 1
+        added: list[Point] = []
+
+        def fresh_pid() -> int:
+            # Skip over explicit pids seen earlier in this same batch.
+            nonlocal next_pid
+            while next_pid in existing:
+                next_pid += 1
+            existing.add(next_pid)
+            return next_pid
+
+        for item in points:
+            if isinstance(item, Point):
+                if item.pid >= 0:
+                    if item.pid in existing:
+                        raise InvalidParameterError(
+                            f"pid {item.pid} already exists in dataset {self.name!r}"
+                        )
+                    existing.add(item.pid)
+                    added.append(item)
+                else:
+                    added.append(Point(item.x, item.y, fresh_pid(), item.payload))
+            else:
+                x, y = item
+                added.append(Point(float(x), float(y), fresh_pid()))
+        if not added:
+            return 0
+        self._points = self._points + tuple(added)
+        self._invalidate()
+        return len(added)
+
+    def remove(self, pids: Iterable[int]) -> int:
+        """Remove the points with the given ``pid`` values; returns the count.
+
+        Removing every point is rejected (datasets are non-empty by
+        construction).  Unknown pids are ignored.  As with :meth:`insert`,
+        the index is marked stale and :attr:`version` is bumped.
+        """
+        doomed = set(pids)
+        if not doomed:
+            return 0
+        kept = tuple(p for p in self._points if p.pid not in doomed)
+        removed = len(self._points) - len(kept)
+        if removed == 0:
+            return 0
+        if not kept:
+            raise EmptyDatasetError(
+                f"removing {removed} points would leave dataset {self.name!r} empty"
+            )
+        self._points = kept
+        self._invalidate()
+        return removed
+
+    def _invalidate(self) -> None:
+        self._index = None
+        self._version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Dataset(name={self.name!r}, points={len(self._points)}, index={self._index_kind})"

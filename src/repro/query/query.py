@@ -4,11 +4,18 @@ A query holds one or two kNN predicates over named relations.  ``run`` maps
 the predicate combination onto one of the paper's query classes, checks the
 combination against the correctness rules, lets the optimizer pick a physical
 algorithm (unless the caller forces one) and executes it.
+
+Planning and execution are split: :meth:`Query.plan` derives a
+:class:`~repro.planner.plan.PhysicalPlan` (the chosen strategy plus the
+per-class decisions that justify it) and :meth:`Query.run` executes one.
+One-shot callers never notice — ``run`` plans implicitly — but the split is
+what allows :class:`repro.engine.SpatialEngine` to cache plans across calls
+and to substitute cached index statistics for the O(n) recomputation.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, MutableMapping
 
 from repro.core.select_join.baseline import select_join_baseline
 from repro.core.select_join.block_marking import select_join_block_marking
@@ -27,18 +34,36 @@ from repro.core.select_join.range_inner import (
     range_inner_join_block_marking,
 )
 from repro.exceptions import InvalidParameterError, UnsupportedQueryError
+from repro.index.stats import IndexStats
+from repro.locality.neighborhood import Neighborhood
 from repro.operators.intersection import intersect_points
 from repro.operators.knn_join import knn_join_pairs
 from repro.operators.knn_select import knn_select
 from repro.operators.range_select import range_select
 from repro.planner.optimizer import Optimizer, SelectJoinStrategy
+from repro.planner.plan import PhysicalPlan
 from repro.query.dataset import Dataset
 from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
 from repro.query.results import QueryResult
 
-__all__ = ["Query"]
+__all__ = ["Query", "bucket_k"]
 
 Predicate = KnnSelect | KnnJoin | RangeSelect
+
+#: ``(dataset) -> IndexStats`` — lets the engine substitute cached statistics.
+StatsProvider = Callable[[Dataset], IndexStats]
+
+
+def bucket_k(k: int) -> int:
+    """Round ``k`` up to the next power of two.
+
+    Plan-cache signatures bucket k-values so that queries differing only in a
+    nearby ``k`` share one cached plan: the optimizer's decisions vary with
+    the order of magnitude of ``k``, not its exact value.
+    """
+    if k <= 0:
+        raise InvalidParameterError("k must be positive")
+    return 1 << (k - 1).bit_length()
 
 
 class Query:
@@ -75,37 +100,54 @@ class Query:
         self.optimizer = optimizer or Optimizer()
 
     # ------------------------------------------------------------------
-    # Execution
+    # Signature (plan-cache key)
     # ------------------------------------------------------------------
-    def run(self, datasets: Mapping[str, Dataset]) -> QueryResult:
-        """Execute the query against the given relations (name → dataset)."""
+    def signature(self, datasets: Mapping[str, Dataset]) -> tuple:
+        """A canonical, hashable description of this query's *plan-relevant* shape.
+
+        Two queries with equal signatures are guaranteed to plan identically
+        against unmutated datasets: the signature covers the predicate
+        classes, the relation names, their index kinds, the bucketed k-values
+        and any forced strategy.  Focal points and range windows are excluded
+        on purpose — the physical strategy does not depend on them, which is
+        exactly what makes plan caching effective for point-lookup-style
+        traffic.
+        """
         self._check_relations_exist(datasets)
-        selects = [p for p in self.predicates if isinstance(p, KnnSelect)]
-        joins = [p for p in self.predicates if isinstance(p, KnnJoin)]
-        ranges = [p for p in self.predicates if isinstance(p, RangeSelect)]
+        entries: list[tuple] = []
+        for predicate in self.predicates:
+            if isinstance(predicate, KnnSelect):
+                entries.append(
+                    (
+                        "knn_select",
+                        predicate.relation,
+                        datasets[predicate.relation].index_kind,
+                        bucket_k(predicate.k),
+                    )
+                )
+            elif isinstance(predicate, RangeSelect):
+                entries.append(
+                    (
+                        "range_select",
+                        predicate.relation,
+                        datasets[predicate.relation].index_kind,
+                    )
+                )
+            else:
+                entries.append(
+                    (
+                        "knn_join",
+                        predicate.outer,
+                        datasets[predicate.outer].index_kind,
+                        predicate.inner,
+                        datasets[predicate.inner].index_kind,
+                        bucket_k(predicate.k),
+                    )
+                )
+        return (self.strategy, tuple(sorted(entries)))
 
-        if len(self.predicates) == 1:
-            if selects:
-                return self._run_single_select(selects[0], datasets)
-            if ranges:
-                return self._run_single_range(ranges[0], datasets)
-            return self._run_single_join(joins[0], datasets)
-        if len(selects) == 2:
-            return self._run_two_selects(selects[0], selects[1], datasets)
-        if len(selects) == 1 and len(joins) == 1:
-            return self._run_select_join(selects[0], joins[0], datasets)
-        if len(ranges) == 1 and len(joins) == 1:
-            return self._run_range_join(ranges[0], joins[0], datasets)
-        if len(ranges) == 1 and len(selects) == 1:
-            return self._run_range_and_knn_select(ranges[0], selects[0], datasets)
-        if len(ranges) == 2:
-            return self._run_two_ranges(ranges[0], ranges[1], datasets)
-        return self._run_two_joins(joins[0], joins[1], datasets)
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _check_relations_exist(self, datasets: Mapping[str, Dataset]) -> None:
+    def relations(self) -> frozenset[str]:
+        """Names of every relation this query touches."""
         names: set[str] = set()
         for predicate in self.predicates:
             if isinstance(predicate, (KnnSelect, RangeSelect)):
@@ -113,7 +155,235 @@ class Query:
             else:
                 names.add(predicate.outer)
                 names.add(predicate.inner)
-        missing = sorted(n for n in names if n not in datasets)
+        return frozenset(names)
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        datasets: Mapping[str, Dataset],
+        stats_provider: StatsProvider | None = None,
+    ) -> PhysicalPlan:
+        """Derive the physical plan without executing anything.
+
+        ``stats_provider`` substitutes a cached-statistics lookup for the
+        O(n) :meth:`IndexStats.from_index` recomputation; the engine passes
+        its statistics cache here.
+        """
+        self._check_relations_exist(datasets)
+        selects = [p for p in self.predicates if isinstance(p, KnnSelect)]
+        joins = [p for p in self.predicates if isinstance(p, KnnJoin)]
+        ranges = [p for p in self.predicates if isinstance(p, RangeSelect)]
+
+        if len(self.predicates) == 1:
+            if selects:
+                return PhysicalPlan("single-select", "knn-select")
+            if ranges:
+                return PhysicalPlan("single-range", "range-select")
+            return PhysicalPlan("single-join", "knn-join")
+        if len(selects) == 2:
+            return self._plan_two_selects(selects[0], selects[1])
+        if len(selects) == 1 and len(joins) == 1:
+            return self._plan_select_join(selects[0], joins[0], datasets, stats_provider)
+        if len(ranges) == 1 and len(joins) == 1:
+            return self._plan_range_join(ranges[0], joins[0])
+        if len(ranges) == 1 and len(selects) == 1:
+            if ranges[0].relation != selects[0].relation:
+                raise UnsupportedQueryError(
+                    "a range-select and a kNN-select must target the same relation"
+                )
+            return PhysicalPlan("range-and-knn-select", "knn-select-then-range-filter")
+        if len(ranges) == 2:
+            if ranges[0].relation != ranges[1].relation:
+                raise UnsupportedQueryError(
+                    "two range-selects must target the same relation to be intersected"
+                )
+            return PhysicalPlan("two-ranges", "range-intersection")
+        return self._plan_two_joins(joins[0], joins[1], datasets, stats_provider)
+
+    def _plan_two_selects(self, first: KnnSelect, second: KnnSelect) -> PhysicalPlan:
+        if first.relation != second.relation:
+            raise UnsupportedQueryError(
+                "two kNN-selects must target the same relation to be intersected"
+            )
+        if self.strategy == "baseline":
+            return PhysicalPlan("two-selects", "two-selects-baseline")
+        # No decision is cached: Procedure 5 orders the two selects internally
+        # (smaller k first), so a stored order would be dead weight — and a
+        # positional one would be wrong under the order-independent signature.
+        return PhysicalPlan("two-selects", "2-kNN-select")
+
+    def _plan_select_join(
+        self,
+        select: KnnSelect,
+        join: KnnJoin,
+        datasets: Mapping[str, Dataset],
+        stats_provider: StatsProvider | None,
+    ) -> PhysicalPlan:
+        if select.relation == join.outer:
+            return PhysicalPlan("select-outer-of-join", "outer-select-pushdown")
+        if select.relation != join.inner:
+            raise UnsupportedQueryError(
+                "the kNN-select must target either the join's outer or inner relation"
+            )
+        if self.strategy == "baseline":
+            strategy = SelectJoinStrategy.BASELINE
+            estimates: dict[str, float] = {}
+        elif self.strategy == "counting":
+            strategy = SelectJoinStrategy.COUNTING
+            estimates = {}
+        elif self.strategy == "block_marking":
+            strategy = SelectJoinStrategy.BLOCK_MARKING
+            estimates = {}
+        else:
+            outer = datasets[join.outer]
+            stats = self._stats_for(outer, stats_provider)
+            explained = self.optimizer.explain_select_join(outer.index, stats)
+            strategy = explained["strategy"]  # type: ignore[assignment]
+            estimates = {
+                name: estimate.total
+                for name, estimate in explained["estimates"].items()  # type: ignore[union-attr]
+            }
+        return PhysicalPlan(
+            "select-inner-of-join",
+            strategy.value,
+            {"select_join_strategy": strategy},
+            estimates,
+        )
+
+    def _plan_range_join(self, predicate: RangeSelect, join: KnnJoin) -> PhysicalPlan:
+        if predicate.relation == join.outer:
+            return PhysicalPlan("range-outer-of-join", "outer-range-pushdown")
+        if predicate.relation != join.inner:
+            raise UnsupportedQueryError(
+                "the range-select must target either the join's outer or inner relation"
+            )
+        if self.strategy == "baseline":
+            return PhysicalPlan("range-inner-of-join", "range-inner-baseline")
+        return PhysicalPlan("range-inner-of-join", "range-inner-block-marking")
+
+    def _plan_two_joins(
+        self,
+        first: KnnJoin,
+        second: KnnJoin,
+        datasets: Mapping[str, Dataset],
+        stats_provider: StatsProvider | None,
+    ) -> PhysicalPlan:
+        # Chained: A -> B -> C (one join's inner is the other's outer).  The
+        # chain direction is re-derived structurally at execution time (it is
+        # a property of the predicates, not of statistics), so the cached
+        # decision is informational only and safely order-independent.
+        chained = self._chain_order(first, second)
+        if chained is not None:
+            ab, bc = chained
+            return PhysicalPlan(
+                "chained-joins",
+                "nested-join-cached",
+                {"chain": f"{ab.outer}->{ab.inner}->{bc.inner}"},
+            )
+        # Unchained: both joins share the same inner relation.  The cached
+        # decision names the relation whose join runs first — relation names,
+        # unlike predicate positions, survive the order-independent signature.
+        if first.inner == second.inner:
+            if self.strategy == "baseline":
+                return PhysicalPlan("unchained-joins", "unchained-baseline")
+            a = datasets[first.outer]
+            c = datasets[second.outer]
+            order = self.optimizer.unchained_first_join(
+                a.index,
+                c.index,
+                self._stats_for(a, stats_provider),
+                self._stats_for(c, stats_provider),
+            )
+            first_outer = first.outer if order == "A" else second.outer
+            return PhysicalPlan(
+                "unchained-joins",
+                "unchained-block-marking",
+                {"unchained_first_outer": first_outer},
+            )
+        raise UnsupportedQueryError(
+            "two kNN-joins must be chained (A->B->C) or share their inner relation"
+        )
+
+    @staticmethod
+    def _chain_order(first: KnnJoin, second: KnnJoin) -> tuple[KnnJoin, KnnJoin] | None:
+        """``(ab, bc)`` if the two joins chain, else ``None``."""
+        if first.inner == second.outer:
+            return (first, second)
+        if second.inner == first.outer:
+            return (second, first)
+        return None
+
+    @staticmethod
+    def _stats_for(dataset: Dataset, stats_provider: StatsProvider | None) -> IndexStats:
+        if stats_provider is not None:
+            return stats_provider(dataset)
+        return IndexStats.from_index(dataset.index)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        datasets: Mapping[str, Dataset],
+        *,
+        plan: PhysicalPlan | None = None,
+        stats_provider: StatsProvider | None = None,
+        chained_cache: MutableMapping[int, Neighborhood] | None = None,
+    ) -> QueryResult:
+        """Execute the query against the given relations (name → dataset).
+
+        ``plan`` short-circuits planning with a previously derived (typically
+        cached) :class:`PhysicalPlan`; with a plan supplied, execution performs
+        no statistics computation and no strategy re-derivation.
+        ``chained_cache`` optionally shares a B→C neighborhood cache across
+        chained-join queries (see the engine's batch executor).
+        """
+        if plan is None:
+            plan = self.plan(datasets, stats_provider)
+        else:
+            self._check_relations_exist(datasets)
+        selects = [p for p in self.predicates if isinstance(p, KnnSelect)]
+        joins = [p for p in self.predicates if isinstance(p, KnnJoin)]
+        ranges = [p for p in self.predicates if isinstance(p, RangeSelect)]
+
+        query_class = plan.query_class
+        if query_class == "single-select":
+            return self._run_single_select(selects[0], datasets)
+        if query_class == "single-range":
+            return self._run_single_range(ranges[0], datasets)
+        if query_class == "single-join":
+            return self._run_single_join(joins[0], datasets)
+        if query_class == "two-selects":
+            return self._run_two_selects(selects[0], selects[1], datasets, plan)
+        if query_class == "select-outer-of-join":
+            return self._run_outer_select_join(selects[0], joins[0], datasets)
+        if query_class == "select-inner-of-join":
+            return self._run_inner_select_join(selects[0], joins[0], datasets, plan)
+        if query_class == "range-outer-of-join":
+            return self._run_outer_range_join(ranges[0], joins[0], datasets)
+        if query_class == "range-inner-of-join":
+            return self._run_inner_range_join(ranges[0], joins[0], datasets, plan)
+        if query_class == "range-and-knn-select":
+            return self._run_range_and_knn_select(ranges[0], selects[0], datasets)
+        if query_class == "two-ranges":
+            return self._run_two_ranges(ranges[0], ranges[1], datasets)
+        if query_class == "chained-joins":
+            chained = self._chain_order(joins[0], joins[1])
+            if chained is None:
+                raise UnsupportedQueryError("cached chained plan does not fit these joins")
+            ab, bc = chained
+            return self._run_chained(ab, bc, datasets, chained_cache)
+        if query_class == "unchained-joins":
+            return self._run_unchained(joins[0], joins[1], datasets, plan)
+        raise UnsupportedQueryError(f"unknown query class in plan: {query_class!r}")
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _check_relations_exist(self, datasets: Mapping[str, Dataset]) -> None:
+        missing = sorted(n for n in self.relations() if n not in datasets)
         if missing:
             raise UnsupportedQueryError(f"datasets missing for relations: {', '.join(missing)}")
 
@@ -150,53 +420,54 @@ class Query:
 
     # -- two selects ----------------------------------------------------
     def _run_two_selects(
-        self, first: KnnSelect, second: KnnSelect, datasets: Mapping[str, Dataset]
+        self,
+        first: KnnSelect,
+        second: KnnSelect,
+        datasets: Mapping[str, Dataset],
+        plan: PhysicalPlan,
     ) -> QueryResult:
-        if first.relation != second.relation:
-            raise UnsupportedQueryError(
-                "two kNN-selects must target the same relation to be intersected"
-            )
         index = datasets[first.relation].index
         stats = PruningStats()
-        if self.strategy == "baseline":
+        if plan.strategy == "two-selects-baseline":
             points = two_knn_selects_baseline(index, first.focal, first.k, second.focal, second.k)
-            strategy = "two-selects-baseline"
         else:
             points = two_knn_selects_optimized(
                 index, first.focal, first.k, second.focal, second.k, stats=stats
             )
-            strategy = "2-kNN-select"
         return QueryResult(
-            strategy=strategy,
+            strategy=plan.strategy,
             query_class="two-selects",
             points=tuple(points),
             stats=stats,
         )
 
     # -- select + join ----------------------------------------------------
-    def _run_select_join(
+    def _run_outer_select_join(
         self, select: KnnSelect, join: KnnJoin, datasets: Mapping[str, Dataset]
     ) -> QueryResult:
         outer = datasets[join.outer]
         inner = datasets[join.inner]
+        pairs = outer_select_join_pushdown(
+            outer.index, inner.index, select.focal, join.k, select.k
+        )
+        return QueryResult(
+            strategy="outer-select-pushdown",
+            query_class="select-outer-of-join",
+            pairs=tuple(pairs),
+            stats=PruningStats(),
+        )
+
+    def _run_inner_select_join(
+        self,
+        select: KnnSelect,
+        join: KnnJoin,
+        datasets: Mapping[str, Dataset],
+        plan: PhysicalPlan,
+    ) -> QueryResult:
+        outer = datasets[join.outer]
+        inner = datasets[join.inner]
         stats = PruningStats()
-
-        if select.relation == join.outer:
-            pairs = outer_select_join_pushdown(
-                outer.index, inner.index, select.focal, join.k, select.k
-            )
-            return QueryResult(
-                strategy="outer-select-pushdown",
-                query_class="select-outer-of-join",
-                pairs=tuple(pairs),
-                stats=stats,
-            )
-        if select.relation != join.inner:
-            raise UnsupportedQueryError(
-                "the kNN-select must target either the join's outer or inner relation"
-            )
-
-        strategy = self._select_join_strategy(outer)
+        strategy = plan.decisions["select_join_strategy"]
         if strategy is SelectJoinStrategy.BASELINE:
             pairs = select_join_baseline(
                 outer.points, inner.index, select.focal, join.k, select.k
@@ -216,49 +487,42 @@ class Query:
             stats=stats,
         )
 
-    def _select_join_strategy(self, outer: Dataset) -> SelectJoinStrategy:
-        if self.strategy == "baseline":
-            return SelectJoinStrategy.BASELINE
-        if self.strategy == "counting":
-            return SelectJoinStrategy.COUNTING
-        if self.strategy == "block_marking":
-            return SelectJoinStrategy.BLOCK_MARKING
-        return self.optimizer.select_join_strategy(outer.index)
-
     # -- range-select combinations (footnote 1) ---------------------------
-    def _run_range_join(
+    def _run_outer_range_join(
         self, predicate: RangeSelect, join: KnnJoin, datasets: Mapping[str, Dataset]
     ) -> QueryResult:
         outer = datasets[join.outer]
         inner = datasets[join.inner]
-        stats = PruningStats()
+        # Valid push-down: restrict the outer relation before joining.
+        selected_outer = range_select(outer.index, predicate.window)
+        pairs = knn_join_pairs(selected_outer, inner.index, join.k)
+        return QueryResult(
+            strategy="outer-range-pushdown",
+            query_class="range-outer-of-join",
+            pairs=tuple(pairs),
+            stats=PruningStats(),
+        )
 
-        if predicate.relation == join.outer:
-            # Valid push-down: restrict the outer relation before joining.
-            selected_outer = range_select(outer.index, predicate.window)
-            pairs = knn_join_pairs(selected_outer, inner.index, join.k)
-            return QueryResult(
-                strategy="outer-range-pushdown",
-                query_class="range-outer-of-join",
-                pairs=tuple(pairs),
-                stats=stats,
-            )
-        if predicate.relation != join.inner:
-            raise UnsupportedQueryError(
-                "the range-select must target either the join's outer or inner relation"
-            )
-        if self.strategy == "baseline":
+    def _run_inner_range_join(
+        self,
+        predicate: RangeSelect,
+        join: KnnJoin,
+        datasets: Mapping[str, Dataset],
+        plan: PhysicalPlan,
+    ) -> QueryResult:
+        outer = datasets[join.outer]
+        inner = datasets[join.inner]
+        stats = PruningStats()
+        if plan.strategy == "range-inner-baseline":
             pairs = range_inner_join_baseline(
                 outer.points, inner.index, predicate.window, join.k
             )
-            strategy = "range-inner-baseline"
         else:
             pairs = range_inner_join_block_marking(
                 outer.index, inner.index, predicate.window, join.k, stats=stats
             )
-            strategy = "range-inner-block-marking"
         return QueryResult(
-            strategy=strategy,
+            strategy=plan.strategy,
             query_class="range-inner-of-join",
             pairs=tuple(pairs),
             stats=stats,
@@ -267,10 +531,6 @@ class Query:
     def _run_range_and_knn_select(
         self, predicate: RangeSelect, select: KnnSelect, datasets: Mapping[str, Dataset]
     ) -> QueryResult:
-        if predicate.relation != select.relation:
-            raise UnsupportedQueryError(
-                "a range-select and a kNN-select must target the same relation"
-            )
         index = datasets[select.relation].index
         neighborhood = knn_select(index, select.focal, select.k)
         points = [p for p in neighborhood if predicate.window.contains_point(p)]
@@ -283,10 +543,6 @@ class Query:
     def _run_two_ranges(
         self, first: RangeSelect, second: RangeSelect, datasets: Mapping[str, Dataset]
     ) -> QueryResult:
-        if first.relation != second.relation:
-            raise UnsupportedQueryError(
-                "two range-selects must target the same relation to be intersected"
-            )
         index = datasets[first.relation].index
         points = intersect_points(
             range_select(index, first.window), range_select(index, second.window)
@@ -298,34 +554,26 @@ class Query:
         )
 
     # -- two joins --------------------------------------------------------
-    def _run_two_joins(
-        self, first: KnnJoin, second: KnnJoin, datasets: Mapping[str, Dataset]
-    ) -> QueryResult:
-        stats = PruningStats()
-        # Chained: A -> B -> C (the first join's inner is the second's outer).
-        if first.inner == second.outer:
-            return self._run_chained(first, second, datasets, stats)
-        if second.inner == first.outer:
-            return self._run_chained(second, first, datasets, stats)
-        # Unchained: both joins share the same inner relation.
-        if first.inner == second.inner:
-            return self._run_unchained(first, second, datasets, stats)
-        raise UnsupportedQueryError(
-            "two kNN-joins must be chained (A->B->C) or share their inner relation"
-        )
-
     def _run_chained(
         self,
         ab: KnnJoin,
         bc: KnnJoin,
         datasets: Mapping[str, Dataset],
-        stats: PruningStats,
+        chained_cache: MutableMapping[int, Neighborhood] | None,
     ) -> QueryResult:
         a = datasets[ab.outer]
         b = datasets[ab.inner]
         c = datasets[bc.inner]
+        stats = PruningStats()
         triplets = chained_joins_nested(
-            a.points, b.index, c.index, ab.k, bc.k, cache=True, stats=stats
+            a.points,
+            b.index,
+            c.index,
+            ab.k,
+            bc.k,
+            cache=True,
+            stats=stats,
+            neighborhood_cache=chained_cache,
         )
         return QueryResult(
             strategy="nested-join-cached",
@@ -339,19 +587,28 @@ class Query:
         ab: KnnJoin,
         cb: KnnJoin,
         datasets: Mapping[str, Dataset],
-        stats: PruningStats,
+        plan: PhysicalPlan,
     ) -> QueryResult:
         a = datasets[ab.outer]
         c = datasets[cb.outer]
         b = datasets[ab.inner]
-        if self.strategy == "baseline":
+        stats = PruningStats()
+        if plan.strategy == "unchained-baseline":
             triplets = unchained_joins_baseline(a.points, c.points, b.index, ab.k, cb.k)
-            strategy = "unchained-baseline"
         else:
-            triplets = unchained_joins_auto(a.index, c.index, b.index, ab.k, cb.k, stats=stats)
-            strategy = "unchained-block-marking"
+            # Map the cached relation name back onto this query's predicate
+            # positions; an unknown name falls back to re-derivation.
+            first_outer = plan.decisions.get("unchained_first_outer")
+            order = None
+            if first_outer == ab.outer:
+                order = "A"
+            elif first_outer == cb.outer:
+                order = "C"
+            triplets = unchained_joins_auto(
+                a.index, c.index, b.index, ab.k, cb.k, stats=stats, order=order
+            )
         return QueryResult(
-            strategy=strategy,
+            strategy=plan.strategy,
             query_class="unchained-joins",
             triplets=tuple(triplets),
             stats=stats,

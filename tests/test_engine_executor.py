@@ -1,0 +1,123 @@
+"""Batch execution helpers: ordering, error propagation, shared caches."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.executor import ReadWriteLock, SharedNeighborhoodCaches, run_batch
+from repro.exceptions import InvalidParameterError
+
+
+def test_run_batch_preserves_input_order():
+    def job(i: int):
+        def run():
+            time.sleep(0.005 * (5 - i))  # later jobs finish first
+            return i
+
+        return run
+
+    assert run_batch([job(i) for i in range(5)], max_workers=5) == [0, 1, 2, 3, 4]
+
+
+def test_run_batch_sequential_path():
+    seen_threads: set[str] = set()
+
+    def run():
+        seen_threads.add(threading.current_thread().name)
+        return 1
+
+    assert run_batch([run, run, run], max_workers=1) == [1, 1, 1]
+    assert seen_threads == {threading.main_thread().name}
+
+
+def test_run_batch_empty_and_validation():
+    assert run_batch([]) == []
+    with pytest.raises(InvalidParameterError):
+        run_batch([lambda: 1], max_workers=0)
+
+
+def test_run_batch_propagates_exceptions():
+    def boom():
+        raise ValueError("exploded")
+
+    with pytest.raises(ValueError, match="exploded"):
+        run_batch([lambda: 1, boom, lambda: 3], max_workers=2)
+
+
+def test_read_write_lock_writer_waits_for_readers():
+    lock = ReadWriteLock()
+    events: list[str] = []
+
+    def reader():
+        with lock.read():
+            events.append("reader-in")
+            time.sleep(0.05)
+            events.append("reader-out")
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    time.sleep(0.01)  # let the reader acquire first
+    with lock.write():
+        events.append("writer")
+    thread.join()
+    assert events == ["reader-in", "reader-out", "writer"]
+
+
+def test_read_write_lock_readers_overlap():
+    lock = ReadWriteLock()
+    inside = []
+    overlapped = threading.Event()
+
+    def reader():
+        with lock.read():
+            inside.append(1)
+            if len(inside) == 2:
+                overlapped.set()
+            overlapped.wait(timeout=2.0)
+
+    threads = [threading.Thread(target=reader) for _ in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert overlapped.is_set()  # both readers were inside simultaneously
+
+
+def test_shared_caches_keyed_and_reused():
+    caches = SharedNeighborhoodCaches()
+    key = ("b", 0, "c", 0, 3)
+    first = caches.cache_for(key)
+    first[42] = "sentinel"
+    assert caches.cache_for(key)[42] == "sentinel"
+    assert caches.cache_for(("b", 1, "c", 0, 3)) == {}  # new version, new cache
+    assert len(caches) == 2
+    assert caches.total_entries() == 1
+
+
+def test_shared_caches_invalidate_by_relation():
+    caches = SharedNeighborhoodCaches()
+    caches.cache_for(("b", 0, "c", 0, 3))
+    caches.cache_for(("b", 0, "d", 0, 3))
+    caches.cache_for(("x", 0, "y", 0, 3))
+    assert caches.invalidate_relation("b") == 2
+    assert len(caches) == 1
+    assert caches.invalidate_relation("y") == 1
+    assert len(caches) == 0
+    caches.cache_for(("x", 0, "y", 0, 3))
+    caches.clear()
+    assert len(caches) == 0
+
+
+def test_shared_caches_lru_bounded():
+    caches = SharedNeighborhoodCaches(max_caches=2)
+    caches.cache_for(("b", 0, "c", 0, 1))
+    caches.cache_for(("b", 0, "c", 0, 2))
+    caches.cache_for(("b", 0, "c", 0, 1))  # refresh k=1 so k=2 is the victim
+    caches.cache_for(("b", 0, "c", 0, 3))
+    assert len(caches) == 2
+    assert caches.evictions == 1
+    with pytest.raises(InvalidParameterError):
+        SharedNeighborhoodCaches(max_caches=0)

@@ -1,0 +1,81 @@
+"""Explain records: construction from plans and the stable rendered snapshot."""
+
+from __future__ import annotations
+
+from repro.engine import SpatialEngine
+from repro.engine.explain import Explain
+from repro.geometry import Point, Rect
+from repro.planner.optimizer import SelectJoinStrategy
+from repro.planner.plan import PhysicalPlan
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def test_from_plan_stringifies_and_sorts():
+    plan = PhysicalPlan(
+        "select-inner-of-join",
+        "counting",
+        {"select_join_strategy": SelectJoinStrategy.COUNTING},
+        {"counting": 0.8, "baseline": 4.0},
+    )
+    record = Explain.from_plan(plan, frozenset({"outer", "inner"}))
+    assert record.relations == ("inner", "outer")
+    assert record.decisions == (("select_join_strategy", "counting"),)
+    assert record.estimates == (("baseline", 4.0), ("counting", 0.8))
+
+
+def test_chain_decision_renders_relation_names():
+    plan = PhysicalPlan("chained-joins", "nested-join-cached", {"chain": "a->b->c"})
+    record = Explain.from_plan(plan, frozenset({"a", "b", "c"}))
+    assert record.decisions == (("chain", "a->b->c"),)
+
+
+def test_render_snapshot_select_inner_of_join():
+    """End-to-end EXPLAIN snapshot through the engine.
+
+    Four outer points in four distinct cells of a 2x2 grid give hand-checkable
+    cost estimates: baseline = 4 neighborhoods; counting = 4 * 0.05 survivors
+    + 4 * 0.15 per-tuple checks = 0.80; block-marking = 0.2 survivors + 4
+    non-empty blocks * 1.0 = 4.20.
+    """
+    engine = SpatialEngine()
+    engine.register(
+        name="outer",
+        points=[(20.0, 20.0), (20.0, 80.0), (80.0, 20.0), (80.0, 80.0)],
+        bounds=BOUNDS,
+        cells_per_side=2,
+    )
+    engine.register(
+        name="inner",
+        points=[(30.0, 30.0), (60.0, 60.0), (90.0, 10.0)],
+        bounds=BOUNDS,
+        cells_per_side=2,
+    )
+    query = Query(
+        KnnJoin(outer="outer", inner="inner", k=1),
+        KnnSelect(relation="inner", focal=Point(50.0, 50.0), k=2),
+    )
+    assert engine.explain(query).render() == (
+        "EXPLAIN\n"
+        "  query class: select-inner-of-join\n"
+        "  strategy:    counting\n"
+        "  relations:   inner, outer\n"
+        "  decisions:\n"
+        "    select_join_strategy = counting\n"
+        "  cost estimates:\n"
+        "    baseline      = 4.00\n"
+        "    block_marking = 4.20\n"
+        "    counting      = 0.80"
+    )
+
+
+def test_explain_is_cached_with_the_plan():
+    engine = SpatialEngine()
+    engine.register(name="rel", points=[(10.0, 10.0), (90.0, 90.0)], bounds=BOUNDS)
+    query = Query(KnnSelect(relation="rel", focal=Point(0.0, 0.0), k=1))
+    first = engine.explain(query)
+    second = engine.explain(query)
+    assert first is second
+    assert engine.plan_cache.hits == 1

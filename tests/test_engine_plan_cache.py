@@ -1,0 +1,145 @@
+"""PlanCache + query signatures: hit/miss semantics, bucketing, LRU, eviction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.explain import Explain
+from repro.engine.plan_cache import CachedPlan, PlanCache
+from repro.exceptions import InvalidParameterError
+from repro.geometry import Point, Rect
+from repro.planner.plan import PhysicalPlan
+from repro.query.dataset import Dataset
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query, bucket_k
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture()
+def datasets() -> dict[str, Dataset]:
+    a = Dataset.from_points(
+        "a", [(10.0 * i, 10.0 * i) for i in range(1, 9)], bounds=BOUNDS, cells_per_side=4
+    )
+    b = Dataset.from_points(
+        "b",
+        [(10.0 * i, 100.0 - 10.0 * i) for i in range(1, 9)],
+        bounds=BOUNDS,
+        cells_per_side=4,
+    )
+    return {"a": a, "b": b}
+
+
+def _entry(signature, relations=frozenset({"a"})) -> CachedPlan:
+    plan = PhysicalPlan("single-select", "knn-select")
+    return CachedPlan(
+        signature=signature,
+        plan=plan,
+        explain=Explain.from_plan(plan, relations),
+        relations=relations,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache mechanics
+# ----------------------------------------------------------------------
+def test_hit_miss_counters():
+    cache = PlanCache(max_size=4)
+    assert cache.get(("x",)) is None
+    assert (cache.hits, cache.misses) == (0, 1)
+    cache.put(_entry(("x",)))
+    entry = cache.get(("x",))
+    assert entry is not None
+    assert entry.hits == 1
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_lru_eviction_prefers_recently_used():
+    cache = PlanCache(max_size=2)
+    cache.put(_entry(("one",)))
+    cache.put(_entry(("two",)))
+    cache.get(("one",))  # refresh "one" so "two" is the LRU victim
+    cache.put(_entry(("three",)))
+    assert ("one",) in cache
+    assert ("two",) not in cache
+    assert ("three",) in cache
+    assert cache.evictions == 1
+
+
+def test_invalidate_relation_evicts_only_matching():
+    cache = PlanCache()
+    cache.put(_entry(("p1",), relations=frozenset({"a", "b"})))
+    cache.put(_entry(("p2",), relations=frozenset({"b"})))
+    cache.put(_entry(("p3",), relations=frozenset({"c"})))
+    assert cache.invalidate_relation("b") == 2
+    assert len(cache) == 1
+    assert ("p3",) in cache
+
+
+def test_max_size_must_be_positive():
+    with pytest.raises(InvalidParameterError):
+        PlanCache(max_size=0)
+
+
+# ----------------------------------------------------------------------
+# Signatures (the cache key)
+# ----------------------------------------------------------------------
+def test_bucket_k_powers_of_two():
+    assert [bucket_k(k) for k in (1, 2, 3, 4, 5, 8, 9, 1000)] == [
+        1, 2, 4, 4, 8, 8, 16, 1024,
+    ]
+    with pytest.raises(InvalidParameterError):
+        bucket_k(0)
+
+
+def test_signature_ignores_focal_point(datasets):
+    q1 = Query(KnnSelect(relation="a", focal=Point(1.0, 1.0), k=3))
+    q2 = Query(KnnSelect(relation="a", focal=Point(99.0, 42.0), k=3))
+    assert q1.signature(datasets) == q2.signature(datasets)
+
+
+def test_signature_buckets_nearby_k(datasets):
+    base = Query(KnnSelect(relation="a", focal=Point(1.0, 1.0), k=5))
+    same_bucket = Query(KnnSelect(relation="a", focal=Point(1.0, 1.0), k=8))
+    other_bucket = Query(KnnSelect(relation="a", focal=Point(1.0, 1.0), k=20))
+    assert base.signature(datasets) == same_bucket.signature(datasets)
+    assert base.signature(datasets) != other_bucket.signature(datasets)
+
+
+def test_signature_distinguishes_relations_and_strategy(datasets):
+    focal = Point(1.0, 1.0)
+    on_a = Query(KnnSelect(relation="a", focal=focal, k=3))
+    on_b = Query(KnnSelect(relation="b", focal=focal, k=3))
+    assert on_a.signature(datasets) != on_b.signature(datasets)
+
+    auto = Query(
+        KnnJoin(outer="a", inner="b", k=2), KnnSelect(relation="b", focal=focal, k=3)
+    )
+    forced = Query(
+        KnnJoin(outer="a", inner="b", k=2),
+        KnnSelect(relation="b", focal=focal, k=3),
+        strategy="baseline",
+    )
+    assert auto.signature(datasets) != forced.signature(datasets)
+
+
+def test_signature_is_predicate_order_independent(datasets):
+    focal = Point(1.0, 1.0)
+    q1 = Query(
+        KnnJoin(outer="a", inner="b", k=2), KnnSelect(relation="b", focal=focal, k=3)
+    )
+    q2 = Query(
+        KnnSelect(relation="b", focal=focal, k=3), KnnJoin(outer="a", inner="b", k=2)
+    )
+    assert q1.signature(datasets) == q2.signature(datasets)
+
+
+def test_signature_includes_index_kind(datasets):
+    focal = Point(1.0, 1.0)
+    grid_sig = Query(KnnSelect(relation="a", focal=focal, k=3)).signature(datasets)
+    rtree = {
+        "a": Dataset("a", list(datasets["a"].points), index_kind="rtree"),
+        "b": datasets["b"],
+    }
+    rtree_sig = Query(KnnSelect(relation="a", focal=focal, k=3)).signature(rtree)
+    assert grid_sig != rtree_sig

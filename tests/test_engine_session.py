@@ -1,0 +1,326 @@
+"""SpatialEngine: registration, cached execution, batches, incremental updates.
+
+Includes the subsystem's acceptance tests: repeated execution of an identical
+query performs no ``IndexStats.from_index`` recomputation and no strategy
+re-derivation after the first run, and ``run_many`` matches sequential
+``Query.run`` exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import SpatialEngine
+from repro.exceptions import EmptyDatasetError, InvalidParameterError, UnsupportedQueryError
+from repro.geometry import Point, Rect
+from repro.index.stats import IndexStats
+from repro.planner.optimizer import Optimizer
+from repro.query.dataset import Dataset
+from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+from repro.query.query import Query
+
+from tests.conftest import pair_pid_set, point_pid_set, triplet_pid_set
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def _grid_points(n_side: int, step: float, offset: float, start_pid: int) -> list[Point]:
+    """A deterministic lattice of points with unique pids."""
+    pts = []
+    pid = start_pid
+    for i in range(n_side):
+        for j in range(n_side):
+            pts.append(Point(offset + i * step, offset + j * step, pid))
+            pid += 1
+    return pts
+
+
+@pytest.fixture()
+def engine() -> SpatialEngine:
+    eng = SpatialEngine()
+    eng.register(
+        name="a", points=_grid_points(8, 90.0, 50.0, 0), bounds=BOUNDS, cells_per_side=8
+    )
+    eng.register(
+        name="b", points=_grid_points(10, 80.0, 80.0, 1000), bounds=BOUNDS, cells_per_side=8
+    )
+    eng.register(
+        name="c", points=_grid_points(9, 85.0, 60.0, 2000), bounds=BOUNDS, cells_per_side=8
+    )
+    return eng
+
+
+# ----------------------------------------------------------------------
+# Registration
+# ----------------------------------------------------------------------
+def test_register_requires_name_and_points():
+    eng = SpatialEngine()
+    with pytest.raises(InvalidParameterError):
+        eng.register(name="only-name")
+    with pytest.raises(InvalidParameterError):
+        eng.register()
+
+
+def test_register_dataset_object_and_name_mismatch():
+    eng = SpatialEngine()
+    dataset = Dataset.from_points("rel", [(1.0, 1.0), (2.0, 2.0)])
+    assert eng.register(dataset) is dataset
+    assert "rel" in eng and len(eng) == 1
+    with pytest.raises(InvalidParameterError):
+        eng.register(dataset, name="other")
+
+
+def test_register_builds_index_and_warms_stats():
+    eng = SpatialEngine()
+    eng.register(name="rel", points=[(1.0, 1.0), (2.0, 2.0)])
+    assert eng.stats_cache.peek(eng.dataset("rel")) is not None
+    assert eng.stats("rel").num_points == 2
+    assert eng.stats_cache.hits == 1  # stats() hit the warmed entry
+
+
+def test_unregister_drops_dataset_and_caches(engine):
+    query = Query(KnnSelect(relation="a", focal=Point(0.0, 0.0), k=3))
+    engine.run(query)
+    assert len(engine.plan_cache) == 1
+    engine.unregister("a")
+    assert "a" not in engine
+    assert len(engine.plan_cache) == 0
+    with pytest.raises(UnsupportedQueryError):
+        engine.dataset("a")
+    with pytest.raises(UnsupportedQueryError):
+        engine.unregister("a")
+    with pytest.raises(UnsupportedQueryError):
+        engine.run(query)
+
+
+# ----------------------------------------------------------------------
+# Engine results == one-shot Query.run results
+# ----------------------------------------------------------------------
+QUERIES = {
+    "single-select": lambda: Query(KnnSelect(relation="a", focal=Point(500.0, 500.0), k=7)),
+    "single-range": lambda: Query(
+        RangeSelect(relation="a", window=Rect(100.0, 100.0, 600.0, 600.0))
+    ),
+    "single-join": lambda: Query(KnnJoin(outer="a", inner="b", k=3)),
+    "two-selects": lambda: Query(
+        KnnSelect(relation="a", focal=Point(200.0, 200.0), k=12),
+        KnnSelect(relation="a", focal=Point(700.0, 700.0), k=30),
+    ),
+    "select-inner-of-join": lambda: Query(
+        KnnJoin(outer="a", inner="b", k=3),
+        KnnSelect(relation="b", focal=Point(500.0, 500.0), k=15),
+    ),
+    "select-outer-of-join": lambda: Query(
+        KnnJoin(outer="a", inner="b", k=3),
+        KnnSelect(relation="a", focal=Point(500.0, 500.0), k=10),
+    ),
+    "chained-joins": lambda: Query(
+        KnnJoin(outer="a", inner="b", k=2), KnnJoin(outer="b", inner="c", k=2)
+    ),
+    "unchained-joins": lambda: Query(
+        KnnJoin(outer="a", inner="b", k=2), KnnJoin(outer="c", inner="b", k=2)
+    ),
+}
+
+
+@pytest.mark.parametrize("query_class", sorted(QUERIES))
+def test_engine_matches_one_shot_query_run(engine, query_class):
+    query = QUERIES[query_class]()
+    via_engine = engine.run(query)
+    one_shot = QUERIES[query_class]().run(engine.datasets)
+    assert via_engine.query_class == one_shot.query_class
+    assert via_engine.strategy == one_shot.strategy
+    assert point_pid_set(via_engine.points) == point_pid_set(one_shot.points)
+    assert pair_pid_set(via_engine.pairs) == pair_pid_set(one_shot.pairs)
+    assert triplet_pid_set(via_engine.triplets) == triplet_pid_set(one_shot.triplets)
+
+
+# ----------------------------------------------------------------------
+# Acceptance: no recomputation after the first run
+# ----------------------------------------------------------------------
+def test_repeated_query_recomputes_nothing(engine, monkeypatch):
+    """After the first run, zero from_index calls and zero re-derivations."""
+    query = QUERIES["select-inner-of-join"]()
+    first = engine.run(query)
+    assert engine.plan_cache.misses == 1
+
+    from_index_calls = [0]
+    original_from_index = IndexStats.from_index.__func__
+
+    def counting_from_index(cls, index):
+        from_index_calls[0] += 1
+        return original_from_index(cls, index)
+
+    monkeypatch.setattr(IndexStats, "from_index", classmethod(counting_from_index))
+
+    derivations = [0]
+    original_explain = Optimizer.explain_select_join
+
+    def counting_explain(self, outer_index, stats=None):
+        derivations[0] += 1
+        return original_explain(self, outer_index, stats)
+
+    monkeypatch.setattr(Optimizer, "explain_select_join", counting_explain)
+
+    hits_before = engine.plan_cache.hits
+    for _ in range(5):
+        repeat = engine.run(query)
+        assert pair_pid_set(repeat.pairs) == pair_pid_set(first.pairs)
+
+    assert from_index_calls[0] == 0
+    assert derivations[0] == 0
+    assert engine.plan_cache.hits == hits_before + 5
+    assert engine.plan_cache.misses == 1
+
+
+def test_same_shape_different_focal_shares_plan(engine):
+    for i in range(4):
+        engine.run(
+            Query(
+                KnnJoin(outer="a", inner="b", k=3),
+                KnnSelect(relation="b", focal=Point(100.0 + 200.0 * i, 500.0), k=15),
+            )
+        )
+    assert engine.plan_cache.misses == 1
+    assert engine.plan_cache.hits == 3
+
+
+# ----------------------------------------------------------------------
+# run_many
+# ----------------------------------------------------------------------
+def test_run_many_matches_sequential_query_run(engine):
+    queries = [QUERIES[name]() for name in sorted(QUERIES)] * 3
+    batch = engine.run_many(queries, max_workers=4)
+    assert len(batch) == len(queries)
+    for query, result in zip(queries, batch):
+        expected = query.run(engine.datasets)
+        assert result.strategy == expected.strategy
+        assert point_pid_set(result.points) == point_pid_set(expected.points)
+        assert pair_pid_set(result.pairs) == pair_pid_set(expected.pairs)
+        assert triplet_pid_set(result.triplets) == triplet_pid_set(expected.triplets)
+    assert engine.batches_executed == 1
+    assert engine.queries_executed == len(queries)
+
+
+def test_run_many_concurrency_smoke(engine):
+    """Many concurrent identical + distinct queries, several times in a row."""
+    queries = [
+        Query(KnnSelect(relation="a", focal=Point(10.0 * i, 990.0 - 10.0 * i), k=5))
+        for i in range(24)
+    ]
+    expected = [point_pid_set(q.run(engine.datasets).points) for q in queries]
+    for _ in range(3):
+        results = engine.run_many(queries, max_workers=8)
+        assert [point_pid_set(r.points) for r in results] == expected
+
+
+@pytest.mark.parametrize("query_class", ["chained-joins", "unchained-joins"])
+def test_reordered_predicates_share_signature_but_stay_correct(engine, query_class):
+    """Predicate order must not change results even though plans are shared.
+
+    The canonical signature sorts predicate entries, so both orders hit one
+    cached plan; the cached decisions are relation-name based / structurally
+    re-derived, never positional.
+    """
+    forward = QUERIES[query_class]()
+    joins = list(forward.predicates)
+    reversed_query = Query(joins[1], joins[0])
+    assert forward.signature(engine.datasets) == reversed_query.signature(engine.datasets)
+
+    first = engine.run(forward)
+    second = engine.run(reversed_query)
+    assert engine.plan_cache.misses == 1  # the reordered query reused the plan
+    expected = Query(joins[1], joins[0]).run(engine.datasets)
+    assert triplet_pid_set(second.triplets) == triplet_pid_set(expected.triplets)
+    # Triplet orientation follows each query's own predicate order; compare
+    # the two runs orientation-normalized (middle relation is shared).
+    normalized = {frozenset({t.a.pid, t.b.pid, t.c.pid}) for t in second.triplets}
+    assert normalized == {frozenset({t.a.pid, t.b.pid, t.c.pid}) for t in first.triplets}
+
+
+def test_chained_queries_share_neighborhood_cache(engine):
+    query = QUERIES["chained-joins"]()
+    first = engine.run(query)
+    assert first.stats.cache_misses > 0
+    second = engine.run(QUERIES["chained-joins"]())
+    assert triplet_pid_set(second.triplets) == triplet_pid_set(first.triplets)
+    # Every B->C neighborhood the second run needed was already cached.
+    assert second.stats.cache_misses == 0
+    assert second.stats.cache_hits > 0
+
+
+# ----------------------------------------------------------------------
+# Incremental updates
+# ----------------------------------------------------------------------
+def test_insert_changes_results_and_invalidates(engine):
+    query = Query(KnnSelect(relation="a", focal=Point(0.0, 0.0), k=1))
+    assert engine.run(query).points[0].pid != 9999
+    version_before = engine.dataset("a").version
+
+    added = engine.insert("a", [Point(1.0, 1.0, 9999)])
+    assert added == 1
+    assert engine.dataset("a").version == version_before + 1
+    assert engine.stats_cache.invalidations == 1
+    assert engine.plan_cache.invalidations >= 1
+    assert engine.stats("a").num_points == 65
+    assert engine.run(query).points[0].pid == 9999
+
+
+def test_remove_changes_results_and_invalidates(engine):
+    query = Query(KnnSelect(relation="a", focal=Point(0.0, 0.0), k=1))
+    nearest = engine.run(query).points[0]
+    removed = engine.remove("a", [nearest.pid])
+    assert removed == 1
+    assert engine.run(query).points[0].pid != nearest.pid
+    assert engine.stats("a").num_points == 63
+
+
+def test_noop_mutations_do_not_invalidate(engine):
+    assert engine.insert("a", []) == 0
+    assert engine.remove("a", [987654]) == 0
+    assert engine.stats_cache.invalidations == 0
+    assert engine.dataset("a").version == 0
+
+
+def test_insert_duplicate_pid_is_rejected(engine):
+    with pytest.raises(InvalidParameterError):
+        engine.insert("a", [Point(999.0, 999.0, 0)])  # pid 0 already exists
+    assert engine.dataset("a").version == 0  # rejected mutation leaves no trace
+
+
+def test_insert_mixed_batch_never_duplicates_pids(engine):
+    max_pid = max(p.pid for p in engine.dataset("a").points)
+    # An explicit pid equal to the auto-assignment counter must not collide
+    # with the auto pid handed to the plain tuple in the same batch.
+    engine.insert("a", [Point(999.0, 999.0, max_pid + 1), (998.0, 998.0)])
+    pids = [p.pid for p in engine.dataset("a").points]
+    assert len(pids) == len(set(pids))
+
+
+def test_run_many_rejects_nonpositive_workers(engine):
+    with pytest.raises(InvalidParameterError):
+        engine.run_many([QUERIES["single-select"]()], max_workers=0)
+
+
+def test_remove_all_points_is_rejected(engine):
+    pids = [p.pid for p in engine.dataset("a").points]
+    with pytest.raises(EmptyDatasetError):
+        engine.remove("a", pids)
+
+
+def test_mutating_unregistered_relation_raises(engine):
+    with pytest.raises(UnsupportedQueryError):
+        engine.insert("nope", [(1.0, 1.0)])
+    with pytest.raises(UnsupportedQueryError):
+        engine.remove("nope", [1])
+
+
+def test_metrics_shape(engine):
+    engine.run(QUERIES["single-select"]())
+    metrics = engine.metrics()
+    assert metrics["datasets"] == 3
+    assert metrics["queries_executed"] == 1
+    assert set(metrics["plan_cache"]) == {
+        "size", "hits", "misses", "evictions", "invalidations",
+    }
+    assert set(metrics["stats_cache"]) == {"size", "hits", "misses", "invalidations"}

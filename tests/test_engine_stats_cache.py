@@ -1,0 +1,96 @@
+"""StatsCache: per-version caching, invalidation, counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.stats_cache import StatsCache
+from repro.geometry import Rect
+from repro.index.stats import IndexStats
+from repro.query.dataset import Dataset
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture()
+def dataset() -> Dataset:
+    return Dataset.from_points(
+        "rel",
+        [(10.0, 10.0), (20.0, 80.0), (90.0, 30.0), (55.0, 55.0)],
+        bounds=BOUNDS,
+        cells_per_side=4,
+    )
+
+
+def _count_from_index(monkeypatch) -> list[int]:
+    """Patch ``IndexStats.from_index`` to count invocations."""
+    calls = [0]
+    original = IndexStats.from_index.__func__
+
+    def counting(cls, index):
+        calls[0] += 1
+        return original(cls, index)
+
+    monkeypatch.setattr(IndexStats, "from_index", classmethod(counting))
+    return calls
+
+
+def test_get_computes_once_per_version(dataset, monkeypatch):
+    calls = _count_from_index(monkeypatch)
+    cache = StatsCache()
+    first = cache.get(dataset)
+    second = cache.get(dataset)
+    assert first is second
+    assert calls[0] == 1
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_mutation_invalidates_by_version(dataset, monkeypatch):
+    calls = _count_from_index(monkeypatch)
+    cache = StatsCache()
+    before = cache.get(dataset)
+    assert before.num_points == 4
+
+    dataset.insert([(5.0, 5.0)])
+    after = cache.get(dataset)  # stale entry must not be served
+    assert after.num_points == 5
+    assert calls[0] == 2
+    assert cache.get(dataset) is after
+
+
+def test_remove_invalidates_by_version(dataset):
+    cache = StatsCache()
+    assert cache.get(dataset).num_points == 4
+    removed = dataset.remove([0])
+    assert removed == 1
+    assert cache.get(dataset).num_points == 3
+
+
+def test_explicit_invalidate(dataset):
+    cache = StatsCache()
+    cache.get(dataset)
+    assert len(cache) == 1
+    assert cache.invalidate("rel") is True
+    assert len(cache) == 0
+    assert cache.invalidate("rel") is False
+    assert cache.invalidations == 1
+
+
+def test_peek_never_computes(dataset, monkeypatch):
+    calls = _count_from_index(monkeypatch)
+    cache = StatsCache()
+    assert cache.peek(dataset) is None
+    assert calls[0] == 0
+    stats = cache.get(dataset)
+    assert cache.peek(dataset) is stats
+    dataset.insert([(1.0, 1.0)])
+    assert cache.peek(dataset) is None  # version mismatch
+
+
+def test_clear_keeps_counters(dataset):
+    cache = StatsCache()
+    cache.get(dataset)
+    cache.get(dataset)
+    cache.clear()
+    assert len(cache) == 0
+    assert (cache.hits, cache.misses) == (1, 1)
