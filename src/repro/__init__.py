@@ -55,6 +55,7 @@ from repro.core.stats import PruningStats
 from repro.planner import Optimizer, SelectJoinStrategy
 from repro.query import Dataset, KnnJoin, KnnSelect, Query, QueryResult, RangeSelect
 from repro.engine import SpatialEngine
+from repro.shard import ShardedDataset, ShardedEngine
 
 __version__ = "0.1.0"
 
@@ -111,4 +112,7 @@ __all__ = [
     "QueryResult",
     # engine
     "SpatialEngine",
+    # sharded execution
+    "ShardedEngine",
+    "ShardedDataset",
 ]

@@ -18,7 +18,11 @@ import sys
 
 from repro.bench.figures import run_and_format, run_all_figures
 from repro.bench.plotting import format_ascii_chart
-from repro.bench.workloads import ALL_FIGURES, ENGINE_THROUGHPUT_FIGURE
+from repro.bench.workloads import (
+    ALL_FIGURES,
+    ENGINE_THROUGHPUT_FIGURE,
+    SHARDED_THROUGHPUT_FIGURE,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -30,8 +34,12 @@ def _build_parser() -> argparse.ArgumentParser:
     target.add_argument(
         "--figure",
         type=int,
-        choices=ALL_FIGURES + (ENGINE_THROUGHPUT_FIGURE,),
-        help=f"reproduce a single figure ({ENGINE_THROUGHPUT_FIGURE} = engine throughput, beyond the paper)",
+        choices=ALL_FIGURES + (ENGINE_THROUGHPUT_FIGURE, SHARDED_THROUGHPUT_FIGURE),
+        help=(
+            f"reproduce a single figure ({ENGINE_THROUGHPUT_FIGURE} = engine "
+            f"throughput, {SHARDED_THROUGHPUT_FIGURE} = sharded throughput; "
+            "both beyond the paper)"
+        ),
     )
     target.add_argument("--all", action="store_true", help="reproduce every figure")
     parser.add_argument(

@@ -5,9 +5,18 @@ from __future__ import annotations
 from typing import Callable, Iterable
 
 from repro.bench.harness import FigureResult, format_table, run_figure
-from repro.bench.workloads import ALL_FIGURES, ENGINE_THROUGHPUT_FIGURE
+from repro.bench.workloads import (
+    ALL_FIGURES,
+    ENGINE_THROUGHPUT_FIGURE,
+    SHARDED_THROUGHPUT_FIGURE,
+)
 
-__all__ = ["run_and_format", "run_all_figures", "run_engine_throughput"]
+__all__ = [
+    "run_and_format",
+    "run_all_figures",
+    "run_engine_throughput",
+    "run_sharded_throughput",
+]
 
 
 def run_and_format(
@@ -50,6 +59,28 @@ def run_engine_throughput(
     """
     return run_and_format(
         ENGINE_THROUGHPUT_FIGURE,
+        scale=scale,
+        repeats=repeats,
+        sweep_values=sweep_values,
+        progress=progress,
+    )
+
+
+def run_sharded_throughput(
+    scale: float = 0.05,
+    repeats: int = 1,
+    sweep_values: tuple | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> tuple[FigureResult, str]:
+    """Run the sharded-throughput workload (sharded vs single-partition engine).
+
+    This is not a paper figure; it sweeps the shard count of
+    :class:`repro.shard.ShardedEngine` on a clustered kNN-join workload
+    against the unsharded ``SpatialEngine``.  Speedup comes from smaller
+    per-shard indexes plus — on multi-core hosts — parallel shard tasks.
+    """
+    return run_and_format(
+        SHARDED_THROUGHPUT_FIGURE,
         scale=scale,
         repeats=repeats,
         sweep_values=sweep_values,

@@ -41,6 +41,7 @@ __all__ = [
     "figure_workload",
     "ALL_FIGURES",
     "ENGINE_THROUGHPUT_FIGURE",
+    "SHARDED_THROUGHPUT_FIGURE",
 ]
 
 #: The figures reproduced by the harness.
@@ -48,6 +49,9 @@ ALL_FIGURES: tuple[int, ...] = (19, 20, 21, 22, 23, 24, 25, 26)
 
 #: Extra (non-paper) workload: engine-cached vs cold repeated queries.
 ENGINE_THROUGHPUT_FIGURE = 27
+
+#: Extra (non-paper) workload: sharded fan-out vs the single-partition engine.
+SHARDED_THROUGHPUT_FIGURE = 28
 
 #: Spatial extent shared by every benchmark dataset (same as the generators').
 EXTENT = Rect(0.0, 0.0, 40_000.0, 40_000.0)
@@ -439,6 +443,65 @@ def _fig27(scale: float) -> FigureWorkload:
     )
 
 
+# ----------------------------------------------------------------------
+# Figure 28 (beyond the paper): sharded throughput
+# ----------------------------------------------------------------------
+def _fig28(scale: float) -> FigureWorkload:
+    """Sharded fan-out vs the PR 1 single-partition engine, clustered data.
+
+    The serving pattern: a heavy kNN-join over a clustered outer relation
+    (``A join_kNN B``) executes against a long-lived engine.  The unsharded
+    engine answers with one sequential pass over A against one monolithic
+    B index; the sharded engine splits both relations into ``num_shards``
+    sample-balanced shards, fans the outer shards out on its worker pool
+    (processes where ``fork`` is available, serial on one CPU) and merges.
+    Two effects stack: per-shard indexes are smaller (cheaper localities,
+    border expansion prunes most shards per point), and on a multi-core
+    host the shard tasks run in parallel — on a 4+-core machine the sweep
+    shows the ≥2x region from 4 shards up.
+    """
+    from repro.engine import SpatialEngine
+    from repro.query.predicates import KnnJoin
+    from repro.query.query import Query
+    from repro.shard.engine import ShardedEngine
+
+    a_size = _scaled(128_000, scale)
+    b_size = _scaled(256_000, scale)
+    sweep = (1, 2, 4, 8)
+    k = 3
+
+    def build(num_shards: int) -> SeriesBuilders:
+        a = clustered_points(
+            6, max(60, a_size // 6), EXTENT, cluster_radius=1_500.0, seed=2800
+        )
+        b = berlinmod_snapshot(n=b_size, seed=2801, start_pid=10_000_000)
+        query = Query(KnnJoin(outer="a", inner="b", k=k))
+
+        plain = SpatialEngine()
+        plain.register(name="a", points=a, bounds=EXTENT, cells_per_side=CELLS_PER_SIDE)
+        plain.register(name="b", points=b, bounds=EXTENT, cells_per_side=CELLS_PER_SIDE)
+        plain.run(query)  # warm the plan cache outside the timed region
+
+        sharded = ShardedEngine(num_shards=num_shards, backend="auto")
+        sharded.register(name="a", points=a, bounds=EXTENT)
+        sharded.register(name="b", points=b, bounds=EXTENT)
+        sharded.run(query)  # warm plan cache + worker pool
+
+        return {
+            "engine-unsharded": lambda: plain.run(query),
+            "sharded-engine": lambda: sharded.run(query),
+        }
+
+    return FigureWorkload(
+        figure=SHARDED_THROUGHPUT_FIGURE,
+        title="Sharded throughput: shard fan-out vs single-partition engine",
+        sweep_name="number of shards",
+        sweep_values=sweep,
+        series=("engine-unsharded", "sharded-engine"),
+        builder=build,
+    )
+
+
 _FACTORIES: dict[int, Callable[[float], FigureWorkload]] = {
     19: _fig19,
     20: _fig20,
@@ -449,6 +512,7 @@ _FACTORIES: dict[int, Callable[[float], FigureWorkload]] = {
     25: _fig25,
     26: _fig26,
     ENGINE_THROUGHPUT_FIGURE: _fig27,
+    SHARDED_THROUGHPUT_FIGURE: _fig28,
 }
 
 

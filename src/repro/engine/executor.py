@@ -74,6 +74,7 @@ class ReadWriteLock:
 
     @contextlib.contextmanager
     def read(self) -> Iterator[None]:
+        """Acquire the shared (reader) side for the duration of the block."""
         with self._cond:
             while self._writing:
                 self._cond.wait()
@@ -88,6 +89,7 @@ class ReadWriteLock:
 
     @contextlib.contextmanager
     def write(self) -> Iterator[None]:
+        """Acquire the exclusive (writer) side for the duration of the block."""
         with self._cond:
             while self._writing or self._readers:
                 self._cond.wait()
@@ -141,6 +143,7 @@ class SharedNeighborhoodCaches:
             return len(doomed)
 
     def clear(self) -> None:
+        """Drop every cache (eviction counter is kept)."""
         with self._lock:
             self._caches.clear()
 

@@ -28,12 +28,21 @@ Signature = tuple
 
 @dataclass
 class CachedPlan:
-    """One plan-cache entry: the executable plan plus its EXPLAIN record."""
+    """One plan-cache entry: the executable plan plus its EXPLAIN record.
+
+    ``versions`` records each touched relation's :attr:`Dataset.version` at
+    planning time.  Mutations routed through the engine evict affected
+    entries eagerly, but a dataset mutated *behind the engine's back* leaves
+    the entry in place — the version stamp lets the engine detect that at
+    lookup/execution time and re-plan instead of serving a plan derived from
+    stale statistics.
+    """
 
     signature: Signature
     plan: PhysicalPlan
     explain: Explain
     relations: frozenset[str]
+    versions: tuple[tuple[str, int], ...] = ()
     hits: int = field(default=0)
 
 
@@ -71,6 +80,22 @@ class PlanCache:
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
                 self.evictions += 1
+
+    def reject(self, entry: CachedPlan) -> None:
+        """Drop a just-fetched entry that failed post-lookup validation.
+
+        The engine validates an entry's dataset-version stamps after
+        :meth:`get`; a mismatch means the plan is stale, so the entry is
+        evicted and the preceding lookup re-counted as a miss instead of a
+        hit (the caller goes on to re-plan).
+        """
+        with self._lock:
+            if self._entries.get(entry.signature) is entry:
+                del self._entries[entry.signature]
+                self.invalidations += 1
+            self.hits -= 1
+            entry.hits -= 1
+            self.misses += 1
 
     def invalidate_relation(self, name: str) -> int:
         """Evict every plan that touches relation ``name``; returns the count."""

@@ -28,7 +28,7 @@ Typical usage::
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.engine.executor import ReadWriteLock, SharedNeighborhoodCaches, run_batch
 from repro.engine.explain import Explain
@@ -62,6 +62,15 @@ class SpatialEngine:
         Maximum number of cached plans (LRU eviction beyond it).
     max_workers:
         Default thread-pool width for :meth:`run_many`.
+    eager_build:
+        Build each dataset's index (and warm its statistics) at registration
+        time (the default).  The sharded engine registers its base datasets
+        with ``eager_build=False`` because it executes against per-shard
+        indexes and must not pay for — or hold memory for — the monolithic
+        index.
+    stats_compute:
+        Optional override for how :class:`IndexStats` are produced on a
+        statistics-cache miss (see :class:`StatsCache`).
     """
 
     def __init__(
@@ -69,11 +78,14 @@ class SpatialEngine:
         optimizer: Optimizer | None = None,
         plan_cache_size: int = 256,
         max_workers: int | None = None,
+        eager_build: bool = True,
+        stats_compute: Callable[[Dataset], IndexStats] | None = None,
     ) -> None:
         self.optimizer = optimizer or Optimizer()
         self.max_workers = max_workers
+        self.eager_build = eager_build
         self._datasets: dict[str, Dataset] = {}
-        self._stats_cache = StatsCache()
+        self._stats_cache = StatsCache(compute=stats_compute)
         self._plan_cache = PlanCache(plan_cache_size)
         self._chained_caches = SharedNeighborhoodCaches()
         # Queries run under the read side, mutations under the write side, so
@@ -119,8 +131,9 @@ class SpatialEngine:
             if dataset.name in self._datasets:
                 self._invalidate(dataset.name)
             self._datasets[dataset.name] = dataset
-            dataset.index  # build eagerly
-            self._stats_cache.get(dataset)  # warm the statistics cache
+            if self.eager_build:
+                dataset.index  # build eagerly
+                self._stats_cache.get(dataset)  # warm the statistics cache
         return dataset
 
     def unregister(self, name: str) -> None:
@@ -173,8 +186,21 @@ class SpatialEngine:
     def _refresh(self, dataset: Dataset) -> None:
         """After a mutation: drop stale cache entries, rebuild index + stats."""
         self._invalidate(dataset.name)
-        dataset.index  # rebuild eagerly (keeps concurrent reads race-free)
-        self._stats_cache.get(dataset)
+        if self.eager_build:
+            dataset.index  # rebuild eagerly (keeps concurrent reads race-free)
+            self._stats_cache.get(dataset)
+
+    def invalidate(self, name: str) -> None:
+        """Drop every cache entry touching relation ``name``.
+
+        Queries served through :meth:`run` never need this — engine-routed
+        mutations invalidate automatically.  It exists for owners that mutate
+        a registered dataset out-of-band (e.g. the sharded engine, which
+        routes mutations to per-shard datasets) and then need the plan,
+        statistics and neighborhood caches dropped under the write lock.
+        """
+        with self._rw.write():
+            self._invalidate(name)
 
     def _invalidate(self, name: str) -> None:
         self._stats_cache.invalidate(name)
@@ -208,8 +234,21 @@ class SpatialEngine:
     def _cached_plan(self, query: Query) -> CachedPlan:
         signature = query.signature(self._datasets)
         entry = self._plan_cache.get(signature)
-        if entry is not None:
+        if entry is not None and entry.versions == self._versions_of(entry.relations):
             return entry
+        if entry is not None:
+            # The entry was planned against a different dataset version: the
+            # dataset was mutated without going through insert()/remove()
+            # (which would have evicted it).  Never execute a plan derived
+            # from stale statistics — drop everything the relation touched.
+            self._plan_cache.reject(entry)
+            for name in sorted(entry.relations):
+                self._invalidate(name)
+        # Stamp the versions BEFORE planning: an out-of-band mutation that
+        # lands mid-planning then leaves a pre-mutation stamp on a (possibly
+        # mixed) plan, which the next lookup rejects — fail-safe.  Stamping
+        # after planning would bless stale statistics with a current stamp.
+        versions = self._versions_of(query.relations())
         # Plan with this engine's optimizer and cached statistics.
         planner = Query(*query.predicates, strategy=query.strategy, optimizer=self.optimizer)
         plan = planner.plan(self._datasets, stats_provider=self._stats_provider)
@@ -218,9 +257,18 @@ class SpatialEngine:
             plan=plan,
             explain=Explain.from_plan(plan, query.relations()),
             relations=query.relations(),
+            versions=versions,
         )
         self._plan_cache.put(entry)
         return entry
+
+    def _versions_of(self, relations: Iterable[str]) -> tuple[tuple[str, int], ...]:
+        """Current ``(name, version)`` stamps of the given relations, sorted."""
+        return tuple(
+            (name, self._datasets[name].version)
+            for name in sorted(relations)
+            if name in self._datasets
+        )
 
     # ------------------------------------------------------------------
     # Execution

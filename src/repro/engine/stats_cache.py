@@ -14,11 +14,17 @@ even if the owner forgets to call :meth:`StatsCache.invalidate`.
 from __future__ import annotations
 
 import threading
+from typing import Callable
 
 from repro.index.stats import IndexStats
 from repro.query.dataset import Dataset
 
 __all__ = ["StatsCache"]
+
+
+def _default_compute(dataset: Dataset) -> IndexStats:
+    """Build statistics the direct way: walk the dataset's own index."""
+    return IndexStats.from_index(dataset.index)
 
 
 class StatsCache:
@@ -27,9 +33,19 @@ class StatsCache:
     The cache is correct without explicit invalidation (entries carry the
     dataset version they were computed at), but :meth:`invalidate` frees the
     memory eagerly and keeps the hit/miss counters honest after mutations.
+
+    Parameters
+    ----------
+    compute:
+        How to produce :class:`IndexStats` for a dataset on a cache miss.
+        The default walks the dataset's own index; the sharded engine
+        substitutes an aggregation over its per-shard indexes so that the
+        full index never has to be built (see
+        :meth:`repro.index.stats.IndexStats.aggregate`).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, compute: Callable[[Dataset], IndexStats] | None = None) -> None:
+        self._compute = compute or _default_compute
         self._entries: dict[str, tuple[int, IndexStats]] = {}
         self._lock = threading.Lock()
         self.hits = 0
@@ -43,9 +59,10 @@ class StatsCache:
             if entry is not None and entry[0] == dataset.version:
                 self.hits += 1
                 return entry[1]
-        # Compute outside the lock: from_index is the expensive part, and a
-        # duplicated computation under contention is benign (last write wins).
-        stats = IndexStats.from_index(dataset.index)
+        # Compute outside the lock: building the statistics is the expensive
+        # part, and a duplicated computation under contention is benign (last
+        # write wins).
+        stats = self._compute(dataset)
         with self._lock:
             self.misses += 1
             self._entries[dataset.name] = (dataset.version, stats)

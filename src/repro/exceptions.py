@@ -48,3 +48,15 @@ class InvalidPlanError(PlanError):
 
 class UnsupportedQueryError(ReproError):
     """Raised when the query API is asked for a combination it cannot plan."""
+
+
+class StaleShardError(ReproError):
+    """Raised when sharded execution detects a dataset version mismatch.
+
+    Every shard task carries the dataset versions its plan was derived
+    against; a worker that observes a different version (e.g. a process-pool
+    worker holding a pre-mutation snapshot, or a dataset mutated behind the
+    engine's back) refuses to execute rather than serve results computed
+    against stale per-shard state.  The engine catches this error, rebuilds
+    its shard runtime, re-plans and retries.
+    """

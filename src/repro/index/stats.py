@@ -9,9 +9,11 @@ Sections 3.3 and 4.1.2.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
+from repro.exceptions import InvalidParameterError
 from repro.index.base import SpatialIndex
 
 __all__ = ["IndexStats"]
@@ -44,6 +46,48 @@ class IndexStats:
             num_nonempty_blocks=int(nonempty.size),
             mean_points_per_nonempty_block=float(nonempty.mean()) if nonempty.size else 0.0,
             max_points_per_block=int(counts.max()) if counts.size else 0,
+            occupied_area_fraction=min(1.0, occupied_area / total_area),
+            total_area=float(total_area),
+        )
+
+    @classmethod
+    def aggregate(
+        cls, parts: Sequence["IndexStats"], total_area: float | None = None
+    ) -> "IndexStats":
+        """Merge per-shard statistics into statistics for the whole relation.
+
+        A sharded dataset never builds one big index, so the engine derives
+        the relation-level statistics the planner needs by aggregating the
+        per-shard ones: counts and block totals add up, the per-block mean is
+        re-derived from the totals (every indexed point lives in a non-empty
+        block), and the occupied area is the sum of the shards' occupied
+        areas.  ``total_area`` should be the area of the full relation extent;
+        when omitted, the sum of the shard extents is used, which is exact for
+        tiling shard maps and an under-estimate when shard extents overlap.
+
+        The aggregate is not bit-identical to ``from_index`` over one big
+        index — the shards decompose space differently — but it tracks the
+        same quantities the planner's heuristics consume (density, per-block
+        occupancy, clustering ratio).
+        """
+        if not parts:
+            raise InvalidParameterError("cannot aggregate an empty statistics list")
+        num_points = sum(p.num_points for p in parts)
+        num_blocks = sum(p.num_blocks for p in parts)
+        num_nonempty = sum(p.num_nonempty_blocks for p in parts)
+        occupied_area = sum(p.occupied_area_fraction * p.total_area for p in parts)
+        if total_area is None:
+            total_area = sum(p.total_area for p in parts)
+        if total_area <= 0:
+            total_area = 1.0
+        return cls(
+            num_points=num_points,
+            num_blocks=num_blocks,
+            num_nonempty_blocks=num_nonempty,
+            mean_points_per_nonempty_block=(
+                num_points / num_nonempty if num_nonempty else 0.0
+            ),
+            max_points_per_block=max(p.max_points_per_block for p in parts),
             occupied_area_fraction=min(1.0, occupied_area / total_area),
             total_area=float(total_area),
         )

@@ -1,0 +1,109 @@
+"""Mergeable partial results for sharded kNN evaluation.
+
+Data-partitioned execution splits a relation into spatial shards and evaluates
+each operator per shard; the functions here combine the per-shard *partial*
+results back into the exact global answer.  The key fact making kNN-select
+mergeable is:
+
+    If ``E = E_1 ∪ ... ∪ E_m`` (disjoint), then the global k nearest
+    neighbors of a point ``p`` in ``E`` are contained in the union of the
+    per-shard k nearest neighbors of ``p`` in each ``E_i``.
+
+Proof sketch: a point ranked r-th globally (r ≤ k) is ranked at most r-th
+within its own shard, so it appears in that shard's top-k.  Re-ranking the
+union by the library-wide ``(distance, pid)`` order therefore reproduces the
+unsharded neighborhood *exactly*, ties included.  Join outputs are mergeable
+trivially: the outer relation is partitioned, every outer point is owned by
+exactly one shard, so per-shard pair/triplet lists concatenate without
+duplicates.
+
+See ``docs/operators.md`` for the full border-expansion argument and
+:mod:`repro.shard` for the execution layer built on these primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.locality.neighborhood import Neighborhood
+from repro.operators.results import JoinPair, JoinTriplet, pair_key, triplet_key
+
+__all__ = [
+    "merge_neighborhoods",
+    "merge_knn_candidates",
+    "merge_point_partials",
+    "merge_pair_partials",
+    "merge_triplet_partials",
+]
+
+
+def merge_neighborhoods(
+    center: Point, k: int, partials: Iterable[Neighborhood]
+) -> Neighborhood:
+    """Re-rank per-shard neighborhoods of ``center`` into the global top-k.
+
+    Each partial must be a (≤ k)-neighborhood of the *same* center computed
+    over one shard of the relation.  The merged result is identical to the
+    neighborhood computed over the unsharded relation: candidates are ranked
+    by ``(distance, pid)`` — the library's deterministic tie-break — and the
+    first ``k`` are kept.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    candidates: list[tuple[float, int, Point]] = []
+    for nbr in partials:
+        candidates.extend(zip(nbr.distances, (p.pid for p in nbr), nbr))
+    return merge_knn_candidates(center, k, candidates)
+
+
+def merge_knn_candidates(
+    center: Point, k: int, candidates: Sequence[tuple[float, int, Point]]
+) -> Neighborhood:
+    """Build the global k-neighborhood from ``(distance, pid, point)`` rows.
+
+    This is the final re-rank step shared by :func:`merge_neighborhoods` and
+    the incremental border-expansion search in :mod:`repro.shard.knn`.
+    Duplicate pids (which cannot occur for disjoint shards) are kept as-is;
+    callers guarantee disjointness.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    ranked = sorted(candidates, key=lambda row: (row[0], row[1]))[:k]
+    return Neighborhood(
+        center, k, [p for _, __, p in ranked], [d for d, __, ___ in ranked]
+    )
+
+
+def merge_point_partials(partials: Iterable[Sequence[Point]]) -> list[Point]:
+    """Concatenate per-shard point lists (e.g. range-select partials).
+
+    Shards are disjoint, so concatenation introduces no duplicates; the
+    result is sorted by ``pid`` to make the output independent of shard
+    enumeration order.
+    """
+    merged = [p for part in partials for p in part]
+    merged.sort(key=lambda p: p.pid)
+    return merged
+
+
+def merge_pair_partials(partials: Iterable[Sequence[JoinPair]]) -> list[JoinPair]:
+    """Concatenate per-outer-shard join outputs into the global pair set.
+
+    The outer relation is partitioned, so each pair is produced by exactly
+    one shard; sorting by ``(outer pid, inner pid)`` gives a canonical order
+    independent of shard count and worker scheduling.
+    """
+    merged = [pair for part in partials for pair in part]
+    merged.sort(key=pair_key)
+    return merged
+
+
+def merge_triplet_partials(
+    partials: Iterable[Sequence[JoinTriplet]],
+) -> list[JoinTriplet]:
+    """Concatenate per-shard triplet outputs into the global triplet set."""
+    merged = [t for part in partials for t in part]
+    merged.sort(key=triplet_key)
+    return merged

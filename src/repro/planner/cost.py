@@ -83,16 +83,65 @@ class CostModel:
         )
 
     def block_marking_select_join(
-        self, outer_index: SpatialIndex, stats: IndexStats | None = None
+        self, outer_index: SpatialIndex | None, stats: IndexStats | None = None
     ) -> CostEstimate:
-        """Block-Marking: per-block checks plus neighborhoods in surviving blocks."""
+        """Block-Marking: per-block checks plus neighborhoods in surviving blocks.
+
+        With ``stats`` supplied the index is never touched (and may be
+        ``None``); everything the estimate needs lives in the statistics.
+        """
         if stats is None:
+            if outer_index is None:
+                raise ValueError(
+                    "block_marking_select_join needs an index or precomputed stats"
+                )
             stats = IndexStats.from_index(outer_index)
-        survivors = outer_index.num_points * self.prune_selectivity
+        survivors = stats.num_points * self.prune_selectivity
         return CostEstimate(
             "block_marking",
             neighborhood_computations=survivors,
             per_block_overhead=stats.num_nonempty_blocks * self.block_check_cost,
+        )
+
+    # ------------------------------------------------------------------
+    # Sharded execution — beyond the paper (repro.shard)
+    # ------------------------------------------------------------------
+    def sharded_fanout(
+        self,
+        base: CostEstimate,
+        num_shards: int,
+        max_workers: int | None = None,
+        coordination_cost: float = 2.0,
+    ) -> CostEstimate:
+        """Estimate of ``base`` when fanned out over ``num_shards`` shards.
+
+        The dominant work divides by the effective parallelism (shards cannot
+        help beyond the worker count), while coordination — task dispatch and
+        the global merge/re-rank of per-shard partial results — *grows* with
+        the shard count.  The estimate therefore has a minimum: more shards
+        stop paying once the per-shard work no longer amortizes the merge.
+
+        Parameters
+        ----------
+        base:
+            The unsharded estimate of the query's dominant work.
+        num_shards:
+            Number of spatial shards the driving relation is split into.
+        max_workers:
+            Worker-pool width; defaults to ``num_shards`` (fully parallel).
+        coordination_cost:
+            Abstract per-shard dispatch + merge overhead.
+        """
+        if num_shards <= 0:
+            raise ValueError("num_shards must be positive")
+        workers = num_shards if max_workers is None else max(1, max_workers)
+        parallelism = float(min(num_shards, workers))
+        return CostEstimate(
+            strategy=f"{base.strategy}[shards={num_shards}]",
+            neighborhood_computations=base.neighborhood_computations / parallelism,
+            per_tuple_overhead=base.per_tuple_overhead / parallelism,
+            per_block_overhead=base.per_block_overhead / parallelism
+            + coordination_cost * num_shards,
         )
 
     # ------------------------------------------------------------------

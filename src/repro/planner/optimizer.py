@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.exceptions import InvalidParameterError
 from repro.index.base import SpatialIndex
 from repro.index.stats import IndexStats
 from repro.planner.cost import CostModel
@@ -41,7 +42,7 @@ class SelectJoinStrategy(str, Enum):
 
 
 def choose_select_join_strategy(
-    outer_index: SpatialIndex,
+    outer_index: SpatialIndex | None,
     dense_points_per_block: float = 24.0,
     stats: IndexStats | None = None,
 ) -> SelectJoinStrategy:
@@ -54,9 +55,16 @@ def choose_select_join_strategy(
     crossover shown in Figures 20–21.
 
     ``stats`` lets callers (the engine's statistics cache, or anything else
-    that already computed them) avoid the O(n) recomputation.
+    that already computed them) avoid the O(n) recomputation; with stats
+    supplied, ``outer_index`` may be ``None`` — important for the sharded
+    engine, whose relations have per-shard indexes but never a monolithic
+    one.
     """
     if stats is None:
+        if outer_index is None:
+            raise InvalidParameterError(
+                "choose_select_join_strategy needs an index or precomputed stats"
+            )
         stats = IndexStats.from_index(outer_index)
     if stats.mean_points_per_nonempty_block >= dense_points_per_block:
         return SelectJoinStrategy.BLOCK_MARKING
@@ -91,30 +99,38 @@ class Optimizer:
     # Section 3: select (inner) + join
     # ------------------------------------------------------------------
     def select_join_strategy(
-        self, outer_index: SpatialIndex, stats: IndexStats | None = None
+        self, outer_index: SpatialIndex | None, stats: IndexStats | None = None
     ) -> SelectJoinStrategy:
         """Strategy for a kNN-select on the inner relation of a kNN-join."""
         return choose_select_join_strategy(outer_index, self.dense_points_per_block, stats)
 
     def explain_select_join(
-        self, outer_index: SpatialIndex, stats: IndexStats | None = None
+        self, outer_index: SpatialIndex | None, stats: IndexStats | None = None
     ) -> dict[str, object]:
         """Chosen strategy plus the cost estimates for every alternative.
 
         The outer relation's block statistics are computed once and threaded
-        through every estimate instead of once per call site.
+        through every estimate instead of once per call site; with ``stats``
+        supplied the index is never touched (and may be ``None``), so
+        callers holding cached statistics never trigger an index build.
         """
         assert self.cost_model is not None
         if stats is None:
+            if outer_index is None:
+                raise InvalidParameterError(
+                    "explain_select_join needs an index or precomputed stats"
+                )
             stats = IndexStats.from_index(outer_index)
         strategy = self.select_join_strategy(outer_index, stats)
-        outer_size = outer_index.num_points
+        outer_size = stats.num_points
         return {
             "strategy": strategy,
             "estimates": {
                 "baseline": self.cost_model.baseline_select_join(outer_size),
                 "counting": self.cost_model.counting_select_join(outer_size),
-                "block_marking": self.cost_model.block_marking_select_join(outer_index, stats),
+                "block_marking": self.cost_model.block_marking_select_join(
+                    outer_index, stats
+                ),
             },
         }
 
@@ -123,15 +139,27 @@ class Optimizer:
     # ------------------------------------------------------------------
     def unchained_first_join(
         self,
-        a_index: SpatialIndex,
-        c_index: SpatialIndex,
+        a_index: SpatialIndex | None,
+        c_index: SpatialIndex | None,
         a_stats: IndexStats | None = None,
         c_stats: IndexStats | None = None,
     ) -> str:
-        """``"A"`` or ``"C"``: which outer relation's join to evaluate first."""
+        """``"A"`` or ``"C"``: which outer relation's join to evaluate first.
+
+        Each index is consulted only when the matching statistics are not
+        supplied, so stats-holding callers may pass ``None`` indexes.
+        """
         if a_stats is None:
+            if a_index is None:
+                raise InvalidParameterError(
+                    "unchained_first_join needs an A index or precomputed stats"
+                )
             a_stats = IndexStats.from_index(a_index)
         if c_stats is None:
+            if c_index is None:
+                raise InvalidParameterError(
+                    "unchained_first_join needs a C index or precomputed stats"
+                )
             c_stats = IndexStats.from_index(c_index)
         return "C" if c_stats.clustering_ratio > a_stats.clustering_ratio else "A"
 
@@ -141,3 +169,55 @@ class Optimizer:
     def two_select_order(self, k1: int, k2: int) -> tuple[int, int]:
         """Evaluation order of two kNN-select predicates (smaller k first)."""
         return choose_two_select_order(k1, k2)
+
+    # ------------------------------------------------------------------
+    # Sharded execution — beyond the paper (repro.shard)
+    # ------------------------------------------------------------------
+    def choose_shard_count(
+        self,
+        stats: IndexStats,
+        max_workers: int | None = None,
+        min_points_per_shard: int = 1024,
+        max_shards: int = 64,
+    ) -> int:
+        """Pick a shard count for a relation from its statistics.
+
+        Candidate counts are powers of two that keep at least
+        ``min_points_per_shard`` points per shard (tiny shards pay more in
+        dispatch/merge coordination than their parallelism earns); among
+        them, the :meth:`CostModel.sharded_fanout` estimate of the dominant
+        per-point-kNN work picks the cheapest.  With ``max_workers=1`` this
+        degenerates to a single shard — the cost model charges coordination
+        but credits no parallelism.
+        """
+        assert self.cost_model is not None
+        return min(
+            self.explain_shard_count(
+                stats, max_workers, min_points_per_shard, max_shards
+            )["estimates"].items(),
+            key=lambda item: (item[1].total, item[0]),
+        )[0]
+
+    def explain_shard_count(
+        self,
+        stats: IndexStats,
+        max_workers: int | None = None,
+        min_points_per_shard: int = 1024,
+        max_shards: int = 64,
+    ) -> dict[str, object]:
+        """Shard-count candidates and the fanout estimates that rank them.
+
+        Returns ``{"candidates": (...), "estimates": {count: CostEstimate}}``;
+        :meth:`choose_shard_count` picks the cheapest entry.
+        """
+        assert self.cost_model is not None
+        candidates = [1]
+        count = 2
+        while count <= max_shards and stats.num_points // count >= min_points_per_shard:
+            candidates.append(count)
+            count *= 2
+        base = self.cost_model.baseline_select_join(stats.num_points)
+        estimates = {
+            c: self.cost_model.sharded_fanout(base, c, max_workers) for c in candidates
+        }
+        return {"candidates": tuple(candidates), "estimates": estimates}

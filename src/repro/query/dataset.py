@@ -133,6 +133,16 @@ class Dataset:
         return self._index_kind
 
     @property
+    def bounds(self) -> Rect | None:
+        """The explicit shared extent given at construction (``None`` if unset)."""
+        return self._bounds
+
+    @property
+    def index_options(self) -> dict[str, object]:
+        """A copy of the extra keyword arguments forwarded to the index builder."""
+        return dict(self._index_options)
+
+    @property
     def version(self) -> int:
         """Monotonic counter bumped by every :meth:`insert` / :meth:`remove`."""
         return self._version
@@ -145,16 +155,18 @@ class Dataset:
     # ------------------------------------------------------------------
     # Incremental updates
     # ------------------------------------------------------------------
-    def insert(self, points: Iterable[Point | tuple[float, float]]) -> int:
-        """Add points to the relation; returns the number of points added.
+    def prepare_insert(
+        self, points: Iterable[Point | tuple[float, float]]
+    ) -> tuple[Point, ...]:
+        """Normalize candidate points for :meth:`insert` without mutating.
 
         Plain coordinate tuples (and points without a ``pid``) get fresh
-        ``pid`` values above the current maximum.  Points carrying an explicit
+        ``pid`` values above the current maximum; points carrying an explicit
         ``pid`` that already exists in the relation are rejected — join and
         intersection operators key on pids, so duplicates would silently
-        corrupt results.  The index is marked stale and rebuilt on next
-        access; :attr:`version` is bumped so that caches keyed on it drop
-        their entries.
+        corrupt results.  Callers that must route an insert (e.g. a sharded
+        dataset assigning each new point to its owning shard) use this to
+        learn the final pids before committing the mutation.
         """
         existing = {p.pid for p in self._points}
         next_pid = max(existing, default=-1) + 1
@@ -182,11 +194,35 @@ class Dataset:
             else:
                 x, y = item
                 added.append(Point(float(x), float(y), fresh_pid()))
+        return tuple(added)
+
+    def insert(self, points: Iterable[Point | tuple[float, float]]) -> int:
+        """Add points to the relation; returns the number of points added.
+
+        Input normalization (fresh pids, duplicate rejection) is documented
+        at :meth:`prepare_insert`.  The index is marked stale and rebuilt on
+        next access; :attr:`version` is bumped so that caches keyed on it
+        drop their entries.
+        """
+        added = self.prepare_insert(points)
         if not added:
             return 0
-        self._points = self._points + tuple(added)
-        self._invalidate()
+        self.commit_insert(added)
         return len(added)
+
+    def commit_insert(self, prepared: Sequence[Point]) -> None:
+        """Append a batch previously returned by :meth:`prepare_insert`.
+
+        Skips re-normalization — the batch's pids were already validated and
+        assigned against this relation's current state, so callers that had
+        to prepare separately (e.g. a sharded dataset routing each point to
+        its owning shard) commit without a second O(n) scan.  Must be called
+        with no intervening mutation since the prepare.
+        """
+        if not prepared:
+            return
+        self._points = self._points + tuple(prepared)
+        self._invalidate()
 
     def remove(self, pids: Iterable[int]) -> int:
         """Remove the points with the given ``pid`` values; returns the count.

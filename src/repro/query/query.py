@@ -239,7 +239,10 @@ class Query:
         else:
             outer = datasets[join.outer]
             stats = self._stats_for(outer, stats_provider)
-            explained = self.optimizer.explain_select_join(outer.index, stats)
+            # Stats in hand, the optimizer never touches the index — pass
+            # None so planning cannot build a monolithic index the caller
+            # (e.g. the sharded engine) deliberately avoided building.
+            explained = self.optimizer.explain_select_join(None, stats)
             strategy = explained["strategy"]  # type: ignore[assignment]
             estimates = {
                 name: estimate.total
@@ -290,9 +293,11 @@ class Query:
                 return PhysicalPlan("unchained-joins", "unchained-baseline")
             a = datasets[first.outer]
             c = datasets[second.outer]
+            # As in _plan_select_join: with stats supplied the indexes are
+            # never consulted, so None keeps planning index-build-free.
             order = self.optimizer.unchained_first_join(
-                a.index,
-                c.index,
+                None,
+                None,
                 self._stats_for(a, stats_provider),
                 self._stats_for(c, stats_provider),
             )

@@ -1,0 +1,53 @@
+"""``repro.shard`` — data-partitioned parallel execution.
+
+The shard layer splits each relation spatially into k shards, builds one
+index per shard, and executes every planned query as a fan-out over the
+shards of its driving relation followed by an exact global merge — the same
+data-partitioned parallelism that scales joins across partitions in
+worst-case-optimal join and HTAP systems, applied to the paper's
+kNN-predicate query classes.
+
+Modules:
+
+* :mod:`~repro.shard.partitioner` — grid and sample-balanced shard maps.
+* :mod:`~repro.shard.dataset` — :class:`ShardedDataset`, per-shard datasets
+  and indexes with routed mutations.
+* :mod:`~repro.shard.knn` — exact cross-shard kNN via border expansion.
+* :mod:`~repro.shard.executor` — shard tasks, worker dispatch, per-class
+  coordinators.
+* :mod:`~repro.shard.pool` — serial/thread/process worker pools.
+* :mod:`~repro.shard.engine` — :class:`ShardedEngine`, the serving facade.
+
+See ``docs/architecture.md`` for how this layer fits the rest of the stack
+and ``docs/operators.md`` for the cross-shard correctness argument.
+"""
+
+from repro.shard.dataset import ShardedDataset
+from repro.shard.engine import ShardedEngine
+from repro.shard.executor import ShardTask, execute_shard_task, sharded_execute
+from repro.shard.knn import sharded_knn, sharded_range_select
+from repro.shard.partitioner import (
+    ShardMap,
+    ShardRegion,
+    grid_partition,
+    make_shard_map,
+    sample_balanced_partition,
+)
+from repro.shard.pool import ShardWorkerPool, resolve_backend
+
+__all__ = [
+    "ShardedEngine",
+    "ShardedDataset",
+    "ShardMap",
+    "ShardRegion",
+    "grid_partition",
+    "sample_balanced_partition",
+    "make_shard_map",
+    "sharded_knn",
+    "sharded_range_select",
+    "ShardTask",
+    "execute_shard_task",
+    "sharded_execute",
+    "ShardWorkerPool",
+    "resolve_backend",
+]

@@ -1,0 +1,427 @@
+"""The :class:`ShardedEngine`: plan once, fan out across shards, merge.
+
+The sharded engine wraps a :class:`~repro.engine.session.SpatialEngine` for
+everything PR 1 already amortizes — the signature-keyed plan cache, the
+per-version statistics cache, EXPLAIN records — and replaces *execution*:
+each registered relation is spatially partitioned into per-shard datasets
+with their own indexes (:class:`~repro.shard.dataset.ShardedDataset`), and a
+planned query fans out across the shards of its driving relation on a worker
+pool (:class:`~repro.shard.pool.ShardWorkerPool`), with cross-shard kNN
+semantics handled by border expansion and a global merge/re-rank
+(:mod:`repro.shard.knn`, :mod:`repro.operators.merge`).
+
+The inner engine never builds a monolithic index: it is constructed with
+``eager_build=False`` and a ``stats_compute`` override that aggregates
+per-shard statistics (:meth:`IndexStats.aggregate`), so the planner sees
+relation-level statistics without the O(n) full-index walk.
+
+Consistency model.  Mutations route to the owning shard and invalidate the
+inner engine's caches plus the worker pool (process workers hold a forked
+snapshot that a mutation would stale).  Every dispatched task carries the
+dataset versions its plan was derived against and re-validates them at
+execution time; a :class:`~repro.exceptions.StaleShardError` makes the
+engine resync, re-plan and retry — a plan is never served against stale
+per-shard state, even when the base dataset was mutated behind the engine's
+back.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from typing import Iterable, Mapping, Sequence
+
+from repro.engine.executor import ReadWriteLock
+from repro.engine.explain import Explain
+from repro.engine.session import SpatialEngine
+from repro.exceptions import StaleShardError, UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.stats import IndexStats
+from repro.planner.optimizer import Optimizer
+from repro.planner.plan import PhysicalPlan
+from repro.query.dataset import Dataset, IndexKind
+from repro.query.query import Query
+from repro.query.results import QueryResult
+from repro.shard.dataset import ShardedDataset
+from repro.shard.executor import sharded_execute
+from repro.shard.partitioner import ShardMap
+from repro.shard.pool import ShardWorkerPool
+
+__all__ = ["ShardedEngine"]
+
+_TOKENS = itertools.count()
+
+
+class ShardedEngine:
+    """A sharded, data-parallel serving engine over spatial relations.
+
+    Parameters
+    ----------
+    num_shards:
+        Default shard count for registered relations.  ``None`` asks the
+        optimizer to choose per relation from its size and the worker count
+        (:meth:`Optimizer.choose_shard_count`).
+    strategy:
+        Default partitioning strategy: ``"sample"`` (population-balanced,
+        right for clustered data) or ``"grid"`` (equal-area tiles).
+    backend:
+        Worker-pool backend — ``"auto"`` (default), ``"serial"``,
+        ``"thread"`` or ``"process"``; see :mod:`repro.shard.pool`.
+    max_workers:
+        Worker-pool width (default: CPU count).
+    optimizer / plan_cache_size:
+        Forwarded to the wrapped :class:`SpatialEngine`.
+    seed:
+        Sampling seed for the ``"sample"`` partitioner.
+    """
+
+    def __init__(
+        self,
+        num_shards: int | None = None,
+        strategy: str = "sample",
+        backend: str = "auto",
+        max_workers: int | None = None,
+        optimizer: Optimizer | None = None,
+        plan_cache_size: int = 256,
+        seed: int = 0,
+    ) -> None:
+        self.num_shards = num_shards
+        self.strategy = strategy
+        self.backend = backend
+        self.max_workers = max_workers
+        self.seed = seed
+        self._engine = SpatialEngine(
+            optimizer=optimizer,
+            plan_cache_size=plan_cache_size,
+            eager_build=False,
+            stats_compute=self._aggregate_stats,
+        )
+        self._sharded: dict[str, ShardedDataset] = {}
+        self._rw = ReadWriteLock()
+        self._pool: ShardWorkerPool | None = None
+        self._pool_lock = threading.Lock()
+        self.queries_executed = 0
+        self.batches_executed = 0
+        self.tasks_dispatched = 0
+        self.stale_retries = 0
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        dataset: Dataset | None = None,
+        *,
+        name: str | None = None,
+        points: Iterable[Point | tuple[float, float]] | None = None,
+        index_kind: IndexKind = "grid",
+        bounds: Rect | None = None,
+        num_shards: int | None = None,
+        strategy: str | None = None,
+        shard_map: ShardMap | None = None,
+        **index_options: object,
+    ) -> ShardedDataset:
+        """Register a relation, splitting it into per-shard datasets.
+
+        Accepts the same inputs as :meth:`SpatialEngine.register` plus the
+        sharding controls.  Per-shard indexes are built eagerly and the
+        aggregated statistics warmed before the method returns; the
+        monolithic index of the base dataset is never built.
+        """
+        if dataset is None:
+            if name is None or points is None:
+                raise UnsupportedQueryError(
+                    "register() needs a Dataset or both name= and points="
+                )
+            dataset = Dataset.from_points(
+                name, points, index_kind=index_kind, bounds=bounds, **index_options
+            )
+        with self._rw.write():
+            sharded = ShardedDataset(
+                dataset,
+                num_shards=self._resolve_shard_count(dataset, num_shards),
+                strategy=strategy or self.strategy,
+                shard_map=shard_map,
+                seed=self.seed,
+            )
+            self._sharded[dataset.name] = sharded
+            self._engine.register(dataset)
+            self._engine.stats(dataset.name)  # warm the aggregated statistics
+            self._invalidate_pool()
+        return sharded
+
+    def _resolve_shard_count(self, dataset: Dataset, num_shards: int | None) -> int:
+        if num_shards is not None:
+            return num_shards
+        if self.num_shards is not None:
+            return self.num_shards
+        n = len(dataset)
+        size_only = IndexStats(
+            num_points=n,
+            num_blocks=1,
+            num_nonempty_blocks=1,
+            mean_points_per_nonempty_block=float(n),
+            max_points_per_block=n,
+            occupied_area_fraction=1.0,
+            total_area=1.0,
+        )
+        # Cost the candidates against the pool's *effective* width, not the
+        # shard count itself — otherwise every candidate looks fully
+        # parallel and large relations over-shard far beyond the hardware.
+        effective_workers = self.max_workers or min(32, os.cpu_count() or 1)
+        return self._engine.optimizer.choose_shard_count(
+            size_only, max_workers=effective_workers
+        )
+
+    def unregister(self, name: str) -> None:
+        """Remove a relation, its shards and every cache entry touching it."""
+        with self._rw.write():
+            if name not in self._sharded:
+                raise UnsupportedQueryError(f"no dataset registered as {name!r}")
+            del self._sharded[name]
+            self._engine.unregister(name)
+            self._invalidate_pool()
+
+    def sharded_dataset(self, name: str) -> ShardedDataset:
+        """The sharded view of the relation called ``name``."""
+        try:
+            return self._sharded[name]
+        except KeyError:
+            raise UnsupportedQueryError(f"no dataset registered as {name!r}") from None
+
+    @property
+    def datasets(self) -> Mapping[str, ShardedDataset]:
+        """Read-only view of the registered relations (name → sharded dataset)."""
+        return dict(self._sharded)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sharded
+
+    def __len__(self) -> int:
+        return len(self._sharded)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def _aggregate_stats(self, dataset: Dataset) -> IndexStats:
+        """``stats_compute`` hook for the wrapped engine's statistics cache."""
+        return self.sharded_dataset(dataset.name).aggregated_stats()
+
+    def stats(self, name: str) -> IndexStats:
+        """Cached relation-level statistics aggregated from the shards.
+
+        Runs under the read lock: a statistics compute must never observe a
+        half-mutated shard set (the write side holds mutations exclusive).
+        """
+        with self._rw.read():
+            self._require(name)
+            return self._engine.stats(name)
+
+    def shard_stats(self, name: str) -> dict[int, IndexStats]:
+        """Per-shard statistics of one relation (shard id → stats)."""
+        with self._rw.read():
+            return self.sharded_dataset(name).shard_stats()
+
+    # ------------------------------------------------------------------
+    # Incremental updates (routed to the owning shard)
+    # ------------------------------------------------------------------
+    def insert(self, name: str, points: Iterable[Point | tuple[float, float]]) -> int:
+        """Insert points, rebuilding only the owning shards' indexes."""
+        with self._rw.write():
+            added = self.sharded_dataset(name).insert(points)
+            if added:
+                self._on_mutation(name)
+            return added
+
+    def remove(self, name: str, pids: Iterable[int]) -> int:
+        """Remove points (by pid), rebuilding only the owning shards' indexes."""
+        with self._rw.write():
+            removed = self.sharded_dataset(name).remove(pids)
+            if removed:
+                self._on_mutation(name)
+            return removed
+
+    def _on_mutation(self, name: str) -> None:
+        self._engine.invalidate(name)
+        self._engine.stats(name)  # re-warm aggregated statistics
+        self._invalidate_pool()
+
+    # ------------------------------------------------------------------
+    # Planning / EXPLAIN (delegated to the wrapped engine's caches)
+    # ------------------------------------------------------------------
+    def plan(self, query: Query) -> PhysicalPlan:
+        """The (cached) physical plan sharded execution will interpret.
+
+        Planning happens under the read lock (as in :meth:`run`): a cache
+        miss computes aggregated statistics over the shard set, which a
+        concurrent routed mutation must not be rebuilding mid-walk — the
+        resulting entry would carry the post-mutation version stamp over
+        mixed-state data.
+        """
+        self._resync_if_stale(query.relations())
+        with self._rw.read():
+            return self._engine.plan(query)
+
+    def explain(self, query: Query) -> Explain:
+        """The (cached) EXPLAIN record for ``query``."""
+        self._resync_if_stale(query.relations())
+        with self._rw.read():
+            return self._engine.explain(query)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, query: Query) -> QueryResult:
+        """Plan (cached) and execute ``query`` across the shards.
+
+        Results contain exactly the rows the unsharded engine would return,
+        in canonical order (kNN rows by ``(distance, pid)``, pair/triplet
+        rows by pid keys).  On a version-check failure during execution the
+        engine resyncs its shards, re-plans and retries once.
+        """
+        last_error: StaleShardError | None = None
+        for _attempt in range(2):
+            self._resync_if_stale(query.relations())
+            with self._rw.read():
+                self._require(*query.relations())
+                plan = self._engine.plan(query)
+                pool = self._ensure_pool()
+                try:
+                    result, ntasks = sharded_execute(
+                        plan, query, self._sharded, pool.run, pool.parallel
+                    )
+                except StaleShardError as error:
+                    last_error = error
+            if last_error is not None:
+                self.stale_retries += 1
+                self._recover()
+                last_error = None
+                continue
+            self.queries_executed += 1
+            self.tasks_dispatched += ntasks
+            return result
+        raise StaleShardError(
+            "sharded execution kept racing dataset mutations; giving up after retry"
+        )
+
+    def run_many(self, queries: Sequence[Query]) -> list[QueryResult]:
+        """Execute a batch of queries, returning results in input order.
+
+        Each query fans its shard tasks out on the shared worker pool; plans
+        are cache lookups after the first occurrence of each shape.
+        """
+        results = [self.run(query) for query in queries]
+        self.batches_executed += 1
+        return results
+
+    # ------------------------------------------------------------------
+    # Consistency plumbing
+    # ------------------------------------------------------------------
+    def _require(self, *names: str) -> None:
+        missing = sorted(n for n in names if n not in self._sharded)
+        if missing:
+            raise UnsupportedQueryError(
+                f"datasets missing for relations: {', '.join(missing)}"
+            )
+
+    def _resync_if_stale(self, relations: Iterable[str]) -> None:
+        """Repair shards whose base dataset was mutated out-of-band."""
+        stale = [
+            name
+            for name in relations
+            if name in self._sharded
+            and self._sharded[name].version != self._sharded[name].synced_version
+        ]
+        if not stale:
+            return
+        with self._rw.write():
+            for name in stale:
+                if name in self._sharded and self._sharded[name].ensure_synced():
+                    self._engine.invalidate(name)
+            self._invalidate_pool()
+
+    def _recover(self) -> None:
+        """After a stale-version execution failure: resync everything."""
+        with self._rw.write():
+            for name, sharded in self._sharded.items():
+                if sharded.ensure_synced():
+                    self._engine.invalidate(name)
+            self._invalidate_pool()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ShardWorkerPool:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ShardWorkerPool(
+                    token=f"sharded-engine-{id(self)}-{next(_TOKENS)}",
+                    datasets=dict(self._sharded),
+                    backend=self.backend,
+                    max_workers=self.max_workers,
+                )
+            return self._pool
+
+    def _invalidate_pool(self) -> None:
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.close()
+                self._pool = None
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; the engine stays usable)."""
+        self._invalidate_pool()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics(self) -> dict[str, object]:
+        """Cache counters of the wrapped engine plus shard/pool counters."""
+        inner = self._engine.metrics()
+        pool = self._pool
+        inner.update(
+            {
+                "queries_executed": self.queries_executed,
+                "batches_executed": self.batches_executed,
+                "tasks_dispatched": self.tasks_dispatched,
+                "stale_retries": self.stale_retries,
+                "shards": {
+                    name: {
+                        "num_shards": sharded.num_shards,
+                        "populated": sum(1 for _ in sharded.populated()),
+                        "balance": sharded.balance(),
+                    }
+                    for name, sharded in self._sharded.items()
+                },
+                "pool": {
+                    "backend": pool.backend if pool is not None else None,
+                    "max_workers": pool.max_workers if pool is not None else None,
+                },
+            }
+        )
+        return inner
+
+    @property
+    def engine(self) -> SpatialEngine:
+        """The wrapped planning engine (exposed for tests and monitoring)."""
+        return self._engine
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedEngine(datasets={sorted(self._sharded)}, "
+            f"backend={self.backend!r}, queries={self.queries_executed})"
+        )

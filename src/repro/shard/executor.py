@@ -1,0 +1,390 @@
+"""Sharded execution: per-shard tasks, worker dispatch, per-class coordinators.
+
+A planned query is decomposed into :class:`ShardTask` units — one per shard
+of the *driving* relation (the outer relation of a join, the selected
+relation of a select) — that a worker executes against the shard runtime,
+returning a **mergeable partial result** (per-shard kNN candidates, pair
+lists, triplet lists; see :mod:`repro.operators.merge`).  The coordinator
+(:func:`sharded_execute`) builds the tasks for the plan's query class, runs
+them through the engine's worker pool, and merges the partials into the
+exact global answer.
+
+Correct cross-shard semantics come from two mechanisms:
+
+* the driving relation is a true partition, so per-shard join outputs
+  concatenate without loss or duplication, and
+* every per-point kNN inside a worker uses
+  :func:`repro.shard.knn.sharded_knn` — border expansion over the *inner*
+  relation's shards — so a point near a shard boundary still finds its true
+  k nearest neighbors in adjacent shards.
+
+Every task carries the dataset versions its plan was derived against;
+:func:`execute_shard_task` re-validates them *at execution time* and raises
+:class:`~repro.exceptions.StaleShardError` on any mismatch, so a plan is
+never served against stale per-shard state (e.g. a process-pool worker whose
+forked snapshot predates a mutation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.exceptions import StaleShardError, UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.locality.knn import get_knn
+from repro.locality.neighborhood import Neighborhood
+from repro.operators.intersection import intersect_pairs_on_inner, intersect_points
+from repro.operators.merge import (
+    merge_neighborhoods,
+    merge_pair_partials,
+    merge_point_partials,
+    merge_triplet_partials,
+)
+from repro.operators.range_select import range_select
+from repro.operators.results import JoinPair, JoinTriplet, pair_key
+from repro.core.stats import PruningStats
+from repro.planner.plan import PhysicalPlan
+from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+from repro.query.query import Query
+from repro.query.results import QueryResult
+from repro.shard.dataset import ShardedDataset
+from repro.shard.knn import sharded_knn, sharded_range_select
+
+__all__ = ["ShardTask", "execute_shard_task", "sharded_execute"]
+
+#: ``(relation, version)`` stamps a task was planned against.
+VersionStamps = tuple[tuple[str, int], ...]
+
+#: Runs a batch of tasks, preserving order (the engine's worker pool).
+TaskRunner = Callable[[Sequence["ShardTask"]], list[object]]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One unit of fan-out work: part of a query against one driving shard.
+
+    Attributes
+    ----------
+    kind:
+        Worker dispatch key (``knn`` / ``two_knn`` / ``range`` / ``join`` /
+        ``chained``).
+    relation:
+        The driving relation whose shard this task covers.
+    shard_id:
+        Which shard of the driving relation to execute against.
+    payload:
+        Kind-specific parameters (picklable, so tasks cross process
+        boundaries).
+    versions:
+        Version stamps of *every* relation the worker will read; validated
+        at execution time.
+    """
+
+    kind: str
+    relation: str
+    shard_id: int
+    payload: tuple
+    versions: VersionStamps
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def execute_shard_task(
+    datasets: Mapping[str, ShardedDataset], task: ShardTask
+) -> object:
+    """Execute one task against the shard runtime (runs inside a worker).
+
+    The version check happens here — at execution time, in the worker — not
+    only at planning time: a process worker may hold a forked snapshot older
+    than the coordinator's state, and a dataset may have been mutated behind
+    the engine's back.  Either way the stamps disagree and the task refuses
+    to run.
+    """
+    for name, version in task.versions:
+        sharded = datasets.get(name)
+        if sharded is None:
+            raise StaleShardError(f"relation {name!r} missing from shard runtime")
+        if sharded.version != version or sharded.synced_version != version:
+            raise StaleShardError(
+                f"relation {name!r} is at version "
+                f"{sharded.version} (shards synced at {sharded.synced_version}), "
+                f"but the plan expected version {version}"
+            )
+    driving = datasets[task.relation].shard(task.shard_id)
+    if driving is None:  # shard emptied by a racing (version-checked) mutation
+        return []
+
+    if task.kind == "knn":
+        focal, k = task.payload
+        return get_knn(driving.index, focal, k)
+    if task.kind == "two_knn":
+        (f1, k1), (f2, k2) = task.payload
+        return (get_knn(driving.index, f1, k1), get_knn(driving.index, f2, k2))
+    if task.kind == "range":
+        (window,) = task.payload
+        return range_select(driving.index, window)
+    if task.kind == "join":
+        inner_rel, k, select_pids, inner_window, outer_window = task.payload
+        inner = datasets[inner_rel]
+        pairs: list[JoinPair] = []
+        for e1 in driving.points:
+            if outer_window is not None and not outer_window.contains_point(e1):
+                continue
+            for e2 in sharded_knn(inner, e1, k):
+                if select_pids is not None and e2.pid not in select_pids:
+                    continue
+                if inner_window is not None and not inner_window.contains_point(e2):
+                    continue
+                pairs.append(JoinPair(e1, e2))
+        return pairs
+    if task.kind == "chained":
+        b_rel, c_rel, k_ab, k_bc = task.payload
+        b, c = datasets[b_rel], datasets[c_rel]
+        cache: dict[int, Neighborhood] = {}  # per-task B→C neighborhood cache
+        triplets: list[JoinTriplet] = []
+        for a in driving.points:
+            for b_point in sharded_knn(b, a, k_ab):
+                c_nbr = cache.get(b_point.pid)
+                if c_nbr is None:
+                    c_nbr = sharded_knn(c, b_point, k_bc)
+                    cache[b_point.pid] = c_nbr
+                triplets.extend(JoinTriplet(a, b_point, c_point) for c_point in c_nbr)
+        return triplets
+    raise UnsupportedQueryError(f"unknown shard task kind {task.kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+class _Coordinator:
+    """Builds, runs and merges the shard tasks of one planned query."""
+
+    def __init__(
+        self,
+        datasets: Mapping[str, ShardedDataset],
+        run_tasks: TaskRunner,
+        prefer_fanout: bool,
+    ) -> None:
+        self.datasets = datasets
+        self.run_tasks = run_tasks
+        # With a parallel pool, fanning a top-level kNN/range out over every
+        # shard wins on latency; on a serial pool the border-expansion search
+        # (which prunes most shards) is cheaper than visiting all of them.
+        self.prefer_fanout = prefer_fanout
+        self.tasks_dispatched = 0
+
+    # -- plumbing -------------------------------------------------------
+    def _versions(self, *names: str) -> VersionStamps:
+        return tuple(sorted((n, self.datasets[n].version) for n in set(names)))
+
+    def _run(self, tasks: list[ShardTask]) -> list[object]:
+        self.tasks_dispatched += len(tasks)
+        return self.run_tasks(tasks)
+
+    def _fanout_knn(self, relation: str, focal: Point, k: int) -> Neighborhood:
+        """Global kNN: all-shard fan-out, or pruned border expansion."""
+        sharded = self.datasets[relation]
+        if not self.prefer_fanout:
+            return sharded_knn(sharded, focal, k)
+        versions = self._versions(relation)
+        tasks = [
+            ShardTask("knn", relation, sid, (focal, k), versions)
+            for sid, _ in sharded.populated()
+        ]
+        partials = [p for p in self._run(tasks) if isinstance(p, Neighborhood)]
+        return merge_neighborhoods(focal, k, partials)
+
+    def _fanout_range(self, relation: str, window: Rect) -> list[Point]:
+        """Global range select over every shard intersecting the window."""
+        sharded = self.datasets[relation]
+        if not self.prefer_fanout:
+            return sharded_range_select(sharded, window)
+        versions = self._versions(relation)
+        tasks = [
+            ShardTask("range", relation, sid, (window,), versions)
+            for sid, ds in sharded.populated()
+            if ds.index.bounds.intersects(window)
+        ]
+        return merge_point_partials(self._run(tasks))  # type: ignore[arg-type]
+
+    def _join_tasks(
+        self,
+        outer_rel: str,
+        inner_rel: str,
+        k: int,
+        select_pids: frozenset[int] | None = None,
+        inner_window: Rect | None = None,
+        outer_window: Rect | None = None,
+    ) -> list[ShardTask]:
+        versions = self._versions(outer_rel, inner_rel)
+        payload = (inner_rel, k, select_pids, inner_window, outer_window)
+        return [
+            ShardTask("join", outer_rel, sid, payload, versions)
+            for sid, _ in self.datasets[outer_rel].populated()
+        ]
+
+    # -- result helpers -------------------------------------------------
+    @staticmethod
+    def _points(strategy: str, query_class: str, points: Sequence[Point]) -> QueryResult:
+        return QueryResult(strategy=strategy, query_class=query_class, points=tuple(points))
+
+    @staticmethod
+    def _pairs(strategy: str, query_class: str, pairs: Sequence[JoinPair]) -> QueryResult:
+        return QueryResult(
+            strategy=strategy,
+            query_class=query_class,
+            pairs=tuple(pairs),
+            stats=PruningStats(),
+        )
+
+    # -- per-query-class execution --------------------------------------
+    def execute(self, plan: PhysicalPlan, query: Query) -> QueryResult:
+        """Run ``query`` according to ``plan`` and merge the global answer."""
+        selects = [p for p in query.predicates if isinstance(p, KnnSelect)]
+        joins = [p for p in query.predicates if isinstance(p, KnnJoin)]
+        ranges = [p for p in query.predicates if isinstance(p, RangeSelect)]
+        cls = plan.query_class
+        strategy = f"sharded:{plan.strategy}"
+
+        if cls == "single-select":
+            s = selects[0]
+            return self._points(
+                strategy, cls, tuple(self._fanout_knn(s.relation, s.focal, s.k))
+            )
+        if cls == "single-range":
+            r = ranges[0]
+            return self._points(strategy, cls, self._fanout_range(r.relation, r.window))
+        if cls == "two-selects":
+            return self._two_selects(strategy, selects[0], selects[1])
+        if cls == "two-ranges":
+            first = self._fanout_range(ranges[0].relation, ranges[0].window)
+            second = self._fanout_range(ranges[1].relation, ranges[1].window)
+            return self._points(strategy, cls, intersect_points(first, second))
+        if cls == "range-and-knn-select":
+            s, r = selects[0], ranges[0]
+            nbr = self._fanout_knn(s.relation, s.focal, s.k)
+            return self._points(
+                strategy, cls, [p for p in nbr if r.window.contains_point(p)]
+            )
+        if cls == "single-join":
+            j = joins[0]
+            partials = self._run(self._join_tasks(j.outer, j.inner, j.k))
+            return self._pairs(strategy, cls, merge_pair_partials(partials))  # type: ignore[arg-type]
+        if cls == "select-outer-of-join":
+            return self._select_outer_join(strategy, selects[0], joins[0])
+        if cls == "select-inner-of-join":
+            s, j = selects[0], joins[0]
+            selection = self._fanout_knn(j.inner, s.focal, s.k)
+            partials = self._run(
+                self._join_tasks(j.outer, j.inner, j.k, select_pids=selection.pids)
+            )
+            return self._pairs(strategy, cls, merge_pair_partials(partials))  # type: ignore[arg-type]
+        if cls == "range-outer-of-join":
+            r, j = ranges[0], joins[0]
+            partials = self._run(
+                self._join_tasks(j.outer, j.inner, j.k, outer_window=r.window)
+            )
+            return self._pairs(strategy, cls, merge_pair_partials(partials))  # type: ignore[arg-type]
+        if cls == "range-inner-of-join":
+            r, j = ranges[0], joins[0]
+            partials = self._run(
+                self._join_tasks(j.outer, j.inner, j.k, inner_window=r.window)
+            )
+            return self._pairs(strategy, cls, merge_pair_partials(partials))  # type: ignore[arg-type]
+        if cls == "chained-joins":
+            return self._chained(strategy, joins[0], joins[1])
+        if cls == "unchained-joins":
+            return self._unchained(strategy, joins[0], joins[1])
+        raise UnsupportedQueryError(f"unknown query class in plan: {cls!r}")
+
+    def _two_selects(
+        self, strategy: str, first: KnnSelect, second: KnnSelect
+    ) -> QueryResult:
+        relation = first.relation
+        if not self.prefer_fanout:
+            n1 = sharded_knn(self.datasets[relation], first.focal, first.k)
+            n2 = sharded_knn(self.datasets[relation], second.focal, second.k)
+        else:
+            versions = self._versions(relation)
+            payload = ((first.focal, first.k), (second.focal, second.k))
+            tasks = [
+                ShardTask("two_knn", relation, sid, payload, versions)
+                for sid, _ in self.datasets[relation].populated()
+            ]
+            partials = self._run(tasks)
+            n1 = merge_neighborhoods(first.focal, first.k, [p[0] for p in partials])  # type: ignore[index]
+            n2 = merge_neighborhoods(second.focal, second.k, [p[1] for p in partials])  # type: ignore[index]
+        return self._points(strategy, "two-selects", intersect_points(n1, n2))
+
+    def _select_outer_join(
+        self, strategy: str, select: KnnSelect, join: KnnJoin
+    ) -> QueryResult:
+        # The selection shrinks the outer relation to kσ points — too few to
+        # fan out; the coordinator joins them inline via border expansion.
+        selection = self._fanout_knn(join.outer, select.focal, select.k)
+        inner = self.datasets[join.inner]
+        pairs = [
+            JoinPair(e1, e2)
+            for e1 in selection
+            for e2 in sharded_knn(inner, e1, join.k)
+        ]
+        pairs.sort(key=pair_key)
+        return self._pairs(strategy, "select-outer-of-join", pairs)
+
+    def _chained(self, strategy: str, first: KnnJoin, second: KnnJoin) -> QueryResult:
+        chained = Query._chain_order(first, second)
+        if chained is None:
+            raise UnsupportedQueryError("cached chained plan does not fit these joins")
+        ab, bc = chained
+        versions = self._versions(ab.outer, ab.inner, bc.inner)
+        tasks = [
+            ShardTask(
+                "chained", ab.outer, sid, (ab.inner, bc.inner, ab.k, bc.k), versions
+            )
+            for sid, _ in self.datasets[ab.outer].populated()
+        ]
+        triplets = merge_triplet_partials(self._run(tasks))  # type: ignore[arg-type]
+        return QueryResult(
+            strategy=strategy,
+            query_class="chained-joins",
+            triplets=tuple(triplets),
+            stats=PruningStats(),
+        )
+
+    def _unchained(self, strategy: str, ab: KnnJoin, cb: KnnJoin) -> QueryResult:
+        # Both joins' tasks go to the pool in one batch for full overlap.
+        ab_tasks = self._join_tasks(ab.outer, ab.inner, ab.k)
+        cb_tasks = self._join_tasks(cb.outer, cb.inner, cb.k)
+        results = self._run(ab_tasks + cb_tasks)
+        ab_pairs = merge_pair_partials(results[: len(ab_tasks)])  # type: ignore[arg-type]
+        cb_pairs = merge_pair_partials(results[len(ab_tasks) :])  # type: ignore[arg-type]
+        triplets = intersect_pairs_on_inner(ab_pairs, cb_pairs)
+        triplets.sort(key=lambda t: t.pids)
+        return QueryResult(
+            strategy=strategy,
+            query_class="unchained-joins",
+            triplets=tuple(triplets),
+            stats=PruningStats(),
+        )
+
+
+def sharded_execute(
+    plan: PhysicalPlan,
+    query: Query,
+    datasets: Mapping[str, ShardedDataset],
+    run_tasks: TaskRunner,
+    prefer_fanout: bool = True,
+) -> tuple[QueryResult, int]:
+    """Execute a planned query against sharded relations.
+
+    Returns ``(result, tasks_dispatched)``.  The result holds the same rows
+    as unsharded execution of the same plan — merged per-shard partials are
+    exact, not approximate — in a canonical order (kNN results in
+    ``(distance, pid)`` order, pair/triplet results sorted by pid keys).
+    """
+    coordinator = _Coordinator(datasets, run_tasks, prefer_fanout)
+    result = coordinator.execute(plan, query)
+    return result, coordinator.tasks_dispatched

@@ -1,0 +1,252 @@
+"""Spatial partitioners: split a relation's extent into k shard regions.
+
+Two strategies are provided, both producing a :class:`ShardMap` — a total
+assignment of the plane to exactly ``k`` rectangular regions arranged as
+vertical stripes subdivided into cells:
+
+* :func:`grid_partition` cuts space into equal-width stripes and equal-height
+  cells — ideal for uniform data, oblivious to the distribution.
+* :func:`sample_balanced_partition` places the stripe and cell cuts at
+  coordinate quantiles of a sample of the data, so each shard receives a
+  roughly equal number of points even when the data is heavily clustered.
+
+Assignment is *total*: cut coordinates split the whole plane (half-open
+intervals, last one unbounded), so points inserted later — even outside the
+original bounds — always have an owning shard.  Correctness of cross-shard
+kNN search never depends on the assignment (see :mod:`repro.shard.knn`,
+which prunes with the per-shard *index* bounds, i.e. the true bounding box
+of each shard's points); the partitioner only controls load balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+
+__all__ = [
+    "ShardRegion",
+    "ShardMap",
+    "grid_partition",
+    "sample_balanced_partition",
+    "make_shard_map",
+]
+
+#: Partitioning strategies accepted by :func:`make_shard_map`.
+STRATEGIES = ("grid", "sample")
+
+
+@dataclass(frozen=True)
+class ShardRegion:
+    """One shard's nominal region: its id and the rectangle it covers."""
+
+    shard_id: int
+    rect: Rect
+
+
+def _stripe_layout(num_shards: int) -> list[int]:
+    """Distribute ``num_shards`` cells over roughly-square vertical stripes.
+
+    Returns the number of cells per stripe; the counts sum to exactly
+    ``num_shards`` (e.g. 5 → ``[3, 2]``), so every requested shard count is
+    realizable, not just perfect squares.
+    """
+    if num_shards <= 0:
+        raise InvalidParameterError("num_shards must be positive")
+    stripes = max(1, int(round(num_shards**0.5)))
+    base, extra = divmod(num_shards, stripes)
+    if base == 0:
+        stripes, base, extra = num_shards, 1, 0
+    return [base + 1 if i < extra else base for i in range(stripes)]
+
+
+class ShardMap:
+    """A total mapping from plane coordinates to shard ids.
+
+    The map is a two-level cut structure: ``x_cuts`` split the plane into
+    vertical stripes, and per-stripe ``y_cuts`` split each stripe into cells.
+    Each cell is one shard.  Intervals are half-open (a point exactly on a
+    cut belongs to the higher side), which makes the assignment a true
+    partition: every point maps to exactly one shard.
+
+    Parameters
+    ----------
+    bounds:
+        The nominal extent the regions are rendered over (region rectangles
+        are clipped presentation only; assignment ignores bounds entirely).
+    x_cuts:
+        Sorted interior x cuts — ``len(x_cuts) + 1`` stripes.
+    y_cuts_per_stripe:
+        For each stripe, its sorted interior y cuts.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        x_cuts: Sequence[float],
+        y_cuts_per_stripe: Sequence[Sequence[float]],
+    ) -> None:
+        if len(y_cuts_per_stripe) != len(x_cuts) + 1:
+            raise InvalidParameterError(
+                "need one y-cut list per stripe (len(x_cuts) + 1)"
+            )
+        self.bounds = bounds
+        self._x_cuts = np.asarray(sorted(x_cuts), dtype=np.float64)
+        self._y_cuts = [
+            np.asarray(sorted(cuts), dtype=np.float64) for cuts in y_cuts_per_stripe
+        ]
+        # First shard id of each stripe (cells are numbered stripe-major).
+        self._stripe_offsets: list[int] = []
+        offset = 0
+        for cuts in self._y_cuts:
+            self._stripe_offsets.append(offset)
+            offset += len(cuts) + 1
+        self._num_shards = offset
+        self._regions = self._build_regions()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Total number of shards (cells) in the map."""
+        return self._num_shards
+
+    @property
+    def regions(self) -> tuple[ShardRegion, ...]:
+        """The nominal region rectangle of every shard, by shard id."""
+        return self._regions
+
+    def __len__(self) -> int:
+        return self._num_shards
+
+    def _build_regions(self) -> tuple[ShardRegion, ...]:
+        xs = [self.bounds.xmin, *self._x_cuts.tolist(), self.bounds.xmax]
+        regions: list[ShardRegion] = []
+        for stripe, cuts in enumerate(self._y_cuts):
+            ys = [self.bounds.ymin, *cuts.tolist(), self.bounds.ymax]
+            for row in range(len(cuts) + 1):
+                regions.append(
+                    ShardRegion(
+                        shard_id=self._stripe_offsets[stripe] + row,
+                        rect=Rect(
+                            min(xs[stripe], xs[stripe + 1]),
+                            min(ys[row], ys[row + 1]),
+                            max(xs[stripe], xs[stripe + 1]),
+                            max(ys[row], ys[row + 1]),
+                        ),
+                    )
+                )
+        return tuple(regions)
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+    def shard_of(self, p: Point) -> int:
+        """The shard id owning point ``p`` (total — never fails)."""
+        stripe = int(np.searchsorted(self._x_cuts, p.x, side="right"))
+        row = int(np.searchsorted(self._y_cuts[stripe], p.y, side="right"))
+        return self._stripe_offsets[stripe] + row
+
+    def split(self, points: Iterable[Point]) -> list[list[Point]]:
+        """Group ``points`` by owning shard; returns one list per shard id."""
+        groups: list[list[Point]] = [[] for _ in range(self._num_shards)]
+        for p in points:
+            groups[self.shard_of(p)].append(p)
+        return groups
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardMap(shards={self._num_shards}, stripes={len(self._y_cuts)})"
+
+
+def grid_partition(bounds: Rect, num_shards: int) -> ShardMap:
+    """Partition ``bounds`` into ``num_shards`` equal-area cells.
+
+    Stripes are equal-width and each stripe's cells equal-height (stripes may
+    carry one cell more or less when ``num_shards`` is not a perfect square).
+    Distribution-oblivious: clustered data will produce unbalanced shards —
+    use :func:`sample_balanced_partition` for such data.
+    """
+    if bounds.width <= 0 or bounds.height <= 0:
+        raise InvalidParameterError("bounds must have positive area to grid-partition")
+    layout = _stripe_layout(num_shards)
+    stripes = len(layout)
+    x_cuts = [
+        bounds.xmin + bounds.width * (i / stripes) for i in range(1, stripes)
+    ]
+    y_cuts = [
+        [bounds.ymin + bounds.height * (j / rows) for j in range(1, rows)]
+        for rows in layout
+    ]
+    return ShardMap(bounds, x_cuts, y_cuts)
+
+
+def sample_balanced_partition(
+    points: Sequence[Point],
+    bounds: Rect,
+    num_shards: int,
+    sample_size: int = 4096,
+    seed: int = 0,
+) -> ShardMap:
+    """Partition space so each shard receives a similar number of points.
+
+    A random sample of ``points`` estimates the data distribution; stripe
+    cuts are placed at x-quantiles of the sample and, within each stripe, cell
+    cuts at y-quantiles of the stripe's sample points.  For clustered data
+    this equalizes shard populations (within sampling error), which keeps the
+    fan-out's critical path — the slowest shard — short.
+    """
+    if not points:
+        raise InvalidParameterError("cannot sample-partition an empty point set")
+    layout = _stripe_layout(num_shards)
+    stripes = len(layout)
+
+    coords = np.array([(p.x, p.y) for p in points], dtype=np.float64)
+    if len(coords) > sample_size:
+        rng = np.random.default_rng(seed)
+        coords = coords[rng.choice(len(coords), size=sample_size, replace=False)]
+
+    xs = np.sort(coords[:, 0])
+    x_cuts = [
+        float(np.quantile(xs, i / stripes)) for i in range(1, stripes)
+    ]
+    edges = [-np.inf, *x_cuts, np.inf]
+    y_cuts: list[list[float]] = []
+    for stripe, rows in enumerate(layout):
+        in_stripe = coords[
+            (coords[:, 0] >= edges[stripe]) & (coords[:, 0] < edges[stripe + 1])
+        ]
+        if len(in_stripe) == 0:
+            # Sample missed the stripe entirely: fall back to even spacing.
+            y_cuts.append(
+                [bounds.ymin + bounds.height * (j / rows) for j in range(1, rows)]
+            )
+            continue
+        ys = np.sort(in_stripe[:, 1])
+        y_cuts.append([float(np.quantile(ys, j / rows)) for j in range(1, rows)])
+    return ShardMap(bounds, x_cuts, y_cuts)
+
+
+def make_shard_map(
+    points: Sequence[Point],
+    bounds: Rect,
+    num_shards: int,
+    strategy: str = "sample",
+    sample_size: int = 4096,
+    seed: int = 0,
+) -> ShardMap:
+    """Build a :class:`ShardMap` with the named strategy (``grid``/``sample``)."""
+    if strategy == "grid":
+        return grid_partition(bounds, num_shards)
+    if strategy == "sample":
+        return sample_balanced_partition(
+            points, bounds, num_shards, sample_size=sample_size, seed=seed
+        )
+    raise InvalidParameterError(
+        f"unknown partition strategy {strategy!r}; expected one of {STRATEGIES}"
+    )

@@ -1,0 +1,153 @@
+"""Worker pools for fanning shard tasks out across threads or processes.
+
+The same task function runs on three backends:
+
+* ``serial`` — a plain loop; zero overhead, used for tiny fan-outs and
+  single-CPU machines (the per-shard *algorithmic* win — smaller indexes,
+  border pruning — does not need parallelism).
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`; the NumPy
+  kernels inside the locality search release the GIL for part of the work.
+* ``process`` — a fork-based :class:`~concurrent.futures.ProcessPoolExecutor`
+  for real multi-core scaling of the pure-Python portions.
+
+Process workers cannot receive the shard runtime through pickling on every
+task (shipping whole indexes per query would drown the win), so the runtime
+travels through **fork inheritance**: the owning engine registers its shard
+datasets in the module-level :data:`_RUNTIMES` registry under a token, the
+pool is created *afterwards*, and forked workers find the registry snapshot
+in their address space.  A parent-side mutation after the fork leaves workers
+holding a stale snapshot — which is exactly what the per-task dataset version
+stamps detect (:class:`~repro.exceptions.StaleShardError`); the engine then
+discards the pool and forks a fresh one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from repro.exceptions import InvalidParameterError, StaleShardError
+from repro.shard.executor import ShardTask, execute_shard_task
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.shard.dataset import ShardedDataset
+
+__all__ = ["ShardWorkerPool", "resolve_backend", "BACKENDS"]
+
+#: Supported backend names (``auto`` resolves to one of the other three).
+BACKENDS = ("auto", "serial", "thread", "process")
+
+#: Token → shard datasets; populated by the owning engine *before* its pool
+#: forks so that process workers inherit the mapping (see module docstring).
+_RUNTIMES: dict[str, Mapping[str, "ShardedDataset"]] = {}
+
+
+def _invoke(token: str, task: ShardTask) -> object:
+    """Execute one task against the runtime registered under ``token``.
+
+    Module-level (not a closure) so the process backend can pickle it.
+    """
+    datasets = _RUNTIMES.get(token)
+    if datasets is None:
+        raise StaleShardError(f"no shard runtime registered under token {token!r}")
+    return execute_shard_task(datasets, task)
+
+
+def resolve_backend(backend: str) -> str:
+    """Map ``auto`` onto the best backend for this host.
+
+    Multi-core hosts with ``fork`` get processes, multi-core hosts without it
+    get threads, and single-core hosts get the serial loop (parallel dispatch
+    would add overhead with nothing to run it on).
+    """
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown pool backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if backend != "auto":
+        return backend
+    cpus = os.cpu_count() or 1
+    if cpus <= 1:
+        return "serial"
+    if "fork" in multiprocessing.get_all_start_methods():
+        return "process"
+    return "thread"
+
+
+class ShardWorkerPool:
+    """An order-preserving ``run(tasks)`` facade over one backend.
+
+    Parameters
+    ----------
+    token:
+        Registry key naming the shard runtime the tasks execute against.
+    datasets:
+        The shard runtime itself (relation name → sharded dataset), entered
+        into the registry for the lifetime of the pool.
+    backend:
+        One of :data:`BACKENDS`.
+    max_workers:
+        Pool width for the thread/process backends (default: CPU count).
+    """
+
+    def __init__(
+        self,
+        token: str,
+        datasets: Mapping[str, "ShardedDataset"],
+        backend: str = "auto",
+        max_workers: int | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise InvalidParameterError("max_workers must be positive")
+        self.token = token
+        self.backend = resolve_backend(backend)
+        self.max_workers = max_workers or min(32, os.cpu_count() or 1)
+        self._executor: Executor | None = None
+        _RUNTIMES[token] = datasets
+
+    @property
+    def parallel(self) -> bool:
+        """Whether tasks actually overlap (False for the serial loop)."""
+        return self.backend != "serial" and self.max_workers > 1
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.backend == "process":
+                self._executor = ProcessPoolExecutor(
+                    max_workers=self.max_workers,
+                    mp_context=multiprocessing.get_context("fork"),
+                )
+            else:
+                self._executor = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[object]:
+        """Execute ``tasks`` and return their results in input order.
+
+        The first task exception (including :class:`StaleShardError` from a
+        version-check failure) propagates to the caller.
+        """
+        if not tasks:
+            return []
+        if not self.parallel or len(tasks) == 1:
+            return [_invoke(self.token, task) for task in tasks]
+        return list(self._ensure_executor().map(partial(_invoke, self.token), tasks))
+
+    def close(self) -> None:
+        """Shut the executor down and drop the runtime registration."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+        _RUNTIMES.pop(self.token, None)
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardWorkerPool(backend={self.backend!r}, workers={self.max_workers})"

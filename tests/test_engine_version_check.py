@@ -1,0 +1,221 @@
+"""Regression tests: mutations must never race queries onto stale state.
+
+Two layers are covered:
+
+* the wrapped engine's plan cache — entries carry the dataset versions they
+  were planned against and are re-validated on every lookup, so a dataset
+  mutated *behind the engine's back* can never have a stale plan served
+  (execution-time version check);
+* the sharded engine — concurrent ``run_many`` during ``insert``/``remove``
+  must always return a result consistent with either the pre- or the
+  post-mutation relation, never a mix, and never trip over stale per-shard
+  statistics or indexes.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine import SpatialEngine
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.dataset import Dataset
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+from repro.datagen.uniform import uniform_points
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+class TestPlanCacheVersionCheck:
+    """CachedPlan.versions: stale entries are detected at lookup time."""
+
+    def test_cached_plan_records_versions(self):
+        engine = SpatialEngine()
+        engine.register(name="a", points=uniform_points(50, BOUNDS, seed=41))
+        engine.register(
+            name="b", points=uniform_points(80, BOUNDS, seed=42, start_pid=1000)
+        )
+        query = Query(KnnJoin(outer="a", inner="b", k=2))
+        engine.run(query)
+        entry = engine.plan_cache.get(query.signature(engine.datasets))
+        assert entry is not None
+        assert dict(entry.versions) == {"a": 0, "b": 0}
+
+    def test_out_of_band_mutation_forces_replan(self):
+        engine = SpatialEngine()
+        dataset = Dataset("a", uniform_points(60, BOUNDS, seed=43))
+        engine.register(dataset)
+        engine.register(
+            name="b", points=uniform_points(90, BOUNDS, seed=44, start_pid=1000)
+        )
+        query = Query(KnnJoin(outer="a", inner="b", k=2))
+        engine.run(query)
+        misses_before = engine.plan_cache.misses
+
+        # Mutate the dataset directly — no engine.insert, so no eviction.
+        dataset.insert([(500.0, 500.0)])
+        result = engine.run(query)
+
+        # The stale entry was detected (version stamp mismatch) and replanned
+        # rather than served; the fresh outer point participates in the join.
+        assert engine.plan_cache.misses > misses_before
+        new_pid = max(p.pid for p in dataset.points)
+        assert any(pair.outer.pid == new_pid for pair in result.pairs)
+        entry = engine.plan_cache.get(query.signature(engine.datasets))
+        assert dict(entry.versions)["a"] == dataset.version
+
+    def test_versions_are_stamped_before_planning(self):
+        # A mutation landing while planning is in flight must leave a
+        # pre-mutation stamp so the next lookup rejects the entry (fail-safe)
+        # instead of blessing possibly mixed statistics as current.
+        engine = SpatialEngine()
+        dataset = Dataset("a", uniform_points(60, BOUNDS, seed=48))
+        engine.register(dataset)
+
+        mutated_during_planning = []
+        original_provider = engine._stats_provider
+
+        def racing_provider(ds):
+            if not mutated_during_planning:
+                mutated_during_planning.append(True)
+                dataset.insert([(500.0, 500.0)])  # out-of-band, mid-planning
+            return original_provider(ds)
+
+        engine._stats_provider = racing_provider
+        query = Query(
+            KnnSelect(relation="a", focal=Point(1.0, 1.0), k=3),
+            KnnJoin(outer="b", inner="a", k=2),
+        )
+        engine.register(
+            name="b", points=uniform_points(40, BOUNDS, seed=49, start_pid=5000)
+        )
+        engine.run(query)
+        entry = engine.plan_cache.get(query.signature(engine.datasets))
+        if entry is not None:
+            # The stamp must predate the mid-planning mutation...
+            assert dict(entry.versions)["a"] < dataset.version
+        # ...so the next run re-plans rather than serving the stale entry.
+        misses = engine.plan_cache.misses
+        engine.run(query)
+        assert engine.plan_cache.misses > misses
+
+    def test_out_of_band_mutation_refreshes_stats(self):
+        engine = SpatialEngine()
+        dataset = Dataset("a", uniform_points(60, BOUNDS, seed=45))
+        engine.register(dataset)
+        assert engine.stats("a").num_points == 60
+        dataset.insert([(1.0, 1.0), (2.0, 2.0)])
+        # StatsCache validates the version stamp: no stale statistics served.
+        assert engine.stats("a").num_points == 62
+
+
+class TestShardedConcurrentMutation:
+    """run_many racing insert/remove: results are pre- or post-state, no mix."""
+
+    def _build(self):
+        engine = ShardedEngine(num_shards=4, backend="thread", max_workers=4)
+        engine.register(
+            name="a", points=uniform_points(150, BOUNDS, seed=46), bounds=BOUNDS
+        )
+        engine.register(
+            name="b",
+            points=uniform_points(300, BOUNDS, seed=47, start_pid=10_000),
+            bounds=BOUNDS,
+        )
+        return engine
+
+    def test_concurrent_run_many_during_insert(self):
+        engine = self._build()
+        query = Query(KnnSelect(relation="b", focal=Point(500.0, 500.0), k=10))
+
+        pre = frozenset(p.pid for p in engine.run(query).points)
+        # The inserted points crowd the focal: post-mutation results differ.
+        new_points = [
+            (500.0 + dx, 500.0 + dy) for dx in (-1.0, 0.0, 1.0) for dy in (-1.0, 1.0)
+        ]
+        engine_post = ShardedEngine(num_shards=4, backend="serial")
+        engine_post.register(
+            name="b",
+            points=list(uniform_points(300, BOUNDS, seed=47, start_pid=10_000)),
+            bounds=BOUNDS,
+        )
+        engine_post.insert("b", new_points)
+        post = frozenset(p.pid for p in engine_post.run(query).points)
+        assert pre != post
+
+        outcomes: list[frozenset] = []
+        errors: list[BaseException] = []
+
+        def reader():
+            try:
+                for _ in range(15):
+                    for result in engine.run_many([query, query]):
+                        outcomes.append(frozenset(p.pid for p in result.points))
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                errors.append(exc)
+
+        def writer():
+            engine.insert("b", new_points)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        mutator = threading.Thread(target=writer)
+        for t in threads:
+            t.start()
+        mutator.start()
+        for t in [*threads, mutator]:
+            t.join()
+
+        assert not errors, errors
+        # Every observed result is exactly the pre- or the post-mutation
+        # answer — a stale-stats/index mix would produce some third set.
+        assert set(outcomes) <= {pre, post}
+        assert post in set(outcomes) or engine.run(query) is not None
+        # After the dust settles, the engine serves the post-mutation answer.
+        assert frozenset(p.pid for p in engine.run(query).points) == post
+        engine.close()
+        engine_post.close()
+
+    def test_concurrent_run_many_during_remove(self):
+        engine = self._build()
+        query = Query(KnnJoin(outer="a", inner="b", k=3))
+        pre = frozenset(p.pids for p in engine.run(query).pairs)
+
+        victims = [
+            p.pid
+            for p in engine.sharded_dataset("b").base.points[::3]
+        ]
+
+        results: list[frozenset] = []
+        errors: list[BaseException] = []
+
+        def reader():
+            try:
+                for _ in range(10):
+                    for result in engine.run_many([query]):
+                        results.append(frozenset(p.pids for p in result.pairs))
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        engine.remove("b", victims)
+        reader_thread.join()
+
+        post = frozenset(p.pids for p in engine.run(query).pairs)
+        assert not errors, errors
+        assert pre != post
+        assert set(results) <= {pre, post}
+        # Statistics reflect the mutation immediately (version-stamped cache).
+        assert engine.stats("b").num_points == len(engine.sharded_dataset("b").base)
+        engine.close()
+
+    def test_stats_never_stale_after_mutation(self):
+        engine = self._build()
+        assert engine.stats("b").num_points == 300
+        engine.insert("b", [(10.0, 10.0)] )
+        assert engine.stats("b").num_points == 301
+        engine.remove("b", [p.pid for p in engine.sharded_dataset("b").base.points[:5]])
+        assert engine.stats("b").num_points == 296
+        engine.close()

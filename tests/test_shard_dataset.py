@@ -1,0 +1,180 @@
+"""Tests for ShardedDataset: partitioning, routed mutations, stats aggregation."""
+
+import pytest
+
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.index.stats import IndexStats
+from repro.query.dataset import Dataset
+from repro.shard.dataset import ShardedDataset
+from repro.datagen.clustered import clustered_points
+from repro.datagen.uniform import uniform_points
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture
+def sharded():
+    points = uniform_points(600, BOUNDS, seed=9)
+    return ShardedDataset(Dataset("rel", points), num_shards=4, seed=1)
+
+
+class TestPartitioning:
+    def test_shards_partition_the_points(self, sharded):
+        pids = [p.pid for _, ds in sharded.populated() for p in ds.points]
+        assert sorted(pids) == sorted(p.pid for p in sharded.base.points)
+        assert len(pids) == len(set(pids))
+
+    def test_per_shard_indexes_built_eagerly(self, sharded):
+        for _, ds in sharded.populated():
+            assert ds._index is not None  # no worker ever races a lazy build
+
+    def test_pid_routing_map(self, sharded):
+        for sid, ds in sharded.populated():
+            for p in ds.points:
+                assert sharded.shard_of_pid(p.pid) == sid
+        assert sharded.shard_of_pid(10**9) is None
+
+    def test_empty_shards_allowed(self):
+        # All points in one corner: the grid strategy leaves shards empty.
+        points = [Point(float(i % 10), float(i // 10), i) for i in range(100)]
+        sharded = ShardedDataset(
+            Dataset("corner", points, bounds=BOUNDS), num_shards=4, strategy="grid"
+        )
+        populated = list(sharded.populated())
+        assert len(populated) < 4
+        assert sum(len(ds) for _, ds in populated) == 100
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(InvalidParameterError):
+            ShardedDataset(Dataset("rel", [Point(1.0, 1.0, 0)]), num_shards=0)
+
+    def test_balance_of_clustered_data(self):
+        points = clustered_points(3, 300, BOUNDS, cluster_radius=8.0, seed=2)
+        sharded = ShardedDataset(Dataset("c", points), num_shards=6, strategy="sample")
+        assert sharded.balance() <= 2.0
+
+
+class TestRoutedInsert:
+    def test_insert_routes_to_owning_shard_only(self, sharded):
+        versions = {sid: ds.version for sid, ds in sharded.populated()}
+        target = Point(1.0, 1.0)  # lands in exactly one shard
+        assert sharded.insert([target]) == 1
+        touched = [
+            sid
+            for sid, ds in sharded.populated()
+            if ds.version != versions.get(sid, 0)
+        ]
+        assert len(touched) == 1
+        assert sharded.shard_of_pid(max(p.pid for p in sharded.base.points)) == touched[0]
+
+    def test_insert_keeps_base_and_shards_in_sync(self, sharded):
+        sharded.insert([(5.0, 5.0), (95.0, 95.0)])
+        assert sharded.synced_version == sharded.base.version
+        shard_total = sum(len(ds) for _, ds in sharded.populated())
+        assert shard_total == len(sharded.base)
+
+    def test_duplicate_pid_rejected_atomically(self, sharded):
+        existing_pid = sharded.base.points[0].pid
+        before = sharded.base.version
+        with pytest.raises(InvalidParameterError):
+            sharded.insert([Point(1.0, 1.0, existing_pid)])
+        assert sharded.base.version == before
+        assert sum(len(ds) for _, ds in sharded.populated()) == len(sharded.base)
+
+    def test_routed_insert_repairs_out_of_band_mutation_first(self, sharded):
+        # A base dataset mutated behind the sharded view's back must be
+        # resynced by the next routed mutation — not masked by it.
+        sharded.base.insert([Point(20.0, 20.0, 777_000)])  # out-of-band
+        sharded.insert([(80.0, 80.0)])  # routed
+        assert sharded.synced_version == sharded.base.version
+        shard_pids = {p.pid for _, ds in sharded.populated() for p in ds.points}
+        assert 777_000 in shard_pids
+        assert len(shard_pids) == len(sharded.base)
+
+    def test_routed_remove_repairs_out_of_band_mutation_first(self, sharded):
+        sharded.base.insert([Point(20.0, 20.0, 777_001)])  # out-of-band
+        victim = sharded.base.points[0].pid
+        sharded.remove([victim])
+        shard_pids = {p.pid for _, ds in sharded.populated() for p in ds.points}
+        assert 777_001 in shard_pids
+        assert victim not in shard_pids
+        assert len(shard_pids) == len(sharded.base)
+
+    def test_insert_repopulates_empty_shard(self):
+        points = [Point(float(i % 10), float(i // 10), i) for i in range(100)]
+        sharded = ShardedDataset(
+            Dataset("corner", points, bounds=BOUNDS), num_shards=4, strategy="grid"
+        )
+        empty_before = [sid for sid, ds in enumerate(sharded.shards) if ds is None]
+        assert empty_before
+        sharded.insert([(99.0, 99.0)])
+        assert sum(1 for ds in sharded.shards if ds is not None) > 4 - len(empty_before)
+
+
+class TestRoutedRemove:
+    def test_remove_routes_to_owning_shards(self, sharded):
+        victims = [p.pid for p in sharded.base.points[:25]]
+        assert sharded.remove(victims) == 25
+        assert sum(len(ds) for _, ds in sharded.populated()) == len(sharded.base)
+        for pid in victims:
+            assert sharded.shard_of_pid(pid) is None
+
+    def test_removing_a_whole_shard_empties_its_slot(self, sharded):
+        sid, ds = next(sharded.populated())
+        victims = [p.pid for p in ds.points]
+        sharded.remove(victims)
+        assert sharded.shard(sid) is None
+        assert sum(len(d) for _, d in sharded.populated()) == len(sharded.base)
+
+    def test_unknown_pids_ignored(self, sharded):
+        assert sharded.remove([10**9, 10**9 + 1]) == 0
+
+    def test_removing_everything_rejected_atomically(self, sharded):
+        victims = [p.pid for p in sharded.base.points]
+        before = sum(len(ds) for _, ds in sharded.populated())
+        with pytest.raises(EmptyDatasetError):
+            sharded.remove(victims)
+        assert sum(len(ds) for _, ds in sharded.populated()) == before
+
+
+class TestSyncAndStats:
+    def test_ensure_synced_detects_out_of_band_mutation(self, sharded):
+        sharded.base.insert([(50.0, 50.0)])  # bypasses the sharded view
+        assert sharded.base.version != sharded.synced_version
+        assert sharded.ensure_synced() is True
+        assert sharded.synced_version == sharded.base.version
+        assert sum(len(ds) for _, ds in sharded.populated()) == len(sharded.base)
+        assert sharded.ensure_synced() is False  # idempotent
+
+    def test_aggregated_stats_track_full_relation(self, sharded):
+        aggregated = sharded.aggregated_stats()
+        direct = IndexStats.from_index(sharded.base.index)
+        assert aggregated.num_points == direct.num_points
+        assert aggregated.num_nonempty_blocks > 0
+        assert aggregated.density == pytest.approx(direct.density, rel=0.25)
+
+    def test_shard_stats_per_shard(self, sharded):
+        per_shard = sharded.shard_stats()
+        assert set(per_shard) == {sid for sid, _ in sharded.populated()}
+        assert sum(s.num_points for s in per_shard.values()) == len(sharded.base)
+
+
+class TestIndexStatsAggregate:
+    def test_aggregate_totals(self):
+        points = uniform_points(400, BOUNDS, seed=4)
+        halves = [
+            Dataset("h0", points[:200]),
+            Dataset("h1", points[200:]),
+        ]
+        parts = [IndexStats.from_index(d.index) for d in halves]
+        merged = IndexStats.aggregate(parts)
+        assert merged.num_points == 400
+        assert merged.num_blocks == sum(p.num_blocks for p in parts)
+        assert merged.num_nonempty_blocks == sum(p.num_nonempty_blocks for p in parts)
+        assert merged.max_points_per_block == max(p.max_points_per_block for p in parts)
+
+    def test_aggregate_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            IndexStats.aggregate([])

@@ -1,0 +1,230 @@
+"""Tests for the ShardedEngine lifecycle: registration, caching, pools, metrics."""
+
+import pytest
+
+from repro.exceptions import StaleShardError, UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.dataset import Dataset
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+from repro.shard.executor import ShardTask, execute_shard_task
+from repro.shard.dataset import ShardedDataset
+from repro.shard.pool import ShardWorkerPool, resolve_backend
+from repro.datagen.uniform import uniform_points
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+@pytest.fixture
+def engine():
+    eng = ShardedEngine(num_shards=4, backend="serial")
+    eng.register(name="a", points=uniform_points(200, BOUNDS, seed=31), bounds=BOUNDS)
+    eng.register(
+        name="b",
+        points=uniform_points(400, BOUNDS, seed=32, start_pid=10_000),
+        bounds=BOUNDS,
+    )
+    yield eng
+    eng.close()
+
+
+class TestRegistration:
+    def test_register_builds_shards(self, engine):
+        sharded = engine.sharded_dataset("a")
+        assert sharded.num_shards == 4
+        assert sum(len(ds) for _, ds in sharded.populated()) == 200
+
+    def test_monolithic_index_never_built(self, engine):
+        # The whole point of eager_build=False + aggregated statistics.
+        engine.stats("a")
+        engine.run(Query(KnnSelect(relation="a", focal=Point(1.0, 1.0), k=3)))
+        assert engine.sharded_dataset("a").base._index is None
+
+    def test_monolithic_index_not_built_by_stats_driven_planning(self, engine):
+        # select-inner-of-join and unchained-joins consult outer-relation
+        # statistics during planning; with cached stats in hand the planner
+        # must not dereference (and thereby lazily build) the base index.
+        engine.register(
+            name="c",
+            points=uniform_points(150, BOUNDS, seed=38, start_pid=90_000),
+            bounds=BOUNDS,
+        )
+        engine.run(
+            Query(
+                KnnSelect(relation="b", focal=Point(1.0, 1.0), k=5),
+                KnnJoin(outer="a", inner="b", k=2),
+            )
+        )
+        engine.run(
+            Query(
+                KnnJoin(outer="a", inner="b", k=2),
+                KnnJoin(outer="c", inner="b", k=2),
+            )
+        )
+        for name in ("a", "b", "c"):
+            assert engine.sharded_dataset(name).base._index is None, name
+
+    def test_register_accepts_prebuilt_dataset(self):
+        eng = ShardedEngine(num_shards=2, backend="serial")
+        ds = Dataset("rel", uniform_points(50, BOUNDS, seed=33))
+        sharded = eng.register(ds)
+        assert isinstance(sharded, ShardedDataset)
+        assert "rel" in eng and len(eng) == 1
+        eng.close()
+
+    def test_register_without_inputs_rejected(self):
+        with pytest.raises(UnsupportedQueryError):
+            ShardedEngine().register()
+
+    def test_auto_shard_count_scales_with_size(self):
+        eng = ShardedEngine(backend="serial", max_workers=8)
+        tiny = eng.register(name="tiny", points=uniform_points(30, BOUNDS, seed=34))
+        big = eng.register(
+            name="big", points=uniform_points(9000, BOUNDS, seed=35, start_pid=50_000)
+        )
+        assert tiny.num_shards == 1
+        assert big.num_shards > 1
+        eng.close()
+
+    def test_unregister(self, engine):
+        engine.unregister("a")
+        assert "a" not in engine
+        with pytest.raises(UnsupportedQueryError):
+            engine.run(Query(KnnSelect(relation="a", focal=Point(1.0, 1.0), k=1)))
+
+    def test_unregister_unknown(self, engine):
+        with pytest.raises(UnsupportedQueryError):
+            engine.unregister("ghost")
+
+
+class TestPlanCaching:
+    def test_plan_cached_across_runs(self, engine):
+        query = Query(KnnJoin(outer="a", inner="b", k=3))
+        engine.run(query)
+        misses = engine.engine.plan_cache.misses
+        engine.run(Query(KnnJoin(outer="a", inner="b", k=3)))
+        assert engine.engine.plan_cache.misses == misses
+        assert engine.engine.plan_cache.hits > 0
+
+    def test_mutation_evicts_plans(self, engine):
+        query = Query(KnnJoin(outer="a", inner="b", k=3))
+        engine.run(query)
+        engine.insert("b", [(500.0, 500.0)])
+        assert len(engine.engine.plan_cache) == 0
+
+    def test_explain_delegates(self, engine):
+        query = Query(KnnSelect(relation="b", focal=Point(10.0, 10.0), k=5))
+        explain = engine.explain(query)
+        assert explain.query_class == "single-select"
+        assert engine.plan(query).query_class == "single-select"
+
+    def test_stats_are_aggregated_and_cached(self, engine):
+        stats = engine.stats("b")
+        assert stats.num_points == 400
+        hits = engine.engine.stats_cache.hits
+        engine.stats("b")
+        assert engine.engine.stats_cache.hits > hits
+
+
+class TestExecution:
+    def test_run_many_preserves_order(self, engine):
+        queries = [
+            Query(KnnSelect(relation="b", focal=Point(float(i * 90), 500.0), k=3))
+            for i in range(6)
+        ]
+        results = engine.run_many(queries)
+        assert len(results) == 6
+        for query, result in zip(queries, results):
+            expected = engine.run(query)
+            assert [p.pid for p in result.points] == [p.pid for p in expected.points]
+        assert engine.batches_executed == 1
+
+    def test_strategy_labelled_sharded(self, engine):
+        result = engine.run(Query(KnnSelect(relation="b", focal=Point(1.0, 1.0), k=2)))
+        assert result.strategy.startswith("sharded:")
+
+    def test_metrics_shape(self, engine):
+        engine.run(Query(KnnJoin(outer="a", inner="b", k=2)))
+        metrics = engine.metrics()
+        assert metrics["queries_executed"] >= 1
+        assert metrics["tasks_dispatched"] >= 1
+        assert set(metrics["shards"]) == {"a", "b"}
+        assert metrics["shards"]["a"]["populated"] >= 1
+        assert "plan_cache" in metrics and "stats_cache" in metrics
+
+
+class TestWorkerPool:
+    def test_resolve_backend_rejects_unknown(self):
+        with pytest.raises(Exception):
+            resolve_backend("gpu")
+
+    def test_resolve_backend_passthrough(self):
+        for backend in ("serial", "thread", "process"):
+            assert resolve_backend(backend) == backend
+
+    def test_serial_pool_is_not_parallel(self):
+        pool = ShardWorkerPool("tok-serial", {}, backend="serial")
+        assert pool.parallel is False
+        pool.close()
+
+    def test_pool_run_empty(self):
+        pool = ShardWorkerPool("tok-empty", {}, backend="serial")
+        assert pool.run([]) == []
+        pool.close()
+
+    def test_closed_pool_runtime_unregistered(self):
+        points = uniform_points(20, BOUNDS, seed=36)
+        sharded = ShardedDataset(Dataset("rel", points), num_shards=2)
+        pool = ShardWorkerPool("tok-close", {"rel": sharded}, backend="serial")
+        task = ShardTask(
+            "knn", "rel", 0, (Point(1.0, 1.0), 2), (("rel", sharded.version),)
+        )
+        pool.run([task])
+        pool.close()
+        with pytest.raises(StaleShardError):
+            pool.run([task])
+
+
+class TestVersionCheckedTasks:
+    def _runtime(self):
+        points = uniform_points(60, BOUNDS, seed=37)
+        return {"rel": ShardedDataset(Dataset("rel", points), num_shards=2)}
+
+    def test_task_with_current_version_runs(self):
+        datasets = self._runtime()
+        task = ShardTask(
+            "knn", "rel", 0, (Point(1.0, 1.0), 2), (("rel", datasets["rel"].version),)
+        )
+        assert execute_shard_task(datasets, task) is not None
+
+    def test_task_with_stale_version_refused(self):
+        datasets = self._runtime()
+        stale = ShardTask(
+            "knn", "rel", 0, (Point(1.0, 1.0), 2), (("rel", datasets["rel"].version),)
+        )
+        datasets["rel"].insert([(5.0, 5.0)])  # bumps the version
+        with pytest.raises(StaleShardError):
+            execute_shard_task(datasets, stale)
+
+    def test_task_against_desynced_shards_refused(self):
+        datasets = self._runtime()
+        datasets["rel"].base.insert([(5.0, 5.0)])  # out-of-band: shards stale
+        task = ShardTask(
+            "knn", "rel", 0, (Point(1.0, 1.0), 2), (("rel", datasets["rel"].version),)
+        )
+        with pytest.raises(StaleShardError):
+            execute_shard_task(datasets, task)
+
+    def test_task_for_missing_relation_refused(self):
+        with pytest.raises(StaleShardError):
+            execute_shard_task(
+                {}, ShardTask("knn", "rel", 0, (Point(1.0, 1.0), 2), (("rel", 0),))
+            )
+
+    def test_unknown_task_kind_rejected(self):
+        datasets = self._runtime()
+        task = ShardTask("mystery", "rel", 0, (), (("rel", datasets["rel"].version),))
+        with pytest.raises(UnsupportedQueryError):
+            execute_shard_task(datasets, task)

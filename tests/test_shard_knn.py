@@ -1,0 +1,130 @@
+"""Cross-shard kNN correctness: border expansion must be exact.
+
+The merged sharded neighborhood must match ``get_knn`` over the unsharded
+index *exactly* — members, order and distances — for every shard count,
+both partition strategies, clustered and uniform data, focal points on
+shard borders, and k values exceeding any single shard's population.
+"""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.locality.knn import get_knn
+from repro.query.dataset import Dataset
+from repro.shard.dataset import ShardedDataset
+from repro.shard.knn import sharded_knn, sharded_range_select
+from repro.operators.range_select import range_select
+from repro.datagen.clustered import clustered_points
+from repro.datagen.uniform import uniform_points
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def _datasets():
+    return {
+        "uniform": uniform_points(500, BOUNDS, seed=11),
+        "clustered": clustered_points(4, 150, BOUNDS, cluster_radius=8.0, seed=12),
+    }
+
+
+def _assert_identical(sharded_nbr, plain_nbr):
+    assert [p.pid for p in sharded_nbr] == [p.pid for p in plain_nbr]
+    assert sharded_nbr.distances == pytest.approx(plain_nbr.distances)
+
+
+@pytest.mark.parametrize("kind", ["uniform", "clustered"])
+@pytest.mark.parametrize("strategy", ["grid", "sample"])
+@pytest.mark.parametrize("num_shards", [2, 5, 9])
+def test_sharded_knn_matches_unsharded(kind, strategy, num_shards):
+    points = _datasets()[kind]
+    plain = Dataset("rel", points, bounds=BOUNDS)
+    sharded = ShardedDataset(
+        Dataset("rel", points, bounds=BOUNDS), num_shards=num_shards, strategy=strategy
+    )
+    focals = [
+        Point(50.0, 50.0),
+        Point(0.0, 0.0),
+        Point(100.0, 100.0),
+        Point(33.3, 66.6),
+        Point(-10.0, 50.0),  # outside the extent entirely
+    ]
+    # Focal points sitting exactly on shard boundaries (cuts) are the halo
+    # stress case: true neighbors straddle the border.
+    for region in sharded.shard_map.regions[:3]:
+        focals.append(Point(region.rect.xmax, region.rect.ymax))
+    for focal in focals:
+        for k in (1, 3, 10):
+            _assert_identical(
+                sharded_knn(sharded, focal, k), get_knn(plain.index, focal, k)
+            )
+
+
+@pytest.mark.parametrize("strategy", ["grid", "sample"])
+def test_k_larger_than_any_single_shard(strategy):
+    points = uniform_points(120, BOUNDS, seed=13)
+    plain = Dataset("rel", points, bounds=BOUNDS)
+    sharded = ShardedDataset(
+        Dataset("rel", points, bounds=BOUNDS), num_shards=8, strategy=strategy
+    )
+    max_shard = max(len(ds) for _, ds in sharded.populated())
+    k = max_shard + 5  # no single shard can satisfy the query alone
+    _assert_identical(
+        sharded_knn(sharded, Point(50.0, 50.0), k),
+        get_knn(plain.index, Point(50.0, 50.0), k),
+    )
+
+
+def test_k_larger_than_relation():
+    points = uniform_points(40, BOUNDS, seed=14)
+    plain = Dataset("rel", points, bounds=BOUNDS)
+    sharded = ShardedDataset(Dataset("rel", points, bounds=BOUNDS), num_shards=4)
+    nbr = sharded_knn(sharded, Point(50.0, 50.0), 100)
+    assert len(nbr) == 40
+    _assert_identical(nbr, get_knn(plain.index, Point(50.0, 50.0), 100))
+
+
+def test_single_shard_fast_path():
+    points = uniform_points(50, BOUNDS, seed=15)
+    plain = Dataset("rel", points, bounds=BOUNDS)
+    sharded = ShardedDataset(Dataset("rel", points, bounds=BOUNDS), num_shards=1)
+    _assert_identical(
+        sharded_knn(sharded, Point(10.0, 10.0), 5), get_knn(plain.index, Point(10.0, 10.0), 5)
+    )
+
+
+def test_tie_break_across_shard_border():
+    # Two points equidistant from the focal, in different shards: the global
+    # (distance, pid) tie-break must survive the merge.
+    points = [
+        Point(49.0, 50.0, 7),
+        Point(51.0, 50.0, 3),  # same distance from (50, 50), smaller pid
+        Point(10.0, 10.0, 1),
+        Point(90.0, 90.0, 2),
+    ]
+    sharded = ShardedDataset(
+        Dataset("rel", points, bounds=BOUNDS), num_shards=4, strategy="grid"
+    )
+    # The 2x2 grid cuts at x=50: the two tied points live in different shards.
+    assert sharded.shard_of_pid(7) != sharded.shard_of_pid(3)
+    nbr = sharded_knn(sharded, Point(50.0, 50.0), 1)
+    assert [p.pid for p in nbr] == [3]
+
+
+@pytest.mark.parametrize("strategy", ["grid", "sample"])
+def test_sharded_range_select_matches_unsharded(strategy):
+    points = clustered_points(3, 150, BOUNDS, cluster_radius=10.0, seed=16)
+    plain = Dataset("rel", points, bounds=BOUNDS)
+    sharded = ShardedDataset(
+        Dataset("rel", points, bounds=BOUNDS), num_shards=6, strategy=strategy
+    )
+    for window in [
+        Rect(20.0, 20.0, 80.0, 80.0),
+        Rect(0.0, 0.0, 100.0, 100.0),
+        Rect(95.0, 95.0, 99.0, 99.0),
+        Rect(200.0, 200.0, 300.0, 300.0),  # disjoint from all data
+    ]:
+        expected = sorted(p.pid for p in range_select(plain.index, window))
+        got = [p.pid for p in sharded_range_select(sharded, window)]
+        assert got == sorted(got)
+        assert got == expected

@@ -1,0 +1,99 @@
+"""Tests for the spatial partitioners and the ShardMap assignment."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.shard.partitioner import (
+    ShardMap,
+    grid_partition,
+    make_shard_map,
+    sample_balanced_partition,
+)
+from repro.datagen.clustered import clustered_points
+from repro.datagen.uniform import uniform_points
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+class TestGridPartition:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5, 7, 9, 16])
+    def test_exact_shard_count(self, k):
+        assert grid_partition(BOUNDS, k).num_shards == k
+
+    def test_regions_tile_bounds(self):
+        shard_map = grid_partition(BOUNDS, 9)
+        total = sum(r.rect.area for r in shard_map.regions)
+        assert total == pytest.approx(BOUNDS.area)
+
+    def test_region_ids_match_positions(self):
+        shard_map = grid_partition(BOUNDS, 6)
+        assert [r.shard_id for r in shard_map.regions] == list(range(6))
+
+    def test_assignment_is_total_partition(self):
+        shard_map = grid_partition(BOUNDS, 8)
+        points = uniform_points(500, BOUNDS, seed=3)
+        groups = shard_map.split(points)
+        assert sum(len(g) for g in groups) == len(points)
+        for sid, group in enumerate(groups):
+            for p in group:
+                assert shard_map.shard_of(p) == sid
+
+    def test_points_outside_bounds_still_assigned(self):
+        shard_map = grid_partition(BOUNDS, 4)
+        for p in [Point(-50.0, -50.0), Point(500.0, 500.0), Point(-1.0, 200.0)]:
+            assert 0 <= shard_map.shard_of(p) < 4
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(InvalidParameterError):
+            grid_partition(BOUNDS, 0)
+
+    def test_zero_area_bounds_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            grid_partition(Rect(0.0, 0.0, 0.0, 10.0), 4)
+
+
+class TestSampleBalancedPartition:
+    def test_exact_shard_count(self):
+        points = uniform_points(1000, BOUNDS, seed=1)
+        for k in (1, 3, 5, 8, 13):
+            assert sample_balanced_partition(points, BOUNDS, k).num_shards == k
+
+    def test_balances_clustered_data(self):
+        points = clustered_points(3, 400, BOUNDS, cluster_radius=8.0, seed=7)
+        balanced = sample_balanced_partition(points, BOUNDS, 6)
+        gridded = grid_partition(BOUNDS, 6)
+        balanced_max = max(len(g) for g in balanced.split(points))
+        gridded_max = max(len(g) for g in gridded.split(points))
+        # The quantile cuts keep the largest shard near the ideal n/k; the
+        # oblivious grid concentrates whole clusters in single tiles.
+        assert balanced_max < gridded_max
+        assert balanced_max <= 2 * len(points) / 6
+
+    def test_deterministic_for_seed(self):
+        points = uniform_points(800, BOUNDS, seed=5)
+        a = sample_balanced_partition(points, BOUNDS, 5, seed=42)
+        b = sample_balanced_partition(points, BOUNDS, 5, seed=42)
+        assert [r.rect for r in a.regions] == [r.rect for r in b.regions]
+
+    def test_empty_points_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            sample_balanced_partition([], BOUNDS, 4)
+
+
+class TestMakeShardMap:
+    def test_strategy_dispatch(self):
+        points = uniform_points(100, BOUNDS, seed=2)
+        assert make_shard_map(points, BOUNDS, 4, strategy="grid").num_shards == 4
+        assert make_shard_map(points, BOUNDS, 4, strategy="sample").num_shards == 4
+
+    def test_unknown_strategy(self):
+        with pytest.raises(InvalidParameterError):
+            make_shard_map([], BOUNDS, 4, strategy="voronoi")
+
+
+class TestShardMapValidation:
+    def test_mismatched_cut_lists_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            ShardMap(BOUNDS, x_cuts=[50.0], y_cuts_per_stripe=[[50.0]])
