@@ -1,0 +1,61 @@
+"""Columnar speedup: PointStore kNN vs the seed's object-path representation.
+
+Beyond the paper's figures: figure 29 measures what the structure-of-arrays
+refactor buys on a kNN-heavy batch.  The ``object-path`` series is the seed
+representation (per-query locality + ranking over ``Point`` tuples, kept in
+the tree as the parity oracle); the ``columnar`` series answers the same
+queries through the batched store-column kernels.  The acceptance target —
+≥ 3x throughput at paper-scale sizes (n ≥ 100k) — is measured by the full
+sweep (``python -m repro.bench --figure 29 --scale 1.0``); this module is the
+small-scale smoke that CI runs on every push.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+from repro.bench.workloads import COLUMNAR_SPEEDUP_FIGURE
+
+pytestmark = pytest.mark.benchmark(group="columnar-speedup")
+
+# Benchmark the largest sweep point of the scaled-down workload.
+_WORKLOAD, _SIZE, _RUNNERS = build_figure_runners(COLUMNAR_SPEEDUP_FIGURE, sweep_index=-1)
+
+
+def test_columnar_batch_knn(benchmark):
+    """The kNN batch through the columnar store-column kernels."""
+    result = benchmark.pedantic(_RUNNERS["columnar"], rounds=3, iterations=1)
+    assert len(result) > 0
+
+
+def test_object_path_knn(benchmark):
+    """The same batch through the seed's object-path representation."""
+    result = benchmark.pedantic(_RUNNERS["object-path"], rounds=3, iterations=1)
+    assert len(result) > 0
+
+
+def test_columnar_and_object_paths_agree():
+    """Both representations return byte-identical (distance, pid) results."""
+    object_path = _RUNNERS["object-path"]()
+    columnar = _RUNNERS["columnar"]()
+    assert len(object_path) == len(columnar)
+    for obj_nbr, col_nbr in zip(object_path, columnar):
+        assert obj_nbr.distances == col_nbr.distances
+        assert [p.pid for p in obj_nbr] == [p.pid for p in col_nbr]
+
+
+def test_workload_reports_both_series():
+    """Figure 29's builder yields both series over the full sweep.
+
+    Relative speed is intentionally *not* asserted here: CI runners are
+    shared and wall-clock comparisons at smoke scale flake.  The measured
+    speedups land in the uploaded ``BENCH_columnar.json`` artifact, and the
+    ≥ 3x acceptance bar applies to paper-scale data (n ≥ 100k), measured by
+    ``python -m repro.bench --figure 29 --scale 1.0``.
+    """
+    assert _WORKLOAD.series == ("object-path", "columnar")
+    assert len(_WORKLOAD.sweep_values) >= 3
+    runners = _WORKLOAD.build(_WORKLOAD.sweep_values[0])
+    assert set(runners) == {"object-path", "columnar"}
+    assert len(runners["object-path"]()) == len(runners["columnar"]())

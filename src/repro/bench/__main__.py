@@ -14,12 +14,15 @@ Reproduce every figure quickly and write the tables to a file::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.bench.figures import run_and_format, run_all_figures
+from repro.bench.harness import FigureResult
 from repro.bench.plotting import format_ascii_chart
 from repro.bench.workloads import (
     ALL_FIGURES,
+    COLUMNAR_SPEEDUP_FIGURE,
     ENGINE_THROUGHPUT_FIGURE,
     SHARDED_THROUGHPUT_FIGURE,
 )
@@ -34,11 +37,12 @@ def _build_parser() -> argparse.ArgumentParser:
     target.add_argument(
         "--figure",
         type=int,
-        choices=ALL_FIGURES + (ENGINE_THROUGHPUT_FIGURE, SHARDED_THROUGHPUT_FIGURE),
+        choices=ALL_FIGURES
+        + (ENGINE_THROUGHPUT_FIGURE, SHARDED_THROUGHPUT_FIGURE, COLUMNAR_SPEEDUP_FIGURE),
         help=(
             f"reproduce a single figure ({ENGINE_THROUGHPUT_FIGURE} = engine "
-            f"throughput, {SHARDED_THROUGHPUT_FIGURE} = sharded throughput; "
-            "both beyond the paper)"
+            f"throughput, {SHARDED_THROUGHPUT_FIGURE} = sharded throughput, "
+            f"{COLUMNAR_SPEEDUP_FIGURE} = columnar speedup; all beyond the paper)"
         ),
     )
     target.add_argument("--all", action="store_true", help="reproduce every figure")
@@ -58,9 +62,44 @@ def _build_parser() -> argparse.ArgumentParser:
         "--output", type=str, default=None, help="also write the tables to this file"
     )
     parser.add_argument(
+        "--json",
+        type=str,
+        default=None,
+        dest="json_path",
+        help="write the raw measurements (and median speedups) to this JSON file",
+    )
+    parser.add_argument(
         "--chart", action="store_true", help="append an ASCII chart below each table"
     )
     return parser
+
+
+def _result_record(result: FigureResult) -> dict:
+    """JSON-serializable record of one figure's measurements."""
+    workload = result.workload
+    record: dict = {
+        "figure": workload.figure,
+        "title": workload.title,
+        "sweep_name": workload.sweep_name,
+        "series": list(workload.series),
+        "measurements": [
+            {
+                "sweep_value": p.sweep_value,
+                "series": p.series,
+                "seconds": p.seconds,
+                "result_size": p.result_size,
+            }
+            for p in result.points
+        ],
+    }
+    measured = {p.sweep_value for p in result.points}
+    if len(workload.series) == 2 and measured == set(workload.sweep_values):
+        baseline, optimized = workload.series
+        record["baseline"] = baseline
+        record["optimized"] = optimized
+        record["speedups"] = result.speedups(baseline, optimized)
+        record["median_speedup"] = result.median_speedup(baseline, optimized)
+    return record
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -69,6 +108,7 @@ def main(argv: list[str] | None = None) -> int:
     progress = None if args.quiet else (lambda line: print(line, file=sys.stderr))
 
     tables: list[str] = []
+    records: list[dict] = []
     if args.all:
         for figure, (result, table) in run_all_figures(
             scale=args.scale, repeats=args.repeats, progress=progress
@@ -76,6 +116,7 @@ def main(argv: list[str] | None = None) -> int:
             if args.chart:
                 table = table + "\n\n" + format_ascii_chart(result)
             tables.append(table)
+            records.append(_result_record(result))
     else:
         result, table = run_and_format(
             args.figure, scale=args.scale, repeats=args.repeats, progress=progress
@@ -83,12 +124,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.chart:
             table = table + "\n\n" + format_ascii_chart(result)
         tables.append(table)
+        records.append(_result_record(result))
 
     output = "\n\n".join(tables)
     print(output)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(output + "\n")
+    if args.json_path:
+        payload = {"scale": args.scale, "repeats": args.repeats, "figures": records}
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
     return 0
 
 

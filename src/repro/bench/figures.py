@@ -7,6 +7,7 @@ from typing import Callable, Iterable
 from repro.bench.harness import FigureResult, format_table, run_figure
 from repro.bench.workloads import (
     ALL_FIGURES,
+    COLUMNAR_SPEEDUP_FIGURE,
     ENGINE_THROUGHPUT_FIGURE,
     SHARDED_THROUGHPUT_FIGURE,
 )
@@ -16,6 +17,7 @@ __all__ = [
     "run_all_figures",
     "run_engine_throughput",
     "run_sharded_throughput",
+    "run_columnar_speedup",
 ]
 
 
@@ -81,6 +83,27 @@ def run_sharded_throughput(
     """
     return run_and_format(
         SHARDED_THROUGHPUT_FIGURE,
+        scale=scale,
+        repeats=repeats,
+        sweep_values=sweep_values,
+        progress=progress,
+    )
+
+
+def run_columnar_speedup(
+    scale: float = 0.05,
+    repeats: int = 1,
+    sweep_values: tuple | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> tuple[FigureResult, str]:
+    """Run the columnar-speedup workload (PointStore kNN vs object path).
+
+    This is not a paper figure; it quantifies what the structure-of-arrays
+    refactor buys on a kNN-heavy batch against the seed's object-tuple
+    representation (kept in the tree as the parity oracle).
+    """
+    return run_and_format(
+        COLUMNAR_SPEEDUP_FIGURE,
         scale=scale,
         repeats=repeats,
         sweep_values=sweep_values,

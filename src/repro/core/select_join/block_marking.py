@@ -26,6 +26,11 @@ remaining blocks are Non-Contributing without being examined (Figure 6).
 Deviation from the paper's pseudocode (see DESIGN.md): the early-exit test
 applies only once a contour has started (``M > 0``); the literal pseudocode
 would exit immediately because ``M`` is initialised to 0.
+
+Columnar behaviour: blocks hold member-row arrays, not point objects, so the
+preprocessing pass touches no points at all — only the Contributing blocks'
+rows are materialized in the join phase, and each per-point neighborhood
+intersection runs on pid arrays (:meth:`Neighborhood.intersection`).
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
 from repro.index.block import Block
+from repro.locality.batch import get_knn_batch
 from repro.locality.knn import get_knn
 from repro.locality.neighborhood import Neighborhood
 from repro.operators.results import JoinPair
@@ -154,14 +160,20 @@ def select_join_block_marking(
         outer_index, inner_index, focal, selection, k_join, stats=stats
     )
 
-    pairs: list[JoinPair] = []
+    # Join phase: only the Contributing blocks' rows are materialized, their
+    # neighborhoods are computed through the batched columnar kernel, and
+    # each intersection runs on pid arrays.
+    outer_points: list[Point] = []
     for block in contributing:
-        for e1 in block:
-            if stats is not None:
-                stats.neighborhoods_computed += 1
-            neighborhood = get_knn(inner_index, e1, k_join)
-            for e2 in neighborhood.intersection(selection):
-                pairs.append(JoinPair(e1, e2))
+        outer_points.extend(block.points)
     if stats is not None:
-        stats.points_pruned += outer_index.num_points - stats.neighborhoods_computed
+        stats.neighborhoods_computed += len(outer_points)
+    pairs: list[JoinPair] = []
+    for e1, neighborhood in zip(
+        outer_points, get_knn_batch(inner_index, outer_points, k_join)
+    ):
+        for e2 in neighborhood.intersection(selection):
+            pairs.append(JoinPair(e1, e2))
+    if stats is not None:
+        stats.points_pruned += outer_index.num_points - len(outer_points)
     return pairs

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 from typing import Iterable
 
+import numpy as np
+
 from repro.core.stats import PruningStats
 from repro.exceptions import InvalidParameterError
 from repro.geometry.distance import mindist_point_rect
@@ -30,9 +32,28 @@ from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.base import SpatialIndex
 from repro.locality.knn import get_knn
+from repro.locality.neighborhood import Neighborhood
 from repro.operators.results import JoinPair
 
 __all__ = ["range_inner_join_baseline", "range_inner_join_block_marking"]
+
+
+def _pairs_in_window(e1: Point, nbr: Neighborhood, window: Rect) -> list[JoinPair]:
+    """Pairs for the members of ``nbr`` inside ``window`` (columnar filter).
+
+    The window test runs over the neighborhood's coordinate columns; only
+    matching members are materialized.
+    """
+    coords = nbr.coords
+    if not len(coords):
+        return []
+    mask = (
+        (coords[:, 0] >= window.xmin)
+        & (coords[:, 0] <= window.xmax)
+        & (coords[:, 1] >= window.ymin)
+        & (coords[:, 1] <= window.ymax)
+    )
+    return [JoinPair(e1, nbr._member_at(int(i))) for i in np.nonzero(mask)[0]]
 
 
 def range_inner_join_baseline(
@@ -89,9 +110,7 @@ def range_inner_join_block_marking(
             if stats is not None:
                 stats.neighborhoods_computed += 1
             neighborhood = get_knn(inner_index, e1, k_join)
-            pairs.extend(
-                JoinPair(e1, e2) for e2 in neighborhood if window.contains_point(e2)
-            )
+            pairs.extend(_pairs_in_window(e1, neighborhood, window))
     if stats is not None:
         stats.points_pruned += pruned_points
     return pairs

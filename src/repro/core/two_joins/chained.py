@@ -23,6 +23,7 @@ from repro.core.stats import PruningStats
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
+from repro.locality.batch import get_knn_batch
 from repro.locality.knn import get_knn
 from repro.locality.neighborhood import Neighborhood
 from repro.operators.intersection import pairs_to_triplets
@@ -110,18 +111,21 @@ def chained_joins_nested(
         raise InvalidParameterError("k_ab and k_bc must be positive")
     if neighborhood_cache is None:
         neighborhood_cache = {}
+    a_list = a_points if isinstance(a_points, list) else list(a_points)
     triplets: list[JoinTriplet] = []
-    for a in a_points:
-        b_neighborhood = get_knn(b_index, a, k_ab)
-        for b in b_neighborhood:
+    for a, b_neighborhood in zip(a_list, get_knn_batch(b_index, a_list, k_ab)):
+        # Probe the cache with the pid column; the member points themselves
+        # are materialized once (they appear in every output triplet anyway).
+        b_pids = b_neighborhood.pid_array.tolist()
+        for b, b_pid in zip(b_neighborhood.points, b_pids):
             if cache:
-                c_neighborhood = neighborhood_cache.get(b.pid)
+                c_neighborhood = neighborhood_cache.get(b_pid)
                 if c_neighborhood is None:
                     if stats is not None:
                         stats.cache_misses += 1
                         stats.neighborhoods_computed += 1
                     c_neighborhood = get_knn(c_index, b, k_bc)
-                    neighborhood_cache[b.pid] = c_neighborhood
+                    neighborhood_cache[b_pid] = c_neighborhood
                 else:
                     if stats is not None:
                         stats.cache_hits += 1

@@ -19,12 +19,15 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.core.stats import PruningStats
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
 from repro.index.block import Block
 from repro.index.stats import IndexStats
+from repro.locality.batch import get_knn_batch
 from repro.locality.knn import get_knn
 from repro.operators.intersection import intersect_pairs_on_inner
 from repro.operators.knn_join import knn_join_pairs
@@ -58,7 +61,20 @@ def unchained_joins_baseline(
 
 
 def _candidate_blocks(b_index: SpatialIndex, ab_pairs: Sequence[JoinPair]) -> set[int]:
-    """Block ids of B blocks holding at least one joined inner point (Candidate)."""
+    """Block ids of B blocks holding at least one joined inner point (Candidate).
+
+    When the index is store-backed the marking is columnar: the index's
+    cached row → block-id table is gathered at the joined pids' rows
+    (pid lookup via the store's cached sorted-pid index), replacing one
+    ``locate`` tree/grid walk per pair without any per-query O(|B|) work.
+    """
+    store = b_index.store
+    if store is not None and len(ab_pairs):
+        inner_pids = np.fromiter(
+            (pair.inner.pid for pair in ab_pairs), dtype=np.int64, count=len(ab_pairs)
+        )
+        rows = store.rows_of_pids(np.unique(inner_pids))
+        return set(np.unique(b_index.row_block_ids[rows]).tolist())
     candidates: set[int] = set()
     for pair in ab_pairs:
         block = b_index.locate(pair.inner)
@@ -80,26 +96,47 @@ def _contributing_blocks(
     B block fully or partially inside its search threshold (the center's
     ``k``-neighborhood radius plus the block diagonal) is Safe; otherwise it is
     Contributing.
+
+    The per-center Candidate tests (containment, MINDIST ≤ threshold) run
+    vectorized over a ``(num_candidates, 4)`` bound table instead of looping
+    Python rectangles.
     """
     blocks_by_id = {b.block_id: b for b in b_index.blocks}
     candidate_blocks = [blocks_by_id[i] for i in sorted(candidate_ids)]
+    if candidate_blocks:
+        cand_bounds = np.array(
+            [cb.rect.as_tuple() for cb in candidate_blocks], dtype=np.float64
+        )
+        cxmin, cymin, cxmax, cymax = cand_bounds.T
     contributing: list[Block] = []
     for block in second_outer_index.blocks:
         if block.is_empty:
             continue
         if stats is not None:
             stats.blocks_examined += 1
+        if not candidate_blocks:
+            if stats is not None:
+                stats.blocks_pruned += 1
+            continue
         center = block.center
         # Cheap shortcut: if the center already lies inside a Candidate block,
         # the threshold disk trivially touches a Candidate block.
-        if any(cb.rect.contains_point(center) for cb in candidate_blocks):
+        inside = (
+            (cxmin <= center.x)
+            & (center.x <= cxmax)
+            & (cymin <= center.y)
+            & (center.y <= cymax)
+        )
+        if inside.any():
             contributing.append(block)
             if stats is not None:
                 stats.blocks_contributing += 1
             continue
         neighborhood = get_knn(b_index, center, k_second)
         threshold = neighborhood.farthest_distance + block.diagonal
-        if any(cb.mindist(center) <= threshold for cb in candidate_blocks):
+        dx = np.maximum(0.0, np.maximum(cxmin - center.x, center.x - cxmax))
+        dy = np.maximum(0.0, np.maximum(cymin - center.y, center.y - cymax))
+        if (np.hypot(dx, dy) <= threshold).any():
             contributing.append(block)
             if stats is not None:
                 stats.blocks_contributing += 1
@@ -151,18 +188,20 @@ def unchained_joins_block_marking(
     for pair in ab_pairs:
         ab_by_inner[pair.inner.pid].append(pair)
 
-    triplets: list[JoinTriplet] = []
-    computed = 0
+    # Second join over the Contributing blocks only, batched: the ∩B probe
+    # walks each neighborhood's pid column and materializes no B point that
+    # is not already part of an AB pair.
+    c_points: list[Point] = []
     for block in contributing:
-        for c in block:
-            computed += 1
-            neighborhood = get_knn(b_index, c, k_cb)
-            for b in neighborhood:
-                for ab in ab_by_inner.get(b.pid, ()):
-                    triplets.append(JoinTriplet(ab.outer, ab.inner, c))
+        c_points.extend(block.points)
+    triplets: list[JoinTriplet] = []
+    for c, neighborhood in zip(c_points, get_knn_batch(b_index, c_points, k_cb)):
+        for b_pid in neighborhood.pid_array.tolist():
+            for ab in ab_by_inner.get(b_pid, ()):
+                triplets.append(JoinTriplet(ab.outer, ab.inner, c))
     if stats is not None:
-        stats.neighborhoods_computed += computed
-        stats.points_pruned += c_index.num_points - computed
+        stats.neighborhoods_computed += len(c_points)
+        stats.points_pruned += c_index.num_points - len(c_points)
     return triplets
 
 

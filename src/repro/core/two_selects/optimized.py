@@ -43,7 +43,7 @@ from repro.core.stats import PruningStats
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
-from repro.locality.knn import get_knn, neighborhood_from_blocks
+from repro.locality.knn import get_knn, maxdist_phase_bound, neighborhood_from_blocks
 from repro.operators.intersection import intersect_points
 
 __all__ = ["two_knn_selects_optimized"]
@@ -89,19 +89,11 @@ def two_knn_selects_optimized(
         return []
     search_threshold = small.distance_to_farthest_member(focal2)
 
-    # MAXDIST phase: find the bound M guaranteeing >= k2 points within M of f2.
+    # MAXDIST phase: find the bound M guaranteeing >= k2 points within M of f2
+    # (one vectorized cumsum over the MAXDIST ordering — see maxdist_phase_bound).
     counts = index.block_counts
     maxdists = index.maxdists(focal2)
-    order = np.lexsort((np.arange(index.num_blocks), maxdists))
-    running = 0
-    maxdist_bound = float("inf")
-    for i in order:
-        if counts[i] == 0:
-            continue
-        running += int(counts[i])
-        if running >= k2:
-            maxdist_bound = float(maxdists[i])
-            break
+    maxdist_bound = maxdist_phase_bound(counts, maxdists, k2)
 
     # Restricted locality: blocks with MINDIST <= min(M, searchThreshold).
     cutoff = min(maxdist_bound, search_threshold)
@@ -113,5 +105,7 @@ def two_knn_selects_optimized(
         stats.blocks_examined += index.num_blocks
         stats.blocks_pruned += index.num_blocks - len(locality_blocks)
 
+    # Columnar tail: the restricted neighborhood ranking and the intersection
+    # both run on id arrays; only the intersection's survivors materialize.
     large = neighborhood_from_blocks(focal2, k2, locality_blocks)
     return intersect_points(small, large)

@@ -9,7 +9,7 @@ provided here once so every concrete index gets efficient orderings for free.
 from __future__ import annotations
 
 import abc
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -18,6 +18,7 @@ from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.block import Block
 from repro.index.orderings import BlockDistance, maxdist_ordering, mindist_ordering
+from repro.storage.pointstore import PointStore
 
 __all__ = ["SpatialIndex"]
 
@@ -33,17 +34,29 @@ class SpatialIndex(abc.ABC):
     def __init__(self) -> None:
         self._blocks: tuple[Block, ...] = ()
         self._bounds: Rect | None = None
+        self._store: PointStore | None = None
         self._block_bounds: np.ndarray = np.empty((0, 4), dtype=np.float64)
         self._block_counts: np.ndarray = np.empty(0, dtype=np.int64)
+        self._row_block_ids: np.ndarray | None = None
         self._num_points = 0
 
     # ------------------------------------------------------------------
     # Construction support for subclasses
     # ------------------------------------------------------------------
-    def _finalize(self, blocks: Sequence[Block], bounds: Rect) -> None:
+    @staticmethod
+    def _as_store(points: "Iterable[Point] | PointStore") -> PointStore:
+        """Normalize a builder's input into a :class:`PointStore`."""
+        if isinstance(points, PointStore):
+            return points
+        return PointStore.from_points(points)
+
+    def _finalize(
+        self, blocks: Sequence[Block], bounds: Rect, store: PointStore | None = None
+    ) -> None:
         """Record the final block list; called once by subclass constructors."""
         self._blocks = tuple(blocks)
         self._bounds = bounds
+        self._store = store
         if self._blocks:
             self._block_bounds = np.array(
                 [b.rect.as_tuple() for b in self._blocks], dtype=np.float64
@@ -82,6 +95,42 @@ class SpatialIndex(abc.ABC):
     def block_counts(self) -> np.ndarray:
         """Per-block point counts, aligned with :attr:`blocks`."""
         return self._block_counts
+
+    @property
+    def block_bounds(self) -> np.ndarray:
+        """Per-block ``(xmin, ymin, xmax, ymax)`` rows, aligned with :attr:`blocks`.
+
+        The vectorized MINDIST/MAXDIST kernels (here and in the batched prune
+        phases of the core algorithms) all read from this one table.
+        """
+        return self._block_bounds
+
+    @property
+    def store(self) -> PointStore | None:
+        """The columnar store every block's member rows index into.
+
+        ``None`` only for indexes finalized without a shared store (legacy
+        block lists built directly from point sequences).
+        """
+        return self._store
+
+    @property
+    def row_block_ids(self) -> np.ndarray:
+        """Owning block id of every store row (built once, cached).
+
+        The inverse of the blocks' member arrays: one scatter over them
+        yields a ``len(store)`` table that turns "which block holds this
+        row?" into a gather.  Indexes are immutable, so the table is a pure
+        function of the build and amortizes across queries.
+        """
+        if self._store is None:
+            raise EmptyDatasetError("index has no shared store")
+        if self._row_block_ids is None:
+            table = np.empty(len(self._store), dtype=np.int64)
+            for block in self._blocks:
+                table[block.member_ids] = block.block_id
+            self._row_block_ids = table
+        return self._row_block_ids
 
     def points(self) -> Iterator[Point]:
         """Iterate over every indexed point (block by block)."""
@@ -139,8 +188,17 @@ class SpatialIndex(abc.ABC):
     # Convenience queries
     # ------------------------------------------------------------------
     def blocks_intersecting(self, rect: Rect) -> list[Block]:
-        """All blocks whose rectangle intersects ``rect``."""
-        return [b for b in self._blocks if b.rect.intersects(rect)]
+        """All blocks whose rectangle intersects ``rect`` (vectorized test)."""
+        if not self._blocks:
+            return []
+        xmin, ymin, xmax, ymax = self._block_bounds.T
+        mask = (
+            (xmin <= rect.xmax)
+            & (rect.xmin <= xmax)
+            & (ymin <= rect.ymax)
+            & (rect.ymin <= ymax)
+        )
+        return [self._blocks[i] for i in np.nonzero(mask)[0]]
 
     def blocks_within(self, p: Point, radius: float) -> list[Block]:
         """All blocks whose MINDIST from ``p`` is at most ``radius``."""

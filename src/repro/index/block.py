@@ -7,6 +7,13 @@ The paper's algorithms rely on three pieces of per-block information:
   of points in each block"),
 * the block's center and diagonal (Block-Marking search thresholds), and
 * MINDIST/MAXDIST from a query point to the block.
+
+Since the columnar refactor a block does not own point objects: it holds an
+``int32`` array of **member row indices** into its dataset's
+:class:`~repro.storage.pointstore.PointStore`.  Coordinates and pids are
+zero-copy-style gathers from the store's columns; :class:`Point` objects are
+materialized lazily (and cached) only when a caller actually iterates the
+block's points — pruned blocks never materialize anything.
 """
 
 from __future__ import annotations
@@ -18,8 +25,11 @@ import numpy as np
 from repro.geometry.distance import maxdist_point_rect, mindist_point_rect
 from repro.geometry.point import Point, PointArray
 from repro.geometry.rectangle import Rect
+from repro.storage.pointstore import PointStore
 
 __all__ = ["Block"]
+
+_EMPTY_MEMBERS = np.empty(0, dtype=np.int32)
 
 
 class Block:
@@ -29,9 +39,14 @@ class Block:
     the query algorithms.  ``block_id`` is unique within one index and is used
     for hashing and for per-query marks kept in external dictionaries (the
     algorithms never mutate blocks).
+
+    Two construction forms exist: the columnar form used by the index
+    builders (``store=`` + ``members=``, a row-index array into the store)
+    and the convenience form taking a sequence of :class:`Point` objects
+    (tests, ad-hoc blocks), which shreds them into a private store.
     """
 
-    __slots__ = ("block_id", "rect", "_points", "_coords", "tag")
+    __slots__ = ("block_id", "rect", "store", "_members", "_points", "_coords", "tag")
 
     def __init__(
         self,
@@ -39,10 +54,28 @@ class Block:
         rect: Rect,
         points: Sequence[Point] | None = None,
         tag: Any = None,
+        *,
+        store: PointStore | None = None,
+        members: np.ndarray | None = None,
     ) -> None:
         self.block_id = int(block_id)
         self.rect = rect
-        self._points: tuple[Point, ...] = tuple(points) if points else ()
+        if store is not None:
+            #: The columnar store the member rows index into.
+            self.store: PointStore = store
+            self._members = (
+                np.ascontiguousarray(members, dtype=np.int32)
+                if members is not None and len(members)
+                else _EMPTY_MEMBERS
+            )
+            self._points: tuple[Point, ...] | None = None
+        else:
+            pts = tuple(points) if points else ()
+            self.store = PointStore.from_points(pts)
+            self._members = (
+                np.arange(len(pts), dtype=np.int32) if pts else _EMPTY_MEMBERS
+            )
+            self._points = pts
         self._coords: PointArray | None = None
         #: Free-form tag used by index builders (e.g. grid cell coordinates).
         self.tag = tag
@@ -51,34 +84,43 @@ class Block:
     # Contents
     # ------------------------------------------------------------------
     @property
+    def member_ids(self) -> np.ndarray:
+        """Row indices of this block's points in :attr:`store` (``int32``)."""
+        return self._members
+
+    @property
     def points(self) -> tuple[Point, ...]:
-        """The points stored in this block."""
+        """The points stored in this block (materialized lazily, cached)."""
+        if self._points is None:
+            self._points = tuple(self.store.materialize(self._members))
         return self._points
 
     @property
     def count(self) -> int:
         """Number of points in the block (the paper's ``numberOfPoints``)."""
-        return len(self._points)
+        return len(self._members)
 
     @property
     def is_empty(self) -> bool:
-        return not self._points
+        return len(self._members) == 0
 
     @property
     def coords(self) -> PointArray:
-        """Lazily built ``(count, 2)`` coordinate array for vectorized math."""
+        """``(count, 2)`` coordinate array gathered from the store (cached)."""
         if self._coords is None:
-            if self._points:
-                self._coords = np.array([(p.x, p.y) for p in self._points], dtype=np.float64)
-            else:
-                self._coords = np.empty((0, 2), dtype=np.float64)
+            self._coords = self.store.coords(self._members)
         return self._coords
 
+    @property
+    def pids(self) -> np.ndarray:
+        """The members' pids gathered from the store (``int64``)."""
+        return self.store.pids[self._members]
+
     def __iter__(self) -> Iterator[Point]:
-        return iter(self._points)
+        return iter(self.points)
 
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._members)
 
     # ------------------------------------------------------------------
     # Geometry shortcuts used by the algorithms

@@ -9,12 +9,18 @@ The grid partitions the dataset bounds into ``cells_per_side x cells_per_side``
 equal cells.  Every cell is a block, including empty cells (empty blocks are
 kept so that MINDIST/MAXDIST contours are complete; they carry a zero count
 and are skipped quickly by every algorithm).
+
+Construction is columnar: the builder accepts a
+:class:`~repro.storage.pointstore.PointStore` (or any iterable of points,
+which it shreds into one), assigns every row to its cell with one vectorized
+pass over the coordinate columns, and hands each block an ``int32`` member-row
+array — no per-point Python objects are touched while building.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 
@@ -23,6 +29,7 @@ from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.base import SpatialIndex
 from repro.index.block import Block
+from repro.storage.pointstore import PointStore
 
 __all__ = ["GridIndex"]
 
@@ -33,7 +40,8 @@ class GridIndex(SpatialIndex):
     Parameters
     ----------
     points:
-        The points to index.
+        The points to index — a :class:`PointStore` or an iterable of
+        :class:`Point`.
     cells_per_side:
         Number of cells along each axis.  If omitted, a value is derived from
         the dataset size targeting roughly ``target_points_per_cell`` points
@@ -51,25 +59,31 @@ class GridIndex(SpatialIndex):
 
     def __init__(
         self,
-        points: Iterable[Point],
+        points: Iterable[Point] | PointStore,
         cells_per_side: int | None = None,
         bounds: Rect | None = None,
         target_points_per_cell: int = 64,
         keep_empty_cells: bool = True,
     ) -> None:
         super().__init__()
-        pts = list(points)
-        if not pts:
+        store = self._as_store(points)
+        n = len(store)
+        if n == 0:
             raise EmptyDatasetError("GridIndex requires at least one point")
         if bounds is None:
-            bounds = Rect.from_points(pts)
+            bounds = Rect(
+                float(store.xs.min()),
+                float(store.ys.min()),
+                float(store.xs.max()),
+                float(store.ys.max()),
+            )
             # Grow degenerate bounds slightly so every point falls strictly inside.
             if bounds.width == 0 or bounds.height == 0:
                 bounds = bounds.expand(max(1e-9, 0.5))
         if cells_per_side is None:
             if target_points_per_cell <= 0:
                 raise InvalidParameterError("target_points_per_cell must be positive")
-            cells_per_side = max(1, int(math.sqrt(len(pts) / target_points_per_cell)))
+            cells_per_side = max(1, int(math.sqrt(n / target_points_per_cell)))
         if cells_per_side <= 0:
             raise InvalidParameterError("cells_per_side must be positive")
 
@@ -78,28 +92,58 @@ class GridIndex(SpatialIndex):
         self._cell_height = bounds.height / self.cells_per_side
         self._grid_bounds = bounds
 
-        buckets: dict[tuple[int, int], list[Point]] = {}
-        for p in pts:
-            buckets.setdefault(self._cell_of(p, bounds), []).append(p)
+        # Vectorized cell assignment over the coordinate columns.
+        ix, iy = self._cells_of(store.xs, store.ys, bounds)
+        cell_ids = iy * self.cells_per_side + ix
+        # Stable sort groups member rows per cell while preserving the input
+        # (store) order inside each cell — identical to the per-point append
+        # order of the object-path builder.
+        order = np.argsort(cell_ids, kind="stable").astype(np.int32)
+        sorted_cells = cell_ids[order]
+        boundaries = np.nonzero(np.diff(sorted_cells))[0] + 1
+        groups = np.split(order, boundaries)
+        members_by_cell: dict[int, np.ndarray] = {
+            int(sorted_cells[start]): group
+            for start, group in zip(np.concatenate(([0], boundaries)), groups)
+        }
 
         blocks: list[Block] = []
         self._cell_to_block: dict[tuple[int, int], Block] = {}
         block_id = 0
-        for iy in range(self.cells_per_side):
-            for ix in range(self.cells_per_side):
-                cell_points = buckets.get((ix, iy))
-                if not cell_points and not keep_empty_cells:
+        for cy in range(self.cells_per_side):
+            for cx in range(self.cells_per_side):
+                cell_members = members_by_cell.get(cy * self.cells_per_side + cx)
+                if cell_members is None and not keep_empty_cells:
                     continue
-                rect = self._cell_rect(ix, iy, bounds)
-                block = Block(block_id, rect, cell_points or (), tag=(ix, iy))
+                rect = self._cell_rect(cx, cy, bounds)
+                block = Block(
+                    block_id, rect, tag=(cx, cy), store=store, members=cell_members
+                )
                 blocks.append(block)
-                self._cell_to_block[(ix, iy)] = block
+                self._cell_to_block[(cx, cy)] = block
                 block_id += 1
-        self._finalize(blocks, bounds)
+        self._finalize(blocks, bounds, store=store)
 
     # ------------------------------------------------------------------
     # Cell arithmetic
     # ------------------------------------------------------------------
+    def _cells_of(
+        self, xs: np.ndarray, ys: np.ndarray, bounds: Rect
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``(ix, iy)`` cell assignment, clamped to the grid."""
+        last = self.cells_per_side - 1
+        if self._cell_width > 0:
+            ix = ((xs - bounds.xmin) / self._cell_width).astype(np.int64)
+            np.clip(ix, 0, last, out=ix)
+        else:
+            ix = np.zeros(len(xs), dtype=np.int64)
+        if self._cell_height > 0:
+            iy = ((ys - bounds.ymin) / self._cell_height).astype(np.int64)
+            np.clip(iy, 0, last, out=iy)
+        else:
+            iy = np.zeros(len(ys), dtype=np.int64)
+        return ix, iy
+
     def _cell_of(self, p: Point, bounds: Rect) -> tuple[int, int]:
         """Return the (ix, iy) cell containing ``p``, clamped to the grid."""
         if self._cell_width > 0:

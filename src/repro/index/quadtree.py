@@ -5,29 +5,37 @@ number of points in a node drops below a capacity threshold (Section 2 of the
 paper describes exactly this family of structures).  The *leaves* of the tree
 are the blocks exposed to the algorithms; internal nodes exist only during
 construction and for point location.
+
+Construction is columnar: nodes carry ``int32`` row-index arrays into the
+dataset's :class:`~repro.storage.pointstore.PointStore` and each split is a
+pair of vectorized comparisons over gathered coordinate columns, so building
+never iterates Python point objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
+
+import numpy as np
 
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.base import SpatialIndex
 from repro.index.block import Block
+from repro.storage.pointstore import PointStore
 
 __all__ = ["QuadtreeIndex"]
 
 
 @dataclass
 class _Node:
-    """A quadtree node; either a leaf holding points or four children."""
+    """A quadtree node; either a leaf holding member rows or four children."""
 
     rect: Rect
     depth: int
-    points: list[Point] = field(default_factory=list)
+    members: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int32))
     children: "list[_Node] | None" = None
     block: Block | None = None
 
@@ -42,7 +50,8 @@ class QuadtreeIndex(SpatialIndex):
     Parameters
     ----------
     points:
-        Points to index.
+        Points to index — a :class:`PointStore` or an iterable of
+        :class:`Point`.
     capacity:
         Maximum number of points in a leaf before it splits.
     max_depth:
@@ -54,14 +63,14 @@ class QuadtreeIndex(SpatialIndex):
 
     def __init__(
         self,
-        points: Iterable[Point],
+        points: Iterable[Point] | PointStore,
         capacity: int = 128,
         max_depth: int = 16,
         bounds: Rect | None = None,
     ) -> None:
         super().__init__()
-        pts = list(points)
-        if not pts:
+        store = self._as_store(points)
+        if len(store) == 0:
             raise EmptyDatasetError("QuadtreeIndex requires at least one point")
         if capacity <= 0:
             raise InvalidParameterError("capacity must be positive")
@@ -69,34 +78,52 @@ class QuadtreeIndex(SpatialIndex):
             raise InvalidParameterError("max_depth must be positive")
         self.capacity = int(capacity)
         self.max_depth = int(max_depth)
+        self._qt_store = store
 
         if bounds is None:
-            bounds = Rect.from_points(pts)
+            bounds = Rect(
+                float(store.xs.min()),
+                float(store.ys.min()),
+                float(store.xs.max()),
+                float(store.ys.max()),
+            )
         # Make the root square (classic PR-quadtree) and non-degenerate.
         side = max(bounds.width, bounds.height)
         if side == 0:
             side = 1.0
         bounds = Rect(bounds.xmin, bounds.ymin, bounds.xmin + side, bounds.ymin + side)
 
-        self._root = _Node(rect=bounds, depth=0, points=list(pts))
+        self._root = _Node(
+            rect=bounds, depth=0, members=np.arange(len(store), dtype=np.int32)
+        )
         self._split(self._root)
 
         blocks: list[Block] = []
         self._collect_leaves(self._root, blocks)
-        self._finalize(blocks, bounds)
+        self._finalize(blocks, bounds, store=store)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     def _split(self, node: _Node) -> None:
         """Recursively split ``node`` until every leaf satisfies the capacity."""
-        if len(node.points) <= self.capacity or node.depth >= self.max_depth:
+        if len(node.members) <= self.capacity or node.depth >= self.max_depth:
             return
-        quadrants = node.rect.quadrants()
+        rect = node.rect
+        cx = (rect.xmin + rect.xmax) / 2.0
+        cy = (rect.ymin + rect.ymax) / 2.0
+        xs = self._qt_store.xs[node.members]
+        ys = self._qt_store.ys[node.members]
+        east = xs >= cx
+        north = ys >= cy
+        quadrants = rect.quadrants()
         children = [_Node(rect=q, depth=node.depth + 1) for q in quadrants]
-        for p in node.points:
-            children[self._quadrant_of(node.rect, p)].points.append(p)
-        node.points = []
+        # Quadrant index (SW=0, SE=1, NW=2, NE=3), as in _quadrant_of.
+        children[0].members = node.members[~north & ~east]
+        children[1].members = node.members[~north & east]
+        children[2].members = node.members[north & ~east]
+        children[3].members = node.members[north & east]
+        node.members = np.empty(0, dtype=np.int32)
         node.children = children
         for child in children:
             self._split(child)
@@ -112,7 +139,13 @@ class QuadtreeIndex(SpatialIndex):
 
     def _collect_leaves(self, node: _Node, out: list[Block]) -> None:
         if node.is_leaf:
-            block = Block(len(out), node.rect, node.points, tag=("leaf", node.depth))
+            block = Block(
+                len(out),
+                node.rect,
+                tag=("leaf", node.depth),
+                store=self._qt_store,
+                members=node.members,
+            )
             node.block = block
             out.append(block)
             return

@@ -6,6 +6,10 @@ into leaf pages of at most ``leaf_capacity`` points.  The leaf pages (their
 minimum bounding rectangles) are the blocks exposed to the paper's algorithms;
 upper levels of the tree are kept for point location.
 
+Packing is columnar: both STR sorts are ``np.lexsort`` calls over the store's
+coordinate/pid columns (ties broken by pid, as in the object-path builder),
+and each leaf page is an ``int32`` member-row slice of the sorted order.
+
 Unlike the grid and the quadtree, R-tree leaf MBRs do not tile the plane:
 ``locate`` returns ``None`` for points that fall outside every leaf MBR.  The
 paper's algorithms only call ``locate`` for points that are known to be
@@ -16,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 
@@ -25,6 +29,7 @@ from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.base import SpatialIndex
 from repro.index.block import Block
+from repro.storage.pointstore import PointStore
 
 __all__ = ["RTreeIndex"]
 
@@ -48,7 +53,8 @@ class RTreeIndex(SpatialIndex):
     Parameters
     ----------
     points:
-        Points to index.
+        Points to index — a :class:`PointStore` or an iterable of
+        :class:`Point`.
     leaf_capacity:
         Maximum number of points per leaf page.
     fanout:
@@ -57,13 +63,13 @@ class RTreeIndex(SpatialIndex):
 
     def __init__(
         self,
-        points: Iterable[Point],
+        points: Iterable[Point] | PointStore,
         leaf_capacity: int = 128,
         fanout: int = 16,
     ) -> None:
         super().__init__()
-        pts = list(points)
-        if not pts:
+        store = self._as_store(points)
+        if len(store) == 0:
             raise EmptyDatasetError("RTreeIndex requires at least one point")
         if leaf_capacity <= 0:
             raise InvalidParameterError("leaf_capacity must be positive")
@@ -72,31 +78,46 @@ class RTreeIndex(SpatialIndex):
         self.leaf_capacity = int(leaf_capacity)
         self.fanout = int(fanout)
 
-        blocks = self._pack_leaves(pts)
+        blocks = self._pack_leaves(store)
         self._root = self._build_upper_levels([_RNode(rect=b.rect, block=b) for b in blocks])
-        self._finalize(blocks, Rect.from_points(pts))
+        bounds = Rect(
+            float(store.xs.min()),
+            float(store.ys.min()),
+            float(store.xs.max()),
+            float(store.ys.max()),
+        )
+        self._finalize(blocks, bounds, store=store)
 
     # ------------------------------------------------------------------
     # STR packing
     # ------------------------------------------------------------------
-    def _pack_leaves(self, pts: list[Point]) -> list[Block]:
-        """Pack ``pts`` into leaf blocks using Sort-Tile-Recursive."""
-        n = len(pts)
+    def _pack_leaves(self, store: PointStore) -> list[Block]:
+        """Pack the store's rows into leaf blocks using Sort-Tile-Recursive."""
+        n = len(store)
         leaf_count = math.ceil(n / self.leaf_capacity)
         slices = max(1, math.ceil(math.sqrt(leaf_count)))
         per_slice = math.ceil(n / slices)
 
-        by_x = sorted(pts, key=lambda p: (p.x, p.y, p.pid))
+        xs, ys, pids = store.xs, store.ys, store.pids
+        by_x = np.lexsort((pids, ys, xs))  # order by (x, y, pid)
         blocks: list[Block] = []
         for s in range(slices):
             chunk = by_x[s * per_slice : (s + 1) * per_slice]
-            if not chunk:
+            if not len(chunk):
                 continue
-            chunk.sort(key=lambda p: (p.y, p.x, p.pid))
+            chunk = chunk[np.lexsort((pids[chunk], xs[chunk], ys[chunk]))]  # (y, x, pid)
             for i in range(0, len(chunk), self.leaf_capacity):
                 page = chunk[i : i + self.leaf_capacity]
-                rect = Rect.from_points(page)
-                blocks.append(Block(len(blocks), rect, page, tag=("leaf", s)))
+                page_xs, page_ys = xs[page], ys[page]
+                rect = Rect(
+                    float(page_xs.min()),
+                    float(page_ys.min()),
+                    float(page_xs.max()),
+                    float(page_ys.max()),
+                )
+                blocks.append(
+                    Block(len(blocks), rect, tag=("leaf", s), store=store, members=page)
+                )
         return blocks
 
     def _build_upper_levels(self, nodes: list[_RNode]) -> _RNode:

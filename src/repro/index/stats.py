@@ -33,13 +33,23 @@ class IndexStats:
 
     @classmethod
     def from_index(cls, index: SpatialIndex) -> "IndexStats":
-        """Compute statistics for ``index``."""
+        """Compute statistics for ``index`` (one pass over the block tables)."""
         counts = index.block_counts
         nonempty = counts[counts > 0]
         total_area = index.bounds.area
         if total_area <= 0:
             total_area = 1.0
-        occupied_area = sum(b.rect.area for b in index.blocks if b.count > 0)
+        bounds = index.block_bounds
+        if len(bounds):
+            occupied = counts > 0
+            occupied_area = float(
+                (
+                    (bounds[occupied, 2] - bounds[occupied, 0])
+                    * (bounds[occupied, 3] - bounds[occupied, 1])
+                ).sum()
+            )
+        else:
+            occupied_area = 0.0
         return cls(
             num_points=index.num_points,
             num_blocks=index.num_blocks,

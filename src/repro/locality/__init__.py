@@ -13,7 +13,14 @@ scanning only the points in the locality's blocks.
 """
 
 from repro.locality.neighborhood import Neighborhood
-from repro.locality.knn import Locality, build_locality, get_knn, neighborhood_from_blocks
+from repro.locality.knn import (
+    Locality,
+    build_locality,
+    get_knn,
+    neighborhood_from_blocks,
+    neighborhood_from_blocks_object,
+)
+from repro.locality.batch import get_knn_batch
 from repro.locality.brute import brute_force_knn
 
 __all__ = [
@@ -21,6 +28,8 @@ __all__ = [
     "Locality",
     "build_locality",
     "get_knn",
+    "get_knn_batch",
     "neighborhood_from_blocks",
+    "neighborhood_from_blocks_object",
     "brute_force_knn",
 ]

@@ -1,0 +1,125 @@
+"""Batched locality-based kNN: many query points against one index.
+
+The columnar backbone makes the per-query locality phase batchable: MINDIST
+and MAXDIST from *every* query point to *every* block are two chunked matrix
+kernels over the index's block-bound table, the MAXDIST-phase bound of every
+query comes from one row-wise argsort + cumsum, and only the final per-query
+ranking (over each query's own candidate rows) remains a loop — one
+:func:`~repro.locality.knn.rank_rows` call per query.
+
+The block phase works in **squared-distance** space.  That is sound: the
+clamped per-axis gaps behind MINDIST are computed with correctly-rounded
+(hence monotone) subtractions, and ``x*x + y*y`` composes correctly-rounded
+multiplications and an addition, all monotone — so the computed squared
+MINDIST of a block never exceeds the computed squared distance to any point
+inside it, which is the only invariant the locality guarantee needs.  Any
+ULP-level difference from the scalar (hypot) path can only shift *which
+superset of blocks* is scanned, never the exact ``(distance, pid)`` top-k
+ranked from it; ``get_knn_batch`` therefore returns neighborhoods identical
+to per-point :func:`~repro.locality.knn.get_knn`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.index.base import SpatialIndex
+from repro.locality.knn import get_knn, rank_rows
+from repro.locality.neighborhood import Neighborhood
+
+__all__ = ["get_knn_batch"]
+
+#: Query rows per chunk; bounds each (chunk x num_blocks) matrix to a few MB.
+_BATCH_CHUNK = 256
+
+
+def get_knn_batch(
+    index: SpatialIndex,
+    queries: Sequence[Point] | np.ndarray,
+    k: int,
+) -> list[Neighborhood]:
+    """The k-neighborhood of every query point, batched over the block phase.
+
+    ``queries`` is a sequence of points or an ``(n, 2)`` coordinate array (the
+    latter never materializes query point objects; each result neighborhood's
+    center is then an anonymous ``pid == -1`` point).  Returns one
+    :class:`Neighborhood` per query, in input order — each identical to
+    ``get_knn(index, q, k)``.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if index.num_points == 0:
+        raise EmptyDatasetError("cannot run a kNN batch over an empty index")
+
+    if isinstance(queries, np.ndarray):
+        coords = np.asarray(queries, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise InvalidParameterError(
+                f"expected an (n, 2) query array, got shape {coords.shape}"
+            )
+        points: list[Point] | None = None
+    else:
+        points = list(queries)
+        coords = np.array([(q.x, q.y) for q in points], dtype=np.float64)
+    if not len(coords):
+        return []
+
+    store = index.store
+    blocks = index.blocks
+    if store is None:
+        # Heterogeneous block stores: no shared columns to batch over.
+        qs = points if points is not None else [Point(float(x), float(y)) for x, y in coords]
+        return [get_knn(index, q, k) for q in qs]
+
+    bounds = index.block_bounds
+    bxmin, bymin, bxmax, bymax = bounds.T
+    counts = index.block_counts
+    nonempty = counts > 0
+    members = [b.member_ids for b in blocks]
+
+    out: list[Neighborhood] = []
+    for start in range(0, len(coords), _BATCH_CHUNK):
+        cx = coords[start : start + _BATCH_CHUNK, 0][:, None]
+        cy = coords[start : start + _BATCH_CHUNK, 1][:, None]
+        # Per-axis gaps, shared by both metrics.
+        ax = bxmin[None, :] - cx
+        bx = cx - bxmax[None, :]
+        ay = bymin[None, :] - cy
+        by = cy - bymax[None, :]
+        min_dx = np.maximum(0.0, np.maximum(ax, bx))
+        min_dy = np.maximum(0.0, np.maximum(ay, by))
+        max_dx = np.maximum(np.abs(ax), np.abs(bx))
+        max_dy = np.maximum(np.abs(ay), np.abs(by))
+        mind2 = min_dx * min_dx + min_dy * min_dy
+        maxd2 = max_dx * max_dx + max_dy * max_dy
+
+        # MAXDIST phase for the whole chunk: row-wise cumsum of block counts
+        # in squared-MAXDIST order; the bound is where the prefix reaches k.
+        order = np.argsort(maxd2, axis=1)
+        running = np.cumsum(np.take(counts, order), axis=1)
+        pos = (running < k).sum(axis=1)
+        exhausted = pos >= order.shape[1]  # fewer than k indexed points
+        pos_clamped = np.minimum(pos, order.shape[1] - 1)
+        bound2 = np.take_along_axis(
+            maxd2, order[np.arange(len(order)), pos_clamped][:, None], axis=1
+        )[:, 0]
+        bound2[exhausted] = np.inf
+
+        locality = (mind2 <= bound2[:, None]) & nonempty[None, :]
+        for row in range(len(locality)):
+            selected = np.nonzero(locality[row])[0]
+            if len(selected) == 1:
+                rows = members[selected[0]]
+            else:
+                rows = np.concatenate([members[i] for i in selected])
+            q = (
+                points[start + row]
+                if points is not None
+                else Point(float(coords[start + row, 0]), float(coords[start + row, 1]))
+            )
+            out.append(rank_rows(q, k, store, rows))
+    return out

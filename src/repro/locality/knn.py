@@ -15,6 +15,14 @@ query point, and only then looks at actual points:
 
 ``get_knn`` is the single kNN entry point used by every operator and algorithm
 in the library.
+
+Ranking is columnar: the locality blocks' ``int32`` member-row arrays are
+concatenated and distance + ``(distance, pid)`` ranking run as vectorized
+kernels over the store's columns; the winning rows feed a *lazy*
+:class:`Neighborhood` and no :class:`Point` object is created here.
+:func:`neighborhood_from_blocks_object` keeps the seed's object-path ranking
+as the parity oracle (and as the "seed representation" baseline of the
+figure-29 columnar-speedup benchmark).
 """
 
 from __future__ import annotations
@@ -29,8 +37,17 @@ from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
 from repro.index.block import Block
 from repro.locality.neighborhood import Neighborhood
+from repro.storage.pointstore import PointStore
 
-__all__ = ["Locality", "build_locality", "get_knn", "neighborhood_from_blocks"]
+__all__ = [
+    "Locality",
+    "build_locality",
+    "get_knn",
+    "neighborhood_from_blocks",
+    "neighborhood_from_blocks_object",
+    "maxdist_phase_bound",
+    "rank_rows",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -65,6 +82,23 @@ class Locality:
         return sum(b.count for b in self.blocks)
 
 
+def maxdist_phase_bound(counts: np.ndarray, maxdists: np.ndarray, k: int) -> float:
+    """The MAXDIST-phase bound ``M``: smallest prefix of the MAXDIST ordering
+    whose blocks hold at least ``k`` points.
+
+    Equivalent to scanning blocks in stable MAXDIST order and accumulating
+    counts until ``k`` is reached (the crossing block cannot be empty, so
+    skipping empty blocks changes nothing), but runs as one cumsum instead of
+    a Python loop.
+    """
+    order = np.lexsort((np.arange(len(maxdists)), maxdists))
+    running = np.cumsum(counts[order])
+    pos = int(np.searchsorted(running, k, side="left"))
+    if pos >= len(order):
+        return float("inf")
+    return float(maxdists[order[pos]])
+
+
 def build_locality(index: SpatialIndex, p: Point, k: int) -> Locality:
     """Build the minimal locality of ``p`` for a ``k``-neighborhood.
 
@@ -83,16 +117,7 @@ def build_locality(index: SpatialIndex, p: Point, k: int) -> Locality:
     mindists = index.mindists(p)
 
     # Phase 1: MAXDIST order, accumulate counts until we have k points.
-    order = np.lexsort((np.arange(len(blocks)), maxdists))
-    running = 0
-    bound = float("inf")
-    for i in order:
-        if counts[i] == 0:
-            continue
-        running += int(counts[i])
-        if running >= k:
-            bound = float(maxdists[i])
-            break
+    bound = maxdist_phase_bound(counts, maxdists, k)
 
     # Phase 2: the locality is every non-empty block with MINDIST <= bound.
     if np.isinf(bound):
@@ -113,6 +138,79 @@ def neighborhood_from_blocks(
     This is the final step of ``getkNN`` and is also used directly by the
     2-kNN-select algorithm, which computes a neighborhood from a *restricted*
     locality (Procedure 5).
+
+    The blocks' member-row arrays are concatenated and ranked columnar-ly;
+    the result is a lazy neighborhood over the shared store.  Blocks backed
+    by different stores (ad-hoc block lists) fall back to the object path.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    candidate_blocks = [b for b in blocks if b.count > 0]
+    if not candidate_blocks:
+        return Neighborhood(p, k, [], [])
+
+    store = candidate_blocks[0].store
+    if any(b.store is not store for b in candidate_blocks[1:]):
+        return neighborhood_from_blocks_object(p, k, candidate_blocks)
+
+    if len(candidate_blocks) == 1:
+        rows = candidate_blocks[0].member_ids
+    else:
+        rows = np.concatenate([b.member_ids for b in candidate_blocks])
+    return rank_rows(p, k, store, rows)
+
+
+#: Relative slack widening the squared-distance prefilter boundary.  Squared
+#: distances carry at most ~3 ulp of relative rounding error and hypot ~1, so
+#: orderings of the two metrics can only disagree within ~1e-15 relative —
+#: 1e-13 keeps every possible true-distance boundary tie in the head with two
+#: orders of magnitude to spare, while still discarding essentially all of
+#: the tail.
+_HEAD_SLACK = 1e-13
+
+
+def rank_rows(
+    p: Point,
+    k: int,
+    store: "PointStore",
+    rows: np.ndarray,
+) -> Neighborhood:
+    """Exact ``(distance, pid)`` top-k over candidate store rows.
+
+    The prefilter runs on *squared* distances (cheaper than ``hypot`` per
+    candidate): one ``argpartition`` finds the k-th smallest squared
+    distance, and every candidate within a few-ulp-widened boundary of it
+    joins the head.  Only the head — k plus boundary ties — gets the exact
+    ``hypot`` distances and the final ``(distance, pid)`` lexsort, so the
+    result is identical to fully sorting all candidates by true distance.
+    """
+    dx = store.xs[rows] - p.x
+    dy = store.ys[rows] - p.y
+    n = len(rows)
+    if n > k:
+        d2 = dx * dx + dy * dy
+        ap = np.argpartition(d2, k - 1)
+        kth2 = d2[ap[k - 1]]
+        head = np.nonzero(d2 <= kth2 * (1.0 + _HEAD_SLACK))[0]
+        dists = np.hypot(dx[head], dy[head])
+        order = np.lexsort((store.pids[rows[head]], dists))[:k]
+        return Neighborhood.from_rows(p, k, store, rows[head[order]], dists[order])
+    dists = np.hypot(dx, dy)
+    idx = np.lexsort((store.pids[rows], dists))
+    return Neighborhood.from_rows(p, k, store, rows[idx], dists[idx])
+
+
+def neighborhood_from_blocks_object(
+    p: Point,
+    k: int,
+    blocks: Sequence[Block],
+) -> Neighborhood:
+    """The seed's object-path ranking, kept as the parity oracle.
+
+    Iterates :class:`Point` objects and gathers pids per object — exactly the
+    pre-columnar implementation.  Used by the parity property tests (the
+    columnar path must return byte-identical ``(distance, pid)`` results) and
+    as the baseline series of the figure-29 columnar-speedup workload.
     """
     if k <= 0:
         raise InvalidParameterError(f"k must be positive, got {k}")
@@ -129,7 +227,6 @@ def neighborhood_from_blocks(
     pids = np.fromiter((pt.pid for pt in points), dtype=np.int64, count=len(points))
 
     if len(points) > k:
-        # Partial selection first, then an exact (distance, pid) sort of the head.
         head = k_extended(k, dists)
         if head < len(points):
             idx = np.argpartition(dists, head - 1)[:head]

@@ -5,6 +5,14 @@ the query point, ordered by ``(distance, pid)`` so that ties are resolved
 deterministically.  The class exposes exactly the accessors the paper's
 pseudocode uses: ``nearest``, ``farthest``, membership tests, intersection and
 "farthest from another point" (needed by the 2-kNN-select algorithm).
+
+Since the columnar refactor a neighborhood is **lazy**: the kNN kernels build
+it from a :class:`~repro.storage.pointstore.PointStore` plus a row-index array
+and the already-computed distance array (:meth:`Neighborhood.from_rows`), and
+:class:`~repro.geometry.point.Point` objects are materialized only when a
+caller actually asks for them (the result boundary).  Algorithms that only
+need distances, pids or coordinates — thresholds, intersections, merges —
+read the arrays directly and never touch point objects.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.geometry.distance import distances_to_point
 from repro.geometry.point import Point, PointArray
+from repro.storage.pointstore import PointStore
 
 __all__ = ["Neighborhood"]
 
@@ -36,7 +45,18 @@ class Neighborhood:
         The distance of each member from ``center`` (same order).
     """
 
-    __slots__ = ("center", "k", "_members", "_distances", "_pid_set", "_coords")
+    __slots__ = (
+        "center",
+        "k",
+        "_members",
+        "_distances",
+        "_dist_arr",
+        "_pid_arr",
+        "_pid_set",
+        "_coords",
+        "_store",
+        "_rows",
+    )
 
     def __init__(
         self,
@@ -51,21 +71,56 @@ class Neighborhood:
             raise InvalidParameterError("members and distances must have equal length")
         self.center = center
         self.k = int(k)
-        self._members: tuple[Point, ...] = tuple(members)
-        self._distances: tuple[float, ...] = tuple(float(d) for d in distances)
-        self._pid_set = frozenset(p.pid for p in self._members)
+        self._members: tuple[Point, ...] | None = tuple(members)
+        self._distances: tuple[float, ...] | None = None
+        self._dist_arr: np.ndarray = np.asarray(distances, dtype=np.float64)
+        self._pid_arr: np.ndarray | None = None
+        self._pid_set: frozenset[int] | None = None
         self._coords: PointArray | None = None
+        self._store: PointStore | None = None
+        self._rows: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
+    def from_rows(
+        cls,
+        center: Point,
+        k: int,
+        store: PointStore,
+        rows: np.ndarray,
+        distances: np.ndarray,
+    ) -> "Neighborhood":
+        """Build a lazy neighborhood from store rows (the columnar kNN path).
+
+        ``rows`` are store row indices in ascending ``(distance, pid)`` order
+        and ``distances`` their (already computed) distances from ``center``.
+        No point objects are created until a member accessor is used.
+        """
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        nbr = cls.__new__(cls)
+        nbr.center = center
+        nbr.k = int(k)
+        nbr._members = None
+        nbr._distances = None
+        nbr._dist_arr = np.ascontiguousarray(distances, dtype=np.float64)
+        nbr._pid_arr = None
+        nbr._pid_set = None
+        nbr._coords = None
+        nbr._store = store
+        nbr._rows = np.ascontiguousarray(rows)
+        return nbr
+
+    @classmethod
     def from_candidates(cls, center: Point, k: int, candidates: Iterable[Point]) -> "Neighborhood":
         """Build the neighborhood by ranking ``candidates`` around ``center``.
 
         The candidates are ranked by ``(distance, pid)`` and the top ``k`` are
-        kept.  This is the common final step of both the locality-based and
-        the brute-force kNN searches.
+        kept.  This is the object-path reference ranking (also the seed
+        implementation's final step); the columnar kernels in
+        :mod:`repro.locality.knn` produce identical neighborhoods.
         """
         ranked = sorted(
             ((center.distance_to(p), p.pid, p) for p in candidates),
@@ -73,68 +128,112 @@ class Neighborhood:
         )[: max(k, 0)]
         return cls(center, k, [p for _, __, p in ranked], [d for d, __, ___ in ranked])
 
+    def __reduce__(self):
+        """Pickle in eager form (drop the store reference).
+
+        Lazy neighborhoods reference their relation's whole store; results
+        shipped across process boundaries (the shard worker pool) must not
+        drag the store along, so pickling materializes the members first.
+        """
+        return (
+            _rebuild_neighborhood,
+            (self.center, self.k, self.points, self.distances),
+        )
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------
     @property
     def points(self) -> tuple[Point, ...]:
-        """The neighbors in ascending distance order."""
+        """The neighbors in ascending distance order (materialized lazily)."""
+        if self._members is None:
+            assert self._store is not None and self._rows is not None
+            self._members = tuple(self._store.materialize(self._rows))
         return self._members
 
     @property
     def distances(self) -> tuple[float, ...]:
         """Distances of the neighbors from :attr:`center` (ascending)."""
+        if self._distances is None:
+            self._distances = tuple(float(d) for d in self._dist_arr)
         return self._distances
+
+    @property
+    def distance_array(self) -> np.ndarray:
+        """Member distances as a float64 array (no materialization)."""
+        return self._dist_arr
+
+    @property
+    def pid_array(self) -> np.ndarray:
+        """Member pids as an int64 array (no materialization)."""
+        if self._pid_arr is None:
+            if self._store is not None and self._rows is not None:
+                self._pid_arr = self._store.pids[self._rows]
+            else:
+                members = self._members or ()
+                self._pid_arr = np.fromiter(
+                    (p.pid for p in members), dtype=np.int64, count=len(members)
+                )
+        return self._pid_arr
 
     @property
     def is_full(self) -> bool:
         """True when the neighborhood actually holds ``k`` points."""
-        return len(self._members) >= self.k
+        return len(self._dist_arr) >= self.k
 
     @property
     def nearest(self) -> Point:
         """The nearest neighbor (the paper's ``nbr.nearest``)."""
-        if not self._members:
+        if not len(self._dist_arr):
             raise InvalidParameterError("empty neighborhood has no nearest member")
-        return self._members[0]
+        return self._member_at(0)
 
     @property
     def farthest(self) -> Point:
         """The farthest of the k neighbors (the paper's ``nbr.farthest``)."""
-        if not self._members:
+        if not len(self._dist_arr):
             raise InvalidParameterError("empty neighborhood has no farthest member")
-        return self._members[-1]
+        return self._member_at(len(self._dist_arr) - 1)
+
+    def _member_at(self, i: int) -> Point:
+        """One member point, materializing only that row when still lazy."""
+        if self._members is not None:
+            return self._members[i]
+        assert self._store is not None and self._rows is not None
+        return self._store.point_at(int(self._rows[i]))
 
     @property
     def nearest_distance(self) -> float:
         """Distance from the center to the nearest neighbor."""
-        if not self._distances:
+        if not len(self._dist_arr):
             raise InvalidParameterError("empty neighborhood has no nearest member")
-        return self._distances[0]
+        return float(self._dist_arr[0])
 
     @property
     def farthest_distance(self) -> float:
         """Distance from the center to the farthest neighbor."""
-        if not self._distances:
+        if not len(self._dist_arr):
             raise InvalidParameterError("empty neighborhood has no farthest member")
-        return self._distances[-1]
+        return float(self._dist_arr[-1])
 
     def __len__(self) -> int:
-        return len(self._members)
+        return len(self._dist_arr)
 
     def __iter__(self) -> Iterator[Point]:
-        return iter(self._members)
+        return iter(self.points)
 
     def __contains__(self, point: Point) -> bool:
-        return point.pid in self._pid_set
+        return point.pid in self.pids
 
     def contains_pid(self, pid: int) -> bool:
         """Membership test by point identifier."""
-        return pid in self._pid_set
+        return pid in self.pids
 
     @property
     def pids(self) -> frozenset[int]:
         """The identifiers of the member points."""
+        if self._pid_set is None:
+            self._pid_set = frozenset(self.pid_array.tolist())
         return self._pid_set
 
     # ------------------------------------------------------------------
@@ -142,10 +241,14 @@ class Neighborhood:
     # ------------------------------------------------------------------
     @property
     def coords(self) -> PointArray:
-        """Member coordinates as an ``(n, 2)`` array (lazily built)."""
+        """Member coordinates as an ``(n, 2)`` array (lazily gathered)."""
         if self._coords is None:
-            if self._members:
-                self._coords = np.array([(p.x, p.y) for p in self._members], dtype=np.float64)
+            if self._store is not None and self._rows is not None:
+                self._coords = self._store.coords(self._rows)
+            elif self._members:
+                self._coords = np.array(
+                    [(p.x, p.y) for p in self._members], dtype=np.float64
+                )
             else:
                 self._coords = np.empty((0, 2), dtype=np.float64)
         return self._coords
@@ -157,7 +260,7 @@ class Neighborhood:
         an outer point ``e1`` to the nearest point in the neighborhood of the
         select's focal point.
         """
-        if not self._members:
+        if not len(self._dist_arr):
             raise InvalidParameterError("empty neighborhood")
         return float(distances_to_point(self.coords, q).min())
 
@@ -167,16 +270,16 @@ class Neighborhood:
         This is the 2-kNN-select algorithm's search threshold (the paper's
         ``nbr1.farthestTof2``).
         """
-        if not self._members:
+        if not len(self._dist_arr):
             raise InvalidParameterError("empty neighborhood")
         return float(distances_to_point(self.coords, q).max())
 
     def farthest_member_from(self, q: Point) -> Point:
         """The member that is farthest from ``q``."""
-        if not self._members:
+        if not len(self._dist_arr):
             raise InvalidParameterError("empty neighborhood")
         dists = distances_to_point(self.coords, q)
-        return self._members[int(dists.argmax())]
+        return self._member_at(int(dists.argmax()))
 
     # ------------------------------------------------------------------
     # Set operations
@@ -184,17 +287,32 @@ class Neighborhood:
     def intersection(self, other: "Neighborhood") -> list[Point]:
         """The paper's ``intersect(P, Q)``: members common to both neighborhoods.
 
-        Points are matched by ``pid`` and returned in this neighborhood's
-        distance order.
+        Points are matched by ``pid`` via one vectorized ``isin`` over the pid
+        columns and returned in this neighborhood's distance order; only the
+        surviving members are materialized.
         """
-        other_pids = other._pid_set
-        return [p for p in self._members if p.pid in other_pids]
+        if not len(self._dist_arr) or not len(other._dist_arr):
+            return []
+        hits = np.nonzero(np.isin(self.pid_array, other.pid_array))[0]
+        if not len(hits):
+            return []
+        if self._members is not None:
+            return [self._members[i] for i in hits]
+        assert self._store is not None and self._rows is not None
+        return self._store.materialize(self._rows[hits])
 
     def intersection_pids(self, other: "Neighborhood") -> frozenset[int]:
         """Identifiers common to both neighborhoods."""
-        return self._pid_set & other._pid_set
+        return self.pids & other.pids
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
-            f"Neighborhood(center={self.center!r}, k={self.k}, size={len(self._members)})"
+            f"Neighborhood(center={self.center!r}, k={self.k}, size={len(self._dist_arr)})"
         )
+
+
+def _rebuild_neighborhood(
+    center: Point, k: int, members: tuple[Point, ...], distances: tuple[float, ...]
+) -> Neighborhood:
+    """Unpickle helper: rebuild an eager neighborhood (see ``__reduce__``)."""
+    return Neighborhood(center, k, members, distances)

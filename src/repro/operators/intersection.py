@@ -5,6 +5,10 @@ Two flavors appear in the paper:
 * plain point-set intersection (two kNN-selects, Section 5), and
 * ``∩B`` — intersection of two pair sets on the shared inner relation B
   (unchained kNN-joins, Section 4.1), which produces triplets.
+
+Point-set intersection is columnar: when both operands are neighborhoods the
+match runs as one vectorized ``isin`` / ``intersect1d`` over their pid
+columns and only the surviving members are materialized.
 """
 
 from __future__ import annotations
@@ -12,11 +16,18 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.geometry.point import Point
 from repro.locality.neighborhood import Neighborhood
 from repro.operators.results import JoinPair, JoinTriplet
 
-__all__ = ["intersect_points", "intersect_pairs_on_inner", "pairs_to_triplets"]
+__all__ = [
+    "intersect_points",
+    "intersect_pids",
+    "intersect_pairs_on_inner",
+    "pairs_to_triplets",
+]
 
 
 def intersect_points(
@@ -25,8 +36,12 @@ def intersect_points(
 ) -> list[Point]:
     """Set intersection of two point collections, matching points by ``pid``.
 
-    The result preserves the iteration order of ``first``.
+    The result preserves the iteration order of ``first``.  When both
+    operands are neighborhoods this delegates to the vectorized
+    :meth:`Neighborhood.intersection` and materializes only the survivors.
     """
+    if isinstance(first, Neighborhood) and isinstance(second, Neighborhood):
+        return first.intersection(second)
     second_pids = (
         second.pids if isinstance(second, Neighborhood) else {p.pid for p in second}
     )
@@ -37,6 +52,16 @@ def intersect_points(
             seen.add(p.pid)
             result.append(p)
     return result
+
+
+def intersect_pids(first: Neighborhood, second: Neighborhood) -> np.ndarray:
+    """Sorted pid array common to both neighborhoods (``np.intersect1d``).
+
+    The id-array flavor of the intersection: no point is materialized.
+    Useful when a later phase only needs identifiers (e.g. filtering join
+    outputs by a selection result).
+    """
+    return np.intersect1d(first.pid_array, second.pid_array)
 
 
 def intersect_pairs_on_inner(

@@ -18,6 +18,7 @@ from typing import Callable, Iterable, Iterator
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
+from repro.locality.batch import get_knn_batch
 from repro.locality.knn import get_knn
 from repro.locality.neighborhood import Neighborhood
 from repro.operators.results import JoinPair
@@ -60,8 +61,23 @@ def knn_join_pairs(
     k: int,
     knn: Callable[[SpatialIndex, Point, int], Neighborhood] = get_knn,
 ) -> list[JoinPair]:
-    """Materialize ``E1 join_kNN E2`` as a list of :class:`JoinPair` rows."""
-    pairs: list[JoinPair] = []
+    """Materialize ``E1 join_kNN E2`` as a list of :class:`JoinPair` rows.
+
+    With the default kNN primitive the per-outer-point neighborhoods are
+    computed through the batched columnar kernel
+    (:func:`~repro.locality.batch.get_knn_batch`), which amortizes the
+    locality phase over the whole outer relation; an injected ``knn``
+    callable falls back to the per-point loop.
+    """
+    if knn is get_knn:
+        if k <= 0:
+            raise InvalidParameterError(f"k must be positive, got {k}")
+        outer_list = outer if isinstance(outer, list) else list(outer)
+        pairs: list[JoinPair] = []
+        for e1, nbr in zip(outer_list, get_knn_batch(inner_index, outer_list, k)):
+            pairs.extend(JoinPair(e1, e2) for e2 in nbr)
+        return pairs
+    pairs = []
     for e1, nbr in knn_join(outer, inner_index, k, knn=knn):
         pairs.extend(JoinPair(e1, e2) for e2 in nbr)
     return pairs

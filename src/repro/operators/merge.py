@@ -17,6 +17,10 @@ trivially: the outer relation is partitioned, every outer point is owned by
 exactly one shard, so per-shard pair/triplet lists concatenate without
 duplicates.
 
+The re-rank itself is columnar: partial neighborhoods expose their
+``(distance, pid)`` columns as arrays, the merge stacks them and runs one
+``np.lexsort``, and only the k winners are materialized as points.
+
 See ``docs/operators.md`` for the full border-expansion argument and
 :mod:`repro.shard` for the execution layer built on these primitives.
 """
@@ -24,6 +28,8 @@ See ``docs/operators.md`` for the full border-expansion argument and
 from __future__ import annotations
 
 from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
@@ -46,16 +52,26 @@ def merge_neighborhoods(
 
     Each partial must be a (≤ k)-neighborhood of the *same* center computed
     over one shard of the relation.  The merged result is identical to the
-    neighborhood computed over the unsharded relation: candidates are ranked
-    by ``(distance, pid)`` — the library's deterministic tie-break — and the
-    first ``k`` are kept.
+    neighborhood computed over the unsharded relation: the partials'
+    ``(distance, pid)`` columns are stacked and ranked with one ``np.lexsort``
+    — the library's deterministic tie-break — and the first ``k`` are kept
+    (only those k members are materialized).
     """
     if k <= 0:
         raise InvalidParameterError(f"k must be positive, got {k}")
-    candidates: list[tuple[float, int, Point]] = []
-    for nbr in partials:
-        candidates.extend(zip(nbr.distances, (p.pid for p in nbr), nbr))
-    return merge_knn_candidates(center, k, candidates)
+    parts = [nbr for nbr in partials if len(nbr)]
+    if not parts:
+        return Neighborhood(center, k, [], [])
+    dists = np.concatenate([nbr.distance_array for nbr in parts])
+    pids = np.concatenate([nbr.pid_array for nbr in parts])
+    order = np.lexsort((pids, dists))[:k]
+    offsets = np.cumsum([0] + [len(nbr) for nbr in parts])
+    part_of = np.searchsorted(offsets, order, side="right") - 1
+    members = [
+        parts[part]._member_at(int(g - offsets[part]))
+        for g, part in zip(order.tolist(), part_of.tolist())
+    ]
+    return Neighborhood(center, k, members, dists[order])
 
 
 def merge_knn_candidates(
@@ -63,17 +79,22 @@ def merge_knn_candidates(
 ) -> Neighborhood:
     """Build the global k-neighborhood from ``(distance, pid, point)`` rows.
 
-    This is the final re-rank step shared by :func:`merge_neighborhoods` and
-    the incremental border-expansion search in :mod:`repro.shard.knn`.
-    Duplicate pids (which cannot occur for disjoint shards) are kept as-is;
-    callers guarantee disjointness.
+    The row-tuple flavor of :func:`merge_neighborhoods`, kept for callers
+    that accumulate loose candidates; ranking is the same ``np.lexsort`` over
+    the stacked ``(distance, pid)`` columns.  Duplicate pids (which cannot
+    occur for disjoint shards) are kept as-is; callers guarantee
+    disjointness.
     """
     if k <= 0:
         raise InvalidParameterError(f"k must be positive, got {k}")
-    ranked = sorted(candidates, key=lambda row: (row[0], row[1]))[:k]
-    return Neighborhood(
-        center, k, [p for _, __, p in ranked], [d for d, __, ___ in ranked]
-    )
+    n = len(candidates)
+    if n == 0:
+        return Neighborhood(center, k, [], [])
+    dists = np.fromiter((row[0] for row in candidates), dtype=np.float64, count=n)
+    pids = np.fromiter((row[1] for row in candidates), dtype=np.int64, count=n)
+    order = np.lexsort((pids, dists))[:k]
+    members = [candidates[i][2] for i in order.tolist()]
+    return Neighborhood(center, k, members, dists[order])
 
 
 def merge_point_partials(partials: Iterable[Sequence[Point]]) -> list[Point]:

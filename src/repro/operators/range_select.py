@@ -5,18 +5,33 @@ if the selection is a spatial range (e.g., rectangle), or a relational
 attribute-based selection" as well.  These operators provide the range
 flavors; :mod:`repro.core.select_join.range_inner` adapts the Block-Marking
 idea to them.
+
+Per-point containment tests run columnar: a partially-overlapping block
+contributes a vectorized mask over its gathered coordinate columns and only
+the rows inside the window/ball are materialized as points.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
+import numpy as np
 
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.base import SpatialIndex
+from repro.index.block import Block
 
 __all__ = ["range_select", "radius_select"]
+
+
+def _members_in_window(block: Block, window: Rect) -> list[Point]:
+    """Materialize only the block rows whose coordinates fall in ``window``."""
+    xs = block.store.xs[block.member_ids]
+    ys = block.store.ys[block.member_ids]
+    mask = (xs >= window.xmin) & (xs <= window.xmax) & (ys >= window.ymin) & (ys <= window.ymax)
+    if not mask.any():
+        return []
+    return block.store.materialize(block.member_ids[mask])
 
 
 def range_select(index: SpatialIndex, window: Rect) -> list[Point]:
@@ -27,13 +42,13 @@ def range_select(index: SpatialIndex, window: Rect) -> list[Point]:
     all their points without per-point tests.
     """
     result: list[Point] = []
-    for block in index.blocks:
-        if block.is_empty or not block.rect.intersects(window):
+    for block in index.blocks_intersecting(window):
+        if block.is_empty:
             continue
         if window.contains_rect(block.rect):
             result.extend(block.points)
         else:
-            result.extend(p for p in block if window.contains_point(p))
+            result.extend(_members_in_window(block, window))
     return result
 
 
@@ -54,5 +69,8 @@ def radius_select(index: SpatialIndex, center: Point, radius: float) -> list[Poi
         if block.maxdist(center) <= radius:
             result.extend(block.points)
         else:
-            result.extend(p for p in block if p.distance_to(center) <= radius)
+            dists = block.store.distances_to(center.x, center.y, block.member_ids)
+            mask = dists <= radius
+            if mask.any():
+                result.extend(block.store.materialize(block.member_ids[mask]))
     return result

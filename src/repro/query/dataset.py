@@ -1,15 +1,23 @@
 """The ``Dataset`` wrapper: a named point set plus its spatial index.
 
-Datasets are mutable through :meth:`Dataset.insert` and :meth:`Dataset.remove`
-only.  Every mutation bumps a monotonically increasing :attr:`Dataset.version`
-and marks the index stale; the index is rebuilt lazily on next access.  Caches
-layered on top (the engine's statistics and plan caches) key their entries on
+A dataset's points live in a columnar :class:`~repro.storage.pointstore.PointStore`
+(contiguous ``xs``/``ys``/``pids`` columns plus a payload side-table); the
+index builders consume the store directly and :class:`Point` objects are
+materialized lazily only when :attr:`Dataset.points` is read.
+
+Datasets are mutable through :meth:`Dataset.insert` / :meth:`Dataset.extend`
+and :meth:`Dataset.remove` only.  Every mutation swaps in a new store
+snapshot, bumps a monotonically increasing :attr:`Dataset.version` and marks
+the index stale; the index is rebuilt lazily on next access.  Caches layered
+on top (the engine's statistics and plan caches) key their entries on
 ``(name, version)`` so a mutation automatically invalidates them.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Iterable, Literal, Sequence
+
+import numpy as np
 
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.geometry.point import Point
@@ -19,6 +27,7 @@ from repro.index.grid import GridIndex
 from repro.index.quadtree import QuadtreeIndex
 from repro.index.rtree import RTreeIndex
 from repro.index.stats import IndexStats
+from repro.storage.pointstore import PointStore
 
 __all__ = ["Dataset"]
 
@@ -39,8 +48,10 @@ class Dataset:
     name:
         Relation name used to refer to this dataset in query predicates.
     points:
-        The relation's points.  Points should carry unique ``pid`` values; use
-        :meth:`from_points` to assign them automatically when absent.
+        The relation's points — a sequence of :class:`Point` or an
+        already-built :class:`PointStore`.  Points should carry unique
+        ``pid`` values; use :meth:`from_points` to assign them automatically
+        when absent.
     index_kind:
         Which index to build (``"grid"``, ``"quadtree"`` or ``"rtree"``); the
         paper's evaluation uses the grid.
@@ -54,19 +65,22 @@ class Dataset:
     def __init__(
         self,
         name: str,
-        points: Sequence[Point],
+        points: Sequence[Point] | PointStore,
         index_kind: IndexKind = "grid",
         bounds: Rect | None = None,
         **index_options: object,
     ) -> None:
         if not name:
             raise InvalidParameterError("dataset name must be non-empty")
-        if not points:
+        if len(points) == 0:
             raise EmptyDatasetError(f"dataset {name!r} has no points")
         if index_kind not in _INDEX_BUILDERS:
             raise InvalidParameterError(f"unknown index kind: {index_kind!r}")
         self.name = name
-        self._points: tuple[Point, ...] = tuple(points)
+        self._store = (
+            points if isinstance(points, PointStore) else PointStore.from_points(points)
+        )
+        self._points: tuple[Point, ...] | None = None
         self._index_kind: IndexKind = index_kind
         self._bounds = bounds
         self._index_options = dict(index_options)
@@ -109,12 +123,19 @@ class Dataset:
     # Accessors
     # ------------------------------------------------------------------
     @property
+    def store(self) -> PointStore:
+        """The columnar store holding the relation's points."""
+        return self._store
+
+    @property
     def points(self) -> tuple[Point, ...]:
-        """The relation's points."""
+        """The relation's points (materialized lazily from the store)."""
+        if self._points is None:
+            self._points = tuple(self._store.iter_points())
         return self._points
 
     def __len__(self) -> int:
-        return len(self._points)
+        return len(self._store)
 
     @property
     def index(self) -> SpatialIndex:
@@ -124,7 +145,7 @@ class Dataset:
             options = dict(self._index_options)
             if self._bounds is not None and self._index_kind in ("grid", "quadtree"):
                 options["bounds"] = self._bounds
-            self._index = builder(self._points, **options)
+            self._index = builder(self._store, **options)
         return self._index
 
     @property
@@ -144,7 +165,7 @@ class Dataset:
 
     @property
     def version(self) -> int:
-        """Monotonic counter bumped by every :meth:`insert` / :meth:`remove`."""
+        """Monotonic counter bumped by every mutation (insert/extend/remove)."""
         return self._version
 
     @property
@@ -164,30 +185,37 @@ class Dataset:
         ``pid`` values above the current maximum; points carrying an explicit
         ``pid`` that already exists in the relation are rejected — join and
         intersection operators key on pids, so duplicates would silently
-        corrupt results.  Callers that must route an insert (e.g. a sharded
-        dataset assigning each new point to its owning shard) use this to
-        learn the final pids before committing the mutation.
+        corrupt results.  Every explicit pid in the batch is reserved *up
+        front*, so the assignment is independent of item order and identical
+        to the columnar batch path (:meth:`extend` with a
+        :class:`PointStore`).  Callers that must route an insert (e.g. a
+        sharded dataset assigning each new point to its owning shard) use
+        this to learn the final pids before committing the mutation.
         """
-        existing = {p.pid for p in self._points}
-        next_pid = max(existing, default=-1) + 1
+        items = list(points)
+        existing = set(self._store.pids.tolist())
+        # Reserve explicit batch pids first: a fresh pid must never collide
+        # with an explicit pid appearing anywhere in the same batch.
+        for item in items:
+            if isinstance(item, Point) and item.pid >= 0:
+                if item.pid in existing:
+                    raise InvalidParameterError(
+                        f"pid {item.pid} already exists in dataset {self.name!r}"
+                    )
+                existing.add(item.pid)
+        next_pid = self._store.max_pid() + 1
         added: list[Point] = []
 
         def fresh_pid() -> int:
-            # Skip over explicit pids seen earlier in this same batch.
             nonlocal next_pid
             while next_pid in existing:
                 next_pid += 1
             existing.add(next_pid)
             return next_pid
 
-        for item in points:
+        for item in items:
             if isinstance(item, Point):
                 if item.pid >= 0:
-                    if item.pid in existing:
-                        raise InvalidParameterError(
-                            f"pid {item.pid} already exists in dataset {self.name!r}"
-                        )
-                    existing.add(item.pid)
                     added.append(item)
                 else:
                     added.append(Point(item.x, item.y, fresh_pid(), item.payload))
@@ -196,19 +224,77 @@ class Dataset:
                 added.append(Point(float(x), float(y), fresh_pid()))
         return tuple(added)
 
+    def extend(self, points: Iterable[Point | tuple[float, float]] | PointStore) -> int:
+        """Bulk-append points in one mutation; returns the number added.
+
+        One normalization pass, one store snapshot, **one** version bump and
+        one (lazy) index rebuild — large ingests through ``extend`` avoid the
+        per-point rebuild/invalidation cost of calling :meth:`insert` in a
+        loop.  Accepts the same inputs as :meth:`insert` plus an
+        already-columnar :class:`PointStore`, which is validated vectorized
+        (explicit pids checked against the relation, missing pids — any
+        negative value — replaced with fresh ones) and appended without ever
+        materializing point objects.
+        """
+        if isinstance(points, PointStore):
+            prepared = self._prepare_store(points)
+            if len(prepared) == 0:
+                return 0
+            self._store = self._store.extended(prepared)
+            self._invalidate()
+            return len(prepared)
+        added = self.prepare_insert(points)
+        if not added:
+            return 0
+        self.commit_insert(added)
+        return len(added)
+
+    def _prepare_store(self, batch: PointStore) -> PointStore:
+        """Vectorized normalization of a columnar insert batch.
+
+        Mirrors :meth:`prepare_insert`: explicit pids must not collide with
+        the relation or repeat within the batch; negative pids are replaced
+        with fresh values above the current maximum, skipping explicit pids
+        supplied in the same batch.
+        """
+        if len(batch) == 0:
+            return batch
+        pids = batch.pids
+        explicit = pids[pids >= 0]
+        if len(explicit):
+            if len(np.unique(explicit)) != len(explicit):
+                raise InvalidParameterError(
+                    f"duplicate pids within insert batch for dataset {self.name!r}"
+                )
+            clash = np.isin(explicit, self._store.pids)
+            if clash.any():
+                raise InvalidParameterError(
+                    f"pid {int(explicit[clash][0])} already exists in dataset {self.name!r}"
+                )
+        anon = int((pids < 0).sum())
+        if anon == 0:
+            return batch
+        start = self._store.max_pid()
+        # Generate enough candidates to survive removing explicit collisions;
+        # same assignment as prepare_insert: fill upward from the current
+        # maximum, skipping pids supplied explicitly in this batch.
+        pool = np.arange(start + 1, start + 1 + anon + len(explicit), dtype=np.int64)
+        if len(explicit):
+            pool = pool[~np.isin(pool, explicit)]
+        fresh = pids.copy()
+        fresh[pids < 0] = pool[:anon]
+        return PointStore(batch.xs, batch.ys, fresh, dict(batch.payloads))
+
     def insert(self, points: Iterable[Point | tuple[float, float]]) -> int:
         """Add points to the relation; returns the number of points added.
 
         Input normalization (fresh pids, duplicate rejection) is documented
         at :meth:`prepare_insert`.  The index is marked stale and rebuilt on
         next access; :attr:`version` is bumped so that caches keyed on it
-        drop their entries.
+        drop their entries.  For large batches prefer :meth:`extend`, which
+        is the same mutation with a vectorized columnar fast path.
         """
-        added = self.prepare_insert(points)
-        if not added:
-            return 0
-        self.commit_insert(added)
-        return len(added)
+        return self.extend(points)
 
     def commit_insert(self, prepared: Sequence[Point]) -> None:
         """Append a batch previously returned by :meth:`prepare_insert`.
@@ -221,7 +307,7 @@ class Dataset:
         """
         if not prepared:
             return
-        self._points = self._points + tuple(prepared)
+        self._store = self._store.extended(PointStore.from_points(prepared))
         self._invalidate()
 
     def remove(self, pids: Iterable[int]) -> int:
@@ -234,21 +320,22 @@ class Dataset:
         doomed = set(pids)
         if not doomed:
             return 0
-        kept = tuple(p for p in self._points if p.pid not in doomed)
-        removed = len(self._points) - len(kept)
+        rows = self._store.rows_of_pids(doomed)
+        removed = len(rows)
         if removed == 0:
             return 0
-        if not kept:
+        if removed >= len(self._store):
             raise EmptyDatasetError(
                 f"removing {removed} points would leave dataset {self.name!r} empty"
             )
-        self._points = kept
+        self._store = self._store.without_rows(rows)
         self._invalidate()
         return removed
 
     def _invalidate(self) -> None:
         self._index = None
+        self._points = None
         self._version += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"Dataset(name={self.name!r}, points={len(self._points)}, index={self._index_kind})"
+        return f"Dataset(name={self.name!r}, points={len(self._store)}, index={self._index_kind})"

@@ -478,8 +478,10 @@ class Query:
                 outer.points, inner.index, select.focal, join.k, select.k
             )
         elif strategy is SelectJoinStrategy.COUNTING:
+            # Columnar fast path: hand Counting the outer store so pruned
+            # outer rows are never materialized as point objects.
             pairs = select_join_counting(
-                outer.points, inner.index, select.focal, join.k, select.k, stats=stats
+                outer.store, inner.index, select.focal, join.k, select.k, stats=stats
             )
         else:
             pairs = select_join_block_marking(

@@ -26,12 +26,15 @@ from __future__ import annotations
 import math
 from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.stats import IndexStats
 from repro.query.dataset import Dataset
 from repro.shard.partitioner import ShardMap, make_shard_map
+from repro.storage.pointstore import PointStore
 
 __all__ = ["ShardedDataset"]
 
@@ -84,11 +87,17 @@ class ShardedDataset:
         if shard_map is None:
             if num_shards <= 0:
                 raise InvalidParameterError("num_shards must be positive")
-            bounds = dataset.bounds or Rect.from_points(dataset.points)
+            store = dataset.store
+            bounds = dataset.bounds or Rect(
+                float(store.xs.min()),
+                float(store.ys.min()),
+                float(store.xs.max()),
+                float(store.ys.max()),
+            )
             if bounds.width == 0 or bounds.height == 0:
                 bounds = bounds.expand(0.5)  # degenerate extent: pad so it has area
             shard_map = make_shard_map(
-                dataset.points, bounds, num_shards, strategy=strategy, seed=seed
+                store, bounds, num_shards, strategy=strategy, seed=seed
             )
         self.base = dataset
         self.shard_map = shard_map
@@ -110,7 +119,9 @@ class ShardedDataset:
             options.pop(key, None)
         return options
 
-    def _make_shard(self, shard_id: int, points: Sequence[Point]) -> Dataset:
+    def _make_shard(
+        self, shard_id: int, points: Sequence[Point] | PointStore
+    ) -> Dataset:
         options = self._shard_options()
         if (
             self.base.index_kind == "grid"
@@ -122,7 +133,7 @@ class ShardedDataset:
             )
         shard = Dataset(
             f"{self.base.name}#s{shard_id}",
-            tuple(points),
+            points if isinstance(points, PointStore) else tuple(points),
             index_kind=self.base.index_kind,
             **options,
         )
@@ -130,15 +141,25 @@ class ShardedDataset:
         return shard
 
     def _reshard(self) -> None:
-        """(Re)build every shard from the base dataset's current points."""
-        groups = self.shard_map.split(self.base.points)
-        self._pid_to_shard = {
-            p.pid: sid for sid, group in enumerate(groups) for p in group
-        }
-        self._shards = [
-            self._make_shard(sid, group) if group else None
-            for sid, group in enumerate(groups)
-        ]
+        """(Re)build every shard from the base dataset's current store.
+
+        Fully columnar: one vectorized shard assignment over the coordinate
+        columns, one stable grouping of row indices per shard, and one
+        zero-object ``store.take`` slice per populated shard.
+        """
+        store = self.base.store
+        shard_ids = self.shard_map.shard_of_rows(store.xs, store.ys)
+        self._pid_to_shard = dict(
+            zip(store.pids.tolist(), (int(s) for s in shard_ids))
+        )
+        self._shards = [None] * self.shard_map.num_shards
+        order = np.argsort(shard_ids, kind="stable")
+        sorted_ids = shard_ids[order]
+        boundaries = np.nonzero(np.diff(sorted_ids))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        for start, rows in zip(starts, np.split(order, boundaries)):
+            sid = int(sorted_ids[start])
+            self._shards[sid] = self._make_shard(sid, store.take(rows))
         self._search_plan = None
         self._synced_version = self.base.version
 
@@ -260,7 +281,9 @@ class ShardedDataset:
 
         Normalization (fresh pids, duplicate rejection) happens against the
         base dataset *before* anything is committed, so a rejected batch
-        leaves both the base and every shard untouched.
+        leaves both the base and every shard untouched.  Each owning shard
+        receives its whole group through :meth:`Dataset.extend` — one bulk
+        mutation (one version bump, one index rebuild) per touched shard.
         """
         # Repair any out-of-band base mutation first: blindly advancing
         # _synced_version below would otherwise mask the divergence forever.
@@ -276,7 +299,7 @@ class ShardedDataset:
             if shard is None:
                 self._shards[sid] = self._make_shard(sid, group)
             else:
-                shard.insert(group)
+                shard.extend(group)
                 shard.index  # rebuild eagerly
             for p in group:
                 self._pid_to_shard[p.pid] = sid

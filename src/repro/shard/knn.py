@@ -29,12 +29,14 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+import numpy as np
+
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.locality.knn import get_knn
 from repro.locality.neighborhood import Neighborhood
-from repro.operators.merge import merge_knn_candidates, merge_point_partials
+from repro.operators.merge import merge_neighborhoods, merge_point_partials
 from repro.operators.range_select import range_select
 from repro.shard.dataset import ShardedDataset
 
@@ -81,19 +83,24 @@ def sharded_knn(sharded: ShardedDataset, p: Point, k: int) -> Neighborhood:
     if not rest:
         return nbr
 
-    candidates: list[tuple[float, int, Point]] = list(
-        zip(nbr.distances, (m.pid for m in nbr), nbr)
-    )
+    # Incremental border expansion over partial neighborhoods.  No point is
+    # materialized here: the running k-th-distance bound is maintained from
+    # the partials' distance columns, and the final global re-rank is one
+    # lexsort over the stacked (distance, pid) arrays (merge_neighborhoods).
+    parts: list[Neighborhood] = [nbr]
+    count = len(nbr)
     for i in rest:
-        if len(candidates) >= k and mindists[i] > bound:
+        if count >= k and mindists[i] > bound:
             break  # border expansion done: no farther shard can contribute
         other = get_knn(datasets[i].index, p, k)
-        candidates.extend(zip(other.distances, (m.pid for m in other), other))
-        if len(candidates) >= k:
-            candidates.sort(key=lambda row: (row[0], row[1]))
-            del candidates[k:]
-            bound = candidates[-1][0]
-    return merge_knn_candidates(p, k, candidates)
+        if not len(other):
+            continue
+        parts.append(other)
+        count += len(other)
+        if count >= k:
+            stacked = np.concatenate([part.distance_array for part in parts])
+            bound = float(np.partition(stacked, k - 1)[k - 1])
+    return merge_neighborhoods(p, k, parts)
 
 
 def sharded_range_select(sharded: ShardedDataset, window: Rect) -> list[Point]:

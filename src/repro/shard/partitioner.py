@@ -28,6 +28,7 @@ import numpy as np
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
+from repro.storage.pointstore import PointStore
 
 __all__ = [
     "ShardRegion",
@@ -153,6 +154,24 @@ class ShardMap:
         row = int(np.searchsorted(self._y_cuts[stripe], p.y, side="right"))
         return self._stripe_offsets[stripe] + row
 
+    def shard_of_rows(self, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
+        """Vectorized assignment: the owning shard id of every ``(x, y)`` row.
+
+        Same half-open-interval semantics as :meth:`shard_of`, evaluated with
+        one ``searchsorted`` per cut level instead of one Python call per
+        point — this is how a columnar dataset reshards without materializing
+        point objects.
+        """
+        stripes = np.searchsorted(self._x_cuts, xs, side="right")
+        out = np.empty(len(xs), dtype=np.int64)
+        for stripe, cuts in enumerate(self._y_cuts):
+            mask = stripes == stripe
+            if not mask.any():
+                continue
+            rows = np.searchsorted(cuts, ys[mask], side="right")
+            out[mask] = self._stripe_offsets[stripe] + rows
+        return out
+
     def split(self, points: Iterable[Point]) -> list[list[Point]]:
         """Group ``points`` by owning shard; returns one list per shard id."""
         groups: list[list[Point]] = [[] for _ in range(self._num_shards)]
@@ -187,7 +206,7 @@ def grid_partition(bounds: Rect, num_shards: int) -> ShardMap:
 
 
 def sample_balanced_partition(
-    points: Sequence[Point],
+    points: Sequence[Point] | PointStore,
     bounds: Rect,
     num_shards: int,
     sample_size: int = 4096,
@@ -195,18 +214,22 @@ def sample_balanced_partition(
 ) -> ShardMap:
     """Partition space so each shard receives a similar number of points.
 
-    A random sample of ``points`` estimates the data distribution; stripe
-    cuts are placed at x-quantiles of the sample and, within each stripe, cell
-    cuts at y-quantiles of the stripe's sample points.  For clustered data
-    this equalizes shard populations (within sampling error), which keeps the
+    A random sample of ``points`` (a point sequence or a columnar
+    :class:`PointStore`) estimates the data distribution; stripe cuts are
+    placed at x-quantiles of the sample and, within each stripe, cell cuts at
+    y-quantiles of the stripe's sample points.  For clustered data this
+    equalizes shard populations (within sampling error), which keeps the
     fan-out's critical path — the slowest shard — short.
     """
-    if not points:
+    if len(points) == 0:
         raise InvalidParameterError("cannot sample-partition an empty point set")
     layout = _stripe_layout(num_shards)
     stripes = len(layout)
 
-    coords = np.array([(p.x, p.y) for p in points], dtype=np.float64)
+    if isinstance(points, PointStore):
+        coords = points.coords()
+    else:
+        coords = np.array([(p.x, p.y) for p in points], dtype=np.float64)
     if len(coords) > sample_size:
         rng = np.random.default_rng(seed)
         coords = coords[rng.choice(len(coords), size=sample_size, replace=False)]
@@ -233,7 +256,7 @@ def sample_balanced_partition(
 
 
 def make_shard_map(
-    points: Sequence[Point],
+    points: Sequence[Point] | PointStore,
     bounds: Rect,
     num_shards: int,
     strategy: str = "sample",

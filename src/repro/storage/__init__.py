@@ -1,0 +1,13 @@
+"""Columnar point storage (structure-of-arrays backbone).
+
+``repro.storage`` holds the :class:`~repro.storage.pointstore.PointStore`:
+contiguous ``xs`` / ``ys`` / ``pids`` arrays plus a sparse payload side-table.
+Every layer above it — index blocks, the locality-based kNN, the operators and
+the core algorithms — works on *row indices into a store* and materializes
+:class:`~repro.geometry.point.Point` objects only at the result boundary.
+See ``docs/storage.md`` for the layout and the materialization rules.
+"""
+
+from repro.storage.pointstore import PointStore
+
+__all__ = ["PointStore"]
