@@ -1,0 +1,104 @@
+"""Stream throughput: incremental maintenance vs per-tick re-execution.
+
+Beyond the paper's figures: figure 30 measures what the ``repro.stream``
+layer buys on a continuous workload — a fleet of standing queries
+(kNN-selects, range alerts and an ambulances→vehicles kNN-join) over a
+BerlinMOD relation whose points keep moving, 1% per tick.  The
+``naive-reexecution`` series applies each tick and re-runs every standing
+query; ``incremental-maintenance`` pushes the identical ticks through the
+stream engine's guard regions.  The acceptance target — ≥ 5x median
+throughput at paper-scale data (n ≥ 100k, 1% batches) — is measured by the
+full sweep (``python -m repro.bench --figure 30 --scale 1.0``); this module
+is the small-scale smoke that CI runs on every push.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+from repro.bench.workloads import STREAM_THROUGHPUT_FIGURE
+
+pytestmark = pytest.mark.benchmark(group="stream-throughput")
+
+# Benchmark the largest sweep point of the scaled-down workload.
+_WORKLOAD, _SIZE, _RUNNERS = build_figure_runners(STREAM_THROUGHPUT_FIGURE, sweep_index=-1)
+
+
+def test_incremental_maintenance(benchmark):
+    """Ticks through the stream engine's guard-region maintenance."""
+    result = benchmark.pedantic(_RUNNERS["incremental-maintenance"], rounds=3, iterations=1)
+    assert len(result) > 0
+
+
+def test_naive_reexecution(benchmark):
+    """The same ticks with every standing query re-executed from scratch."""
+    result = benchmark.pedantic(_RUNNERS["naive-reexecution"], rounds=3, iterations=1)
+    assert len(result) > 0
+
+
+def test_workload_reports_both_series():
+    """Figure 30's builder yields both series over the full sweep.
+
+    Relative speed is intentionally *not* asserted here: CI runners are
+    shared and wall-clock comparisons at smoke scale flake.  The measured
+    speedups land in the uploaded ``BENCH_stream.json`` artifact, and the
+    ≥ 5x acceptance bar applies to paper-scale data (n ≥ 100k, 1% update
+    batches), measured by ``python -m repro.bench --figure 30 --scale 1.0``.
+    """
+    assert _WORKLOAD.series == ("naive-reexecution", "incremental-maintenance")
+    assert len(_WORKLOAD.sweep_values) == 3
+    runners = _WORKLOAD.build(_WORKLOAD.sweep_values[0])
+    assert set(runners) == {"naive-reexecution", "incremental-maintenance"}
+
+
+def test_maintained_results_match_naive_reexecution():
+    """End-to-end parity at smoke scale: after a run of identical ticks, the
+    stream engine's maintained subscriptions answer exactly like fresh runs
+    against the naively-updated engine (both consumed the same tick seeds).
+    """
+    import numpy as np
+
+    from repro.bench.workloads import CELLS_PER_SIDE, EXTENT
+    from repro.datagen.berlinmod import BerlinModTickStream, berlinmod_snapshot
+    from repro.engine import SpatialEngine
+    from repro.geometry.point import Point
+    from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+    from repro.query.query import Query
+    from repro.geometry.rectangle import Rect
+    from repro.stream import StreamEngine
+    from repro.stream.delta import result_rows
+
+    points = berlinmod_snapshot(n=1500, seed=77)
+    ambulances = berlinmod_snapshot(n=40, seed=78, start_pid=9_000_000)
+    rng = np.random.default_rng(79)
+    queries = [
+        Query(KnnSelect(relation="vehicles", focal=Point(points[i].x, points[i].y), k=6))
+        for i in rng.choice(len(points), size=6, replace=False)
+    ] + [
+        Query(
+            RangeSelect(
+                relation="vehicles",
+                window=Rect(points[i].x - 2000, points[i].y - 2000, points[i].x + 2000, points[i].y + 2000),
+            )
+        )
+        for i in rng.choice(len(points), size=3, replace=False)
+    ] + [Query(KnnJoin(outer="ambulances", inner="vehicles", k=3))]
+
+    stream = StreamEngine()
+    naive = SpatialEngine()
+    for engine in (stream, naive):
+        engine.register(name="vehicles", points=points, bounds=EXTENT, cells_per_side=CELLS_PER_SIDE)
+        engine.register(name="ambulances", points=ambulances, bounds=EXTENT, cells_per_side=CELLS_PER_SIDE)
+    subs = [stream.subscribe(q) for q in queries]
+    ticks_a = BerlinModTickStream(points, bounds=EXTENT, move_fraction=0.02, churn_fraction=0.01, seed=80)
+    ticks_b = BerlinModTickStream(points, bounds=EXTENT, move_fraction=0.02, churn_fraction=0.01, seed=80)
+    for _ in range(5):
+        stream.push("vehicles", ticks_a.tick())
+        naive.apply_update("vehicles", ticks_b.tick())
+    for sub, query in zip(subs, queries):
+        fresh = result_rows(naive.run(query))
+        if sub.query_class == "single-select":
+            assert tuple(sorted(pid for _d, pid in sub.result())) == fresh
+        else:
+            assert sub.result() == fresh

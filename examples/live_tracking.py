@@ -1,0 +1,103 @@
+"""Live tracking: standing queries over a moving BerlinMOD vehicle fleet.
+
+A dispatch center watches a city of moving vehicles with *standing* queries
+instead of re-running anything:
+
+* every incident site keeps a standing "nearest k ambulances" query, and
+* a school zone keeps a standing range alert on the vehicle relation.
+
+Vehicles report position updates in batches (the BerlinMOD tick stream); the
+:class:`repro.stream.StreamEngine` applies each batch as one mutation
+(localized index repair included) and answers with **deltas** — only the
+subscriptions whose guard regions the batch touches do any work at all.
+
+Run with::
+
+    python examples/live_tracking.py
+"""
+
+from __future__ import annotations
+
+from repro import KnnSelect, Point, Query, RangeSelect
+from repro.datagen import BerlinModTickStream, berlinmod_snapshot
+from repro.geometry import Rect
+from repro.stream import StreamEngine
+
+EXTENT = Rect(0.0, 0.0, 40_000.0, 40_000.0)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Register the relations: a large vehicle fleet and a small set of
+    #    ambulances, both snapshots of the BerlinMOD-style generator.
+    # ------------------------------------------------------------------
+    vehicles = berlinmod_snapshot(n=20_000, seed=11)
+    ambulances = berlinmod_snapshot(n=60, seed=12, start_pid=1_000_000)
+    stream_engine = StreamEngine()
+    stream_engine.register(name="vehicles", points=vehicles, bounds=EXTENT)
+    stream_engine.register(name="ambulances", points=ambulances, bounds=EXTENT)
+
+    # ------------------------------------------------------------------
+    # 2. Install the standing queries.
+    # ------------------------------------------------------------------
+    incident = Point(21_000.0, 19_500.0)
+    nearest_ambulances = stream_engine.subscribe(
+        Query(KnnSelect(relation="ambulances", focal=incident, k=3)),
+        sub_id="incident-ambulances",
+    )
+    school_zone = Rect(18_000.0, 18_000.0, 19_500.0, 19_500.0)
+    zone_alert = stream_engine.subscribe(
+        Query(RangeSelect(relation="vehicles", window=school_zone)),
+        sub_id="school-zone",
+    )
+    print(f"standing queries: {sorted(stream_engine.subscriptions)}")
+    print(f"  ambulances near incident: {[pid for _d, pid in nearest_ambulances.result()]}")
+    print(f"  vehicles in school zone:  {len(zone_alert.result())}")
+
+    # ------------------------------------------------------------------
+    # 3. Stream movement.  Each tick relocates 2% of the vehicles and 10%
+    #    of the ambulances; subscriptions receive deltas, not result sets.
+    # ------------------------------------------------------------------
+    vehicle_ticks = BerlinModTickStream(
+        vehicles, bounds=EXTENT, move_fraction=0.02, seed=13
+    )
+    ambulance_ticks = BerlinModTickStream(
+        ambulances, bounds=EXTENT, move_fraction=0.10, step=800.0, seed=14
+    )
+    for tick in range(1, 6):
+        deltas = stream_engine.push("vehicles", vehicle_ticks.tick())
+        zone = deltas[zone_alert.id]
+        if not zone.is_empty:
+            print(
+                f"tick {tick}: school-zone alert — entered={list(zone.added)} "
+                f"left={list(zone.removed)}"
+            )
+        deltas = stream_engine.push("ambulances", ambulance_ticks.tick())
+        amb = deltas[nearest_ambulances.id]
+        if not amb.is_empty:
+            ranked = ", ".join(f"{pid}@{d:.0f}m" for d, pid in nearest_ambulances.result())
+            print(f"tick {tick}: nearest ambulances changed -> {ranked}")
+
+    # ------------------------------------------------------------------
+    # 4. A manual dispatch through the buffered stream handle: one flush,
+    #    one batch, one delta per affected subscription.
+    # ------------------------------------------------------------------
+    feed = stream_engine.stream("ambulances")
+    dispatched_pid = nearest_ambulances.result()[0][1]
+    feed.move(dispatched_pid, incident.x, incident.y)
+    deltas = feed.flush()
+    print(
+        f"dispatched ambulance {dispatched_pid} to the incident; "
+        f"delta: +{list(deltas[nearest_ambulances.id].added)}"
+    )
+
+    metrics = stream_engine.metrics()
+    print(
+        "maintenance counters: "
+        f"skipped={metrics['skips']} repaired={metrics['local_repairs']} "
+        f"re-executed={metrics['refreshes']} over {metrics['batches_pushed']} batches"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -56,6 +56,8 @@ from repro.planner import Optimizer, SelectJoinStrategy
 from repro.query import Dataset, KnnJoin, KnnSelect, Query, QueryResult, RangeSelect
 from repro.engine import SpatialEngine
 from repro.shard import ShardedDataset, ShardedEngine
+from repro.storage import UpdateBatch
+from repro.stream import StreamEngine, Subscription, UpdateStream
 
 __version__ = "0.1.0"
 
@@ -115,4 +117,9 @@ __all__ = [
     # sharded execution
     "ShardedEngine",
     "ShardedDataset",
+    # continuous queries
+    "StreamEngine",
+    "Subscription",
+    "UpdateStream",
+    "UpdateBatch",
 ]

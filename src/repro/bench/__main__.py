@@ -25,6 +25,7 @@ from repro.bench.workloads import (
     COLUMNAR_SPEEDUP_FIGURE,
     ENGINE_THROUGHPUT_FIGURE,
     SHARDED_THROUGHPUT_FIGURE,
+    STREAM_THROUGHPUT_FIGURE,
 )
 
 
@@ -38,11 +39,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--figure",
         type=int,
         choices=ALL_FIGURES
-        + (ENGINE_THROUGHPUT_FIGURE, SHARDED_THROUGHPUT_FIGURE, COLUMNAR_SPEEDUP_FIGURE),
+        + (
+            ENGINE_THROUGHPUT_FIGURE,
+            SHARDED_THROUGHPUT_FIGURE,
+            COLUMNAR_SPEEDUP_FIGURE,
+            STREAM_THROUGHPUT_FIGURE,
+        ),
         help=(
             f"reproduce a single figure ({ENGINE_THROUGHPUT_FIGURE} = engine "
             f"throughput, {SHARDED_THROUGHPUT_FIGURE} = sharded throughput, "
-            f"{COLUMNAR_SPEEDUP_FIGURE} = columnar speedup; all beyond the paper)"
+            f"{COLUMNAR_SPEEDUP_FIGURE} = columnar speedup, "
+            f"{STREAM_THROUGHPUT_FIGURE} = stream throughput; all beyond the paper)"
         ),
     )
     target.add_argument("--all", action="store_true", help="reproduce every figure")

@@ -10,6 +10,7 @@ from repro.bench.workloads import (
     COLUMNAR_SPEEDUP_FIGURE,
     ENGINE_THROUGHPUT_FIGURE,
     SHARDED_THROUGHPUT_FIGURE,
+    STREAM_THROUGHPUT_FIGURE,
 )
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "run_engine_throughput",
     "run_sharded_throughput",
     "run_columnar_speedup",
+    "run_stream_throughput",
 ]
 
 
@@ -104,6 +106,28 @@ def run_columnar_speedup(
     """
     return run_and_format(
         COLUMNAR_SPEEDUP_FIGURE,
+        scale=scale,
+        repeats=repeats,
+        sweep_values=sweep_values,
+        progress=progress,
+    )
+
+
+def run_stream_throughput(
+    scale: float = 0.05,
+    repeats: int = 1,
+    sweep_values: tuple | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> tuple[FigureResult, str]:
+    """Run the stream-throughput workload (incremental vs per-tick re-execution).
+
+    This is not a paper figure; it measures what the ``repro.stream`` layer
+    buys on a continuous workload — standing kNN/range queries over a
+    BerlinMOD relation whose points keep moving — against re-executing every
+    standing query after every update batch.
+    """
+    return run_and_format(
+        STREAM_THROUGHPUT_FIGURE,
         scale=scale,
         repeats=repeats,
         sweep_values=sweep_values,

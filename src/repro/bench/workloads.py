@@ -43,6 +43,7 @@ __all__ = [
     "ENGINE_THROUGHPUT_FIGURE",
     "SHARDED_THROUGHPUT_FIGURE",
     "COLUMNAR_SPEEDUP_FIGURE",
+    "STREAM_THROUGHPUT_FIGURE",
 ]
 
 #: The figures reproduced by the harness.
@@ -57,6 +58,10 @@ SHARDED_THROUGHPUT_FIGURE = 28
 #: Extra (non-paper) workload: columnar PointStore kNN vs the seed's
 #: object-path representation.
 COLUMNAR_SPEEDUP_FIGURE = 29
+
+#: Extra (non-paper) workload: continuous-query maintenance vs per-tick
+#: re-execution over a streaming BerlinMOD update workload.
+STREAM_THROUGHPUT_FIGURE = 30
 
 #: Spatial extent shared by every benchmark dataset (same as the generators').
 EXTENT = Rect(0.0, 0.0, 40_000.0, 40_000.0)
@@ -565,6 +570,131 @@ def _fig29(scale: float) -> FigureWorkload:
     )
 
 
+# ----------------------------------------------------------------------
+# Figure 30 (beyond the paper): continuous-query (stream) throughput
+# ----------------------------------------------------------------------
+def _fig30(scale: float) -> FigureWorkload:
+    """Standing-query maintenance vs naive per-tick re-execution.
+
+    The continuous serving pattern: a fleet of standing queries — kNN-selects
+    at focal points sampled from the data, range-alert windows, and one
+    standing kNN-join pairing a small "ambulances" relation with its nearest
+    vehicles — watches a BerlinMOD relation whose points keep moving: every
+    tick relocates 1% of the population (the :class:`BerlinModTickStream`
+    adapter).  The ``naive-reexecution`` series applies each tick to a plain
+    engine and re-runs every standing query from scratch; the
+    ``incremental-maintenance`` series pushes the identical tick through the
+    stream engine, whose guard regions skip unaffected subscriptions and
+    repair the affected ones locally.  Both engines consume byte-identical
+    update sequences (same tick-stream seed).  The acceptance bar — ≥ 5x
+    median throughput at paper-scale data (n ≥ 100k, 1% batches) — is
+    measured by the full sweep (``python -m repro.bench --figure 30 --scale
+    1.0``) and recorded in ``BENCH_stream.json``.
+    """
+    from repro.datagen.berlinmod import BerlinModTickStream
+    from repro.engine import SpatialEngine
+    from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+    from repro.query.query import Query
+    from repro.stream import StreamEngine
+
+    import numpy as np
+
+    sweep = tuple(_scaled(n, scale) for n in (32_000, 64_000, 128_000))
+    k = 10
+    num_knn_subs = 48
+    num_range_subs = 12
+    num_ambulances = 240
+    k_join = 5
+    ticks_per_call = 4
+    move_fraction = 0.01
+
+    def build(size: int) -> SeriesBuilders:
+        points = berlinmod_snapshot(n=size, seed=3000)
+        ambulances = berlinmod_snapshot(
+            n=num_ambulances, seed=3003, start_pid=50_000_000
+        )
+        rng = np.random.default_rng(3001)
+        focal_rows = rng.choice(len(points), size=num_knn_subs, replace=False)
+        window_rows = rng.choice(len(points), size=num_range_subs, replace=False)
+        half = 1_500.0
+        queries = [
+            Query(KnnSelect(relation="vehicles", focal=Point(points[i].x, points[i].y), k=k))
+            for i in focal_rows
+        ] + [
+            Query(
+                RangeSelect(
+                    relation="vehicles",
+                    window=Rect(
+                        points[i].x - half, points[i].y - half,
+                        points[i].x + half, points[i].y + half,
+                    ),
+                )
+            )
+            for i in window_rows
+        ] + [
+            Query(KnnJoin(outer="ambulances", inner="vehicles", k=k_join))
+        ]
+
+        stream = StreamEngine()
+        stream.register(
+            name="vehicles", points=points, bounds=EXTENT, cells_per_side=CELLS_PER_SIDE
+        )
+        stream.register(
+            name="ambulances",
+            points=ambulances,
+            bounds=EXTENT,
+            cells_per_side=CELLS_PER_SIDE,
+        )
+        for query in queries:
+            stream.subscribe(query)
+        incremental_ticks = BerlinModTickStream(
+            points, bounds=EXTENT, move_fraction=move_fraction, seed=3002
+        )
+
+        naive = SpatialEngine()
+        naive.register(
+            name="vehicles", points=points, bounds=EXTENT, cells_per_side=CELLS_PER_SIDE
+        )
+        naive.register(
+            name="ambulances",
+            points=ambulances,
+            bounds=EXTENT,
+            cells_per_side=CELLS_PER_SIDE,
+        )
+        naive_ticks = BerlinModTickStream(
+            points, bounds=EXTENT, move_fraction=move_fraction, seed=3002
+        )
+
+        def run_incremental() -> list:
+            return [
+                stream.push("vehicles", incremental_ticks.tick())
+                for _ in range(ticks_per_call)
+            ]
+
+        def run_naive() -> list:
+            out = []
+            for _ in range(ticks_per_call):
+                naive.apply_update("vehicles", naive_ticks.tick())
+                out.append([naive.run(query) for query in queries])
+            return out
+
+        # Warm both paths outside the timed region (plan caches, first
+        # maintenance pass) with one tick each — same seed keeps the two
+        # tick streams aligned.
+        run_naive()
+        run_incremental()
+        return {"naive-reexecution": run_naive, "incremental-maintenance": run_incremental}
+
+    return FigureWorkload(
+        figure=STREAM_THROUGHPUT_FIGURE,
+        title="Stream throughput: incremental maintenance vs per-tick re-execution",
+        sweep_name="dataset size",
+        sweep_values=sweep,
+        series=("naive-reexecution", "incremental-maintenance"),
+        builder=build,
+    )
+
+
 _FACTORIES: dict[int, Callable[[float], FigureWorkload]] = {
     19: _fig19,
     20: _fig20,
@@ -577,6 +707,7 @@ _FACTORIES: dict[int, Callable[[float], FigureWorkload]] = {
     ENGINE_THROUGHPUT_FIGURE: _fig27,
     SHARDED_THROUGHPUT_FIGURE: _fig28,
     COLUMNAR_SPEEDUP_FIGURE: _fig29,
+    STREAM_THROUGHPUT_FIGURE: _fig30,
 }
 
 

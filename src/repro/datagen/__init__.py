@@ -22,7 +22,11 @@ All generators are deterministic given a seed.
 from repro.datagen.uniform import uniform_points, gaussian_points
 from repro.datagen.clustered import clustered_points, cluster_centers
 from repro.datagen.network import StreetNetwork, build_street_network
-from repro.datagen.berlinmod import BerlinModConfig, berlinmod_snapshot
+from repro.datagen.berlinmod import (
+    BerlinModConfig,
+    BerlinModTickStream,
+    berlinmod_snapshot,
+)
 from repro.datagen.workload import DatasetSpec, make_dataset
 
 __all__ = [
@@ -33,6 +37,7 @@ __all__ = [
     "StreetNetwork",
     "build_street_network",
     "BerlinModConfig",
+    "BerlinModTickStream",
     "berlinmod_snapshot",
     "DatasetSpec",
     "make_dataset",

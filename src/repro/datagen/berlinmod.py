@@ -23,12 +23,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import Iterator, Sequence
+
 from repro.datagen.network import StreetNetwork, build_street_network
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
+from repro.storage.update import UpdateBatch
 
-__all__ = ["BerlinModConfig", "berlinmod_snapshot"]
+__all__ = ["BerlinModConfig", "berlinmod_snapshot", "BerlinModTickStream"]
 
 #: Default spatial extent, in meters, roughly matching a 40 km x 40 km city.
 DEFAULT_BOUNDS = Rect(0.0, 0.0, 40_000.0, 40_000.0)
@@ -167,3 +170,156 @@ def berlinmod_snapshot(
         remaining -= reports
         vehicle += 1
     return points
+
+
+class BerlinModTickStream:
+    """Per-tick update batches simulating continuously moving vehicles.
+
+    The streaming companion of :func:`berlinmod_snapshot`: starting from a
+    snapshot, each :meth:`tick` produces one columnar
+    :class:`~repro.storage.update.UpdateBatch` in which a fraction of the
+    population *moves* (a bounded random step from its current position —
+    vehicles drive on), and optionally a small fraction leaves (``remove``)
+    while new vehicles appear (``insert`` near the city core, with fresh
+    pids).  The stream tracks its own view of the population, so consecutive
+    batches are always consistent: moves and removes only ever name pids
+    that are alive at that tick.
+
+    The stream is deterministic given its seed, so two engines fed the same
+    stream see byte-identical update sequences — which is how the figure-30
+    workload keeps its incremental and re-execution series comparable.
+
+    Parameters
+    ----------
+    points:
+        The initial snapshot (the same points registered with the engine).
+    bounds:
+        Spatial extent positions are clipped to.
+    move_fraction:
+        Fraction of the population relocated per tick (the paper-style
+        "1% update batch" is ``0.01``).
+    churn_fraction:
+        Fraction removed *and* (independently) inserted per tick; ``0.0``
+        (the default) keeps the population fixed, which makes the stream
+        indefinitely replayable against a snapshot taken at any tick.
+    step:
+        Expected move distance per tick (Rayleigh-distributed step length).
+    seed:
+        Determinism seed.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Point],
+        bounds: Rect = DEFAULT_BOUNDS,
+        move_fraction: float = 0.01,
+        churn_fraction: float = 0.0,
+        step: float = 250.0,
+        seed: int = 0,
+    ) -> None:
+        if not points:
+            raise InvalidParameterError("tick stream needs a non-empty snapshot")
+        if not (0.0 < move_fraction <= 1.0):
+            raise InvalidParameterError("move_fraction must be in (0, 1]")
+        if not (0.0 <= churn_fraction < 1.0):
+            raise InvalidParameterError("churn_fraction must be in [0, 1)")
+        if step <= 0:
+            raise InvalidParameterError("step must be positive")
+        self.bounds = bounds
+        self.move_fraction = move_fraction
+        self.churn_fraction = churn_fraction
+        self.step = step
+        self._rng = np.random.default_rng(seed)
+        self._pids = np.array([p.pid for p in points], dtype=np.int64)
+        self._xs = np.array([p.x for p in points], dtype=np.float64)
+        self._ys = np.array([p.y for p in points], dtype=np.float64)
+        self._next_pid = int(self._pids.max()) + 1
+        #: Number of ticks generated so far.
+        self.ticks_generated = 0
+
+    @property
+    def population(self) -> int:
+        """Current number of live points in the stream's view."""
+        return len(self._pids)
+
+    def tick(self) -> UpdateBatch:
+        """Generate the next update batch and advance the stream's state."""
+        rng = self._rng
+        n = len(self._pids)
+        num_moves = max(1, int(round(n * self.move_fraction)))
+        num_churn = int(round(n * self.churn_fraction))
+        chosen = rng.choice(n, size=min(num_moves + num_churn, n), replace=False)
+        move_rows = chosen[:num_moves]
+        remove_rows = chosen[num_moves:]
+
+        # Rayleigh step length (mean ~ step) in a uniform heading, clipped to
+        # the extent — the vehicle drives on from wherever it was.
+        headings = rng.uniform(0.0, 2.0 * np.pi, size=len(move_rows))
+        lengths = rng.rayleigh(scale=self.step / 1.2533, size=len(move_rows))
+        new_xs = np.clip(
+            self._xs[move_rows] + lengths * np.cos(headings),
+            self.bounds.xmin,
+            self.bounds.xmax,
+        )
+        new_ys = np.clip(
+            self._ys[move_rows] + lengths * np.sin(headings),
+            self.bounds.ymin,
+            self.bounds.ymax,
+        )
+        move_pids = self._pids[move_rows].copy()
+        self._xs[move_rows] = new_xs
+        self._ys[move_rows] = new_ys
+
+        removes = self._pids[remove_rows].copy()
+        inserts: list[Point] = []
+        if num_churn:
+            # New vehicles appear with log-normal distance from the center,
+            # matching the snapshot generator's concentration profile.
+            center = self.bounds.center
+            max_radius = 0.5 * min(self.bounds.width, self.bounds.height)
+            radii = np.minimum(
+                max_radius * 0.98,
+                rng.lognormal(mean=np.log(max_radius * 0.35), sigma=0.6, size=num_churn),
+            )
+            angles = rng.uniform(0.0, 2.0 * np.pi, size=num_churn)
+            ixs = np.clip(
+                center.x + radii * np.cos(angles), self.bounds.xmin, self.bounds.xmax
+            )
+            iys = np.clip(
+                center.y + radii * np.sin(angles), self.bounds.ymin, self.bounds.ymax
+            )
+            for x, y in zip(ixs.tolist(), iys.tolist()):
+                inserts.append(Point(x, y, self._next_pid))
+                self._next_pid += 1
+
+        if len(remove_rows):
+            keep = np.ones(n, dtype=bool)
+            keep[remove_rows] = False
+            self._pids = self._pids[keep]
+            self._xs = self._xs[keep]
+            self._ys = self._ys[keep]
+        if inserts:
+            self._pids = np.concatenate(
+                (self._pids, np.array([p.pid for p in inserts], dtype=np.int64))
+            )
+            self._xs = np.concatenate(
+                (self._xs, np.array([p.x for p in inserts], dtype=np.float64))
+            )
+            self._ys = np.concatenate(
+                (self._ys, np.array([p.y for p in inserts], dtype=np.float64))
+            )
+        self.ticks_generated += 1
+        return UpdateBatch.from_columns(
+            insert_xs=np.array([p.x for p in inserts], dtype=np.float64),
+            insert_ys=np.array([p.y for p in inserts], dtype=np.float64),
+            insert_pids=np.array([p.pid for p in inserts], dtype=np.int64),
+            remove_pids=removes,
+            move_pids=move_pids,
+            move_xs=new_xs,
+            move_ys=new_ys,
+        )
+
+    def ticks(self, count: int) -> Iterator[UpdateBatch]:
+        """Generate ``count`` consecutive update batches."""
+        for _ in range(count):
+            yield self.tick()

@@ -44,6 +44,7 @@ from repro.query.dataset import Dataset, IndexKind
 from repro.query.predicates import KnnJoin
 from repro.query.query import Query
 from repro.query.results import QueryResult
+from repro.storage.update import AppliedUpdate, UpdateBatch
 
 __all__ = ["SpatialEngine"]
 
@@ -91,6 +92,7 @@ class SpatialEngine:
         # Queries run under the read side, mutations under the write side, so
         # an insert/remove never swaps an index under an in-flight query.
         self._rw = ReadWriteLock()
+        self._mutation_listeners: list[Callable[[str], None]] = []
         self.queries_executed = 0
         self.batches_executed = 0
 
@@ -172,7 +174,9 @@ class SpatialEngine:
             added = dataset.insert(points)
             if added:
                 self._refresh(dataset)
-            return added
+        if added:
+            self._notify_mutation(name)
+        return added
 
     def remove(self, name: str, pids: Iterable[int]) -> int:
         """Remove points (by pid) from a registered relation."""
@@ -181,7 +185,43 @@ class SpatialEngine:
             removed = dataset.remove(pids)
             if removed:
                 self._refresh(dataset)
-            return removed
+        if removed:
+            self._notify_mutation(name)
+        return removed
+
+    def move(self, name: str, moves: Iterable[tuple[int, float, float]]) -> int:
+        """Relocate points of a registered relation; returns the number moved.
+
+        ``moves`` are ``(pid, new_x, new_y)`` triples.  Like every other
+        engine-routed mutation this maintains the index (via the localized
+        repair fast path for small batches) and invalidates exactly the cache
+        entries the relation could stale.
+        """
+        with self._rw.write():
+            dataset = self.dataset(name)
+            moved = dataset.move(moves)
+            if moved:
+                self._refresh(dataset)
+        if moved:
+            self._notify_mutation(name)
+        return moved
+
+    def apply_update(self, name: str, batch: UpdateBatch) -> AppliedUpdate:
+        """Apply one insert/remove/move batch to a registered relation.
+
+        The batched entry point of the streaming layer: one write-lock
+        acquisition, one dataset version bump and one cache invalidation for
+        the whole batch.  Returns the effective mutation (see
+        :meth:`Dataset.apply_update`).
+        """
+        with self._rw.write():
+            dataset = self.dataset(name)
+            applied = dataset.apply_update(batch)
+            if applied.size:
+                self._refresh(dataset)
+        if applied.size:
+            self._notify_mutation(name)
+        return applied
 
     def _refresh(self, dataset: Dataset) -> None:
         """After a mutation: drop stale cache entries, rebuild index + stats."""
@@ -189,6 +229,27 @@ class SpatialEngine:
         if self.eager_build:
             dataset.index  # rebuild eagerly (keeps concurrent reads race-free)
             self._stats_cache.get(dataset)
+
+    def add_mutation_listener(self, listener: Callable[[str], None]) -> None:
+        """Register a callback fired after every engine-routed mutation.
+
+        The listener receives the mutated relation's name, *outside* the
+        engine's write lock (so it may issue queries).  This is the targeted
+        invalidation hook the stream layer uses: a subscription registry
+        listens here so that mutations performed directly through the engine
+        — bypassing :meth:`repro.stream.StreamEngine.push` — mark the
+        affected standing queries stale instead of silently serving results
+        computed against dropped data.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: Callable[[str], None]) -> None:
+        """Unregister a callback added with :meth:`add_mutation_listener`."""
+        self._mutation_listeners.remove(listener)
+
+    def _notify_mutation(self, name: str) -> None:
+        for listener in tuple(self._mutation_listeners):
+            listener(name)
 
     def invalidate(self, name: str) -> None:
         """Drop every cache entry touching relation ``name``.

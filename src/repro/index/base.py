@@ -19,6 +19,7 @@ from repro.geometry.rectangle import Rect
 from repro.index.block import Block
 from repro.index.orderings import BlockDistance, maxdist_ordering, mindist_ordering
 from repro.storage.pointstore import PointStore
+from repro.storage.update import StoreChange
 
 __all__ = ["SpatialIndex"]
 
@@ -171,6 +172,26 @@ class SpatialIndex(abc.ABC):
     def maxdist_order(self, p: Point) -> Iterator[BlockDistance]:
         """Blocks in increasing MAXDIST order from ``p`` (lazy)."""
         return maxdist_ordering(self._blocks, p, self.maxdists(p))
+
+    # ------------------------------------------------------------------
+    # Incremental repair
+    # ------------------------------------------------------------------
+    def repaired(self, store: PointStore, change: "StoreChange") -> "SpatialIndex | None":
+        """A new index over ``store``, repaired block-locally — or ``None``.
+
+        ``change`` describes how ``store`` differs from the store this index
+        was built on (moved rows, removed rows, appended tail; see
+        :class:`~repro.storage.update.StoreChange`).  Indexes that can patch
+        only the affected blocks return the repaired index; the default is
+        ``None`` — "unsupported, rebuild from scratch" — which is what the
+        structural indexes (quadtree, R-tree) do, since a mutation can change
+        their decomposition.  The repaired index must be *identical* to a
+        full rebuild over ``store`` within the original spatial bounds;
+        implementations must decline (return ``None``) whenever that cannot
+        be guaranteed, e.g. when a new coordinate falls outside the indexed
+        extent.
+        """
+        return None
 
     # ------------------------------------------------------------------
     # Point location

@@ -30,8 +30,25 @@ from repro.geometry.rectangle import Rect
 from repro.index.base import SpatialIndex
 from repro.index.block import Block
 from repro.storage.pointstore import PointStore
+from repro.storage.update import StoreChange
 
 __all__ = ["GridIndex"]
+
+
+def _group_by_cell(cells: np.ndarray, rows: np.ndarray) -> dict[int, np.ndarray]:
+    """Group aligned ``(cell_id, row)`` pairs into cell id → row array."""
+    if not len(rows):
+        return {}
+    order = np.argsort(cells, kind="stable")
+    sorted_cells = cells[order]
+    sorted_rows = rows[order]
+    boundaries = np.nonzero(np.diff(sorted_cells))[0] + 1
+    return {
+        int(sorted_cells[start]): group
+        for start, group in zip(
+            np.concatenate(([0], boundaries)), np.split(sorted_rows, boundaries)
+        )
+    }
 
 
 class GridIndex(SpatialIndex):
@@ -165,6 +182,128 @@ class GridIndex(SpatialIndex):
         xmax = bounds.xmax if ix == self.cells_per_side - 1 else xmin + self._cell_width
         ymax = bounds.ymax if iy == self.cells_per_side - 1 else ymin + self._cell_height
         return Rect(xmin, ymin, xmax, ymax)
+
+    # ------------------------------------------------------------------
+    # Incremental repair
+    # ------------------------------------------------------------------
+    def repaired(self, store: PointStore, change: StoreChange) -> "GridIndex | None":
+        """Patch only the affected cells instead of rebuilding the grid.
+
+        The grid's decomposition is a pure function of its bounds and
+        resolution, so a mutation can never force a re-split: repairing means
+        (a) dropping removed and moved-out rows from their old cells,
+        (b) renumbering surviving member rows past removal compaction with
+        one vectorized ``searchsorted`` per touched array, and (c) inserting
+        moved-in and appended rows into their destination cells in ascending
+        row order — which makes the repaired member arrays *identical* to a
+        full rebuild over ``store`` with this grid's bounds and resolution.
+        Unaffected cells keep their member arrays (no copy when nothing was
+        removed).
+
+        Declines (returns ``None``) when a new coordinate falls outside the
+        grid extent — clamping it into an edge cell whose rectangle does not
+        contain it would break the MINDIST lower bound — or when a
+        destination cell was not materialized (``keep_empty_cells=False``).
+        """
+        old_store = self._store
+        if old_store is None:
+            return None
+        bounds = self._grid_bounds
+        removed = np.asarray(change.removed_rows, dtype=np.int64)
+        moved_old = np.asarray(change.moved_rows, dtype=np.int64)
+        n_new = len(store)
+        appended = np.arange(n_new - change.appended, n_new, dtype=np.int64)
+        moved_new = change.map_rows(moved_old)
+
+        placed_rows = np.concatenate((moved_new, appended))
+        if len(placed_rows):
+            px = store.xs[placed_rows]
+            py = store.ys[placed_rows]
+            inside = (
+                (px >= bounds.xmin)
+                & (px <= bounds.xmax)
+                & (py >= bounds.ymin)
+                & (py <= bounds.ymax)
+            )
+            if not inside.all():
+                return None
+
+        def cells(source: PointStore, rows: np.ndarray) -> np.ndarray:
+            ix, iy = self._cells_of(source.xs[rows], source.ys[rows], bounds)
+            return iy * self.cells_per_side + ix
+
+        moved_from = cells(old_store, moved_old)
+        moved_to = cells(store, moved_new)
+        crossed = moved_from != moved_to
+        drop_cells = np.concatenate((cells(old_store, removed), moved_from[crossed]))
+        drop_rows = np.concatenate((removed, moved_old[crossed]))
+        add_cells = np.concatenate((moved_to[crossed], cells(store, appended)))
+        add_rows = np.concatenate((moved_new[crossed], appended))
+
+        add_by_cell = _group_by_cell(add_cells, add_rows)
+        for cell in add_by_cell:
+            cx, cy = cell % self.cells_per_side, cell // self.cells_per_side
+            if (cx, cy) not in self._cell_to_block:
+                return None  # destination cell not materialized
+
+        # One boolean drop bitmap over old rows plus (when rows were removed)
+        # one O(n) old→new renumber table — each block then repairs with
+        # plain gathers, no per-block sorting or set logic.
+        drop_flags = np.zeros(len(old_store), dtype=bool)
+        drop_flags[drop_rows] = True
+        dropped_cells = set(np.unique(drop_cells).tolist())
+        has_removals = len(removed) > 0
+        if has_removals:
+            removed_flags = np.zeros(len(old_store), dtype=np.int64)
+            removed_flags[removed] = 1
+            new_of_old = np.arange(len(old_store), dtype=np.int64) - np.cumsum(
+                removed_flags
+            )
+        cps = self.cells_per_side
+        blocks: list[Block] = []
+        cell_to_block: dict[tuple[int, int], Block] = {}
+        counts = np.empty(len(self._blocks), dtype=np.int64)
+        for i, block in enumerate(self._blocks):
+            tag = block.tag
+            cell = tag[1] * cps + tag[0]
+            members = block._members
+            if cell in dropped_cells:
+                members = members[~drop_flags[members]]
+            if has_removals and len(members):
+                members = new_of_old[members].astype(np.int32)
+            adds = add_by_cell.get(cell)
+            if adds is not None:
+                members = np.sort(np.concatenate((members, adds.astype(np.int32))))
+            # Direct slot assembly: the loop runs once per cell per mutation,
+            # so even Block.__init__'s normalization is measurable overhead.
+            repaired_block = Block.__new__(Block)
+            repaired_block.block_id = block.block_id
+            repaired_block.rect = block.rect
+            repaired_block.store = store
+            repaired_block._members = members
+            repaired_block._points = None
+            repaired_block._coords = None
+            repaired_block.tag = tag
+            counts[i] = len(members)
+            blocks.append(repaired_block)
+            cell_to_block[tag] = repaired_block
+
+        repaired = GridIndex.__new__(GridIndex)
+        SpatialIndex.__init__(repaired)
+        repaired.cells_per_side = cps
+        repaired._cell_width = self._cell_width
+        repaired._cell_height = self._cell_height
+        repaired._grid_bounds = bounds
+        repaired._cell_to_block = cell_to_block
+        # Cell rectangles are untouched by any mutation: share the bound
+        # table with the parent index instead of re-deriving it.
+        repaired._blocks = tuple(blocks)
+        repaired._bounds = bounds
+        repaired._store = store
+        repaired._block_bounds = self._block_bounds
+        repaired._block_counts = counts
+        repaired._num_points = len(store)
+        return repaired
 
     # ------------------------------------------------------------------
     # SpatialIndex interface

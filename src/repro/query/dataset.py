@@ -28,6 +28,7 @@ from repro.index.quadtree import QuadtreeIndex
 from repro.index.rtree import RTreeIndex
 from repro.index.stats import IndexStats
 from repro.storage.pointstore import PointStore
+from repro.storage.update import AppliedUpdate, StoreChange, UpdateBatch
 
 __all__ = ["Dataset"]
 
@@ -38,6 +39,12 @@ _INDEX_BUILDERS: dict[str, Callable[..., SpatialIndex]] = {
     "quadtree": QuadtreeIndex,
     "rtree": RTreeIndex,
 }
+
+#: A mutation touching at most this fraction of the (post-mutation) rows is
+#: offered to the index for localized repair instead of a full rebuild.
+_REPAIR_MAX_FRACTION = 0.25
+#: ... but batches up to this many rows always qualify (tiny datasets).
+_REPAIR_MIN_BATCH = 64
 
 
 class Dataset:
@@ -86,6 +93,10 @@ class Dataset:
         self._index_options = dict(index_options)
         self._index: SpatialIndex | None = None
         self._version = 0
+        #: Number of full index (re)builds this dataset has paid for.
+        self.index_rebuilds = 0
+        #: Number of mutations absorbed by localized index repair instead.
+        self.index_repairs = 0
 
     # ------------------------------------------------------------------
     # Constructors
@@ -139,13 +150,19 @@ class Dataset:
 
     @property
     def index(self) -> SpatialIndex:
-        """The dataset's spatial index (built on first access)."""
+        """The dataset's spatial index (built on first access).
+
+        Small mutations never reach this build path: they patch the existing
+        index through :meth:`SpatialIndex.repaired` (see :meth:`apply_update`);
+        :attr:`index_rebuilds` counts the full builds that did happen.
+        """
         if self._index is None:
             builder = _INDEX_BUILDERS[self._index_kind]
             options = dict(self._index_options)
             if self._bounds is not None and self._index_kind in ("grid", "quadtree"):
                 options["bounds"] = self._bounds
             self._index = builder(self._store, **options)
+            self.index_rebuilds += 1
         return self._index
 
     @property
@@ -240,8 +257,9 @@ class Dataset:
             prepared = self._prepare_store(points)
             if len(prepared) == 0:
                 return 0
-            self._store = self._store.extended(prepared)
-            self._invalidate()
+            self._swap_store(
+                self._store.extended(prepared), StoreChange(appended=len(prepared))
+            )
             return len(prepared)
         added = self.prepare_insert(points)
         if not added:
@@ -257,6 +275,18 @@ class Dataset:
         with fresh values above the current maximum, skipping explicit pids
         supplied in the same batch.
         """
+        return self._normalize_batch(self._store, batch)
+
+    def _normalize_batch(
+        self, target: PointStore, batch: PointStore, pid_floor: int = -1
+    ) -> PointStore:
+        """Normalize an insert batch against ``target``'s pid population.
+
+        ``pid_floor`` raises the starting point for fresh pid assignment —
+        :meth:`apply_update` passes the *pre-batch* maximum so that a batch
+        removing the highest-pid point never hands its pid straight to a new
+        point (subscribers diffing deltas would see one pid "teleport").
+        """
         if len(batch) == 0:
             return batch
         pids = batch.pids
@@ -266,7 +296,7 @@ class Dataset:
                 raise InvalidParameterError(
                     f"duplicate pids within insert batch for dataset {self.name!r}"
                 )
-            clash = np.isin(explicit, self._store.pids)
+            clash = np.isin(explicit, target.pids)
             if clash.any():
                 raise InvalidParameterError(
                     f"pid {int(explicit[clash][0])} already exists in dataset {self.name!r}"
@@ -274,7 +304,7 @@ class Dataset:
         anon = int((pids < 0).sum())
         if anon == 0:
             return batch
-        start = self._store.max_pid()
+        start = max(target.max_pid(), pid_floor)
         # Generate enough candidates to survive removing explicit collisions;
         # same assignment as prepare_insert: fill upward from the current
         # maximum, skipping pids supplied explicitly in this batch.
@@ -307,15 +337,18 @@ class Dataset:
         """
         if not prepared:
             return
-        self._store = self._store.extended(PointStore.from_points(prepared))
-        self._invalidate()
+        self._swap_store(
+            self._store.extended(PointStore.from_points(prepared)),
+            StoreChange(appended=len(prepared)),
+        )
 
     def remove(self, pids: Iterable[int]) -> int:
         """Remove the points with the given ``pid`` values; returns the count.
 
         Removing every point is rejected (datasets are non-empty by
         construction).  Unknown pids are ignored.  As with :meth:`insert`,
-        the index is marked stale and :attr:`version` is bumped.
+        :attr:`version` is bumped; small batches repair the index in place
+        instead of marking it stale (see :meth:`apply_update`).
         """
         doomed = set(pids)
         if not doomed:
@@ -328,14 +361,124 @@ class Dataset:
             raise EmptyDatasetError(
                 f"removing {removed} points would leave dataset {self.name!r} empty"
             )
-        self._store = self._store.without_rows(rows)
-        self._invalidate()
+        self._swap_store(
+            self._store.without_rows(rows),
+            StoreChange(removed_rows=np.asarray(rows, dtype=np.int64)),
+        )
         return removed
 
-    def _invalidate(self) -> None:
-        self._index = None
+    def move(self, moves: Iterable[tuple[int, float, float]]) -> int:
+        """Relocate points to new coordinates; returns the number moved.
+
+        ``moves`` are ``(pid, new_x, new_y)`` triples; unknown pids are
+        ignored.  Row numbering is preserved (a move is a coordinate
+        overwrite, not a remove+insert), which is what lets the index repair
+        only the source and destination cells.
+        """
+        applied = self.apply_update(UpdateBatch(moves=moves))
+        return len(applied.moved_pids)
+
+    def apply_update(self, batch: UpdateBatch) -> AppliedUpdate:
+        """Apply one insert/remove/move batch in a single snapshot swap.
+
+        One store snapshot, **one** version bump and one index
+        repair-or-rebuild for the whole batch, however it mixes the three
+        operation kinds.  Unknown remove/move pids are ignored; all
+        operations refer to the pre-batch state (see
+        :class:`~repro.storage.update.UpdateBatch`).  Returns the effective
+        mutation — including the old coordinates of removed and moved points
+        — for consumers that maintain derived state (the stream layer's
+        guard-region kernels).
+
+        Small batches take the incremental index-repair fast path
+        (:meth:`SpatialIndex.repaired`): only the affected blocks are
+        patched, leaving :attr:`index_rebuilds` untouched and bumping
+        :attr:`index_repairs` instead.
+        """
+        old = self._store
+        # Moves: resolve target rows, ignoring unknown pids.
+        aligned = old.rows_aligned(batch.move_pids)
+        known = aligned >= 0
+        move_rows = aligned[known]
+        move_pids = batch.move_pids[known]
+        move_xs = batch.move_xs[known]
+        move_ys = batch.move_ys[known]
+        # Removes: resolve rows (sorted), ignoring unknown pids.
+        remove_rows = np.asarray(old.rows_of_pids(batch.remove_pids), dtype=np.int64)
+        if len(move_rows) == 0 and len(remove_rows) == 0 and batch.num_inserts == 0:
+            return AppliedUpdate()
+        if len(old) - len(remove_rows) + batch.num_inserts == 0:
+            raise EmptyDatasetError(
+                f"update batch would leave dataset {self.name!r} empty"
+            )
+        removed_pids = old.pids[remove_rows]
+
+        moved = old.moved(move_rows, move_xs, move_ys) if len(move_rows) else old
+        shrunk = moved.without_rows(remove_rows) if len(remove_rows) else moved
+        if batch.num_inserts:
+            prepared = self._normalize_batch(
+                shrunk,
+                PointStore(
+                    batch.insert_xs,
+                    batch.insert_ys,
+                    batch.insert_pids,
+                    dict(batch.insert_payloads),
+                    validate=False,
+                ),
+                pid_floor=old.max_pid(),
+            )
+            new_store = shrunk.extended(prepared)
+        else:
+            prepared = None
+            new_store = shrunk
+        self._swap_store(
+            new_store,
+            StoreChange(
+                moved_rows=move_rows,
+                removed_rows=remove_rows,
+                appended=batch.num_inserts,
+            ),
+        )
+        return AppliedUpdate(
+            inserted_pids=prepared.pids if prepared is not None else np.empty(0, dtype=np.int64),
+            inserted_xs=batch.insert_xs,
+            inserted_ys=batch.insert_ys,
+            removed_pids=removed_pids,
+            removed_xs=old.xs[remove_rows],
+            removed_ys=old.ys[remove_rows],
+            moved_pids=move_pids,
+            moved_old_xs=old.xs[move_rows],
+            moved_old_ys=old.ys[move_rows],
+            moved_new_xs=move_xs,
+            moved_new_ys=move_ys,
+        )
+
+    def _swap_store(self, new_store: PointStore, change: StoreChange | None = None) -> None:
+        """Commit a new store snapshot, repairing the index when possible.
+
+        Always bumps :attr:`version` and drops the materialized-points cache.
+        When the index is already built and the change is small (at most
+        ``_REPAIR_MAX_FRACTION`` of the surviving rows, or
+        ``_REPAIR_MIN_BATCH`` rows outright), the index is offered the change
+        for localized repair; indexes that decline — and large batches — fall
+        back to the lazy full rebuild.
+        """
+        index = self._index
+        self._store = new_store
         self._points = None
         self._version += 1
+        if (
+            index is not None
+            and change is not None
+            and change.size
+            <= max(_REPAIR_MIN_BATCH, int(_REPAIR_MAX_FRACTION * len(new_store)))
+        ):
+            repaired = index.repaired(new_store, change)
+            if repaired is not None:
+                self._index = repaired
+                self.index_repairs += 1
+                return
+        self._index = None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Dataset(name={self.name!r}, points={len(self._store)}, index={self._index_kind})"

@@ -35,6 +35,7 @@ from repro.index.stats import IndexStats
 from repro.query.dataset import Dataset
 from repro.shard.partitioner import ShardMap, make_shard_map
 from repro.storage.pointstore import PointStore
+from repro.storage.update import AppliedUpdate, UpdateBatch
 
 __all__ = ["ShardedDataset"]
 
@@ -291,6 +292,11 @@ class ShardedDataset:
         prepared = self.base.prepare_insert(points)
         if not prepared:
             return 0
+        self._commit_prepared(prepared)
+        return len(prepared)
+
+    def _commit_prepared(self, prepared: Sequence[Point]) -> None:
+        """Commit an already-normalized insert batch to base and shards."""
         self.base.commit_insert(prepared)
         for sid, group in enumerate(self.shard_map.split(prepared)):
             if not group:
@@ -305,7 +311,6 @@ class ShardedDataset:
                 self._pid_to_shard[p.pid] = sid
         self._search_plan = None
         self._synced_version = self.base.version
-        return len(prepared)
 
     def remove(self, pids: Iterable[int]) -> int:
         """Remove by pid from the base dataset and the owning shards only.
@@ -336,6 +341,125 @@ class ShardedDataset:
         self._search_plan = None
         self._synced_version = self.base.version
         return removed
+
+    def move(self, moves: Iterable[tuple[int, float, float]]) -> int:
+        """Relocate points, routing each move to the shards it touches.
+
+        A move whose destination stays inside the owning shard's region is a
+        coordinate overwrite on that shard (one :meth:`Dataset.move`, eligible
+        for localized index repair); a move that crosses a shard boundary is
+        a remove from the old shard plus an insert into the new one, with the
+        pid and payload preserved.  The base dataset gets the whole batch as
+        one :meth:`Dataset.move` (one version bump).  Unknown pids are
+        ignored; returns the number of points moved.
+        """
+        self.ensure_synced()  # see insert(): never mask an out-of-band mutation
+        triples = [
+            (int(pid), float(x), float(y))
+            for pid, x, y in moves
+            if int(pid) in self._pid_to_shard
+        ]
+        if not triples:
+            return 0
+        xs = np.array([t[1] for t in triples], dtype=np.float64)
+        ys = np.array([t[2] for t in triples], dtype=np.float64)
+        new_sids = self.shard_map.shard_of_rows(xs, ys)
+        base_store = self.base.store
+        rows = base_store.rows_aligned([t[0] for t in triples])
+
+        same: dict[int, list[tuple[int, float, float]]] = {}
+        cross_out: dict[int, set[int]] = {}
+        cross_in: dict[int, list[Point]] = {}
+        for (pid, x, y), nsid, row in zip(triples, new_sids, rows.tolist()):
+            osid = self._pid_to_shard[pid]
+            nsid = int(nsid)
+            if osid == nsid:
+                same.setdefault(osid, []).append((pid, x, y))
+            else:
+                cross_out.setdefault(osid, set()).add(pid)
+                payload = base_store.payloads.get(row)
+                cross_in.setdefault(nsid, []).append(Point(x, y, pid, payload))
+
+        self.base.move(triples)
+        for sid, shard_moves in same.items():
+            shard = self._shards[sid]
+            assert shard is not None
+            shard.move(shard_moves)
+            shard.index  # repair/rebuild eagerly
+        for sid, shard_pids in cross_out.items():
+            shard = self._shards[sid]
+            assert shard is not None
+            if len(shard_pids) >= len(shard):
+                self._shards[sid] = None  # Dataset forbids emptying; drop the slot
+            else:
+                shard.remove(shard_pids)
+                shard.index
+        for sid, points in cross_in.items():
+            shard = self._shards[sid]
+            if shard is None:
+                self._shards[sid] = self._make_shard(sid, points)
+            else:
+                shard.extend(points)
+                shard.index
+            for p in points:
+                self._pid_to_shard[p.pid] = sid
+        self._search_plan = None
+        self._synced_version = self.base.version
+        return len(triples)
+
+    def apply_update(self, batch: UpdateBatch) -> AppliedUpdate:
+        """Apply one insert/remove/move batch, routed to the owning shards.
+
+        The sharded counterpart of :meth:`Dataset.apply_update`: every
+        operation refers to the pre-batch state, unknown remove/move pids
+        are ignored, and the returned record carries the effective columns
+        (old coordinates included).  Internally the batch decomposes into
+        the three routed mutations — moves, then inserts, then removes —
+        with fresh insert pids assigned above the pre-batch maximum, exactly
+        as the unsharded path assigns them.
+        """
+        self.ensure_synced()
+        base_store = self.base.store
+        rm_rows = base_store.rows_of_pids(batch.remove_pids)
+        if len(base_store) - len(rm_rows) + batch.num_inserts == 0:
+            raise EmptyDatasetError(
+                f"update batch would leave dataset {self.name!r} empty"
+            )
+        removed_pids = base_store.pids[rm_rows]
+        removed_xs = base_store.xs[rm_rows]
+        removed_ys = base_store.ys[rm_rows]
+        aligned = base_store.rows_aligned(batch.move_pids)
+        known = aligned >= 0
+        move_rows = aligned[known]
+        moved_pids = batch.move_pids[known]
+        moved_new_xs = batch.move_xs[known]
+        moved_new_ys = batch.move_ys[known]
+        moved_old_xs = base_store.xs[move_rows]
+        moved_old_ys = base_store.ys[move_rows]
+
+        if len(moved_pids):
+            self.move(zip(moved_pids.tolist(), moved_new_xs, moved_new_ys))
+        if batch.num_inserts:
+            prepared = self.base.prepare_insert(batch.insert_points())
+            self._commit_prepared(prepared)
+            inserted_pids = np.array([p.pid for p in prepared], dtype=np.int64)
+        else:
+            inserted_pids = np.empty(0, dtype=np.int64)
+        if len(removed_pids):
+            self.remove(removed_pids.tolist())
+        return AppliedUpdate(
+            inserted_pids=inserted_pids,
+            inserted_xs=batch.insert_xs,
+            inserted_ys=batch.insert_ys,
+            removed_pids=removed_pids,
+            removed_xs=removed_xs,
+            removed_ys=removed_ys,
+            moved_pids=moved_pids,
+            moved_old_xs=moved_old_xs,
+            moved_old_ys=moved_old_ys,
+            moved_new_xs=moved_new_xs,
+            moved_new_ys=moved_new_ys,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         populated = sum(1 for _ in self.populated())

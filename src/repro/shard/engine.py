@@ -30,7 +30,7 @@ from __future__ import annotations
 import itertools
 import os
 import threading
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.engine.executor import ReadWriteLock
 from repro.engine.explain import Explain
@@ -48,6 +48,7 @@ from repro.shard.dataset import ShardedDataset
 from repro.shard.executor import sharded_execute
 from repro.shard.partitioner import ShardMap
 from repro.shard.pool import ShardWorkerPool
+from repro.storage.update import AppliedUpdate, UpdateBatch
 
 __all__ = ["ShardedEngine"]
 
@@ -102,6 +103,7 @@ class ShardedEngine:
         self._rw = ReadWriteLock()
         self._pool: ShardWorkerPool | None = None
         self._pool_lock = threading.Lock()
+        self._mutation_listeners: list[Callable[[str], None]] = []
         self.queries_executed = 0
         self.batches_executed = 0
         self.tasks_dispatched = 0
@@ -233,7 +235,9 @@ class ShardedEngine:
             added = self.sharded_dataset(name).insert(points)
             if added:
                 self._on_mutation(name)
-            return added
+        if added:
+            self._notify_mutation(name)
+        return added
 
     def remove(self, name: str, pids: Iterable[int]) -> int:
         """Remove points (by pid), rebuilding only the owning shards' indexes."""
@@ -241,7 +245,57 @@ class ShardedEngine:
             removed = self.sharded_dataset(name).remove(pids)
             if removed:
                 self._on_mutation(name)
-            return removed
+        if removed:
+            self._notify_mutation(name)
+        return removed
+
+    def move(self, name: str, moves: Iterable[tuple[int, float, float]]) -> int:
+        """Relocate points, routing each move to the shards it touches.
+
+        Same-shard moves repair that shard's index in place; cross-shard
+        moves transfer the point between the two shard datasets (see
+        :meth:`ShardedDataset.move`).  Only the touched shards rebuild.
+        """
+        with self._rw.write():
+            moved = self.sharded_dataset(name).move(moves)
+            if moved:
+                self._on_mutation(name)
+        if moved:
+            self._notify_mutation(name)
+        return moved
+
+    def apply_update(self, name: str, batch: UpdateBatch) -> AppliedUpdate:
+        """Apply one insert/remove/move batch, routed to the owning shards.
+
+        The streaming entry point: one write-lock acquisition and one cache
+        invalidation for the whole batch.  Returns the effective mutation
+        (see :meth:`ShardedDataset.apply_update`).
+        """
+        with self._rw.write():
+            applied = self.sharded_dataset(name).apply_update(batch)
+            if applied.size:
+                self._on_mutation(name)
+        if applied.size:
+            self._notify_mutation(name)
+        return applied
+
+    def add_mutation_listener(self, listener: Callable[[str], None]) -> None:
+        """Register a callback fired after every engine-routed mutation.
+
+        Mirrors :meth:`SpatialEngine.add_mutation_listener`: the stream
+        layer's subscription registry hooks in here so direct mutations mark
+        the affected standing queries stale.  Listeners run outside the
+        engine's locks.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(self, listener: Callable[[str], None]) -> None:
+        """Unregister a callback added with :meth:`add_mutation_listener`."""
+        self._mutation_listeners.remove(listener)
+
+    def _notify_mutation(self, name: str) -> None:
+        for listener in tuple(self._mutation_listeners):
+            listener(name)
 
     def _on_mutation(self, name: str) -> None:
         self._engine.invalidate(name)

@@ -6,8 +6,16 @@ Every layer above it — index blocks, the locality-based kNN, the operators and
 the core algorithms — works on *row indices into a store* and materializes
 :class:`~repro.geometry.point.Point` objects only at the result boundary.
 See ``docs/storage.md`` for the layout and the materialization rules.
+
+Streaming mutations are described columnar-ly as well:
+:class:`~repro.storage.update.UpdateBatch` (requested insert/remove/move
+columns), :class:`~repro.storage.update.AppliedUpdate` (the effective
+mutation, with old coordinates preserved for guard-region kernels) and
+:class:`~repro.storage.update.StoreChange` (the same mutation in row terms,
+the index-repair contract).
 """
 
 from repro.storage.pointstore import PointStore
+from repro.storage.update import AppliedUpdate, StoreChange, UpdateBatch
 
-__all__ = ["PointStore"]
+__all__ = ["PointStore", "UpdateBatch", "AppliedUpdate", "StoreChange"]

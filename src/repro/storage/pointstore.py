@@ -30,7 +30,32 @@ import numpy as np
 from repro.exceptions import GeometryError, InvalidParameterError
 from repro.geometry.point import Point
 
-__all__ = ["PointStore"]
+__all__ = ["PointStore", "aligned_rows"]
+
+
+def aligned_rows(
+    pids: np.ndarray, wanted: np.ndarray, order: np.ndarray | None = None
+) -> np.ndarray:
+    """Index of each ``wanted`` pid in the ``pids`` column (``-1`` = absent).
+
+    The aligned-lookup kernel shared by :meth:`PointStore.rows_aligned` and
+    the stream layer's row-table maintenance: one ``searchsorted`` against
+    the sorted pid column (``order`` — the column's argsort — is computed
+    when not supplied), positions clipped so out-of-range probes compare
+    against a real element, and a hit mask filters false positives.
+    Requires ``pids`` to be duplicate-free; callers with duplicate pids must
+    use their own scan.
+    """
+    out = np.full(len(wanted), -1, dtype=np.int64)
+    if not len(pids) or not len(wanted):
+        return out
+    if order is None:
+        order = np.argsort(pids)
+    sorted_pids = pids[order]
+    pos = np.minimum(np.searchsorted(sorted_pids, wanted), len(sorted_pids) - 1)
+    hits = sorted_pids[pos] == wanted
+    out[hits] = order[pos[hits]]
+    return out
 
 
 class PointStore:
@@ -149,6 +174,16 @@ class PointStore:
             return np.hypot(self.xs - x, self.ys - y)
         return np.hypot(self.xs[rows] - x, self.ys[rows] - y)
 
+    def _ensure_pid_order(self) -> np.ndarray | bool:
+        """The cached pid-column argsort, or ``False`` when pids repeat."""
+        if self._pid_order is None:
+            order = np.argsort(self.pids)
+            unique = len(self.pids) < 2 or bool(
+                (np.diff(self.pids[order]) != 0).all()
+            )
+            self._pid_order = order if unique else False
+        return self._pid_order
+
     def rows_of_pids(self, pids: Iterable[int]) -> np.ndarray:
         """Row indices whose pid is in ``pids`` (store order).
 
@@ -163,19 +198,36 @@ class PointStore:
         )
         if len(self.pids) == 0 or len(wanted) == 0:
             return np.empty(0, dtype=np.int64)
-        if self._pid_order is None:
-            order = np.argsort(self.pids)
-            unique = len(self.pids) < 2 or bool(
-                (np.diff(self.pids[order]) != 0).all()
-            )
-            self._pid_order = order if unique else False
-        if self._pid_order is False:
+        order = self._ensure_pid_order()
+        if order is False:
             return np.nonzero(np.isin(self.pids, wanted))[0]
-        order = self._pid_order
-        sorted_pids = self.pids[order]
-        pos = np.minimum(np.searchsorted(sorted_pids, wanted), len(sorted_pids) - 1)
-        hits = sorted_pids[pos] == wanted
-        return np.sort(order[pos[hits]])
+        rows = aligned_rows(self.pids, wanted, order)
+        return np.sort(rows[rows >= 0])
+
+    def rows_aligned(self, pids: Iterable[int]) -> np.ndarray:
+        """Row index of each requested pid, aligned with the input (``-1`` = absent).
+
+        Unlike :meth:`rows_of_pids` (which returns the matching rows in store
+        order), the result here is positionally aligned with ``pids`` so
+        callers can pair each pid with per-pid operands (e.g. a move batch's
+        new coordinates).  Requires a unique pid column; stores with
+        duplicate pids fall back to a scan per pid.
+        """
+        wanted = np.asarray(
+            pids if isinstance(pids, (np.ndarray, list, tuple)) else list(pids),
+            dtype=np.int64,
+        )
+        if len(self.pids) == 0 or len(wanted) == 0:
+            return np.full(len(wanted), -1, dtype=np.int64)
+        order = self._ensure_pid_order()
+        if order is False:
+            out = np.full(len(wanted), -1, dtype=np.int64)
+            for i, pid in enumerate(wanted.tolist()):
+                hits = np.nonzero(self.pids == pid)[0]
+                if len(hits):
+                    out[i] = int(hits[0])
+            return out
+        return aligned_rows(self.pids, wanted, order)
 
     # ------------------------------------------------------------------
     # Materialization boundary
@@ -246,6 +298,35 @@ class PointStore:
             mine = self._points if self._points else [None] * len(self.xs)
             theirs = other._points if other._points else [None] * len(other.xs)
             child._points = list(mine) + list(theirs)
+        return child
+
+    def moved(self, rows: np.ndarray | Sequence[int], xs: np.ndarray, ys: np.ndarray) -> "PointStore":
+        """A new store with ``rows`` relocated to the given coordinates.
+
+        The batch-update path for in-place-style moves: only the *dirty*
+        columns are copied — ``xs``/``ys`` get a copy-on-write with the moved
+        rows overwritten, while the untouched ``pids`` column (and with it
+        the cached pid-order table) and the payload side-table are shared
+        with the parent store.  Row numbering is unchanged, so blocks and
+        neighborhoods that reference rows by index stay aligned; materialized
+        point objects are invalidated only for the moved rows.
+        """
+        idx = np.asarray(rows, dtype=np.int64)
+        new_xs = self.xs.copy()
+        new_ys = self.ys.copy()
+        new_xs[idx] = np.asarray(xs, dtype=np.float64)
+        new_ys[idx] = np.asarray(ys, dtype=np.float64)
+        if len(idx) and not (
+            np.isfinite(new_xs[idx]).all() and np.isfinite(new_ys[idx]).all()
+        ):
+            raise GeometryError("point coordinates must be finite")
+        child = PointStore(new_xs, new_ys, self.pids, self.payloads, validate=False)
+        child._pid_order = self._pid_order  # pid column unchanged
+        if len(self._points) == len(self.xs):
+            cache = list(self._points)
+            for row in idx.tolist():
+                cache[row] = None  # stale coordinates: rematerialize on demand
+            child._points = cache
         return child
 
     def without_rows(self, rows: np.ndarray | Sequence[int]) -> "PointStore":

@@ -1,0 +1,365 @@
+"""Columnar update descriptions for streaming mutations.
+
+A continuous workload mutates a relation through batches of three operation
+kinds — ``insert`` new points, ``remove`` existing points (by pid) and
+``move`` existing points to new coordinates.  The types here describe such a
+batch *columnar-ly*, one contiguous array per operand column, so that every
+consumer downstream (the dataset's snapshot update, the index repair, the
+stream layer's guard-region relevance kernels) runs vectorized over the
+batch's columns instead of looping over per-operation objects:
+
+* :class:`UpdateBatch` — the client-side description of one batch (what the
+  caller *asked for*).  All operations refer to the relation state *before*
+  the batch: moves and removes name pre-batch pids, and one pid may appear in
+  at most one of the two (an insert may not reuse a pid named by either).
+* :class:`AppliedUpdate` — what a dataset *actually did* with a batch:
+  effective pids plus old/new coordinate columns (unknown remove/move pids
+  are dropped, anonymous inserts carry their freshly assigned pids).  This is
+  the input of the stream layer's relevance kernels, which need old
+  coordinates (for "was the removed point inside the window?") as much as
+  new ones.
+* :class:`StoreChange` — the same mutation expressed in *row* terms against
+  the old/new store pair, which is what an index needs to repair its blocks
+  in place (:meth:`repro.index.base.SpatialIndex.repaired`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.exceptions import GeometryError, InvalidParameterError
+from repro.geometry.point import Point
+
+__all__ = ["UpdateBatch", "AppliedUpdate", "StoreChange"]
+
+_EMPTY_F = np.empty(0, dtype=np.float64)
+_EMPTY_I = np.empty(0, dtype=np.int64)
+
+
+class UpdateBatch:
+    """One columnar batch of ``insert`` / ``remove`` / ``move`` operations.
+
+    Parameters
+    ----------
+    inserts:
+        New points — :class:`Point` objects or ``(x, y)`` tuples.  Tuples and
+        points with ``pid < 0`` receive fresh pids when the batch is applied;
+        explicit pids must be unique within the batch and must not collide
+        with a pid named by ``removes`` or ``moves``.
+    removes:
+        Pids of points to drop (duplicates are collapsed; pids unknown to the
+        target relation are ignored at apply time).
+    moves:
+        ``(pid, new_x, new_y)`` triples relocating existing points.  A pid
+        may be moved at most once per batch and may not also be removed.
+
+    Every operation refers to the relation state *before* the batch; the
+    apply order (moves, then removes, then inserts) is therefore
+    unobservable except for pid freshness, which is resolved last.
+    """
+
+    __slots__ = (
+        "insert_xs",
+        "insert_ys",
+        "insert_pids",
+        "insert_payloads",
+        "remove_pids",
+        "move_pids",
+        "move_xs",
+        "move_ys",
+    )
+
+    def __init__(
+        self,
+        inserts: Iterable[Point | tuple[float, float]] = (),
+        removes: Iterable[int] = (),
+        moves: Iterable[tuple[int, float, float]] = (),
+    ) -> None:
+        ins = list(inserts)
+        self.insert_xs = np.empty(len(ins), dtype=np.float64)
+        self.insert_ys = np.empty(len(ins), dtype=np.float64)
+        self.insert_pids = np.empty(len(ins), dtype=np.int64)
+        self.insert_payloads: dict[int, Any] = {}
+        for i, item in enumerate(ins):
+            if isinstance(item, Point):
+                self.insert_xs[i] = item.x
+                self.insert_ys[i] = item.y
+                self.insert_pids[i] = item.pid
+                if item.payload is not None:
+                    self.insert_payloads[i] = item.payload
+            else:
+                x, y = item
+                self.insert_xs[i] = float(x)
+                self.insert_ys[i] = float(y)
+                self.insert_pids[i] = -1
+        if len(ins) and not (
+            np.isfinite(self.insert_xs).all() and np.isfinite(self.insert_ys).all()
+        ):
+            raise GeometryError("insert coordinates must be finite")
+
+        rm = list(removes)
+        self.remove_pids = (
+            np.unique(np.ascontiguousarray(rm, dtype=np.int64)) if rm else _EMPTY_I.copy()
+        )
+
+        mv = list(moves)
+        self.move_pids = np.empty(len(mv), dtype=np.int64)
+        self.move_xs = np.empty(len(mv), dtype=np.float64)
+        self.move_ys = np.empty(len(mv), dtype=np.float64)
+        for i, (pid, x, y) in enumerate(mv):
+            self.move_pids[i] = int(pid)
+            self.move_xs[i] = float(x)
+            self.move_ys[i] = float(y)
+        if len(mv) and not (
+            np.isfinite(self.move_xs).all() and np.isfinite(self.move_ys).all()
+        ):
+            raise GeometryError("move coordinates must be finite")
+        self._validate()
+
+    def _validate(self) -> None:
+        if len(self.move_pids) and len(np.unique(self.move_pids)) != len(self.move_pids):
+            raise InvalidParameterError("a pid may be moved at most once per batch")
+        if len(self.move_pids) and len(self.remove_pids):
+            clash = np.intersect1d(self.move_pids, self.remove_pids)
+            if len(clash):
+                raise InvalidParameterError(
+                    f"pid {int(clash[0])} is both moved and removed in one batch"
+                )
+        explicit = self.insert_pids[self.insert_pids >= 0]
+        if len(explicit):
+            if len(np.unique(explicit)) != len(explicit):
+                raise InvalidParameterError("duplicate explicit insert pids in batch")
+            named = np.concatenate((self.move_pids, self.remove_pids))
+            clash = np.intersect1d(explicit, named)
+            if len(clash):
+                raise InvalidParameterError(
+                    f"pid {int(clash[0])} is inserted and moved/removed in one batch"
+                )
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "UpdateBatch":
+        """A batch with no operations."""
+        return cls()
+
+    @classmethod
+    def from_columns(
+        cls,
+        insert_xs: np.ndarray | None = None,
+        insert_ys: np.ndarray | None = None,
+        insert_pids: np.ndarray | None = None,
+        remove_pids: np.ndarray | None = None,
+        move_pids: np.ndarray | None = None,
+        move_xs: np.ndarray | None = None,
+        move_ys: np.ndarray | None = None,
+    ) -> "UpdateBatch":
+        """Build a batch directly from operand columns (no per-op loop).
+
+        The high-throughput producer path (tick streams generate columns to
+        begin with).  ``insert_pids`` defaults to all-anonymous (``-1``);
+        the same validation as the per-operation constructor applies.
+        """
+        batch = cls.__new__(cls)
+        n_ins = len(insert_xs) if insert_xs is not None else 0
+        batch.insert_xs = (
+            np.ascontiguousarray(insert_xs, dtype=np.float64)
+            if insert_xs is not None
+            else _EMPTY_F.copy()
+        )
+        batch.insert_ys = (
+            np.ascontiguousarray(insert_ys, dtype=np.float64)
+            if insert_ys is not None
+            else _EMPTY_F.copy()
+        )
+        if len(batch.insert_xs) != len(batch.insert_ys):
+            raise InvalidParameterError("insert_xs and insert_ys must align")
+        batch.insert_pids = (
+            np.ascontiguousarray(insert_pids, dtype=np.int64)
+            if insert_pids is not None
+            else np.full(n_ins, -1, dtype=np.int64)
+        )
+        if len(batch.insert_pids) != n_ins:
+            raise InvalidParameterError("insert_pids must align with insert_xs")
+        batch.insert_payloads = {}
+        if n_ins and not (
+            np.isfinite(batch.insert_xs).all() and np.isfinite(batch.insert_ys).all()
+        ):
+            raise GeometryError("insert coordinates must be finite")
+        batch.remove_pids = (
+            np.unique(np.ascontiguousarray(remove_pids, dtype=np.int64))
+            if remove_pids is not None and len(remove_pids)
+            else _EMPTY_I.copy()
+        )
+        batch.move_pids = (
+            np.ascontiguousarray(move_pids, dtype=np.int64)
+            if move_pids is not None
+            else _EMPTY_I.copy()
+        )
+        batch.move_xs = (
+            np.ascontiguousarray(move_xs, dtype=np.float64)
+            if move_xs is not None
+            else _EMPTY_F.copy()
+        )
+        batch.move_ys = (
+            np.ascontiguousarray(move_ys, dtype=np.float64)
+            if move_ys is not None
+            else _EMPTY_F.copy()
+        )
+        if not (len(batch.move_pids) == len(batch.move_xs) == len(batch.move_ys)):
+            raise InvalidParameterError("move columns must have equal length")
+        if len(batch.move_pids) and not (
+            np.isfinite(batch.move_xs).all() and np.isfinite(batch.move_ys).all()
+        ):
+            raise GeometryError("move coordinates must be finite")
+        batch._validate()
+        return batch
+
+    @property
+    def num_inserts(self) -> int:
+        """Number of insert operations in the batch."""
+        return len(self.insert_xs)
+
+    @property
+    def num_removes(self) -> int:
+        """Number of (distinct) remove operations in the batch."""
+        return len(self.remove_pids)
+
+    @property
+    def num_moves(self) -> int:
+        """Number of move operations in the batch."""
+        return len(self.move_pids)
+
+    @property
+    def size(self) -> int:
+        """Total number of operations in the batch."""
+        return self.num_inserts + self.num_removes + self.num_moves
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the batch holds no operations."""
+        return self.size == 0
+
+    def insert_points(self) -> list[Point]:
+        """Materialize the insert operands as :class:`Point` objects."""
+        return [
+            Point(
+                float(self.insert_xs[i]),
+                float(self.insert_ys[i]),
+                int(self.insert_pids[i]),
+                self.insert_payloads.get(i),
+            )
+            for i in range(self.num_inserts)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UpdateBatch(inserts={self.num_inserts}, removes={self.num_removes}, "
+            f"moves={self.num_moves})"
+        )
+
+
+@dataclass(frozen=True)
+class AppliedUpdate:
+    """The *effective* mutation a dataset performed for one batch.
+
+    Unknown remove/move pids have been dropped, anonymous inserts carry the
+    fresh pids the dataset assigned, and every operand column is materialized
+    — including the **old** coordinates of removed and moved points, which
+    relevance kernels need (the new store no longer has them).  All arrays of
+    one operation kind are aligned.
+    """
+
+    inserted_pids: np.ndarray = field(default_factory=lambda: _EMPTY_I.copy())
+    inserted_xs: np.ndarray = field(default_factory=lambda: _EMPTY_F.copy())
+    inserted_ys: np.ndarray = field(default_factory=lambda: _EMPTY_F.copy())
+    removed_pids: np.ndarray = field(default_factory=lambda: _EMPTY_I.copy())
+    removed_xs: np.ndarray = field(default_factory=lambda: _EMPTY_F.copy())
+    removed_ys: np.ndarray = field(default_factory=lambda: _EMPTY_F.copy())
+    moved_pids: np.ndarray = field(default_factory=lambda: _EMPTY_I.copy())
+    moved_old_xs: np.ndarray = field(default_factory=lambda: _EMPTY_F.copy())
+    moved_old_ys: np.ndarray = field(default_factory=lambda: _EMPTY_F.copy())
+    moved_new_xs: np.ndarray = field(default_factory=lambda: _EMPTY_F.copy())
+    moved_new_ys: np.ndarray = field(default_factory=lambda: _EMPTY_F.copy())
+
+    @property
+    def size(self) -> int:
+        """Total number of effective operations."""
+        return len(self.inserted_pids) + len(self.removed_pids) + len(self.moved_pids)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the batch had no effect."""
+        return self.size == 0
+
+    def touched_pids(self) -> np.ndarray:
+        """Pids of every point the update removed or relocated (cached)."""
+        return self._touched
+
+    @cached_property
+    def _touched(self) -> np.ndarray:
+        return np.concatenate((self.removed_pids, self.moved_pids))
+
+    @cached_property
+    def touched_sorted(self) -> np.ndarray:
+        """Sorted :meth:`touched_pids` — the membership-probe column.
+
+        Guard kernels run one ``searchsorted`` of their (few) member pids
+        against this column; sorting once per batch amortizes across every
+        subscription the batch is offered to.
+        """
+        return np.sort(self._touched)
+
+    def candidate_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(xs, ys, pids)`` of every point the update *placed* somewhere.
+
+        Inserted points plus the new positions of moved points — exactly the
+        candidate set a guard region must test for entry into a standing
+        result.  Cached: the concatenation happens once per batch, not once
+        per subscription.
+        """
+        return self._candidates
+
+    @cached_property
+    def _candidates(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return (
+            np.concatenate((self.inserted_xs, self.moved_new_xs)),
+            np.concatenate((self.inserted_ys, self.moved_new_ys)),
+            np.concatenate((self.inserted_pids, self.moved_pids)),
+        )
+
+
+@dataclass(frozen=True)
+class StoreChange:
+    """A store mutation in row terms: the index-repair contract.
+
+    ``moved_rows`` are row indices valid in **both** stores' numbering until
+    removal compaction (moves never renumber); ``removed_rows`` are sorted
+    row indices in the *old* store; ``appended`` counts fresh rows at the
+    tail of the *new* store.  :meth:`map_rows` translates surviving old row
+    indices into new-store numbering.
+    """
+
+    moved_rows: np.ndarray = field(default_factory=lambda: _EMPTY_I.copy())
+    removed_rows: np.ndarray = field(default_factory=lambda: _EMPTY_I.copy())
+    appended: int = 0
+
+    @property
+    def size(self) -> int:
+        """Total number of changed rows."""
+        return len(self.moved_rows) + len(self.removed_rows) + self.appended
+
+    def map_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Translate surviving old-store row indices into new-store numbering.
+
+        Each surviving row shifts down by the number of removed rows before
+        it; callers must not pass removed rows.
+        """
+        if not len(self.removed_rows):
+            return rows
+        return rows - np.searchsorted(self.removed_rows, rows, side="left").astype(rows.dtype)

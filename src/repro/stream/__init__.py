@@ -1,0 +1,58 @@
+"""``repro.stream`` — continuous spatial queries over streaming updates.
+
+The fourth architectural layer: standing queries with incremental result
+maintenance.  Clients subscribe queries (kNN-select, range-select, kNN-join
+and the paper's two-predicate classes) against relations registered on a
+:class:`~repro.engine.session.SpatialEngine` or
+:class:`~repro.shard.engine.ShardedEngine`, push columnar update batches
+(``insert`` / ``remove`` / ``move``) through an
+:class:`~repro.stream.client.UpdateStream`, and receive
+:class:`~repro.stream.delta.Delta` objects — the rows that entered and left
+each standing result — instead of re-executed result sets.
+
+Quick start::
+
+    from repro.stream import StreamEngine
+
+    stream_engine = StreamEngine()
+    stream_engine.register(name="vehicles", points=snapshot)
+    sub = stream_engine.subscribe(Query(KnnSelect("vehicles", incident, k=3)))
+    feed = stream_engine.stream("vehicles")
+    feed.move(42, 13.5, 8.25).insert((2.0, 3.0)).remove(7)
+    deltas = feed.flush()          # {sub.id: Delta(added=..., removed=...)}
+    current = sub.result()         # maintained ((distance, pid), ...) rows
+
+See ``docs/stream.md`` for the guard-region invariants and the delta
+semantics.
+"""
+
+from repro.storage.update import AppliedUpdate, UpdateBatch
+from repro.stream.client import UpdateStream
+from repro.stream.delta import Delta, diff_rows, result_rows
+from repro.stream.engine import StreamEngine
+from repro.stream.maintain import (
+    KnnJoinState,
+    KnnSelectState,
+    MaintenanceContext,
+    RangeSelectState,
+    RefreshState,
+    make_state,
+)
+from repro.stream.subscription import Subscription
+
+__all__ = [
+    "StreamEngine",
+    "Subscription",
+    "UpdateStream",
+    "UpdateBatch",
+    "AppliedUpdate",
+    "Delta",
+    "diff_rows",
+    "result_rows",
+    "MaintenanceContext",
+    "KnnSelectState",
+    "RangeSelectState",
+    "KnnJoinState",
+    "RefreshState",
+    "make_state",
+]

@@ -1,0 +1,100 @@
+"""The buffered ``UpdateStream`` client handle.
+
+An update stream is how a producer feeds one relation: it buffers
+``insert`` / ``remove`` / ``move`` operations and turns them into one
+columnar :class:`~repro.storage.update.UpdateBatch` per :meth:`flush`, which
+is pushed through the owning :class:`~repro.stream.engine.StreamEngine` as a
+single mutation.  Batching is what keeps maintenance cheap: one version
+bump, one localized index repair and one guard evaluation per flush instead
+of per operation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.geometry.point import Point
+from repro.storage.update import UpdateBatch
+from repro.stream.delta import Delta
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.stream.engine import StreamEngine
+
+__all__ = ["UpdateStream"]
+
+
+class UpdateStream:
+    """A buffered stream of updates bound to one relation.
+
+    Created by :meth:`repro.stream.StreamEngine.stream`; operations
+    accumulate locally until :meth:`flush` pushes them as one batch.  All
+    buffered operations refer to the relation state at flush time (see
+    :class:`~repro.storage.update.UpdateBatch` for the batch semantics).
+    """
+
+    def __init__(self, engine: "StreamEngine", relation: str) -> None:
+        #: The stream engine this stream pushes into.
+        self.engine = engine
+        #: The relation every buffered operation targets.
+        self.relation = relation
+        self._inserts: list[Point | tuple[float, float]] = []
+        self._removes: list[int] = []
+        self._moves: list[tuple[int, float, float]] = []
+
+    # ------------------------------------------------------------------
+    # Buffering
+    # ------------------------------------------------------------------
+    def insert(self, *points: Point | tuple[float, float]) -> "UpdateStream":
+        """Buffer point insertions (chainable)."""
+        self._inserts.extend(points)
+        return self
+
+    def remove(self, *pids: int) -> "UpdateStream":
+        """Buffer removals by pid (chainable)."""
+        self._removes.extend(int(pid) for pid in pids)
+        return self
+
+    def move(self, pid: int, x: float, y: float) -> "UpdateStream":
+        """Buffer one relocation (chainable)."""
+        self._moves.append((int(pid), float(x), float(y)))
+        return self
+
+    def move_many(self, moves: Iterable[tuple[int, float, float]]) -> "UpdateStream":
+        """Buffer many relocations at once (chainable)."""
+        self._moves.extend((int(p), float(x), float(y)) for p, x, y in moves)
+        return self
+
+    @property
+    def pending(self) -> int:
+        """Number of buffered operations awaiting the next flush."""
+        return len(self._inserts) + len(self._removes) + len(self._moves)
+
+    def clear(self) -> None:
+        """Drop every buffered operation without pushing."""
+        self._inserts.clear()
+        self._removes.clear()
+        self._moves.clear()
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+    def batch(self) -> UpdateBatch:
+        """The buffered operations as a columnar batch (buffer unchanged)."""
+        return UpdateBatch(
+            inserts=self._inserts, removes=self._removes, moves=self._moves
+        )
+
+    def flush(self) -> dict[str, Delta]:
+        """Push the buffered operations as one batch; returns the deltas.
+
+        The buffer is cleared whether or not any subscription was affected.
+        An empty buffer is a no-op returning no deltas.
+        """
+        if not self.pending:
+            return {}
+        batch = self.batch()
+        self.clear()
+        return self.engine.push(self.relation, batch)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UpdateStream(relation={self.relation!r}, pending={self.pending})"

@@ -1,0 +1,84 @@
+"""Incremental result deltas and canonical row keys.
+
+A standing query's maintained answer is represented as a tuple of **canonical
+row keys**, ordered deterministically, so that any two result states can be
+compared (and diffed) without materializing point objects:
+
+* kNN-select subscriptions — ``(distance, pid)`` pairs in ascending
+  ``(distance, pid)`` order (exactly the library-wide neighborhood order);
+* range-select subscriptions — member pids in ascending order;
+* kNN-join subscriptions — ``(outer pid, inner pid)`` pairs in ascending
+  order;
+* two-predicate subscriptions — pids / pid-pairs / pid-triples of the
+  result rows, sorted (the paper's two-predicate answers are sets; the sort
+  makes the key order canonical).
+
+A :class:`Delta` is the difference between two such states: the rows that
+entered the result and the rows that left it.  Applying a subscription's
+deltas, in push order, to its initial snapshot always reproduces its current
+:meth:`~repro.stream.subscription.Subscription.result` — that is the delta
+soundness invariant ``docs/stream.md`` proves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.results import QueryResult
+
+__all__ = ["Delta", "diff_rows", "result_rows"]
+
+
+@dataclass(frozen=True)
+class Delta:
+    """The incremental change of one subscription after one update batch.
+
+    ``added`` and ``removed`` hold canonical row keys (see the module
+    docstring for the per-class key shape), each sorted ascending.  A kNN
+    rank change caused by a fallback re-execution appears as the same pid
+    leaving with its old distance and re-entering with its new one.
+    """
+
+    subscription_id: str
+    added: tuple = ()
+    removed: tuple = ()
+    #: True when the delta was produced by falling back to a from-scratch
+    #: re-execution (a guard was violated); False for local repairs and
+    #: skipped (provably unaffected) batches.
+    refreshed: bool = False
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the update batch did not change this result at all."""
+        return not self.added and not self.removed
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)
+
+
+def diff_rows(before: tuple, after: tuple) -> tuple[tuple, tuple]:
+    """``(added, removed)`` between two canonical row-key tuples.
+
+    States cache their row tuples, so an untouched result arrives as the
+    *same* tuple object and short-circuits without building sets.
+    """
+    if before is after:
+        return (), ()
+    old = set(before)
+    new = set(after)
+    return tuple(sorted(new - old)), tuple(sorted(old - new))
+
+
+def result_rows(result: QueryResult) -> tuple:
+    """The canonical row keys of an engine result (sorted, hashable).
+
+    Point results key on ``pid``, pair results on ``(outer pid, inner pid)``
+    and triplet results on ``(a pid, b pid, c pid)`` — the same identifier
+    keys the sharded merge sorts by, so from-scratch runs of either engine
+    canonicalize identically.
+    """
+    if result.pairs:
+        return tuple(sorted(pair.pids for pair in result.pairs))
+    if result.triplets:
+        return tuple(sorted(triplet.pids for triplet in result.triplets))
+    return tuple(sorted(point.pid for point in result.points))

@@ -1,0 +1,141 @@
+"""The ``Subscription`` handle: one standing query and its maintained result.
+
+A subscription is created by :meth:`repro.stream.StreamEngine.subscribe` and
+stays valid until unsubscribed.  It exposes the maintained answer as
+canonical row keys (:meth:`Subscription.result`), plus per-subscription
+counters that make the maintenance behaviour observable: how many update
+batches were provably irrelevant (``skips``), how many were absorbed by
+local repair (``local_repairs``) and how many violated a guard and fell back
+to re-execution (``refreshes``).
+"""
+
+from __future__ import annotations
+
+from repro.query.query import Query
+from repro.stream.delta import Delta, diff_rows
+from repro.stream.maintain import (
+    REFRESHED,
+    REPAIRED,
+    SKIPPED,
+    MaintenanceContext,
+    MaintenanceState,
+)
+from repro.storage.update import AppliedUpdate
+
+__all__ = ["Subscription"]
+
+
+class Subscription:
+    """A standing query with an incrementally maintained result.
+
+    Not constructed directly — use :meth:`repro.stream.StreamEngine.subscribe`.
+    """
+
+    __slots__ = (
+        "id",
+        "query",
+        "query_class",
+        "relations",
+        "stale",
+        "updates_seen",
+        "skips",
+        "local_repairs",
+        "refreshes",
+        "_state",
+        "_direct_delta",
+    )
+
+    def __init__(
+        self, sub_id: str, query: Query, query_class: str, state: MaintenanceState
+    ) -> None:
+        #: The subscription's identifier (unique within its stream engine).
+        self.id = sub_id
+        #: The standing query.
+        self.query = query
+        #: The paper's query class the engine planned this query into.
+        self.query_class = query_class
+        #: Names of the relations the query touches.
+        self.relations = query.relations()
+        #: True when an out-of-band engine mutation may have staled the
+        #: maintained result; the next push (or ``poll``) reconciles it.
+        self.stale = False
+        #: Update batches this subscription has been offered.
+        self.updates_seen = 0
+        #: Batches whose guard region proved them irrelevant (no work done).
+        self.skips = 0
+        #: Batches absorbed by local result repair.
+        self.local_repairs = 0
+        #: Batches that violated a guard and fell back to re-execution.
+        self.refreshes = 0
+        self._state = state
+        self._direct_delta = hasattr(state, "take_delta")
+
+    def result(self) -> tuple:
+        """The maintained result as canonical row keys.
+
+        Row shape depends on :attr:`query_class` — see
+        :mod:`repro.stream.delta`: ``(distance, pid)`` pairs for a kNN-select,
+        pids for range/point results, pid pairs/triples for joins.
+        """
+        return self._state.rows()
+
+    def apply(
+        self, applied: AppliedUpdate, relation: str, ctx: MaintenanceContext
+    ) -> Delta:
+        """Offer one effective update batch to the maintenance state.
+
+        Called by the stream engine for every batch pushed to a relation this
+        subscription touches; a stale subscription is reconciled by a full
+        refresh first.  Returns the resulting :class:`Delta` (possibly
+        empty).
+        """
+        state = self._state
+        direct = self._direct_delta and not self.stale
+        before = None if direct else state.rows()
+        if self.stale:
+            # An out-of-band mutation bypassed maintenance: the state can no
+            # longer be trusted to repair incrementally — reconcile first.
+            state.refresh(ctx)
+            self.stale = False
+            outcome = REFRESHED
+        else:
+            outcome = state.apply(applied, relation, ctx)
+        self.updates_seen += 1
+        if outcome == SKIPPED:
+            self.skips += 1
+        elif outcome == REPAIRED:
+            self.local_repairs += 1
+        else:
+            self.refreshes += 1
+        if direct:
+            # The state's kernel recorded exactly which rows entered/left.
+            added, removed = state.take_delta() or ((), ())
+        else:
+            added, removed = diff_rows(before, state.rows())
+        return Delta(
+            subscription_id=self.id,
+            added=added,
+            removed=removed,
+            refreshed=outcome == REFRESHED,
+        )
+
+    def reconcile(self, ctx: MaintenanceContext) -> Delta:
+        """Refresh the maintained result from scratch and return the diff.
+
+        Used by :meth:`repro.stream.StreamEngine.poll` to repair a
+        subscription staled by out-of-band mutations without waiting for the
+        next pushed batch.
+        """
+        before = self._state.rows()
+        self._state.refresh(ctx)
+        self.stale = False
+        self.refreshes += 1
+        added, removed = diff_rows(before, self._state.rows())
+        return Delta(subscription_id=self.id, added=added, removed=removed, refreshed=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Subscription(id={self.id!r}, class={self.query_class!r}, "
+            f"rows={len(self._state.rows())}, repairs={self.local_repairs}, "
+            f"refreshes={self.refreshes}, skips={self.skips})"
+        )

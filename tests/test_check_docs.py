@@ -48,7 +48,11 @@ def test_link_check_handles_anchored_paths(tmp_path, monkeypatch):
     assert module.check_links() == []
 
 
-def test_docstring_check_covers_engine_and_shard():
+def test_docstring_check_covers_engine_shard_and_stream():
     module = _load_module()
-    assert set(module.DOCUMENTED_PACKAGES) == {"repro.engine", "repro.shard"}
+    assert set(module.DOCUMENTED_PACKAGES) == {
+        "repro.engine",
+        "repro.shard",
+        "repro.stream",
+    }
     assert module.check_docstrings() == []

@@ -1,0 +1,81 @@
+"""Tests for the BerlinMOD tick-stream adapter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen.berlinmod import BerlinModTickStream, berlinmod_snapshot
+from repro.exceptions import InvalidParameterError
+from repro.geometry.rectangle import Rect
+from repro.query.dataset import Dataset
+
+BOUNDS = Rect(0.0, 0.0, 40_000.0, 40_000.0)
+
+
+def snapshot(n: int = 400):
+    return berlinmod_snapshot(n=n, seed=7)
+
+
+class TestTickStream:
+    def test_deterministic_given_seed(self):
+        a = BerlinModTickStream(snapshot(), move_fraction=0.05, seed=3)
+        b = BerlinModTickStream(snapshot(), move_fraction=0.05, seed=3)
+        for _ in range(4):
+            batch_a, batch_b = a.tick(), b.tick()
+            assert np.array_equal(batch_a.move_pids, batch_b.move_pids)
+            assert np.array_equal(batch_a.move_xs, batch_b.move_xs)
+            assert np.array_equal(batch_a.remove_pids, batch_b.remove_pids)
+
+    def test_move_fraction_sizing(self):
+        ticks = BerlinModTickStream(snapshot(), move_fraction=0.05, seed=1)
+        batch = ticks.tick()
+        assert batch.num_moves == round(0.05 * 400)
+        assert batch.num_removes == 0 and batch.num_inserts == 0
+        assert ticks.population == 400
+        assert ticks.ticks_generated == 1
+
+    def test_churn_keeps_population_constant(self):
+        ticks = BerlinModTickStream(
+            snapshot(), move_fraction=0.02, churn_fraction=0.02, seed=1
+        )
+        ds = Dataset("v", snapshot())
+        for batch in ticks.ticks(5):
+            ds.apply_update(batch)
+            assert len(ds) == ticks.population == 400
+        # fresh pids never clash with live ones
+        assert len(set(ds.store.pids.tolist())) == 400
+
+    def test_moves_only_reference_live_pids_and_stay_in_bounds(self):
+        ticks = BerlinModTickStream(
+            snapshot(), move_fraction=0.03, churn_fraction=0.05, seed=2
+        )
+        ds = Dataset("v", snapshot())
+        for batch in ticks.ticks(6):
+            live = set(ds.store.pids.tolist())
+            assert set(batch.move_pids.tolist()) <= live
+            assert set(batch.remove_pids.tolist()) <= live
+            assert (batch.move_xs >= BOUNDS.xmin).all() and (batch.move_xs <= BOUNDS.xmax).all()
+            assert (batch.move_ys >= BOUNDS.ymin).all() and (batch.move_ys <= BOUNDS.ymax).all()
+            ds.apply_update(batch)
+
+    def test_tracks_positions_like_the_dataset(self):
+        ticks = BerlinModTickStream(snapshot(), move_fraction=0.1, seed=5)
+        ds = Dataset("v", snapshot())
+        for batch in ticks.ticks(3):
+            ds.apply_update(batch)
+        order = np.argsort(ds.store.pids)
+        tick_order = np.argsort(ticks._pids)
+        assert np.array_equal(ds.store.pids[order], ticks._pids[tick_order])
+        assert np.allclose(ds.store.xs[order], ticks._xs[tick_order])
+        assert np.allclose(ds.store.ys[order], ticks._ys[tick_order])
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            BerlinModTickStream([], move_fraction=0.1)
+        with pytest.raises(InvalidParameterError):
+            BerlinModTickStream(snapshot(), move_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            BerlinModTickStream(snapshot(), churn_fraction=1.0)
+        with pytest.raises(InvalidParameterError):
+            BerlinModTickStream(snapshot(), step=0.0)

@@ -1,0 +1,129 @@
+"""kNN truncation: ``k`` exceeding the (post-removal) dataset size.
+
+A streaming relation can shrink below a standing query's ``k`` between one
+batch and the next.  Every kNN entry point must then *truncate* — return all
+remaining points in ``(distance, pid)`` order — never raise; this pins the
+contract for ``get_knn``, ``get_knn_batch``, the operators, the engines and
+the cross-shard search, mid-stream (after removals shrank an indexed
+relation) and at construction time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine.session import SpatialEngine
+from repro.geometry.point import Point
+from repro.locality.batch import get_knn_batch
+from repro.locality.knn import get_knn
+from repro.operators.knn_join import knn_join_pairs
+from repro.operators.knn_select import knn_select
+from repro.query.dataset import Dataset
+from repro.query.predicates import KnnSelect
+from repro.query.query import Query
+from repro.shard.dataset import ShardedDataset
+from repro.shard.engine import ShardedEngine
+from repro.shard.knn import sharded_knn
+
+FOCAL = Point(0.6, 0.4)
+
+
+def shrunk_dataset(index_kind: str = "grid") -> Dataset:
+    """Six points, then remove four — population (2) below the queried k."""
+    pts = [Point(float(i), float(i % 3), i) for i in range(6)]
+    ds = Dataset("d", pts, index_kind=index_kind)
+    ds.index  # build before shrinking: the stream mutates live indexes
+    ds.remove([0, 2, 4, 5])
+    return ds
+
+
+def expected_rows(ds: Dataset, focal: Point) -> list[tuple[float, int]]:
+    order = sorted((focal.distance_to(p), p.pid) for p in ds.points)
+    return order
+
+
+@pytest.mark.parametrize("index_kind", ["grid", "quadtree", "rtree"])
+def test_get_knn_truncates_after_removal(index_kind):
+    ds = shrunk_dataset(index_kind)
+    nbr = get_knn(ds.index, FOCAL, 5)
+    assert len(nbr) == 2
+    assert not nbr.is_full
+    assert [p.pid for p in nbr] == [r[1] for r in expected_rows(ds, FOCAL)]
+
+
+@pytest.mark.parametrize("index_kind", ["grid", "quadtree", "rtree"])
+def test_get_knn_batch_truncates_after_removal(index_kind):
+    ds = shrunk_dataset(index_kind)
+    results = get_knn_batch(ds.index, [FOCAL, Point(5.0, 5.0)], 7)
+    assert [len(nbr) for nbr in results] == [2, 2]
+    per_point = [get_knn(ds.index, q, 7) for q in (FOCAL, Point(5.0, 5.0))]
+    for batched, single in zip(results, per_point):
+        assert batched.distances == single.distances
+        assert [p.pid for p in batched] == [p.pid for p in single]
+
+
+def test_get_knn_batch_coordinate_array_form():
+    ds = shrunk_dataset()
+    (nbr,) = get_knn_batch(ds.index, np.array([[0.5, 0.5]]), 9)
+    assert len(nbr) == 2
+
+
+def test_knn_select_operator_truncates():
+    ds = shrunk_dataset()
+    nbr = knn_select(ds.index, FOCAL, 10)
+    assert len(nbr) == 2
+
+
+def test_knn_join_truncates_on_small_inner():
+    outer = Dataset("o", [Point(0.0, 0.0, 100), Point(9.0, 9.0, 101)])
+    inner = shrunk_dataset()
+    pairs = knn_join_pairs(outer.points, inner.index, 4)
+    # Every outer point pairs with every surviving inner point.
+    assert len(pairs) == 4
+
+
+def test_engine_serves_knn_after_midstream_shrink():
+    engine = SpatialEngine()
+    engine.register(name="d", points=[(float(i), 0.0) for i in range(6)])
+    query = Query(KnnSelect(relation="d", focal=FOCAL, k=5))
+    assert len(engine.run(query).points) == 5
+    engine.remove("d", [0, 1, 2, 3])
+    result = engine.run(query)
+    assert len(result.points) == 2
+
+
+def test_sharded_knn_truncates_below_population():
+    pts = [Point(float(i), float(i), i) for i in range(8)]
+    sharded = ShardedDataset(Dataset("s", pts), num_shards=3)
+    sharded.remove([0, 1, 2, 3, 4])
+    nbr = sharded_knn(sharded, FOCAL, 6)
+    assert len(nbr) == 3
+    assert [p.pid for p in nbr] == [p.pid for p in get_knn(Dataset("m", sharded.base.points).index, FOCAL, 6)]
+
+
+def test_sharded_engine_truncates_midstream():
+    engine = ShardedEngine(num_shards=2, backend="serial")
+    engine.register(name="d", points=[(float(i), 1.0) for i in range(6)])
+    query = Query(KnnSelect(relation="d", focal=FOCAL, k=4))
+    engine.run(query)
+    engine.remove("d", [0, 1, 2, 5])
+    assert len(engine.run(query).points) == 2
+
+
+def test_stream_subscription_truncates_midstream():
+    """A standing kNN query keeps answering while the relation shrinks below k."""
+    from repro.storage.update import UpdateBatch
+    from repro.stream import StreamEngine
+
+    stream = StreamEngine()
+    stream.register(name="d", points=[(float(i), 0.0) for i in range(6)])
+    sub = stream.subscribe(Query(KnnSelect(relation="d", focal=FOCAL, k=4)))
+    assert len(sub.result()) == 4
+    stream.push("d", UpdateBatch(removes=[0, 1, 2, 3]))
+    assert len(sub.result()) == 2
+    # ... and refills as the relation grows back past k.
+    stream.push("d", UpdateBatch(inserts=[(50.0, 50.0), (0.5, 0.5), (0.7, 0.7)]))
+    assert len(sub.result()) == 4
+    nbr = get_knn(stream.engine.dataset("d").index, FOCAL, 4)
+    assert sub.result() == tuple(zip(nbr.distance_array.tolist(), nbr.pid_array.tolist()))

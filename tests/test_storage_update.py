@@ -1,0 +1,166 @@
+"""Unit tests for the columnar update types and the store's move path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GeometryError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.storage.pointstore import PointStore
+from repro.storage.update import AppliedUpdate, StoreChange, UpdateBatch
+
+
+def make_store(n: int = 6) -> PointStore:
+    return PointStore.from_points(
+        [Point(float(i), float(2 * i), 10 + i, payload=("p", i) if i == 2 else None) for i in range(n)]
+    )
+
+
+class TestUpdateBatch:
+    def test_columns_and_counts(self):
+        batch = UpdateBatch(
+            inserts=[(1.0, 2.0), Point(3.0, 4.0, 99)],
+            removes=[7, 5, 7],
+            moves=[(3, 0.5, 0.5)],
+        )
+        assert batch.num_inserts == 2
+        assert batch.num_removes == 2  # duplicates collapse
+        assert batch.num_moves == 1
+        assert batch.size == 5 and not batch.is_empty
+        assert batch.insert_pids.tolist() == [-1, 99]
+        assert np.array_equal(batch.remove_pids, [5, 7])
+
+    def test_empty(self):
+        assert UpdateBatch.empty().is_empty
+        assert UpdateBatch().size == 0
+
+    def test_insert_points_materialization(self):
+        batch = UpdateBatch(inserts=[Point(1.0, 2.0, 4, payload="x")])
+        (p,) = batch.insert_points()
+        assert (p.x, p.y, p.pid, p.payload) == (1.0, 2.0, 4, "x")
+
+    def test_move_and_remove_conflict_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            UpdateBatch(removes=[3], moves=[(3, 1.0, 1.0)])
+
+    def test_duplicate_moves_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            UpdateBatch(moves=[(3, 1.0, 1.0), (3, 2.0, 2.0)])
+
+    def test_insert_pid_conflicts_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            UpdateBatch(inserts=[Point(0.0, 0.0, 5)], removes=[5])
+        with pytest.raises(InvalidParameterError):
+            UpdateBatch(inserts=[Point(0.0, 0.0, 5), Point(1.0, 1.0, 5)])
+
+    def test_non_finite_coordinates_rejected(self):
+        with pytest.raises(GeometryError):
+            UpdateBatch(moves=[(1, float("nan"), 0.0)])
+
+    def test_from_columns_matches_loop_constructor(self):
+        a = UpdateBatch(
+            inserts=[(1.0, 2.0)], removes=[5], moves=[(3, 0.25, 0.75)]
+        )
+        b = UpdateBatch.from_columns(
+            insert_xs=np.array([1.0]),
+            insert_ys=np.array([2.0]),
+            remove_pids=np.array([5]),
+            move_pids=np.array([3]),
+            move_xs=np.array([0.25]),
+            move_ys=np.array([0.75]),
+        )
+        for field in ("insert_xs", "insert_ys", "insert_pids", "remove_pids",
+                      "move_pids", "move_xs", "move_ys"):
+            assert np.array_equal(getattr(a, field), getattr(b, field)), field
+
+    def test_from_columns_validates(self):
+        with pytest.raises(InvalidParameterError):
+            UpdateBatch.from_columns(
+                move_pids=np.array([1, 1]),
+                move_xs=np.array([0.0, 1.0]),
+                move_ys=np.array([0.0, 1.0]),
+            )
+        with pytest.raises(InvalidParameterError):
+            UpdateBatch.from_columns(insert_xs=np.array([1.0]), insert_ys=np.array([]))
+
+
+class TestAppliedUpdate:
+    def test_cached_candidate_columns(self):
+        applied = AppliedUpdate(
+            inserted_pids=np.array([7]),
+            inserted_xs=np.array([1.0]),
+            inserted_ys=np.array([2.0]),
+            moved_pids=np.array([3]),
+            moved_new_xs=np.array([5.0]),
+            moved_new_ys=np.array([6.0]),
+        )
+        xs, ys, pids = applied.candidate_columns()
+        assert xs.tolist() == [1.0, 5.0] and pids.tolist() == [7, 3]
+        assert applied.candidate_columns()[0] is xs  # cached
+        assert applied.touched_pids().tolist() == [3]
+        assert applied.touched_sorted.tolist() == [3]
+        assert applied.size == 2 and not applied.is_empty
+
+    def test_empty(self):
+        assert AppliedUpdate().is_empty
+
+
+class TestStoreChange:
+    def test_row_mapping(self):
+        change = StoreChange(removed_rows=np.array([1, 4]), appended=2)
+        assert change.size == 4
+        mapped = change.map_rows(np.array([0, 2, 3, 5]))
+        assert mapped.tolist() == [0, 1, 2, 3]
+
+    def test_identity_without_removals(self):
+        rows = np.array([3, 5])
+        assert StoreChange().map_rows(rows) is rows
+
+
+class TestPointStoreMoved:
+    def test_moves_overwrite_only_dirty_columns(self):
+        store = make_store()
+        moved = store.moved(np.array([1, 3]), np.array([50.0, 60.0]), np.array([51.0, 61.0]))
+        assert moved.xs[1] == 50.0 and moved.ys[3] == 61.0
+        assert moved.xs[0] == store.xs[0]
+        # pid column (and payload table) are shared, coordinates are copies.
+        assert moved.pids is store.pids
+        assert moved.payloads is store.payloads
+        assert store.xs[1] == 1.0  # parent snapshot untouched
+
+    def test_point_cache_invalidated_for_moved_rows_only(self):
+        store = make_store()
+        before = store.point_at(1)
+        keep = store.point_at(2)
+        moved = store.moved(np.array([1]), np.array([50.0]), np.array([51.0]))
+        assert moved.point_at(2) is keep
+        after = moved.point_at(1)
+        assert after is not before and (after.x, after.y) == (50.0, 51.0)
+        assert after.pid == before.pid
+
+    def test_non_finite_move_rejected(self):
+        store = make_store()
+        with pytest.raises(GeometryError):
+            store.moved(np.array([0]), np.array([np.inf]), np.array([0.0]))
+
+    def test_pid_lookup_survives_move(self):
+        store = make_store()
+        store.rows_of_pids([12])  # warm the pid-order cache
+        moved = store.moved(np.array([2]), np.array([9.0]), np.array([9.0]))
+        assert moved.rows_of_pids([12]).tolist() == [2]
+
+
+class TestRowsAligned:
+    def test_alignment_and_missing(self):
+        store = make_store()
+        rows = store.rows_aligned([12, 999, 10])
+        assert rows.tolist() == [2, -1, 0]
+
+    def test_duplicate_pid_fallback(self):
+        store = PointStore.from_points([Point(0.0, 0.0, 1), Point(1.0, 1.0, 1)])
+        assert store.rows_aligned([1]).tolist() == [0]
+
+    def test_empty(self):
+        store = make_store()
+        assert store.rows_aligned([]).tolist() == []

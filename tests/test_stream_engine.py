@@ -1,0 +1,304 @@
+"""Unit tests for ``repro.stream``: subscriptions, deltas, guards, staleness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.session import SpatialEngine
+from repro.exceptions import InvalidParameterError, UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+from repro.storage.update import UpdateBatch
+from repro.stream import Delta, StreamEngine
+
+
+def grid_points(n_side: int = 10, start_pid: int = 0) -> list[Point]:
+    return [
+        Point(float(x), float(y), start_pid + y * n_side + x)
+        for y in range(n_side)
+        for x in range(n_side)
+    ]
+
+
+@pytest.fixture
+def stream() -> StreamEngine:
+    se = StreamEngine()
+    se.register(name="pts", points=grid_points())
+    return se
+
+
+class TestSubscribe:
+    def test_subscription_classes(self, stream):
+        knn = stream.subscribe(Query(KnnSelect(relation="pts", focal=Point(5.0, 5.0), k=3)))
+        rng = stream.subscribe(Query(RangeSelect(relation="pts", window=Rect(0.0, 0.0, 2.0, 2.0))))
+        assert knn.query_class == "single-select"
+        assert rng.query_class == "single-range"
+        assert len(stream) == 2
+        assert set(stream.subscriptions) == {knn.id, rng.id}
+        assert stream.subscription(knn.id) is knn
+
+    def test_initial_result_matches_engine(self, stream):
+        query = Query(RangeSelect(relation="pts", window=Rect(0.0, 0.0, 2.0, 2.0)))
+        sub = stream.subscribe(query)
+        expected = sorted(p.pid for p in stream.engine.run(query).points)
+        assert list(sub.result()) == expected
+
+    def test_unknown_relation_rejected(self, stream):
+        with pytest.raises(UnsupportedQueryError):
+            stream.subscribe(Query(KnnSelect(relation="nope", focal=Point(0.0, 0.0), k=1)))
+
+    def test_duplicate_id_rejected(self, stream):
+        query = Query(KnnSelect(relation="pts", focal=Point(0.0, 0.0), k=1))
+        stream.subscribe(query, sub_id="x")
+        with pytest.raises(InvalidParameterError):
+            stream.subscribe(query, sub_id="x")
+
+    def test_unsubscribe(self, stream):
+        sub = stream.subscribe(Query(KnnSelect(relation="pts", focal=Point(0.0, 0.0), k=1)))
+        stream.unsubscribe(sub)
+        assert len(stream) == 0
+        deltas = stream.push("pts", UpdateBatch(inserts=[(0.1, 0.1)]))
+        assert deltas == {}
+        with pytest.raises(UnsupportedQueryError):
+            stream.unsubscribe(sub.id)
+
+
+class TestDeltas:
+    def test_knn_insert_within_guard(self, stream):
+        sub = stream.subscribe(Query(KnnSelect(relation="pts", focal=Point(5.0, 5.0), k=2)))
+        assert sub.result() == ((0.0, 55), (1.0, 45))
+        deltas = stream.push("pts", UpdateBatch(inserts=[Point(5.1, 5.0, 777)]))
+        delta = deltas[sub.id]
+        assert delta.added == ((pytest.approx(0.1), 777),)
+        assert delta.removed == ((1.0, 45),)
+        assert not delta.refreshed  # local heap repair, not re-execution
+        assert sub.local_repairs == 1
+
+    def test_knn_insert_beyond_kth_is_provably_irrelevant(self, stream):
+        # k=1 guard radius is 0: a point at distance 0.1 cannot displace the
+        # co-located nearest neighbor, so the batch is skipped outright.
+        sub = stream.subscribe(Query(KnnSelect(relation="pts", focal=Point(5.0, 5.0), k=1)))
+        deltas = stream.push("pts", UpdateBatch(inserts=[Point(5.1, 5.0, 777)]))
+        assert deltas[sub.id].is_empty and sub.skips == 1
+
+    def test_knn_insert_outside_guard_skips(self, stream):
+        sub = stream.subscribe(Query(KnnSelect(relation="pts", focal=Point(5.0, 5.0), k=2)))
+        deltas = stream.push("pts", UpdateBatch(inserts=[(9.9, 9.9)]))
+        assert deltas[sub.id].is_empty
+        assert sub.skips == 1 and sub.local_repairs == 0 and sub.refreshes == 0
+
+    def test_knn_member_removal_falls_back(self, stream):
+        sub = stream.subscribe(Query(KnnSelect(relation="pts", focal=Point(5.0, 5.0), k=1)))
+        deltas = stream.push("pts", UpdateBatch(removes=[55]))
+        delta = deltas[sub.id]
+        assert delta.refreshed
+        assert delta.removed == ((0.0, 55),)
+        assert len(delta.added) == 1
+        assert sub.refreshes == 1
+
+    def test_range_membership_deltas(self, stream):
+        sub = stream.subscribe(
+            Query(RangeSelect(relation="pts", window=Rect(0.0, 0.0, 1.5, 1.5)))
+        )
+        assert list(sub.result()) == [0, 1, 10, 11]
+        deltas = stream.push(
+            "pts",
+            UpdateBatch(
+                inserts=[Point(0.5, 0.5, 500)],
+                removes=[0],
+                moves=[(1, 9.0, 9.0), (22, 1.2, 1.2)],
+            ),
+        )
+        delta = deltas[sub.id]
+        assert delta.added == (22, 500)
+        assert delta.removed == (0, 1)
+        assert list(sub.result()) == [10, 11, 22, 500]
+        assert not delta.refreshed  # ranges never re-execute
+
+    def test_join_outer_and_inner_maintenance(self):
+        se = StreamEngine()
+        se.register(name="out", points=[Point(0.4, 0.0, 1), Point(9.0, 9.0, 2)])
+        se.register(name="inn", points=grid_points(start_pid=100))
+        sub = se.subscribe(Query(KnnJoin(outer="out", inner="inn", k=1)))
+        assert sub.result() == ((1, 100), (2, 199))
+        # inner insert closer to outer pid 1 than its current neighbor
+        deltas = se.push("inn", UpdateBatch(inserts=[Point(0.1, 0.0, 999)]))
+        assert deltas[sub.id].added == ((1, 999),)
+        assert deltas[sub.id].removed == ((1, 100),)
+        # outer insert adds a row
+        deltas = se.push("out", UpdateBatch(inserts=[Point(5.0, 5.0, 3)]))
+        assert deltas[sub.id].added == ((3, 155),)
+        # outer removal drops its rows
+        deltas = se.push("out", UpdateBatch(removes=[2]))
+        assert deltas[sub.id].removed == ((2, 199),)
+        # inner member removal repairs just that row
+        deltas = se.push("inn", UpdateBatch(removes=[999]))
+        assert deltas[sub.id].added == ((1, 100),)
+        assert deltas[sub.id].removed == ((1, 999),)
+
+    def test_two_predicate_guard_skip_and_refresh(self, stream):
+        query = Query(
+            KnnSelect(relation="pts", focal=Point(2.0, 2.0), k=3),
+            KnnSelect(relation="pts", focal=Point(3.0, 2.0), k=3),
+        )
+        sub = stream.subscribe(query)
+        # far away: both select guards miss -> provably unchanged, no engine run
+        executed = stream.engine.queries_executed
+        deltas = stream.push("pts", UpdateBatch(inserts=[(9.5, 9.5)]))
+        assert deltas[sub.id].is_empty and sub.skips == 1
+        assert stream.engine.queries_executed == executed
+        # inside a guard ball: falls back to one re-execution
+        deltas = stream.push("pts", UpdateBatch(inserts=[Point(2.1, 2.0, 888)]))
+        assert sub.refreshes == 1
+        from repro.stream.delta import result_rows
+
+        assert sub.result() == result_rows(stream.engine.run(query))
+
+    def test_empty_batch_is_noop(self, stream):
+        sub = stream.subscribe(Query(KnnSelect(relation="pts", focal=Point(0.0, 0.0), k=2)))
+        deltas = stream.push("pts", UpdateBatch())
+        assert deltas[sub.id].is_empty
+        assert sub.result() == sub.result()
+
+
+class TestUpdateStreamClient:
+    def test_buffer_and_flush(self, stream):
+        sub = stream.subscribe(
+            Query(RangeSelect(relation="pts", window=Rect(0.0, 0.0, 1.0, 1.0)))
+        )
+        feed = stream.stream("pts")
+        feed.insert((0.5, 0.5)).remove(0).move(22, 0.2, 0.2)
+        assert feed.pending == 3
+        deltas = feed.flush()
+        assert feed.pending == 0
+        assert 22 in deltas[sub.id].added and 0 in deltas[sub.id].removed
+        assert feed.flush() == {}  # empty buffer is a no-op
+
+    def test_clear(self, stream):
+        feed = stream.stream("pts")
+        feed.insert((1.0, 1.0))
+        feed.clear()
+        assert feed.pending == 0
+
+
+class TestStaleness:
+    def test_out_of_band_mutation_marks_stale_and_poll_reconciles(self, stream):
+        sub = stream.subscribe(Query(KnnSelect(relation="pts", focal=Point(5.0, 5.0), k=2)))
+        assert stream.poll(sub).is_empty
+        # Mutate directly through the wrapped engine, bypassing push().
+        stream.engine.insert("pts", [Point(5.05, 5.0, 901)])
+        assert sub.stale
+        delta = stream.poll(sub)
+        assert delta.refreshed
+        assert delta.added == ((pytest.approx(0.05), 901),)
+        assert delta.removed == ((1.0, 45),)
+        assert not sub.stale
+
+    def test_stale_subscription_reconciles_on_next_push(self, stream):
+        sub = stream.subscribe(Query(KnnSelect(relation="pts", focal=Point(5.0, 5.0), k=2)))
+        stream.engine.insert("pts", [Point(5.05, 5.0, 901)])
+        deltas = stream.push("pts", UpdateBatch(inserts=[(9.9, 9.9)]))
+        assert deltas[sub.id].refreshed
+        assert deltas[sub.id].added == ((pytest.approx(0.05), 901),)
+        assert not sub.stale
+
+    def test_unregister_drops_subscriptions(self, stream):
+        stream.subscribe(Query(KnnSelect(relation="pts", focal=Point(0.0, 0.0), k=1)))
+        stream.unregister("pts")
+        assert len(stream) == 0
+
+    def test_out_of_band_mutation_from_other_thread_during_push(self):
+        """A direct engine mutation racing a push must still stale the subs.
+
+        The push recognizes only its *own* apply (same thread AND relation);
+        a concurrent direct mutation on the same relation from another
+        thread is out-of-band and marks the subscription stale.
+        """
+        import threading
+
+        se = StreamEngine()
+        se.register(name="pts", points=grid_points())
+        sub = se.subscribe(Query(KnnSelect(relation="pts", focal=Point(5.0, 5.0), k=2)))
+        barrier = threading.Barrier(2)
+
+        def direct_mutation():
+            barrier.wait()
+            se.engine.insert("pts", [Point(5.01, 5.0, 955)])
+
+        thread = threading.Thread(target=direct_mutation)
+        thread.start()
+        barrier.wait()
+        se.push("pts", UpdateBatch(inserts=[(9.9, 9.9)]))
+        thread.join()
+        # Whichever interleaving happened, the subscription must end up
+        # either already reconciled against pid 955 or marked stale.
+        if sub.stale:
+            se.poll(sub)
+        assert (pytest.approx(0.01), 955) in sub.result()
+
+
+class TestLifecycle:
+    def test_close_detaches_listener_and_drops_subscriptions(self):
+        engine = SpatialEngine()
+        se = StreamEngine(engine)
+        se.register(name="pts", points=grid_points())
+        sub = se.subscribe(Query(KnnSelect(relation="pts", focal=Point(0.0, 0.0), k=1)))
+        se.close()
+        assert len(se) == 0
+        engine.insert("pts", [(4.4, 4.4)])  # must not notify the closed stream
+        assert not sub.stale
+        with pytest.raises(InvalidParameterError):
+            se.push("pts", UpdateBatch(inserts=[(1.0, 1.0)]))
+        with pytest.raises(InvalidParameterError):
+            se.subscribe(Query(KnnSelect(relation="pts", focal=Point(0.0, 0.0), k=1)))
+        se.close()  # idempotent
+
+    def test_context_manager(self):
+        engine = SpatialEngine()
+        engine.register(name="pts", points=grid_points())
+        with StreamEngine(engine) as se:
+            se.subscribe(Query(KnnSelect(relation="pts", focal=Point(0.0, 0.0), k=1)))
+        assert len(se) == 0
+        engine.insert("pts", [(4.4, 4.4)])  # engine stays usable, no listener left
+
+
+class TestShardedStream:
+    def test_sharded_push_and_cross_shard_moves(self):
+        engine = ShardedEngine(num_shards=3, backend="serial")
+        se = StreamEngine(engine)
+        se.register(name="pts", points=grid_points())
+        sub = se.subscribe(Query(KnnSelect(relation="pts", focal=Point(5.0, 5.0), k=3)))
+        # drag a far corner point across shard boundaries onto the focal point
+        deltas = se.push("pts", UpdateBatch(moves=[(99, 5.0, 5.0)]))
+        assert (0.0, 99) in deltas[sub.id].added
+        assert sub.result()[0] == (0.0, 55) and sub.result()[1] == (0.0, 99)
+        sharded = engine.sharded_dataset("pts")
+        row = sharded.base.store.rows_aligned([99])[0]
+        assert (sharded.base.store.xs[row], sharded.base.store.ys[row]) == (5.0, 5.0)
+
+    def test_metrics_shape(self):
+        se = StreamEngine()
+        se.register(name="pts", points=grid_points())
+        se.subscribe(Query(KnnSelect(relation="pts", focal=Point(0.0, 0.0), k=1)))
+        se.push("pts", UpdateBatch(inserts=[(3.3, 3.3)]))
+        metrics = se.metrics()
+        assert metrics["subscriptions"] == 1
+        assert metrics["batches_pushed"] == 1
+        assert metrics["updates_pushed"] == 1
+
+
+class TestEngineKwargs:
+    def test_engine_kwargs_only_without_engine(self):
+        with pytest.raises(InvalidParameterError):
+            StreamEngine(SpatialEngine(), plan_cache_size=4)
+        se = StreamEngine(plan_cache_size=4)
+        assert se.engine.plan_cache.capacity if hasattr(se.engine.plan_cache, "capacity") else True
+
+
+def test_delta_len_and_empty():
+    d = Delta(subscription_id="s", added=(1,), removed=(2, 3))
+    assert len(d) == 3 and not d.is_empty
+    assert Delta(subscription_id="s").is_empty
