@@ -9,6 +9,7 @@ from repro.bench.workloads import (
     ALL_FIGURES,
     COLUMNAR_SPEEDUP_FIGURE,
     ENGINE_THROUGHPUT_FIGURE,
+    PLANNER_CALIBRATION_FIGURE,
     SHARDED_THROUGHPUT_FIGURE,
     STREAM_THROUGHPUT_FIGURE,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "run_sharded_throughput",
     "run_columnar_speedup",
     "run_stream_throughput",
+    "run_planner_calibration",
 ]
 
 
@@ -128,6 +130,29 @@ def run_stream_throughput(
     """
     return run_and_format(
         STREAM_THROUGHPUT_FIGURE,
+        scale=scale,
+        repeats=repeats,
+        sweep_values=sweep_values,
+        progress=progress,
+    )
+
+
+def run_planner_calibration(
+    scale: float = 0.05,
+    repeats: int = 1,
+    sweep_values: tuple | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> tuple[FigureResult, str]:
+    """Run the planner-calibration workload (feedback-corrected vs static).
+
+    This is not a paper figure; it measures what the planner's calibration
+    loop buys on a workload the static cost constants mispredict (clustered
+    outer data around the selection focal, small kσ): the static engine keeps
+    executing the mispredicted strategy, the calibration-warmed engine has
+    demoted it and re-ranked with observed costs.
+    """
+    return run_and_format(
+        PLANNER_CALIBRATION_FIGURE,
         scale=scale,
         repeats=repeats,
         sweep_values=sweep_values,

@@ -17,9 +17,11 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.core.stats import PruningStats
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
+from repro.locality.batch import get_knn_batch
 from repro.locality.knn import get_knn
 from repro.operators.results import JoinPair
 
@@ -32,8 +34,17 @@ def select_join_baseline(
     focal: Point,
     k_join: int,
     k_select: int,
+    stats: PruningStats | None = None,
 ) -> list[JoinPair]:
     """Evaluate ``(E1 join_kNN E2) ∩ (E1 × sigma_{kσ,f}(E2))`` the conceptually correct way.
+
+    The per-outer-point neighborhoods run through the batched columnar
+    kernel (:func:`~repro.locality.batch.get_knn_batch`), as the optimized
+    algorithms' join phases do.  This matters for the cost model's unit
+    assumption: one baseline neighborhood must cost roughly the same as one
+    optimized-join-phase neighborhood, otherwise "baseline = |E1| units" and
+    "counting = survivors + per-tuple checks" are not comparable and the
+    planner's ranking — static or calibrated — mispredicts wall-clock.
 
     Parameters
     ----------
@@ -47,6 +58,9 @@ def select_join_baseline(
         ``k⋈`` — the k value of the join.
     k_select:
         ``kσ`` — the k value of the selection.
+    stats:
+        Optional work counters (one neighborhood per outer point; nothing is
+        ever pruned here).
 
     Returns
     -------
@@ -57,9 +71,13 @@ def select_join_baseline(
     if k_join <= 0 or k_select <= 0:
         raise InvalidParameterError("k_join and k_select must be positive")
     selection = get_knn(inner_index, focal, k_select)
+    outer_list = outer if isinstance(outer, list) else list(outer)
+    if stats is not None:
+        stats.neighborhoods_computed += len(outer_list)
     pairs: list[JoinPair] = []
-    for e1 in outer:
-        neighborhood = get_knn(inner_index, e1, k_join)
+    for e1, neighborhood in zip(
+        outer_list, get_knn_batch(inner_index, outer_list, k_join)
+    ):
         for e2 in neighborhood.intersection(selection):
             pairs.append(JoinPair(e1, e2))
     return pairs

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.core.stats import PruningStats
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
@@ -32,16 +33,20 @@ def outer_select_join_pushdown(
     focal: Point,
     k_join: int,
     k_select: int,
+    stats: PruningStats | None = None,
 ) -> list[JoinPair]:
     """QEP1 of Figure 3: apply the kNN-select to E1 first, then join.
 
     Only the kσ points of ``E1`` nearest to ``focal`` are joined against
-    ``E2``.
+    ``E2``.  ``stats`` (optional) counts the selection's neighborhood plus
+    one per selected outer point.
     """
     if k_join <= 0 or k_select <= 0:
         raise InvalidParameterError("k_join and k_select must be positive")
     selected_outer = get_knn(outer_index, focal, k_select)
-    return knn_join_pairs(selected_outer.points, inner_index, k_join)
+    if stats is not None:
+        stats.neighborhoods_computed += 1
+    return knn_join_pairs(selected_outer.points, inner_index, k_join, stats=stats)
 
 
 def outer_select_join_after(

@@ -9,7 +9,7 @@ layout) so it can be snapshot-tested.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from enum import Enum
 
 from repro.planner.plan import PhysicalPlan
@@ -41,6 +41,15 @@ class Explain:
     estimates:
         Cost-model totals per considered strategy (empty when the strategy
         was forced or needs no comparison), sorted by strategy name.
+    estimated_total:
+        The abstract cost the chosen strategy was *planned* at (``None``
+        when the plan carries no estimate for it).
+    observed_total:
+        EWMA of the abstract cost executions of this plan actually paid —
+        the calibration loop's feedback signal (``None`` until the plan has
+        run at least once; see ``docs/planner.md``).
+    observations:
+        How many executions the observed figure averages over.
     """
 
     query_class: str
@@ -48,17 +57,35 @@ class Explain:
     relations: tuple[str, ...]
     decisions: tuple[tuple[str, str], ...] = ()
     estimates: tuple[tuple[str, float], ...] = ()
+    estimated_total: float | None = None
+    observed_total: float | None = None
+    observations: int = 0
 
     @classmethod
     def from_plan(cls, plan: PhysicalPlan, relations: frozenset[str]) -> "Explain":
         """Build the record for a freshly derived plan."""
+        estimated = plan.estimates.get(plan.strategy)
         return cls(
             query_class=plan.query_class,
             strategy=plan.strategy,
             relations=tuple(sorted(relations)),
             decisions=tuple(sorted((k, _fmt(v)) for k, v in plan.decisions.items())),
             estimates=tuple(sorted((k, float(v)) for k, v in plan.estimates.items())),
+            estimated_total=float(estimated) if estimated is not None else None,
         )
+
+    def with_observed(self, observed_total: float, observations: int) -> "Explain":
+        """A copy carrying execution feedback (estimated-vs-observed cost)."""
+        return replace(
+            self, observed_total=observed_total, observations=observations
+        )
+
+    @property
+    def misprediction_ratio(self) -> float | None:
+        """``observed / estimated`` — above 1.0 the model undershot reality."""
+        if self.observed_total is None or not self.estimated_total:
+            return None
+        return self.observed_total / self.estimated_total
 
     def render(self) -> str:
         """A stable, indented EXPLAIN text block."""
@@ -77,6 +104,15 @@ class Explain:
             width = max(len(name) for name, _ in self.estimates)
             for name, total in self.estimates:
                 lines.append(f"    {name.ljust(width)} = {total:.2f}")
+        if self.observed_total is not None:
+            estimated = (
+                f"{self.estimated_total:.2f}" if self.estimated_total is not None else "?"
+            )
+            lines.append("  cost feedback:")
+            lines.append(f"    estimated = {estimated}")
+            lines.append(
+                f"    observed  = {self.observed_total:.2f} (n={self.observations})"
+            )
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience

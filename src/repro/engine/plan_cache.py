@@ -36,6 +36,12 @@ class CachedPlan:
     the entry in place — the version stamp lets the engine detect that at
     lookup/execution time and re-plan instead of serving a plan derived from
     stale statistics.
+
+    The feedback fields close the calibration loop (see ``docs/planner.md``):
+    ``estimated_total`` is the abstract cost the chosen strategy was planned
+    at; :meth:`record_observation` folds each execution's observed cost into
+    the ``observed_total`` EWMA.  ``calibration_key`` names the observation
+    profiles the plan's executions feed (and re-planning consults).
     """
 
     signature: Signature
@@ -44,6 +50,25 @@ class CachedPlan:
     relations: frozenset[str]
     versions: tuple[tuple[str, int], ...] = ()
     hits: int = field(default=0)
+    estimated_total: float | None = None
+    calibration_key: tuple | None = None
+    observed_total: float | None = None
+    observations: int = 0
+    mispredictions: int = 0
+
+    def record_observation(self, observed: float, alpha: float = 0.3) -> None:
+        """Fold one execution's observed abstract cost into the EWMA."""
+        if self.observed_total is None:
+            self.observed_total = observed
+        else:
+            self.observed_total = (1.0 - alpha) * self.observed_total + alpha * observed
+        self.observations += 1
+
+    def explain_with_feedback(self) -> Explain:
+        """The EXPLAIN record, enriched with observed cost once one exists."""
+        if self.observations == 0 or self.observed_total is None:
+            return self.explain
+        return self.explain.with_observed(self.observed_total, self.observations)
 
 
 class PlanCache:
@@ -81,21 +106,36 @@ class PlanCache:
                 self._entries.popitem(last=False)
                 self.evictions += 1
 
-    def reject(self, entry: CachedPlan) -> None:
+    def reject(self, entry: CachedPlan, recount: bool = True) -> bool:
         """Drop a just-fetched entry that failed post-lookup validation.
 
         The engine validates an entry's dataset-version stamps after
         :meth:`get`; a mismatch means the plan is stale, so the entry is
-        evicted and the preceding lookup re-counted as a miss instead of a
-        hit (the caller goes on to re-plan).
+        evicted and — with ``recount`` (the default) — the preceding lookup
+        re-counted as a miss instead of a hit (the caller goes on to
+        re-plan).
+
+        ``recount=False`` is the *demotion* flavor used by the engine's
+        misprediction check: the entry is evicted because its cost estimate
+        proved wrong, not because a lookup failed, so the hit/miss counters
+        must stay untouched.  (Recounting here used to drive ``hits``
+        negative when a freshly planned — never looked-up — entry was
+        demoted on its first execution.)
+
+        Returns whether this call actually evicted the entry — ``False``
+        when another caller (e.g. a concurrent batch job observing the same
+        mispredicted entry) already did, so demotion counters stay honest.
         """
         with self._lock:
-            if self._entries.get(entry.signature) is entry:
+            evicted = self._entries.get(entry.signature) is entry
+            if evicted:
                 del self._entries[entry.signature]
                 self.invalidations += 1
-            self.hits -= 1
-            entry.hits -= 1
-            self.misses += 1
+            if recount:
+                self.hits -= 1
+                entry.hits -= 1
+                self.misses += 1
+            return evicted
 
     def invalidate_relation(self, name: str) -> int:
         """Evict every plan that touches relation ``name``; returns the count."""

@@ -28,6 +28,8 @@ Typical usage::
 
 from __future__ import annotations
 
+import threading
+from time import perf_counter
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.engine.executor import ReadWriteLock, SharedNeighborhoodCaches, run_batch
@@ -38,6 +40,7 @@ from repro.exceptions import InvalidParameterError, UnsupportedQueryError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.stats import IndexStats
+from repro.planner.calibrate import CalibrationStore, Observation, observed_cost
 from repro.planner.optimizer import Optimizer
 from repro.planner.plan import PhysicalPlan
 from repro.query.dataset import Dataset, IndexKind
@@ -72,6 +75,19 @@ class SpatialEngine:
     stats_compute:
         Optional override for how :class:`IndexStats` are produced on a
         statistics-cache miss (see :class:`StatsCache`).
+    calibration:
+        The engine's observation store
+        (:class:`~repro.planner.calibrate.CalibrationStore`); a default one
+        is created when omitted.  Every executed plan records its observed
+        abstract cost here, and planning consults the warm profiles — the
+        feedback loop described in ``docs/planner.md``.
+    demotion_factor:
+        Misprediction tolerance: when a plan's observed cost exceeds its
+        estimate by more than this factor, the plan is demoted (evicted via
+        :meth:`PlanCache.reject`) and the next execution re-plans against
+        the freshly recorded observations.  ``float("inf")`` disables
+        demotion (the calibration store still fills, and EXPLAIN still
+        reports estimated-vs-observed).
     """
 
     def __init__(
@@ -81,10 +97,18 @@ class SpatialEngine:
         max_workers: int | None = None,
         eager_build: bool = True,
         stats_compute: Callable[[Dataset], IndexStats] | None = None,
+        calibration: CalibrationStore | None = None,
+        demotion_factor: float = 3.0,
     ) -> None:
+        if demotion_factor <= 1.0:
+            raise InvalidParameterError("demotion_factor must exceed 1.0")
         self.optimizer = optimizer or Optimizer()
         self.max_workers = max_workers
         self.eager_build = eager_build
+        # Explicit None check: an empty store is falsy (len() == 0), and
+        # `or` would silently replace a caller-supplied store.
+        self.calibration = calibration if calibration is not None else CalibrationStore()
+        self.demotion_factor = demotion_factor
         self._datasets: dict[str, Dataset] = {}
         self._stats_cache = StatsCache(compute=stats_compute)
         self._plan_cache = PlanCache(plan_cache_size)
@@ -92,9 +116,17 @@ class SpatialEngine:
         # Queries run under the read side, mutations under the write side, so
         # an insert/remove never swaps an index under an in-flight query.
         self._rw = ReadWriteLock()
+        # Serializes per-entry feedback (EWMA + misprediction counters) fed
+        # concurrently by run_many worker threads.
+        self._feedback_lock = threading.Lock()
         self._mutation_listeners: list[Callable[[str], None]] = []
         self.queries_executed = 0
         self.batches_executed = 0
+        #: Executions whose observed cost exceeded the estimate by more than
+        #: ``demotion_factor``.
+        self.mispredictions = 0
+        #: Mispredicted plans actually evicted for re-planning.
+        self.demotions = 0
 
     # ------------------------------------------------------------------
     # Dataset registry
@@ -288,9 +320,15 @@ class SpatialEngine:
             return self._cached_plan(query).plan
 
     def explain(self, query: Query) -> Explain:
-        """The (cached) EXPLAIN record for ``query``."""
+        """The (cached) EXPLAIN record for ``query``.
+
+        Once the plan has executed at least once, the record carries the
+        execution feedback — ``estimated_total`` vs the EWMA
+        ``observed_total`` (and the ``cost feedback`` block in
+        :meth:`Explain.render`).
+        """
         with self._rw.read():
-            return self._cached_plan(query).explain
+            return self._cached_plan(query).explain_with_feedback()
 
     def _cached_plan(self, query: Query) -> CachedPlan:
         signature = query.signature(self._datasets)
@@ -310,15 +348,22 @@ class SpatialEngine:
         # mixed) plan, which the next lookup rejects — fail-safe.  Stamping
         # after planning would bless stale statistics with a current stamp.
         versions = self._versions_of(query.relations())
-        # Plan with this engine's optimizer and cached statistics.
+        # Plan with this engine's optimizer, cached statistics and the
+        # calibration store's observed profiles.
         planner = Query(*query.predicates, strategy=query.strategy, optimizer=self.optimizer)
-        plan = planner.plan(self._datasets, stats_provider=self._stats_provider)
+        plan = planner.plan(
+            self._datasets,
+            stats_provider=self._stats_provider,
+            calibration=self.calibration,
+        )
         entry = CachedPlan(
             signature=signature,
             plan=plan,
             explain=Explain.from_plan(plan, query.relations()),
             relations=query.relations(),
             versions=versions,
+            estimated_total=plan.estimates.get(plan.strategy),
+            calibration_key=Query.calibration_key_of(signature),
         )
         self._plan_cache.put(entry)
         return entry
@@ -339,17 +384,92 @@ class SpatialEngine:
 
         The first execution of a query shape derives and caches its plan;
         every later execution reuses it — no statistics recomputation, no
-        strategy re-derivation.
+        strategy re-derivation.  Each execution's observed work feeds the
+        calibration store, and a plan whose observed cost exceeds its
+        estimate by more than :attr:`demotion_factor` is demoted — the next
+        execution re-plans against the recorded observations.
         """
         with self._rw.read():
             entry = self._cached_plan(query)
+            started = perf_counter()
             result = query.run(
                 self._datasets,
                 plan=entry.plan,
                 chained_cache=self._chained_cache_for(query, entry.plan),
             )
+            wall = perf_counter() - started
+        self._observe(entry, result, wall)
         self.queries_executed += 1
         return result
+
+    def plan_entry(self, query: Query) -> CachedPlan:
+        """The (cached) plan-cache entry the engine would execute for ``query``.
+
+        Like :meth:`plan`, but returns the whole entry.  External executors
+        (the sharded engine) hold on to it across their own execution and
+        hand it back to :meth:`record_execution` — one lookup per run, and
+        the feedback lands on exactly the entry that produced the plan (a
+        re-lookup could double-count cache hits, or race a mutation and
+        record stale counters against a freshly re-planned entry).
+        """
+        with self._rw.read():
+            return self._cached_plan(query)
+
+    def record_execution(
+        self, entry: CachedPlan, result: QueryResult, wall_seconds: float
+    ) -> None:
+        """Feed one externally executed result back into the calibration loop.
+
+        The sharded engine executes plans itself (fan-out + merge) but plans
+        through this engine's caches (:meth:`plan_entry`); it calls back here
+        so its aggregated per-shard work counters warm the same profiles —
+        and trip the same misprediction check — as locally executed plans.
+        """
+        self._observe(entry, result, wall_seconds)
+
+    def _observe(self, entry: CachedPlan, result: QueryResult, wall: float) -> None:
+        """Record one execution's observed cost; demote a mispredicted plan."""
+        observed = observed_cost(
+            entry.plan.strategy, result.stats, self.optimizer.cost_model
+        )
+        if observed is None or entry.calibration_key is None:
+            return
+        stats = result.stats
+        profile = self.calibration.record(
+            entry.calibration_key,
+            Observation(
+                strategy=entry.plan.strategy,
+                observed_total=observed,
+                wall_seconds=wall,
+                estimated_total=entry.estimated_total,
+                neighborhoods=stats.neighborhoods_computed,
+                points_considered=stats.points_considered,
+                blocks_examined=stats.blocks_examined,
+            ),
+        )
+        # run_many feeds this from concurrent worker threads: the store
+        # locks internally, but the entry's EWMA and the engine counters are
+        # plain read-modify-writes — serialize them here.
+        with self._feedback_lock:
+            entry.record_observation(observed, alpha=self.calibration.alpha)
+            estimated = entry.estimated_total
+            if estimated is None or observed <= estimated * self.demotion_factor:
+                return
+            entry.mispredictions += 1
+            self.mispredictions += 1
+            # Demote only when re-planning can actually change the outcome:
+            # the plan must have strategy alternatives (single-strategy
+            # classes re-derive the identical plan — estimates for those
+            # converge through _blend_observed on natural re-plans instead),
+            # and the executed strategy's profile must be warm so the re-plan
+            # estimates it from observation.  And count a demotion only if
+            # this call evicted the entry — a concurrent batch job may have
+            # demoted the shared entry already.
+            if len(entry.plan.estimates) > 1 and profile.warm(
+                self.calibration.min_observations
+            ):
+                if self._plan_cache.reject(entry, recount=False):
+                    self.demotions += 1
 
     def run_many(
         self,
@@ -372,11 +492,18 @@ class SpatialEngine:
                 # Each job holds the read side for its whole execution, so a
                 # concurrent mutation waits for the batch's queries to drain.
                 with self._rw.read():
-                    return query.run(
+                    started = perf_counter()
+                    result = query.run(
                         self._datasets,
                         plan=entry.plan,
                         chained_cache=self._chained_cache_for(query, entry.plan),
                     )
+                    wall = perf_counter() - started
+                # Calibration is fed per job (the store is thread-safe), so a
+                # mispredicted shape is demoted after its first batch, not
+                # after the workload's.
+                self._observe(entry, result, wall)
+                return result
 
             return run
 
@@ -426,6 +553,11 @@ class SpatialEngine:
             "chained_caches": {
                 "caches": len(self._chained_caches),
                 "neighborhoods": self._chained_caches.total_entries(),
+            },
+            "calibration": {
+                **self.calibration.metrics(),
+                "mispredictions": self.mispredictions,
+                "demotions": self.demotions,
             },
         }
 

@@ -29,8 +29,16 @@ class EmptyDatasetError(ReproError):
     """Raised when an operation requires a non-empty dataset but got none."""
 
 
-class InvalidParameterError(ReproError):
-    """Raised when a query or algorithm parameter is out of range (e.g. k <= 0)."""
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when a query or algorithm parameter is out of range (e.g. k <= 0).
+
+    Also a :class:`ValueError`, so every entry point — ``get_knn`` and the
+    operators, predicate construction, ``SpatialEngine.run`` / ``run_many``,
+    the sharded engine and ``StreamEngine.subscribe`` — rejects an invalid
+    ``k`` with the *same* catchable type, before any planning happens.
+    (``k`` larger than the population is uniformly *valid* and truncates;
+    see ``tests/test_locality_knn_truncation.py``.)
+    """
 
 
 class PlanError(ReproError):

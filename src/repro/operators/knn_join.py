@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Iterator
 
+from repro.core.stats import PruningStats
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
@@ -60,6 +61,7 @@ def knn_join_pairs(
     inner_index: SpatialIndex,
     k: int,
     knn: Callable[[SpatialIndex, Point, int], Neighborhood] = get_knn,
+    stats: PruningStats | None = None,
 ) -> list[JoinPair]:
     """Materialize ``E1 join_kNN E2`` as a list of :class:`JoinPair` rows.
 
@@ -67,17 +69,23 @@ def knn_join_pairs(
     computed through the batched columnar kernel
     (:func:`~repro.locality.batch.get_knn_batch`), which amortizes the
     locality phase over the whole outer relation; an injected ``knn``
-    callable falls back to the per-point loop.
+    callable falls back to the per-point loop.  ``stats`` (optional) counts
+    one neighborhood computation per outer point, for the engines'
+    calibration feedback.
     """
     if knn is get_knn:
         if k <= 0:
             raise InvalidParameterError(f"k must be positive, got {k}")
         outer_list = outer if isinstance(outer, list) else list(outer)
+        if stats is not None:
+            stats.neighborhoods_computed += len(outer_list)
         pairs: list[JoinPair] = []
         for e1, nbr in zip(outer_list, get_knn_batch(inner_index, outer_list, k)):
             pairs.extend(JoinPair(e1, e2) for e2 in nbr)
         return pairs
     pairs = []
     for e1, nbr in knn_join(outer, inner_index, k, knn=knn):
+        if stats is not None:
+            stats.neighborhoods_computed += 1
         pairs.extend(JoinPair(e1, e2) for e2 in nbr)
     return pairs

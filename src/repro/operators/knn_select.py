@@ -7,6 +7,7 @@ paper).
 
 from __future__ import annotations
 
+from repro.core.stats import PruningStats
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
@@ -16,7 +17,9 @@ from repro.locality.neighborhood import Neighborhood
 __all__ = ["knn_select"]
 
 
-def knn_select(index: SpatialIndex, focal: Point, k: int) -> Neighborhood:
+def knn_select(
+    index: SpatialIndex, focal: Point, k: int, stats: PruningStats | None = None
+) -> Neighborhood:
     """Evaluate ``sigma_{k, focal}(E)`` where ``E`` is the data behind ``index``.
 
     Parameters
@@ -27,6 +30,9 @@ def knn_select(index: SpatialIndex, focal: Point, k: int) -> Neighborhood:
         The focal point ``f`` of the selection.
     k:
         Number of nearest neighbors to select.
+    stats:
+        Optional work counters; one neighborhood computation is charged (the
+        engines feed these observations to the planner's calibration loop).
 
     Returns
     -------
@@ -36,4 +42,6 @@ def knn_select(index: SpatialIndex, focal: Point, k: int) -> Neighborhood:
     """
     if k <= 0:
         raise InvalidParameterError(f"k must be positive, got {k}")
+    if stats is not None:
+        stats.neighborhoods_computed += 1
     return get_knn(index, focal, k)

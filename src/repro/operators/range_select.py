@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.stats import PruningStats
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
@@ -34,15 +35,20 @@ def _members_in_window(block: Block, window: Rect) -> list[Point]:
     return block.store.materialize(block.member_ids[mask])
 
 
-def range_select(index: SpatialIndex, window: Rect) -> list[Point]:
+def range_select(
+    index: SpatialIndex, window: Rect, stats: "PruningStats | None" = None
+) -> list[Point]:
     """Return every indexed point inside the rectangular ``window``.
 
     Blocks whose rectangle does not intersect the window are skipped without
     looking at their points; blocks fully contained in the window contribute
-    all their points without per-point tests.
+    all their points without per-point tests.  ``stats`` (optional) counts
+    the blocks actually examined, for the engines' calibration feedback.
     """
     result: list[Point] = []
     for block in index.blocks_intersecting(window):
+        if stats is not None:
+            stats.blocks_examined += 1
         if block.is_empty:
             continue
         if window.contains_rect(block.rect):

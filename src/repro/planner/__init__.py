@@ -11,6 +11,9 @@ The planner mirrors the paper's reasoning:
 * :mod:`repro.planner.optimizer` — picks the physical algorithm for each of
   the paper's query classes (Counting vs Block-Marking, unchained join order,
   chained-join caching, 2-kNN-select ordering).
+* :mod:`repro.planner.calibrate` — feedback-driven cost calibration: the
+  engines record each execution's observed work, and warm profiles re-rank
+  the strategies with observation-blended estimates (see ``docs/planner.md``).
 """
 
 from repro.planner.plan import (
@@ -31,10 +34,17 @@ from repro.planner.rules import (
     validate_plan,
 )
 from repro.planner.cost import CostModel, CostEstimate
+from repro.planner.calibrate import (
+    CalibrationStore,
+    Observation,
+    StrategyProfile,
+    observed_cost,
+)
 from repro.planner.optimizer import (
     SelectJoinStrategy,
     choose_select_join_strategy,
     choose_two_select_order,
+    rank_estimates,
     Optimizer,
 )
 
@@ -54,8 +64,13 @@ __all__ = [
     "validate_plan",
     "CostModel",
     "CostEstimate",
+    "CalibrationStore",
+    "Observation",
+    "StrategyProfile",
+    "observed_cost",
     "SelectJoinStrategy",
     "choose_select_join_strategy",
     "choose_two_select_order",
+    "rank_estimates",
     "Optimizer",
 ]

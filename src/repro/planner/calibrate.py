@@ -1,0 +1,302 @@
+"""Feedback-driven cost calibration: learn observed costs, correct the model.
+
+The static :class:`~repro.planner.cost.CostModel` ranks strategies with
+hard-coded constants (``prune_selectivity``, ``block_check_cost``,
+``tuple_check_cost``) chosen to be safely pessimistic.  A long-lived engine,
+however, *observes* every execution: how many neighborhoods were actually
+computed, how many candidate tuples or blocks the preprocessing phases
+touched, how long the whole plan took.  This module closes that loop:
+
+* executors summarize each run as an :class:`Observation` (abstract work
+  units in the cost model's own currency, plus wall-clock);
+* a :class:`CalibrationStore` folds observations into per-strategy
+  :class:`StrategyProfile` s — exponentially weighted moving averages keyed
+  by the query's *calibration key* (its plan-cache signature minus the
+  forced-strategy component, i.e. relations + index kinds + bucketed k);
+* the cost model's ``calibrated_select_join`` path and the optimizer's
+  calibrated re-ranking consume warm profiles, falling back to the static
+  constants while cold.
+
+Observed costs are expressed in the same abstract units as the estimates
+(one unit = one neighborhood computation), so estimated-vs-observed
+comparisons — the engine's misprediction check and the Explain feedback
+block — are unit-consistent by construction.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+from repro.core.stats import PruningStats
+from repro.exceptions import InvalidParameterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.planner.cost import CostModel
+
+__all__ = [
+    "Observation",
+    "StrategyProfile",
+    "CalibrationStore",
+    "observed_cost",
+]
+
+#: A calibration key: the plan-relevant query shape *without* the forced
+#: strategy (so forced-strategy executions warm the same profiles the
+#: ``auto`` planner later consumes).  See :meth:`repro.query.query.Query.calibration_key`.
+CalibrationKey = tuple
+
+#: Strategies whose dominant overhead is a per-tuple scan (the Counting
+#: algorithm's MAXDIST check over every outer point).
+_PER_TUPLE_STRATEGIES = frozenset({"counting"})
+
+#: Strategies whose dominant overhead is a per-block preprocessing check
+#: (one block-center neighborhood computation per examined block).
+_PER_BLOCK_STRATEGIES = frozenset(
+    {"block_marking", "unchained-block-marking", "range-inner-block-marking"}
+)
+
+#: Strategies whose work is a windowed block *scan* — no neighborhoods at
+#: all (or almost none), just cheap per-block intersection tests.  Charged
+#: at ``tuple_check_cost`` per examined block so their observed cost never
+#: collapses to zero (a zero EWMA would blend a zero estimate into every
+#: re-plan, wrecking the misprediction ratio).
+_BLOCK_SCAN_STRATEGIES = frozenset(
+    {"range-select", "range-intersection", "outer-range-pushdown"}
+)
+
+
+def observed_cost(
+    strategy: str, stats: PruningStats | None, cost_model: "CostModel"
+) -> float | None:
+    """The abstract cost one execution actually paid, in estimate units.
+
+    Uses the same currency as :class:`~repro.planner.cost.CostEstimate`:
+    neighborhood computations, plus the strategy's characteristic overhead —
+    per-tuple checks for Counting (charged at ``tuple_check_cost``),
+    per-block preprocessing (one center neighborhood each, charged at
+    ``block_check_cost``) for the Block-Marking family, and cheap windowed
+    block tests (charged at ``tuple_check_cost``) for the range scans.
+    Other strategies are charged their neighborhood computations only.
+
+    Returns ``None`` when no counters were collected (nothing to learn from).
+    """
+    if stats is None:
+        return None
+    name = strategy.removeprefix("sharded:")
+    total = float(stats.neighborhoods_computed)
+    if name in _PER_TUPLE_STRATEGIES:
+        total += stats.points_considered * cost_model.tuple_check_cost
+    if name in _PER_BLOCK_STRATEGIES:
+        total += stats.blocks_examined * cost_model.block_check_cost
+    if name in _BLOCK_SCAN_STRATEGIES:
+        total += stats.blocks_examined * cost_model.tuple_check_cost
+    return total
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """One executed plan, summarized for the calibration store.
+
+    Attributes
+    ----------
+    strategy:
+        The executed physical strategy (the plan's ``strategy`` string).
+    observed_total:
+        Abstract cost actually paid, from :func:`observed_cost`.
+    wall_seconds:
+        Wall-clock duration of the execution (informational; ranking uses
+        the abstract units).
+    estimated_total:
+        The estimate the plan was served with (``None`` when unknown).
+    neighborhoods:
+        Neighborhood computations performed.
+    points_considered:
+        Outer points the strategy looked at (survivors + pruned).
+    blocks_examined:
+        Blocks touched by a preprocessing phase.
+    """
+
+    strategy: str
+    observed_total: float
+    wall_seconds: float = 0.0
+    estimated_total: float | None = None
+    neighborhoods: int = 0
+    points_considered: int = 0
+    blocks_examined: int = 0
+
+    @property
+    def selectivity(self) -> float | None:
+        """Observed survivor fraction (``None`` when nothing was considered)."""
+        if self.points_considered == 0:
+            return None
+        return self.neighborhoods / self.points_considered
+
+
+@dataclass(frozen=True, slots=True)
+class StrategyProfile:
+    """EWMA summary of every observation of one strategy under one key.
+
+    ``selectivity``, ``blocks_examined`` and ``observed_total`` are
+    exponentially weighted moving averages, so a drifting workload (data
+    mutations, changing k) is tracked instead of averaged away.
+    """
+
+    strategy: str
+    observations: int = 0
+    observed_total: float = 0.0
+    selectivity: float | None = None
+    points_considered: float = 0.0
+    blocks_examined: float = 0.0
+    wall_seconds: float = 0.0
+    estimated_total: float | None = None
+
+    def warm(self, min_observations: int) -> bool:
+        """Whether enough executions were observed to trust this profile."""
+        return self.observations >= min_observations
+
+    def absorb(self, obs: Observation, alpha: float) -> "StrategyProfile":
+        """Fold one observation in (EWMA with weight ``alpha`` on the new value)."""
+        if self.observations == 0:
+            return StrategyProfile(
+                strategy=self.strategy,
+                observations=1,
+                observed_total=obs.observed_total,
+                selectivity=obs.selectivity,
+                points_considered=float(obs.points_considered),
+                blocks_examined=float(obs.blocks_examined),
+                wall_seconds=obs.wall_seconds,
+                estimated_total=obs.estimated_total,
+            )
+
+        def ewma(old: float, new: float) -> float:
+            return (1.0 - alpha) * old + alpha * new
+
+        selectivity = self.selectivity
+        if obs.selectivity is not None:
+            selectivity = (
+                obs.selectivity
+                if selectivity is None
+                else ewma(selectivity, obs.selectivity)
+            )
+        return replace(
+            self,
+            observations=self.observations + 1,
+            observed_total=ewma(self.observed_total, obs.observed_total),
+            selectivity=selectivity,
+            points_considered=ewma(self.points_considered, float(obs.points_considered)),
+            blocks_examined=ewma(self.blocks_examined, float(obs.blocks_examined)),
+            wall_seconds=ewma(self.wall_seconds, obs.wall_seconds),
+            estimated_total=obs.estimated_total,
+        )
+
+
+class CalibrationStore:
+    """Thread-safe per-(query shape, strategy) observation store.
+
+    Parameters
+    ----------
+    alpha:
+        EWMA weight of the newest observation (higher adapts faster).
+    min_observations:
+        How many observations a profile needs before the optimizer trusts it
+        over the static constants (the cold-start fallback threshold).
+    """
+
+    def __init__(self, alpha: float = 0.3, min_observations: int = 1) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise InvalidParameterError("alpha must be in (0, 1]")
+        if min_observations < 1:
+            raise InvalidParameterError("min_observations must be at least 1")
+        self.alpha = alpha
+        self.min_observations = min_observations
+        self._profiles: dict[CalibrationKey, dict[str, StrategyProfile]] = {}
+        self._counts: dict[CalibrationKey, int] = {}
+        self._lock = threading.Lock()
+        self.observations = 0
+
+    def record(self, key: CalibrationKey, obs: Observation) -> StrategyProfile:
+        """Fold ``obs`` into the profile for ``(key, obs.strategy)``."""
+        name = obs.strategy.removeprefix("sharded:")
+        with self._lock:
+            by_strategy = self._profiles.setdefault(key, {})
+            profile = by_strategy.get(name) or StrategyProfile(strategy=name)
+            profile = profile.absorb(obs, self.alpha)
+            by_strategy[name] = profile
+            self._counts[key] = self._counts.get(key, 0) + 1
+            self.observations += 1
+            return profile
+
+    def profiles(self, key: CalibrationKey) -> dict[str, StrategyProfile]:
+        """Snapshot of the per-strategy profiles recorded under ``key``."""
+        with self._lock:
+            return dict(self._profiles.get(key, ()))
+
+    def profile(self, key: CalibrationKey, strategy: str) -> StrategyProfile | None:
+        """The profile for one strategy under ``key``, or ``None``."""
+        with self._lock:
+            by_strategy = self._profiles.get(key)
+            if by_strategy is None:
+                return None
+            return by_strategy.get(strategy.removeprefix("sharded:"))
+
+    def count(self, key: CalibrationKey) -> int:
+        """Total observations recorded under ``key`` (all strategies)."""
+        with self._lock:
+            return self._counts.get(key, 0)
+
+    def keys(self) -> list[CalibrationKey]:
+        """The calibration keys with at least one observation."""
+        with self._lock:
+            return list(self._profiles)
+
+    def invalidate_relation(self, name: str) -> int:
+        """Drop every key whose shape references relation ``name``.
+
+        Calibration normally *survives* mutations (the EWMA adapts, and
+        observed selectivities drift slowly with the data), so the engines do
+        not call this on every insert; it exists for owners that replace a
+        relation wholesale and want a clean cold start.
+        """
+        with self._lock:
+            doomed = [key for key in self._profiles if _mentions(key, name)]
+            for key in doomed:
+                del self._profiles[key]
+                self._counts.pop(key, None)
+            return len(doomed)
+
+    def clear(self) -> None:
+        """Drop every profile (the global observation counter is kept)."""
+        with self._lock:
+            self._profiles.clear()
+            self._counts.clear()
+
+    def metrics(self) -> dict[str, object]:
+        """Counters describing the store's contents."""
+        with self._lock:
+            return {
+                "keys": len(self._profiles),
+                "observations": self.observations,
+                "profiles": sum(len(v) for v in self._profiles.values()),
+            }
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CalibrationStore(keys={len(self._profiles)}, "
+            f"observations={self.observations}, alpha={self.alpha})"
+        )
+
+
+def _mentions(key: CalibrationKey, name: str) -> bool:
+    """Whether a (nested-tuple) calibration key references relation ``name``."""
+    for part in key if isinstance(key, tuple) else (key,):
+        if isinstance(part, tuple):
+            if _mentions(part, name):
+                return True
+        elif part == name:
+            return True
+    return False

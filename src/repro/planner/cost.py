@@ -15,9 +15,13 @@ computes the O(n) statistics once instead of once per estimate.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping
 
 from repro.index.base import SpatialIndex
 from repro.index.stats import IndexStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.planner.calibrate import StrategyProfile
 
 __all__ = ["CostEstimate", "CostModel"]
 
@@ -73,22 +77,37 @@ class CostModel:
         """Conceptually correct QEP: one neighborhood per outer point."""
         return CostEstimate("baseline", neighborhood_computations=float(outer_size))
 
-    def counting_select_join(self, outer_size: int) -> CostEstimate:
-        """Counting: per-tuple block scan plus neighborhoods for survivors."""
-        survivors = outer_size * self.prune_selectivity
+    def counting_select_join(
+        self, outer_size: int, selectivity: float | None = None
+    ) -> CostEstimate:
+        """Counting: per-tuple block scan plus neighborhoods for survivors.
+
+        ``selectivity`` substitutes an *observed* survivor fraction for the
+        static ``prune_selectivity`` constant (the calibrated path).
+        """
+        sel = self.prune_selectivity if selectivity is None else selectivity
         return CostEstimate(
             "counting",
-            neighborhood_computations=survivors,
+            neighborhood_computations=outer_size * sel,
             per_tuple_overhead=outer_size * self.tuple_check_cost,
         )
 
     def block_marking_select_join(
-        self, outer_index: SpatialIndex | None, stats: IndexStats | None = None
+        self,
+        outer_index: SpatialIndex | None,
+        stats: IndexStats | None = None,
+        selectivity: float | None = None,
+        blocks_checked: float | None = None,
     ) -> CostEstimate:
         """Block-Marking: per-block checks plus neighborhoods in surviving blocks.
 
         With ``stats`` supplied the index is never touched (and may be
         ``None``); everything the estimate needs lives in the statistics.
+        ``selectivity`` and ``blocks_checked`` substitute observed values for
+        the static survivor fraction and the non-empty-block count (the
+        preprocessing pass actually examines *every* block in MINDIST order
+        until a contour closes, which the static estimate undercounts — a
+        calibrated ``blocks_checked`` corrects that).
         """
         if stats is None:
             if outer_index is None:
@@ -96,12 +115,57 @@ class CostModel:
                     "block_marking_select_join needs an index or precomputed stats"
                 )
             stats = IndexStats.from_index(outer_index)
-        survivors = stats.num_points * self.prune_selectivity
+        sel = self.prune_selectivity if selectivity is None else selectivity
+        blocks = stats.num_nonempty_blocks if blocks_checked is None else blocks_checked
         return CostEstimate(
             "block_marking",
-            neighborhood_computations=survivors,
-            per_block_overhead=stats.num_nonempty_blocks * self.block_check_cost,
+            neighborhood_computations=stats.num_points * sel,
+            per_block_overhead=blocks * self.block_check_cost,
         )
+
+    def calibrated_select_join(
+        self,
+        stats: IndexStats,
+        profiles: Mapping[str, "StrategyProfile"] | None,
+        min_observations: int = 1,
+    ) -> tuple[dict[str, CostEstimate], bool]:
+        """Estimates for all three select+join strategies, observation-blended.
+
+        For each strategy with a *warm* profile (at least ``min_observations``
+        recorded executions, see :class:`~repro.planner.calibrate.StrategyProfile`)
+        the profile's EWMA-observed selectivity and preprocessing volume
+        replace the static constants; cold strategies fall back to the static
+        estimate unchanged.  Returns ``(estimates, calibrated)`` where
+        ``calibrated`` says whether any profile was warm — the optimizer
+        re-ranks by total only in that case, keeping cold planning identical
+        to the static heuristic.
+        """
+        n = stats.num_points
+
+        def _warm(name: str) -> "StrategyProfile | None":
+            if profiles is None:
+                return None
+            profile = profiles.get(name)
+            if profile is not None and profile.warm(min_observations):
+                return profile
+            return None
+
+        counting = _warm("counting")
+        marking = _warm("block_marking")
+        estimates = {
+            "baseline": self.baseline_select_join(n),
+            "counting": self.counting_select_join(
+                n, selectivity=counting.selectivity if counting else None
+            ),
+            "block_marking": self.block_marking_select_join(
+                None,
+                stats,
+                selectivity=marking.selectivity if marking else None,
+                blocks_checked=marking.blocks_examined if marking else None,
+            ),
+        }
+        calibrated = any(_warm(name) for name in ("baseline", "counting", "block_marking"))
+        return estimates, calibrated
 
     # ------------------------------------------------------------------
     # Sharded execution — beyond the paper (repro.shard)

@@ -19,16 +19,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING, Mapping
 
 from repro.exceptions import InvalidParameterError
 from repro.index.base import SpatialIndex
 from repro.index.stats import IndexStats
-from repro.planner.cost import CostModel
+from repro.planner.cost import CostEstimate, CostModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.planner.calibrate import StrategyProfile
 
 __all__ = [
     "SelectJoinStrategy",
     "choose_select_join_strategy",
     "choose_two_select_order",
+    "rank_estimates",
     "Optimizer",
 ]
 
@@ -71,6 +76,19 @@ def choose_select_join_strategy(
     return SelectJoinStrategy.COUNTING
 
 
+def rank_estimates(estimates: Mapping[str, CostEstimate]) -> str:
+    """The cheapest strategy name, with a *pinned* deterministic tie-break.
+
+    Equal totals are broken by the lexicographically smaller strategy name —
+    never by mapping iteration order or float comparison incidentals — so
+    repeated plans of the same query always land on the same strategy (and
+    the plan cache never oscillates between equally-priced entries).
+    """
+    if not estimates:
+        raise InvalidParameterError("rank_estimates needs at least one estimate")
+    return min(estimates.items(), key=lambda item: (item[1].total, item[0]))[0]
+
+
 def choose_two_select_order(k1: int, k2: int) -> tuple[int, int]:
     """Return the (first, second) predicate indices (0/1) for two kNN-selects.
 
@@ -99,13 +117,25 @@ class Optimizer:
     # Section 3: select (inner) + join
     # ------------------------------------------------------------------
     def select_join_strategy(
-        self, outer_index: SpatialIndex | None, stats: IndexStats | None = None
+        self,
+        outer_index: SpatialIndex | None,
+        stats: IndexStats | None = None,
+        profiles: Mapping[str, "StrategyProfile"] | None = None,
     ) -> SelectJoinStrategy:
-        """Strategy for a kNN-select on the inner relation of a kNN-join."""
-        return choose_select_join_strategy(outer_index, self.dense_points_per_block, stats)
+        """Strategy for a kNN-select on the inner relation of a kNN-join.
+
+        With warm calibration ``profiles`` (see
+        :class:`~repro.planner.calibrate.CalibrationStore`) the choice is the
+        cheapest observation-blended estimate; cold, it is the paper's
+        density heuristic.
+        """
+        return self.explain_select_join(outer_index, stats, profiles)["strategy"]  # type: ignore[return-value]
 
     def explain_select_join(
-        self, outer_index: SpatialIndex | None, stats: IndexStats | None = None
+        self,
+        outer_index: SpatialIndex | None,
+        stats: IndexStats | None = None,
+        profiles: Mapping[str, "StrategyProfile"] | None = None,
     ) -> dict[str, object]:
         """Chosen strategy plus the cost estimates for every alternative.
 
@@ -113,6 +143,15 @@ class Optimizer:
         through every estimate instead of once per call site; with ``stats``
         supplied the index is never touched (and may be ``None``), so
         callers holding cached statistics never trigger an index build.
+
+        When ``profiles`` contain at least one warm strategy profile, the
+        estimates are observation-blended
+        (:meth:`CostModel.calibrated_select_join`) and the strategy is the
+        cheapest of them under :func:`rank_estimates` — feedback-driven
+        re-ranking.  With no warm profile the static density heuristic of
+        :func:`choose_select_join_strategy` decides, exactly as before
+        calibration existed.  The returned mapping carries a ``"calibrated"``
+        flag so EXPLAIN can say which path ran.
         """
         assert self.cost_model is not None
         if stats is None:
@@ -121,18 +160,14 @@ class Optimizer:
                     "explain_select_join needs an index or precomputed stats"
                 )
             stats = IndexStats.from_index(outer_index)
-        strategy = self.select_join_strategy(outer_index, stats)
-        outer_size = stats.num_points
-        return {
-            "strategy": strategy,
-            "estimates": {
-                "baseline": self.cost_model.baseline_select_join(outer_size),
-                "counting": self.cost_model.counting_select_join(outer_size),
-                "block_marking": self.cost_model.block_marking_select_join(
-                    outer_index, stats
-                ),
-            },
-        }
+        estimates, calibrated = self.cost_model.calibrated_select_join(stats, profiles)
+        if calibrated:
+            strategy = SelectJoinStrategy(rank_estimates(estimates))
+        else:
+            strategy = choose_select_join_strategy(
+                outer_index, self.dense_points_per_block, stats
+            )
+        return {"strategy": strategy, "estimates": estimates, "calibrated": calibrated}
 
     # ------------------------------------------------------------------
     # Section 4.1: unchained joins

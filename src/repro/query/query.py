@@ -15,7 +15,10 @@ and to substitute cached index statistics for the O(n) recomputation.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, MutableMapping
+from typing import TYPE_CHECKING, Callable, Mapping, MutableMapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.planner.calibrate import CalibrationStore, StrategyProfile
 
 from repro.core.select_join.baseline import select_join_baseline
 from repro.core.select_join.block_marking import select_join_block_marking
@@ -146,6 +149,29 @@ class Query:
                 )
         return (self.strategy, tuple(sorted(entries)))
 
+    @staticmethod
+    def calibration_key_of(signature: tuple) -> tuple:
+        """The calibration key embedded in a :meth:`signature` value.
+
+        Single owner of the signature-tuple layout: the engine (which
+        already holds the signature) and :meth:`calibration_key` both derive
+        the key through here, so a future signature change cannot silently
+        diverge the two.
+        """
+        return signature[1]
+
+    def calibration_key(self, datasets: Mapping[str, Dataset]) -> tuple:
+        """The key under which executions of this shape are calibrated.
+
+        This is the plan-cache signature *minus* the forced-strategy
+        component: a run with ``strategy="counting"`` and a run with
+        ``strategy="auto"`` describe the same workload, so observations from
+        either must warm the same profiles (that is also how tests and
+        operators can deliberately exercise one strategy to teach the
+        planner about it).
+        """
+        return self.calibration_key_of(self.signature(datasets))
+
     def relations(self) -> frozenset[str]:
         """Names of every relation this query touches."""
         names: set[str] = set()
@@ -164,43 +190,113 @@ class Query:
         self,
         datasets: Mapping[str, Dataset],
         stats_provider: StatsProvider | None = None,
+        calibration: "CalibrationStore | None" = None,
     ) -> PhysicalPlan:
         """Derive the physical plan without executing anything.
 
         ``stats_provider`` substitutes a cached-statistics lookup for the
         O(n) :meth:`IndexStats.from_index` recomputation; the engine passes
         its statistics cache here.
+
+        ``calibration`` supplies the engine's observation store
+        (:class:`~repro.planner.calibrate.CalibrationStore`): strategies with
+        warm profiles are estimated from observed work instead of the static
+        constants, and — for the select-inner-of-join class — re-ranked by
+        those calibrated estimates.  Every plan carries an estimate for its
+        chosen strategy in :attr:`PhysicalPlan.estimates`, so the engine can
+        compare it against the observed cost after execution (the
+        misprediction check) and EXPLAIN can report estimated-vs-observed.
         """
         self._check_relations_exist(datasets)
+        profiles: dict[str, StrategyProfile] = {}
+        if calibration is not None:
+            profiles = {
+                name: profile
+                for name, profile in calibration.profiles(
+                    self.calibration_key(datasets)
+                ).items()
+                if profile.warm(calibration.min_observations)
+            }
         selects = [p for p in self.predicates if isinstance(p, KnnSelect)]
         joins = [p for p in self.predicates if isinstance(p, KnnJoin)]
         ranges = [p for p in self.predicates if isinstance(p, RangeSelect)]
 
+        plan: PhysicalPlan
         if len(self.predicates) == 1:
             if selects:
-                return PhysicalPlan("single-select", "knn-select")
-            if ranges:
-                return PhysicalPlan("single-range", "range-select")
-            return PhysicalPlan("single-join", "knn-join")
-        if len(selects) == 2:
-            return self._plan_two_selects(selects[0], selects[1])
-        if len(selects) == 1 and len(joins) == 1:
-            return self._plan_select_join(selects[0], joins[0], datasets, stats_provider)
-        if len(ranges) == 1 and len(joins) == 1:
-            return self._plan_range_join(ranges[0], joins[0])
-        if len(ranges) == 1 and len(selects) == 1:
+                plan = PhysicalPlan(
+                    "single-select", "knn-select", estimates={"knn-select": 1.0}
+                )
+            elif ranges:
+                n = len(datasets[ranges[0].relation])
+                plan = PhysicalPlan(
+                    "single-range",
+                    "range-select",
+                    estimates={"range-select": self._scan_estimate(n)},
+                )
+            else:
+                outer_size = len(datasets[joins[0].outer])
+                plan = PhysicalPlan(
+                    "single-join", "knn-join", estimates={"knn-join": float(outer_size)}
+                )
+        elif len(selects) == 2:
+            plan = self._plan_two_selects(selects[0], selects[1])
+        elif len(selects) == 1 and len(joins) == 1:
+            plan = self._plan_select_join(
+                selects[0], joins[0], datasets, stats_provider, profiles
+            )
+        elif len(ranges) == 1 and len(joins) == 1:
+            plan = self._plan_range_join(ranges[0], joins[0], datasets)
+        elif len(ranges) == 1 and len(selects) == 1:
             if ranges[0].relation != selects[0].relation:
                 raise UnsupportedQueryError(
                     "a range-select and a kNN-select must target the same relation"
                 )
-            return PhysicalPlan("range-and-knn-select", "knn-select-then-range-filter")
-        if len(ranges) == 2:
+            plan = PhysicalPlan(
+                "range-and-knn-select",
+                "knn-select-then-range-filter",
+                estimates={"knn-select-then-range-filter": 1.0},
+            )
+        elif len(ranges) == 2:
             if ranges[0].relation != ranges[1].relation:
                 raise UnsupportedQueryError(
                     "two range-selects must target the same relation to be intersected"
                 )
-            return PhysicalPlan("two-ranges", "range-intersection")
-        return self._plan_two_joins(joins[0], joins[1], datasets, stats_provider)
+            n = len(datasets[ranges[0].relation])
+            plan = PhysicalPlan(
+                "two-ranges",
+                "range-intersection",
+                estimates={"range-intersection": 2.0 * self._scan_estimate(n)},
+            )
+        else:
+            plan = self._plan_two_joins(joins[0], joins[1], datasets, stats_provider)
+        return self._blend_observed(plan, profiles)
+
+    def _scan_estimate(self, population: int) -> float:
+        """Abstract upper bound for a windowed block scan over ``population``."""
+        return 1.0 + population * self.optimizer.cost_model.tuple_check_cost  # type: ignore[union-attr]
+
+    def _blend_observed(
+        self, plan: PhysicalPlan, profiles: Mapping[str, "StrategyProfile"]
+    ) -> PhysicalPlan:
+        """Replace the chosen strategy's estimate with its observed EWMA cost.
+
+        The select-inner-of-join class calibrates *inside* planning (the
+        alternatives are re-ranked there); every other class has a single
+        physical strategy per plan, so calibration cannot change the choice —
+        but it corrects the estimate, which is what the misprediction check
+        and EXPLAIN's estimated-vs-observed feedback compare against.
+        """
+        if plan.query_class == "select-inner-of-join":
+            return plan
+        profile = profiles.get(plan.strategy)
+        if profile is None:
+            return plan
+        estimates = dict(plan.estimates)
+        estimates[plan.strategy] = profile.observed_total
+        decisions = dict(plan.decisions)
+        decisions["calibrated"] = True
+        return PhysicalPlan(plan.query_class, plan.strategy, decisions, estimates)
 
     def _plan_two_selects(self, first: KnnSelect, second: KnnSelect) -> PhysicalPlan:
         if first.relation != second.relation:
@@ -208,11 +304,17 @@ class Query:
                 "two kNN-selects must target the same relation to be intersected"
             )
         if self.strategy == "baseline":
-            return PhysicalPlan("two-selects", "two-selects-baseline")
+            return PhysicalPlan(
+                "two-selects",
+                "two-selects-baseline",
+                estimates={"two-selects-baseline": 2.0},
+            )
         # No decision is cached: Procedure 5 orders the two selects internally
         # (smaller k first), so a stored order would be dead weight — and a
         # positional one would be wrong under the order-independent signature.
-        return PhysicalPlan("two-selects", "2-kNN-select")
+        return PhysicalPlan(
+            "two-selects", "2-kNN-select", estimates={"2-kNN-select": 2.0}
+        )
 
     def _plan_select_join(
         self,
@@ -220,51 +322,96 @@ class Query:
         join: KnnJoin,
         datasets: Mapping[str, Dataset],
         stats_provider: StatsProvider | None,
+        profiles: Mapping[str, "StrategyProfile"],
     ) -> PhysicalPlan:
         if select.relation == join.outer:
-            return PhysicalPlan("select-outer-of-join", "outer-select-pushdown")
+            return PhysicalPlan(
+                "select-outer-of-join",
+                "outer-select-pushdown",
+                estimates={"outer-select-pushdown": 1.0 + float(select.k)},
+            )
         if select.relation != join.inner:
             raise UnsupportedQueryError(
                 "the kNN-select must target either the join's outer or inner relation"
             )
+        decisions: dict[str, object] = {}
+        outer_size = len(datasets[join.outer])
+        cost_model = self.optimizer.cost_model
+        assert cost_model is not None
         if self.strategy == "baseline":
             strategy = SelectJoinStrategy.BASELINE
-            estimates: dict[str, float] = {}
+            estimates = {"baseline": float(outer_size)}
         elif self.strategy == "counting":
             strategy = SelectJoinStrategy.COUNTING
-            estimates = {}
+            profile = profiles.get("counting")
+            estimates = {
+                "counting": cost_model.counting_select_join(
+                    outer_size,
+                    selectivity=profile.selectivity if profile else None,
+                ).total
+            }
         elif self.strategy == "block_marking":
             strategy = SelectJoinStrategy.BLOCK_MARKING
-            estimates = {}
+            outer = datasets[join.outer]
+            stats = self._stats_for(outer, stats_provider)
+            profile = profiles.get("block_marking")
+            estimates = {
+                "block_marking": cost_model.block_marking_select_join(
+                    None,
+                    stats,
+                    selectivity=profile.selectivity if profile else None,
+                    blocks_checked=profile.blocks_examined if profile else None,
+                ).total
+            }
         else:
             outer = datasets[join.outer]
             stats = self._stats_for(outer, stats_provider)
             # Stats in hand, the optimizer never touches the index — pass
             # None so planning cannot build a monolithic index the caller
             # (e.g. the sharded engine) deliberately avoided building.
-            explained = self.optimizer.explain_select_join(None, stats)
+            explained = self.optimizer.explain_select_join(None, stats, profiles)
             strategy = explained["strategy"]  # type: ignore[assignment]
             estimates = {
                 name: estimate.total
                 for name, estimate in explained["estimates"].items()  # type: ignore[union-attr]
             }
+            if explained["calibrated"]:
+                decisions["calibrated"] = True
+        decisions["select_join_strategy"] = strategy
         return PhysicalPlan(
             "select-inner-of-join",
             strategy.value,
-            {"select_join_strategy": strategy},
+            decisions,
             estimates,
         )
 
-    def _plan_range_join(self, predicate: RangeSelect, join: KnnJoin) -> PhysicalPlan:
+    def _plan_range_join(
+        self, predicate: RangeSelect, join: KnnJoin, datasets: Mapping[str, Dataset]
+    ) -> PhysicalPlan:
+        outer_size = float(len(datasets[join.outer]))
         if predicate.relation == join.outer:
-            return PhysicalPlan("range-outer-of-join", "outer-range-pushdown")
+            # Upper bound: the window never selects more than the whole outer
+            # relation, and each selected point costs one neighborhood.
+            return PhysicalPlan(
+                "range-outer-of-join",
+                "outer-range-pushdown",
+                estimates={"outer-range-pushdown": outer_size},
+            )
         if predicate.relation != join.inner:
             raise UnsupportedQueryError(
                 "the range-select must target either the join's outer or inner relation"
             )
         if self.strategy == "baseline":
-            return PhysicalPlan("range-inner-of-join", "range-inner-baseline")
-        return PhysicalPlan("range-inner-of-join", "range-inner-block-marking")
+            return PhysicalPlan(
+                "range-inner-of-join",
+                "range-inner-baseline",
+                estimates={"range-inner-baseline": outer_size},
+            )
+        return PhysicalPlan(
+            "range-inner-of-join",
+            "range-inner-block-marking",
+            estimates={"range-inner-block-marking": outer_size},
+        )
 
     def _plan_two_joins(
         self,
@@ -278,21 +425,35 @@ class Query:
         # a property of the predicates, not of statistics), so the cached
         # decision is informational only and safely order-independent.
         chained = self._chain_order(first, second)
+        cost_model = self.optimizer.cost_model
+        assert cost_model is not None
         if chained is not None:
             ab, bc = chained
             return PhysicalPlan(
                 "chained-joins",
                 "nested-join-cached",
                 {"chain": f"{ab.outer}->{ab.inner}->{bc.inner}"},
+                estimates={
+                    "nested-join-cached": cost_model.chained_nested(
+                        len(datasets[ab.outer]), ab.k
+                    ).total
+                },
             )
         # Unchained: both joins share the same inner relation.  The cached
         # decision names the relation whose join runs first — relation names,
         # unlike predicate positions, survive the order-independent signature.
         if first.inner == second.inner:
-            if self.strategy == "baseline":
-                return PhysicalPlan("unchained-joins", "unchained-baseline")
             a = datasets[first.outer]
             c = datasets[second.outer]
+            # Upper bound: one neighborhood per A point and per C point (the
+            # optimized plan prunes below this; the baseline meets it).
+            both = float(len(a) + len(c))
+            if self.strategy == "baseline":
+                return PhysicalPlan(
+                    "unchained-joins",
+                    "unchained-baseline",
+                    estimates={"unchained-baseline": both},
+                )
             # As in _plan_select_join: with stats supplied the indexes are
             # never consulted, so None keeps planning index-build-free.
             order = self.optimizer.unchained_first_join(
@@ -306,6 +467,7 @@ class Query:
                 "unchained-joins",
                 "unchained-block-marking",
                 {"unchained_first_outer": first_outer},
+                estimates={"unchained-block-marking": both},
             )
         raise UnsupportedQueryError(
             "two kNN-joins must be chained (A->B->C) or share their inner relation"
@@ -396,31 +558,41 @@ class Query:
     def _run_single_select(
         self, select: KnnSelect, datasets: Mapping[str, Dataset]
     ) -> QueryResult:
-        neighborhood = knn_select(datasets[select.relation].index, select.focal, select.k)
+        stats = PruningStats()
+        neighborhood = knn_select(
+            datasets[select.relation].index, select.focal, select.k, stats=stats
+        )
         return QueryResult(
             strategy="knn-select",
             query_class="single-select",
             points=tuple(neighborhood),
+            stats=stats,
         )
 
     def _run_single_range(
         self, predicate: RangeSelect, datasets: Mapping[str, Dataset]
     ) -> QueryResult:
-        points = range_select(datasets[predicate.relation].index, predicate.window)
+        stats = PruningStats()
+        points = range_select(
+            datasets[predicate.relation].index, predicate.window, stats=stats
+        )
         return QueryResult(
             strategy="range-select",
             query_class="single-range",
             points=tuple(points),
+            stats=stats,
         )
 
     def _run_single_join(self, join: KnnJoin, datasets: Mapping[str, Dataset]) -> QueryResult:
+        stats = PruningStats()
         pairs = knn_join_pairs(
-            datasets[join.outer].points, datasets[join.inner].index, join.k
+            datasets[join.outer].points, datasets[join.inner].index, join.k, stats=stats
         )
         return QueryResult(
             strategy="knn-join",
             query_class="single-join",
             pairs=tuple(pairs),
+            stats=stats,
         )
 
     # -- two selects ----------------------------------------------------
@@ -439,6 +611,7 @@ class Query:
             points = two_knn_selects_optimized(
                 index, first.focal, first.k, second.focal, second.k, stats=stats
             )
+        stats.neighborhoods_computed += 2  # both plans rank two neighborhoods
         return QueryResult(
             strategy=plan.strategy,
             query_class="two-selects",
@@ -452,14 +625,15 @@ class Query:
     ) -> QueryResult:
         outer = datasets[join.outer]
         inner = datasets[join.inner]
+        stats = PruningStats()
         pairs = outer_select_join_pushdown(
-            outer.index, inner.index, select.focal, join.k, select.k
+            outer.index, inner.index, select.focal, join.k, select.k, stats=stats
         )
         return QueryResult(
             strategy="outer-select-pushdown",
             query_class="select-outer-of-join",
             pairs=tuple(pairs),
-            stats=PruningStats(),
+            stats=stats,
         )
 
     def _run_inner_select_join(
@@ -475,7 +649,7 @@ class Query:
         strategy = plan.decisions["select_join_strategy"]
         if strategy is SelectJoinStrategy.BASELINE:
             pairs = select_join_baseline(
-                outer.points, inner.index, select.focal, join.k, select.k
+                outer.points, inner.index, select.focal, join.k, select.k, stats=stats
             )
         elif strategy is SelectJoinStrategy.COUNTING:
             # Columnar fast path: hand Counting the outer store so pruned
@@ -500,14 +674,15 @@ class Query:
     ) -> QueryResult:
         outer = datasets[join.outer]
         inner = datasets[join.inner]
+        stats = PruningStats()
         # Valid push-down: restrict the outer relation before joining.
-        selected_outer = range_select(outer.index, predicate.window)
-        pairs = knn_join_pairs(selected_outer, inner.index, join.k)
+        selected_outer = range_select(outer.index, predicate.window, stats=stats)
+        pairs = knn_join_pairs(selected_outer, inner.index, join.k, stats=stats)
         return QueryResult(
             strategy="outer-range-pushdown",
             query_class="range-outer-of-join",
             pairs=tuple(pairs),
-            stats=PruningStats(),
+            stats=stats,
         )
 
     def _run_inner_range_join(
@@ -524,6 +699,7 @@ class Query:
             pairs = range_inner_join_baseline(
                 outer.points, inner.index, predicate.window, join.k
             )
+            stats.neighborhoods_computed += len(outer)  # one getkNN per outer point
         else:
             pairs = range_inner_join_block_marking(
                 outer.index, inner.index, predicate.window, join.k, stats=stats
@@ -539,25 +715,30 @@ class Query:
         self, predicate: RangeSelect, select: KnnSelect, datasets: Mapping[str, Dataset]
     ) -> QueryResult:
         index = datasets[select.relation].index
-        neighborhood = knn_select(index, select.focal, select.k)
+        stats = PruningStats()
+        neighborhood = knn_select(index, select.focal, select.k, stats=stats)
         points = [p for p in neighborhood if predicate.window.contains_point(p)]
         return QueryResult(
             strategy="knn-select-then-range-filter",
             query_class="range-and-knn-select",
             points=tuple(points),
+            stats=stats,
         )
 
     def _run_two_ranges(
         self, first: RangeSelect, second: RangeSelect, datasets: Mapping[str, Dataset]
     ) -> QueryResult:
         index = datasets[first.relation].index
+        stats = PruningStats()
         points = intersect_points(
-            range_select(index, first.window), range_select(index, second.window)
+            range_select(index, first.window, stats=stats),
+            range_select(index, second.window, stats=stats),
         )
         return QueryResult(
             strategy="range-intersection",
             query_class="two-ranges",
             points=tuple(points),
+            stats=stats,
         )
 
     # -- two joins --------------------------------------------------------
@@ -582,6 +763,12 @@ class Query:
             stats=stats,
             neighborhood_cache=chained_cache,
         )
+        # The operator counts only the B→C neighborhoods (its cache-hit
+        # metric); the A→B batch costs one more per A point.  Charging it
+        # keeps the observed cost in the estimate's units — chained_nested
+        # prices |A| + matched-B, so omitting the A side would let a warm
+        # shared cache drive the observed EWMA toward zero.
+        stats.neighborhoods_computed += len(a)
         return QueryResult(
             strategy="nested-join-cached",
             query_class="chained-joins",
@@ -602,6 +789,7 @@ class Query:
         stats = PruningStats()
         if plan.strategy == "unchained-baseline":
             triplets = unchained_joins_baseline(a.points, c.points, b.index, ab.k, cb.k)
+            stats.neighborhoods_computed += len(a) + len(c)  # no pruning in the baseline
         else:
             # Map the cached relation name back onto this query's predicate
             # positions; an unknown name falls back to re-derivation.

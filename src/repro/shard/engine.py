@@ -30,6 +30,7 @@ from __future__ import annotations
 import itertools
 import os
 import threading
+from time import perf_counter
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.engine.executor import ReadWriteLock
@@ -340,12 +341,15 @@ class ShardedEngine:
             self._resync_if_stale(query.relations())
             with self._rw.read():
                 self._require(*query.relations())
-                plan = self._engine.plan(query)
+                entry = self._engine.plan_entry(query)
+                plan = entry.plan
                 pool = self._ensure_pool()
                 try:
+                    started = perf_counter()
                     result, ntasks = sharded_execute(
                         plan, query, self._sharded, pool.run, pool.parallel
                     )
+                    wall = perf_counter() - started
                 except StaleShardError as error:
                     last_error = error
             if last_error is not None:
@@ -353,6 +357,12 @@ class ShardedEngine:
                 self._recover()
                 last_error = None
                 continue
+            # Feed the aggregated per-shard work counters back into the
+            # wrapped engine's calibration store (and misprediction check):
+            # the sharded executor's costs differ from the single-partition
+            # ones, and the plans it is served must converge to *its*
+            # observed reality, not the static constants'.
+            self._engine.record_execution(entry, result, wall)
             self.queries_executed += 1
             self.tasks_dispatched += ntasks
             return result

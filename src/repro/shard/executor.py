@@ -175,6 +175,15 @@ class _Coordinator:
         # (which prunes most shards) is cheaper than visiting all of them.
         self.prefer_fanout = prefer_fanout
         self.tasks_dispatched = 0
+        # Work counters aggregated across the shard tasks (the coordinator
+        # knows each driving shard's population, so per-point-kNN work can be
+        # charged without shipping counters back from the workers — the same
+        # merge-at-the-coordinator idea as IndexStats.aggregate).  Charges
+        # are deliberately conservative (lower bounds), so the engine's
+        # misprediction check never demotes a sharded plan on overcounted
+        # work.  The counters ride back on the QueryResult and feed the
+        # wrapping engine's calibration store.
+        self.work = PruningStats()
 
     # -- plumbing -------------------------------------------------------
     def _versions(self, *names: str) -> VersionStamps:
@@ -188,12 +197,14 @@ class _Coordinator:
         """Global kNN: all-shard fan-out, or pruned border expansion."""
         sharded = self.datasets[relation]
         if not self.prefer_fanout:
+            self.work.neighborhoods_computed += 1
             return sharded_knn(sharded, focal, k)
         versions = self._versions(relation)
         tasks = [
             ShardTask("knn", relation, sid, (focal, k), versions)
             for sid, _ in sharded.populated()
         ]
+        self.work.neighborhoods_computed += len(tasks)
         partials = [p for p in self._run(tasks) if isinstance(p, Neighborhood)]
         return merge_neighborhoods(focal, k, partials)
 
@@ -221,23 +232,31 @@ class _Coordinator:
     ) -> list[ShardTask]:
         versions = self._versions(outer_rel, inner_rel)
         payload = (inner_rel, k, select_pids, inner_window, outer_window)
-        return [
-            ShardTask("join", outer_rel, sid, payload, versions)
-            for sid, _ in self.datasets[outer_rel].populated()
-        ]
+        tasks = []
+        for sid, shard in self.datasets[outer_rel].populated():
+            tasks.append(ShardTask("join", outer_rel, sid, payload, versions))
+            if outer_window is None:
+                # Every driving point gets one cross-shard kNN; with an outer
+                # window the worker skips points outside it, so nothing is
+                # charged (lower bound).
+                self.work.neighborhoods_computed += len(shard)
+        return tasks
 
     # -- result helpers -------------------------------------------------
-    @staticmethod
-    def _points(strategy: str, query_class: str, points: Sequence[Point]) -> QueryResult:
-        return QueryResult(strategy=strategy, query_class=query_class, points=tuple(points))
+    def _points(self, strategy: str, query_class: str, points: Sequence[Point]) -> QueryResult:
+        return QueryResult(
+            strategy=strategy,
+            query_class=query_class,
+            points=tuple(points),
+            stats=self.work,
+        )
 
-    @staticmethod
-    def _pairs(strategy: str, query_class: str, pairs: Sequence[JoinPair]) -> QueryResult:
+    def _pairs(self, strategy: str, query_class: str, pairs: Sequence[JoinPair]) -> QueryResult:
         return QueryResult(
             strategy=strategy,
             query_class=query_class,
             pairs=tuple(pairs),
-            stats=PruningStats(),
+            stats=self.work,
         )
 
     # -- per-query-class execution --------------------------------------
@@ -305,6 +324,7 @@ class _Coordinator:
     ) -> QueryResult:
         relation = first.relation
         if not self.prefer_fanout:
+            self.work.neighborhoods_computed += 2
             n1 = sharded_knn(self.datasets[relation], first.focal, first.k)
             n2 = sharded_knn(self.datasets[relation], second.focal, second.k)
         else:
@@ -314,6 +334,7 @@ class _Coordinator:
                 ShardTask("two_knn", relation, sid, payload, versions)
                 for sid, _ in self.datasets[relation].populated()
             ]
+            self.work.neighborhoods_computed += 2 * len(tasks)
             partials = self._run(tasks)
             n1 = merge_neighborhoods(first.focal, first.k, [p[0] for p in partials])  # type: ignore[index]
             n2 = merge_neighborhoods(second.focal, second.k, [p[1] for p in partials])  # type: ignore[index]
@@ -325,6 +346,7 @@ class _Coordinator:
         # The selection shrinks the outer relation to kσ points — too few to
         # fan out; the coordinator joins them inline via border expansion.
         selection = self._fanout_knn(join.outer, select.focal, select.k)
+        self.work.neighborhoods_computed += len(selection)
         inner = self.datasets[join.inner]
         pairs = [
             JoinPair(e1, e2)
@@ -340,18 +362,22 @@ class _Coordinator:
             raise UnsupportedQueryError("cached chained plan does not fit these joins")
         ab, bc = chained
         versions = self._versions(ab.outer, ab.inner, bc.inner)
-        tasks = [
-            ShardTask(
-                "chained", ab.outer, sid, (ab.inner, bc.inner, ab.k, bc.k), versions
+        tasks = []
+        for sid, shard in self.datasets[ab.outer].populated():
+            tasks.append(
+                ShardTask(
+                    "chained", ab.outer, sid, (ab.inner, bc.inner, ab.k, bc.k), versions
+                )
             )
-            for sid, _ in self.datasets[ab.outer].populated()
-        ]
+            # One A→B kNN per driving point; the cached B→C side is not
+            # charged (lower bound).
+            self.work.neighborhoods_computed += len(shard)
         triplets = merge_triplet_partials(self._run(tasks))  # type: ignore[arg-type]
         return QueryResult(
             strategy=strategy,
             query_class="chained-joins",
             triplets=tuple(triplets),
-            stats=PruningStats(),
+            stats=self.work,
         )
 
     def _unchained(self, strategy: str, ab: KnnJoin, cb: KnnJoin) -> QueryResult:
@@ -367,7 +393,7 @@ class _Coordinator:
             strategy=strategy,
             query_class="unchained-joins",
             triplets=tuple(triplets),
-            stats=PruningStats(),
+            stats=self.work,
         )
 
 

@@ -100,6 +100,16 @@ class StreamEngine:
         self.batches_pushed = 0
         #: Individual operations pushed (inserts + removes + moves).
         self.updates_pushed = 0
+        #: Full re-executions routed through the wrapped engine (guard
+        #: violations and stale-subscription reconciles; a subscription's
+        #: *initial* execution is not counted).  Every one of them feeds the
+        #: engine's planner-calibration store, so a standing query that
+        #: keeps violating its guard converges to the strategy whose
+        #: observed cost is lowest — see ``docs/planner.md``.
+        self.calibration_refeeds = 0
+        #: True while subscribe() builds a state (whose constructor runs the
+        #: query once) — suppresses the refeed counter for that first run.
+        self._subscribing = False
         engine.add_mutation_listener(self._on_engine_mutation)
 
     # ------------------------------------------------------------------
@@ -134,7 +144,11 @@ class StreamEngine:
                 sub_id = f"sub-{next(_IDS)}"
             if sub_id in self._subs:
                 raise InvalidParameterError(f"subscription id {sub_id!r} already exists")
-            state = make_state(plan.query_class, query, self)
+            self._subscribing = True
+            try:
+                state = make_state(plan.query_class, query, self)
+            finally:
+                self._subscribing = False
             sub = Subscription(sub_id, query, plan.query_class, state)
             self._subs[sub_id] = sub
             for relation in sub.relations:
@@ -264,7 +278,16 @@ class StreamEngine:
         return self.engine.dataset(relation).store  # type: ignore[union-attr]
 
     def run(self, query: Query) -> QueryResult:
-        """Execute a query from scratch through the wrapped engine."""
+        """Execute a query from scratch through the wrapped engine.
+
+        This is the maintenance layer's fallback path (guard violations,
+        stale reconciles); it runs through the engine's plan cache *and*
+        calibration loop, so repeated re-executions of a standing query keep
+        teaching the planner its observed cost.  A subscription's initial
+        execution (during :meth:`subscribe`) is not counted as a refeed.
+        """
+        if not self._subscribing:
+            self.calibration_refeeds += 1
         return self.engine.run(query)
 
     # ------------------------------------------------------------------
@@ -313,6 +336,7 @@ class StreamEngine:
             "local_repairs": sum(s.local_repairs for s in subs),
             "refreshes": sum(s.refreshes for s in subs),
             "stale": sum(1 for s in subs if s.stale),
+            "calibration_refeeds": self.calibration_refeeds,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

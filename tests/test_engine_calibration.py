@@ -1,0 +1,369 @@
+"""The calibration feedback loop through the engines.
+
+Covers the PR's acceptance behaviour: every executed plan reports
+estimated-vs-observed cost through EXPLAIN, a mispredicted plan is demoted
+through the plan cache's reject path and re-planned with calibrated
+estimates, and the sharded/stream layers feed the same loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import clustered_points, uniform_points
+from repro.engine import SpatialEngine
+from repro.exceptions import InvalidParameterError
+from repro.geometry import Point, Rect
+from repro.planner.calibrate import CalibrationStore
+from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+from repro.stream import StreamEngine
+from repro.storage.update import UpdateBatch
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+FOCAL = Point(500.0, 500.0)
+
+
+def _mispredicting_engine(**engine_kwargs) -> tuple[SpatialEngine, Query]:
+    """An engine + select-inner-of-join query the static model mispredicts.
+
+    The outer relation is one tight cluster around the selection's focal
+    point: dense blocks make the static heuristic pick Block-Marking, but
+    nothing prunes (every outer neighborhood overlaps the selection), so the
+    observed cost dwarfs the optimistic static estimate.
+    """
+    engine = SpatialEngine(**engine_kwargs)
+    outer = clustered_points(1, 150, BOUNDS, cluster_radius=25.0, seed=7, start_pid=0)
+    # Recenter the cluster on the focal point: keep geometry deterministic.
+    cx = sum(p.x for p in outer) / len(outer)
+    cy = sum(p.y for p in outer) / len(outer)
+    outer = [Point(p.x - cx + FOCAL.x, p.y - cy + FOCAL.y, p.pid) for p in outer]
+    inner = uniform_points(120, BOUNDS, seed=8, start_pid=10_000)
+    engine.register(name="outer", points=outer, bounds=BOUNDS, cells_per_side=10)
+    engine.register(name="inner", points=inner, bounds=BOUNDS, cells_per_side=10)
+    query = Query(
+        KnnJoin(outer="outer", inner="inner", k=2),
+        KnnSelect(relation="inner", focal=FOCAL, k=8),
+    )
+    return engine, query
+
+
+class TestFeedbackLoop:
+    def test_static_choice_mispredicts_then_converges(self):
+        engine, query = _mispredicting_engine()
+        first = engine.plan(query)
+        assert first.strategy == "block_marking"  # dense outer → static choice
+
+        results = [engine.run(query) for _ in range(6)]
+        assert engine.mispredictions >= 1
+        assert engine.demotions >= 1
+
+        final = engine.plan(query)
+        assert final.decisions.get("calibrated") is True
+        # Calibrated ranking abandons the uselessly-pruning strategies.
+        assert final.strategy == "baseline"
+        # Every run returned the identical answer regardless of strategy.
+        reference = {(p.outer.pid, p.inner.pid) for p in results[0].pairs}
+        for result in results[1:]:
+            assert {(p.outer.pid, p.inner.pid) for p in result.pairs} == reference
+
+    def test_converged_plan_stops_demoting(self):
+        engine, query = _mispredicting_engine()
+        for _ in range(6):
+            engine.run(query)
+        demotions = engine.demotions
+        for _ in range(4):
+            engine.run(query)
+        assert engine.demotions == demotions  # estimate ≈ observed now
+
+    def test_infinite_demotion_factor_disables_demotion(self):
+        engine, query = _mispredicting_engine(demotion_factor=float("inf"))
+        for _ in range(4):
+            engine.run(query)
+        assert engine.demotions == 0
+        assert engine.plan(query).strategy == "block_marking"
+        # The calibration store still fills and EXPLAIN still reports.
+        assert engine.calibration.observations >= 4
+        assert engine.explain(query).observed_total is not None
+
+    def test_demotion_factor_validation(self):
+        with pytest.raises(InvalidParameterError):
+            SpatialEngine(demotion_factor=1.0)
+
+    def test_forced_strategy_warms_auto_planning(self):
+        engine, query = _mispredicting_engine()
+        forced = Query(*query.predicates, strategy="counting")
+        engine.run(forced)
+        key = query.calibration_key(engine.datasets)
+        assert engine.calibration.profile(key, "counting") is not None
+        # The auto plan now sees a warm profile → calibrated ranking.
+        assert engine.plan(query).decisions.get("calibrated") is True
+
+    def test_run_many_feeds_calibration(self):
+        engine, query = _mispredicting_engine()
+        engine.run_many([query] * 4, max_workers=2)
+        assert engine.calibration.observations == 4
+
+
+class TestExplainFeedback:
+    def test_explain_reports_estimated_vs_observed(self):
+        engine, query = _mispredicting_engine()
+        cold = engine.explain(query)
+        assert cold.estimated_total is not None
+        assert cold.observed_total is None
+
+        # Early runs demote mispredicted plans (feedback restarts with each
+        # calibrated replacement); once converged, the plan's feedback sticks.
+        for _ in range(4):
+            engine.run(query)
+        warm = engine.explain(query)
+        assert warm.observed_total is not None
+        assert warm.observations >= 1
+        assert warm.misprediction_ratio is not None
+        rendered = warm.render()
+        assert "cost feedback:" in rendered
+        assert "estimated =" in rendered and "observed  =" in rendered
+
+    def test_every_query_class_reports_feedback(self):
+        """Acceptance: estimated-vs-observed is reported for *every* plan."""
+        engine = SpatialEngine()
+        pts_a = uniform_points(60, BOUNDS, seed=1, start_pid=0)
+        pts_b = uniform_points(80, BOUNDS, seed=2, start_pid=1_000)
+        pts_c = uniform_points(70, BOUNDS, seed=3, start_pid=2_000)
+        engine.register(name="a", points=pts_a, bounds=BOUNDS, cells_per_side=6)
+        engine.register(name="b", points=pts_b, bounds=BOUNDS, cells_per_side=6)
+        engine.register(name="c", points=pts_c, bounds=BOUNDS, cells_per_side=6)
+        window = Rect(200.0, 200.0, 800.0, 800.0)
+        queries = {
+            "single-select": Query(KnnSelect(relation="a", focal=FOCAL, k=3)),
+            "single-range": Query(RangeSelect(relation="a", window=window)),
+            "single-join": Query(KnnJoin(outer="a", inner="b", k=2)),
+            "two-selects": Query(
+                KnnSelect(relation="a", focal=FOCAL, k=3),
+                KnnSelect(relation="a", focal=Point(100.0, 100.0), k=5),
+            ),
+            "select-outer-of-join": Query(
+                KnnJoin(outer="a", inner="b", k=2),
+                KnnSelect(relation="a", focal=FOCAL, k=4),
+            ),
+            "select-inner-of-join": Query(
+                KnnJoin(outer="a", inner="b", k=2),
+                KnnSelect(relation="b", focal=FOCAL, k=4),
+            ),
+            "range-outer-of-join": Query(
+                KnnJoin(outer="a", inner="b", k=2),
+                RangeSelect(relation="a", window=window),
+            ),
+            "range-inner-of-join": Query(
+                KnnJoin(outer="a", inner="b", k=2),
+                RangeSelect(relation="b", window=window),
+            ),
+            "range-and-knn-select": Query(
+                KnnSelect(relation="a", focal=FOCAL, k=3),
+                RangeSelect(relation="a", window=window),
+            ),
+            "two-ranges": Query(
+                RangeSelect(relation="a", window=window),
+                RangeSelect(relation="a", window=Rect(0.0, 0.0, 500.0, 500.0)),
+            ),
+            "chained-joins": Query(
+                KnnJoin(outer="a", inner="b", k=2),
+                KnnJoin(outer="b", inner="c", k=2),
+            ),
+            "unchained-joins": Query(
+                KnnJoin(outer="a", inner="b", k=2),
+                KnnJoin(outer="c", inner="b", k=2),
+            ),
+        }
+        for expected_class, query in queries.items():
+            engine.run(query)
+            record = engine.explain(query)
+            assert record.query_class == expected_class
+            assert record.estimated_total is not None, expected_class
+            assert record.observed_total is not None, expected_class
+            assert record.observations >= 1, expected_class
+
+    def test_explain_identity_preserved_until_first_execution(self):
+        engine, query = _mispredicting_engine()
+        assert engine.explain(query) is engine.explain(query)
+
+
+class TestShardedFeedback:
+    def test_sharded_execution_feeds_inner_calibration(self):
+        engine = ShardedEngine(num_shards=2, backend="serial")
+        engine.register(
+            name="a",
+            points=uniform_points(120, BOUNDS, seed=4, start_pid=0),
+            bounds=BOUNDS,
+        )
+        engine.register(
+            name="b",
+            points=uniform_points(150, BOUNDS, seed=5, start_pid=10_000),
+            bounds=BOUNDS,
+        )
+        query = Query(KnnJoin(outer="a", inner="b", k=2))
+        engine.run(query)
+        assert engine.engine.calibration.observations == 1
+        key = query.calibration_key(engine.engine.datasets)
+        profile = engine.engine.calibration.profile(key, "knn-join")
+        assert profile is not None
+        # The coordinator charges one cross-shard kNN per driving point.
+        assert profile.observed_total == pytest.approx(120.0)
+        engine.run(query)
+        record = engine.engine.explain(query)
+        assert record.observed_total is not None
+        engine.close()
+
+
+class TestStreamFeedback:
+    def test_guard_filtered_reexecution_feeds_calibration(self):
+        """Two-predicate standing queries re-execute through the engine's
+        plan cache on a guard trigger — every such re-execution records an
+        observation, so the standing query's strategy converges."""
+        stream = StreamEngine()
+        outer = uniform_points(80, BOUNDS, seed=6, start_pid=0)
+        inner = uniform_points(90, BOUNDS, seed=9, start_pid=10_000)
+        stream.register(name="a", points=outer, bounds=BOUNDS, cells_per_side=6)
+        stream.register(name="b", points=inner, bounds=BOUNDS, cells_per_side=6)
+        sub = stream.subscribe(
+            Query(
+                KnnJoin(outer="a", inner="b", k=2),
+                KnnSelect(relation="b", focal=FOCAL, k=5),
+            )
+        )
+        # Subscribing executes once through the engine (one observation).
+        after_subscribe = stream.engine.calibration.observations
+        assert after_subscribe >= 1
+        # Removing outer points triggers the join guard → re-execution.
+        stream.push("a", UpdateBatch(removes=[p.pid for p in outer[:3]]))
+        assert sub.refreshes >= 1
+        assert stream.calibration_refeeds >= 1
+        assert stream.engine.calibration.observations > after_subscribe
+        assert "calibration_refeeds" in stream.metrics()
+        stream.close()
+
+
+class TestFeedbackRegressions:
+    """Pins for review findings on the feedback loop."""
+
+    def test_range_scan_estimate_never_collapses_to_zero(self):
+        """A range scan computes no neighborhoods; its observed cost must
+        still be positive (blocks scanned), or a mutation-forced re-plan
+        would blend a 0.0 estimate into EXPLAIN and the misprediction
+        check."""
+        engine = SpatialEngine()
+        engine.register(
+            name="rel",
+            points=uniform_points(80, BOUNDS, seed=11, start_pid=0),
+            bounds=BOUNDS,
+            cells_per_side=6,
+        )
+        query = Query(RangeSelect(relation="rel", window=Rect(100.0, 100.0, 900.0, 900.0)))
+        engine.run(query)
+        record = engine.explain(query)
+        assert record.observed_total is not None and record.observed_total > 0
+        engine.insert("rel", [(1.0, 1.0)])  # force a re-plan on the next run
+        engine.run(query)
+        replanned = engine.explain(query)
+        assert replanned.estimated_total is not None and replanned.estimated_total > 0
+        assert replanned.misprediction_ratio is not None
+
+    def test_cold_profile_misprediction_does_not_thrash_the_cache(self):
+        """With a high warm threshold, a misprediction whose profile is
+        still cold must NOT demote: re-planning would re-derive the same
+        static plan, so eviction would only thrash the cache."""
+        engine, query = _mispredicting_engine(
+            calibration=CalibrationStore(min_observations=5)
+        )
+        for _ in range(3):
+            engine.run(query)
+        assert engine.mispredictions >= 3  # the static plan keeps missing
+        assert engine.demotions == 0  # but cold profiles never demote
+        assert engine.plan_cache.misses == 1  # one plan, kept and reused
+        # Once the executed strategy's profile warms, demotion resumes.
+        for _ in range(4):
+            engine.run(query)
+        assert engine.demotions >= 1
+
+    def test_stream_subscribe_does_not_count_as_refeed(self):
+        stream = StreamEngine()
+        stream.register(
+            name="a",
+            points=uniform_points(60, BOUNDS, seed=12, start_pid=0),
+            bounds=BOUNDS,
+        )
+        stream.register(
+            name="b",
+            points=uniform_points(60, BOUNDS, seed=13, start_pid=10_000),
+            bounds=BOUNDS,
+        )
+        stream.subscribe(
+            Query(
+                KnnJoin(outer="a", inner="b", k=2),
+                KnnSelect(relation="b", focal=FOCAL, k=4),
+            )
+        )
+        assert stream.calibration_refeeds == 0
+        stream.close()
+
+    def test_caller_supplied_empty_store_is_kept(self):
+        """An empty CalibrationStore is falsy (len() == 0); the engine must
+        not silently replace it with a default one."""
+        store = CalibrationStore(min_observations=5)
+        engine = SpatialEngine(calibration=store)
+        assert engine.calibration is store
+
+    def test_chained_join_feedback_units_are_commensurable(self):
+        """The chained estimate prices |A| + matched-B; the observed cost
+        must include the A→B batch, or a warm shared cache drives the
+        observed EWMA toward zero and wrecks the misprediction ratio."""
+        engine = SpatialEngine()
+        engine.register(
+            name="a",
+            points=uniform_points(50, BOUNDS, seed=14, start_pid=0),
+            bounds=BOUNDS,
+            cells_per_side=6,
+        )
+        engine.register(
+            name="b",
+            points=uniform_points(60, BOUNDS, seed=15, start_pid=10_000),
+            bounds=BOUNDS,
+            cells_per_side=6,
+        )
+        engine.register(
+            name="c",
+            points=uniform_points(70, BOUNDS, seed=16, start_pid=20_000),
+            bounds=BOUNDS,
+            cells_per_side=6,
+        )
+        query = Query(
+            KnnJoin(outer="a", inner="b", k=2), KnnJoin(outer="b", inner="c", k=2)
+        )
+        for _ in range(4):  # later runs hit the shared B→C cache
+            engine.run(query)
+        record = engine.explain(query)
+        assert record.observed_total is not None
+        assert record.observed_total >= 50  # at least one unit per A point
+        assert record.misprediction_ratio is not None
+        assert 0.2 <= record.misprediction_ratio <= 1.5
+        assert engine.demotions == 0  # single-strategy class never demotes
+
+    def test_single_strategy_plans_are_never_demoted(self):
+        """Demotion exists to switch strategies; a plan without alternatives
+        must keep its cache entry even when the estimate misses."""
+        engine = SpatialEngine()
+        engine.register(
+            name="rel",
+            points=uniform_points(60, BOUNDS, seed=17, start_pid=0),
+            bounds=BOUNDS,
+            cells_per_side=6,
+        )
+        query = Query(
+            KnnSelect(relation="rel", focal=FOCAL, k=3),
+            KnnSelect(relation="rel", focal=Point(100.0, 100.0), k=5),
+        )
+        for _ in range(4):
+            engine.run(query)
+        assert engine.demotions == 0
+        assert engine.plan_cache.misses == 1

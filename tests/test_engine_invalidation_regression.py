@@ -1,0 +1,126 @@
+"""Regression: join plans must not survive a mutation of *any* touched relation.
+
+The audit behind these tests: a cached plan's ``relations`` set comes from
+:meth:`Query.relations`, which includes a kNN-join's inner relation (and both
+middles of a chained join), and ``PlanCache.invalidate_relation`` matches by
+membership in that set — so invalidation is *not* keyed only by the outer
+name.  These tests pin that property for every mutation route (engine-routed,
+out-of-band + version stamp, sharded, stream), for each side of a kNN-join
+and each relation of a two-join query, so a future refactor that narrows the
+relation set (say, to the driving relation) fails loudly here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import uniform_points
+from repro.engine import SpatialEngine
+from repro.geometry import Point, Rect
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+FOCAL = Point(500.0, 500.0)
+
+
+@pytest.fixture()
+def engine() -> SpatialEngine:
+    eng = SpatialEngine()
+    for name, seed, start in (("a", 1, 0), ("b", 2, 10_000), ("c", 3, 20_000)):
+        eng.register(
+            name=name,
+            points=uniform_points(60, BOUNDS, seed=seed, start_pid=start),
+            bounds=BOUNDS,
+            cells_per_side=6,
+        )
+    return eng
+
+
+JOIN = lambda: Query(KnnJoin(outer="a", inner="b", k=2))  # noqa: E731
+SELECT_INNER = lambda: Query(  # noqa: E731
+    KnnJoin(outer="a", inner="b", k=2), KnnSelect(relation="b", focal=FOCAL, k=4)
+)
+CHAINED = lambda: Query(  # noqa: E731
+    KnnJoin(outer="a", inner="b", k=2), KnnJoin(outer="b", inner="c", k=2)
+)
+
+
+def _cached_signature(engine: SpatialEngine, query: Query):
+    signature = query.signature(engine.datasets)
+    assert signature in engine.plan_cache
+    return signature
+
+
+@pytest.mark.parametrize("mutated", ["a", "b"])
+def test_knn_join_plan_dropped_when_either_side_mutates(engine, mutated):
+    query = JOIN()
+    engine.run(query)
+    signature = _cached_signature(engine, query)
+    engine.insert(mutated, [(123.0, 456.0)])
+    assert signature not in engine.plan_cache
+
+
+@pytest.mark.parametrize("mutated", ["a", "b"])
+def test_knn_join_plan_dropped_on_remove_of_either_side(engine, mutated):
+    query = SELECT_INNER()
+    engine.run(query)
+    signature = _cached_signature(engine, query)
+    victim = next(iter(engine.dataset(mutated).points)).pid
+    engine.remove(mutated, [victim])
+    assert signature not in engine.plan_cache
+
+
+@pytest.mark.parametrize("mutated", ["a", "b", "c"])
+def test_chained_join_plan_dropped_for_every_relation(engine, mutated):
+    query = CHAINED()
+    engine.run(query)
+    signature = _cached_signature(engine, query)
+    engine.insert(mutated, [(321.0, 654.0)])
+    assert signature not in engine.plan_cache
+
+
+@pytest.mark.parametrize("mutated", ["a", "b"])
+def test_out_of_band_inner_mutation_is_caught_by_version_stamp(engine, mutated):
+    """A dataset mutated behind the engine's back leaves the entry cached,
+    but the version stamp rejects it at the next lookup — for the inner
+    relation exactly as for the outer."""
+    query = JOIN()
+    engine.run(query)
+    signature = _cached_signature(engine, query)
+    engine.dataset(mutated).insert([(77.0, 88.0)])  # bypasses the engine
+    assert signature in engine.plan_cache  # eager eviction did NOT happen
+    invalidations_before = engine.plan_cache.invalidations
+    engine.run(query)  # lookup detects the stale stamp, rejects, re-plans
+    assert engine.plan_cache.invalidations == invalidations_before + 1
+
+
+@pytest.mark.parametrize("mutated", ["a", "b"])
+def test_sharded_join_plan_dropped_when_either_side_mutates(mutated):
+    engine = ShardedEngine(num_shards=2, backend="serial")
+    engine.register(
+        name="a",
+        points=uniform_points(80, BOUNDS, seed=4, start_pid=0),
+        bounds=BOUNDS,
+    )
+    engine.register(
+        name="b",
+        points=uniform_points(90, BOUNDS, seed=5, start_pid=10_000),
+        bounds=BOUNDS,
+    )
+    query = JOIN()
+    engine.run(query)
+    signature = query.signature(engine.engine.datasets)
+    assert signature in engine.engine.plan_cache
+    engine.insert(mutated, [(42.0, 24.0)])
+    assert signature not in engine.engine.plan_cache
+    engine.close()
+
+
+def test_chained_neighborhood_cache_dropped_for_inner_relations(engine):
+    query = CHAINED()
+    engine.run(query)
+    assert len(engine._chained_caches) == 1
+    engine.insert("c", [(10.0, 20.0)])  # the chain's innermost relation
+    assert len(engine._chained_caches) == 0

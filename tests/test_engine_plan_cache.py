@@ -143,3 +143,24 @@ def test_signature_includes_index_kind(datasets):
     }
     rtree_sig = Query(KnnSelect(relation="a", focal=focal, k=3)).signature(rtree)
     assert grid_sig != rtree_sig
+
+
+def test_reject_reports_whether_it_evicted():
+    """Demotion counters rely on reject() saying whether *this* call evicted
+    the entry (a concurrent batch job may have demoted the shared entry)."""
+    from repro.engine.explain import Explain
+    from repro.planner.plan import PhysicalPlan
+
+    cache = PlanCache(4)
+    plan = PhysicalPlan("single-select", "knn-select")
+    entry = CachedPlan(
+        signature=("auto", ("x",)),
+        plan=plan,
+        explain=Explain.from_plan(plan, frozenset({"x"})),
+        relations=frozenset({"x"}),
+    )
+    cache.put(entry)
+    assert cache.reject(entry, recount=False) is True
+    assert cache.reject(entry, recount=False) is False  # already gone
+    assert cache.invalidations == 1
+    assert cache.hits == 0 and cache.misses == 0  # recount=False leaves counters

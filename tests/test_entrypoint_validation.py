@@ -1,0 +1,115 @@
+"""Uniform ``k`` validation across every entry point (regression).
+
+``InvalidParameterError`` is a ``ValueError``, and ``k <= 0`` is rejected at
+predicate construction — i.e. *before* any planning, statistics computation
+or index build — so the direct kNN primitives, the engine's ``run`` /
+``run_many``, the sharded engine and the stream engine's ``subscribe`` all
+raise the same catchable type at the same stage.  ``k`` larger than the
+population is uniformly valid and truncates (pinned separately in
+``tests/test_locality_knn_truncation.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import uniform_points
+from repro.engine import SpatialEngine
+from repro.exceptions import InvalidParameterError, ReproError
+from repro.geometry import Point, Rect
+from repro.index.grid import GridIndex
+from repro.locality.knn import get_knn
+from repro.operators.knn_join import knn_join_pairs
+from repro.operators.knn_select import knn_select
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query, bucket_k
+from repro.shard.engine import ShardedEngine
+from repro.stream import StreamEngine
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+FOCAL = Point(500.0, 500.0)
+POINTS = uniform_points(50, BOUNDS, seed=1, start_pid=0)
+
+
+def test_invalid_parameter_error_is_a_value_error():
+    assert issubclass(InvalidParameterError, ValueError)
+    assert issubclass(InvalidParameterError, ReproError)
+
+
+@pytest.mark.parametrize("k", [0, -1, -100])
+class TestInvalidK:
+    def test_locality_primitive_raises_value_error(self, k):
+        index = GridIndex(POINTS, cells_per_side=5, bounds=BOUNDS)
+        with pytest.raises(ValueError):
+            get_knn(index, FOCAL, k)
+
+    def test_operators_raise_value_error(self, k):
+        index = GridIndex(POINTS, cells_per_side=5, bounds=BOUNDS)
+        with pytest.raises(ValueError):
+            knn_select(index, FOCAL, k)
+        with pytest.raises(ValueError):
+            knn_join_pairs(POINTS, index, k)
+
+    def test_predicates_raise_value_error_before_planning(self, k):
+        with pytest.raises(ValueError):
+            KnnSelect(relation="rel", focal=FOCAL, k=k)
+        with pytest.raises(ValueError):
+            KnnJoin(outer="a", inner="b", k=k)
+        with pytest.raises(ValueError):
+            bucket_k(k)
+
+    def test_engine_run_raises_value_error(self, k):
+        engine = SpatialEngine()
+        engine.register(name="rel", points=POINTS, bounds=BOUNDS)
+        with pytest.raises(ValueError):
+            engine.run(Query(KnnSelect(relation="rel", focal=FOCAL, k=k)))
+        assert len(engine.plan_cache) == 0  # nothing was planned
+
+    def test_engine_run_many_raises_value_error(self, k):
+        engine = SpatialEngine()
+        engine.register(name="rel", points=POINTS, bounds=BOUNDS)
+        with pytest.raises(ValueError):
+            engine.run_many(
+                [Query(KnnSelect(relation="rel", focal=FOCAL, k=k))]
+            )
+        assert len(engine.plan_cache) == 0
+
+    def test_sharded_run_raises_value_error(self, k):
+        engine = ShardedEngine(num_shards=2, backend="serial")
+        engine.register(name="rel", points=POINTS, bounds=BOUNDS)
+        with pytest.raises(ValueError):
+            engine.run(Query(KnnSelect(relation="rel", focal=FOCAL, k=k)))
+        assert len(engine.engine.plan_cache) == 0
+        engine.close()
+
+    def test_stream_subscribe_raises_value_error(self, k):
+        with StreamEngine() as stream:
+            stream.register(name="rel", points=POINTS, bounds=BOUNDS)
+            with pytest.raises(ValueError):
+                stream.subscribe(Query(KnnSelect(relation="rel", focal=FOCAL, k=k)))
+            assert len(stream) == 0
+
+
+class TestOversizedK:
+    """k > population truncates — uniformly, never raising — at every entry."""
+
+    def test_engine_and_stream_truncate(self):
+        n = len(POINTS)
+        engine = SpatialEngine()
+        engine.register(name="rel", points=POINTS, bounds=BOUNDS)
+        result = engine.run(Query(KnnSelect(relation="rel", focal=FOCAL, k=n + 10)))
+        assert len(result.points) == n
+        with StreamEngine(engine) as stream:
+            sub = stream.subscribe(
+                Query(KnnSelect(relation="rel", focal=FOCAL, k=n + 10))
+            )
+            assert len(sub.result()) == n
+
+    def test_sharded_truncates(self):
+        engine = ShardedEngine(num_shards=2, backend="serial")
+        engine.register(name="rel", points=POINTS, bounds=BOUNDS)
+        result = engine.run(
+            Query(KnnSelect(relation="rel", focal=FOCAL, k=len(POINTS) + 10))
+        )
+        assert len(result.points) == len(POINTS)
+        engine.close()

@@ -1,0 +1,134 @@
+"""Unit tests for the calibration store (repro.planner.calibrate)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import PruningStats
+from repro.exceptions import InvalidParameterError
+from repro.planner.calibrate import (
+    CalibrationStore,
+    Observation,
+    StrategyProfile,
+    observed_cost,
+)
+from repro.planner.cost import CostModel
+
+KEY = (("knn_join", "a", "grid", "b", "grid", 4),)
+
+
+def obs(strategy: str = "counting", total: float = 10.0, **kwargs) -> Observation:
+    return Observation(strategy=strategy, observed_total=total, **kwargs)
+
+
+class TestObservedCost:
+    def test_counting_charges_per_tuple_scan(self):
+        model = CostModel()
+        stats = PruningStats(neighborhoods_computed=5, points_pruned=95)
+        assert observed_cost("counting", stats, model) == pytest.approx(
+            5 + 100 * model.tuple_check_cost
+        )
+
+    def test_block_marking_charges_per_block_checks(self):
+        model = CostModel()
+        stats = PruningStats(neighborhoods_computed=5, blocks_examined=40)
+        assert observed_cost("block_marking", stats, model) == pytest.approx(
+            5 + 40 * model.block_check_cost
+        )
+
+    def test_baseline_charges_neighborhoods_only(self):
+        model = CostModel()
+        stats = PruningStats(neighborhoods_computed=100, blocks_examined=7)
+        assert observed_cost("baseline", stats, model) == 100.0
+
+    def test_sharded_prefix_is_stripped(self):
+        model = CostModel()
+        stats = PruningStats(neighborhoods_computed=5, blocks_examined=40)
+        assert observed_cost("sharded:block_marking", stats, model) == observed_cost(
+            "block_marking", stats, model
+        )
+
+    def test_none_stats_yield_none(self):
+        assert observed_cost("counting", None, CostModel()) is None
+
+    def test_selectivity(self):
+        assert Observation(strategy="x", observed_total=0.0).selectivity is None
+        obs = Observation(
+            strategy="x", observed_total=25.0, neighborhoods=25, points_considered=100
+        )
+        assert obs.selectivity == pytest.approx(0.25)
+
+
+class TestStrategyProfile:
+    def test_first_observation_seeds_the_profile(self):
+        profile = StrategyProfile(strategy="counting").absorb(
+            obs(total=12.0, neighborhoods=3, points_considered=10, wall_seconds=0.5),
+            alpha=0.3,
+        )
+        assert profile.observations == 1
+        assert profile.observed_total == 12.0
+        assert profile.selectivity == pytest.approx(0.3)
+        assert profile.wall_seconds == 0.5
+
+    def test_ewma_blends_later_observations(self):
+        profile = StrategyProfile(strategy="counting").absorb(obs(total=10.0), alpha=0.5)
+        profile = profile.absorb(obs(total=20.0), alpha=0.5)
+        assert profile.observations == 2
+        assert profile.observed_total == pytest.approx(15.0)
+
+    def test_missing_selectivity_does_not_erase_learned_one(self):
+        profile = StrategyProfile(strategy="counting").absorb(
+            obs(neighborhoods=5, points_considered=10), alpha=0.5
+        )
+        profile = profile.absorb(obs(), alpha=0.5)  # no points considered
+        assert profile.selectivity == pytest.approx(0.5)
+
+    def test_warm_threshold(self):
+        profile = StrategyProfile(strategy="x").absorb(obs(), alpha=0.5)
+        assert profile.warm(1)
+        assert not profile.warm(2)
+
+
+class TestCalibrationStore:
+    def test_record_and_profiles_roundtrip(self):
+        store = CalibrationStore()
+        store.record(KEY, obs("counting", 10.0))
+        store.record(KEY, obs("baseline", 100.0))
+        profiles = store.profiles(KEY)
+        assert set(profiles) == {"counting", "baseline"}
+        assert store.count(KEY) == 2
+        assert store.observations == 2
+        assert store.profile(KEY, "counting").observed_total == 10.0
+        assert store.profile(KEY, "sharded:counting").observed_total == 10.0
+        assert store.profile(KEY, "nope") is None
+        assert store.profile(("other",), "counting") is None
+
+    def test_sharded_strategy_folds_into_unprefixed_profile(self):
+        store = CalibrationStore(alpha=0.5)
+        store.record(KEY, obs("counting", 10.0))
+        store.record(KEY, obs("sharded:counting", 20.0))
+        assert store.profile(KEY, "counting").observed_total == pytest.approx(15.0)
+
+    def test_invalidate_relation_matches_nested_names(self):
+        store = CalibrationStore()
+        store.record(KEY, obs())
+        other = (("knn_select", "c", "grid", 8),)
+        store.record(other, obs("knn-select", 1.0))
+        assert store.invalidate_relation("a") == 1
+        assert store.profiles(KEY) == {}
+        assert store.profiles(other) != {}
+
+    def test_clear_and_metrics(self):
+        store = CalibrationStore()
+        store.record(KEY, obs())
+        metrics = store.metrics()
+        assert metrics == {"keys": 1, "observations": 1, "profiles": 1}
+        store.clear()
+        assert len(store) == 0
+        assert store.observations == 1  # global counter survives
+
+    def test_parameter_validation(self):
+        with pytest.raises(InvalidParameterError):
+            CalibrationStore(alpha=0.0)
+        with pytest.raises(InvalidParameterError):
+            CalibrationStore(min_observations=0)

@@ -59,3 +59,61 @@ class TestUnchainedOrderAndSelects:
         assert choose_two_select_order(100, 10) == (1, 0)
         assert choose_two_select_order(7, 7) == (0, 1)
         assert Optimizer().two_select_order(3, 2) == (1, 0)
+
+
+class TestDeterministicTieBreaking:
+    """Equal cost totals must never fall back to iteration/comparison order."""
+
+    def test_rank_estimates_breaks_ties_lexicographically(self):
+        from repro.planner.cost import CostEstimate
+        from repro.planner.optimizer import rank_estimates
+
+        tied = {
+            "counting": CostEstimate("counting", neighborhood_computations=10.0),
+            "block_marking": CostEstimate("block_marking", neighborhood_computations=10.0),
+            "baseline": CostEstimate("baseline", neighborhood_computations=11.0),
+        }
+        # Insertion order must not matter: both orders pick the same name.
+        assert rank_estimates(tied) == "block_marking"
+        assert rank_estimates(dict(reversed(list(tied.items())))) == "block_marking"
+
+    def test_rank_estimates_rejects_empty_input(self):
+        from repro.exceptions import InvalidParameterError
+        from repro.planner.optimizer import rank_estimates
+
+        with pytest.raises(InvalidParameterError):
+            rank_estimates({})
+
+    def test_calibrated_choice_is_stable_across_repeated_plans(self):
+        """An exact estimate tie (baseline == counting) resolves identically
+        on every re-plan of the same query shape."""
+        from repro.index.stats import IndexStats
+        from repro.planner.calibrate import StrategyProfile
+        from repro.planner.cost import CostModel
+
+        # selectivity 0.85 + per-tuple 0.15 makes counting cost exactly
+        # |outer| — a tie with the baseline estimate.
+        optimizer = Optimizer(
+            cost_model=CostModel(prune_selectivity=0.85, tuple_check_cost=0.15)
+        )
+        stats = IndexStats(
+            num_points=100,
+            num_blocks=25,
+            num_nonempty_blocks=20,
+            mean_points_per_nonempty_block=5.0,
+            max_points_per_block=9,
+            occupied_area_fraction=0.8,
+            total_area=1.0,
+        )
+        profiles = {
+            "baseline": StrategyProfile(
+                strategy="baseline", observations=3, observed_total=100.0
+            )
+        }
+        chosen = {
+            str(optimizer.explain_select_join(None, stats, profiles)["strategy"].value)
+            for _ in range(10)
+        }
+        assert chosen == {"baseline"}  # tie with counting → smaller name wins
+        totals = optimizer.explain_select_join(None, stats, profiles)["estimates"]
+        assert totals["baseline"].total == pytest.approx(totals["counting"].total)

@@ -1,0 +1,86 @@
+"""Property: the calibrated optimizer converges to the observed-best strategy.
+
+After repeatedly executing one workload, the engine's chosen strategy must
+not have an observed cost more than ``demotion_factor`` above the *best*
+observed strategy's: any worse choice would, by construction, have mispredicted
+(observed > estimate × factor, with warm estimates tracking observed EWMAs)
+and been demoted in favour of a re-ranked plan.  A small slack absorbs the
+EWMA's blending lag.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import clustered_points, uniform_points
+from repro.engine import SpatialEngine
+from repro.geometry import Point, Rect
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+#: EWMA blending lag allowance on top of the demotion factor.
+SLACK = 1.1
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    num_clusters=st.integers(min_value=1, max_value=3),
+    outer_seed=st.integers(min_value=0, max_value=10_000),
+    inner_seed=st.integers(min_value=0, max_value=10_000),
+    k_join=st.integers(min_value=1, max_value=3),
+    k_select=st.integers(min_value=2, max_value=10),
+    focal_x=st.floats(min_value=100.0, max_value=900.0),
+    focal_y=st.floats(min_value=100.0, max_value=900.0),
+)
+def test_calibrated_choice_tracks_best_observed_strategy(
+    num_clusters, outer_seed, inner_seed, k_join, k_select, focal_x, focal_y
+):
+    engine = SpatialEngine()
+    outer = clustered_points(
+        num_clusters,
+        120 // num_clusters,
+        BOUNDS,
+        cluster_radius=60.0,
+        seed=outer_seed,
+        start_pid=0,
+    )
+    inner = uniform_points(100, BOUNDS, seed=inner_seed, start_pid=100_000)
+    engine.register(name="outer", points=outer, bounds=BOUNDS, cells_per_side=8)
+    engine.register(name="inner", points=inner, bounds=BOUNDS, cells_per_side=8)
+    query = Query(
+        KnnJoin(outer="outer", inner="inner", k=k_join),
+        KnnSelect(relation="inner", focal=Point(focal_x, focal_y), k=k_select),
+    )
+
+    # Repeat the workload until the feedback loop settles (no demotion over
+    # two consecutive runs), with a hard cap — each demotion warms one more
+    # strategy, and there are only three, so this terminates quickly.
+    stable_runs = 0
+    for _ in range(12):
+        demotions = engine.demotions
+        engine.run(query)
+        if engine.demotions == demotions:
+            stable_runs += 1
+            if stable_runs >= 2:
+                break
+        else:
+            stable_runs = 0
+
+    final = engine.plan(query)
+    profiles = engine.calibration.profiles(query.calibration_key(engine.datasets))
+    observed = {
+        name: profile.observed_total
+        for name, profile in profiles.items()
+        if profile.observations > 0
+    }
+    assert observed, "at least one strategy must have been observed"
+    assert final.strategy in observed, "the converged choice has been executed"
+    best = min(observed.values())
+    assert observed[final.strategy] <= best * engine.demotion_factor * SLACK, (
+        f"converged on {final.strategy} at observed {observed[final.strategy]:.1f}, "
+        f"but the best observed strategy costs {best:.1f} "
+        f"(factor {engine.demotion_factor}, observed={observed})"
+    )
