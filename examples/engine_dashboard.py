@@ -1,0 +1,125 @@
+"""Live terminal dashboard over the engine's observability instruments.
+
+A dispatch service runs a mixed workload — repeated kNN queries, live
+courier updates, and a standing query maintained by the stream engine —
+while a periodic dashboard renders the health signals an operator would
+watch: plan/statistics cache hit rates, query latency quantiles (p50/p99
+from the registry's histograms), stream guard-violation rate, and the most
+recent structured events.  Everything shown is read from the single
+:class:`repro.obs.Observability` bundle the whole stack shares.
+
+Run with::
+
+    python examples/engine_dashboard.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import KnnJoin, KnnSelect, Point, Query, SpatialEngine
+from repro.datagen import uniform_points
+from repro.geometry import Rect
+from repro.stream import StreamEngine
+
+EXTENT = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+ROUNDS = 6
+QUERIES_PER_ROUND = 10
+
+
+def _rate(hits: float, misses: float) -> str:
+    total = hits + misses
+    return f"{hits / total:5.1%}" if total else "    -"
+
+
+def _quantile_ms(histogram, q: float) -> str:
+    value = histogram.quantile(q)
+    return f"{value * 1e3:7.2f}ms" if value is not None else "       -"
+
+
+def render_dashboard(round_no: int, engine: SpatialEngine, stream: StreamEngine) -> None:
+    """One dashboard frame, straight off the shared registry."""
+    registry = engine.obs.registry
+    plan = engine.plan_cache.stats()
+    stats_hits = registry.counter("stats_cache_hits_total").value
+    stats_misses = registry.counter("stats_cache_misses_total").value
+    latency = registry.histogram("engine_query_latency_seconds")
+    push = registry.histogram("stream_push_latency_seconds")
+    batches = stream.batches_pushed
+
+    print(f"\n=== dashboard: round {round_no}/{ROUNDS} " + "=" * 38)
+    print(
+        f"  queries {engine.queries_executed:4d}   "
+        f"plan-cache hit rate {_rate(plan['hits'], plan['misses'])}   "
+        f"stats-cache hit rate {_rate(stats_hits, stats_misses)}"
+    )
+    print(
+        f"  query latency   p50 {_quantile_ms(latency, 0.50)}   "
+        f"p99 {_quantile_ms(latency, 0.99)}"
+    )
+    print(
+        f"  stream          p50 {_quantile_ms(push, 0.50)}   "
+        f"p99 {_quantile_ms(push, 0.99)}   "
+        f"guard violations {stream.guard_violations}/{batches} pushes "
+        f"({stream.guard_violations / batches:.0%})"
+        if batches
+        else "  stream          (no pushes yet)"
+    )
+    recent = engine.events(n=3)
+    if recent:
+        print("  recent events:")
+        for event in recent:
+            attrs = ", ".join(f"{k}={v}" for k, v in sorted(event.attributes.items()))
+            print(f"    #{event.seq} {event.kind} ({attrs})")
+
+
+def main() -> None:
+    rng = random.Random(42)
+    engine = SpatialEngine()
+    engine.register(
+        name="couriers",
+        points=uniform_points(400, EXTENT, seed=1),
+        bounds=EXTENT,
+        cells_per_side=16,
+    )
+    engine.register(
+        name="restaurants",
+        points=uniform_points(1_500, EXTENT, seed=2, start_pid=100_000),
+        bounds=EXTENT,
+        cells_per_side=16,
+    )
+
+    with StreamEngine(engine) as stream:
+        # A standing query: the 5 couriers nearest the depot, kept fresh
+        # incrementally as courier positions stream in.
+        depot = Point(5_000.0, 5_000.0)
+        standing = stream.subscribe(Query(KnnSelect(relation="couriers", focal=depot, k=5)))
+
+        for round_no in range(1, ROUNDS + 1):
+            # Ad-hoc query traffic: one shape, shifting focal points, so the
+            # first call plans and the rest hit the plan cache.
+            for _ in range(QUERIES_PER_ROUND):
+                focal = Point(rng.uniform(2_000, 8_000), rng.uniform(2_000, 8_000))
+                engine.run(
+                    Query(
+                        KnnJoin(outer="couriers", inner="restaurants", k=3),
+                        KnnSelect(relation="restaurants", focal=focal, k=40),
+                    )
+                )
+            # Courier movement streams through the engine; occasionally we
+            # yank a courier out of the standing top-5 to trip its guard.
+            updates = stream.stream("couriers")
+            for _ in range(3):
+                updates.insert((rng.uniform(0, 10_000), rng.uniform(0, 10_000)))
+            if round_no % 2 == 0 and standing.result():
+                updates.remove(standing.result()[0][1])  # rows are (distance, pid)
+            updates.flush()
+
+            render_dashboard(round_no, engine, stream)
+
+        print("\nlast trace of the run:")
+        print("\n".join("  " + line for line in engine.traces()[-1].summary_lines()))
+
+
+if __name__ == "__main__":
+    main()

@@ -9,8 +9,8 @@ Two checks, both fatal on failure:
    anchors are ignored; ``path#anchor`` links are checked for the path part.
 2. **Public API docstrings** — every public module, class, function, method
    and property reachable from the ``repro.engine``, ``repro.planner``,
-   ``repro.shard`` and ``repro.stream`` packages (the serving surface this
-   repo documents in ``docs/``) must carry a docstring.
+   ``repro.shard``, ``repro.stream`` and ``repro.obs`` packages (the serving
+   surface this repo documents in ``docs/``) must carry a docstring.
 
 Run from the repository root (CI does)::
 
@@ -28,7 +28,13 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Packages whose public surface must be fully docstring-covered.
-DOCUMENTED_PACKAGES = ("repro.engine", "repro.planner", "repro.shard", "repro.stream")
+DOCUMENTED_PACKAGES = (
+    "repro.engine",
+    "repro.planner",
+    "repro.shard",
+    "repro.stream",
+    "repro.obs",
+)
 
 #: Markdown files/directories scanned for intra-repo links.
 MARKDOWN_ROOTS = ("README.md", "CHANGES.md", "ROADMAP.md", "docs")
@@ -138,7 +144,7 @@ def main() -> int:
         return 1
     print(
         "check_docs: all markdown links resolve and the public "
-        "engine/planner/shard/stream API is documented"
+        "engine/planner/shard/stream/obs API is documented"
     )
     return 0
 

@@ -1,0 +1,201 @@
+#!/usr/bin/env python
+"""Observability smoke gate for CI.
+
+Four checks, all fatal on failure:
+
+1. **Overhead budget** — the figure-27 workload (repeated chained A→B→C
+   kNN-join queries against a long-lived engine) runs on two engines, one
+   with the default always-on instrumentation and one with
+   ``Observability.disabled()``.  Best-of-``--repeats`` wall times must stay
+   within ``--max-overhead`` (default 5 %).
+2. **Event coverage** — a sharded + streamed segment must produce a
+   ``plan_demotion`` event (via a deliberately mispredicting clustered
+   workload), an ``index_repair`` event (small localized insert), plus
+   stream activity (guard violation / subscription maintenance).
+3. **Span trees** — the recorded traces must contain the documented phases
+   (``plan`` / ``execute`` / ``calibrate``, ``shard-fan-out``,
+   ``stream-maintain``).
+4. **Exporters** — the combined registries dump to ``OBS_SNAPSHOT.json``
+   (schema-checked by ``repro.obs.validate_snapshot``) and
+   ``OBS_SNAPSHOT.prom`` (Prometheus exposition text).
+
+Run from the repository root (CI does)::
+
+    PYTHONPATH=src python scripts/obs_smoke.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.datagen import clustered_points, uniform_points  # noqa: E402
+from repro.datagen.berlinmod import berlinmod_snapshot  # noqa: E402
+from repro.engine import SpatialEngine  # noqa: E402
+from repro.geometry import Point, Rect  # noqa: E402
+from repro.obs import Observability, prometheus_text, validate_snapshot  # noqa: E402
+from repro.query.predicates import KnnJoin, KnnSelect  # noqa: E402
+from repro.query.query import Query  # noqa: E402
+from repro.shard.engine import ShardedEngine  # noqa: E402
+from repro.stream import StreamEngine  # noqa: E402
+
+BOUNDS = Rect(0.0, 0.0, 10_000.0, 10_000.0)
+FOCAL = Point(5_000.0, 5_000.0)
+
+
+def _fig27_engine(obs: Observability, scale: float) -> tuple[SpatialEngine, Query]:
+    """A fresh engine loaded with the figure-27 relations and its query."""
+    engine = SpatialEngine(obs=obs)
+    sizes = {"a": 16_000, "b": 64_000, "c": 64_000}
+    for i, (name, size) in enumerate(sizes.items()):
+        points = berlinmod_snapshot(
+            n=max(100, int(size * scale)), seed=2700 + i, start_pid=i * 10_000_000
+        )
+        engine.register(name=name, points=points, bounds=None)
+    query = Query(KnnJoin(outer="a", inner="b", k=3), KnnJoin(outer="b", inner="c", k=3))
+    return engine, query
+
+
+def check_overhead(scale: float, queries: int, repeats: int, budget: float) -> list[str]:
+    """Best-of-``repeats`` instrumented vs disabled wall time on figure 27."""
+    instrumented, query = _fig27_engine(Observability(name="obs-smoke"), scale)
+    disabled, _ = _fig27_engine(Observability.disabled(), scale)
+
+    def run_batch(engine: SpatialEngine) -> float:
+        start = time.perf_counter()
+        for _ in range(queries):
+            engine.run(query)
+        return time.perf_counter() - start
+
+    for engine in (instrumented, disabled):
+        run_batch(engine)  # warm the plan cache + neighborhood caches
+    timed = {"instrumented": [], "disabled": []}
+    for _ in range(repeats):  # interleave to spread machine noise evenly
+        timed["instrumented"].append(run_batch(instrumented))
+        timed["disabled"].append(run_batch(disabled))
+    best_on, best_off = min(timed["instrumented"]), min(timed["disabled"])
+    overhead = best_on / best_off - 1.0
+    print(
+        f"obs_smoke: figure-27 x{queries} best-of-{repeats}: "
+        f"instrumented {best_on * 1e3:.1f}ms, disabled {best_off * 1e3:.1f}ms, "
+        f"overhead {overhead * 100:+.2f}% (budget {budget * 100:.0f}%)"
+    )
+    if overhead > budget:
+        return [f"instrumentation overhead {overhead * 100:.2f}% exceeds budget"]
+    return []
+
+
+def _mispredicting_engine(obs: Observability) -> tuple[SpatialEngine, Query]:
+    """Engine + query the static cost model mispredicts (demotion generator)."""
+    engine = SpatialEngine(obs=obs)
+    outer = clustered_points(1, 150, BOUNDS, cluster_radius=250.0, seed=7, start_pid=0)
+    cx = sum(p.x for p in outer) / len(outer)
+    cy = sum(p.y for p in outer) / len(outer)
+    outer = [Point(p.x - cx + FOCAL.x, p.y - cy + FOCAL.y, p.pid) for p in outer]
+    inner = uniform_points(120, BOUNDS, seed=8, start_pid=10_000)
+    engine.register(name="outer", points=outer, bounds=BOUNDS, cells_per_side=10)
+    engine.register(name="inner", points=inner, bounds=BOUNDS, cells_per_side=10)
+    query = Query(
+        KnnJoin(outer="outer", inner="inner", k=2),
+        KnnSelect(relation="inner", focal=FOCAL, k=8),
+    )
+    return engine, query
+
+
+def run_stack_workload() -> tuple[list[str], list[dict], str]:
+    """Sharded + streamed segment; returns (errors, snapshots, prometheus)."""
+    errors: list[str] = []
+    snapshots: list[dict] = []
+    prom_parts: list[str] = []
+
+    # --- planner demotion + index repair on the base engine -------------
+    engine, query = _mispredicting_engine(Observability(name="obs-smoke-engine"))
+    for _ in range(6):
+        engine.run(query)
+    engine.insert("inner", [(1.0, 1.0)])  # small insert → localized repair
+    if not engine.events(kind="plan_demotion"):
+        errors.append("no plan_demotion event from the mispredicting workload")
+    if not engine.events(kind="index_repair"):
+        errors.append("no index_repair event from the localized insert")
+    phases = engine.traces()[0].phases() if engine.traces() else ()
+    if not {"plan", "execute", "calibrate"} <= set(phases):
+        errors.append(f"engine trace missing phases: {phases}")
+
+    # --- sharded fan-out -------------------------------------------------
+    with ShardedEngine(
+        num_shards=4, backend="serial", obs=Observability(name="obs-smoke-sharded")
+    ) as sharded:
+        sharded.register(
+            name="a", points=uniform_points(300, BOUNDS, seed=11), bounds=BOUNDS
+        )
+        sharded.register(
+            name="b",
+            points=uniform_points(300, BOUNDS, seed=12, start_pid=50_000),
+            bounds=BOUNDS,
+        )
+        sharded.run(Query(KnnJoin(outer="a", inner="b", k=2)))
+        trace = sharded.obs.tracer.last()
+        if trace is None or "shard-fan-out" not in trace.phases():
+            errors.append("sharded trace missing the shard-fan-out phase")
+        if sharded.tasks_dispatched < 1:
+            errors.append("sharded join dispatched no pool tasks")
+        snapshots.append(sharded.metrics_snapshot())
+        prom_parts.append(sharded.prometheus_metrics())
+
+    # --- streamed maintenance (shares the base engine's registry) -------
+    with StreamEngine(engine) as stream:
+        sub = stream.subscribe(Query(KnnSelect(relation="inner", focal=FOCAL, k=5)))
+        stream.stream("inner").insert((FOCAL.x + 1.0, FOCAL.y + 1.0)).flush()
+        victim = sub.result()[0][1]  # kNN rows are (distance, pid)
+        stream.stream("inner").remove(victim).flush()
+        if stream.guard_violations < 1:
+            errors.append("stream segment produced no guard violation")
+        trace = stream.obs.tracer.last()
+        if trace is None or trace.name != "stream-maintain":
+            errors.append("stream trace missing the stream-maintain root")
+        snapshots.append(stream.metrics_snapshot())
+        prom_parts.append(stream.prometheus_metrics())
+
+    return errors, snapshots, "\n".join(prom_parts)
+
+
+def main() -> int:
+    """Run every check; write artifacts; return a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.02)
+    parser.add_argument("--queries", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--max-overhead", type=float, default=0.05)
+    parser.add_argument("--json", type=Path, default=Path("OBS_SNAPSHOT.json"))
+    parser.add_argument("--prom", type=Path, default=Path("OBS_SNAPSHOT.prom"))
+    args = parser.parse_args()
+
+    errors = check_overhead(args.scale, args.queries, args.repeats, args.max_overhead)
+    stack_errors, snapshots, prom = run_stack_workload()
+    errors += stack_errors
+
+    for snapshot in snapshots:
+        errors += validate_snapshot(snapshot)
+    args.json.write_text(
+        json.dumps({"registries": snapshots}, indent=2) + "\n", encoding="utf-8"
+    )
+    args.prom.write_text(prom + "\n", encoding="utf-8")
+    print(f"obs_smoke: wrote {args.json} ({len(snapshots)} registries) and {args.prom}")
+
+    if errors:
+        print(f"obs_smoke: {len(errors)} problem(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print("obs_smoke: overhead, events, traces and exporters all pass")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

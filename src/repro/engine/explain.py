@@ -50,6 +50,10 @@ class Explain:
         run at least once; see ``docs/planner.md``).
     observations:
         How many executions the observed figure averages over.
+    trace_summary:
+        Indented per-phase timing lines from the plan's most recent traced
+        execution (empty until the plan has run under an enabled tracer;
+        see :meth:`repro.obs.trace.Trace.summary_lines`).
     """
 
     query_class: str
@@ -60,6 +64,7 @@ class Explain:
     estimated_total: float | None = None
     observed_total: float | None = None
     observations: int = 0
+    trace_summary: tuple[str, ...] = ()
 
     @classmethod
     def from_plan(cls, plan: PhysicalPlan, relations: frozenset[str]) -> "Explain":
@@ -79,6 +84,10 @@ class Explain:
         return replace(
             self, observed_total=observed_total, observations=observations
         )
+
+    def with_trace(self, lines: "tuple[str, ...] | list[str]") -> "Explain":
+        """A copy carrying the latest execution's span-tree summary."""
+        return replace(self, trace_summary=tuple(lines))
 
     @property
     def misprediction_ratio(self) -> float | None:
@@ -113,6 +122,10 @@ class Explain:
             lines.append(
                 f"    observed  = {self.observed_total:.2f} (n={self.observations})"
             )
+        if self.trace_summary:
+            lines.append("  trace:")
+            for line in self.trace_summary:
+                lines.append(f"    {line}")
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience

@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 
 from repro.engine.explain import Explain
 from repro.exceptions import InvalidParameterError
+from repro.obs.metrics import Counter, MetricsRegistry
+from repro.obs.trace import Trace
 from repro.planner.plan import PhysicalPlan
 
 __all__ = ["CachedPlan", "PlanCache"]
@@ -55,6 +57,9 @@ class CachedPlan:
     observed_total: float | None = None
     observations: int = 0
     mispredictions: int = 0
+    #: The most recent execution's span tree (``None`` until the plan has
+    #: run under an enabled tracer); summarized into EXPLAIN's trace block.
+    last_trace: Trace | None = None
 
     def record_observation(self, observed: float, alpha: float = 0.3) -> None:
         """Fold one execution's observed abstract cost into the EWMA."""
@@ -65,35 +70,93 @@ class CachedPlan:
         self.observations += 1
 
     def explain_with_feedback(self) -> Explain:
-        """The EXPLAIN record, enriched with observed cost once one exists."""
-        if self.observations == 0 or self.observed_total is None:
-            return self.explain
-        return self.explain.with_observed(self.observed_total, self.observations)
+        """The EXPLAIN record, enriched with observed cost and the last trace."""
+        record = self.explain
+        if self.observations and self.observed_total is not None:
+            record = record.with_observed(self.observed_total, self.observations)
+        if self.last_trace is not None:
+            record = record.with_trace(self.last_trace.summary_lines())
+        return record
 
 
 class PlanCache:
-    """A thread-safe LRU mapping of query signature → :class:`CachedPlan`."""
+    """A thread-safe LRU mapping of query signature → :class:`CachedPlan`.
 
-    def __init__(self, max_size: int = 256) -> None:
+    Counters (hits, misses, rejects, evictions, invalidations) are
+    :class:`~repro.obs.metrics.Counter` instruments — standalone by default,
+    or obtained from a given ``registry`` so the cache's behaviour lands in
+    the owning engine's metrics snapshot.  The historical attribute names
+    (:attr:`hits`, :attr:`misses`, ...) remain as thin read views.
+    """
+
+    def __init__(self, max_size: int = 256, registry: MetricsRegistry | None = None) -> None:
         if max_size <= 0:
             raise InvalidParameterError("plan cache max_size must be positive")
         self.max_size = max_size
         self._entries: OrderedDict[Signature, CachedPlan] = OrderedDict()
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.invalidations = 0
+        make = registry.counter if registry is not None else Counter
+        self._hits = make("plan_cache_hits_total")
+        self._misses = make("plan_cache_misses_total")
+        self._rejects = make("plan_cache_rejects_total")
+        self._evictions = make("plan_cache_evictions_total")
+        self._invalidations = make("plan_cache_invalidations_total")
+        if registry is not None:
+            registry.gauge("plan_cache_entries", fn=lambda: len(self._entries))
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache (view over the hits counter)."""
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Lookups that found no entry (view over the misses counter)."""
+        return int(self._misses.value)
+
+    @property
+    def rejects(self) -> int:
+        """Entries evicted through :meth:`reject` — stale-validation failures
+        plus misprediction demotions."""
+        return int(self._rejects.value)
+
+    @property
+    def evictions(self) -> int:
+        """Entries dropped by LRU capacity pressure."""
+        return int(self._evictions.value)
+
+    @property
+    def invalidations(self) -> int:
+        """Entries dropped by rejection or relation invalidation."""
+        return int(self._invalidations.value)
+
+    def stats(self) -> dict[str, float]:
+        """Point-in-time statistics: hits, misses, rejects, evictions,
+        invalidations, current size, and the derived hit rate (0.0 with no
+        lookups).  All figures are non-negative by construction — the
+        recount path clamps rather than going negative (see :meth:`reject`).
+        """
+        hits, misses = self.hits, self.misses
+        lookups = hits + misses
+        return {
+            "hits": hits,
+            "misses": misses,
+            "rejects": self.rejects,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": len(self._entries),
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+        }
 
     def get(self, signature: Signature) -> CachedPlan | None:
         """Look up a signature, updating LRU order and hit/miss counters."""
         with self._lock:
             entry = self._entries.get(signature)
             if entry is None:
-                self.misses += 1
+                self._misses.inc()
                 return None
             self._entries.move_to_end(signature)
-            self.hits += 1
+            self._hits.inc()
             entry.hits += 1
             return entry
 
@@ -104,7 +167,7 @@ class PlanCache:
             self._entries.move_to_end(entry.signature)
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
-                self.evictions += 1
+                self._evictions.inc()
 
     def reject(self, entry: CachedPlan, recount: bool = True) -> bool:
         """Drop a just-fetched entry that failed post-lookup validation.
@@ -125,16 +188,23 @@ class PlanCache:
         Returns whether this call actually evicted the entry — ``False``
         when another caller (e.g. a concurrent batch job observing the same
         mispredicted entry) already did, so demotion counters stay honest.
+
+        Accounting stays non-negative under interleaved invalidation: the
+        recount only moves a hit to a miss when there is a hit to move
+        (rejecting an entry that was never looked up — or whose hit was
+        already recounted by a concurrent rejector — leaves the counters
+        alone instead of driving them below zero).
         """
         with self._lock:
             evicted = self._entries.get(entry.signature) is entry
             if evicted:
                 del self._entries[entry.signature]
-                self.invalidations += 1
-            if recount:
-                self.hits -= 1
+                self._invalidations.inc()
+                self._rejects.inc()
+            if recount and self._hits.value > 0 and entry.hits > 0:
+                self._hits.add(-1)
                 entry.hits -= 1
-                self.misses += 1
+                self._misses.inc()
             return evicted
 
     def invalidate_relation(self, name: str) -> int:
@@ -143,7 +213,7 @@ class PlanCache:
             doomed = [sig for sig, e in self._entries.items() if name in e.relations]
             for sig in doomed:
                 del self._entries[sig]
-            self.invalidations += len(doomed)
+            self._invalidations.inc(len(doomed))
             return len(doomed)
 
     def clear(self) -> None:

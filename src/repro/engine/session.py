@@ -40,6 +40,10 @@ from repro.exceptions import InvalidParameterError, UnsupportedQueryError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.stats import IndexStats
+from repro.obs import Observability
+from repro.obs.events import Event
+from repro.obs.metrics import LATENCY_BUCKETS
+from repro.obs.trace import Trace
 from repro.planner.calibrate import CalibrationStore, Observation, observed_cost
 from repro.planner.optimizer import Optimizer
 from repro.planner.plan import PhysicalPlan
@@ -88,6 +92,13 @@ class SpatialEngine:
         the freshly recorded observations.  ``float("inf")`` disables
         demotion (the calibration store still fills, and EXPLAIN still
         reports estimated-vs-observed).
+    obs:
+        The engine's observability bundle
+        (:class:`~repro.obs.Observability`): metrics registry, span tracer
+        and structured event log.  A fresh per-engine bundle is created when
+        omitted (and auto-registered with the process-global hub); pass
+        :meth:`Observability.disabled` for a no-op bundle, or share one
+        bundle between cooperating engines (the sharded/stream wrappers do).
     """
 
     def __init__(
@@ -99,6 +110,7 @@ class SpatialEngine:
         stats_compute: Callable[[Dataset], IndexStats] | None = None,
         calibration: CalibrationStore | None = None,
         demotion_factor: float = 3.0,
+        obs: Observability | None = None,
     ) -> None:
         if demotion_factor <= 1.0:
             raise InvalidParameterError("demotion_factor must exceed 1.0")
@@ -109,9 +121,12 @@ class SpatialEngine:
         # `or` would silently replace a caller-supplied store.
         self.calibration = calibration if calibration is not None else CalibrationStore()
         self.demotion_factor = demotion_factor
+        #: The observability bundle (registry + tracer + event log).
+        self.obs = obs if obs is not None else Observability(name="engine")
+        registry = self.obs.registry
         self._datasets: dict[str, Dataset] = {}
-        self._stats_cache = StatsCache(compute=stats_compute)
-        self._plan_cache = PlanCache(plan_cache_size)
+        self._stats_cache = StatsCache(compute=stats_compute, registry=registry)
+        self._plan_cache = PlanCache(plan_cache_size, registry=registry)
         self._chained_caches = SharedNeighborhoodCaches()
         # Queries run under the read side, mutations under the write side, so
         # an insert/remove never swaps an index under an in-flight query.
@@ -120,13 +135,39 @@ class SpatialEngine:
         # concurrently by run_many worker threads.
         self._feedback_lock = threading.Lock()
         self._mutation_listeners: list[Callable[[str], None]] = []
-        self.queries_executed = 0
-        self.batches_executed = 0
-        #: Executions whose observed cost exceeded the estimate by more than
-        #: ``demotion_factor``.
-        self.mispredictions = 0
-        #: Mispredicted plans actually evicted for re-planning.
-        self.demotions = 0
+        self._queries = registry.counter("engine_queries_total")
+        self._batches = registry.counter("engine_batches_total")
+        self._mispredictions = registry.counter("engine_mispredictions_total")
+        self._demotions = registry.counter("engine_demotions_total")
+        self._calibration_observations = registry.counter(
+            "engine_calibration_observations_total"
+        )
+        self._query_latency = registry.histogram(
+            "engine_query_latency_seconds", LATENCY_BUCKETS
+        )
+        registry.gauge("engine_datasets", fn=lambda: len(self._datasets))
+
+    @property
+    def queries_executed(self) -> int:
+        """Queries executed (view over ``engine_queries_total``)."""
+        return int(self._queries.value)
+
+    @property
+    def batches_executed(self) -> int:
+        """Batches executed via :meth:`run_many` (view over ``engine_batches_total``)."""
+        return int(self._batches.value)
+
+    @property
+    def mispredictions(self) -> int:
+        """Executions whose observed cost exceeded the estimate by more than
+        ``demotion_factor`` (view over ``engine_mispredictions_total``)."""
+        return int(self._mispredictions.value)
+
+    @property
+    def demotions(self) -> int:
+        """Mispredicted plans actually evicted for re-planning (view over
+        ``engine_demotions_total``)."""
+        return int(self._demotions.value)
 
     # ------------------------------------------------------------------
     # Dataset registry
@@ -163,8 +204,10 @@ class SpatialEngine:
             )
         with self._rw.write():
             if dataset.name in self._datasets:
+                self._datasets[dataset.name].set_index_observer(None)
                 self._invalidate(dataset.name)
             self._datasets[dataset.name] = dataset
+            self._attach_index_observer(dataset)
             if self.eager_build:
                 dataset.index  # build eagerly
                 self._stats_cache.get(dataset)  # warm the statistics cache
@@ -176,7 +219,31 @@ class SpatialEngine:
             if name not in self._datasets:
                 raise UnsupportedQueryError(f"no dataset registered as {name!r}")
             self._invalidate(name)
+            self._datasets[name].set_index_observer(None)
             del self._datasets[name]
+
+    def _attach_index_observer(self, dataset: Dataset) -> None:
+        """Mirror the dataset's index activity into metrics and events.
+
+        The observer closure captures this engine's instruments; it is
+        dropped on :meth:`unregister` / re-registration (and excluded from
+        pickling by :meth:`Dataset.__getstate__`, so fork/process shard
+        pools never carry it across).
+        """
+        name = dataset.name
+        rebuilds = self.obs.registry.counter("index_rebuilds_total", relation=name)
+        repairs = self.obs.registry.counter("index_repairs_total", relation=name)
+        events = self.obs.events
+
+        def observer(kind: str) -> None:
+            if kind == "repair":
+                repairs.inc()
+                events.emit("index_repair", relation=name)
+            else:
+                rebuilds.inc()
+                events.emit("index_rebuild", relation=name)
+
+        dataset.set_index_observer(observer)
 
     def dataset(self, name: str) -> Dataset:
         """The registered dataset called ``name``."""
@@ -341,6 +408,11 @@ class SpatialEngine:
             # (which would have evicted it).  Never execute a plan derived
             # from stale statistics — drop everything the relation touched.
             self._plan_cache.reject(entry)
+            self.obs.events.emit(
+                "stale_plan_rejected",
+                signature=str(signature),
+                relations=",".join(sorted(entry.relations)),
+            )
             for name in sorted(entry.relations):
                 self._invalidate(name)
         # Stamp the versions BEFORE planning: an out-of-band mutation that
@@ -389,17 +461,32 @@ class SpatialEngine:
         estimate by more than :attr:`demotion_factor` is demoted — the next
         execution re-plans against the recorded observations.
         """
-        with self._rw.read():
-            entry = self._cached_plan(query)
-            started = perf_counter()
-            result = query.run(
-                self._datasets,
-                plan=entry.plan,
-                chained_cache=self._chained_cache_for(query, entry.plan),
-            )
-            wall = perf_counter() - started
-        self._observe(entry, result, wall)
-        self.queries_executed += 1
+        tracer = self.obs.tracer
+        with tracer.span("query") as root:
+            with self._rw.read():
+                with tracer.span("plan"):
+                    entry = self._cached_plan(query)
+                root.annotate(
+                    signature=str(entry.signature),
+                    query_class=entry.plan.query_class,
+                    strategy=entry.plan.strategy,
+                )
+                started = perf_counter()
+                with tracer.span("execute"):
+                    result = query.run(
+                        self._datasets,
+                        plan=entry.plan,
+                        chained_cache=self._chained_cache_for(query, entry.plan),
+                    )
+                wall = perf_counter() - started
+            with tracer.span("calibrate"):
+                observed = self._observe(entry, result, wall)
+            if observed is not None:
+                root.annotate(observed_cost=round(observed, 4))
+        if root.enabled:
+            entry.last_trace = Trace(root)
+        self._queries.inc()
+        self._query_latency.observe(wall)
         return result
 
     def plan_entry(self, query: Query) -> CachedPlan:
@@ -417,23 +504,31 @@ class SpatialEngine:
 
     def record_execution(
         self, entry: CachedPlan, result: QueryResult, wall_seconds: float
-    ) -> None:
+    ) -> float | None:
         """Feed one externally executed result back into the calibration loop.
 
         The sharded engine executes plans itself (fan-out + merge) but plans
         through this engine's caches (:meth:`plan_entry`); it calls back here
         so its aggregated per-shard work counters warm the same profiles —
         and trip the same misprediction check — as locally executed plans.
+        Returns the observed abstract cost (see :meth:`_observe`).
         """
-        self._observe(entry, result, wall_seconds)
+        return self._observe(entry, result, wall_seconds)
 
-    def _observe(self, entry: CachedPlan, result: QueryResult, wall: float) -> None:
-        """Record one execution's observed cost; demote a mispredicted plan."""
+    def _observe(
+        self, entry: CachedPlan, result: QueryResult, wall: float
+    ) -> float | None:
+        """Record one execution's observed cost; demote a mispredicted plan.
+
+        Returns the observed abstract cost (``None`` when the strategy has
+        no observable cost or the plan carries no calibration key) so run
+        paths can annotate their root span with it.
+        """
         observed = observed_cost(
             entry.plan.strategy, result.stats, self.optimizer.cost_model
         )
         if observed is None or entry.calibration_key is None:
-            return
+            return None
         stats = result.stats
         profile = self.calibration.record(
             entry.calibration_key,
@@ -447,6 +542,7 @@ class SpatialEngine:
                 blocks_examined=stats.blocks_examined,
             ),
         )
+        self._calibration_observations.inc()
         # run_many feeds this from concurrent worker threads: the store
         # locks internally, but the entry's EWMA and the engine counters are
         # plain read-modify-writes — serialize them here.
@@ -454,9 +550,9 @@ class SpatialEngine:
             entry.record_observation(observed, alpha=self.calibration.alpha)
             estimated = entry.estimated_total
             if estimated is None or observed <= estimated * self.demotion_factor:
-                return
+                return observed
             entry.mispredictions += 1
-            self.mispredictions += 1
+            self._mispredictions.inc()
             # Demote only when re-planning can actually change the outcome:
             # the plan must have strategy alternatives (single-strategy
             # classes re-derive the identical plan — estimates for those
@@ -469,7 +565,16 @@ class SpatialEngine:
                 self.calibration.min_observations
             ):
                 if self._plan_cache.reject(entry, recount=False):
-                    self.demotions += 1
+                    self._demotions.inc()
+                    self.obs.events.emit(
+                        "plan_demotion",
+                        signature=str(entry.signature),
+                        strategy=entry.plan.strategy,
+                        estimated=round(estimated, 4),
+                        observed=round(observed, 4),
+                        ratio=round(observed / estimated, 4),
+                    )
+            return observed
 
     def run_many(
         self,
@@ -487,22 +592,40 @@ class SpatialEngine:
         with self._rw.read():
             entries = [self._cached_plan(q) for q in queries]
 
+        tracer = self.obs.tracer
+
         def job(query: Query, entry: CachedPlan):
             def run() -> QueryResult:
-                # Each job holds the read side for its whole execution, so a
-                # concurrent mutation waits for the batch's queries to drain.
-                with self._rw.read():
-                    started = perf_counter()
-                    result = query.run(
-                        self._datasets,
-                        plan=entry.plan,
-                        chained_cache=self._chained_cache_for(query, entry.plan),
-                    )
-                    wall = perf_counter() - started
-                # Calibration is fed per job (the store is thread-safe), so a
-                # mispredicted shape is demoted after its first batch, not
-                # after the workload's.
-                self._observe(entry, result, wall)
+                # Each job opens its own root span (span nesting is tracked
+                # per thread, so every batch job yields a standalone trace).
+                with tracer.span(
+                    "query",
+                    signature=str(entry.signature),
+                    query_class=entry.plan.query_class,
+                    strategy=entry.plan.strategy,
+                    batched=True,
+                ) as root:
+                    # Each job holds the read side for its whole execution,
+                    # so a concurrent mutation waits for the batch to drain.
+                    with self._rw.read():
+                        started = perf_counter()
+                        with tracer.span("execute"):
+                            result = query.run(
+                                self._datasets,
+                                plan=entry.plan,
+                                chained_cache=self._chained_cache_for(query, entry.plan),
+                            )
+                        wall = perf_counter() - started
+                    # Calibration is fed per job (the store is thread-safe),
+                    # so a mispredicted shape is demoted after its first
+                    # batch, not after the workload's.
+                    with tracer.span("calibrate"):
+                        observed = self._observe(entry, result, wall)
+                    if observed is not None:
+                        root.annotate(observed_cost=round(observed, 4))
+                if root.enabled:
+                    entry.last_trace = Trace(root)
+                self._query_latency.observe(wall)
                 return result
 
             return run
@@ -510,8 +633,8 @@ class SpatialEngine:
         jobs = [job(query, entry) for query, entry in zip(queries, entries)]
         workers = max_workers if max_workers is not None else self.max_workers
         results = run_batch(jobs, max_workers=workers)
-        self.queries_executed += len(queries)
-        self.batches_executed += 1
+        self._queries.inc(len(queries))
+        self._batches.inc()
         return results
 
     def _chained_cache_for(self, query: Query, plan: PhysicalPlan):
@@ -560,6 +683,28 @@ class SpatialEngine:
                 "demotions": self.demotions,
             },
         }
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """JSON-able snapshot of every registry-backed instrument.
+
+        Unlike the curated :meth:`metrics` dict, this is the raw export of
+        the engine's :class:`~repro.obs.metrics.MetricsRegistry` — the same
+        shape ``python -m repro.obs --dump`` prints and
+        :func:`repro.obs.export.validate_snapshot` checks.
+        """
+        return self.obs.snapshot()
+
+    def prometheus_metrics(self) -> str:
+        """Prometheus text-format exposition of the engine's registry."""
+        return self.obs.prometheus()
+
+    def traces(self, n: int | None = None) -> tuple[Trace, ...]:
+        """The most recent completed execution traces, oldest first."""
+        return self.obs.tracer.recent(n)
+
+    def events(self, kind: str | None = None, n: int | None = None) -> tuple[Event, ...]:
+        """Recent structured events (plan demotions, index repairs, ...)."""
+        return self.obs.events.events(kind, n)
 
     @property
     def plan_cache(self) -> PlanCache:

@@ -17,6 +17,7 @@ import threading
 from typing import Callable
 
 from repro.index.stats import IndexStats
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.query.dataset import Dataset
 
 __all__ = ["StatsCache"]
@@ -44,27 +45,49 @@ class StatsCache:
         :meth:`repro.index.stats.IndexStats.aggregate`).
     """
 
-    def __init__(self, compute: Callable[[Dataset], IndexStats] | None = None) -> None:
+    def __init__(
+        self,
+        compute: Callable[[Dataset], IndexStats] | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._compute = compute or _default_compute
         self._entries: dict[str, tuple[int, IndexStats]] = {}
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.invalidations = 0
+        make = registry.counter if registry is not None else Counter
+        self._hits = make("stats_cache_hits_total")
+        self._misses = make("stats_cache_misses_total")
+        self._invalidations = make("stats_cache_invalidations_total")
+        if registry is not None:
+            registry.gauge("stats_cache_entries", fn=lambda: len(self._entries))
+
+    @property
+    def hits(self) -> int:
+        """Lookups served from the cache (view over the hits counter)."""
+        return int(self._hits.value)
+
+    @property
+    def misses(self) -> int:
+        """Lookups that had to compute statistics."""
+        return int(self._misses.value)
+
+    @property
+    def invalidations(self) -> int:
+        """Entries dropped eagerly by :meth:`invalidate`."""
+        return int(self._invalidations.value)
 
     def get(self, dataset: Dataset) -> IndexStats:
         """Statistics for ``dataset``, computed at most once per version."""
         with self._lock:
             entry = self._entries.get(dataset.name)
             if entry is not None and entry[0] == dataset.version:
-                self.hits += 1
+                self._hits.inc()
                 return entry[1]
         # Compute outside the lock: building the statistics is the expensive
         # part, and a duplicated computation under contention is benign (last
         # write wins).
         stats = self._compute(dataset)
         with self._lock:
-            self.misses += 1
+            self._misses.inc()
             self._entries[dataset.name] = (dataset.version, stats)
         return stats
 
@@ -81,7 +104,7 @@ class StatsCache:
         with self._lock:
             existed = self._entries.pop(name, None) is not None
             if existed:
-                self.invalidations += 1
+                self._invalidations.inc()
             return existed
 
     def clear(self) -> None:

@@ -1,0 +1,144 @@
+"""``repro.obs`` — unified metrics, tracing and profiling for the engine stack.
+
+One dependency-light observability substrate shared by every engine layer
+(:class:`~repro.engine.session.SpatialEngine`,
+:class:`~repro.shard.engine.ShardedEngine`,
+:class:`~repro.stream.engine.StreamEngine` and the planner's calibration
+loop):
+
+* **Metrics** — :class:`~repro.obs.metrics.MetricsRegistry` with counters,
+  gauges and fixed-bucket histograms; exported as Prometheus text or JSON
+  snapshots (:mod:`repro.obs.export`), aggregated process-wide by the hub
+  (:mod:`repro.obs.hub`).
+* **Tracing** — :class:`~repro.obs.trace.Tracer` spans opened around the
+  plan / execute / shard-fan-out / stream-maintain / calibrate phases,
+  collected into ring-buffered :class:`~repro.obs.trace.Trace` records
+  retrievable from the engines and summarized into EXPLAIN output.
+* **Events** — :class:`~repro.obs.events.EventLog`, a structured ring of
+  rare significant occurrences (plan demotions, stale-shard retries, guard
+  violations, index repairs vs rebuilds).
+
+The three are bundled into an :class:`Observability` object, created per
+engine by default (and auto-registered with the process-global hub) or
+injected explicitly.  :meth:`Observability.disabled` yields a no-op bundle:
+the engines run the identical code path with near-zero overhead, which CI
+measures and bounds (``scripts/obs_smoke.py``).
+
+Command line: ``python -m repro.obs --dump`` runs a demonstration workload
+and prints the Prometheus / JSON snapshots.
+
+See ``docs/observability.md`` for the metric catalog and span taxonomy.
+"""
+
+from __future__ import annotations
+
+from repro.obs import hub
+from repro.obs.events import NULL_EVENTS, Event, EventLog
+from repro.obs.export import prometheus_text, registry_snapshot, validate_snapshot
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.trace import NULL_TRACER, Span, Trace, Tracer
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+    "Tracer",
+    "Span",
+    "Trace",
+    "NULL_TRACER",
+    "EventLog",
+    "Event",
+    "NULL_EVENTS",
+    "prometheus_text",
+    "registry_snapshot",
+    "validate_snapshot",
+    "hub",
+]
+
+
+class Observability:
+    """One engine's observability bundle: registry + tracer + event log.
+
+    Parameters
+    ----------
+    name:
+        Registry name (``engine``, ``sharded-engine``, ...); carried as the
+        ``registry`` label by global exports.
+    registry / tracer / events:
+        Explicit components; fresh defaults are created when omitted.
+    trace_capacity / event_capacity:
+        Ring-buffer sizes of the default tracer / event log.
+    register_global:
+        Add the registry to the process-global hub (the default; disabled
+        bundles never register).
+    """
+
+    __slots__ = ("name", "registry", "tracer", "events")
+
+    def __init__(
+        self,
+        name: str = "engine",
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        events: EventLog | None = None,
+        trace_capacity: int = 256,
+        event_capacity: int = 512,
+        register_global: bool = True,
+    ) -> None:
+        #: Bundle name (also the default registry's name).
+        self.name = name
+        #: The metrics registry.
+        self.registry = registry if registry is not None else MetricsRegistry(name)
+        #: The span tracer.
+        self.tracer = tracer if tracer is not None else Tracer(capacity=trace_capacity)
+        #: The structured event log.
+        self.events = events if events is not None else EventLog(capacity=event_capacity)
+        if register_global and self.registry.enabled:
+            hub.register(self.registry)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """A no-op bundle: null registry, null tracer, null event log.
+
+        Engines constructed with it run the identical instrumentation code
+        path, but every increment, span and event vanishes — the baseline
+        side of the CI overhead bound.
+        """
+        return cls(
+            name="disabled",
+            registry=NULL_REGISTRY,
+            tracer=NULL_TRACER,
+            events=NULL_EVENTS,
+            register_global=False,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the bundle records anything (``False`` for :meth:`disabled`)."""
+        return self.registry.enabled
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-able snapshot of the bundle's registry."""
+        return registry_snapshot(self.registry)
+
+    def prometheus(self) -> str:
+        """Prometheus text-format exposition of the bundle's registry."""
+        return prometheus_text(self.registry)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Observability({self.name!r}, enabled={self.enabled})"

@@ -1,0 +1,107 @@
+"""Command line entry point: ``python -m repro.obs --dump``.
+
+Runs a small self-contained demonstration workload — an instrumented
+:class:`~repro.engine.session.SpatialEngine` wrapped by a
+:class:`~repro.stream.engine.StreamEngine`, serving point/join queries while
+update batches stream in — and prints the resulting metrics:
+
+* ``--dump`` (default): the process-global JSON snapshot
+  (:func:`repro.obs.hub.global_snapshot`);
+* ``--prometheus``: Prometheus text-format exposition instead;
+* ``--validate``: run :func:`repro.obs.export.validate_snapshot` over every
+  registry snapshot and exit non-zero on schema errors;
+* ``--queries`` / ``--points`` / ``--seed``: workload knobs.
+
+This is a demonstration and a smoke check, not a benchmark —
+``scripts/obs_smoke.py`` measures the instrumentation overhead bound.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+from repro.geometry.point import Point
+from repro.obs import Observability, hub, validate_snapshot
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+
+
+def _run_demo(points: int, queries: int, seed: int) -> Observability:
+    """Exercise an engine + stream stack; returns its observability bundle."""
+    # Imported here so ``--help`` stays fast and dependency-light.
+    from repro.engine.session import SpatialEngine
+    from repro.stream.engine import StreamEngine
+
+    rng = random.Random(seed)
+    obs = Observability(name="demo")
+    engine = SpatialEngine(obs=obs)
+    coords = lambda n: [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(n)]
+    engine.register(name="cafes", points=coords(points))
+    engine.register(name="offices", points=coords(points))
+
+    stream = StreamEngine(engine)
+    stream.subscribe(
+        Query(KnnSelect(relation="cafes", focal=Point(50.0, 50.0), k=5))
+    )
+    for i in range(queries):
+        focal = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+        engine.run(Query(KnnSelect(relation="cafes", focal=focal, k=5)))
+        if i % 5 == 0:
+            engine.run(
+                Query(
+                    KnnSelect(relation="offices", focal=focal, k=3),
+                    KnnJoin(outer="offices", inner="cafes", k=3),
+                )
+            )
+        if i % 10 == 0:
+            stream.stream("cafes").insert(
+                (rng.uniform(0, 100), rng.uniform(0, 100))
+            ).flush()
+    stream.close()
+    return obs
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI driver; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Run a demonstration workload and dump its metrics.",
+    )
+    parser.add_argument(
+        "--dump", action="store_true", help="print the global JSON snapshot (default)"
+    )
+    parser.add_argument(
+        "--prometheus", action="store_true", help="print Prometheus text instead of JSON"
+    )
+    parser.add_argument(
+        "--validate", action="store_true", help="schema-check every registry snapshot"
+    )
+    parser.add_argument("--points", type=int, default=500, help="points per relation")
+    parser.add_argument("--queries", type=int, default=40, help="queries to run")
+    parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    args = parser.parse_args(argv)
+
+    _run_demo(points=args.points, queries=args.queries, seed=args.seed)
+
+    if args.validate:
+        errors: list[str] = []
+        for registry in hub.registries():
+            errors.extend(validate_snapshot(registry.snapshot()))
+        if errors:
+            for error in errors:
+                print(f"invalid snapshot: {error}", file=sys.stderr)
+            return 1
+        print(f"{len(hub.registries())} registry snapshot(s) valid", file=sys.stderr)
+    if args.prometheus:
+        sys.stdout.write(hub.global_prometheus())
+    if args.dump or not (args.prometheus or args.validate):
+        json.dump(hub.global_snapshot(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

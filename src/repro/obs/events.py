@@ -1,0 +1,124 @@
+"""Structured event log: rare-but-significant engine occurrences, ring-buffered.
+
+Counters say *how often*; the event log says *what exactly happened*:
+
+=====================  =========================================================
+kind                   emitted when
+=====================  =========================================================
+``plan_demotion``      a mispredicted plan is evicted for re-planning
+``stale_plan_rejected``  a version-stamp mismatch rejects a cached plan
+``stale_shard_retry``  sharded execution raced a mutation and retried
+``guard_violation``    a standing query's guard forced a full re-execution
+``index_repair``       a mutation was absorbed by localized index repair
+``index_rebuild``      a mutation (or registration) paid a full index build
+``subscription_stale`` an out-of-band mutation staled a standing query
+=====================  =========================================================
+
+Events carry a wall-clock timestamp, a monotonically increasing sequence
+number and free-form attributes.  The log is a bounded ring (old events fall
+off) guarded by one small lock — emission is cheap enough to leave on, and
+these events are orders of magnitude rarer than queries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["Event", "EventLog", "NULL_EVENTS"]
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One structured occurrence: a kind, a timestamp and attributes."""
+
+    #: Event kind (see the module docstring's table).
+    kind: str
+    #: Monotonically increasing per-log sequence number.
+    seq: int
+    #: Wall-clock timestamp (``time.time()``).
+    timestamp: float
+    #: Free-form attributes (relation, strategy, subscription id, ...).
+    attributes: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able representation."""
+        return {
+            "kind": self.kind,
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "attributes": dict(sorted(self.attributes.items())),
+        }
+
+
+class EventLog:
+    """Thread-safe bounded ring of :class:`Event` records."""
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise InvalidParameterError("event log capacity must be positive")
+        #: Maximum retained events.
+        self.capacity = capacity
+        #: Events emitted over the log's lifetime (retained or not).
+        self.emitted = 0
+        self._ring: deque[Event] = deque(maxlen=capacity)
+        self._counts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this log records anything (``False`` only for the null)."""
+        return True
+
+    def emit(self, kind: str, **attributes: object) -> Event | None:
+        """Append one event; returns it (``None`` from a disabled log)."""
+        with self._lock:
+            event = Event(kind, self.emitted, time.time(), dict(attributes))
+            self._ring.append(event)
+            self.emitted += 1
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+            return event
+
+    def events(self, kind: str | None = None, n: int | None = None) -> tuple[Event, ...]:
+        """Retained events, oldest first, optionally filtered by kind/limited."""
+        with self._lock:
+            out = tuple(e for e in self._ring if kind is None or e.kind == kind)
+        return out if n is None else out[-n:]
+
+    def counts(self) -> dict[str, int]:
+        """Lifetime emission counts per kind (survives ring-buffer falloff)."""
+        with self._lock:
+            return dict(sorted(self._counts.items()))
+
+    def clear(self) -> None:
+        """Drop retained events (lifetime counts are kept)."""
+        with self._lock:
+            self._ring.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EventLog(retained={len(self)}, emitted={self.emitted})"
+
+
+class _NullEventLog(EventLog):
+    """A disabled event log: emissions vanish."""
+
+    @property
+    def enabled(self) -> bool:
+        """Always ``False``: nothing is recorded."""
+        return False
+
+    def emit(self, kind: str, **attributes: object) -> Event | None:
+        """Discard the event."""
+        return None
+
+
+#: Shared disabled event log (see :class:`_NullEventLog`).
+NULL_EVENTS = _NullEventLog()

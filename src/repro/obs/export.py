@@ -1,0 +1,204 @@
+"""Exporters: Prometheus text format, JSON snapshots, and snapshot validation.
+
+Two wire formats over one :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`prometheus_text` — the Prometheus exposition format (``# TYPE``
+  headers, cumulative ``_bucket{le=...}`` histogram samples), suitable for a
+  ``/metrics`` endpoint or a textfile collector;
+* :func:`registry_snapshot` — a JSON-able dict (schema below), what
+  ``engine.metrics_snapshot()`` and ``python -m repro.obs --dump`` return.
+
+Snapshot schema (checked by :func:`validate_snapshot`, which CI's obs smoke
+job runs against real workload dumps)::
+
+    {
+      "registry": str,
+      "counters":   [{"name": str, "labels": {str: str}, "value": number}],
+      "gauges":     [{"name": str, "labels": {str: str}, "value": number}],
+      "histograms": [{"name": str, "labels": {str: str},
+                      "buckets": [number...],   # finite upper bounds, ascending
+                      "counts": [int...],       # len(buckets) + 1 (+Inf overflow)
+                      "count": int, "sum": number,
+                      "min": number|null, "max": number|null}],
+    }
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "prometheus_text",
+    "registry_snapshot",
+    "validate_snapshot",
+]
+
+
+def _labels_text(labels, extra: Mapping[str, object]) -> str:
+    """Render a Prometheus label block (empty string when there are no labels)."""
+    pairs = list(labels) + sorted((str(k), str(v)) for k, v in extra.items())
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{_escape(v)}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _escape(value: str) -> str:
+    """Escape a Prometheus label value."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _num(value: float) -> str:
+    """Render a sample value (integers without a trailing ``.0``)."""
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry, /, **extra_labels: object) -> str:
+    """Prometheus text-format exposition of every instrument in ``registry``.
+
+    ``extra_labels`` are appended to every sample — the global hub passes
+    ``registry=<name>`` so samples from different engines stay separable
+    (the first parameter is positional-only precisely so that label name
+    stays available).
+    """
+    lines: list[str] = []
+    seen_types: set[str] = set()
+
+    def header(name: str, kind: str) -> None:
+        if name not in seen_types:
+            seen_types.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for counter in registry.counters():
+        header(counter.name, "counter")
+        lines.append(
+            f"{counter.name}{_labels_text(counter.labels, extra_labels)} {_num(counter.value)}"
+        )
+    for gauge in registry.gauges():
+        header(gauge.name, "gauge")
+        value = gauge.value
+        rendered = "NaN" if isinstance(value, float) and math.isnan(value) else _num(value)
+        lines.append(f"{gauge.name}{_labels_text(gauge.labels, extra_labels)} {rendered}")
+    for hist in registry.histograms():
+        header(hist.name, "histogram")
+        cumulative = 0
+        for bound, count in zip(
+            tuple(hist.buckets) + (float("inf"),), hist.counts
+        ):
+            cumulative += count
+            le = "+Inf" if math.isinf(bound) else _num(bound)
+            labels = _labels_text(hist.labels + (("le", le),), extra_labels)
+            lines.append(f"{hist.name}_bucket{labels} {cumulative}")
+        base = _labels_text(hist.labels, extra_labels)
+        lines.append(f"{hist.name}_sum{base} {_num(hist.sum)}")
+        lines.append(f"{hist.name}_count{base} {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def registry_snapshot(registry: MetricsRegistry) -> dict[str, object]:
+    """A JSON-able snapshot of ``registry`` (schema in the module docstring)."""
+    return {
+        "registry": registry.name,
+        "counters": [
+            {"name": c.name, "labels": dict(c.labels), "value": c.value}
+            for c in registry.counters()
+        ],
+        "gauges": [
+            {"name": g.name, "labels": dict(g.labels), "value": g.value}
+            for g in registry.gauges()
+        ],
+        "histograms": [
+            {
+                "name": h.name,
+                "labels": dict(h.labels),
+                "buckets": list(h.buckets),
+                "counts": list(h.counts),
+                "count": h.count,
+                "sum": h.sum,
+                "min": h.min,
+                "max": h.max,
+            }
+            for h in registry.histograms()
+        ],
+    }
+
+
+def _check_number(value: object, where: str, errors: list[str], allow_none: bool = False) -> None:
+    if value is None and allow_none:
+        return
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        errors.append(f"{where}: expected a number, got {type(value).__name__}")
+    elif isinstance(value, float) and math.isnan(value):
+        errors.append(f"{where}: NaN is not a valid sample value")
+
+
+def validate_snapshot(snapshot: object) -> list[str]:
+    """Validate a :func:`registry_snapshot` dict; returns a list of problems.
+
+    An empty list means the snapshot conforms to the documented schema.
+    Used by CI's obs smoke job against real workload dumps and by consumers
+    loading persisted snapshots.
+    """
+    errors: list[str] = []
+    if not isinstance(snapshot, dict):
+        return [f"snapshot: expected a dict, got {type(snapshot).__name__}"]
+    if not isinstance(snapshot.get("registry"), str):
+        errors.append("snapshot.registry: expected a string")
+    for section in ("counters", "gauges", "histograms"):
+        items = snapshot.get(section)
+        if not isinstance(items, list):
+            errors.append(f"snapshot.{section}: expected a list")
+            continue
+        for i, item in enumerate(items):
+            where = f"snapshot.{section}[{i}]"
+            if not isinstance(item, dict):
+                errors.append(f"{where}: expected a dict")
+                continue
+            if not isinstance(item.get("name"), str) or not item.get("name"):
+                errors.append(f"{where}.name: expected a non-empty string")
+            labels = item.get("labels")
+            if not isinstance(labels, dict) or any(
+                not isinstance(k, str) or not isinstance(v, str)
+                for k, v in (labels.items() if isinstance(labels, dict) else ())
+            ):
+                errors.append(f"{where}.labels: expected a str->str dict")
+            if section in ("counters", "gauges"):
+                _check_number(item.get("value"), f"{where}.value", errors)
+                if section == "counters" and isinstance(item.get("value"), (int, float)):
+                    if item["value"] < 0:
+                        errors.append(f"{where}.value: counter must be non-negative")
+            else:
+                buckets = item.get("buckets")
+                counts = item.get("counts")
+                if not isinstance(buckets, list) or any(
+                    not isinstance(b, (int, float)) or isinstance(b, bool) for b in buckets
+                ):
+                    errors.append(f"{where}.buckets: expected a list of numbers")
+                elif any(b2 <= b1 for b1, b2 in zip(buckets, buckets[1:])):
+                    errors.append(f"{where}.buckets: bounds must be strictly increasing")
+                if not isinstance(counts, list) or any(
+                    not isinstance(c, int) or isinstance(c, bool) or c < 0 for c in counts
+                ):
+                    errors.append(f"{where}.counts: expected a list of non-negative ints")
+                elif isinstance(buckets, list) and len(counts) != len(buckets) + 1:
+                    errors.append(
+                        f"{where}.counts: expected len(buckets)+1 entries "
+                        f"({len(buckets) + 1}), got {len(counts)}"
+                    )
+                _check_number(item.get("count"), f"{where}.count", errors)
+                _check_number(item.get("sum"), f"{where}.sum", errors)
+                _check_number(item.get("min"), f"{where}.min", errors, allow_none=True)
+                _check_number(item.get("max"), f"{where}.max", errors, allow_none=True)
+                if (
+                    isinstance(counts, list)
+                    and all(isinstance(c, int) and not isinstance(c, bool) for c in counts)
+                    and isinstance(item.get("count"), int)
+                    and sum(counts) != item["count"]
+                ):
+                    errors.append(f"{where}.count: does not equal the bucket-count sum")
+    return errors

@@ -1,0 +1,65 @@
+"""The process-global metrics hub: one place to scrape every live registry.
+
+Engines default to their own :class:`~repro.obs.metrics.MetricsRegistry`
+(so per-engine counters stay independent — two engines never share a
+``engine_queries_total``), and every default registry auto-registers here.
+The hub therefore gives process-wide visibility "for free": a service
+embedding several engines dumps them all with one :func:`global_snapshot` /
+:func:`global_prometheus` call, which is what ``python -m repro.obs --dump``
+exposes on the command line.
+
+Registries are held through weak references: an engine going out of scope
+takes its registry out of the hub — a long-running process creating and
+discarding engines does not leak metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+from repro.obs.export import prometheus_text, registry_snapshot
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "register",
+    "unregister",
+    "registries",
+    "global_snapshot",
+    "global_prometheus",
+]
+
+_LOCK = threading.Lock()
+_REGISTRIES: "weakref.WeakSet[MetricsRegistry]" = weakref.WeakSet()
+
+
+def register(registry: MetricsRegistry) -> MetricsRegistry:
+    """Add ``registry`` to the hub (weakly held); returns it for chaining."""
+    with _LOCK:
+        _REGISTRIES.add(registry)
+    return registry
+
+
+def unregister(registry: MetricsRegistry) -> None:
+    """Remove ``registry`` from the hub (no-op when absent)."""
+    with _LOCK:
+        _REGISTRIES.discard(registry)
+
+
+def registries() -> tuple[MetricsRegistry, ...]:
+    """The currently live hub registries, in stable (name, id) order."""
+    with _LOCK:
+        live = list(_REGISTRIES)
+    return tuple(sorted(live, key=lambda r: (r.name, id(r))))
+
+
+def global_snapshot() -> dict[str, object]:
+    """One JSON-able snapshot covering every live registry."""
+    return {
+        "registries": [registry_snapshot(r) for r in registries()],
+    }
+
+
+def global_prometheus() -> str:
+    """Prometheus text covering every live registry (``registry=<name>`` label)."""
+    return "".join(prometheus_text(r, registry=r.name) for r in registries())

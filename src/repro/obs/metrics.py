@@ -1,0 +1,408 @@
+"""Metric primitives: counters, gauges, fixed-bucket histograms, registries.
+
+The instruments are deliberately dependency-light and cheap enough to leave
+on in production serving loops:
+
+* a :class:`Counter` increment is one attribute addition (no lock — the same
+  tolerance to rare lost updates under free-threading the engines' previous
+  ad-hoc ``int`` counters had);
+* a :class:`Gauge` either stores a value or pulls it from a callback at
+  snapshot time (so cache sizes and pool widths cost nothing per operation);
+* a :class:`Histogram` observation is one bisect into a fixed bucket list.
+
+A :class:`MetricsRegistry` names and owns instruments (keyed on
+``(name, labels)``), producing JSON-able snapshots and Prometheus-style text
+through :mod:`repro.obs.export`.  The :data:`NULL_REGISTRY` implements the
+same surface as no-ops: engines constructed with a disabled
+:class:`~repro.obs.Observability` run the identical code path with near-zero
+instrumentation cost — the overhead bound CI enforces (see
+``scripts/obs_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Mapping
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "LATENCY_BUCKETS",
+    "SIZE_BUCKETS",
+]
+
+#: Default latency buckets (seconds): 100µs .. 10s, roughly log-spaced.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+#: Default size buckets (rows / items): 1 .. 100k, roughly log-spaced.
+SIZE_BUCKETS: tuple[float, ...] = (
+    1.0,
+    2.0,
+    5.0,
+    10.0,
+    25.0,
+    50.0,
+    100.0,
+    250.0,
+    500.0,
+    1_000.0,
+    2_500.0,
+    5_000.0,
+    10_000.0,
+    25_000.0,
+    100_000.0,
+)
+
+Labels = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object] | None) -> Labels:
+    """Canonical (sorted, stringified) label tuple used as part of a metric key."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (with one documented exception).
+
+    Counters may be constructed standalone (the plan/statistics caches do,
+    so they work registry-less) or obtained from a
+    :meth:`MetricsRegistry.counter`.  :meth:`add` accepts negative amounts
+    solely for the plan cache's hit-recount bookkeeping — exporters still
+    treat the metric as a counter.
+    """
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Mapping[str, object] | None = None) -> None:
+        #: Metric name (Prometheus-style, e.g. ``engine_queries_total``).
+        self.name = name
+        #: Canonical label pairs attached to every sample of this counter.
+        self.labels: Labels = _label_key(labels)
+        #: Current count.
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Increment the counter (by 1 unless given)."""
+        self.value += amount
+
+    def add(self, amount: float) -> None:
+        """Add ``amount`` (may be negative — see the class docstring)."""
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value: set directly or pulled from a callback.
+
+    With ``fn`` the gauge is *collected*: reading :attr:`value` calls the
+    function, so registering ``lambda: len(cache)`` costs nothing per cache
+    operation and is always current at snapshot time.
+    """
+
+    __slots__ = ("name", "labels", "_value", "fn")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Mapping[str, object] | None = None,
+        fn: Callable[[], float] | None = None,
+    ) -> None:
+        #: Metric name.
+        self.name = name
+        #: Canonical label pairs.
+        self.labels: Labels = _label_key(labels)
+        self._value: float = 0.0
+        #: Optional collection callback (overrides the stored value).
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        """Store ``value`` (ignored while a collection callback is set)."""
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        """The current value (callback result when one is attached)."""
+        if self.fn is not None:
+            try:
+                return float(self.fn())
+            except Exception:
+                return float("nan")
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-count export and quantiles.
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches the overflow.  :meth:`observe` is one ``bisect`` plus two
+    additions — cheap enough for per-query latency tracking.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Iterable[float] = LATENCY_BUCKETS,
+        labels: Mapping[str, object] | None = None,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise InvalidParameterError("histogram buckets must be strictly increasing")
+        #: Metric name.
+        self.name = name
+        #: Canonical label pairs.
+        self.labels: Labels = _label_key(labels)
+        #: Finite bucket upper bounds (ascending).
+        self.buckets = bounds
+        #: Per-bucket observation counts (last slot is the +Inf overflow).
+        self.counts = [0] * (len(bounds) + 1)
+        #: Total observations.
+        self.count = 0
+        #: Sum of observed values.
+        self.sum = 0.0
+        #: Smallest observed value (``None`` before the first observation).
+        self.min: float | None = None
+        #: Largest observed value (``None`` before the first observation).
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def quantile(self, q: float) -> float | None:
+        """Estimate the ``q``-quantile (0..1) by linear bucket interpolation.
+
+        Returns ``None`` with no observations.  Values landing in the +Inf
+        overflow bucket are reported at the observed maximum.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError("quantile q must be in [0, 1]")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        lower = self.min if self.min is not None else 0.0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            if cumulative + bucket_count >= target:
+                cap = self.max if self.max is not None else bound
+                if bucket_count == 0:
+                    return min(bound, cap)
+                frac = (target - cumulative) / bucket_count
+                return min(lower + frac * (bound - lower), cap)
+            cumulative += bucket_count
+            lower = bound
+        return self.max
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Histogram({self.name!r}, count={self.count}, sum={self.sum:.4f})"
+
+
+class MetricsRegistry:
+    """Named collection of metric instruments with get-or-create semantics.
+
+    Instruments are keyed on ``(name, labels)``: asking twice for the same
+    key returns the same object, so engine layers sharing one registry (the
+    sharded engine and its wrapped planning engine, a stream engine and the
+    engine it maintains) accumulate into one coherent snapshot.
+    """
+
+    def __init__(self, name: str = "default") -> None:
+        #: Registry name, carried as a ``registry`` label by global exports.
+        self.name = name
+        self._counters: dict[tuple[str, Labels], Counter] = {}
+        self._gauges: dict[tuple[str, Labels], Gauge] = {}
+        self._histograms: dict[tuple[str, Labels], Histogram] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this registry records anything (``False`` only for the null)."""
+        return True
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """Get or create the counter called ``name`` with the given labels."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._counters.get(key)
+            if existing is None:
+                existing = self._counters[key] = Counter(name, labels)
+            return existing
+
+    def gauge(
+        self, name: str, fn: Callable[[], float] | None = None, **labels: object
+    ) -> Gauge:
+        """Get or create a gauge; a given ``fn`` (re)binds its collection callback."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._gauges.get(key)
+            if existing is None:
+                existing = self._gauges[key] = Gauge(name, labels, fn=fn)
+            elif fn is not None:
+                existing.fn = fn
+            return existing
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = LATENCY_BUCKETS, **labels: object
+    ) -> Histogram:
+        """Get or create the histogram called ``name`` with the given labels."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            existing = self._histograms.get(key)
+            if existing is None:
+                existing = self._histograms[key] = Histogram(name, buckets, labels)
+            return existing
+
+    def counters(self) -> tuple[Counter, ...]:
+        """Every registered counter, sorted by (name, labels)."""
+        with self._lock:
+            return tuple(self._counters[k] for k in sorted(self._counters))
+
+    def gauges(self) -> tuple[Gauge, ...]:
+        """Every registered gauge, sorted by (name, labels)."""
+        with self._lock:
+            return tuple(self._gauges[k] for k in sorted(self._gauges))
+
+    def histograms(self) -> tuple[Histogram, ...]:
+        """Every registered histogram, sorted by (name, labels)."""
+        with self._lock:
+            return tuple(self._histograms[k] for k in sorted(self._histograms))
+
+    def snapshot(self) -> dict[str, object]:
+        """A JSON-able snapshot of every instrument (see ``docs/observability.md``)."""
+        from repro.obs.export import registry_snapshot
+
+        return registry_snapshot(self)
+
+    def prometheus(self, **extra_labels: object) -> str:
+        """Prometheus text-format exposition of every instrument."""
+        from repro.obs.export import prometheus_text
+
+        return prometheus_text(self, **extra_labels)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsRegistry({self.name!r}, instruments={len(self)})"
+
+
+class _NullCounter(Counter):
+    """Counter whose increments vanish (shared by every null-registry metric)."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        """Discard the increment."""
+
+    def add(self, amount: float) -> None:
+        """Discard the addition."""
+
+
+class _NullGauge(Gauge):
+    """Gauge that stays at zero."""
+
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        """Discard the value."""
+
+
+class _NullHistogram(Histogram):
+    """Histogram that records nothing."""
+
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        """Discard the observation."""
+
+
+class NullRegistry(MetricsRegistry):
+    """A no-op registry: every instrument it hands out discards its input.
+
+    Injected via :meth:`repro.obs.Observability.disabled` to measure (and
+    bound) instrumentation overhead — the engines run the identical code
+    path, so instrumented-vs-baseline comparisons isolate the cost of the
+    real instruments.
+    """
+
+    def __init__(self) -> None:
+        super().__init__(name="null")
+        self._counter = _NullCounter("null")
+        self._gauge = _NullGauge("null")
+        self._histogram = _NullHistogram("null")
+
+    @property
+    def enabled(self) -> bool:
+        """Always ``False``: nothing is recorded."""
+        return False
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The shared no-op counter."""
+        return self._counter
+
+    def gauge(
+        self, name: str, fn: Callable[[], float] | None = None, **labels: object
+    ) -> Gauge:
+        """The shared no-op gauge (the callback is dropped)."""
+        return self._gauge
+
+    def histogram(
+        self, name: str, buckets: Iterable[float] = LATENCY_BUCKETS, **labels: object
+    ) -> Histogram:
+        """The shared no-op histogram."""
+        return self._histogram
+
+    def counters(self) -> tuple[Counter, ...]:
+        """Always empty."""
+        return ()
+
+    def gauges(self) -> tuple[Gauge, ...]:
+        """Always empty."""
+        return ()
+
+    def histograms(self) -> tuple[Histogram, ...]:
+        """Always empty."""
+        return ()
+
+
+#: Shared no-op registry (see :class:`NullRegistry`).
+NULL_REGISTRY = NullRegistry()

@@ -1,0 +1,297 @@
+"""Hierarchical tracing: spans around engine phases, ring-buffered traces.
+
+A :class:`Span` measures one phase of work (``plan``, ``execute``,
+``shard-fan-out``, ``stream-maintain``, ``calibrate``, ...).  Spans nest via
+a per-thread stack kept by the :class:`Tracer`: opening a span while another
+is active makes it a child, so one ``engine.run`` produces a small tree
+
+.. code-block:: text
+
+    query [strategy=counting, observed_cost=12.0]
+      plan
+      execute
+      calibrate
+
+When a *root* span closes, the tracer wraps it in a :class:`Trace` and
+appends it to a bounded ring buffer — the engine's recent execution history,
+retrievable with ``engine.traces()`` and summarized into
+:meth:`repro.engine.explain.Explain.render`'s ``trace`` block.
+
+Instrumentation is always-on but cheap: a span costs two ``perf_counter``
+calls, one allocation and two list operations.  The :data:`NULL_TRACER`
+(used by :meth:`repro.obs.Observability.disabled`) hands out a shared no-op
+span so the disabled path allocates nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from time import perf_counter
+from typing import Iterator
+
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["Span", "Trace", "Tracer", "NULL_TRACER"]
+
+
+class Span:
+    """One timed phase of work, possibly with children and attributes.
+
+    Use as a context manager (obtained from :meth:`Tracer.span`); the span
+    is placed in the tree on ``__enter__`` and its duration fixed on
+    ``__exit__``.  An exception propagating through the span marks it with
+    an ``error`` attribute (and is re-raised).
+    """
+
+    __slots__ = ("name", "attributes", "children", "started", "duration", "_tracer")
+
+    #: Real spans record; the null span reports ``False`` here.
+    enabled = True
+
+    def __init__(self, tracer: "Tracer | None", name: str, attributes: dict) -> None:
+        #: Phase name (``query``, ``plan``, ``execute``, ...).
+        self.name = name
+        #: Attribute mapping (query signature, strategy, observed cost, ...).
+        self.attributes = attributes
+        #: Child spans, in open order.
+        self.children: list[Span] = []
+        #: ``perf_counter`` timestamp at ``__enter__`` (``None`` before).
+        self.started: float | None = None
+        #: Duration in seconds, fixed at ``__exit__`` (``None`` while open).
+        self.duration: float | None = None
+        self._tracer = tracer
+
+    def annotate(self, **attributes: object) -> "Span":
+        """Attach (or overwrite) attributes; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer is not None:
+            stack = tracer._stack()
+            if stack:
+                stack[-1].children.append(self)
+            stack.append(self)
+        self.started = perf_counter()
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.duration = perf_counter() - (self.started or 0.0)
+        if exc_type is not None:
+            self.attributes["error"] = getattr(exc_type, "__name__", str(exc_type))
+        tracer = self._tracer
+        if tracer is not None:
+            stack = tracer._stack()
+            if stack and stack[-1] is self:
+                stack.pop()
+            if not stack:
+                tracer._record(self)
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "Span"]]:
+        """Yield ``(depth, span)`` over the subtree in depth-first order."""
+        yield depth, self
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def find(self, name: str) -> "Span | None":
+        """The first span called ``name`` in this subtree (depth-first)."""
+        for _, span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able representation of the subtree."""
+        return {
+            "name": self.name,
+            "duration_ms": None if self.duration is None else self.duration * 1000.0,
+            "attributes": {k: _jsonable(v) for k, v in sorted(self.attributes.items())},
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        ms = "?" if self.duration is None else f"{self.duration * 1000.0:.2f}ms"
+        return f"Span({self.name!r}, {ms}, children={len(self.children)})"
+
+
+def _jsonable(value: object) -> object:
+    """Coerce an attribute value to something JSON-serializable."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class _NullSpan(Span):
+    """Shared do-nothing span handed out by a disabled tracer."""
+
+    __slots__ = ()
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(None, "null", {})
+
+    def annotate(self, **attributes: object) -> "Span":
+        """Discard the attributes."""
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        return None
+
+
+class Trace:
+    """One completed root span — a query's (or push's) phase tree.
+
+    Thin wrapper adding summary helpers; the structure lives in
+    :attr:`root`.
+    """
+
+    __slots__ = ("root",)
+
+    def __init__(self, root: Span) -> None:
+        #: The completed root span.
+        self.root = root
+
+    @property
+    def name(self) -> str:
+        """The root span's phase name."""
+        return self.root.name
+
+    @property
+    def duration(self) -> float:
+        """Total duration in seconds (0.0 if the root never closed)."""
+        return self.root.duration or 0.0
+
+    def walk(self) -> Iterator[tuple[int, Span]]:
+        """Yield ``(depth, span)`` over the whole tree in depth-first order."""
+        return self.root.walk()
+
+    def find(self, name: str) -> Span | None:
+        """The first span called ``name``, or ``None``."""
+        return self.root.find(name)
+
+    def phases(self) -> tuple[str, ...]:
+        """Every phase name in the tree, depth-first."""
+        return tuple(span.name for _, span in self.walk())
+
+    def summary_lines(self) -> tuple[str, ...]:
+        """Stable indented one-line-per-span summary (for EXPLAIN rendering)."""
+        lines = []
+        for depth, span in self.walk():
+            ms = 0.0 if span.duration is None else span.duration * 1000.0
+            attrs = ""
+            if span.attributes:
+                inner = ", ".join(
+                    f"{k}={_jsonable(v)}" for k, v in sorted(span.attributes.items())
+                )
+                attrs = f" [{inner}]"
+            lines.append(f"{'  ' * depth}{span.name} {ms:.3f}ms{attrs}")
+        return tuple(lines)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-able representation of the trace."""
+        return self.root.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Trace({self.name!r}, {self.duration * 1000.0:.2f}ms, phases={len(self.phases())})"
+
+
+class Tracer:
+    """Factory for spans plus the ring buffer of completed root traces.
+
+    Span nesting is tracked per thread (each ``run_many`` worker builds its
+    own tree).  Completed roots go into a bounded ``deque`` — old traces
+    fall off, so a long-lived engine's memory stays bounded.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise InvalidParameterError("tracer capacity must be positive")
+        #: Maximum retained completed traces.
+        self.capacity = capacity
+        #: Completed root traces recorded over the tracer's lifetime.
+        self.traces_recorded = 0
+        self._ring: deque[Trace] = deque(maxlen=capacity)
+        self._local = threading.local()
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this tracer records spans (``False`` only for the null)."""
+        return True
+
+    def span(self, name: str, **attributes: object) -> Span:
+        """A new span (context manager); nests under the thread's open span."""
+        return Span(self, name, attributes)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, or ``None``."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def recent(self, n: int | None = None) -> tuple[Trace, ...]:
+        """The most recent completed traces, oldest first (all by default)."""
+        with self._lock:
+            traces = tuple(self._ring)
+        return traces if n is None else traces[-n:]
+
+    def last(self) -> Trace | None:
+        """The most recently completed trace, or ``None``."""
+        with self._lock:
+            return self._ring[-1] if self._ring else None
+
+    def clear(self) -> None:
+        """Drop the retained traces (the lifetime counter is kept)."""
+        with self._lock:
+            self._ring.clear()
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, root: Span) -> None:
+        with self._lock:
+            self._ring.append(Trace(root))
+            self.traces_recorded += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ring)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tracer(retained={len(self)}, recorded={self.traces_recorded})"
+
+
+class _NullTracer(Tracer):
+    """A disabled tracer: every span is the shared no-op span."""
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+        self._span = _NullSpan()
+
+    @property
+    def enabled(self) -> bool:
+        """Always ``False``: nothing is recorded."""
+        return False
+
+    def span(self, name: str, **attributes: object) -> Span:
+        """The shared no-op span (attributes are dropped)."""
+        return self._span
+
+    def recent(self, n: int | None = None) -> tuple[Trace, ...]:
+        """Always empty."""
+        return ()
+
+    def last(self) -> Trace | None:
+        """Always ``None``."""
+        return None
+
+
+#: Shared disabled tracer (see :class:`_NullTracer`).
+NULL_TRACER = _NullTracer()

@@ -97,6 +97,10 @@ class Dataset:
         self.index_rebuilds = 0
         #: Number of mutations absorbed by localized index repair instead.
         self.index_repairs = 0
+        # Observability hook: called with "rebuild" / "repair" after the
+        # matching counter increments.  Engines attach it at registration to
+        # mirror index activity into their metrics registry and event log.
+        self._index_observer: Callable[[str], None] | None = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -163,7 +167,28 @@ class Dataset:
                 options["bounds"] = self._bounds
             self._index = builder(self._store, **options)
             self.index_rebuilds += 1
+            if self._index_observer is not None:
+                self._index_observer("rebuild")
         return self._index
+
+    def set_index_observer(self, observer: Callable[[str], None] | None) -> None:
+        """Attach (or clear, with ``None``) the index-activity observer.
+
+        The observer receives ``"rebuild"`` after every full index build and
+        ``"repair"`` after every localized repair, right after the matching
+        counter (:attr:`index_rebuilds` / :attr:`index_repairs`) increments.
+        One slot: engines attach it when the dataset is registered, so the
+        dataset's index activity lands in the registering engine's metrics
+        registry and event log.  The observer is transient — it is dropped
+        when the dataset is pickled (process-pool workers re-register).
+        """
+        self._index_observer = observer
+
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle support: the index observer (an engine closure) is dropped."""
+        state = dict(self.__dict__)
+        state["_index_observer"] = None
+        return state
 
     @property
     def index_kind(self) -> IndexKind:
@@ -477,6 +502,8 @@ class Dataset:
             if repaired is not None:
                 self._index = repaired
                 self.index_repairs += 1
+                if self._index_observer is not None:
+                    self._index_observer("repair")
                 return
         self._index = None
 

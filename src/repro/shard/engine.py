@@ -40,6 +40,10 @@ from repro.exceptions import StaleShardError, UnsupportedQueryError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.stats import IndexStats
+from repro.obs import Observability
+from repro.obs.events import Event
+from repro.obs.metrics import LATENCY_BUCKETS
+from repro.obs.trace import Trace
 from repro.planner.optimizer import Optimizer
 from repro.planner.plan import PhysicalPlan
 from repro.query.dataset import Dataset, IndexKind
@@ -77,6 +81,11 @@ class ShardedEngine:
         Forwarded to the wrapped :class:`SpatialEngine`.
     seed:
         Sampling seed for the ``"sample"`` partitioner.
+    obs:
+        The observability bundle (:class:`~repro.obs.Observability`),
+        *shared* with the wrapped planning engine so coordinator counters,
+        per-shard aggregates and the plan/statistics-cache instruments land
+        in one registry.  A fresh per-engine bundle is created when omitted.
     """
 
     def __init__(
@@ -88,27 +97,64 @@ class ShardedEngine:
         optimizer: Optimizer | None = None,
         plan_cache_size: int = 256,
         seed: int = 0,
+        obs: Observability | None = None,
     ) -> None:
         self.num_shards = num_shards
         self.strategy = strategy
         self.backend = backend
         self.max_workers = max_workers
         self.seed = seed
+        #: The observability bundle, shared with the wrapped engine.
+        self.obs = obs if obs is not None else Observability(name="sharded-engine")
         self._engine = SpatialEngine(
             optimizer=optimizer,
             plan_cache_size=plan_cache_size,
             eager_build=False,
             stats_compute=self._aggregate_stats,
+            obs=self.obs,
         )
         self._sharded: dict[str, ShardedDataset] = {}
         self._rw = ReadWriteLock()
         self._pool: ShardWorkerPool | None = None
         self._pool_lock = threading.Lock()
         self._mutation_listeners: list[Callable[[str], None]] = []
-        self.queries_executed = 0
-        self.batches_executed = 0
-        self.tasks_dispatched = 0
-        self.stale_retries = 0
+        # Per-relation (rebuilds, repairs) totals over the shard datasets at
+        # the last sample — diffed after every routed mutation / recovery so
+        # shard-level index activity lands in metrics and events.
+        self._index_activity: dict[str, tuple[int, int]] = {}
+        registry = self.obs.registry
+        self._queries = registry.counter("sharded_queries_total")
+        self._batches = registry.counter("sharded_batches_total")
+        self._tasks = registry.counter("sharded_tasks_total")
+        self._stale = registry.counter("sharded_stale_retries_total")
+        self._fanout_latency = registry.histogram(
+            "sharded_fanout_latency_seconds", LATENCY_BUCKETS
+        )
+        registry.gauge(
+            "sharded_pool_workers",
+            fn=lambda: self._pool.max_workers if self._pool is not None else 0,
+        )
+
+    @property
+    def queries_executed(self) -> int:
+        """Queries executed (view over ``sharded_queries_total``)."""
+        return int(self._queries.value)
+
+    @property
+    def batches_executed(self) -> int:
+        """Batches executed via :meth:`run_many` (view over ``sharded_batches_total``)."""
+        return int(self._batches.value)
+
+    @property
+    def tasks_dispatched(self) -> int:
+        """Per-shard tasks fanned out (view over ``sharded_tasks_total``)."""
+        return int(self._tasks.value)
+
+    @property
+    def stale_retries(self) -> int:
+        """Executions retried after racing a mutation (view over
+        ``sharded_stale_retries_total``)."""
+        return int(self._stale.value)
 
     # ------------------------------------------------------------------
     # Registration
@@ -152,6 +198,17 @@ class ShardedEngine:
             self._sharded[dataset.name] = sharded
             self._engine.register(dataset)
             self._engine.stats(dataset.name)  # warm the aggregated statistics
+            # Baseline the shard-index activity counters *after* the initial
+            # per-shard builds so registration itself is not reported as a
+            # rebuild storm; later diffs are routed-mutation activity only.
+            self._index_activity[dataset.name] = self._index_totals(dataset.name)
+            self.obs.registry.gauge(
+                "sharded_shards",
+                fn=lambda name=dataset.name: (
+                    self._sharded[name].num_shards if name in self._sharded else 0
+                ),
+                relation=dataset.name,
+            )
             self._invalidate_pool()
         return sharded
 
@@ -184,6 +241,7 @@ class ShardedEngine:
             if name not in self._sharded:
                 raise UnsupportedQueryError(f"no dataset registered as {name!r}")
             del self._sharded[name]
+            self._index_activity.pop(name, None)
             self._engine.unregister(name)
             self._invalidate_pool()
 
@@ -301,7 +359,42 @@ class ShardedEngine:
     def _on_mutation(self, name: str) -> None:
         self._engine.invalidate(name)
         self._engine.stats(name)  # re-warm aggregated statistics
+        self._record_index_activity(name)
         self._invalidate_pool()
+
+    def _index_totals(self, name: str) -> tuple[int, int]:
+        """Current (rebuilds, repairs) summed over the relation's shards."""
+        sharded = self._sharded.get(name)
+        if sharded is None:
+            return (0, 0)
+        rebuilds = repairs = 0
+        for _, dataset in sharded.populated():
+            rebuilds += dataset.index_rebuilds
+            repairs += dataset.index_repairs
+        return (rebuilds, repairs)
+
+    def _record_index_activity(self, name: str) -> None:
+        """Diff shard-index counters since the last sample into metrics/events.
+
+        Clamped to increases only: a shard emptied by removals drops out of
+        the sum, which must not drive the cumulative counters backwards.
+        """
+        rebuilds, repairs = self._index_totals(name)
+        prev_rebuilds, prev_repairs = self._index_activity.get(name, (0, 0))
+        registry, events = self.obs.registry, self.obs.events
+        if rebuilds > prev_rebuilds:
+            registry.counter("index_rebuilds_total", relation=name).inc(
+                rebuilds - prev_rebuilds
+            )
+            events.emit(
+                "index_rebuild", relation=name, shards=rebuilds - prev_rebuilds
+            )
+        if repairs > prev_repairs:
+            registry.counter("index_repairs_total", relation=name).inc(
+                repairs - prev_repairs
+            )
+            events.emit("index_repair", relation=name, shards=repairs - prev_repairs)
+        self._index_activity[name] = (rebuilds, repairs)
 
     # ------------------------------------------------------------------
     # Planning / EXPLAIN (delegated to the wrapped engine's caches)
@@ -336,35 +429,60 @@ class ShardedEngine:
         rows by pid keys).  On a version-check failure during execution the
         engine resyncs its shards, re-plans and retries once.
         """
+        tracer = self.obs.tracer
         last_error: StaleShardError | None = None
-        for _attempt in range(2):
+        for attempt in range(2):
             self._resync_if_stale(query.relations())
-            with self._rw.read():
-                self._require(*query.relations())
-                entry = self._engine.plan_entry(query)
-                plan = entry.plan
-                pool = self._ensure_pool()
-                try:
-                    started = perf_counter()
-                    result, ntasks = sharded_execute(
-                        plan, query, self._sharded, pool.run, pool.parallel
+            with tracer.span("query", sharded=True, attempt=attempt) as root:
+                with self._rw.read():
+                    self._require(*query.relations())
+                    with tracer.span("plan"):
+                        entry = self._engine.plan_entry(query)
+                    plan = entry.plan
+                    root.annotate(
+                        signature=str(entry.signature),
+                        query_class=plan.query_class,
+                        strategy=plan.strategy,
                     )
-                    wall = perf_counter() - started
-                except StaleShardError as error:
-                    last_error = error
+                    pool = self._ensure_pool()
+                    try:
+                        started = perf_counter()
+                        with tracer.span("shard-fan-out", backend=pool.backend) as fan:
+                            result, ntasks = sharded_execute(
+                                plan, query, self._sharded, pool.run, pool.parallel
+                            )
+                            fan.annotate(tasks=ntasks)
+                        wall = perf_counter() - started
+                    except StaleShardError as error:
+                        last_error = error
+                if last_error is not None:
+                    root.annotate(stale_retry=True)
+                else:
+                    # Feed the aggregated per-shard work counters back into
+                    # the wrapped engine's calibration store (and
+                    # misprediction check): the sharded executor's costs
+                    # differ from the single-partition ones, and the plans
+                    # it is served must converge to *its* observed reality,
+                    # not the static constants'.
+                    with tracer.span("calibrate"):
+                        observed = self._engine.record_execution(entry, result, wall)
+                    if observed is not None:
+                        root.annotate(observed_cost=round(observed, 4))
             if last_error is not None:
-                self.stale_retries += 1
+                self._stale.inc()
+                self.obs.events.emit(
+                    "stale_shard_retry",
+                    relations=",".join(sorted(query.relations())),
+                    error=str(last_error),
+                )
                 self._recover()
                 last_error = None
                 continue
-            # Feed the aggregated per-shard work counters back into the
-            # wrapped engine's calibration store (and misprediction check):
-            # the sharded executor's costs differ from the single-partition
-            # ones, and the plans it is served must converge to *its*
-            # observed reality, not the static constants'.
-            self._engine.record_execution(entry, result, wall)
-            self.queries_executed += 1
-            self.tasks_dispatched += ntasks
+            if root.enabled:
+                entry.last_trace = Trace(root)
+            self._queries.inc()
+            self._tasks.inc(ntasks)
+            self._fanout_latency.observe(wall)
             return result
         raise StaleShardError(
             "sharded execution kept racing dataset mutations; giving up after retry"
@@ -377,7 +495,7 @@ class ShardedEngine:
         are cache lookups after the first occurrence of each shape.
         """
         results = [self.run(query) for query in queries]
-        self.batches_executed += 1
+        self._batches.inc()
         return results
 
     # ------------------------------------------------------------------
@@ -412,6 +530,7 @@ class ShardedEngine:
             for name, sharded in self._sharded.items():
                 if sharded.ensure_synced():
                     self._engine.invalidate(name)
+                self._record_index_activity(name)
             self._invalidate_pool()
 
     # ------------------------------------------------------------------
@@ -478,6 +597,22 @@ class ShardedEngine:
             }
         )
         return inner
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """JSON-able snapshot of the shared registry (coordinator + inner engine)."""
+        return self.obs.snapshot()
+
+    def prometheus_metrics(self) -> str:
+        """Prometheus text-format exposition of the shared registry."""
+        return self.obs.prometheus()
+
+    def traces(self, n: int | None = None) -> tuple[Trace, ...]:
+        """The most recent completed execution traces, oldest first."""
+        return self.obs.tracer.recent(n)
+
+    def events(self, kind: str | None = None, n: int | None = None) -> tuple[Event, ...]:
+        """Recent structured events (stale-shard retries, demotions, ...)."""
+        return self.obs.events.events(kind, n)
 
     @property
     def engine(self) -> SpatialEngine:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from time import perf_counter
 from typing import Mapping
 
 import numpy as np
@@ -46,6 +47,10 @@ from repro.geometry.point import Point
 from repro.locality.batch import get_knn_batch
 from repro.locality.knn import get_knn
 from repro.locality.neighborhood import Neighborhood
+from repro.obs import Observability
+from repro.obs.events import Event
+from repro.obs.metrics import LATENCY_BUCKETS, SIZE_BUCKETS
+from repro.obs.trace import Trace
 from repro.query.query import Query
 from repro.query.results import QueryResult
 from repro.shard.engine import ShardedEngine
@@ -74,12 +79,25 @@ class StreamEngine:
     engine_kwargs:
         Forwarded to the :class:`SpatialEngine` constructor when ``engine``
         is omitted.
+    obs:
+        The observability bundle.  Defaults to the *wrapped engine's*
+        bundle, so stream-maintenance counters, the engine's query metrics
+        and the spans of guard-violation re-executions land in one registry
+        (and re-execution ``query`` spans nest under the push's
+        ``stream-maintain`` root).
     """
 
     def __init__(
-        self, engine: SpatialEngine | ShardedEngine | None = None, **engine_kwargs: object
+        self,
+        engine: SpatialEngine | ShardedEngine | None = None,
+        obs: Observability | None = None,
+        **engine_kwargs: object,
     ) -> None:
         if engine is None:
+            # A supplied bundle is forwarded so the created engine and this
+            # stream layer share one registry/tracer (as when wrapping).
+            if obs is not None:
+                engine_kwargs.setdefault("obs", obs)
             engine = SpatialEngine(**engine_kwargs)  # type: ignore[arg-type]
         elif engine_kwargs:
             raise InvalidParameterError(
@@ -87,6 +105,8 @@ class StreamEngine:
             )
         #: The wrapped serving engine (exposed for direct queries and tests).
         self.engine = engine
+        #: The observability bundle (shared with the wrapped engine by default).
+        self.obs = obs if obs is not None else engine.obs
         self._sharded = isinstance(engine, ShardedEngine)
         self._subs: dict[str, Subscription] = {}
         self._by_relation: dict[str, set[str]] = {}
@@ -96,21 +116,53 @@ class StreamEngine:
         #: engine mutation racing in from another thread.
         self._applying: tuple[int, str] | None = None
         self._closed = False
-        #: Update batches pushed through this stream engine.
-        self.batches_pushed = 0
-        #: Individual operations pushed (inserts + removes + moves).
-        self.updates_pushed = 0
+        #: True while subscribe() builds a state (whose constructor runs the
+        #: query once) — suppresses the refeed counter for that first run.
+        self._subscribing = False
+        registry = self.obs.registry
+        self._batches = registry.counter("stream_batches_total")
+        self._updates = registry.counter("stream_updates_total")
         #: Full re-executions routed through the wrapped engine (guard
         #: violations and stale-subscription reconciles; a subscription's
         #: *initial* execution is not counted).  Every one of them feeds the
         #: engine's planner-calibration store, so a standing query that
         #: keeps violating its guard converges to the strategy whose
         #: observed cost is lowest — see ``docs/planner.md``.
-        self.calibration_refeeds = 0
-        #: True while subscribe() builds a state (whose constructor runs the
-        #: query once) — suppresses the refeed counter for that first run.
-        self._subscribing = False
+        self._refeeds = registry.counter("stream_refeeds_total")
+        self._guard_violations = registry.counter("stream_guard_violations_total")
+        self._push_latency = registry.histogram(
+            "stream_push_latency_seconds", LATENCY_BUCKETS
+        )
+        self._delta_rows = registry.histogram("stream_delta_rows", SIZE_BUCKETS)
+        registry.gauge("stream_subscriptions", fn=lambda: len(self._subs))
+        registry.gauge(
+            "stream_stale_subscriptions",
+            fn=lambda: sum(1 for s in self._subs.values() if s.stale),
+        )
         engine.add_mutation_listener(self._on_engine_mutation)
+
+    @property
+    def batches_pushed(self) -> int:
+        """Update batches pushed (view over ``stream_batches_total``)."""
+        return int(self._batches.value)
+
+    @property
+    def updates_pushed(self) -> int:
+        """Individual operations pushed — inserts + removes + moves (view
+        over ``stream_updates_total``)."""
+        return int(self._updates.value)
+
+    @property
+    def calibration_refeeds(self) -> int:
+        """Full re-executions that re-fed the planner's calibration store
+        (view over ``stream_refeeds_total``)."""
+        return int(self._refeeds.value)
+
+    @property
+    def guard_violations(self) -> int:
+        """Pushes that violated a subscription's guard region and forced a
+        full re-execution (view over ``stream_guard_violations_total``)."""
+        return int(self._guard_violations.value)
 
     # ------------------------------------------------------------------
     # Registration (delegated)
@@ -139,21 +191,29 @@ class StreamEngine:
         """
         with self._lock:
             self._require_open()
-            plan = self.engine.plan(query)
-            if sub_id is None:
-                sub_id = f"sub-{next(_IDS)}"
-            if sub_id in self._subs:
-                raise InvalidParameterError(f"subscription id {sub_id!r} already exists")
-            self._subscribing = True
-            try:
-                state = make_state(plan.query_class, query, self)
-            finally:
-                self._subscribing = False
-            sub = Subscription(sub_id, query, plan.query_class, state)
-            self._subs[sub_id] = sub
-            for relation in sub.relations:
-                self._by_relation.setdefault(relation, set()).add(sub_id)
-            return sub
+            with self.obs.tracer.span("subscribe") as span:
+                plan = self.engine.plan(query)
+                if sub_id is None:
+                    sub_id = f"sub-{next(_IDS)}"
+                if sub_id in self._subs:
+                    raise InvalidParameterError(
+                        f"subscription id {sub_id!r} already exists"
+                    )
+                span.annotate(
+                    subscription=sub_id,
+                    query_class=plan.query_class,
+                    strategy=plan.strategy,
+                )
+                self._subscribing = True
+                try:
+                    state = make_state(plan.query_class, query, self)
+                finally:
+                    self._subscribing = False
+                sub = Subscription(sub_id, query, plan.query_class, state)
+                self._subs[sub_id] = sub
+                for relation in sub.relations:
+                    self._by_relation.setdefault(relation, set()).add(sub_id)
+                return sub
 
     def unsubscribe(self, sub: Subscription | str) -> None:
         """Remove a standing query (by handle or id)."""
@@ -205,18 +265,52 @@ class StreamEngine:
         per touching subscription (empty deltas included, so consumers can
         observe the tick).
         """
+        tracer, events = self.obs.tracer, self.obs.events
         with self._lock:
             self._require_open()
-            self._applying = (threading.get_ident(), relation)
-            try:
-                applied = self.engine.apply_update(relation, batch)
-            finally:
-                self._applying = None
-            deltas: dict[str, Delta] = {}
-            for sub_id in sorted(self._by_relation.get(relation, set())):
-                deltas[sub_id] = self._subs[sub_id].apply(applied, relation, self)
-            self.batches_pushed += 1
-            self.updates_pushed += batch.size
+            started = perf_counter()
+            with tracer.span("stream-maintain", relation=relation, size=batch.size) as root:
+                self._applying = (threading.get_ident(), relation)
+                try:
+                    with tracer.span("apply-update"):
+                        applied = self.engine.apply_update(relation, batch)
+                finally:
+                    self._applying = None
+                deltas: dict[str, Delta] = {}
+                maintained = 0
+                for sub_id in sorted(self._by_relation.get(relation, set())):
+                    sub = self._subs[sub_id]
+                    was_stale = sub.stale
+                    skips_before = sub.skips
+                    with tracer.span("maintain", subscription=sub_id) as span:
+                        delta = sub.apply(applied, relation, self)
+                        # A refresh on a non-stale subscription means the
+                        # batch violated its guard region: a current result
+                        # member was removed or relocated, forcing the full
+                        # re-execution (whose "query" span nests just above).
+                        if delta.refreshed and not was_stale:
+                            self._guard_violations.inc()
+                            events.emit(
+                                "guard_violation",
+                                subscription=sub_id,
+                                relation=relation,
+                                rows_changed=len(delta),
+                            )
+                        span.annotate(
+                            outcome=(
+                                "refresh"
+                                if delta.refreshed
+                                else ("skip" if sub.skips > skips_before else "repair")
+                            ),
+                            rows_changed=len(delta),
+                        )
+                    self._delta_rows.observe(len(delta))
+                    deltas[sub_id] = delta
+                    maintained += 1
+                root.annotate(subscriptions=maintained)
+            self._batches.inc()
+            self._updates.inc(batch.size)
+            self._push_latency.observe(perf_counter() - started)
             return deltas
 
     def poll(self, sub: Subscription | str) -> Delta:
@@ -245,7 +339,12 @@ class StreamEngine:
             return  # our own push; maintenance handles it
         with self._lock:
             for sub_id in self._by_relation.get(name, ()):
-                self._subs[sub_id].stale = True
+                sub = self._subs[sub_id]
+                if not sub.stale:
+                    self.obs.events.emit(
+                        "subscription_stale", subscription=sub_id, relation=name
+                    )
+                sub.stale = True
 
     # ------------------------------------------------------------------
     # MaintenanceContext protocol (see repro.stream.maintain)
@@ -287,7 +386,7 @@ class StreamEngine:
         execution (during :meth:`subscribe`) is not counted as a refeed.
         """
         if not self._subscribing:
-            self.calibration_refeeds += 1
+            self._refeeds.inc()
         return self.engine.run(query)
 
     # ------------------------------------------------------------------
@@ -337,7 +436,24 @@ class StreamEngine:
             "refreshes": sum(s.refreshes for s in subs),
             "stale": sum(1 for s in subs if s.stale),
             "calibration_refeeds": self.calibration_refeeds,
+            "guard_violations": self.guard_violations,
         }
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """JSON-able snapshot of the shared registry (stream + wrapped engine)."""
+        return self.obs.snapshot()
+
+    def prometheus_metrics(self) -> str:
+        """Prometheus text-format exposition of the shared registry."""
+        return self.obs.prometheus()
+
+    def traces(self, n: int | None = None) -> tuple[Trace, ...]:
+        """The most recent completed traces (pushes, queries), oldest first."""
+        return self.obs.tracer.recent(n)
+
+    def events(self, kind: str | None = None, n: int | None = None) -> tuple[Event, ...]:
+        """Recent structured events (guard violations, stale subscriptions, ...)."""
+        return self.obs.events.events(kind, n)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -48,12 +48,13 @@ def test_link_check_handles_anchored_paths(tmp_path, monkeypatch):
     assert module.check_links() == []
 
 
-def test_docstring_check_covers_engine_planner_shard_and_stream():
+def test_docstring_check_covers_the_serving_surface():
     module = _load_module()
     assert set(module.DOCUMENTED_PACKAGES) == {
         "repro.engine",
         "repro.planner",
         "repro.shard",
         "repro.stream",
+        "repro.obs",
     }
     assert module.check_docstrings() == []

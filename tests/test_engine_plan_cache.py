@@ -164,3 +164,63 @@ def test_reject_reports_whether_it_evicted():
     assert cache.reject(entry, recount=False) is False  # already gone
     assert cache.invalidations == 1
     assert cache.hits == 0 and cache.misses == 0  # recount=False leaves counters
+
+
+# ----------------------------------------------------------------------
+# stats() and non-negative accounting (repro.obs unification)
+# ----------------------------------------------------------------------
+def test_stats_reports_counters_size_and_hit_rate():
+    cache = PlanCache(max_size=2)
+    assert cache.stats()["hit_rate"] == 0.0  # no lookups yet
+    cache.put(_entry(("x",)))
+    cache.get(("x",))
+    cache.get(("missing",))
+    cache.put(_entry(("y",)))
+    cache.put(_entry(("z",)))  # evicts the LRU entry
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["evictions"] == 1
+    assert stats["size"] == 2
+    assert stats["hit_rate"] == pytest.approx(0.5)
+
+
+def test_reject_recount_on_never_looked_up_entry_stays_non_negative():
+    """Rejecting an entry that was never looked up must not drive hits < 0."""
+    cache = PlanCache(max_size=4)
+    entry = _entry(("fresh",))
+    cache.put(entry)
+    assert cache.reject(entry) is True  # recount=True, but hits == 0
+    stats = cache.stats()
+    assert stats["hits"] == 0
+    assert stats["misses"] == 0
+    assert stats["rejects"] == 1
+
+
+def test_stats_stay_non_negative_under_interleaved_invalidation():
+    """Reject/evict interleavings keep every stats() figure non-negative."""
+    cache = PlanCache(max_size=2)
+    entry = _entry(("a",))
+    cache.put(entry)
+    cache.get(("a",))
+    cache.invalidate_relation("a")  # entry gone behind the rejector's back
+    assert cache.reject(entry) is False  # already invalidated
+    # The hit is still recounted as a miss (the caller re-plans), exactly once.
+    assert cache.reject(entry) is False
+    stats = cache.stats()
+    assert all(v >= 0 for v in stats.values())
+    assert stats["hits"] == 0
+    assert stats["misses"] == 1
+
+
+def test_registry_backed_counters_share_the_engine_registry():
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry("engine")
+    cache = PlanCache(max_size=2, registry=registry)
+    cache.get(("x",))
+    cache.put(_entry(("x",)))
+    cache.get(("x",))
+    assert registry.counter("plan_cache_hits_total").value == 1
+    assert registry.counter("plan_cache_misses_total").value == 1
+    assert registry.gauge("plan_cache_entries").value == 1.0

@@ -1,0 +1,247 @@
+"""Observability wired through the engine stack: metrics, events, exporters.
+
+The companion file ``tests/test_obs_trace_structure.py`` covers span trees;
+this one covers registry-backed counters (and their legacy attribute views),
+structured events, snapshot/exposition accessors, and the disabled path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datagen import clustered_points, uniform_points
+from repro.engine import SpatialEngine
+from repro.geometry import Point, Rect
+from repro.obs import Observability, validate_snapshot
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+from repro.stream import StreamEngine
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+FOCAL = Point(500.0, 500.0)
+
+
+def _points(n: int, seed: int, start_pid: int = 0):
+    return uniform_points(n, BOUNDS, seed=seed, start_pid=start_pid)
+
+
+def _select(k: int = 5) -> Query:
+    return Query(KnnSelect(relation="cafes", focal=FOCAL, k=k))
+
+
+def _mispredicting_engine(**engine_kwargs) -> tuple[SpatialEngine, Query]:
+    """Engine + query the static cost model mispredicts (demotion generator)."""
+    engine = SpatialEngine(**engine_kwargs)
+    outer = clustered_points(1, 150, BOUNDS, cluster_radius=25.0, seed=7, start_pid=0)
+    cx = sum(p.x for p in outer) / len(outer)
+    cy = sum(p.y for p in outer) / len(outer)
+    outer = [Point(p.x - cx + FOCAL.x, p.y - cy + FOCAL.y, p.pid) for p in outer]
+    inner = _points(120, seed=8, start_pid=10_000)
+    engine.register(name="outer", points=outer, bounds=BOUNDS, cells_per_side=10)
+    engine.register(name="inner", points=inner, bounds=BOUNDS, cells_per_side=10)
+    query = Query(
+        KnnJoin(outer="outer", inner="inner", k=2),
+        KnnSelect(relation="inner", focal=FOCAL, k=8),
+    )
+    return engine, query
+
+
+class TestEngineMetrics:
+    def test_legacy_counter_names_are_registry_views(self):
+        engine = SpatialEngine()
+        engine.register(name="cafes", points=_points(60, seed=1), bounds=BOUNDS)
+        engine.run(_select())
+        engine.run(_select())
+        assert engine.queries_executed == 2
+        registry = engine.obs.registry
+        assert registry.counter("engine_queries_total").value == 2
+        assert registry.counter("plan_cache_hits_total").value == engine.plan_cache.hits
+        assert registry.gauge("engine_datasets").value == 1.0
+
+    def test_query_latency_histogram_fills(self):
+        engine = SpatialEngine()
+        engine.register(name="cafes", points=_points(60, seed=1), bounds=BOUNDS)
+        for _ in range(3):
+            engine.run(_select())
+        hist = engine.obs.registry.histogram("engine_query_latency_seconds")
+        assert hist.count == 3
+        assert hist.quantile(0.5) is not None
+
+    def test_run_many_counts_batch_and_queries(self):
+        engine = SpatialEngine()
+        engine.register(name="cafes", points=_points(60, seed=1), bounds=BOUNDS)
+        engine.run_many([_select(), _select(3), _select(4)])
+        assert engine.batches_executed == 1
+        assert engine.queries_executed == 3
+        assert engine.obs.registry.histogram("engine_query_latency_seconds").count == 3
+
+    def test_metrics_snapshot_validates_and_prometheus_renders(self):
+        engine = SpatialEngine()
+        engine.register(name="cafes", points=_points(60, seed=1), bounds=BOUNDS)
+        engine.run(_select())
+        snapshot = engine.metrics_snapshot()
+        json.dumps(snapshot)
+        assert validate_snapshot(snapshot) == []
+        text = engine.prometheus_metrics()
+        assert "engine_queries_total 1" in text
+        assert "# TYPE engine_query_latency_seconds histogram" in text
+
+
+class TestEngineEvents:
+    def test_index_rebuild_and_repair_events(self):
+        engine = SpatialEngine()
+        engine.register(name="cafes", points=_points(200, seed=2), bounds=BOUNDS)
+        rebuilds0 = engine.obs.registry.counter(
+            "index_rebuilds_total", relation="cafes"
+        ).value
+        # A small insert takes the localized repair path; a large one rebuilds.
+        engine.insert("cafes", [(1.0, 1.0)])
+        assert engine.events(kind="index_repair")
+        assert (
+            engine.obs.registry.counter("index_repairs_total", relation="cafes").value
+            >= 1
+        )
+        engine.insert("cafes", [(float(i % 30), float(i // 30)) for i in range(150)])
+        assert engine.events(kind="index_rebuild")
+        assert (
+            engine.obs.registry.counter("index_rebuilds_total", relation="cafes").value
+            > rebuilds0
+        )
+
+    def test_unregister_detaches_the_index_observer(self):
+        engine = SpatialEngine()
+        dataset = engine.register(name="cafes", points=_points(60, seed=2), bounds=BOUNDS)
+        engine.unregister("cafes")
+        before = len(engine.events())
+        dataset.insert([(1.0, 1.0)])
+        dataset.index  # out-of-band rebuild after unregister: no event
+        assert len(engine.events()) == before
+
+    def test_plan_demotion_event_carries_costs(self):
+        engine, query = _mispredicting_engine()
+        for _ in range(6):
+            engine.run(query)
+        assert engine.demotions >= 1
+        demotion_events = engine.events(kind="plan_demotion")
+        assert len(demotion_events) == engine.demotions
+        event = demotion_events[0]
+        assert event.attributes["strategy"] == "block_marking"
+        assert event.attributes["observed"] > event.attributes["estimated"]
+        assert event.attributes["ratio"] > 1.0
+
+    def test_stale_plan_rejected_event_on_out_of_band_mutation(self):
+        engine = SpatialEngine()
+        dataset = engine.register(name="cafes", points=_points(60, seed=3), bounds=BOUNDS)
+        engine.run(_select())
+        dataset.insert([(2.0, 2.0)])  # bypasses the engine → version mismatch
+        engine.run(_select())
+        (event,) = engine.events(kind="stale_plan_rejected")
+        assert "cafes" in event.attributes["relations"]
+
+
+class TestShardedMetrics:
+    def test_coordinator_counters_and_shared_registry(self):
+        with ShardedEngine(num_shards=4, backend="serial") as engine:
+            engine.register(name="cafes", points=_points(200, seed=4), bounds=BOUNDS)
+            engine.register(
+                name="offices", points=_points(150, seed=14, start_pid=50_000), bounds=BOUNDS
+            )
+            engine.run(_select())
+            # A join fans per-shard tasks out on the pool (a lone select is
+            # answered by the coordinator's cross-shard kNN).
+            engine.run(Query(KnnJoin(outer="offices", inner="cafes", k=2)))
+            engine.run_many([_select(3)])
+            assert engine.queries_executed == 3
+            assert engine.batches_executed == 1
+            assert engine.tasks_dispatched >= 1
+            registry = engine.obs.registry
+            assert registry.counter("sharded_queries_total").value == 3
+            # The wrapped planning engine shares the registry.
+            assert registry.counter("plan_cache_misses_total").value >= 1
+            assert registry.histogram("sharded_fanout_latency_seconds").count == 3
+            text = engine.prometheus_metrics()
+            assert 'sharded_shards{relation="cafes"} 4' in text
+            assert validate_snapshot(engine.metrics_snapshot()) == []
+
+    def test_shard_index_repairs_land_in_metrics_and_events(self):
+        with ShardedEngine(num_shards=4, backend="serial") as engine:
+            engine.register(name="cafes", points=_points(400, seed=5), bounds=BOUNDS)
+            engine.insert("cafes", [(500.0, 500.0)])
+            repaired = engine.obs.registry.counter(
+                "index_repairs_total", relation="cafes"
+            ).value
+            rebuilt = engine.obs.registry.counter(
+                "index_rebuilds_total", relation="cafes"
+            ).value
+            assert repaired + rebuilt >= 1
+            kinds = {e.kind for e in engine.events()}
+            assert kinds & {"index_repair", "index_rebuild"}
+
+
+class TestStreamMetrics:
+    def test_push_counters_and_delta_histogram(self):
+        engine = SpatialEngine()
+        engine.register(name="cafes", points=_points(80, seed=6), bounds=BOUNDS)
+        with StreamEngine(engine) as stream:
+            stream.subscribe(_select())
+            stream.stream("cafes").insert((999.0, 999.0)).flush()
+            assert stream.batches_pushed == 1
+            assert stream.updates_pushed == 1
+            registry = stream.obs.registry
+            assert registry.counter("stream_batches_total").value == 1
+            assert registry.histogram("stream_push_latency_seconds").count == 1
+            assert registry.histogram("stream_delta_rows").count == 1
+            assert registry.gauge("stream_subscriptions").value == 1.0
+
+    def test_guard_violation_emits_event_and_counter(self):
+        engine = SpatialEngine()
+        engine.register(name="cafes", points=_points(80, seed=7), bounds=BOUNDS)
+        with StreamEngine(engine) as stream:
+            sub = stream.subscribe(_select())
+            # Remove a current kNN member: the guard must trip and re-execute.
+            victim = sub.result()[0][1]  # kNN rows are (distance, pid)
+            stream.stream("cafes").remove(victim).flush()
+            assert stream.guard_violations == 1
+            (event,) = stream.events(kind="guard_violation")
+            assert event.attributes["subscription"] == sub.id
+            assert sub.refreshes == 1
+
+    def test_out_of_band_mutation_emits_subscription_stale(self):
+        engine = SpatialEngine()
+        engine.register(name="cafes", points=_points(80, seed=8), bounds=BOUNDS)
+        with StreamEngine(engine) as stream:
+            sub = stream.subscribe(_select())
+            engine.insert("cafes", [(3.0, 3.0)])  # direct mutation, not push
+            assert sub.stale
+            (event,) = stream.events(kind="subscription_stale")
+            assert event.attributes["subscription"] == sub.id
+            assert stream.obs.registry.gauge("stream_stale_subscriptions").value == 1.0
+
+
+class TestDisabledObservability:
+    def test_engine_runs_identically_with_null_bundle(self):
+        enabled = SpatialEngine()
+        disabled = SpatialEngine(obs=Observability.disabled())
+        for engine in (enabled, disabled):
+            engine.register(name="cafes", points=_points(60, seed=9), bounds=BOUNDS)
+        reference = enabled.run(_select())
+        result = disabled.run(_select())
+        assert [p.pid for p in result.points] == [p.pid for p in reference.points]
+        assert disabled.queries_executed == 0  # null counters record nothing
+        assert disabled.traces() == ()
+        assert disabled.events() == ()
+        assert disabled.metrics_snapshot()["counters"] == []
+
+    def test_disabled_stream_and_explain_stay_quiet(self):
+        engine = SpatialEngine(obs=Observability.disabled())
+        engine.register(name="cafes", points=_points(60, seed=9), bounds=BOUNDS)
+        with StreamEngine(engine) as stream:
+            stream.subscribe(_select())
+            stream.stream("cafes").insert((1.0, 1.0)).flush()
+            assert stream.batches_pushed == 0
+            assert stream.traces() == ()
+        engine.run(_select())
+        assert "trace:" not in engine.explain(_select()).render()

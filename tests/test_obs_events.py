@@ -1,0 +1,71 @@
+"""The structured event log: emission, retention, counts, the null path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.obs.events import NULL_EVENTS, EventLog
+
+
+class TestEventLog:
+    def test_emit_returns_the_event(self):
+        log = EventLog()
+        event = log.emit("plan_demotion", strategy="block_marking", ratio=4.2)
+        assert event is not None
+        assert event.kind == "plan_demotion"
+        assert event.attributes == {"strategy": "block_marking", "ratio": 4.2}
+        assert event.timestamp > 0
+
+    def test_sequence_numbers_increase(self):
+        log = EventLog()
+        a = log.emit("index_repair")
+        b = log.emit("index_rebuild")
+        assert b.seq == a.seq + 1
+
+    def test_events_filter_by_kind_and_limit(self):
+        log = EventLog()
+        for i in range(3):
+            log.emit("index_repair", i=i)
+        log.emit("guard_violation")
+        repairs = log.events("index_repair")
+        assert len(repairs) == 3
+        assert [e.attributes["i"] for e in repairs] == [0, 1, 2]
+        assert len(log.events("index_repair", n=2)) == 2
+        assert len(log.events()) == 4
+
+    def test_ring_drops_oldest_but_counts_survive(self):
+        log = EventLog(capacity=2)
+        for _ in range(5):
+            log.emit("stale_shard_retry")
+        assert len(log) == 2
+        assert log.emitted == 5
+        assert log.counts() == {"stale_shard_retry": 5}
+
+    def test_clear_keeps_lifetime_counts(self):
+        log = EventLog()
+        log.emit("plan_demotion")
+        log.clear()
+        assert len(log) == 0
+        assert log.counts() == {"plan_demotion": 1}
+
+    def test_to_dict_is_jsonable(self):
+        import json
+
+        log = EventLog()
+        event = log.emit("guard_violation", subscription="sub-1")
+        payload = json.loads(json.dumps(event.to_dict()))
+        assert payload["kind"] == "guard_violation"
+        assert payload["attributes"] == {"subscription": "sub-1"}
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            EventLog(capacity=0)
+
+
+class TestNullEventLog:
+    def test_disabled_and_silent(self):
+        assert not NULL_EVENTS.enabled
+        assert EventLog().enabled
+        assert NULL_EVENTS.emit("plan_demotion") is None
+        assert NULL_EVENTS.events() == ()

@@ -1,0 +1,131 @@
+"""Exporters: Prometheus text, JSON snapshots, schema validation, the hub."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import Observability, hub
+from repro.obs.export import prometheus_text, registry_snapshot, validate_snapshot
+from repro.obs.metrics import MetricsRegistry
+
+
+def _sample_registry() -> MetricsRegistry:
+    r = MetricsRegistry("engine")
+    r.counter("queries_total").inc(3)
+    r.counter("index_rebuilds_total", relation="cafes").inc()
+    r.gauge("plan_cache_entries", fn=lambda: 2)
+    h = r.histogram("latency_seconds", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    return r
+
+
+class TestPrometheusText:
+    def test_counters_and_gauges_render_with_type_headers(self):
+        text = prometheus_text(_sample_registry())
+        assert "# TYPE queries_total counter" in text
+        assert "queries_total 3" in text
+        assert 'index_rebuilds_total{relation="cafes"} 1' in text
+        assert "# TYPE plan_cache_entries gauge" in text
+        assert "plan_cache_entries 2" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = prometheus_text(_sample_registry())
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_sum 5.55" in text
+        assert "latency_seconds_count 3" in text
+
+    def test_extra_labels_attach_to_every_sample(self):
+        text = prometheus_text(_sample_registry(), registry="engine")
+        assert 'queries_total{registry="engine"} 3' in text
+        assert 'index_rebuilds_total{relation="cafes",registry="engine"} 1' in text
+
+    def test_label_values_are_escaped(self):
+        r = MetricsRegistry()
+        r.counter("x", path='a"b\\c').inc()
+        text = prometheus_text(r)
+        assert 'x{path="a\\"b\\\\c"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_is_jsonable_and_valid(self):
+        snapshot = registry_snapshot(_sample_registry())
+        json.dumps(snapshot)  # must not raise
+        assert snapshot["registry"] == "engine"
+        assert validate_snapshot(snapshot) == []
+
+    def test_snapshot_covers_all_sections(self):
+        snapshot = registry_snapshot(_sample_registry())
+        assert {c["name"] for c in snapshot["counters"]} == {
+            "queries_total",
+            "index_rebuilds_total",
+        }
+        (hist,) = snapshot["histograms"]
+        assert hist["buckets"] == [0.1, 1.0]
+        assert hist["counts"] == [1, 1, 1]
+        assert hist["count"] == 3
+        assert hist["min"] == 0.05 and hist["max"] == 5.0
+
+
+class TestValidateSnapshot:
+    def test_rejects_non_dict(self):
+        assert validate_snapshot([]) != []
+
+    def test_rejects_negative_counter(self):
+        snapshot = registry_snapshot(_sample_registry())
+        snapshot["counters"][0]["value"] = -1
+        assert any("non-negative" in e for e in validate_snapshot(snapshot))
+
+    def test_rejects_count_bucket_mismatch(self):
+        snapshot = registry_snapshot(_sample_registry())
+        snapshot["histograms"][0]["count"] = 99
+        assert any("bucket-count sum" in e for e in validate_snapshot(snapshot))
+
+    def test_rejects_misshapen_counts(self):
+        snapshot = registry_snapshot(_sample_registry())
+        snapshot["histograms"][0]["counts"] = [1, 1]
+        assert any("len(buckets)+1" in e for e in validate_snapshot(snapshot))
+
+    def test_rejects_unsorted_buckets(self):
+        snapshot = registry_snapshot(_sample_registry())
+        snapshot["histograms"][0]["buckets"] = [1.0, 0.1]
+        assert any("strictly increasing" in e for e in validate_snapshot(snapshot))
+
+    def test_rejects_nan(self):
+        snapshot = registry_snapshot(_sample_registry())
+        snapshot["gauges"][0]["value"] = float("nan")
+        assert any("NaN" in e for e in validate_snapshot(snapshot))
+
+
+class TestHub:
+    def test_registries_auto_register_and_weakly_vanish(self):
+        import gc
+
+        before = {id(r) for r in hub.registries()}
+        obs = Observability(name="hub-test")
+        assert any(id(r) not in before for r in hub.registries())
+        del obs
+        gc.collect()
+        assert {id(r) for r in hub.registries()} <= before | set()
+
+    def test_global_exports_cover_registered_registries(self):
+        obs = Observability(name="hub-export-test")
+        obs.registry.counter("hub_test_total").inc(7)
+        snapshot = hub.global_snapshot()
+        names = {r["registry"] for r in snapshot["registries"]}
+        assert "hub-export-test" in names
+        text = hub.global_prometheus()
+        assert 'hub_test_total{registry="hub-export-test"} 7' in text
+        hub.unregister(obs.registry)
+        assert "hub-export-test" not in {r.name for r in hub.registries()}
+
+    def test_disabled_bundles_never_register(self):
+        disabled = Observability.disabled()
+        assert not disabled.enabled
+        assert all(r.name != "null" for r in hub.registries())

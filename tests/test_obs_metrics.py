@@ -1,0 +1,159 @@
+"""Metric primitives: counters, gauges, histograms, registries, the null path."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("queries_total")
+        assert c.value == 0
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+
+    def test_add_accepts_negative_for_recount_bookkeeping(self):
+        c = Counter("hits")
+        c.inc(2)
+        c.add(-1)
+        assert c.value == 1
+
+    def test_labels_are_canonicalized(self):
+        c = Counter("x", {"b": 2, "a": "one"})
+        assert c.labels == (("a", "one"), ("b", "2"))
+
+
+class TestGauge:
+    def test_stored_value(self):
+        g = Gauge("pool_workers")
+        assert g.value == 0.0
+        g.set(8)
+        assert g.value == 8.0
+
+    def test_callback_overrides_stored_value(self):
+        items = [1, 2, 3]
+        g = Gauge("entries", fn=lambda: len(items))
+        assert g.value == 3.0
+        items.append(4)
+        assert g.value == 4.0
+        g.set(99)  # ignored while the callback is bound
+        assert g.value == 4.0
+
+    def test_failing_callback_reads_nan(self):
+        g = Gauge("broken", fn=lambda: 1 / 0)
+        assert math.isnan(g.value)
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        h = Histogram("lat", buckets=(1.0, 10.0, 100.0))
+        for v in (0.5, 1.0, 5.0, 50.0, 1000.0):
+            h.observe(v)
+        # bisect_left: an observation equal to a bound lands in that bound's bucket.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(1056.5)
+        assert h.min == 0.5
+        assert h.max == 1000.0
+
+    def test_rejects_non_increasing_buckets(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram("bad", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(InvalidParameterError):
+            Histogram("bad", buckets=())
+
+    def test_quantile_interpolates_and_caps_at_observed_max(self):
+        h = Histogram("lat", buckets=(10.0, 20.0, 40.0))
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.quantile(0.0) is not None
+        assert h.quantile(1.0) <= 10.0
+        # Everything observed is <= 4.0, so the estimate must not exceed it.
+        assert h.quantile(0.99) <= 4.0
+
+    def test_quantile_of_empty_histogram_is_none(self):
+        assert Histogram("lat").quantile(0.5) is None
+
+    def test_quantile_overflow_reports_observed_max(self):
+        h = Histogram("lat", buckets=(1.0,))
+        h.observe(500.0)
+        assert h.quantile(0.99) == 500.0
+
+    def test_quantile_rejects_out_of_range_q(self):
+        h = Histogram("lat")
+        with pytest.raises(InvalidParameterError):
+            h.quantile(1.5)
+
+    def test_default_bucket_families_are_increasing(self):
+        for family in (LATENCY_BUCKETS, SIZE_BUCKETS):
+            assert all(b < c for b, c in zip(family, family[1:]))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry("engine")
+        assert r.counter("queries") is r.counter("queries")
+        assert r.gauge("entries") is r.gauge("entries")
+        assert r.histogram("lat") is r.histogram("lat")
+
+    def test_distinct_labels_create_distinct_instruments(self):
+        r = MetricsRegistry()
+        a = r.counter("rebuilds", relation="a")
+        b = r.counter("rebuilds", relation="b")
+        assert a is not b
+        a.inc()
+        assert b.value == 0
+
+    def test_gauge_rebinds_callback(self):
+        r = MetricsRegistry()
+        g = r.gauge("size", fn=lambda: 1)
+        assert r.gauge("size", fn=lambda: 2) is g
+        assert g.value == 2.0
+
+    def test_listings_are_sorted(self):
+        r = MetricsRegistry()
+        r.counter("zz")
+        r.counter("aa")
+        r.counter("aa", x="2")
+        assert [c.name for c in r.counters()] == ["aa", "aa", "zz"]
+
+    def test_len_counts_instruments(self):
+        r = MetricsRegistry()
+        r.counter("a")
+        r.gauge("b")
+        r.histogram("c")
+        assert len(r) == 3
+
+
+class TestNullRegistry:
+    def test_disabled_and_empty(self):
+        assert not NULL_REGISTRY.enabled
+        assert MetricsRegistry().enabled
+
+    def test_instruments_discard_everything(self):
+        r = NullRegistry()
+        c = r.counter("queries")
+        c.inc(100)
+        assert c.value == 0
+        g = r.gauge("size", fn=lambda: 42)
+        g.set(5)
+        assert g.value == 0.0
+        h = r.histogram("lat")
+        h.observe(1.0)
+        assert h.count == 0
+        assert r.counters() == () and r.gauges() == () and r.histograms() == ()

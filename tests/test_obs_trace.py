@@ -1,0 +1,160 @@
+"""Span nesting, trace ring buffering, and the disabled tracer path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.obs.trace import NULL_TRACER, Trace, Tracer
+
+
+class TestSpanNesting:
+    def test_root_span_records_a_trace(self):
+        tracer = Tracer()
+        with tracer.span("query", strategy="baseline"):
+            pass
+        trace = tracer.last()
+        assert trace is not None
+        assert trace.name == "query"
+        assert trace.root.attributes["strategy"] == "baseline"
+        assert trace.duration >= 0.0
+
+    def test_children_nest_under_the_open_span(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("plan"):
+                pass
+            with tracer.span("execute"):
+                with tracer.span("scan"):
+                    pass
+        trace = tracer.last()
+        assert trace.phases() == ("query", "plan", "execute", "scan")
+        assert [c.name for c in trace.root.children] == ["plan", "execute"]
+        assert trace.find("scan") is not None
+        assert trace.find("missing") is None
+
+    def test_child_spans_do_not_record_their_own_traces(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+            assert len(tracer) == 0  # child closed, root still open
+        assert len(tracer) == 1
+
+    def test_annotate_merges_attributes(self):
+        tracer = Tracer()
+        with tracer.span("query", a=1) as span:
+            span.annotate(b=2, a=3)
+        assert tracer.last().root.attributes == {"a": 3, "b": 2}
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("query"):
+                raise ValueError("boom")
+        assert tracer.last().root.attributes["error"] == "ValueError"
+
+    def test_current_tracks_the_innermost_open_span(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_spans_nest_per_thread(self):
+        tracer = Tracer()
+        seen = []
+
+        def worker(name):
+            with tracer.span(name):
+                pass
+
+        with tracer.span("main-root"):
+            t = threading.Thread(target=worker, args=("thread-root",))
+            t.start()
+            t.join()
+        seen = [trace.name for trace in tracer.recent()]
+        # The other thread's span is its own root, not a child of main-root.
+        assert sorted(seen) == ["main-root", "thread-root"]
+        for trace in tracer.recent():
+            assert trace.root.children == []
+
+
+class TestTraceRing:
+    def test_capacity_bounds_retention(self):
+        tracer = Tracer(capacity=3)
+        for i in range(5):
+            with tracer.span(f"q{i}"):
+                pass
+        assert len(tracer) == 3
+        assert [t.name for t in tracer.recent()] == ["q2", "q3", "q4"]
+        assert tracer.traces_recorded == 5
+
+    def test_recent_n_returns_newest(self):
+        tracer = Tracer()
+        for i in range(4):
+            with tracer.span(f"q{i}"):
+                pass
+        assert [t.name for t in tracer.recent(2)] == ["q2", "q3"]
+
+    def test_clear_keeps_lifetime_counter(self):
+        tracer = Tracer()
+        with tracer.span("q"):
+            pass
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.traces_recorded == 1
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(InvalidParameterError):
+            Tracer(capacity=0)
+
+
+class TestTraceSummaries:
+    def test_summary_lines_indent_by_depth(self):
+        tracer = Tracer()
+        with tracer.span("query", strategy="counting"):
+            with tracer.span("execute"):
+                pass
+        lines = tracer.last().summary_lines()
+        assert len(lines) == 2
+        assert lines[0].startswith("query ")
+        assert "[strategy=counting]" in lines[0]
+        assert lines[1].startswith("  execute ")
+
+    def test_to_dict_is_jsonable(self):
+        import json
+
+        tracer = Tracer()
+        with tracer.span("query", k=5, plan=object()):
+            with tracer.span("execute"):
+                pass
+        payload = tracer.last().to_dict()
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["name"] == "query"
+        assert encoded["children"][0]["name"] == "execute"
+        assert encoded["attributes"]["k"] == 5
+
+    def test_trace_wraps_root_by_reference(self):
+        tracer = Tracer()
+        with tracer.span("query") as root:
+            trace = Trace(root)  # wrapped while still open (engines do this)
+        assert trace.duration == tracer.last().duration
+
+
+class TestNullTracer:
+    def test_disabled_and_empty(self):
+        assert not NULL_TRACER.enabled
+        assert Tracer().enabled
+
+    def test_spans_are_noops(self):
+        with NULL_TRACER.span("query", a=1) as span:
+            assert not span.enabled
+            span.annotate(b=2)
+        assert NULL_TRACER.recent() == ()
+        assert NULL_TRACER.last() is None

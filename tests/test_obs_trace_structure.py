@@ -1,0 +1,188 @@
+"""Span-tree structure per query class, and EXPLAIN's trace summary block.
+
+Every query class executed through the stack must yield a well-formed trace:
+a single root with the documented phase names, the planning/strategy
+attributes the docs promise, and closed (non-``None``) durations throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen import uniform_points
+from repro.engine import SpatialEngine
+from repro.geometry import Point, Rect
+from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+from repro.stream import StreamEngine
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+FOCAL = Point(500.0, 500.0)
+
+
+def _assert_well_formed(trace, root_name: str) -> None:
+    """Every span closed, depths consistent, exactly one root."""
+    assert trace.name == root_name
+    assert trace.duration > 0.0
+    for depth, span in trace.walk():
+        assert span.duration is not None
+        assert (depth == 0) == (span is trace.root)
+
+
+@pytest.fixture()
+def engine() -> SpatialEngine:
+    e = SpatialEngine()
+    e.register(name="a", points=uniform_points(80, BOUNDS, seed=1), bounds=BOUNDS)
+    e.register(
+        name="b", points=uniform_points(80, BOUNDS, seed=2, start_pid=1_000), bounds=BOUNDS
+    )
+    e.register(
+        name="c", points=uniform_points(80, BOUNDS, seed=3, start_pid=2_000), bounds=BOUNDS
+    )
+    return e
+
+
+QUERIES = {
+    "single-select": Query(KnnSelect(relation="a", focal=FOCAL, k=5)),
+    "single-join": Query(KnnJoin(outer="a", inner="b", k=2)),
+    "select-inner-of-join": Query(
+        KnnJoin(outer="a", inner="b", k=2),
+        KnnSelect(relation="b", focal=FOCAL, k=6),
+    ),
+    "range-inner-of-join": Query(
+        KnnJoin(outer="a", inner="b", k=2),
+        RangeSelect(relation="b", window=Rect(200.0, 200.0, 800.0, 800.0)),
+    ),
+    "chained-joins": Query(
+        KnnJoin(outer="a", inner="b", k=2),
+        KnnJoin(outer="b", inner="c", k=2),
+    ),
+}
+
+
+class TestEngineSpanTrees:
+    @pytest.mark.parametrize("query_class", sorted(QUERIES))
+    def test_each_query_class_yields_the_documented_phases(self, engine, query_class):
+        query = QUERIES[query_class]
+        engine.run(query)
+        trace = engine.obs.tracer.last()
+        _assert_well_formed(trace, "query")
+        assert trace.phases() == ("query", "plan", "execute", "calibrate")
+        root = trace.root
+        assert root.attributes["query_class"] == query_class
+        assert root.attributes["strategy"]
+        assert root.attributes["signature"].startswith("(")
+
+    def test_observed_cost_annotation_lands_on_the_root(self, engine):
+        engine.run(QUERIES["single-select"])
+        root = engine.obs.tracer.last().root
+        assert root.attributes["observed_cost"] >= 0.0
+
+    def test_ring_keeps_one_trace_per_run(self, engine):
+        for _ in range(3):
+            engine.run(QUERIES["single-select"])
+        assert len(engine.traces()) == 3
+        assert engine.obs.tracer.traces_recorded == 3
+
+    def test_run_many_jobs_trace_as_batched_roots(self, engine):
+        queries = [QUERIES["single-select"], QUERIES["single-join"]]
+        engine.run_many(queries)
+        traces = engine.traces()
+        assert len(traces) == 2
+        for trace in traces:
+            _assert_well_formed(trace, "query")
+            assert trace.root.attributes["batched"] is True
+            assert trace.phases() == ("query", "execute", "calibrate")
+
+
+class TestShardedSpanTrees:
+    def test_fan_out_phase_with_task_count(self):
+        with ShardedEngine(num_shards=4, backend="serial") as engine:
+            engine.register(
+                name="a", points=uniform_points(150, BOUNDS, seed=4), bounds=BOUNDS
+            )
+            engine.register(
+                name="b",
+                points=uniform_points(150, BOUNDS, seed=5, start_pid=1_000),
+                bounds=BOUNDS,
+            )
+            engine.run(Query(KnnJoin(outer="a", inner="b", k=2)))
+            trace = engine.obs.tracer.last()
+            _assert_well_formed(trace, "query")
+            assert trace.phases() == ("query", "plan", "shard-fan-out", "calibrate")
+            assert trace.root.attributes["sharded"] is True
+            fan = trace.find("shard-fan-out")
+            assert fan.attributes["backend"] == "serial"
+            assert fan.attributes["tasks"] >= 1
+
+    def test_sharded_select_traces_too(self):
+        with ShardedEngine(num_shards=4, backend="serial") as engine:
+            engine.register(
+                name="a", points=uniform_points(150, BOUNDS, seed=4), bounds=BOUNDS
+            )
+            engine.run(Query(KnnSelect(relation="a", focal=FOCAL, k=5)))
+            trace = engine.obs.tracer.last()
+            _assert_well_formed(trace, "query")
+            assert trace.root.attributes["query_class"] == "single-select"
+
+
+class TestStreamSpanTrees:
+    def test_push_produces_a_maintenance_tree(self, engine):
+        with StreamEngine(engine) as stream:
+            sub = stream.subscribe(QUERIES["single-select"])
+            stream.stream("a").insert((999.0, 999.0)).flush()
+            trace = stream.obs.tracer.last()
+            _assert_well_formed(trace, "stream-maintain")
+            assert trace.phases()[:2] == ("stream-maintain", "apply-update")
+            maintain = trace.find("maintain")
+            assert maintain is not None
+            assert maintain.attributes["subscription"] == sub.id
+            assert maintain.attributes["outcome"] in ("skip", "repair", "refresh")
+            assert trace.root.attributes["relation"] == "a"
+            assert trace.root.attributes["subscriptions"] == 1
+
+    def test_composite_refresh_nests_the_reexecution_query_span(self, engine):
+        with StreamEngine(engine) as stream:
+            stream.subscribe(QUERIES["select-inner-of-join"])
+            # Composite subscriptions re-execute through the engine's plan
+            # cache on a triggered guard, so the query tree nests under the
+            # open maintain span (single selects use the direct kNN helper).
+            stream.stream("a").insert((FOCAL.x + 1.0, FOCAL.y + 1.0)).flush()
+            trace = stream.obs.tracer.last()
+            _assert_well_formed(trace, "stream-maintain")
+            maintain = trace.find("maintain")
+            assert maintain.attributes["outcome"] == "refresh"
+            query_span = maintain.find("query")
+            assert query_span is not None
+            assert query_span.find("execute") is not None
+
+    def test_subscribe_records_its_own_trace(self, engine):
+        with StreamEngine(engine) as stream:
+            sub = stream.subscribe(QUERIES["single-join"])
+            named = [t for t in stream.traces() if t.name == "subscribe"]
+            assert len(named) == 1
+            assert named[0].root.attributes["subscription"] == sub.id
+
+
+class TestExplainTraceBlock:
+    def test_render_includes_trace_summary_after_a_run(self, engine):
+        query = QUERIES["single-select"]
+        assert "trace:" not in engine.explain(query).render()  # not executed yet
+        engine.run(query)
+        rendered = engine.explain(query).render()
+        assert "  trace:" in rendered
+        lines = rendered.splitlines()
+        start = lines.index("  trace:")
+        block = lines[start + 1 :]
+        assert block[0].lstrip().startswith("query ")
+        assert any(line.lstrip().startswith("execute ") for line in block)
+        assert all(line.startswith("    ") for line in block)
+
+    def test_trace_summary_round_trips_through_with_trace(self):
+        from repro.engine.explain import Explain
+
+        record = Explain(query_class="single-select", strategy="knn-select", relations=("a",))
+        enriched = record.with_trace(["query 1.000ms", "  execute 0.500ms"])
+        assert enriched.trace_summary == ("query 1.000ms", "  execute 0.500ms")
+        assert record.trace_summary == ()  # frozen original untouched
