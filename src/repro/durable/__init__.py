@@ -1,0 +1,66 @@
+"""``repro.durable``: the crash-safe storage tier (snapshot + WAL).
+
+The in-memory engine stack (``repro.engine`` and its sharded/stream
+wrappers) loses everything on a crash: data, learned calibration profiles,
+cached plans.  This package adds durability underneath it without changing
+the query path:
+
+* :mod:`~repro.durable.segment` — memory-mappable columnar snapshots of a
+  :class:`~repro.storage.pointstore.PointStore` (CRC-guarded; loads are
+  zero-copy ``mmap`` + ``frombuffer``);
+* :mod:`~repro.durable.wal` — a write-ahead log of
+  :class:`~repro.storage.update.UpdateBatch` records (framed, CRC-guarded,
+  fsynced per append; torn tails are tolerated, mid-file corruption is not);
+* :mod:`~repro.durable.codec` — the columnar binary encoding of one batch;
+* :mod:`~repro.durable.manifest` — atomic CRC-guarded JSON commit records;
+* :mod:`~repro.durable.dataset` — :class:`DurableDataset`, one relation's
+  generation-numbered directory (snapshot + WAL + manifest) with the
+  checkpoint/recovery protocol;
+* :mod:`~repro.durable.state` — persisted planner state (calibration
+  profiles + plan signatures) for warm restarts;
+* :mod:`~repro.durable.engine` — :class:`DurableEngine`, the crash-safe
+  façade over :class:`~repro.engine.session.SpatialEngine`;
+* :mod:`~repro.durable.faults` — named crash points
+  (:data:`~repro.durable.faults.CRASH_POINTS`) the fault-injection test
+  harness hooks into; no-ops in production.
+
+The durability contract, the on-disk formats and the torn-write recovery
+argument are documented in ``docs/durability.md``.
+"""
+
+from repro.durable import faults
+from repro.durable.codec import decode_batch, encode_batch
+from repro.durable.dataset import DurableDataset, RecoveryReport
+from repro.durable.engine import DurableEngine
+from repro.durable.faults import CRASH_POINTS
+from repro.durable.manifest import (
+    ManifestCorruptError,
+    load_manifest,
+    write_manifest,
+)
+from repro.durable.segment import SegmentCorruptError, load_segment, write_segment
+from repro.durable.state import load_engine_state, save_engine_state, warm_plans
+from repro.durable.wal import WalCorruptError, WalScan, WriteAheadLog, scan_wal
+
+__all__ = [
+    "faults",
+    "CRASH_POINTS",
+    "encode_batch",
+    "decode_batch",
+    "write_segment",
+    "load_segment",
+    "SegmentCorruptError",
+    "WriteAheadLog",
+    "scan_wal",
+    "WalScan",
+    "WalCorruptError",
+    "write_manifest",
+    "load_manifest",
+    "ManifestCorruptError",
+    "DurableDataset",
+    "RecoveryReport",
+    "DurableEngine",
+    "save_engine_state",
+    "load_engine_state",
+    "warm_plans",
+]

@@ -1,0 +1,119 @@
+"""Binary encoding of :class:`~repro.storage.update.UpdateBatch` WAL payloads.
+
+One WAL record's payload is one update batch, laid out column-first so that
+encode and decode are ``tobytes``/``frombuffer`` passes with no per-operation
+loop (the same structure-of-arrays discipline as the stores the batches
+mutate):
+
+====================  =======================================================
+section               contents
+====================  =======================================================
+header (32 bytes)     ``<4Q``: ``n_inserts``, ``n_removes``, ``n_moves``,
+                      ``payload_blob_len``
+insert columns        ``insert_xs`` f8 × n, ``insert_ys`` f8 × n,
+                      ``insert_pids`` i8 × n
+remove column         ``remove_pids`` i8 × n
+move columns          ``move_pids`` i8 × n, ``move_xs`` f8 × n,
+                      ``move_ys`` f8 × n
+payload side-table    pickle of the sparse ``insert_payloads`` dict
+                      (``payload_blob_len`` bytes; absent when empty)
+====================  =======================================================
+
+All integers are little-endian; the framing (length prefix + CRC) around a
+payload is the WAL's job (:mod:`repro.durable.wal`).  Decoding re-runs the
+batch constructor's validation (:meth:`UpdateBatch.from_columns`), so a
+corrupted-but-CRC-colliding record still cannot smuggle NaN coordinates or
+mismatched columns into a replay.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+import numpy as np
+
+from repro.exceptions import InvalidParameterError
+from repro.storage.update import UpdateBatch
+
+__all__ = ["encode_batch", "decode_batch"]
+
+_HEADER = struct.Struct("<4Q")
+
+_F8 = np.dtype("<f8")
+_I8 = np.dtype("<i8")
+
+
+def encode_batch(batch: UpdateBatch) -> bytes:
+    """Serialize one update batch into a WAL record payload."""
+    blob = (
+        pickle.dumps(batch.insert_payloads, protocol=pickle.HIGHEST_PROTOCOL)
+        if batch.insert_payloads
+        else b""
+    )
+    parts = [
+        _HEADER.pack(batch.num_inserts, batch.num_removes, batch.num_moves, len(blob)),
+        np.ascontiguousarray(batch.insert_xs, dtype=_F8).tobytes(),
+        np.ascontiguousarray(batch.insert_ys, dtype=_F8).tobytes(),
+        np.ascontiguousarray(batch.insert_pids, dtype=_I8).tobytes(),
+        np.ascontiguousarray(batch.remove_pids, dtype=_I8).tobytes(),
+        np.ascontiguousarray(batch.move_pids, dtype=_I8).tobytes(),
+        np.ascontiguousarray(batch.move_xs, dtype=_F8).tobytes(),
+        np.ascontiguousarray(batch.move_ys, dtype=_F8).tobytes(),
+        blob,
+    ]
+    return b"".join(parts)
+
+
+def decode_batch(payload: bytes) -> UpdateBatch:
+    """Rebuild an update batch from a WAL record payload.
+
+    Raises :class:`InvalidParameterError` (a ``ValueError``) when the payload
+    is structurally impossible — wrong length for its declared counts — or
+    when the decoded columns fail batch validation.
+    """
+    if len(payload) < _HEADER.size:
+        raise InvalidParameterError(
+            f"WAL record payload too short for header: {len(payload)} bytes"
+        )
+    n_ins, n_rm, n_mv, blob_len = _HEADER.unpack_from(payload, 0)
+    expected = _HEADER.size + 24 * n_ins + 8 * n_rm + 24 * n_mv + blob_len
+    if len(payload) != expected:
+        raise InvalidParameterError(
+            f"WAL record payload length mismatch: got {len(payload)}, "
+            f"expected {expected} for counts ({n_ins}, {n_rm}, {n_mv})"
+        )
+
+    offset = _HEADER.size
+
+    def column(dtype: np.dtype, count: int) -> np.ndarray:
+        nonlocal offset
+        end = offset + dtype.itemsize * count
+        # Copy out of the record buffer: batches outlive the read buffer and
+        # downstream consumers expect ordinary writable arrays.
+        out = np.frombuffer(payload, dtype=dtype, count=count, offset=offset).copy()
+        offset = end
+        return out
+
+    insert_xs = column(_F8, n_ins)
+    insert_ys = column(_F8, n_ins)
+    insert_pids = column(_I8, n_ins)
+    remove_pids = column(_I8, n_rm)
+    move_pids = column(_I8, n_mv)
+    move_xs = column(_F8, n_mv)
+    move_ys = column(_F8, n_mv)
+    batch = UpdateBatch.from_columns(
+        insert_xs=insert_xs,
+        insert_ys=insert_ys,
+        insert_pids=insert_pids,
+        remove_pids=remove_pids if n_rm else None,
+        move_pids=move_pids,
+        move_xs=move_xs,
+        move_ys=move_ys,
+    )
+    if blob_len:
+        payloads = pickle.loads(payload[offset : offset + blob_len])
+        if not isinstance(payloads, dict):
+            raise InvalidParameterError("WAL record payload side-table is not a dict")
+        batch.insert_payloads = payloads
+    return batch

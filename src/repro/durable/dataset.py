@@ -1,0 +1,294 @@
+"""``DurableDataset``: one relation's crash-safe directory on disk.
+
+A durable dataset owns a directory holding exactly one live *generation* —
+a snapshot segment plus the WAL of every batch applied since that snapshot —
+and the manifest that names it::
+
+    <dir>/MANIFEST               atomic commit record (generation, metadata)
+    <dir>/snapshot-000003.seg    columnar snapshot (repro.durable.segment)
+    <dir>/wal-000003.log         update batches since (repro.durable.wal)
+
+**Write path.**  :meth:`apply_update` applies the batch to the in-memory
+:class:`~repro.query.dataset.Dataset` first, then appends it to the WAL;
+the WAL fsync is the commit point.  A crash anywhere before that fsync
+recovers to the pre-batch state, a crash after it to the post-batch state —
+never anything in between, because recovery replays whole CRC-valid records
+only.  (Applying before logging can never poison the log: a batch is logged
+only after the dataset accepted it, so replay — which is deterministic,
+fresh-pid assignment included — must accept it too.)
+
+**Checkpoint protocol.**  A checkpoint writes the *next* generation's
+snapshot and an empty WAL under new names, flips the manifest (the single
+atomic step), and only then deletes the old generation.  Crash before the
+manifest flip: the old generation is intact and the new files are orphans,
+removed at next open.  Crash after: the new generation is live and the old
+files are the orphans.  Both sides recover to exactly the pre-crash state.
+
+**Recovery.**  :meth:`open` loads the manifest's snapshot (CRC-verified),
+replays the WAL's valid prefix onto it, truncates a torn tail so appends
+resume from a clean boundary, and sweeps orphan files from interrupted
+checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.durable import faults
+from repro.durable.manifest import load_manifest, write_manifest
+from repro.durable.segment import load_segment, write_segment
+from repro.durable.wal import WriteAheadLog, scan_wal
+from repro.exceptions import InvalidParameterError
+from repro.geometry.rectangle import Rect
+from repro.query.dataset import Dataset
+from repro.storage.update import AppliedUpdate, UpdateBatch
+
+__all__ = ["DurableDataset", "RecoveryReport"]
+
+MANIFEST_NAME = "MANIFEST"
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What :meth:`DurableDataset.open` found and did.
+
+    ``replayed_batches`` counts WAL records re-applied onto the snapshot;
+    ``torn_tail`` whether a truncated/corrupt final record was discarded;
+    ``orphans_removed`` counts leftover files from an interrupted checkpoint.
+    """
+
+    relation: str
+    generation: int
+    snapshot_rows: int
+    replayed_batches: int
+    torn_tail: bool
+    orphans_removed: int
+
+
+def _snapshot_name(generation: int) -> str:
+    return f"snapshot-{generation:06d}.seg"
+
+
+def _wal_name(generation: int) -> str:
+    return f"wal-{generation:06d}.log"
+
+
+class DurableDataset:
+    """A :class:`Dataset` bound to its crash-safe directory.
+
+    Instances are built through :meth:`create` (fresh directory from a live
+    dataset) or :meth:`open` (recovery); the constructor only wires already
+    validated parts together.  All mutations must flow through
+    :meth:`apply_update` — mutating :attr:`dataset` directly bypasses the
+    log and forfeits durability for those batches.
+    """
+
+    def __init__(
+        self,
+        directory: Path,
+        dataset: Dataset,
+        wal: WriteAheadLog,
+        generation: int,
+        batches_logged: int = 0,
+    ) -> None:
+        #: The relation's directory (one generation + manifest inside).
+        self.directory = Path(directory)
+        #: The live in-memory dataset this directory persists.
+        self.dataset = dataset
+        #: The current generation's append handle.
+        self.wal = wal
+        #: Generation number named by the manifest.
+        self.generation = generation
+        #: Batches applied over the lifetime of the directory (snapshot's
+        #: share comes from the manifest; WAL replay and appends add to it).
+        self.batches_logged = batches_logged
+        #: Batches appended to the current generation's WAL.
+        self.records_since_checkpoint = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, directory: Path, dataset: Dataset) -> "DurableDataset":
+        """Initialize ``directory`` as generation 0 of ``dataset``.
+
+        Writes the initial snapshot, an empty WAL and the manifest.  The
+        dataset's ``index_options`` must be JSON-able (they are stored in
+        the manifest and replayed into the index builder at recovery).
+        """
+        directory = Path(directory)
+        if (directory / MANIFEST_NAME).exists():
+            raise InvalidParameterError(
+                f"directory {directory} already holds a durable dataset"
+            )
+        directory.mkdir(parents=True, exist_ok=True)
+        write_segment(directory / _snapshot_name(0), dataset.store)
+        wal = WriteAheadLog.create(directory / _wal_name(0))
+        write_manifest(
+            directory / MANIFEST_NAME, cls._manifest_data(dataset, generation=0, batches=0)
+        )
+        return cls(directory, dataset, wal, generation=0)
+
+    @classmethod
+    def open(cls, directory: Path) -> tuple["DurableDataset", RecoveryReport]:
+        """Recover the dataset persisted in ``directory``.
+
+        Loads the manifest's snapshot, replays the WAL's valid record prefix
+        onto it (truncating a torn tail), sweeps orphans from interrupted
+        checkpoints, and returns the live dataset plus a
+        :class:`RecoveryReport` describing what happened.
+        """
+        directory = Path(directory)
+        manifest = load_manifest(directory / MANIFEST_NAME)
+        generation = int(manifest["generation"])  # type: ignore[arg-type]
+        store = load_segment(directory / str(manifest["snapshot"]))
+        bounds = manifest.get("bounds")
+        dataset = Dataset(
+            str(manifest["relation"]),
+            store,
+            index_kind=str(manifest["index_kind"]),  # type: ignore[arg-type]
+            bounds=Rect(*bounds) if bounds is not None else None,
+            **dict(manifest.get("index_options") or {}),  # type: ignore[arg-type]
+        )
+        wal_path = directory / str(manifest["wal"])
+        replayed = 0
+        torn = False
+        if wal_path.exists():
+            scan = scan_wal(wal_path)
+            for batch in scan.batches:
+                dataset.apply_update(batch)
+                replayed += 1
+            torn = scan.torn_tail
+            WriteAheadLog.truncate_torn_tail(wal_path, scan)
+            wal = WriteAheadLog(wal_path)
+        else:
+            # Checkpoint crashed between the manifest flip and the directory
+            # fsync that would have made the fresh WAL's entry durable: the
+            # snapshot alone is the committed state.
+            wal = WriteAheadLog.create(wal_path)
+        orphans = cls._sweep_orphans(directory, manifest)
+        durable = cls(
+            directory,
+            dataset,
+            wal,
+            generation=generation,
+            batches_logged=int(manifest.get("batches", 0)) + replayed,  # type: ignore[arg-type]
+        )
+        durable.records_since_checkpoint = replayed
+        report = RecoveryReport(
+            relation=dataset.name,
+            generation=generation,
+            snapshot_rows=len(store),
+            replayed_batches=replayed,
+            torn_tail=torn,
+            orphans_removed=orphans,
+        )
+        return durable, report
+
+    @staticmethod
+    def _manifest_data(dataset: Dataset, generation: int, batches: int) -> dict[str, object]:
+        bounds = dataset.bounds
+        return {
+            "generation": generation,
+            "snapshot": _snapshot_name(generation),
+            "wal": _wal_name(generation),
+            "relation": dataset.name,
+            "index_kind": dataset.index_kind,
+            "bounds": (
+                [bounds.xmin, bounds.ymin, bounds.xmax, bounds.ymax]
+                if bounds is not None
+                else None
+            ),
+            "index_options": dataset.index_options,
+            "batches": batches,
+        }
+
+    @staticmethod
+    def _sweep_orphans(directory: Path, manifest: Mapping[str, object]) -> int:
+        """Delete generation files the manifest does not name.
+
+        An interrupted checkpoint leaves either the next generation's files
+        (crash before the manifest flip) or the previous generation's (crash
+        after); neither is referenced by the live manifest, so both are safe
+        to drop.  Temp files from torn atomic writes are swept too.
+        """
+        keep = {MANIFEST_NAME, str(manifest["snapshot"]), str(manifest["wal"])}
+        removed = 0
+        for path in directory.iterdir():
+            if path.name in keep:
+                continue
+            if path.name.endswith(".tmp") or path.name.startswith(("snapshot-", "wal-")):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """The relation's name (the in-memory dataset's)."""
+        return self.dataset.name
+
+    def apply_update(self, batch: UpdateBatch) -> AppliedUpdate:
+        """Apply one batch and make it durable; returns the effective mutation.
+
+        The in-memory apply happens first (it validates the batch against
+        the live state); the WAL append + fsync is the commit point.  A
+        no-op batch (every pid unknown) is not logged.
+        """
+        applied = self.dataset.apply_update(batch)
+        if applied.size:
+            self.log(batch)
+        return applied
+
+    def log(self, batch: UpdateBatch) -> int:
+        """Append an already-applied batch to the WAL; returns bytes written.
+
+        Split from :meth:`apply_update` for owners that route the in-memory
+        apply through their own engine (cache invalidation, listeners) and
+        only need the durability half here.
+        """
+        written = self.wal.append(batch)
+        self.records_since_checkpoint += 1
+        self.batches_logged += 1
+        return written
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Write the next generation's snapshot and truncate the WAL.
+
+        Returns the new generation number.  See the module docstring for the
+        crash-safety argument of each step.
+        """
+        generation = self.generation + 1
+        write_segment(self.directory / _snapshot_name(generation), self.dataset.store)
+        new_wal = WriteAheadLog.create(self.directory / _wal_name(generation))
+        faults.fire("checkpoint:before-manifest", relation=self.name, generation=generation)
+        write_manifest(
+            self.directory / MANIFEST_NAME,
+            self._manifest_data(self.dataset, generation, batches=self.batches_logged),
+        )
+        faults.fire("checkpoint:after-manifest", relation=self.name, generation=generation)
+        old_wal, old_generation = self.wal, self.generation
+        self.wal = new_wal
+        self.generation = generation
+        self.records_since_checkpoint = 0
+        old_wal.close()
+        (self.directory / _snapshot_name(old_generation)).unlink(missing_ok=True)
+        (self.directory / _wal_name(old_generation)).unlink(missing_ok=True)
+        return generation
+
+    def close(self) -> None:
+        """Close the WAL handle (the directory stays recoverable)."""
+        self.wal.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DurableDataset({self.name!r}, generation={self.generation}, "
+            f"wal_records={self.records_since_checkpoint})"
+        )

@@ -1,0 +1,66 @@
+"""Named crash points for fault-injection testing of the durable tier.
+
+Every potentially torn step of the durability protocol — mid-segment column
+write, mid-WAL-record append, between a write and its fsync, after a
+checkpoint's manifest commit but before the old generation is truncated —
+calls :func:`fire` with a stable point name.  In production no injector is
+installed and the call is a no-op (one global read and a ``None`` check).
+
+The test harness (``tests/faultfs.py``) installs an injector that raises at a
+chosen point, simulating the process dying exactly there; the recovery suite
+then reopens the directory and asserts the crash was invisible (pre-batch
+state) or harmless (post-batch state).  The hook deliberately lives in the
+library rather than the tests so the *named points are part of the durability
+contract*: ``docs/durability.md`` documents each one and the recovery
+invariant it pins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol
+
+__all__ = ["CRASH_POINTS", "fire", "install", "installed"]
+
+
+class Injector(Protocol):
+    """A fault injector: called at every crash point with the point's name."""
+
+    def __call__(self, point: str, **info: object) -> None:
+        """Raise to simulate a crash at ``point``; return to continue."""
+        ...
+
+
+#: Every crash point the durable tier fires, with the protocol step it pins.
+#: (Documented in ``docs/durability.md``; the fault suite iterates this.)
+CRASH_POINTS: tuple[str, ...] = (
+    "segment:mid-write",            # snapshot columns partially written
+    "segment:before-fsync",         # snapshot written, not yet durable
+    "segment:before-rename",        # snapshot durable but not yet visible
+    "wal:mid-append",               # record frame written, payload missing
+    "wal:before-fsync",             # record written, not yet durable
+    "wal:after-fsync",              # record durable, control not yet returned
+    "manifest:before-rename",       # new manifest durable but not yet live
+    "checkpoint:before-manifest",   # snapshot+fresh WAL exist, manifest is old
+    "checkpoint:after-manifest",    # manifest is new, old generation not yet truncated
+)
+
+_injector: Injector | None = None
+
+
+def install(injector: Injector | None) -> Injector | None:
+    """Install a fault injector (or clear it with ``None``); returns the old one."""
+    global _injector
+    previous = _injector
+    _injector = injector
+    return previous
+
+
+def installed() -> Injector | None:
+    """The currently installed injector (``None`` in production)."""
+    return _injector
+
+
+def fire(point: str, **info: object) -> None:
+    """Hit crash point ``point``: a no-op unless an injector is installed."""
+    if _injector is not None:
+        _injector(point, **info)

@@ -1,0 +1,69 @@
+"""Atomic JSON manifests: the commit record of the durable tier.
+
+A manifest names the *live generation* of a durable directory — which
+snapshot segment and which WAL file constitute the current state — plus the
+metadata needed to rebuild the in-memory object (relation name, index kind,
+bounds, index options).  Every other durability step is made atomic by the
+manifest: new snapshots and fresh WALs are written under *new* generation
+numbers first, and only the manifest rename flips the directory from the old
+generation to the new one.  A crash on either side of the rename leaves a
+parseable manifest naming one complete generation.
+
+Writes go to a temporary sibling, are fsynced, renamed over the target
+(atomic on POSIX), and the directory entry is fsynced.  The body carries its
+own CRC-32 so a damaged manifest is distinguished from a merely stale one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+
+from repro.durable import faults
+from repro.durable.segment import fsync_dir
+from repro.exceptions import InvalidParameterError
+
+__all__ = ["ManifestCorruptError", "write_manifest", "load_manifest"]
+
+
+class ManifestCorruptError(InvalidParameterError):
+    """Raised when a manifest fails its CRC or cannot be parsed."""
+
+
+def write_manifest(path: Path, data: dict[str, object]) -> None:
+    """Atomically write ``data`` (JSON-able) as the manifest at ``path``."""
+    path = Path(path)
+    body = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    wrapped = json.dumps({"crc": zlib.crc32(body.encode("utf-8")), "data": body})
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(wrapped.encode("utf-8"))
+        fh.flush()
+        os.fsync(fh.fileno())
+    faults.fire("manifest:before-rename", path=str(path))
+    os.replace(tmp, path)
+    fsync_dir(path.parent)
+
+
+def load_manifest(path: Path) -> dict[str, object]:
+    """Load and verify the manifest at ``path``.
+
+    Raises :class:`ManifestCorruptError` (a ``ValueError``) when the file is
+    unparseable or its CRC does not match — never silently returns partial
+    data.
+    """
+    path = Path(path)
+    try:
+        wrapped = json.loads(path.read_text(encoding="utf-8"))
+        body = wrapped["data"]
+        crc = wrapped["crc"]
+    except (json.JSONDecodeError, KeyError, TypeError, UnicodeDecodeError) as exc:
+        raise ManifestCorruptError(f"manifest {path.name}: unparseable: {exc}") from exc
+    if not isinstance(body, str) or zlib.crc32(body.encode("utf-8")) != crc:
+        raise ManifestCorruptError(f"manifest {path.name}: CRC mismatch")
+    data = json.loads(body)
+    if not isinstance(data, dict):
+        raise ManifestCorruptError(f"manifest {path.name}: body is not an object")
+    return data

@@ -1,0 +1,109 @@
+"""Planner-state persistence: calibration profiles and plan signatures.
+
+A restarted engine that recovers its *data* but not its *planner state*
+serves its first queries cold: statistics recomputed, calibration profiles
+empty (so the optimizer falls back to the static constants and may
+mispredict its way through the same demotions it already paid for before
+the restart).  This module persists the two pieces of planner state that
+are expensive to relearn and cheap to store:
+
+* the :class:`~repro.planner.calibrate.CalibrationStore` contents
+  (per-query-shape EWMA cost profiles), and
+* the plan cache's signatures — not the plans themselves (plans embed
+  strategy enums and live decisions), but the query *shapes*, which
+  :meth:`repro.query.query.Query.from_signature` turns back into plannable
+  queries so the restarted engine re-derives and re-caches each plan once,
+  up front, with its warm calibration profiles in hand.
+
+The state file reuses the manifest format (atomic rename, CRC-guarded
+JSON); a corrupt or missing file degrades to a cold start, never to a
+failed open — planner state is an optimization, not ground truth.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.durable.manifest import ManifestCorruptError, load_manifest, write_manifest
+from repro.planner.calibrate import CalibrationStore
+from repro.query.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.session import SpatialEngine
+
+__all__ = ["save_engine_state", "load_engine_state", "warm_plans"]
+
+STATE_NAME = "engine_state.json"
+
+
+def _to_json(value: object) -> object:
+    """Render nested tuples (signatures, calibration keys) as JSON lists."""
+    if isinstance(value, tuple):
+        return [_to_json(part) for part in value]
+    return value
+
+
+def _from_json(value: object) -> object:
+    """Re-tuplify a :func:`_to_json` rendering."""
+    if isinstance(value, list):
+        return tuple(_from_json(part) for part in value)
+    return value
+
+
+def save_engine_state(directory: Path, engine: "SpatialEngine") -> Path:
+    """Atomically persist ``engine``'s planner state under ``directory``.
+
+    Captures the calibration store and the plan cache's signatures (LRU
+    order preserved).  Returns the state file's path.
+    """
+    path = Path(directory) / STATE_NAME
+    write_manifest(
+        path,
+        {
+            "calibration": engine.calibration.to_state(),
+            "plan_signatures": [_to_json(sig) for sig in engine.plan_cache.signatures()],
+        },
+    )
+    return path
+
+
+def load_engine_state(
+    directory: Path,
+) -> tuple[CalibrationStore | None, list[tuple]]:
+    """Load persisted planner state from ``directory``.
+
+    Returns ``(calibration, signatures)``.  A missing or corrupt state file
+    yields ``(None, [])`` — the caller starts cold, it does not fail.
+    """
+    path = Path(directory) / STATE_NAME
+    if not path.exists():
+        return None, []
+    try:
+        state = load_manifest(path)
+        calibration = CalibrationStore.from_state(state["calibration"])  # type: ignore[arg-type]
+        signatures = [_from_json(sig) for sig in state["plan_signatures"]]  # type: ignore[union-attr]
+    except (ManifestCorruptError, ValueError, KeyError, TypeError):
+        return None, []
+    return calibration, signatures  # type: ignore[return-value]
+
+
+def warm_plans(engine: "SpatialEngine", signatures: list[tuple]) -> int:
+    """Re-plan persisted signatures so the engine's plan cache starts warm.
+
+    Each signature is rebuilt into a placeholder query
+    (:meth:`Query.from_signature`) and planned through the engine's normal
+    cached-planning path — with the restored calibration store consulted, so
+    the plans are the *calibrated* ones, not cold re-derivations.  A
+    signature that no longer plans (relation dropped, shape unsupported) is
+    skipped.  Returns the number of plans cached.
+    """
+    warmed = 0
+    for signature in signatures:
+        try:
+            query = Query.from_signature(signature)
+            engine.plan_entry(query)
+        except Exception:
+            continue
+        warmed += 1
+    return warmed

@@ -1,0 +1,229 @@
+"""The write-ahead log: framed, CRC-guarded ``UpdateBatch`` records.
+
+A WAL file is a header followed by zero or more records, each framed as::
+
+    <I payload_len> <I crc32(payload)> <payload bytes>
+
+with the payload encoded by :mod:`repro.durable.codec`.  Appends are
+sequential and fsynced before :meth:`WriteAheadLog.append` returns — the
+fsync is the durability commit point of the whole tier (see
+``docs/durability.md``).
+
+Reads tolerate exactly the damage a crash can inflict on the *tail*:
+
+* a **truncated** final record (fewer bytes on disk than the frame declares,
+  including a frame cut mid-header), and
+* a **corrupted** final record (CRC mismatch from a partial or garbled
+  write).
+
+:func:`scan_wal` stops at the first invalid frame and reports the byte
+offset of the last valid record boundary; recovery replays the valid prefix
+and truncates the tail so later appends never sit behind garbage.  Damage
+*before* the tail (flipped bytes in an already-fsynced record) is detected
+by the same CRC walk and surfaces as :class:`WalCorruptError` — that is real
+corruption, not a crash artifact, and silently dropping suffix records that
+were acknowledged as durable would be worse than failing loudly.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.durable import faults
+from repro.durable.codec import decode_batch, encode_batch
+from repro.exceptions import InvalidParameterError
+from repro.storage.update import UpdateBatch
+
+__all__ = ["WalCorruptError", "WalScan", "WriteAheadLog", "scan_wal"]
+
+MAGIC = b"RDWAL001"
+_FRAME = struct.Struct("<II")
+
+#: Records larger than this are rejected as structurally impossible (a torn
+#: length prefix can decode to garbage; the cap stops a multi-GB misread).
+MAX_RECORD_BYTES = 1 << 30
+
+
+class WalCorruptError(InvalidParameterError):
+    """Raised for WAL damage that cannot be a torn tail (see module doc)."""
+
+
+@dataclass(frozen=True)
+class WalScan:
+    """The result of scanning a WAL file.
+
+    ``batches`` is the valid record prefix, ``valid_bytes`` the offset of the
+    last valid record boundary (the truncation target for a torn tail), and
+    ``torn_tail`` whether trailing bytes after that boundary had to be
+    discarded.
+    """
+
+    batches: tuple[UpdateBatch, ...]
+    valid_bytes: int
+    torn_tail: bool
+
+
+def scan_wal(path: Path) -> WalScan:
+    """Read every valid record of the WAL at ``path`` (see module doc).
+
+    Raises :class:`WalCorruptError` when the file's header is damaged or an
+    invalid record is followed by a *valid* one (mid-file corruption — a
+    crash can only damage the tail).
+    """
+    data = Path(path).read_bytes()
+    if len(data) < len(MAGIC):
+        # A WAL created but not yet through its header fsync: empty prefix.
+        return WalScan(batches=(), valid_bytes=0, torn_tail=len(data) > 0)
+    if data[: len(MAGIC)] != MAGIC:
+        raise WalCorruptError(f"WAL {Path(path).name}: bad magic")
+    batches: list[UpdateBatch] = []
+    offset = len(MAGIC)
+    valid = offset
+    torn = False
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            torn = True  # frame header itself cut short
+            break
+        length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        end = start + length
+        if length > MAX_RECORD_BYTES or end > len(data):
+            torn = True  # declared payload extends past EOF
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            torn = True
+            break
+        try:
+            batches.append(decode_batch(payload))
+        except ValueError as exc:
+            # CRC-valid but undecodable: not explicable as a torn write.
+            raise WalCorruptError(
+                f"WAL {Path(path).name}: undecodable record at byte {offset}: {exc}"
+            ) from exc
+        offset = end
+        valid = end
+    if torn and _has_valid_record_after(data, valid):
+        raise WalCorruptError(
+            f"WAL {Path(path).name}: corrupt record at byte {valid} "
+            "followed by valid data (mid-file corruption, not a torn tail)"
+        )
+    return WalScan(batches=tuple(batches), valid_bytes=valid, torn_tail=torn)
+
+
+def _has_valid_record_after(data: bytes, boundary: int) -> bool:
+    """Whether any frame after the first invalid one still checks out.
+
+    A torn tail ends the file; a CRC-valid record *behind* the damage means
+    an already-fsynced record was corrupted in place, which recovery must
+    refuse to paper over (dropping acknowledged records breaks durability).
+    The walk probes every byte offset — frames are not self-synchronizing —
+    but only past the damage point of an already-failed scan, so the cost is
+    bounded by the (small) tail.
+    """
+    for probe in range(boundary + 1, len(data) - _FRAME.size + 1):
+        length, crc = _FRAME.unpack_from(data, probe)
+        start = probe + _FRAME.size
+        end = start + length
+        if length == 0 or length > MAX_RECORD_BYTES or end > len(data):
+            continue
+        if zlib.crc32(data[start:end]) == crc:
+            try:
+                decode_batch(data[start:end])
+            except ValueError:
+                continue
+            return True
+    return False
+
+
+class WriteAheadLog:
+    """Append-only writer over one WAL file.
+
+    Parameters
+    ----------
+    path:
+        The WAL file.  Created (with a durable header) when absent; opened
+        for appending when present.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        #: Records appended through this handle (not the file's total).
+        self.appends = 0
+        created = not self.path.exists()
+        self._fh = open(self.path, "ab")
+        if created:
+            self._fh.write(MAGIC)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    @classmethod
+    def create(cls, path: Path) -> "WriteAheadLog":
+        """Create a fresh, empty WAL at ``path`` (truncating any old file)."""
+        path = Path(path)
+        if path.exists():
+            path.unlink()
+        return cls(path)
+
+    def append(self, batch: UpdateBatch) -> int:
+        """Append one batch record; durable when the call returns.
+
+        Returns the number of bytes written.  The frame header and payload
+        are written separately with the ``wal:mid-append`` crash point
+        between them, so the fault suite can produce a genuinely torn record
+        (length prefix on disk, payload missing).
+        """
+        payload = encode_batch(batch)
+        frame = _FRAME.pack(len(payload), zlib.crc32(payload))
+        self._fh.write(frame)
+        self._fh.flush()
+        faults.fire("wal:mid-append", path=str(self.path))
+        self._fh.write(payload)
+        self._fh.flush()
+        faults.fire("wal:before-fsync", path=str(self.path))
+        os.fsync(self._fh.fileno())
+        faults.fire("wal:after-fsync", path=str(self.path))
+        self.appends += 1
+        return len(frame) + len(payload)
+
+    def tell(self) -> int:
+        """Current end-of-log byte offset."""
+        return self._fh.tell()
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    @staticmethod
+    def truncate_torn_tail(path: Path, scan: WalScan) -> bool:
+        """Cut a scanned WAL back to its last valid record boundary.
+
+        Recovery calls this after :func:`scan_wal` reported a torn tail, so
+        the next append continues from a clean boundary instead of burying
+        garbage mid-file.  Returns whether anything was cut.
+        """
+        if not scan.torn_tail:
+            return False
+        with open(path, "r+b") as fh:
+            fh.truncate(max(scan.valid_bytes, 0))
+            if scan.valid_bytes < len(MAGIC):
+                # The crash tore the header itself: rebuild an empty WAL.
+                fh.seek(0)
+                fh.write(MAGIC)
+            fh.flush()
+            os.fsync(fh.fileno())
+        return True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"WriteAheadLog({self.path.name!r}, appends={self.appends})"

@@ -216,6 +216,16 @@ class PlanCache:
             self._invalidations.inc(len(doomed))
             return len(doomed)
 
+    def signatures(self) -> list[Signature]:
+        """The cached signatures in LRU order (least recent first).
+
+        The durable tier persists this list so a restarted engine can
+        re-plan the same query shapes up front (warm restart) — signatures
+        are pure nested tuples of strings and ints, so they serialize.
+        """
+        with self._lock:
+            return list(self._entries)
+
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         with self._lock:

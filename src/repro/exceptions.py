@@ -12,8 +12,16 @@ class ReproError(Exception):
     """Base class for all errors raised by the library."""
 
 
-class GeometryError(ReproError):
-    """Raised for invalid geometric constructions (e.g. inverted rectangles)."""
+class GeometryError(ReproError, ValueError):
+    """Raised for invalid geometric constructions (e.g. inverted rectangles).
+
+    Also a :class:`ValueError` — same reasoning as
+    :class:`InvalidParameterError`: a NaN/infinite coordinate is rejected
+    with the same catchable type at every entry point (point and batch
+    construction, ``Dataset``/engine mutations, WAL decode), which is what
+    lets callers guard the whole mutation surface with one ``except
+    ValueError``.
+    """
 
 
 class IndexError_(ReproError):

@@ -281,6 +281,86 @@ class CalibrationStore:
                 "profiles": sum(len(v) for v in self._profiles.values()),
             }
 
+    # ------------------------------------------------------------------
+    # Persistence (repro.durable warm restarts)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict[str, object]:
+        """Snapshot the store as a JSON-able dict (see :meth:`from_state`).
+
+        Calibration keys are nested tuples of strings and ints; they are
+        emitted as nested lists (JSON has no tuples) and re-tuplified on
+        load, so a profile learned before a restart is found under exactly
+        the same key after it.
+        """
+        with self._lock:
+            return {
+                "alpha": self.alpha,
+                "min_observations": self.min_observations,
+                "observations": self.observations,
+                "profiles": [
+                    {
+                        "key": _key_to_json(key),
+                        "count": self._counts.get(key, 0),
+                        "strategies": [
+                            {
+                                "strategy": p.strategy,
+                                "observations": p.observations,
+                                "observed_total": p.observed_total,
+                                "selectivity": p.selectivity,
+                                "points_considered": p.points_considered,
+                                "blocks_examined": p.blocks_examined,
+                                "wall_seconds": p.wall_seconds,
+                                "estimated_total": p.estimated_total,
+                            }
+                            for p in by_strategy.values()
+                        ],
+                    }
+                    for key, by_strategy in self._profiles.items()
+                ],
+            }
+
+    @classmethod
+    def from_state(cls, state: dict[str, object]) -> "CalibrationStore":
+        """Rebuild a store from a :meth:`to_state` snapshot.
+
+        Raises :class:`InvalidParameterError` (a ``ValueError``) when the
+        snapshot is structurally invalid, so a corrupted state file surfaces
+        at open instead of as silently cold profiles.
+        """
+        try:
+            store = cls(
+                alpha=float(state["alpha"]),  # type: ignore[arg-type]
+                min_observations=int(state["min_observations"]),  # type: ignore[arg-type]
+            )
+            for entry in state["profiles"]:  # type: ignore[union-attr]
+                key = _key_from_json(entry["key"])
+                store._counts[key] = int(entry["count"])
+                store._profiles[key] = {
+                    p["strategy"]: StrategyProfile(
+                        strategy=p["strategy"],
+                        observations=int(p["observations"]),
+                        observed_total=float(p["observed_total"]),
+                        selectivity=(
+                            None if p["selectivity"] is None else float(p["selectivity"])
+                        ),
+                        points_considered=float(p["points_considered"]),
+                        blocks_examined=float(p["blocks_examined"]),
+                        wall_seconds=float(p["wall_seconds"]),
+                        estimated_total=(
+                            None
+                            if p["estimated_total"] is None
+                            else float(p["estimated_total"])
+                        ),
+                    )
+                    for p in entry["strategies"]
+                }
+            store.observations = int(state.get("observations", 0))  # type: ignore[arg-type]
+        except (KeyError, TypeError, AttributeError) as exc:
+            raise InvalidParameterError(
+                f"invalid calibration state snapshot: {exc!r}"
+            ) from exc
+        return store
+
     def __len__(self) -> int:
         return len(self._profiles)
 
@@ -289,6 +369,20 @@ class CalibrationStore:
             f"CalibrationStore(keys={len(self._profiles)}, "
             f"observations={self.observations}, alpha={self.alpha})"
         )
+
+
+def _key_to_json(key: object) -> object:
+    """Render a nested-tuple calibration key as nested JSON lists."""
+    if isinstance(key, tuple):
+        return [_key_to_json(part) for part in key]
+    return key
+
+
+def _key_from_json(key: object) -> object:
+    """Re-tuplify a :func:`_key_to_json` rendering (lists become tuples)."""
+    if isinstance(key, list):
+        return tuple(_key_from_json(part) for part in key)
+    return key
 
 
 def _mentions(key: CalibrationKey, name: str) -> bool:

@@ -149,6 +149,43 @@ class Query:
                 )
         return (self.strategy, tuple(sorted(entries)))
 
+    @classmethod
+    def from_signature(cls, signature: tuple) -> "Query":
+        """Rebuild a query *shape* from a :meth:`signature` value.
+
+        The signature deliberately drops focal points and range windows (the
+        plan does not depend on them), so the reconstructed query carries
+        placeholder parameters — origin focal points, a unit window, the
+        bucketed k.  That is exactly enough to re-derive and re-cache the
+        same plan under the same signature, which is how the durable tier
+        warms a restarted engine's plan cache; the reconstructed query is
+        *not* suitable for running (its results would be for the
+        placeholders).
+        """
+        from repro.geometry.point import Point
+        from repro.geometry.rectangle import Rect
+
+        try:
+            strategy, entries = signature
+            predicates: list[Predicate] = []
+            for entry in entries:
+                if entry[0] == "knn_select":
+                    _, relation, _kind, k = entry
+                    predicates.append(KnnSelect(relation, Point(0.0, 0.0), int(k)))
+                elif entry[0] == "range_select":
+                    _, relation, _kind = entry
+                    predicates.append(RangeSelect(relation, Rect(0.0, 0.0, 1.0, 1.0)))
+                elif entry[0] == "knn_join":
+                    _, outer, _okind, inner, _ikind, k = entry
+                    predicates.append(KnnJoin(outer, inner, int(k)))
+                else:
+                    raise InvalidParameterError(
+                        f"unknown signature entry kind: {entry[0]!r}"
+                    )
+        except (TypeError, ValueError) as exc:
+            raise InvalidParameterError(f"malformed query signature: {signature!r}") from exc
+        return cls(*predicates, strategy=strategy)
+
     @staticmethod
     def calibration_key_of(signature: tuple) -> tuple:
         """The calibration key embedded in a :meth:`signature` value.

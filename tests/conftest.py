@@ -2,7 +2,17 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
 import pytest
+
+# Under --import-mode=importlib the tests directory is not on sys.path; add
+# it so suites can import shared helper modules (e.g. ``faultfs``, the
+# fault-injection harness) and each other's scenario builders.
+_TESTS_DIR = str(Path(__file__).resolve().parent)
+if _TESTS_DIR not in sys.path:
+    sys.path.insert(0, _TESTS_DIR)
 
 from repro.datagen import berlinmod_snapshot, clustered_points, uniform_points
 from repro.geometry import Point, Rect

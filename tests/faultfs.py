@@ -1,0 +1,110 @@
+"""Reusable fault-injection harness for the durable tier.
+
+Three tools, composed by the recovery suites:
+
+* :class:`FaultInjector` — a context manager that installs itself into
+  :mod:`repro.durable.faults` and raises :class:`InjectedCrash` the *n*-th
+  time a chosen crash point fires, simulating the process dying exactly
+  there.  With ``point=None`` it records every point it sees without raising
+  (useful to assert a scenario actually exercises the documented points).
+* :func:`corrupt_byte` — flip one byte of a file in place (bit-rot /
+  partial-sector damage, as opposed to a clean truncation).
+* :func:`truncate_tail` — drop the last *n* bytes of a file (a torn write
+  at end-of-file, the damage a crash mid-append leaves behind).
+
+``InjectedCrash`` derives from :class:`BaseException` on purpose: a real
+crash cannot be caught by a stray ``except Exception`` in the code under
+test, so the simulated one must not be either.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.durable import faults
+
+
+class InjectedCrash(BaseException):
+    """The simulated process death raised at an injected crash point."""
+
+    def __init__(self, point: str, **info: object) -> None:
+        super().__init__(point)
+        self.point = point
+        self.info = info
+
+
+class FaultInjector:
+    """Install a crash at a named point for the duration of a ``with`` block.
+
+    Parameters
+    ----------
+    point:
+        The crash point to die at (one of
+        :data:`repro.durable.faults.CRASH_POINTS`), or ``None`` to only
+        record the points that fire.
+    on_hit:
+        Die on the n-th time ``point`` fires (default: the first), so a
+        scenario can survive early checkpoints and crash at a later one.
+
+    Attributes
+    ----------
+    seen:
+        Every crash point fired while installed, in order.
+    fired:
+        Whether the injected crash was actually raised.
+    """
+
+    def __init__(self, point: str | None = None, on_hit: int = 1) -> None:
+        if point is not None and point not in faults.CRASH_POINTS:
+            raise ValueError(f"unknown crash point: {point!r}")
+        if on_hit < 1:
+            raise ValueError("on_hit must be >= 1")
+        self.point = point
+        self.on_hit = on_hit
+        self.seen: list[str] = []
+        self.hits = 0
+        self.fired = False
+        self._previous: faults.Injector | None = None
+
+    def __call__(self, point: str, **info: object) -> None:
+        self.seen.append(point)
+        if point == self.point:
+            self.hits += 1
+            if self.hits == self.on_hit:
+                self.fired = True
+                raise InjectedCrash(point, **info)
+
+    def __enter__(self) -> "FaultInjector":
+        self._previous = faults.install(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        faults.install(self._previous)
+
+
+def corrupt_byte(path: Path, offset: int) -> None:
+    """Flip every bit of the byte at ``offset`` (negative counts from EOF)."""
+    path = Path(path)
+    size = path.stat().st_size
+    if offset < 0:
+        offset += size
+    if not 0 <= offset < size:
+        raise ValueError(f"offset {offset} outside file of {size} bytes")
+    with open(path, "r+b") as fh:
+        fh.seek(offset)
+        byte = fh.read(1)
+        fh.seek(offset)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def truncate_tail(path: Path, nbytes: int) -> None:
+    """Drop the last ``nbytes`` bytes of ``path`` (at most its whole size)."""
+    path = Path(path)
+    size = path.stat().st_size
+    with open(path, "r+b") as fh:
+        fh.truncate(max(size - nbytes, 0))
+        fh.flush()
+        os.fsync(fh.fileno())

@@ -56,5 +56,6 @@ def test_docstring_check_covers_the_serving_surface():
         "repro.shard",
         "repro.stream",
         "repro.obs",
+        "repro.durable",
     }
     assert module.check_docstrings() == []

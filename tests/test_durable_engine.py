@@ -1,0 +1,237 @@
+"""Unit tests for :class:`repro.durable.engine.DurableEngine`.
+
+The crash/recovery matrix lives in ``tests/test_durable_faults.py`` and the
+end-to-end parity property in ``tests/test_property_durable_recovery.py``;
+here we pin the wrapper's contract — mutation routing, auto-checkpointing,
+relation lifecycle, bypass detection, read-side delegation, and the
+observability counters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durable import DurableDataset, DurableEngine
+from repro.engine.session import SpatialEngine
+from repro.exceptions import InvalidParameterError, UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.predicates import KnnSelect
+from repro.query.query import Query
+from repro.storage.update import UpdateBatch
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def points(n: int = 30, start: int = 0) -> list[Point]:
+    return [Point(float(3 * i % 97), float(7 * i % 89), start + i) for i in range(n)]
+
+
+def make(tmp_path, **kwargs) -> DurableEngine:
+    engine = DurableEngine.create(tmp_path / "root", **kwargs)
+    engine.register(name="rel", points=points(), bounds=BOUNDS)
+    return engine
+
+
+def counter(engine: DurableEngine, name: str) -> float:
+    return engine.engine.obs.registry.counter(name).value
+
+
+# ---------------------------------------------------------------------------
+# Construction and lifecycle
+# ---------------------------------------------------------------------------
+def test_create_writes_generation_zero(tmp_path):
+    engine = make(tmp_path)
+    directory = tmp_path / "root" / "rel"
+    assert (directory / "MANIFEST").exists()
+    assert (directory / "snapshot-000000.seg").exists()
+    assert (directory / "wal-000000.log").exists()
+    assert engine.durables["rel"].generation == 0
+    engine.close()
+
+
+def test_create_snapshots_preregistered_relations(tmp_path):
+    inner = SpatialEngine()
+    inner.register(name="rel", points=points(), bounds=BOUNDS)
+    engine = DurableEngine.create(tmp_path / "root", inner)
+    assert (tmp_path / "root" / "rel" / "MANIFEST").exists()
+    engine.close()
+
+
+def test_open_missing_root_raises(tmp_path):
+    with pytest.raises(InvalidParameterError):
+        DurableEngine.open(tmp_path / "nowhere")
+
+
+def test_negative_checkpoint_interval_rejected(tmp_path):
+    with pytest.raises(InvalidParameterError):
+        DurableEngine.create(tmp_path / "root", checkpoint_interval=-1)
+
+
+def test_context_manager_closes(tmp_path):
+    with make(tmp_path) as engine:
+        engine.insert("rel", [(1.0, 2.0)])
+    # State was persisted on exit and the directory reopens cleanly.
+    reopened = DurableEngine.open(tmp_path / "root")
+    assert len(reopened.dataset("rel").store) == 31
+    reopened.close()
+
+
+def test_unregister_deletes_directory(tmp_path):
+    engine = make(tmp_path)
+    engine.unregister("rel")
+    assert "rel" not in engine
+    assert not (tmp_path / "root" / "rel").exists()
+    engine.close()
+
+
+def test_reregister_resets_directory(tmp_path):
+    engine = make(tmp_path)
+    engine.insert("rel", [(9.0, 9.0)])
+    engine.register(name="rel", points=points(5, start=500), bounds=BOUNDS)
+    engine.close()
+    reopened = DurableEngine.open(tmp_path / "root")
+    # The old generation (and its WAL) is gone: only the re-registered rows.
+    assert sorted(reopened.dataset("rel").store.pids) == list(range(500, 505))
+    reopened.close()
+
+
+def test_len_and_contains_delegate(tmp_path):
+    engine = make(tmp_path)
+    assert len(engine) == 1 and "rel" in engine and "ghost" not in engine
+    engine.close()
+
+
+def test_delegation_guards_private_names(tmp_path):
+    engine = make(tmp_path)
+    assert engine.dataset("rel") is engine.engine.dataset("rel")  # delegated read
+    with pytest.raises(AttributeError):
+        engine.__getattr__("_sneaky")
+    engine.close()
+
+
+# ---------------------------------------------------------------------------
+# The durable write path
+# ---------------------------------------------------------------------------
+def test_mutations_round_trip_through_reopen(tmp_path):
+    engine = make(tmp_path, checkpoint_interval=0)
+    assert engine.insert("rel", [(50.0, 50.0)]) == 1
+    assert engine.remove("rel", [0]) == 1
+    assert engine.move("rel", [(1, 9.0, 9.0)]) == 1
+    expected = sorted(
+        (int(p), float(x), float(y))
+        for p, x, y in zip(
+            engine.dataset("rel").store.pids,
+            engine.dataset("rel").store.xs,
+            engine.dataset("rel").store.ys,
+        )
+    )
+    engine.close()
+    reopened = DurableEngine.open(tmp_path / "root")
+    store = reopened.dataset("rel").store
+    got = sorted(
+        (int(p), float(x), float(y)) for p, x, y in zip(store.pids, store.xs, store.ys)
+    )
+    assert got == expected
+    report = reopened.last_recovery["rel"]
+    assert report.replayed_batches == 3 and not report.torn_tail
+    reopened.close()
+
+
+def test_noop_batch_is_not_logged(tmp_path):
+    engine = make(tmp_path, checkpoint_interval=0)
+    before = counter(engine, "wal_appends_total")
+    assert engine.remove("rel", [987654]) == 0  # unknown pid: nothing applied
+    assert counter(engine, "wal_appends_total") == before
+    engine.close()
+
+
+def test_unknown_relation_raises(tmp_path):
+    engine = make(tmp_path)
+    with pytest.raises(UnsupportedQueryError):
+        engine.apply_update("ghost", UpdateBatch(inserts=[(1.0, 1.0)]))
+    engine.close()
+
+
+def test_auto_checkpoint_at_interval(tmp_path):
+    engine = make(tmp_path, checkpoint_interval=3)
+    for i in range(7):
+        engine.insert("rel", [(float(i), float(i))])
+    # 7 appends with interval 3: checkpoints after the 3rd and 6th.
+    assert counter(engine, "checkpoints_total") == 2
+    assert engine.durables["rel"].generation == 2
+    assert engine.durables["rel"].records_since_checkpoint == 1
+    engine.close()
+    reopened = DurableEngine.open(tmp_path / "root")
+    assert len(reopened.dataset("rel").store) == 37
+    assert reopened.last_recovery["rel"].replayed_batches == 1
+    reopened.close()
+
+
+def test_manual_checkpoint_counts_relations(tmp_path):
+    engine = make(tmp_path, checkpoint_interval=0)
+    engine.register(name="other", points=points(5, start=900), bounds=BOUNDS)
+    assert engine.checkpoint("rel") == 1
+    assert engine.checkpoint() == 2  # all relations
+    assert engine.durables["rel"].generation == 2
+    assert engine.durables["other"].generation == 1
+    engine.close()
+
+
+def test_wal_counters_track_appends(tmp_path):
+    engine = make(tmp_path, checkpoint_interval=0)
+    engine.insert("rel", [(1.0, 1.0)])
+    engine.insert("rel", [(2.0, 2.0)])
+    assert counter(engine, "wal_appends_total") == 2
+    assert counter(engine, "wal_bytes_total") > 0
+    assert engine.engine.obs.registry.gauge("durable_relations").value == 1
+    engine.close()
+
+
+def test_bypass_detection(tmp_path):
+    engine = make(tmp_path, checkpoint_interval=0)
+    assert counter(engine, "durable_bypass_total") == 0
+    engine.insert("rel", [(1.0, 1.0)])  # durable path: no bypass
+    assert counter(engine, "durable_bypass_total") == 0
+    # Mutating the inner engine directly skips the WAL — counted and emitted.
+    engine.engine.insert("rel", [(2.0, 2.0)])
+    assert counter(engine, "durable_bypass_total") == 1
+    kinds = [e.kind for e in engine.engine.obs.events.events("durable_bypass")]
+    assert kinds == ["durable_bypass"]
+    engine.close()
+    # The bypassed batch is live in memory but absent from the WAL: recovery
+    # serves the durable prefix only (30 seed + 1 durable insert).
+    reopened = DurableEngine.open(tmp_path / "root")
+    assert len(reopened.dataset("rel").store) == 31
+    reopened.close()
+
+
+def test_queries_delegate_to_inner_engine(tmp_path):
+    engine = make(tmp_path)
+    result = engine.run(Query(KnnSelect(relation="rel", focal=Point(10.0, 10.0), k=3)))
+    assert len(result.points) == 3
+    engine.close()
+
+
+# ---------------------------------------------------------------------------
+# DurableDataset specifics not reachable through the engine
+# ---------------------------------------------------------------------------
+def test_dataset_create_refuses_occupied_directory(tmp_path):
+    engine = make(tmp_path)
+    with pytest.raises(InvalidParameterError):
+        DurableDataset.create(tmp_path / "root" / "rel", engine.dataset("rel"))
+    engine.close()
+
+
+def test_recovery_rebuilds_index_configuration(tmp_path):
+    engine = DurableEngine.create(tmp_path / "root")
+    engine.register(
+        name="rel", points=points(), index_kind="quadtree", bounds=BOUNDS, capacity=16
+    )
+    engine.close()
+    reopened = DurableEngine.open(tmp_path / "root")
+    dataset = reopened.dataset("rel")
+    assert dataset.index_kind == "quadtree"
+    assert dataset.bounds == BOUNDS
+    assert dataset.index_options == {"capacity": 16}
+    reopened.close()

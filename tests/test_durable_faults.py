@@ -1,0 +1,307 @@
+"""Fault-injection recovery suite: every crash point lands pre- or post-batch.
+
+The durability contract (``docs/durability.md``): a crash at *any* named
+point of the protocol recovers to either the pre-batch or the post-batch
+state — never a partial application — and the recovered engine answers every
+query class identically to a never-crashed oracle holding the same rows.
+This suite drives each point in :data:`repro.durable.faults.CRASH_POINTS`
+through :class:`faultfs.FaultInjector`, reopens the directory, and checks
+both halves of that sentence; byte-corruption and truncation tests cover the
+damage a crash leaves *on disk* rather than in the protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from faultfs import FaultInjector, InjectedCrash, corrupt_byte, truncate_tail
+from test_property_stream_parity import build_queries
+
+from repro.durable import (
+    CRASH_POINTS,
+    DurableDataset,
+    DurableEngine,
+    ManifestCorruptError,
+    SegmentCorruptError,
+    WalCorruptError,
+    scan_wal,
+)
+from repro.durable.wal import MAGIC as WAL_MAGIC
+from repro.engine.session import SpatialEngine
+from repro.geometry.point import Point
+from repro.storage.update import UpdateBatch
+from repro.stream.delta import result_rows
+
+K = 3
+FOCAL = Point(30.0, 30.0)
+
+
+def points_a() -> list[Point]:
+    return [Point(float(3 * i % 97), float(5 * i % 89), i) for i in range(40)]
+
+
+def points_b() -> list[Point]:
+    return [Point(10.0 + 7.0 * i, 12.0 + 6.0 * i, 1000 + i) for i in range(8)]
+
+
+def committed_batch() -> UpdateBatch:
+    """A batch the tests commit *before* crashing (makes the WAL non-trivial)."""
+    return UpdateBatch(inserts=[(50.5, 50.5)], removes=[7], moves=[(1, 80.0, 80.0)])
+
+
+def crash_batch() -> UpdateBatch:
+    """The batch in flight when the injected crash hits."""
+    return UpdateBatch(
+        inserts=[(70.5, 70.5), Point(71.0, 71.0, 5000, payload={"tag": "m"})],
+        removes=[2],
+        moves=[(3, 10.0, 90.0)],
+    )
+
+
+def rows(dataset) -> list[tuple[int, float, float]]:
+    store = dataset.store
+    return sorted(
+        (int(pid), float(x), float(y))
+        for pid, x, y in zip(store.pids, store.xs, store.ys)
+    )
+
+
+def make_durable(tmp_path) -> DurableEngine:
+    engine = DurableEngine.create(tmp_path / "root", checkpoint_interval=0)
+    engine.register(name="a", points=points_a())
+    engine.register(name="b", points=points_b())
+    return engine
+
+
+def make_oracle(apply_crash_batch: bool) -> SpatialEngine:
+    """A never-crashed in-memory engine mirroring the scenario's mutations."""
+    oracle = SpatialEngine()
+    oracle.register(name="a", points=points_a())
+    oracle.register(name="b", points=points_b())
+    oracle.apply_update("a", committed_batch())
+    if apply_crash_batch:
+        oracle.apply_update("a", crash_batch())
+    return oracle
+
+
+def assert_query_parity(recovered, oracle) -> None:
+    """All six query classes agree between the recovered and oracle engines."""
+    for name, query in build_queries(K, FOCAL).items():
+        assert result_rows(recovered.run(query)) == result_rows(oracle.run(query)), name
+
+
+def reopen_and_check(tmp_path, expected: str) -> DurableEngine:
+    """Reopen the crashed root; recovered state must be pre/post, never partial."""
+    recovered = DurableEngine.open(tmp_path / "root")
+    pre, post = make_oracle(False), make_oracle(True)
+    got = rows(recovered.dataset("a"))
+    if expected == "pre":
+        oracle = pre
+        assert got == rows(pre.dataset("a"))
+    elif expected == "post":
+        oracle = post
+        assert got == rows(post.dataset("a"))
+    else:  # a crash point whose fsync race makes either outcome legal
+        assert got in (rows(pre.dataset("a")), rows(post.dataset("a")))
+        oracle = pre if got == rows(pre.dataset("a")) else post
+    assert rows(recovered.dataset("b")) == rows(pre.dataset("b"))
+    assert_query_parity(recovered, oracle)
+    return recovered
+
+
+# ---------------------------------------------------------------------------
+# WAL-append crash points (mutation in flight)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    ("point", "expected"),
+    [
+        # Frame header on disk, payload missing: a torn tail, record lost.
+        ("wal:mid-append", "pre"),
+        # Record fully written but the fsync never ran.  In-process the OS
+        # already has the bytes, so recovery sees the record (post); on real
+        # hardware either outcome is possible — both satisfy the contract.
+        ("wal:before-fsync", "either"),
+        # Record durable; the crash only stole the return.
+        ("wal:after-fsync", "post"),
+    ],
+)
+def test_wal_append_crash(tmp_path, point, expected):
+    engine = make_durable(tmp_path)
+    engine.apply_update("a", committed_batch())
+    with FaultInjector(point) as injector:
+        with pytest.raises(InjectedCrash):
+            engine.apply_update("a", crash_batch())
+    assert injector.fired
+    recovered = reopen_and_check(tmp_path, expected)
+    # The recovered WAL must accept appends again (the tail was truncated).
+    recovered.insert("a", [(1.5, 2.5)])
+    recovered.close()
+
+
+def test_wal_mid_append_leaves_torn_tail_then_truncates(tmp_path):
+    engine = make_durable(tmp_path)
+    engine.apply_update("a", committed_batch())
+    wal_path = engine.durables["a"].wal.path
+    clean = wal_path.stat().st_size
+    with FaultInjector("wal:mid-append"):
+        with pytest.raises(InjectedCrash):
+            engine.apply_update("a", crash_batch())
+    assert wal_path.stat().st_size > clean  # torn frame header on disk
+    scan = scan_wal(wal_path)
+    assert scan.torn_tail and scan.valid_bytes == clean
+    DurableEngine.open(tmp_path / "root").close()
+    assert wal_path.stat().st_size == clean  # recovery cut the tail
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint crash points (snapshot / manifest protocol)
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "point",
+    [
+        "segment:mid-write",
+        "segment:before-fsync",
+        "segment:before-rename",
+        "manifest:before-rename",
+        "checkpoint:before-manifest",
+        "checkpoint:after-manifest",
+    ],
+)
+def test_checkpoint_crash(tmp_path, point):
+    engine = make_durable(tmp_path)
+    engine.apply_update("a", committed_batch())
+    engine.apply_update("a", crash_batch())
+    with FaultInjector(point) as injector:
+        with pytest.raises(InjectedCrash):
+            engine.checkpoint("a")
+    assert injector.fired
+    # Whatever the checkpoint got to, the *applied* state is fully durable:
+    # recovery must land exactly post-batch (from the old generation + WAL,
+    # or from the new snapshot — whichever side of the manifest flip the
+    # crash hit).
+    recovered = reopen_and_check(tmp_path, "post")
+    directory = tmp_path / "root" / "a"
+    manifest_named = {
+        f"snapshot-{recovered.durables['a'].generation:06d}.seg",
+        f"wal-{recovered.durables['a'].generation:06d}.log",
+        "MANIFEST",
+    }
+    leftovers = {p.name for p in directory.iterdir()} - manifest_named
+    assert not leftovers, f"orphans survived recovery: {leftovers}"
+    # The recovered tree checkpoints cleanly afterwards.
+    recovered.checkpoint("a")
+    recovered.close()
+
+
+def test_create_crash_leaves_no_usable_directory(tmp_path):
+    engine = SpatialEngine()
+    engine.register(name="a", points=points_a())
+    with FaultInjector("segment:mid-write"):
+        with pytest.raises(InjectedCrash):
+            DurableEngine.create(tmp_path / "root", engine)
+    # Nothing committed: no manifest, so open finds no relations.
+    recovered = DurableEngine.open(tmp_path / "root")
+    assert len(recovered) == 0
+    recovered.close()
+
+
+def test_every_crash_point_fires_in_one_lifecycle(tmp_path):
+    """The documented CRASH_POINTS list is live — each fires at least once."""
+    with FaultInjector(point=None) as recorder:
+        engine = make_durable(tmp_path)
+        engine.apply_update("a", crash_batch())
+        engine.checkpoint("a")
+        engine.close()
+    assert set(recorder.seen) == set(CRASH_POINTS)
+    assert not recorder.fired
+
+
+# ---------------------------------------------------------------------------
+# On-disk damage (corruption and truncation, no injector)
+# ---------------------------------------------------------------------------
+def test_corrupt_segment_detected(tmp_path):
+    engine = make_durable(tmp_path)
+    engine.close()
+    snapshot = tmp_path / "root" / "a" / "snapshot-000000.seg"
+    corrupt_byte(snapshot, offset=64)  # inside the coordinate columns
+    with pytest.raises(SegmentCorruptError):
+        DurableDataset.open(tmp_path / "root" / "a")
+
+
+def test_truncated_segment_detected(tmp_path):
+    engine = make_durable(tmp_path)
+    engine.close()
+    snapshot = tmp_path / "root" / "a" / "snapshot-000000.seg"
+    truncate_tail(snapshot, 16)
+    with pytest.raises(SegmentCorruptError):
+        DurableDataset.open(tmp_path / "root" / "a")
+
+
+def test_truncated_wal_tail_is_tolerated(tmp_path):
+    # Both batches committed; tearing the LAST record loses exactly it, so
+    # recovery lands on the committed-batch-only state — the "pre" oracle.
+    engine = make_durable(tmp_path)
+    engine.apply_update("a", committed_batch())
+    engine.apply_update("a", crash_batch())
+    engine.close()
+    wal_path = tmp_path / "root" / "a" / "wal-000000.log"
+    truncate_tail(wal_path, 5)  # tear the last record
+    recovered = reopen_and_check(tmp_path, "pre")
+    recovered.close()
+
+
+def test_corrupt_wal_tail_is_tolerated(tmp_path):
+    engine = make_durable(tmp_path)
+    engine.apply_update("a", committed_batch())
+    engine.apply_update("a", crash_batch())
+    engine.close()
+    wal_path = tmp_path / "root" / "a" / "wal-000000.log"
+    corrupt_byte(wal_path, offset=-3)  # flip a byte inside the last payload
+    recovered = reopen_and_check(tmp_path, "pre")
+    recovered.close()
+
+
+def test_corrupt_wal_header_rejected(tmp_path):
+    engine = make_durable(tmp_path)
+    engine.apply_update("a", committed_batch())
+    engine.close()
+    wal_path = tmp_path / "root" / "a" / "wal-000000.log"
+    corrupt_byte(wal_path, offset=2)  # inside the magic
+    with pytest.raises(WalCorruptError):
+        DurableDataset.open(tmp_path / "root" / "a")
+
+
+def test_mid_file_wal_corruption_rejected(tmp_path):
+    engine = make_durable(tmp_path)
+    engine.apply_update("a", committed_batch())
+    engine.apply_update("a", crash_batch())
+    engine.close()
+    wal_path = tmp_path / "root" / "a" / "wal-000000.log"
+    # Damage the FIRST record's payload: a valid record follows, so this is
+    # not explicable as a torn tail and must fail loudly, not drop records.
+    corrupt_byte(wal_path, offset=len(WAL_MAGIC) + 8 + 4)
+    with pytest.raises(WalCorruptError):
+        DurableDataset.open(tmp_path / "root" / "a")
+
+
+def test_corrupt_manifest_rejected(tmp_path):
+    engine = make_durable(tmp_path)
+    engine.close()
+    corrupt_byte(tmp_path / "root" / "a" / "MANIFEST", offset=-5)
+    with pytest.raises(ManifestCorruptError):
+        DurableDataset.open(tmp_path / "root" / "a")
+
+
+def test_corrupt_engine_state_degrades_to_cold_start(tmp_path):
+    engine = make_durable(tmp_path)
+    engine.run(build_queries(K, FOCAL)["single-select"])
+    engine.close()
+    corrupt_byte(tmp_path / "root" / "engine_state.json", offset=-4)
+    recovered = DurableEngine.open(tmp_path / "root")  # must not raise
+    assert recovered.warmed_plans == 0
+    assert recovered.calibration.observations == 0
+    oracle = SpatialEngine()
+    oracle.register(name="a", points=points_a())
+    oracle.register(name="b", points=points_b())
+    assert_query_parity(recovered, oracle)
+    recovered.close()

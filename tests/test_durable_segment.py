@@ -1,0 +1,121 @@
+"""Unit tests for snapshot segments (``repro.durable.segment``).
+
+Round-trips, the atomic-write discipline (no temp files survive a clean
+write), the mmap zero-copy load path, and structural/CRC rejection.  The
+crash-point behavior of a *torn* write is pinned by
+``tests/test_durable_faults.py``; here we cover the format itself.
+"""
+
+from __future__ import annotations
+
+import mmap
+
+import numpy as np
+import pytest
+
+from faultfs import corrupt_byte, truncate_tail
+
+from repro.durable.segment import (
+    MAGIC,
+    SegmentCorruptError,
+    load_segment,
+    write_segment,
+)
+from repro.geometry.point import Point
+from repro.storage.pointstore import PointStore
+
+
+def make_store(with_payloads: bool = True) -> PointStore:
+    points = [Point(float(i), float(2 * i), 100 + i) for i in range(25)]
+    if with_payloads:
+        points[3] = Point(3.0, 6.0, 103, payload={"name": "three"})
+        points[17] = Point(17.0, 34.0, 117, payload=("tuple", 17))
+    return PointStore.from_points(points)
+
+
+def assert_stores_equal(a: PointStore, b: PointStore) -> None:
+    assert np.array_equal(a.xs, b.xs)
+    assert np.array_equal(a.ys, b.ys)
+    assert np.array_equal(a.pids, b.pids)
+    assert a.payloads == b.payloads
+
+
+@pytest.mark.parametrize("use_mmap", [True, False], ids=["mmap", "read"])
+@pytest.mark.parametrize("with_payloads", [True, False], ids=["payloads", "plain"])
+def test_round_trip(tmp_path, use_mmap, with_payloads):
+    store = make_store(with_payloads)
+    path = tmp_path / "snap.seg"
+    written = write_segment(path, store)
+    assert written == path.stat().st_size
+    assert_stores_equal(load_segment(path, use_mmap=use_mmap), store)
+
+
+def test_clean_write_leaves_no_temp_file(tmp_path):
+    write_segment(tmp_path / "snap.seg", make_store())
+    assert {p.name for p in tmp_path.iterdir()} == {"snap.seg"}
+
+
+def test_rewrite_replaces_atomically(tmp_path):
+    path = tmp_path / "snap.seg"
+    write_segment(path, make_store(with_payloads=False))
+    bigger = PointStore.from_points(
+        [Point(float(i), 0.0, i) for i in range(200)]
+    )
+    write_segment(path, bigger)
+    assert_stores_equal(load_segment(path), bigger)
+
+
+def test_mmap_load_is_zero_copy_and_read_only(tmp_path):
+    path = tmp_path / "snap.seg"
+    write_segment(path, make_store())
+    loaded = load_segment(path, use_mmap=True)
+    # The columns are views over the file mapping, not copies (frombuffer
+    # wraps the mmap in a memoryview, so the mapping sits one level down)...
+    assert isinstance(loaded.xs.base.obj, mmap.mmap)
+    # ...and a read-only mapping cannot be scribbled on.
+    assert not loaded.xs.flags.writeable
+    with pytest.raises(ValueError):
+        loaded.xs[0] = 1.0
+
+
+def test_truncated_file_rejected(tmp_path):
+    path = tmp_path / "snap.seg"
+    write_segment(path, make_store())
+    truncate_tail(path, 10)
+    with pytest.raises(SegmentCorruptError):
+        load_segment(path)
+
+
+def test_file_shorter_than_header_rejected(tmp_path):
+    path = tmp_path / "snap.seg"
+    path.write_bytes(MAGIC)  # magic alone: below the structural floor
+    with pytest.raises(SegmentCorruptError):
+        load_segment(path)
+
+
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "snap.seg"
+    write_segment(path, make_store())
+    corrupt_byte(path, offset=0)
+    with pytest.raises(SegmentCorruptError):
+        load_segment(path)
+
+
+@pytest.mark.parametrize(
+    "offset",
+    [8, 40, -5],
+    ids=["header", "column", "payload-tail"],
+)
+def test_flipped_byte_fails_crc(tmp_path, offset):
+    path = tmp_path / "snap.seg"
+    write_segment(path, make_store())
+    corrupt_byte(path, offset=offset)
+    with pytest.raises(SegmentCorruptError):
+        load_segment(path)
+
+
+def test_single_row_store_round_trips(tmp_path):
+    store = PointStore.from_points([Point(1.5, 2.5, 42)])
+    path = tmp_path / "snap.seg"
+    write_segment(path, store)
+    assert_stores_equal(load_segment(path), store)

@@ -1,0 +1,163 @@
+"""Unit tests for planner-state persistence (``repro.durable.state``).
+
+Calibration-store snapshots, signature round-trips through
+:meth:`Query.from_signature`, the save/load cycle over a live engine, and
+the degrade-to-cold-start contract for missing or corrupt state files.  The
+end-to-end warm-restart behavior is pinned in
+``tests/test_durable_warm_restart.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from faultfs import corrupt_byte
+
+from repro.durable.state import (
+    STATE_NAME,
+    load_engine_state,
+    save_engine_state,
+    warm_plans,
+)
+from repro.engine.session import SpatialEngine
+from repro.exceptions import InvalidParameterError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.planner.calibrate import CalibrationStore, Observation
+from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
+from repro.query.query import Query
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+def points(n: int = 40, start: int = 0) -> list[Point]:
+    return [Point(float(3 * i % 97), float(7 * i % 89), start + i) for i in range(n)]
+
+
+def make_engine() -> SpatialEngine:
+    engine = SpatialEngine()
+    engine.register(name="a", points=points(), bounds=BOUNDS)
+    engine.register(name="b", points=points(10, start=1000), bounds=BOUNDS)
+    return engine
+
+
+# ---------------------------------------------------------------------------
+# CalibrationStore snapshots
+# ---------------------------------------------------------------------------
+def test_calibration_state_round_trip():
+    store = CalibrationStore(alpha=0.4, min_observations=2)
+    key = (("knn_join", "a", "grid", "b", "grid", 4),)  # nested-tuple key
+    store.record(key, Observation(strategy="counting", observed_total=12.0,
+                                  neighborhoods=10, points_considered=40))
+    store.record(key, Observation(strategy="counting", observed_total=8.0,
+                                  neighborhoods=8, points_considered=40))
+    store.record(key, Observation(strategy="block_marking", observed_total=5.0,
+                                  blocks_examined=6))
+
+    restored = CalibrationStore.from_state(store.to_state())
+    assert restored.alpha == store.alpha
+    assert restored.min_observations == store.min_observations
+    assert restored.observations == store.observations
+    assert restored.keys() == store.keys()  # keys re-tuplified exactly
+    assert restored.count(key) == 3
+    for strategy in ("counting", "block_marking"):
+        assert restored.profile(key, strategy) == store.profile(key, strategy)
+
+
+def test_calibration_from_state_rejects_garbage():
+    with pytest.raises(InvalidParameterError):
+        CalibrationStore.from_state({"alpha": 0.3})  # missing everything else
+    with pytest.raises(InvalidParameterError):
+        CalibrationStore.from_state({"alpha": 0.3, "min_observations": 1,
+                                     "profiles": [{"nope": True}]})
+
+
+# ---------------------------------------------------------------------------
+# Query.from_signature
+# ---------------------------------------------------------------------------
+def test_signature_round_trip_replans_under_same_key():
+    engine = make_engine()
+    queries = [
+        Query(KnnSelect(relation="a", focal=Point(5.0, 5.0), k=3)),
+        Query(RangeSelect(relation="a", window=Rect(0.0, 0.0, 10.0, 10.0))),
+        Query(KnnJoin(outer="a", inner="b", k=2)),
+        Query(
+            KnnSelect(relation="a", focal=Point(1.0, 1.0), k=3),
+            KnnJoin(outer="a", inner="b", k=2),
+        ),
+    ]
+    for query in queries:
+        signature = query.signature(engine.datasets)
+        rebuilt = Query.from_signature(signature)
+        # The placeholder query plans under exactly the original signature.
+        assert rebuilt.signature(engine.datasets) == signature
+
+
+@pytest.mark.parametrize(
+    "signature",
+    [
+        ("auto", (("teleport", "a"),)),  # unknown entry kind
+        ("auto",),  # not a (strategy, entries) pair
+        "not-a-tuple",
+    ],
+)
+def test_from_signature_rejects_malformed(signature):
+    with pytest.raises(InvalidParameterError):
+        Query.from_signature(signature)
+
+
+# ---------------------------------------------------------------------------
+# save / load / warm
+# ---------------------------------------------------------------------------
+def run_workload(engine: SpatialEngine) -> None:
+    for _ in range(3):
+        engine.run(Query(KnnSelect(relation="a", focal=Point(5.0, 5.0), k=3)))
+        engine.run(Query(KnnJoin(outer="a", inner="b", k=2)))
+
+
+def test_save_load_round_trip(tmp_path):
+    engine = make_engine()
+    run_workload(engine)
+    path = save_engine_state(tmp_path, engine)
+    assert path == tmp_path / STATE_NAME
+
+    calibration, signatures = load_engine_state(tmp_path)
+    assert calibration is not None
+    assert calibration.observations == engine.calibration.observations
+    assert calibration.keys() == engine.calibration.keys()
+    assert signatures == engine.plan_cache.signatures()  # LRU order kept
+
+
+def test_load_missing_state_is_cold(tmp_path):
+    assert load_engine_state(tmp_path) == (None, [])
+
+
+def test_load_corrupt_state_is_cold(tmp_path):
+    engine = make_engine()
+    run_workload(engine)
+    save_engine_state(tmp_path, engine)
+    corrupt_byte(tmp_path / STATE_NAME, offset=-7)
+    assert load_engine_state(tmp_path) == (None, [])
+
+
+def test_warm_plans_populates_cache(tmp_path):
+    engine = make_engine()
+    run_workload(engine)
+    save_engine_state(tmp_path, engine)
+    _, signatures = load_engine_state(tmp_path)
+    assert signatures
+
+    fresh = make_engine()
+    assert len(fresh.plan_cache) == 0
+    assert warm_plans(fresh, signatures) == len(signatures)
+    assert fresh.plan_cache.signatures() == signatures
+
+
+def test_warm_plans_skips_unplannable_signatures():
+    engine = make_engine()
+    good = Query(KnnSelect(relation="a", focal=Point(0.0, 0.0), k=3)).signature(
+        engine.datasets
+    )
+    dropped = ("auto", (("knn_select", "ghost", "grid", 4),))  # relation gone
+    assert warm_plans(engine, [dropped, good]) == 1
+    assert engine.plan_cache.signatures() == [good]

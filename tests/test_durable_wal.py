@@ -1,0 +1,240 @@
+"""Unit tests for the WAL and its record codec (``repro.durable.wal``/``codec``).
+
+Covers the batch payload encoding, the framed append/scan round-trip, the
+torn-tail tolerance rules (truncated frame header, truncated payload,
+corrupt final record), the tail-truncation repair, and the loud rejection of
+mid-file corruption.  Crash-point behavior during an append is pinned by
+``tests/test_durable_faults.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from faultfs import corrupt_byte, truncate_tail
+
+from repro.durable.codec import decode_batch, encode_batch
+from repro.durable.wal import MAGIC, WalCorruptError, WriteAheadLog, scan_wal
+from repro.geometry.point import Point
+from repro.storage.update import UpdateBatch
+
+_FRAME = struct.Struct("<II")
+
+
+def sample_batches() -> list[UpdateBatch]:
+    return [
+        UpdateBatch(inserts=[(1.0, 2.0), (3.0, 4.0)]),
+        UpdateBatch(removes=[5, 9]),
+        UpdateBatch(moves=[(1, 10.0, 20.0), (2, 30.0, 40.0)]),
+        UpdateBatch(
+            inserts=[Point(7.0, 8.0, 77, payload={"tag": "x"}), (9.0, 9.0)],
+            removes=[3],
+            moves=[(4, 0.5, 0.5)],
+        ),
+    ]
+
+
+def assert_batches_equal(a: UpdateBatch, b: UpdateBatch) -> None:
+    assert np.array_equal(a.insert_xs, b.insert_xs)
+    assert np.array_equal(a.insert_ys, b.insert_ys)
+    assert np.array_equal(a.insert_pids, b.insert_pids)
+    assert np.array_equal(a.remove_pids, b.remove_pids)
+    assert np.array_equal(a.move_pids, b.move_pids)
+    assert np.array_equal(a.move_xs, b.move_xs)
+    assert np.array_equal(a.move_ys, b.move_ys)
+    assert a.insert_payloads == b.insert_payloads
+
+
+# ---------------------------------------------------------------------------
+# Codec
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("batch", sample_batches())
+def test_codec_round_trip(batch):
+    assert_batches_equal(decode_batch(encode_batch(batch)), batch)
+
+
+def test_decode_rejects_short_payload():
+    with pytest.raises(ValueError):
+        decode_batch(b"\x00" * 8)  # shorter than the 32-byte header
+
+
+def test_decode_rejects_length_mismatch():
+    payload = encode_batch(UpdateBatch(inserts=[(1.0, 2.0)]))
+    with pytest.raises(ValueError):
+        decode_batch(payload + b"\x00")  # trailing garbage breaks the layout
+    with pytest.raises(ValueError):
+        decode_batch(payload[:-1])  # a column cut short
+
+
+def test_decode_revalidates_columns():
+    # A CRC collision cannot smuggle a NaN past replay: the decoder re-runs
+    # batch validation on the rebuilt columns.
+    batch = UpdateBatch(inserts=[(1.0, 2.0)])
+    payload = bytearray(encode_batch(batch))
+    nan = struct.pack("<d", float("nan"))
+    payload[32 : 32 + 8] = nan  # overwrite insert_xs[0] in place
+    with pytest.raises(ValueError):
+        decode_batch(bytes(payload))
+
+
+# ---------------------------------------------------------------------------
+# Append / scan round-trip
+# ---------------------------------------------------------------------------
+def test_append_scan_round_trip(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog.create(path) as wal:
+        for batch in sample_batches():
+            assert wal.append(batch) > _FRAME.size
+        assert wal.appends == len(sample_batches())
+        assert wal.tell() == path.stat().st_size
+    scan = scan_wal(path)
+    assert not scan.torn_tail
+    assert scan.valid_bytes == path.stat().st_size
+    assert len(scan.batches) == len(sample_batches())
+    for got, want in zip(scan.batches, sample_batches()):
+        assert_batches_equal(got, want)
+
+
+def test_reopen_continues_appending(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog.create(path) as wal:
+        wal.append(UpdateBatch(inserts=[(1.0, 1.0)]))
+    with WriteAheadLog(path) as wal:  # open-for-append, not create
+        wal.append(UpdateBatch(removes=[0]))
+        assert wal.appends == 1  # per-handle counter, not the file's total
+    assert len(scan_wal(path).batches) == 2
+
+
+def test_create_truncates_existing_file(tmp_path):
+    path = tmp_path / "wal.log"
+    with WriteAheadLog.create(path) as wal:
+        wal.append(UpdateBatch(inserts=[(1.0, 1.0)]))
+    with WriteAheadLog.create(path):
+        pass
+    scan = scan_wal(path)
+    assert scan.batches == () and not scan.torn_tail
+
+
+def test_scan_empty_wal(tmp_path):
+    path = tmp_path / "wal.log"
+    WriteAheadLog.create(path).close()
+    scan = scan_wal(path)
+    assert scan.batches == ()
+    assert scan.valid_bytes == len(MAGIC)
+    assert not scan.torn_tail
+
+
+def test_scan_file_shorter_than_magic_is_a_torn_header(tmp_path):
+    path = tmp_path / "wal.log"
+    path.write_bytes(MAGIC[:3])  # crash before the header fsync landed
+    scan = scan_wal(path)
+    assert scan.batches == () and scan.valid_bytes == 0 and scan.torn_tail
+
+
+# ---------------------------------------------------------------------------
+# Torn tails and their repair
+# ---------------------------------------------------------------------------
+def write_two_records(path) -> int:
+    """Two full records; returns the end offset of the first."""
+    with WriteAheadLog.create(path) as wal:
+        wal.append(UpdateBatch(inserts=[(1.0, 2.0)]))
+        first_end = wal.tell()
+        wal.append(UpdateBatch(moves=[(0, 5.0, 5.0)]))
+    return first_end
+
+
+@pytest.mark.parametrize("cut", [1, 4, 9, 30], ids=["byte", "word", "header", "deep"])
+def test_truncated_tail_keeps_valid_prefix(tmp_path, cut):
+    path = tmp_path / "wal.log"
+    first_end = write_two_records(path)
+    truncate_tail(path, cut)
+    scan = scan_wal(path)
+    assert scan.torn_tail
+    assert scan.valid_bytes == first_end
+    assert len(scan.batches) == 1
+
+
+def test_corrupt_final_record_is_a_torn_tail(tmp_path):
+    path = tmp_path / "wal.log"
+    first_end = write_two_records(path)
+    corrupt_byte(path, offset=-1)  # inside the last payload
+    scan = scan_wal(path)
+    assert scan.torn_tail and scan.valid_bytes == first_end
+
+
+def test_truncate_torn_tail_repairs(tmp_path):
+    path = tmp_path / "wal.log"
+    first_end = write_two_records(path)
+    truncate_tail(path, 3)
+    scan = scan_wal(path)
+    assert WriteAheadLog.truncate_torn_tail(path, scan)
+    assert path.stat().st_size == first_end
+    repaired = scan_wal(path)
+    assert not repaired.torn_tail and len(repaired.batches) == 1
+    # Appends continue from the clean boundary.
+    with WriteAheadLog(path) as wal:
+        wal.append(UpdateBatch(removes=[1]))
+    assert len(scan_wal(path).batches) == 2
+
+
+def test_truncate_torn_tail_noop_when_clean(tmp_path):
+    path = tmp_path / "wal.log"
+    write_two_records(path)
+    size = path.stat().st_size
+    assert not WriteAheadLog.truncate_torn_tail(path, scan_wal(path))
+    assert path.stat().st_size == size
+
+
+def test_truncate_torn_tail_rebuilds_torn_header(tmp_path):
+    path = tmp_path / "wal.log"
+    path.write_bytes(MAGIC[:3])
+    scan = scan_wal(path)
+    assert WriteAheadLog.truncate_torn_tail(path, scan)
+    assert path.read_bytes() == MAGIC  # a fresh, appendable empty WAL
+    with WriteAheadLog(path) as wal:
+        wal.append(UpdateBatch(inserts=[(1.0, 1.0)]))
+    assert len(scan_wal(path).batches) == 1
+
+
+# ---------------------------------------------------------------------------
+# Loud failures (not explicable as crash damage)
+# ---------------------------------------------------------------------------
+def test_bad_magic_rejected(tmp_path):
+    path = tmp_path / "wal.log"
+    write_two_records(path)
+    corrupt_byte(path, offset=1)
+    with pytest.raises(WalCorruptError):
+        scan_wal(path)
+
+
+def test_mid_file_corruption_rejected(tmp_path):
+    path = tmp_path / "wal.log"
+    write_two_records(path)
+    # Damage the FIRST record's payload; the intact second record proves the
+    # damage is not a torn tail, so the scan must fail loudly.
+    corrupt_byte(path, offset=len(MAGIC) + _FRAME.size)
+    with pytest.raises(WalCorruptError):
+        scan_wal(path)
+
+
+def test_crc_valid_but_undecodable_record_rejected(tmp_path):
+    path = tmp_path / "wal.log"
+    garbage = b"not a batch payload"
+    frame = _FRAME.pack(len(garbage), zlib.crc32(garbage))
+    path.write_bytes(MAGIC + frame + garbage)
+    with pytest.raises(WalCorruptError):
+        scan_wal(path)
+
+
+def test_oversized_declared_length_is_torn_not_allocated(tmp_path):
+    path = tmp_path / "wal.log"
+    # A torn length prefix decoding to a huge value must not trigger a
+    # multi-GB read — it is treated as tail damage and discarded.
+    frame = _FRAME.pack((1 << 30) + 1, 0)
+    path.write_bytes(MAGIC + frame)
+    scan = scan_wal(path)
+    assert scan.torn_tail and scan.valid_bytes == len(MAGIC)

@@ -1,21 +1,32 @@
-"""Uniform ``k`` validation across every entry point (regression).
+"""Uniform validation across every entry point (regression).
 
-``InvalidParameterError`` is a ``ValueError``, and ``k <= 0`` is rejected at
-predicate construction — i.e. *before* any planning, statistics computation
-or index build — so the direct kNN primitives, the engine's ``run`` /
-``run_many``, the sharded engine and the stream engine's ``subscribe`` all
-raise the same catchable type at the same stage.  ``k`` larger than the
-population is uniformly valid and truncates (pinned separately in
-``tests/test_locality_knn_truncation.py``).
+``k`` validation: ``InvalidParameterError`` is a ``ValueError``, and
+``k <= 0`` is rejected at predicate construction — i.e. *before* any
+planning, statistics computation or index build — so the direct kNN
+primitives, the engine's ``run`` / ``run_many``, the sharded engine and the
+stream engine's ``subscribe`` all raise the same catchable type at the same
+stage.  ``k`` larger than the population is uniformly valid and truncates
+(pinned separately in ``tests/test_locality_knn_truncation.py``).
+
+Coordinate validation: ``GeometryError`` is *also* a ``ValueError``, and an
+update batch rejects NaN/infinite coordinates and mismatched columns at
+construction — so every mutation entry point (``UpdateBatch`` itself,
+``from_columns``, ``Dataset``, ``SpatialEngine``, ``ShardedEngine``,
+``StreamEngine.push`` and ``DurableEngine``) raises the same catchable type
+before any state, index or WAL is touched.
 """
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
 import pytest
 
 from repro.datagen import uniform_points
+from repro.durable import DurableEngine
 from repro.engine import SpatialEngine
-from repro.exceptions import InvalidParameterError, ReproError
+from repro.exceptions import GeometryError, InvalidParameterError, ReproError
 from repro.geometry import Point, Rect
 from repro.index.grid import GridIndex
 from repro.locality.knn import get_knn
@@ -24,6 +35,7 @@ from repro.operators.knn_select import knn_select
 from repro.query.predicates import KnnJoin, KnnSelect
 from repro.query.query import Query, bucket_k
 from repro.shard.engine import ShardedEngine
+from repro.storage.update import UpdateBatch
 from repro.stream import StreamEngine
 
 BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
@@ -113,3 +125,113 @@ class TestOversizedK:
         )
         assert len(result.points) == len(POINTS)
         engine.close()
+
+
+def test_geometry_error_is_a_value_error():
+    assert issubclass(GeometryError, ValueError)
+    assert issubclass(GeometryError, ReproError)
+
+
+BAD_COORDS = [math.nan, math.inf, -math.inf]
+
+
+@pytest.mark.parametrize("bad", BAD_COORDS)
+class TestNonFiniteCoordinates:
+    """NaN/inf coordinates raise ``ValueError`` at every mutation entry."""
+
+    def test_update_batch_constructor(self, bad):
+        with pytest.raises(ValueError):
+            UpdateBatch(inserts=[(bad, 1.0)])
+        with pytest.raises(ValueError):
+            UpdateBatch(inserts=[(1.0, bad)])
+        with pytest.raises(ValueError):
+            UpdateBatch(moves=[(0, bad, 1.0)])
+        with pytest.raises(ValueError):
+            UpdateBatch(inserts=[Point(bad, 0.0, 7)])
+
+    def test_update_batch_from_columns(self, bad):
+        with pytest.raises(ValueError):
+            UpdateBatch.from_columns(
+                insert_xs=np.array([1.0, bad]), insert_ys=np.array([0.0, 0.0])
+            )
+        with pytest.raises(ValueError):
+            UpdateBatch.from_columns(
+                move_pids=np.array([0]),
+                move_xs=np.array([bad]),
+                move_ys=np.array([0.0]),
+            )
+
+    def test_engine_insert_and_move(self, bad):
+        engine = SpatialEngine()
+        engine.register(name="rel", points=POINTS, bounds=BOUNDS)
+        version = engine.dataset("rel").version
+        with pytest.raises(ValueError):
+            engine.insert("rel", [(bad, 2.0)])
+        with pytest.raises(ValueError):
+            engine.move("rel", [(0, 2.0, bad)])
+        assert engine.dataset("rel").version == version  # nothing mutated
+
+    def test_sharded_engine_insert(self, bad):
+        engine = ShardedEngine(num_shards=2, backend="serial")
+        engine.register(name="rel", points=POINTS, bounds=BOUNDS)
+        with pytest.raises(ValueError):
+            engine.insert("rel", [(bad, 2.0)])
+        sharded = engine.datasets["rel"]
+        assert sum(len(s) for s in sharded.shards) == len(POINTS)
+        engine.close()
+
+    def test_stream_push_batch_never_constructs(self, bad):
+        # StreamEngine.push takes an UpdateBatch: the rejection happens at
+        # batch construction, before push — no standing query sees a delta.
+        with StreamEngine() as stream:
+            stream.register(name="rel", points=POINTS, bounds=BOUNDS)
+            sub = stream.subscribe(Query(KnnSelect(relation="rel", focal=FOCAL, k=3)))
+            baseline = sub.result()
+            with pytest.raises(ValueError):
+                stream.push("rel", UpdateBatch(inserts=[(bad, 0.0)]))
+            assert sub.result() == baseline
+
+    def test_durable_engine_rejects_before_wal(self, bad, tmp_path):
+        engine = DurableEngine.create(tmp_path / "root")
+        engine.register(name="rel", points=POINTS, bounds=BOUNDS)
+        wal_path = engine.durables["rel"].wal.path
+        size = wal_path.stat().st_size
+        with pytest.raises(ValueError):
+            engine.insert("rel", [(bad, 2.0)])
+        with pytest.raises(ValueError):
+            engine.move("rel", [(0, bad, 2.0)])
+        engine.close()
+        # A rejected batch must never reach the log.
+        assert wal_path.stat().st_size == size
+
+
+class TestMismatchedColumns:
+    """Misaligned batch columns raise ``ValueError`` before any mutation."""
+
+    def test_insert_columns_must_align(self):
+        with pytest.raises(ValueError):
+            UpdateBatch.from_columns(
+                insert_xs=np.array([1.0, 2.0]), insert_ys=np.array([1.0])
+            )
+        with pytest.raises(ValueError):
+            UpdateBatch.from_columns(
+                insert_xs=np.array([1.0]),
+                insert_ys=np.array([1.0]),
+                insert_pids=np.array([1, 2]),
+            )
+
+    def test_move_columns_must_align(self):
+        with pytest.raises(ValueError):
+            UpdateBatch.from_columns(
+                move_pids=np.array([1, 2]),
+                move_xs=np.array([0.0]),
+                move_ys=np.array([0.0]),
+            )
+
+    def test_duplicate_and_clashing_pids(self):
+        with pytest.raises(ValueError):
+            UpdateBatch(moves=[(1, 0.0, 0.0), (1, 2.0, 2.0)])
+        with pytest.raises(ValueError):
+            UpdateBatch(removes=[1], moves=[(1, 0.0, 0.0)])
+        with pytest.raises(ValueError):
+            UpdateBatch(inserts=[Point(0.0, 0.0, 5)], removes=[5])

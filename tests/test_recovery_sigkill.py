@@ -1,0 +1,46 @@
+"""One quick SIGKILL recovery cycle through ``scripts/recovery_smoke.py``.
+
+The out-of-process half of the fault matrix: a real writer subprocess is
+killed mid-workload and the directory recovered by a different process.
+CI's ``recovery-smoke`` job runs the script at full length; this test keeps
+one short iteration inside the tier-1 suite so a regression in the script
+or in cross-process recovery is caught on every push.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "recovery_smoke.py"
+
+
+def test_sigkill_recovery_smoke(tmp_path):
+    report_path = tmp_path / "report.json"
+    result = subprocess.run(
+        [
+            sys.executable,
+            str(SCRIPT),
+            "--root", str(tmp_path / "root"),
+            "--iterations", "1",
+            "--max-delay", "0.8",
+            "--seed", "11",
+            "--report", str(report_path),
+        ],
+        env={**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")},
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    report = json.loads(report_path.read_text())
+    assert report["ok"] is True
+    (iteration,) = report["iterations"]
+    assert iteration["errors"] == []
+    # The writer got far enough for the kill to interrupt real work.
+    assert iteration["recovered_batches"] > 0
+    assert iteration["recovered_batches"] >= iteration["acked_batches"]
