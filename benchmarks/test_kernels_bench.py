@@ -1,0 +1,91 @@
+"""Kernel-tier fan-out: segment reuse + compiled kernels vs the PR 7 protocol.
+
+Figure 32's mutation-interleaved serving cycles at the smoke sweep point.
+Besides recording the three protocol levels, this module *gates* the PR's
+acceptance metric: on the process backend the kernel tier must answer the
+same cycles at least 2x faster than the respawn-per-mutation protocol.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+from repro.bench.workloads import KERNELS_FANOUT_FIGURE
+from repro.operators.results import pair_key
+
+pytestmark = pytest.mark.benchmark(group="kernels-fanout")
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="the speedup gate measures the process backend",
+)
+
+#: The smoke-scale gate; the full-scale acceptance bar (>=3x) is recorded by
+#: ``python -m repro.bench --figure 32`` at paper scale (see BENCH_kernels.json).
+SMOKE_SPEEDUP_FLOOR = 2.0
+
+_WORKLOAD, _OUTER_SIZE, _RUNNERS = build_figure_runners(
+    KERNELS_FANOUT_FIGURE, sweep_index=-1
+)
+
+
+def test_pr7_respawn_cycles(benchmark):
+    """Serving cycles under the PR 7 respawn-per-mutation protocol."""
+    results = benchmark.pedantic(_RUNNERS["pr7-respawn"], rounds=1, iterations=1)
+    assert results[-1].pairs
+
+
+def test_segment_reuse_cycles(benchmark):
+    """The same cycles with mutations published as shm generations."""
+    results = benchmark.pedantic(_RUNNERS["segment-reuse"], rounds=1, iterations=1)
+    assert results[-1].pairs
+
+
+def test_kernel_tier_cycles(benchmark):
+    """Segments plus the batched cross-shard kNN on the kernel backend."""
+    results = benchmark.pedantic(_RUNNERS["kernel-tier"], rounds=1, iterations=1)
+    assert results[-1].pairs
+
+
+def test_all_protocol_levels_agree():
+    """Every protocol level returns byte-identical join rows per cycle.
+
+    The three engines consume identical tick streams (same seed), so after
+    the equal number of calls the prior benchmarks issued, their relations
+    are in the same state and each serving cycle must match row for row.
+    """
+    per_series = {name: _RUNNERS[name]() for name in _WORKLOAD.series}
+    baseline = per_series["pr7-respawn"]
+    for name in ("segment-reuse", "kernel-tier"):
+        assert len(per_series[name]) == len(baseline)
+        for ours, theirs in zip(baseline, per_series[name]):
+            assert sorted(ours.pairs, key=pair_key) == sorted(
+                theirs.pairs, key=pair_key
+            ), name
+
+
+@needs_fork
+def test_kernel_tier_smoke_speedup_gate():
+    """Acceptance gate: kernel tier >= 2x over respawn at smoke scale."""
+
+    def best_of(runner, rounds: int = 3) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            runner()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    respawn = best_of(_RUNNERS["pr7-respawn"])
+    kernel = best_of(_RUNNERS["kernel-tier"])
+    speedup = respawn / kernel
+    assert speedup >= SMOKE_SPEEDUP_FLOOR, (
+        f"kernel tier speedup {speedup:.2f}x below the "
+        f"{SMOKE_SPEEDUP_FLOOR}x smoke floor "
+        f"(respawn {respawn * 1e3:.1f} ms vs kernel {kernel * 1e3:.1f} ms "
+        f"at outer size {_OUTER_SIZE})"
+    )

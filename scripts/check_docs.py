@@ -35,6 +35,7 @@ DOCUMENTED_PACKAGES = (
     "repro.stream",
     "repro.obs",
     "repro.durable",
+    "repro.kernels",
 )
 
 #: Markdown files/directories scanned for intra-repo links.

@@ -24,6 +24,7 @@ from repro.bench.workloads import (
     ALL_FIGURES,
     COLUMNAR_SPEEDUP_FIGURE,
     ENGINE_THROUGHPUT_FIGURE,
+    KERNELS_FANOUT_FIGURE,
     PLANNER_CALIBRATION_FIGURE,
     SHARDED_THROUGHPUT_FIGURE,
     STREAM_THROUGHPUT_FIGURE,
@@ -46,13 +47,15 @@ def _build_parser() -> argparse.ArgumentParser:
             COLUMNAR_SPEEDUP_FIGURE,
             STREAM_THROUGHPUT_FIGURE,
             PLANNER_CALIBRATION_FIGURE,
+            KERNELS_FANOUT_FIGURE,
         ),
         help=(
             f"reproduce a single figure ({ENGINE_THROUGHPUT_FIGURE} = engine "
             f"throughput, {SHARDED_THROUGHPUT_FIGURE} = sharded throughput, "
             f"{COLUMNAR_SPEEDUP_FIGURE} = columnar speedup, "
             f"{STREAM_THROUGHPUT_FIGURE} = stream throughput, "
-            f"{PLANNER_CALIBRATION_FIGURE} = planner calibration; all beyond the paper)"
+            f"{PLANNER_CALIBRATION_FIGURE} = planner calibration, "
+            f"{KERNELS_FANOUT_FIGURE} = kernel-tier fan-out; all beyond the paper)"
         ),
     )
     target.add_argument("--all", action="store_true", help="reproduce every figure")

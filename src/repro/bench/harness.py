@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import statistics
 import time
 from dataclasses import dataclass, field
@@ -111,6 +112,13 @@ def run_figure(
                     f"figure {workload.figure} | {workload.sweep_name}={value} | "
                     f"{series}: {seconds * 1000.0:.1f} ms ({size} rows)"
                 )
+        # Engine-backed workloads hold worker pools (and shared-memory
+        # segments) alive through observability-gauge reference cycles; a
+        # collection here runs their finalizers so each sweep value's
+        # resources are released before the next one builds — and before
+        # the interpreter's resource tracker scans for leaks at exit.
+        del runners
+        gc.collect()
     return result
 
 

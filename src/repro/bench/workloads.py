@@ -45,6 +45,7 @@ __all__ = [
     "COLUMNAR_SPEEDUP_FIGURE",
     "STREAM_THROUGHPUT_FIGURE",
     "PLANNER_CALIBRATION_FIGURE",
+    "KERNELS_FANOUT_FIGURE",
 ]
 
 #: The figures reproduced by the harness.
@@ -67,6 +68,10 @@ STREAM_THROUGHPUT_FIGURE = 30
 #: Extra (non-paper) workload: calibration-warmed planner vs the static cost
 #: model on a workload the static constants mispredict.
 PLANNER_CALIBRATION_FIGURE = 31
+
+#: Extra (non-paper) workload: the zero-copy segment / batched-kernel shard
+#: fan-out vs the PR 7 respawn-per-mutation, per-point protocol.
+KERNELS_FANOUT_FIGURE = 32
 
 #: Spatial extent shared by every benchmark dataset (same as the generators').
 EXTENT = Rect(0.0, 0.0, 40_000.0, 40_000.0)
@@ -801,6 +806,119 @@ def _fig31(scale: float) -> FigureWorkload:
     )
 
 
+# ----------------------------------------------------------------------
+# Figure 32 (beyond the paper): zero-copy shard fan-out + kernel tier
+# ----------------------------------------------------------------------
+def _fig32(scale: float) -> FigureWorkload:
+    """Segment-generation pool reuse + batched fan-out vs the PR 7 protocol.
+
+    The mutation-interleaved serving pattern the kernel tier targets: a
+    long-lived sharded engine answers a kNN-join (``a join_kNN b``) while
+    the driving relation keeps moving — every serving cycle applies one
+    BerlinMOD-style tick to ``a`` and re-runs the join.  Three protocol
+    levels answer identical cycles on the process backend:
+
+    * ``pr7-respawn`` — segments off, per-point worker fan-out: every
+      mutation discards the pool, the next query pays a full re-fork, and
+      each worker loops scalar :func:`~repro.shard.knn.sharded_knn` calls
+      over its shard (the PR 7 protocol).
+    * ``segment-reuse`` — mutations publish a new shared-memory generation
+      (:mod:`repro.shard.shm`) that the *surviving* workers attach
+      zero-copy; fan-out still per-point.
+    * ``kernel-tier`` — segments plus the batched two-round cross-shard
+      kNN (:func:`~repro.shard.batch.sharded_knn_batch`) running on the
+      active :mod:`repro.kernels` backend.
+
+    All three return identical rows; the recorded speedup
+    (``pr7-respawn`` / ``kernel-tier``) is the PR's acceptance metric.
+    Worker width is pinned to 2 so the protocol comparison — fork cost vs
+    segment publish, scalar loop vs batched kernels — is measured, not the
+    host's core count.
+    """
+    import multiprocessing
+
+    from repro.datagen.berlinmod import BerlinModTickStream
+    from repro.query.predicates import KnnJoin
+    from repro.query.query import Query
+    from repro.shard.engine import ShardedEngine
+    from repro.shard.executor import set_batched_fanout
+
+    b_size = _scaled(128_000, scale)
+    sweep = tuple(_scaled(n, scale) for n in (32_000, 64_000, 128_000))
+    k = 3
+    num_shards = 4
+    cycles_per_call = 2
+    move_fraction = 0.02
+    backend = (
+        "process"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "serial"
+    )
+
+    def build(outer_size: int) -> SeriesBuilders:
+        a = clustered_points(
+            6, max(60, outer_size // 6), EXTENT, cluster_radius=1_500.0, seed=3200
+        )
+        b = berlinmod_snapshot(n=b_size, seed=3201, start_pid=10_000_000)
+        query = Query(KnnJoin(outer="a", inner="b", k=k))
+
+        def make_engine(segment_mode: str, batched: bool) -> tuple:
+            prev = set_batched_fanout(batched)
+            try:
+                engine = ShardedEngine(
+                    num_shards=num_shards,
+                    backend=backend,
+                    max_workers=2,
+                    segment_mode=segment_mode,
+                )
+                engine.register(name="a", points=a, bounds=EXTENT)
+                engine.register(name="b", points=b, bounds=EXTENT)
+                # Warm the plan cache and fork the pool while the fan-out
+                # flag is set: process workers inherit it at fork time.
+                engine.run(query)
+            finally:
+                set_batched_fanout(prev)
+            ticks = BerlinModTickStream(
+                a, bounds=EXTENT, move_fraction=move_fraction, seed=3202
+            )
+            return engine, ticks
+
+        def serve(engine: ShardedEngine, ticks, batched: bool) -> Callable[[], list]:
+            def run() -> list:
+                # The flag matters at execution time for inline/serial
+                # execution; forked process workers keep their inherited
+                # value, which make_engine pinned to the same setting.
+                prev = set_batched_fanout(batched)
+                try:
+                    out = []
+                    for _ in range(cycles_per_call):
+                        engine.apply_update("a", ticks.tick())
+                        out.append(engine.run(query))
+                    return out
+                finally:
+                    set_batched_fanout(prev)
+
+            return run
+
+        legacy, legacy_ticks = make_engine("off", batched=False)
+        reuse, reuse_ticks = make_engine("auto", batched=False)
+        kernel, kernel_ticks = make_engine("auto", batched=True)
+        return {
+            "pr7-respawn": serve(legacy, legacy_ticks, batched=False),
+            "segment-reuse": serve(reuse, reuse_ticks, batched=False),
+            "kernel-tier": serve(kernel, kernel_ticks, batched=True),
+        }
+
+    return FigureWorkload(
+        figure=KERNELS_FANOUT_FIGURE,
+        title="Kernel tier: zero-copy segment fan-out vs respawn-per-mutation",
+        sweep_name="outer relation size",
+        sweep_values=sweep,
+        series=("pr7-respawn", "segment-reuse", "kernel-tier"),
+        builder=build,
+    )
+
+
 _FACTORIES: dict[int, Callable[[float], FigureWorkload]] = {
     19: _fig19,
     20: _fig20,
@@ -815,6 +933,7 @@ _FACTORIES: dict[int, Callable[[float], FigureWorkload]] = {
     COLUMNAR_SPEEDUP_FIGURE: _fig29,
     STREAM_THROUGHPUT_FIGURE: _fig30,
     PLANNER_CALIBRATION_FIGURE: _fig31,
+    KERNELS_FANOUT_FIGURE: _fig32,
 }
 
 

@@ -32,6 +32,7 @@ import threading
 from time import perf_counter
 from typing import Callable, Iterable, Mapping, Sequence
 
+from repro import kernels
 from repro.engine.executor import ReadWriteLock, SharedNeighborhoodCaches, run_batch
 from repro.engine.explain import Explain
 from repro.engine.plan_cache import CachedPlan, PlanCache
@@ -470,6 +471,7 @@ class SpatialEngine:
                     signature=str(entry.signature),
                     query_class=entry.plan.query_class,
                     strategy=entry.plan.strategy,
+                    kernel_backend=kernels.backend(),
                 )
                 started = perf_counter()
                 with tracer.span("execute"):

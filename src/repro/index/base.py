@@ -13,6 +13,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import EmptyDatasetError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
@@ -149,18 +150,14 @@ class SpatialIndex(abc.ABC):
         if self._block_bounds.size == 0:
             return np.empty(0, dtype=np.float64)
         xmin, ymin, xmax, ymax = self._block_bounds.T
-        dx = np.maximum(0.0, np.maximum(xmin - p.x, p.x - xmax))
-        dy = np.maximum(0.0, np.maximum(ymin - p.y, p.y - ymax))
-        return np.hypot(dx, dy)
+        return kernels.point_block_mindists(p.x, p.y, xmin, ymin, xmax, ymax)
 
     def maxdists(self, p: Point) -> np.ndarray:
         """MAXDIST from ``p`` to every block, aligned with :attr:`blocks`."""
         if self._block_bounds.size == 0:
             return np.empty(0, dtype=np.float64)
         xmin, ymin, xmax, ymax = self._block_bounds.T
-        dx = np.maximum(np.abs(p.x - xmin), np.abs(p.x - xmax))
-        dy = np.maximum(np.abs(p.y - ymin), np.abs(p.y - ymax))
-        return np.hypot(dx, dy)
+        return kernels.point_block_maxdists(p.x, p.y, xmin, ymin, xmax, ymax)
 
     # ------------------------------------------------------------------
     # Orderings (Section 2 of the paper)

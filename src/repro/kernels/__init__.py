@@ -1,0 +1,55 @@
+"""repro.kernels — the raw-speed kernel tier.
+
+The distance-math inner loops of the engine stack (locality kNN ranking,
+batched MINDIST/MAXDIST block matrices, the cross-shard ``(distance, pid)``
+merge, stream guard-region membership) live here behind a backend dispatch
+layer:
+
+- :mod:`repro.kernels.numpy_backend` — the pure-numpy reference, always
+  available, and the correctness oracle every other backend is parity-tested
+  against.
+- :mod:`repro.kernels.numba_backend` — JIT-compiled loops, loaded only when
+  ``numba`` is importable (strictly optional; Tier-1 stays numpy-only).
+- :mod:`repro.kernels.dispatch` — backend selection (``REPRO_KERNELS`` env
+  var, :func:`set_backend` / :func:`use_backend` for runtime hot-swap) and
+  per-kernel ``kernel_dispatch_total`` counters labeled by backend.
+
+See ``docs/kernels.md`` for dispatch rules, the shared-memory segment
+lifecycle the kernels feed on, and the parity-testing policy.
+"""
+
+from repro.kernels.dispatch import (
+    KERNEL_NAMES,
+    available_backends,
+    backend,
+    ball_mask,
+    block_matrices,
+    dispatch_registry,
+    knn_head,
+    merge_topk,
+    point_block_maxdists,
+    point_block_mindists,
+    register_backend,
+    set_backend,
+    use_backend,
+    window_mask,
+)
+from repro.kernels.numpy_backend import HEAD_SLACK
+
+__all__ = [
+    "HEAD_SLACK",
+    "KERNEL_NAMES",
+    "available_backends",
+    "backend",
+    "ball_mask",
+    "block_matrices",
+    "dispatch_registry",
+    "knn_head",
+    "merge_topk",
+    "point_block_maxdists",
+    "point_block_mindists",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+    "window_mask",
+]

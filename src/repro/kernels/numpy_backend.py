@@ -1,0 +1,164 @@
+"""Pure-numpy reference kernels — the library's correctness oracle.
+
+These are the exact vectorized implementations the hot paths ran before the
+kernel tier existed, extracted verbatim so every alternative backend (numba,
+future cffi) can be parity-tested against them.  The dispatch layer
+(:mod:`repro.kernels.dispatch`) falls back to this backend whenever no
+compiled backend is importable, so Tier-1 stays numpy-only.
+
+Numerical contracts that parity tests rely on:
+
+- ``knn_head`` prefilters on *squared* distances, widens the k-th boundary by
+  :data:`HEAD_SLACK` relative slack, and ranks only the head by exact
+  ``np.hypot`` distance with ``(distance, pid)`` lexicographic tie-break —
+  identical to fully sorting all candidates by true distance.
+- ``block_matrices`` works in squared-distance space with correctly-rounded
+  (hence monotone) clamped per-axis gaps; ``point_block_mindists`` /
+  ``point_block_maxdists`` return true (``hypot``) distances.
+- ``merge_topk`` is ``np.lexsort((pids, dists))[:k]`` — the library-wide
+  deterministic ``(distance, pid)`` order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+__all__ = ["HEAD_SLACK", "make_backend"]
+
+#: Relative slack widening the squared-distance prefilter boundary.  Squared
+#: distances carry at most ~3 ulp of relative rounding error and hypot ~1, so
+#: orderings of the two metrics can only disagree within ~1e-15 relative —
+#: 1e-13 keeps every possible true-distance boundary tie in the head with two
+#: orders of magnitude to spare, while still discarding essentially all of
+#: the tail.
+HEAD_SLACK = 1e-13
+
+
+def _knn_head(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    pids: np.ndarray,
+    rows: np.ndarray,
+    px: float,
+    py: float,
+    k: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``(distance, pid)`` top-k over candidate store rows.
+
+    Returns ``(selected_rows, distances)`` sorted by ``(distance, pid)``,
+    at most ``k`` long.  ``xs``/``ys``/``pids`` are full store columns;
+    ``rows`` indexes the candidates.
+    """
+    dx = xs[rows] - px
+    dy = ys[rows] - py
+    n = len(rows)
+    if n > k:
+        d2 = dx * dx + dy * dy
+        ap = np.argpartition(d2, k - 1)
+        kth2 = d2[ap[k - 1]]
+        head = np.nonzero(d2 <= kth2 * (1.0 + HEAD_SLACK))[0]
+        dists = np.hypot(dx[head], dy[head])
+        order = np.lexsort((pids[rows[head]], dists))[:k]
+        return rows[head[order]], dists[order]
+    dists = np.hypot(dx, dy)
+    idx = np.lexsort((pids[rows], dists))
+    return rows[idx], dists[idx]
+
+
+def _block_matrices(
+    cx: np.ndarray,
+    cy: np.ndarray,
+    bxmin: np.ndarray,
+    bymin: np.ndarray,
+    bxmax: np.ndarray,
+    bymax: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Squared MINDIST and MAXDIST from every query point to every block.
+
+    ``cx``/``cy`` are ``(q,)`` query coordinates, the block bounds ``(b,)``
+    arrays; both results are ``(q, b)`` float64 matrices.
+    """
+    ax = bxmin[None, :] - cx[:, None]
+    bx = cx[:, None] - bxmax[None, :]
+    ay = bymin[None, :] - cy[:, None]
+    by = cy[:, None] - bymax[None, :]
+    min_dx = np.maximum(0.0, np.maximum(ax, bx))
+    min_dy = np.maximum(0.0, np.maximum(ay, by))
+    max_dx = np.maximum(np.abs(ax), np.abs(bx))
+    max_dy = np.maximum(np.abs(ay), np.abs(by))
+    mind2 = min_dx * min_dx + min_dy * min_dy
+    maxd2 = max_dx * max_dx + max_dy * max_dy
+    return mind2, maxd2
+
+
+def _point_block_mindists(
+    px: float,
+    py: float,
+    bxmin: np.ndarray,
+    bymin: np.ndarray,
+    bxmax: np.ndarray,
+    bymax: np.ndarray,
+) -> np.ndarray:
+    """True (``hypot``) MINDIST from one point to every block rectangle."""
+    dx = np.maximum(0.0, np.maximum(bxmin - px, px - bxmax))
+    dy = np.maximum(0.0, np.maximum(bymin - py, py - bymax))
+    return np.hypot(dx, dy)
+
+
+def _point_block_maxdists(
+    px: float,
+    py: float,
+    bxmin: np.ndarray,
+    bymin: np.ndarray,
+    bxmax: np.ndarray,
+    bymax: np.ndarray,
+) -> np.ndarray:
+    """True (``hypot``) MAXDIST from one point to every block rectangle."""
+    dx = np.maximum(np.abs(px - bxmin), np.abs(px - bxmax))
+    dy = np.maximum(np.abs(py - bymin), np.abs(py - bymax))
+    return np.hypot(dx, dy)
+
+
+def _merge_topk(dists: np.ndarray, pids: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` first rows in ``(distance, pid)`` order.
+
+    The cross-shard merge: partial ``(distance, pid)`` columns are stacked by
+    the caller and this returns the (stable) global top-k permutation.
+    """
+    return np.lexsort((pids, dists))[:k]
+
+
+def _window_mask(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    xmin: float,
+    ymin: float,
+    xmax: float,
+    ymax: float,
+) -> np.ndarray:
+    """Boolean mask of the coordinates inside the closed rectangle."""
+    return (xs >= xmin) & (xs <= xmax) & (ys >= ymin) & (ys <= ymax)
+
+
+def _ball_mask(dx: np.ndarray, dy: np.ndarray, bound2) -> np.ndarray:
+    """Boolean mask ``dx*dx + dy*dy <= bound2`` (closed ball, squared radius).
+
+    ``bound2`` may be a scalar or an array broadcastable against ``dx`` —
+    the stream guard-region membership test uses per-row squared bounds.
+    """
+    return dx * dx + dy * dy <= bound2
+
+
+def make_backend() -> Mapping[str, Callable]:
+    """Build the kernel table for the pure-numpy reference backend."""
+    return {
+        "knn_head": _knn_head,
+        "block_matrices": _block_matrices,
+        "point_block_mindists": _point_block_mindists,
+        "point_block_maxdists": _point_block_maxdists,
+        "merge_topk": _merge_topk,
+        "window_mask": _window_mask,
+        "ball_mask": _ball_mask,
+    }

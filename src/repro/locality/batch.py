@@ -25,6 +25,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
@@ -83,19 +84,10 @@ def get_knn_batch(
 
     out: list[Neighborhood] = []
     for start in range(0, len(coords), _BATCH_CHUNK):
-        cx = coords[start : start + _BATCH_CHUNK, 0][:, None]
-        cy = coords[start : start + _BATCH_CHUNK, 1][:, None]
-        # Per-axis gaps, shared by both metrics.
-        ax = bxmin[None, :] - cx
-        bx = cx - bxmax[None, :]
-        ay = bymin[None, :] - cy
-        by = cy - bymax[None, :]
-        min_dx = np.maximum(0.0, np.maximum(ax, bx))
-        min_dy = np.maximum(0.0, np.maximum(ay, by))
-        max_dx = np.maximum(np.abs(ax), np.abs(bx))
-        max_dy = np.maximum(np.abs(ay), np.abs(by))
-        mind2 = min_dx * min_dx + min_dy * min_dy
-        maxd2 = max_dx * max_dx + max_dy * max_dy
+        cx = coords[start : start + _BATCH_CHUNK, 0]
+        cy = coords[start : start + _BATCH_CHUNK, 1]
+        # Squared MINDIST/MAXDIST matrices via the active kernel backend.
+        mind2, maxd2 = kernels.block_matrices(cx, cy, bxmin, bymin, bxmax, bymax)
 
         # MAXDIST phase for the whole chunk: row-wise cumsum of block counts
         # in squared-MAXDIST order; the bound is where the prefix reaches k.

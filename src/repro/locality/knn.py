@@ -32,6 +32,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.geometry.point import Point
 from repro.index.base import SpatialIndex
@@ -160,15 +161,6 @@ def neighborhood_from_blocks(
     return rank_rows(p, k, store, rows)
 
 
-#: Relative slack widening the squared-distance prefilter boundary.  Squared
-#: distances carry at most ~3 ulp of relative rounding error and hypot ~1, so
-#: orderings of the two metrics can only disagree within ~1e-15 relative —
-#: 1e-13 keeps every possible true-distance boundary tie in the head with two
-#: orders of magnitude to spare, while still discarding essentially all of
-#: the tail.
-_HEAD_SLACK = 1e-13
-
-
 def rank_rows(
     p: Point,
     k: int,
@@ -177,27 +169,15 @@ def rank_rows(
 ) -> Neighborhood:
     """Exact ``(distance, pid)`` top-k over candidate store rows.
 
-    The prefilter runs on *squared* distances (cheaper than ``hypot`` per
-    candidate): one ``argpartition`` finds the k-th smallest squared
-    distance, and every candidate within a few-ulp-widened boundary of it
-    joins the head.  Only the head — k plus boundary ties — gets the exact
-    ``hypot`` distances and the final ``(distance, pid)`` lexsort, so the
-    result is identical to fully sorting all candidates by true distance.
+    Delegates to the active :mod:`repro.kernels` backend's ``knn_head``
+    kernel: a *squared*-distance prefilter finds the k-th boundary (widened
+    by :data:`repro.kernels.HEAD_SLACK` relative slack), and only the head —
+    k plus boundary ties — gets the exact ``hypot`` distances and the final
+    ``(distance, pid)`` ranking, so the result is identical to fully sorting
+    all candidates by true distance regardless of backend.
     """
-    dx = store.xs[rows] - p.x
-    dy = store.ys[rows] - p.y
-    n = len(rows)
-    if n > k:
-        d2 = dx * dx + dy * dy
-        ap = np.argpartition(d2, k - 1)
-        kth2 = d2[ap[k - 1]]
-        head = np.nonzero(d2 <= kth2 * (1.0 + _HEAD_SLACK))[0]
-        dists = np.hypot(dx[head], dy[head])
-        order = np.lexsort((store.pids[rows[head]], dists))[:k]
-        return Neighborhood.from_rows(p, k, store, rows[head[order]], dists[order])
-    dists = np.hypot(dx, dy)
-    idx = np.lexsort((store.pids[rows], dists))
-    return Neighborhood.from_rows(p, k, store, rows[idx], dists[idx])
+    sel, dists = kernels.knn_head(store.xs, store.ys, store.pids, rows, p.x, p.y, k)
+    return Neighborhood.from_rows(p, k, store, sel, dists)
 
 
 def neighborhood_from_blocks_object(

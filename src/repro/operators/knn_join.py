@@ -68,10 +68,11 @@ def knn_join_pairs(
     With the default kNN primitive the per-outer-point neighborhoods are
     computed through the batched columnar kernel
     (:func:`~repro.locality.batch.get_knn_batch`), which amortizes the
-    locality phase over the whole outer relation; an injected ``knn``
-    callable falls back to the per-point loop.  ``stats`` (optional) counts
-    one neighborhood computation per outer point, for the engines'
-    calibration feedback.
+    locality phase over the whole outer relation and runs its distance math
+    on the active :mod:`repro.kernels` backend (compiled when available);
+    an injected ``knn`` callable falls back to the per-point loop.
+    ``stats`` (optional) counts one neighborhood computation per outer
+    point, for the engines' calibration feedback.
     """
     if knn is get_knn:
         if k <= 0:

@@ -31,6 +31,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro import kernels
 from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.locality.neighborhood import Neighborhood
@@ -64,7 +65,7 @@ def merge_neighborhoods(
         return Neighborhood(center, k, [], [])
     dists = np.concatenate([nbr.distance_array for nbr in parts])
     pids = np.concatenate([nbr.pid_array for nbr in parts])
-    order = np.lexsort((pids, dists))[:k]
+    order = kernels.merge_topk(dists, pids, k)
     offsets = np.cumsum([0] + [len(nbr) for nbr in parts])
     part_of = np.searchsorted(offsets, order, side="right") - 1
     members = [
@@ -92,7 +93,7 @@ def merge_knn_candidates(
         return Neighborhood(center, k, [], [])
     dists = np.fromiter((row[0] for row in candidates), dtype=np.float64, count=n)
     pids = np.fromiter((row[1] for row in candidates), dtype=np.int64, count=n)
-    order = np.lexsort((pids, dists))[:k]
+    order = kernels.merge_topk(dists, pids, k)
     members = [candidates[i][2] for i in order.tolist()]
     return Neighborhood(center, k, members, dists[order])
 

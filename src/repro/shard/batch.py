@@ -1,0 +1,129 @@
+"""Batched cross-shard kNN: many query points against a sharded relation.
+
+The worker-side join fan-out used to run one scalar
+:func:`~repro.shard.knn.sharded_knn` per driving point — a Python-level loop
+whose per-point locality phase re-did the same block math thousands of
+times.  This module batches the whole driving shard through a two-round
+scheme built on :func:`~repro.locality.batch.get_knn_batch`:
+
+1. **Round 1** — assign every query point to its *primary* shard (smallest
+   squared MINDIST to the shard extent, via the ``block_matrices`` kernel)
+   and run one batched kNN per primary-shard group.  Each point's k-th
+   distance (``inf`` when the shard held fewer than k points) becomes its
+   border-expansion bound ``b1``.
+2. **Round 2** — for every other shard whose MINDIST can reach a point's
+   bound, run one batched kNN per ``(shard, point-subset)`` and merge each
+   point's partials with :func:`~repro.operators.merge.merge_neighborhoods`.
+
+Exactness: the final k-th distance is never larger than ``b1``, so any
+shard pruned by ``b1`` is also pruned by the final bound — the visited set
+is a superset of what the scalar search needs, and per-shard top-k partials
+merged under the library's ``(distance, pid)`` order reproduce the
+unsharded neighborhood exactly (ties included: shards *at* the bound are
+visited, only strictly farther ones are pruned, and the squared-space
+comparison is widened by a relative epsilon so ULP noise can only widen the
+visited superset, never narrow it).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro import kernels
+from repro.exceptions import EmptyDatasetError, InvalidParameterError
+from repro.geometry.point import Point
+from repro.locality.batch import get_knn_batch
+from repro.locality.neighborhood import Neighborhood
+from repro.operators.merge import merge_neighborhoods
+
+__all__ = ["sharded_knn_batch"]
+
+#: Relative widening of the squared-space bound comparison; covers the
+#: ~1e-15 relative difference between ``sqrt(x*x + y*y)`` and ``hypot``.
+_BOUND_SLACK = 1e-12
+
+
+def sharded_knn_batch(sharded, coords, k: int) -> list[Neighborhood]:
+    """Exact k-neighborhoods of many coordinates over all shards, in order.
+
+    ``sharded`` is a :class:`~repro.shard.dataset.ShardedDataset` or a
+    worker-side :class:`~repro.shard.shm.AttachedRuntime` (anything with a
+    ``search_plan()``); ``coords`` is an ``(n, 2)`` array or a sequence of
+    points.  Each result equals ``sharded_knn(sharded, p, k)`` member for
+    member; centers of coordinate-only queries are anonymous (``pid == -1``).
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    if isinstance(coords, np.ndarray):
+        pts: Sequence[Point] | None = None
+        coords = np.asarray(coords, dtype=np.float64)
+        if coords.ndim != 2 or coords.shape[1] != 2:
+            raise InvalidParameterError(
+                f"expected an (n, 2) query array, got shape {coords.shape}"
+            )
+    else:
+        pts = list(coords)
+        coords = np.array([(p.x, p.y) for p in pts], dtype=np.float64)
+    n = len(coords)
+    if n == 0:
+        return []
+    datasets, extents = sharded.search_plan()
+    if not len(datasets):
+        raise EmptyDatasetError(f"sharded dataset {sharded.name!r} has no points")
+    if len(datasets) == 1:
+        queries = pts if pts is not None else coords
+        return get_knn_batch(datasets[0].index, queries, k)
+
+    ext = np.asarray(extents, dtype=np.float64)
+    mind2, _ = kernels.block_matrices(
+        coords[:, 0], coords[:, 1], ext[:, 0], ext[:, 1], ext[:, 2], ext[:, 3]
+    )
+    primary = np.argmin(mind2, axis=1)
+
+    def group_queries(group: np.ndarray):
+        # Preserve the callers' Point identities (center pids) when given;
+        # coordinate-only queries stay anonymous arrays.
+        if pts is not None:
+            return [pts[i] for i in group.tolist()]
+        return coords[group]
+
+    # Round 1: one batched kNN per primary-shard group.
+    partials: list[list[Neighborhood]] = [[] for _ in range(n)]
+    bound2 = np.empty(n, dtype=np.float64)
+    for sid in np.unique(primary):
+        group = np.nonzero(primary == sid)[0]
+        nbrs = get_knn_batch(datasets[sid].index, group_queries(group), k)
+        for qi, nbr in zip(group.tolist(), nbrs):
+            partials[qi].append(nbr)
+            if len(nbr) >= k:
+                b = nbr.farthest_distance
+                bound2[qi] = b * b
+            else:
+                bound2[qi] = np.inf
+
+    # Round 2: every other shard a point's bound can still reach.
+    reach = mind2 <= bound2[:, None] * (1.0 + _BOUND_SLACK)
+    reach[np.isinf(bound2)] = True  # under-filled: every shard may contribute
+    reach[np.arange(n), primary] = False
+    for sid in np.nonzero(reach.any(axis=0))[0]:
+        group = np.nonzero(reach[:, sid])[0]
+        nbrs = get_knn_batch(datasets[sid].index, group_queries(group), k)
+        for qi, nbr in zip(group.tolist(), nbrs):
+            if len(nbr):
+                partials[qi].append(nbr)
+
+    out: list[Neighborhood] = []
+    for qi in range(n):
+        parts = partials[qi]
+        if len(parts) == 1:
+            out.append(parts[0])
+            continue
+        center = (
+            pts[qi]
+            if pts is not None
+            else Point(float(coords[qi, 0]), float(coords[qi, 1]))
+        )
+        out.append(merge_neighborhoods(center, k, parts))
+    return out

@@ -16,9 +16,14 @@ per-shard statistics (:meth:`IndexStats.aggregate`), so the planner sees
 relation-level statistics without the O(n) full-index walk.
 
 Consistency model.  Mutations route to the owning shard and invalidate the
-inner engine's caches plus the worker pool (process workers hold a forked
-snapshot that a mutation would stale).  Every dispatched task carries the
-dataset versions its plan was derived against and re-validates them at
+inner engine's caches; the worker pool is *refreshed*, not discarded: under
+the shared-memory generation protocol (:mod:`repro.shard.shm`) the mutated
+relation is published as a new segment generation and process workers attach
+it zero-copy, so the pool — and the fork-inherited snapshot it amortizes —
+survives the mutation (``shard_pool_reuses_total``).  Only when segments are
+off (or the registration set itself changes) is the pool discarded and
+re-forked (``shard_pool_respawns_total``).  Every dispatched task carries
+the dataset versions its plan was derived against and re-validates them at
 execution time; a :class:`~repro.exceptions.StaleShardError` makes the
 engine resync, re-plan and retry — a plan is never served against stale
 per-shard state, even when the base dataset was mutated behind the engine's
@@ -28,11 +33,11 @@ back.
 from __future__ import annotations
 
 import itertools
-import os
 import threading
 from time import perf_counter
 from typing import Callable, Iterable, Mapping, Sequence
 
+from repro import kernels
 from repro.engine.executor import ReadWriteLock
 from repro.engine.explain import Explain
 from repro.engine.session import SpatialEngine
@@ -52,7 +57,7 @@ from repro.query.results import QueryResult
 from repro.shard.dataset import ShardedDataset
 from repro.shard.executor import sharded_execute
 from repro.shard.partitioner import ShardMap
-from repro.shard.pool import ShardWorkerPool
+from repro.shard.pool import ShardWorkerPool, available_cpus
 from repro.storage.update import AppliedUpdate, UpdateBatch
 
 __all__ = ["ShardedEngine"]
@@ -76,7 +81,12 @@ class ShardedEngine:
         Worker-pool backend — ``"auto"`` (default), ``"serial"``,
         ``"thread"`` or ``"process"``; see :mod:`repro.shard.pool`.
     max_workers:
-        Worker-pool width (default: CPU count).
+        Worker-pool width (default: available CPU count, affinity-aware).
+    segment_mode:
+        Shared-memory generation protocol for the process backend —
+        ``"auto"`` (default) publishes each relation into a
+        :mod:`repro.shard.shm` segment per version so mutations *reuse*
+        the pool; ``"off"`` restores the respawn-per-mutation protocol.
     optimizer / plan_cache_size:
         Forwarded to the wrapped :class:`SpatialEngine`.
     seed:
@@ -94,6 +104,7 @@ class ShardedEngine:
         strategy: str = "sample",
         backend: str = "auto",
         max_workers: int | None = None,
+        segment_mode: str = "auto",
         optimizer: Optimizer | None = None,
         plan_cache_size: int = 256,
         seed: int = 0,
@@ -103,6 +114,7 @@ class ShardedEngine:
         self.strategy = strategy
         self.backend = backend
         self.max_workers = max_workers
+        self.segment_mode = segment_mode
         self.seed = seed
         #: The observability bundle, shared with the wrapped engine.
         self.obs = obs if obs is not None else Observability(name="sharded-engine")
@@ -130,6 +142,8 @@ class ShardedEngine:
         self._fanout_latency = registry.histogram(
             "sharded_fanout_latency_seconds", LATENCY_BUCKETS
         )
+        self._pool_respawns = registry.counter("shard_pool_respawns_total")
+        self._pool_reuses = registry.counter("shard_pool_reuses_total")
         registry.gauge(
             "sharded_pool_workers",
             fn=lambda: self._pool.max_workers if self._pool is not None else 0,
@@ -155,6 +169,18 @@ class ShardedEngine:
         """Executions retried after racing a mutation (view over
         ``sharded_stale_retries_total``)."""
         return int(self._stale.value)
+
+    @property
+    def pool_respawns(self) -> int:
+        """Worker pools discarded and re-forked (view over
+        ``shard_pool_respawns_total``)."""
+        return int(self._pool_respawns.value)
+
+    @property
+    def pool_reuses(self) -> int:
+        """Mutations absorbed by publishing a segment generation instead of
+        respawning the pool (view over ``shard_pool_reuses_total``)."""
+        return int(self._pool_reuses.value)
 
     # ------------------------------------------------------------------
     # Registration
@@ -230,7 +256,7 @@ class ShardedEngine:
         # Cost the candidates against the pool's *effective* width, not the
         # shard count itself — otherwise every candidate looks fully
         # parallel and large relations over-shard far beyond the hardware.
-        effective_workers = self.max_workers or min(32, os.cpu_count() or 1)
+        effective_workers = self.max_workers or min(32, available_cpus())
         return self._engine.optimizer.choose_shard_count(
             size_only, max_workers=effective_workers
         )
@@ -360,7 +386,7 @@ class ShardedEngine:
         self._engine.invalidate(name)
         self._engine.stats(name)  # re-warm aggregated statistics
         self._record_index_activity(name)
-        self._invalidate_pool()
+        self._refresh_pool(name)
 
     def _index_totals(self, name: str) -> tuple[int, int]:
         """Current (rebuilds, repairs) summed over the relation's shards."""
@@ -443,6 +469,7 @@ class ShardedEngine:
                         signature=str(entry.signature),
                         query_class=plan.query_class,
                         strategy=plan.strategy,
+                        kernel_backend=kernels.backend(),
                     )
                     pool = self._ensure_pool()
                     try:
@@ -522,7 +549,7 @@ class ShardedEngine:
             for name in stale:
                 if name in self._sharded and self._sharded[name].ensure_synced():
                     self._engine.invalidate(name)
-            self._invalidate_pool()
+                    self._refresh_pool(name)
 
     def _recover(self) -> None:
         """After a stale-version execution failure: resync everything."""
@@ -530,8 +557,8 @@ class ShardedEngine:
             for name, sharded in self._sharded.items():
                 if sharded.ensure_synced():
                     self._engine.invalidate(name)
+                    self._refresh_pool(name)
                 self._record_index_activity(name)
-            self._invalidate_pool()
 
     # ------------------------------------------------------------------
     # Pool lifecycle
@@ -544,18 +571,47 @@ class ShardedEngine:
                     datasets=dict(self._sharded),
                     backend=self.backend,
                     max_workers=self.max_workers,
+                    segments=self.segment_mode,
                 )
             return self._pool
 
-    def _invalidate_pool(self) -> None:
+    def _refresh_pool(self, name: str) -> None:
+        """Absorb a mutation of relation ``name`` into the live pool.
+
+        Under the segment protocol the mutated relation is published as a
+        new shared-memory generation and the pool survives
+        (``shard_pool_reuses_total``); when the pool cannot be patched —
+        process backend with segments off, or a publish failure — it is
+        discarded and the next query re-forks it
+        (``shard_pool_respawns_total``).
+        """
+        with self._pool_lock:
+            pool = self._pool
+            if pool is None:
+                return  # nothing live: the next query forks a fresh pool
+            sharded = self._sharded.get(name)
+            if sharded is not None:
+                try:
+                    if pool.refresh(sharded):
+                        self._pool_reuses.inc()
+                        return
+                except OSError:
+                    pass  # shm unavailable/exhausted: fall back to respawning
+            pool.close()
+            self._pool = None
+            self._pool_respawns.inc()
+
+    def _invalidate_pool(self, count: bool = True) -> None:
         with self._pool_lock:
             if self._pool is not None:
                 self._pool.close()
                 self._pool = None
+                if count:
+                    self._pool_respawns.inc()
 
     def close(self) -> None:
         """Release the worker pool (idempotent; the engine stays usable)."""
-        self._invalidate_pool()
+        self._invalidate_pool(count=False)
 
     def __enter__(self) -> "ShardedEngine":
         return self
@@ -582,6 +638,9 @@ class ShardedEngine:
                 "batches_executed": self.batches_executed,
                 "tasks_dispatched": self.tasks_dispatched,
                 "stale_retries": self.stale_retries,
+                "pool_respawns": self.pool_respawns,
+                "pool_reuses": self.pool_reuses,
+                "kernel_backend": kernels.backend(),
                 "shards": {
                     name: {
                         "num_shards": sharded.num_shards,
@@ -593,6 +652,7 @@ class ShardedEngine:
                 "pool": {
                     "backend": pool.backend if pool is not None else None,
                     "max_workers": pool.max_workers if pool is not None else None,
+                    "segments": pool.segments_enabled if pool is not None else None,
                 },
             }
         )

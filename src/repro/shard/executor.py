@@ -30,6 +30,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+import numpy as np
+
+from repro import kernels
 from repro.exceptions import StaleShardError, UnsupportedQueryError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
@@ -49,10 +52,41 @@ from repro.planner.plan import PhysicalPlan
 from repro.query.predicates import KnnJoin, KnnSelect, RangeSelect
 from repro.query.query import Query
 from repro.query.results import QueryResult
+from repro.shard.batch import sharded_knn_batch
 from repro.shard.dataset import ShardedDataset
 from repro.shard.knn import sharded_knn, sharded_range_select
 
-__all__ = ["ShardTask", "execute_shard_task", "sharded_execute"]
+__all__ = [
+    "ShardTask",
+    "batched_fanout",
+    "execute_shard_task",
+    "set_batched_fanout",
+    "sharded_execute",
+]
+
+#: Whether join/chained workers batch their per-point cross-shard kNNs
+#: through :func:`~repro.shard.batch.sharded_knn_batch`.  Module-level so a
+#: fork-inherited worker sees the same setting as its coordinator; the
+#: benchmark harness flips it off to measure the pre-kernel per-point path.
+_BATCHED_FANOUT = True
+
+
+def set_batched_fanout(enabled: bool) -> bool:
+    """Enable/disable the batched join fan-out; returns the previous setting.
+
+    Intended for benchmarks and A/B tests — the batched path is exact and
+    always preferable in production.  Flip *before* a process pool forks so
+    workers inherit the setting.
+    """
+    global _BATCHED_FANOUT
+    previous = _BATCHED_FANOUT
+    _BATCHED_FANOUT = bool(enabled)
+    return previous
+
+
+def batched_fanout() -> bool:
+    """Whether join/chained shard tasks use the batched kNN fan-out."""
+    return _BATCHED_FANOUT
 
 #: ``(relation, version)`` stamps a task was planned against.
 VersionStamps = tuple[tuple[str, int], ...]
@@ -129,6 +163,10 @@ def execute_shard_task(
     if task.kind == "join":
         inner_rel, k, select_pids, inner_window, outer_window = task.payload
         inner = datasets[inner_rel]
+        if _BATCHED_FANOUT:
+            return _join_batched(
+                driving, inner, k, select_pids, inner_window, outer_window
+            )
         pairs: list[JoinPair] = []
         for e1 in driving.points:
             if outer_window is not None and not outer_window.contains_point(e1):
@@ -143,6 +181,8 @@ def execute_shard_task(
     if task.kind == "chained":
         b_rel, c_rel, k_ab, k_bc = task.payload
         b, c = datasets[b_rel], datasets[c_rel]
+        if _BATCHED_FANOUT:
+            return _chained_batched(driving, b, c, k_ab, k_bc)
         cache: dict[int, Neighborhood] = {}  # per-task B→C neighborhood cache
         triplets: list[JoinTriplet] = []
         for a in driving.points:
@@ -154,6 +194,74 @@ def execute_shard_task(
                 triplets.extend(JoinTriplet(a, b_point, c_point) for c_point in c_nbr)
         return triplets
     raise UnsupportedQueryError(f"unknown shard task kind {task.kind!r}")
+
+
+def _join_batched(driving, inner, k, select_pids, inner_window, outer_window):
+    """Join one driving shard via the batched cross-shard kNN.
+
+    Same output (pairs, order, filters) as the per-point loop: the driving
+    rows are visited in store order, the outer-window filter runs as one
+    ``window_mask`` kernel over the columns, and every surviving row's
+    neighborhood comes from one :func:`sharded_knn_batch` call over the
+    shard's coordinates.
+    """
+    store = driving.store
+    if outer_window is not None:
+        mask = kernels.window_mask(
+            store.xs,
+            store.ys,
+            outer_window.xmin,
+            outer_window.ymin,
+            outer_window.xmax,
+            outer_window.ymax,
+        )
+        rows = np.nonzero(mask)[0]
+    else:
+        rows = np.arange(len(store))
+    if not len(rows):
+        return []
+    coords = np.column_stack((store.xs[rows], store.ys[rows]))
+    neighborhoods = sharded_knn_batch(inner, coords, k)
+    pairs: list[JoinPair] = []
+    for row, nbr in zip(rows.tolist(), neighborhoods):
+        e1 = store.point_at(row)
+        for e2 in nbr:
+            if select_pids is not None and e2.pid not in select_pids:
+                continue
+            if inner_window is not None and not inner_window.contains_point(e2):
+                continue
+            pairs.append(JoinPair(e1, e2))
+    return pairs
+
+
+def _chained_batched(driving, b, c, k_ab, k_bc):
+    """Chained joins over one driving shard, both hops batched.
+
+    The A→B hop is one batched kNN over the shard's coordinates; the B→C
+    hop batches over the *unique* B points found (the batched analogue of
+    the per-task cache in the scalar path).
+    """
+    store = driving.store
+    coords = np.column_stack((store.xs, store.ys))
+    ab = sharded_knn_batch(b, coords, k_ab)
+    unique_b: dict[int, Point] = {}
+    for nbr in ab:
+        for b_point in nbr:
+            if b_point.pid not in unique_b:
+                unique_b[b_point.pid] = b_point
+    cache: dict[int, Neighborhood] = {}
+    if unique_b:
+        b_points = list(unique_b.values())
+        b_coords = np.array([(p.x, p.y) for p in b_points], dtype=np.float64)
+        c_nbrs = sharded_knn_batch(c, b_coords, k_bc)
+        cache = {p.pid: nbr for p, nbr in zip(b_points, c_nbrs)}
+    triplets: list[JoinTriplet] = []
+    for row, nbr in enumerate(ab):
+        a = store.point_at(row)
+        for b_point in nbr:
+            for c_point in cache[b_point.pid]:
+                triplets.append(JoinTriplet(a, b_point, c_point))
+    return triplets
 
 
 # ----------------------------------------------------------------------

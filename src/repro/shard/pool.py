@@ -12,13 +12,20 @@ The same task function runs on three backends:
 
 Process workers cannot receive the shard runtime through pickling on every
 task (shipping whole indexes per query would drown the win), so the runtime
-travels through **fork inheritance**: the owning engine registers its shard
-datasets in the module-level :data:`_RUNTIMES` registry under a token, the
-pool is created *afterwards*, and forked workers find the registry snapshot
-in their address space.  A parent-side mutation after the fork leaves workers
-holding a stale snapshot — which is exactly what the per-task dataset version
-stamps detect (:class:`~repro.exceptions.StaleShardError`); the engine then
-discards the pool and forks a fresh one.
+travels two ways:
+
+* **Fork inheritance** — the owning engine registers its shard datasets in
+  the module-level :data:`_RUNTIMES` registry under a token, the pool is
+  created *afterwards*, and forked workers find the registry snapshot in
+  their address space.
+* **Shared-memory generations** (process backend) — the pool publishes each
+  relation into a :mod:`repro.shard.shm` segment per version.  When a task's
+  version stamp is newer than the worker's forked snapshot, the worker
+  *attaches* the matching segment (zero-copy, read-only) instead of failing;
+  mutations therefore publish a new generation and **reuse** the pool where
+  the old protocol had to discard and re-fork it.  A segment that is already
+  gone (generation raced past) still surfaces as
+  :class:`~repro.exceptions.StaleShardError`, and the engine retries.
 """
 
 from __future__ import annotations
@@ -31,18 +38,97 @@ from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.exceptions import InvalidParameterError, StaleShardError
 from repro.shard.executor import ShardTask, execute_shard_task
+from repro.shard.shm import AttachedRuntime, SegmentPublisher, attach_segment, segment_name
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.shard.dataset import ShardedDataset
 
-__all__ = ["ShardWorkerPool", "resolve_backend", "BACKENDS"]
+__all__ = [
+    "ShardWorkerPool",
+    "available_cpus",
+    "resolve_backend",
+    "BACKENDS",
+    "SEGMENT_MODES",
+]
 
 #: Supported backend names (``auto`` resolves to one of the other three).
 BACKENDS = ("auto", "serial", "thread", "process")
 
+#: Segment modes: ``auto`` publishes generations iff the backend is
+#: ``process`` (the only one that needs them); ``off`` restores the
+#: fork-snapshot-only protocol (every mutation stales the pool).
+SEGMENT_MODES = ("auto", "off")
+
 #: Token → shard datasets; populated by the owning engine *before* its pool
 #: forks so that process workers inherit the mapping (see module docstring).
 _RUNTIMES: dict[str, Mapping[str, "ShardedDataset"]] = {}
+
+#: Token → publishing coordinator pid, for pools running the segment
+#: protocol.  Fork-inherited: workers use it to derive segment names for
+#: versions newer than their snapshot.
+_SEGMENT_PIDS: dict[str, int] = {}
+
+#: Worker-side cache of attached segment generations, keyed
+#: ``(token, relation)``.  Replaced (closed) when a newer generation is
+#: requested; lives for the worker process's lifetime otherwise.
+_ATTACHED: dict[tuple[str, str], AttachedRuntime] = {}
+
+
+def available_cpus() -> int:
+    """CPUs actually usable by this process (cgroup/affinity aware).
+
+    ``os.cpu_count()`` reports the host's cores, which over-subscribes
+    pools inside CPU-limited containers; the scheduler affinity mask is the
+    truth when the platform exposes it.  Always at least 1.
+    """
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # platforms without affinity support
+        return max(1, os.cpu_count() or 1)
+
+
+def _reconcile(
+    token: str, datasets: Mapping[str, "ShardedDataset"], task: ShardTask
+) -> Mapping[str, object]:
+    """Overlay segment generations over the fork-inherited snapshot.
+
+    For every relation the task reads: if the inherited live object already
+    matches the stamped version (serial/thread backends, or a process worker
+    whose snapshot is current) it is used as-is; otherwise the worker
+    attaches the segment of exactly that version, caching the attachment
+    and closing the one it replaces.
+    """
+    pid = _SEGMENT_PIDS.get(token)
+    if pid is None or pid == os.getpid():
+        # Segments disabled, or we *are* the coordinator (inline/serial/
+        # thread execution): the live objects are authoritative.
+        return datasets
+    merged: dict[str, object] | None = None
+    for name, version in task.versions:
+        live = datasets.get(name)
+        if (
+            live is not None
+            and live.version == version
+            and live.synced_version == version
+        ):
+            continue  # forked snapshot still current for this relation
+        key = (token, name)
+        runtime = _ATTACHED.get(key)
+        if runtime is None or runtime.version != version:
+            try:
+                fresh = attach_segment(segment_name(token, name, version, pid))
+            except FileNotFoundError:
+                raise StaleShardError(
+                    f"segment generation {version} of relation {name!r} is "
+                    "no longer published"
+                ) from None
+            if runtime is not None:
+                runtime.close()
+            _ATTACHED[key] = runtime = fresh
+        if merged is None:
+            merged = dict(datasets)
+        merged[name] = runtime
+    return merged if merged is not None else datasets
 
 
 def _invoke(token: str, task: ShardTask) -> object:
@@ -53,7 +139,7 @@ def _invoke(token: str, task: ShardTask) -> object:
     datasets = _RUNTIMES.get(token)
     if datasets is None:
         raise StaleShardError(f"no shard runtime registered under token {token!r}")
-    return execute_shard_task(datasets, task)
+    return execute_shard_task(_reconcile(token, datasets, task), task)
 
 
 def resolve_backend(backend: str) -> str:
@@ -61,7 +147,9 @@ def resolve_backend(backend: str) -> str:
 
     Multi-core hosts with ``fork`` get processes, multi-core hosts without it
     get threads, and single-core hosts get the serial loop (parallel dispatch
-    would add overhead with nothing to run it on).
+    would add overhead with nothing to run it on).  Core counts respect the
+    process's scheduler affinity (:func:`available_cpus`), so a cgroup-pinned
+    CI container resolves to ``serial`` instead of forking into one core.
     """
     if backend not in BACKENDS:
         raise InvalidParameterError(
@@ -69,7 +157,7 @@ def resolve_backend(backend: str) -> str:
         )
     if backend != "auto":
         return backend
-    cpus = os.cpu_count() or 1
+    cpus = available_cpus()
     if cpus <= 1:
         return "serial"
     if "fork" in multiprocessing.get_all_start_methods():
@@ -90,7 +178,11 @@ class ShardWorkerPool:
     backend:
         One of :data:`BACKENDS`.
     max_workers:
-        Pool width for the thread/process backends (default: CPU count).
+        Pool width for the thread/process backends (default: available CPU
+        count, affinity-aware).  Clamped to at least 1.
+    segments:
+        One of :data:`SEGMENT_MODES`; ``auto`` (default) runs the
+        shared-memory generation protocol when the backend is ``process``.
     """
 
     def __init__(
@@ -99,19 +191,75 @@ class ShardWorkerPool:
         datasets: Mapping[str, "ShardedDataset"],
         backend: str = "auto",
         max_workers: int | None = None,
+        segments: str = "auto",
     ) -> None:
-        if max_workers is not None and max_workers <= 0:
-            raise InvalidParameterError("max_workers must be positive")
+        if segments not in SEGMENT_MODES:
+            raise InvalidParameterError(
+                f"unknown segment mode {segments!r}; expected one of {SEGMENT_MODES}"
+            )
         self.token = token
         self.backend = resolve_backend(backend)
-        self.max_workers = max_workers or min(32, os.cpu_count() or 1)
+        if max_workers is None:
+            self.max_workers = min(32, available_cpus())
+        else:
+            self.max_workers = max(1, int(max_workers))
         self._executor: Executor | None = None
+        self._publisher: SegmentPublisher | None = None
         _RUNTIMES[token] = datasets
+        if segments == "auto" and self.backend == "process":
+            self._publisher = SegmentPublisher(token)
+            _SEGMENT_PIDS[token] = os.getpid()
+            for sharded in datasets.values():
+                self._publisher.publish(sharded)
 
     @property
     def parallel(self) -> bool:
         """Whether tasks actually overlap (False for the serial loop)."""
         return self.backend != "serial" and self.max_workers > 1
+
+    @property
+    def segments_enabled(self) -> bool:
+        """Whether this pool runs the shared-memory generation protocol."""
+        return self._publisher is not None
+
+    def publish(self, sharded: "ShardedDataset") -> bool:
+        """Publish a relation's current version as a new segment generation.
+
+        Returns ``True`` when a generation is live (published now or
+        already current) — meaning the pool can keep serving after the
+        mutation; ``False`` when segments are disabled and the caller must
+        respawn the pool instead.
+        """
+        if self._publisher is None:
+            return False
+        self._publisher.publish(sharded)
+        return True
+
+    def refresh(self, sharded: "ShardedDataset") -> bool:
+        """Absorb a mutation of one relation without discarding the pool.
+
+        ``True`` means the pool keeps serving: either a new segment
+        generation was published for process workers to attach, or the
+        backend shares the coordinator's address space (serial/thread) and
+        executes against the live objects anyway.  ``False`` means the
+        forked snapshots are stale and cannot be patched — the caller must
+        respawn the pool (process backend with segments off).
+        """
+        if self._publisher is not None:
+            self._publisher.publish(sharded)
+            return True
+        return self.backend != "process"
+
+    def forget(self, relation: str) -> None:
+        """Drop the published generation of one (unregistered) relation."""
+        if self._publisher is not None:
+            self._publisher.forget(relation)
+
+    def segment_names(self) -> dict[str, str]:
+        """Relation → live segment name (empty when segments are disabled)."""
+        if self._publisher is None:
+            return {}
+        return self._publisher.names()
 
     def _ensure_executor(self) -> Executor:
         if self._executor is None:
@@ -137,10 +285,14 @@ class ShardWorkerPool:
         return list(self._ensure_executor().map(partial(_invoke, self.token), tasks))
 
     def close(self) -> None:
-        """Shut the executor down and drop the runtime registration."""
+        """Shut the executor down, unlink segments, drop the registration."""
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        if self._publisher is not None:
+            self._publisher.close()
+            self._publisher = None
+        _SEGMENT_PIDS.pop(self.token, None)
         _RUNTIMES.pop(self.token, None)
 
     def __enter__(self) -> "ShardWorkerPool":

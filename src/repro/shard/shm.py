@@ -1,0 +1,414 @@
+"""Shared-memory shard segments: zero-copy columns for process workers.
+
+The fork-inheritance pool (see :mod:`repro.shard.pool`) ships a shard
+runtime to process workers once, at fork time.  Under that protocol every
+mutation makes the forked snapshot permanently stale, so the engine had to
+discard and re-fork the whole pool.  This module replaces re-forking with
+**segment generations**:
+
+- The coordinator *publishes* each relation's sharded state into one
+  ``multiprocessing.shared_memory`` segment per ``(relation, version)``:
+  a small pickled descriptor (shard layout, index options, payloads,
+  extents) followed by the concatenated ``xs``/``ys``/``pids`` columns of
+  every populated shard.
+- Workers *attach* the segment named by a task's version stamp and wrap the
+  columns in read-only, zero-copy numpy views — no pickling, no column
+  copies, no re-fork.  Per-shard datasets (and their indexes) are rebuilt
+  lazily inside the worker and cached for the generation's lifetime.
+- A mutation publishes a new generation and unlinks the previous one.  On
+  Linux an unlinked segment stays readable for workers still attached, so
+  in-flight tasks finish against their own generation; workers drop their
+  attachment when a newer generation is requested.
+
+Segment names embed the publishing process id, so (a) workers derive names
+from ``(pid, token, relation, version)`` without any side channel beyond
+the fork-inherited token metadata, and (b) :func:`sweep_orphan_segments`
+can garbage-collect segments whose publisher died without cleanup.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import struct
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
+
+from repro.query.dataset import Dataset
+from repro.storage.pointstore import PointStore
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.shard.dataset import ShardedDataset
+
+__all__ = [
+    "AttachedRuntime",
+    "SegmentPublisher",
+    "attach_segment",
+    "segment_name",
+    "sweep_orphan_segments",
+]
+
+#: Array data starts at the next multiple of this after the descriptor.
+_ALIGN = 16
+
+#: ``/dev/shm`` prefix of every segment this module creates.
+_PREFIX = "repro-"
+
+
+def segment_name(token: str, relation: str, version: int, pid: int | None = None) -> str:
+    """Deterministic segment name for one ``(publisher, relation, version)``.
+
+    ``repro-<pid>-<digest12>`` stays under the 31-character portable limit
+    for shared-memory names; the digest folds the pool token, relation and
+    version, and the publisher pid prefix makes orphan sweeping possible.
+    """
+    digest = hashlib.sha1(
+        f"{token}|{relation}|{version}".encode("utf-8")
+    ).hexdigest()[:12]
+    return f"{_PREFIX}{pid if pid is not None else os.getpid()}-{digest}"
+
+
+def _attach_untracked(name: str):
+    """Attach an existing segment without resource-tracker registration.
+
+    The coordinator owns (and unlinks) every segment; its creation-time
+    registration must be the *only* one.  The tracker's cache is a set
+    keyed by name, so an attach-register/unregister pair from a worker
+    would silently delete the coordinator's entry (and concurrent pairs
+    race each other).  Python 3.13 has ``track=False``; older versions
+    need the register call suppressed for the duration of the attach
+    (safe: attaches happen on single-threaded worker processes).
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None  # type: ignore[assignment]
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+def publish_segment(token: str, sharded: "ShardedDataset"):
+    """Write one relation's current sharded state into a new shm segment.
+
+    Layout: ``<u64 descriptor length> <pickled descriptor> <pad to 16>
+    <xs float64[n]> <ys float64[n]> <pids int64[n]>`` with every populated
+    shard's rows contiguous.  Returns the creating segment handle; the
+    caller owns its lifecycle and must eventually ``unlink`` (which also
+    clears the handle's resource-tracker registration).
+    """
+    from multiprocessing import shared_memory
+
+    shards = []
+    columns_x: list[np.ndarray] = []
+    columns_y: list[np.ndarray] = []
+    columns_p: list[np.ndarray] = []
+    cursor = 0
+    for sid, ds in sharded.populated():
+        store = ds.store
+        n = len(store)
+        shards.append(
+            {
+                "sid": sid,
+                "name": ds.name,
+                "start": cursor,
+                "stop": cursor + n,
+                "index_kind": ds.index_kind,
+                "options": ds.index_options,
+                "payloads": dict(store.payloads),
+                "extent": ds.index.bounds.as_tuple(),
+            }
+        )
+        columns_x.append(store.xs)
+        columns_y.append(store.ys)
+        columns_p.append(store.pids)
+        cursor += n
+    descriptor = {
+        "relation": sharded.name,
+        "version": sharded.version,
+        "num_shards": sharded.num_shards,
+        "count": cursor,
+        "shards": shards,
+    }
+    blob = pickle.dumps(descriptor, protocol=pickle.HIGHEST_PROTOCOL)
+    data_offset = ((8 + len(blob) + _ALIGN - 1) // _ALIGN) * _ALIGN
+    total = data_offset + cursor * 24
+    name = segment_name(token, sharded.name, sharded.version)
+    try:
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
+    except FileExistsError:
+        # A crashed predecessor (same pid, recycled) left the name behind.
+        # Attach *tracked* so the unlink's unregister balances the attach's
+        # register (pre-3.13 trackers pair them unconditionally).
+        stale = shared_memory.SharedMemory(name=name)
+        stale.unlink()
+        stale.close()
+        shm = shared_memory.SharedMemory(name=name, create=True, size=max(total, 1))
+    # The creating handle stays tracker-registered on purpose: the
+    # publisher's explicit unlink unregisters it (balanced), and if the
+    # publisher dies without unlinking, the tracker reclaims the segment.
+    try:
+        shm.buf[:8] = struct.pack("<Q", len(blob))
+        shm.buf[8 : 8 + len(blob)] = blob
+        if cursor:
+            xs = np.ndarray(cursor, np.float64, buffer=shm.buf, offset=data_offset)
+            ys = np.ndarray(
+                cursor, np.float64, buffer=shm.buf, offset=data_offset + cursor * 8
+            )
+            pids = np.ndarray(
+                cursor, np.int64, buffer=shm.buf, offset=data_offset + cursor * 16
+            )
+            np.concatenate(columns_x, out=xs)
+            np.concatenate(columns_y, out=ys)
+            np.concatenate(columns_p, out=pids)
+            del xs, ys, pids  # release the buffer views before handing off
+    except BaseException:
+        shm.unlink()
+        shm.close()
+        raise
+    return shm
+
+
+class _LazyShards(Sequence):
+    """Sequence facade over an attached runtime's shards, built on demand."""
+
+    def __init__(self, runtime: "AttachedRuntime", sids: list[int]) -> None:
+        self._runtime = runtime
+        self._sids = sids
+
+    def __len__(self) -> int:
+        return len(self._sids)
+
+    def __getitem__(self, i):
+        """The i-th populated shard's dataset (lazily constructed)."""
+        if isinstance(i, slice):
+            return [self[j] for j in range(*i.indices(len(self)))]
+        return self._runtime.shard(self._sids[i])
+
+
+class AttachedRuntime:
+    """A worker-side, read-only view of one published relation generation.
+
+    Implements the subset of the :class:`~repro.shard.dataset.ShardedDataset`
+    protocol the task executor reads (``version`` / ``synced_version`` /
+    ``shard`` / ``populated`` / ``search_plan``).  Columns are zero-copy
+    views into the shared segment; per-shard datasets and their indexes are
+    constructed on first touch and cached for the runtime's lifetime.
+    """
+
+    def __init__(self, shm, descriptor: dict) -> None:
+        self._shm = shm
+        self.name: str = descriptor["relation"]
+        #: The published base-dataset version (shards are always synced).
+        self.version: int = descriptor["version"]
+        self.num_shards: int = descriptor["num_shards"]
+        n = descriptor["count"]
+        blob_len = struct.unpack("<Q", bytes(shm.buf[:8]))[0]
+        data_offset = ((8 + blob_len + _ALIGN - 1) // _ALIGN) * _ALIGN
+        self._xs = np.ndarray(n, np.float64, buffer=shm.buf, offset=data_offset)
+        self._ys = np.ndarray(
+            n, np.float64, buffer=shm.buf, offset=data_offset + n * 8
+        )
+        self._pids = np.ndarray(
+            n, np.int64, buffer=shm.buf, offset=data_offset + n * 16
+        )
+        for arr in (self._xs, self._ys, self._pids):
+            arr.flags.writeable = False
+        self._by_sid = {entry["sid"]: entry for entry in descriptor["shards"]}
+        self._shards: dict[int, Dataset] = {}
+        self._plan: tuple[Sequence[Dataset], list[tuple]] | None = None
+
+    @property
+    def synced_version(self) -> int:
+        """Published segments are reconciled by construction."""
+        return self.version
+
+    def shard(self, shard_id: int) -> Dataset | None:
+        """The dataset of one shard over the segment's columns (lazy, cached)."""
+        ds = self._shards.get(shard_id)
+        if ds is None:
+            entry = self._by_sid.get(shard_id)
+            if entry is None:
+                return None
+            start, stop = entry["start"], entry["stop"]
+            store = PointStore(
+                self._xs[start:stop],
+                self._ys[start:stop],
+                self._pids[start:stop],
+                payloads=dict(entry["payloads"]),
+                validate=False,
+            )
+            ds = Dataset(
+                entry["name"],
+                store,
+                index_kind=entry["index_kind"],
+                **entry["options"],
+            )
+            self._shards[shard_id] = ds
+        return ds
+
+    def populated(self) -> Iterator[tuple[int, Dataset]]:
+        """Iterate ``(shard_id, dataset)`` over the non-empty shards."""
+        for sid in sorted(self._by_sid):
+            yield sid, self.shard(sid)
+
+    def search_plan(self) -> tuple[Sequence[Dataset], list[tuple]]:
+        """Shards + extents for cross-shard kNN, without eager index builds.
+
+        Extents come from the descriptor (the coordinator recorded each
+        shard index's true bounds at publish time), so only the shards the
+        border expansion actually visits ever build an index in the worker.
+        """
+        if self._plan is None:
+            sids = sorted(self._by_sid)
+            extents = [tuple(self._by_sid[sid]["extent"]) for sid in sids]
+            self._plan = (_LazyShards(self, sids), extents)
+        return self._plan
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    def close(self) -> None:
+        """Drop cached shards and detach from the segment.
+
+        Any still-referenced view keeps the mapping alive (``BufferError``
+        is swallowed); results never hold views because neighborhoods
+        pickle eagerly on their way back to the coordinator.
+        """
+        self._shards.clear()
+        self._plan = None
+        self._by_sid.clear()
+        self._xs = self._ys = self._pids = None  # type: ignore[assignment]
+        try:
+            self._shm.close()
+        except BufferError:  # a live view still pins the buffer; leave it
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"AttachedRuntime(relation={self.name!r}, version={self.version}, "
+            f"points={len(self)})"
+        )
+
+
+def attach_segment(name: str) -> AttachedRuntime:
+    """Attach the named segment and wrap it in an :class:`AttachedRuntime`.
+
+    Raises ``FileNotFoundError`` when the generation has already been
+    unlinked (callers translate that into a
+    :class:`~repro.exceptions.StaleShardError` retry).
+    """
+    shm = _attach_untracked(name)
+    try:
+        blob_len = struct.unpack("<Q", bytes(shm.buf[:8]))[0]
+        descriptor = pickle.loads(bytes(shm.buf[8 : 8 + blob_len]))
+        return AttachedRuntime(shm, descriptor)
+    except BaseException:
+        shm.close()
+        raise
+
+
+class SegmentPublisher:
+    """Coordinator-side generation manager: one live segment per relation.
+
+    ``publish`` writes the relation's current state and unlinks the
+    previously published generation; ``close`` unlinks everything.  The
+    publisher never re-publishes an unchanged version.
+    """
+
+    def __init__(self, token: str) -> None:
+        self.token = token
+        self._live: dict[str, tuple[int, str, object]] = {}
+
+    def publish(self, sharded: "ShardedDataset") -> str:
+        """Publish ``sharded``'s current version; returns the segment name.
+
+        Idempotent per version: re-publishing the live generation is a
+        no-op.  The previous generation is unlinked (attached workers keep
+        reading it until they drop their attachment).
+        """
+        current = self._live.get(sharded.name)
+        if current is not None and current[0] == sharded.version:
+            return current[1]
+        handle = publish_segment(self.token, sharded)
+        if current is not None:
+            self._unlink(current[2])
+        self._live[sharded.name] = (sharded.version, handle.name, handle)
+        return handle.name
+
+    def forget(self, relation: str) -> None:
+        """Unlink the live generation of one relation (unregistered dataset)."""
+        current = self._live.pop(relation, None)
+        if current is not None:
+            self._unlink(current[2])
+
+    @staticmethod
+    def _unlink(handle) -> None:
+        try:
+            handle.unlink()
+        except FileNotFoundError:
+            pass
+        try:
+            handle.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+
+    def names(self) -> dict[str, str]:
+        """Relation → live segment name (the leak tests scan these)."""
+        return {rel: name for rel, (_, name, _) in self._live.items()}
+
+    def close(self) -> None:
+        """Unlink every live generation."""
+        for current in self._live.values():
+            self._unlink(current[2])
+        self._live.clear()
+
+    def __enter__(self) -> "SegmentPublisher":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def sweep_orphan_segments(shm_dir: str = "/dev/shm") -> list[str]:
+    """Unlink ``repro-*`` segments whose publishing process is dead.
+
+    A coordinator killed without ``close()`` leaks its live generations;
+    the embedded pid makes them identifiable.  Returns the names removed.
+    Harmless (and empty) on platforms without a visible shm directory.
+    """
+    removed: list[str] = []
+    try:
+        entries = os.listdir(shm_dir)
+    except OSError:
+        return removed
+    for entry in entries:
+        if not entry.startswith(_PREFIX):
+            continue
+        parts = entry.split("-")
+        if len(parts) != 3 or not parts[1].isdigit():
+            continue
+        pid = int(parts[1])
+        try:
+            os.kill(pid, 0)
+            continue  # publisher alive; not an orphan
+        except ProcessLookupError:
+            pass
+        except PermissionError:
+            continue  # alive, owned by someone else
+        try:
+            stale = _attach_untracked(entry)
+            stale.unlink()
+            stale.close()
+            removed.append(entry)
+        except FileNotFoundError:  # pragma: no cover - raced another sweeper
+            continue
+    return removed

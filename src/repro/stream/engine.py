@@ -53,6 +53,7 @@ from repro.obs.metrics import LATENCY_BUCKETS, SIZE_BUCKETS
 from repro.obs.trace import Trace
 from repro.query.query import Query
 from repro.query.results import QueryResult
+from repro.shard.batch import sharded_knn_batch
 from repro.shard.engine import ShardedEngine
 from repro.shard.knn import sharded_knn
 from repro.storage.pointstore import PointStore
@@ -361,9 +362,9 @@ class StreamEngine:
             return []
         if self._sharded:
             sharded = self.engine.sharded_dataset(relation)  # type: ignore[union-attr]
-            return [
-                sharded_knn(sharded, Point(float(x), float(y)), k) for x, y in coords
-            ]
+            return sharded_knn_batch(
+                sharded, np.asarray(coords, dtype=np.float64), k
+            )
         return get_knn_batch(
             self.engine.dataset(relation).index,  # type: ignore[union-attr]
             np.asarray(coords, dtype=np.float64),

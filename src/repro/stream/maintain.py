@@ -38,6 +38,7 @@ from typing import Protocol
 
 import numpy as np
 
+from repro import kernels
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.locality.neighborhood import Neighborhood
@@ -163,7 +164,7 @@ class KnnSelectState:
         if np.isinf(radius):
             near = np.arange(len(cand_pids))
         else:
-            near = np.nonzero(dx * dx + dy * dy <= radius * radius * (1.0 + 1e-12))[0]
+            near = np.nonzero(kernels.ball_mask(dx, dy, radius * radius * (1.0 + 1e-12)))[0]
             if not len(near):
                 return SKIPPED
         dists = np.hypot(dx[near], dy[near])
@@ -172,7 +173,7 @@ class KnnSelectState:
             return SKIPPED
         merged_d = np.concatenate((self._dists, dists[mask]))
         merged_p = np.concatenate((self._pids, cand_pids[near[mask]]))
-        order = np.lexsort((merged_p, merged_d))[: self.predicate.k]
+        order = kernels.merge_topk(merged_d, merged_p, self.predicate.k)
         self._dists = merged_d[order]
         self._pids = merged_p[order]
         self._rows = None
@@ -184,12 +185,7 @@ class KnnSelectState:
 # ----------------------------------------------------------------------
 def _in_window(window: Rect, xs: np.ndarray, ys: np.ndarray) -> np.ndarray:
     """Vectorized closed-rectangle containment over coordinate columns."""
-    return (
-        (xs >= window.xmin)
-        & (xs <= window.xmax)
-        & (ys >= window.ymin)
-        & (ys <= window.ymax)
-    )
+    return kernels.window_mask(xs, ys, window.xmin, window.ymin, window.xmax, window.ymax)
 
 
 class RangeSelectState:
@@ -431,7 +427,7 @@ class KnnJoinState:
                 merged_p = np.concatenate((self._npid[row], [cand_pids[col]]))
                 # Padding sorts last (inf distance) and is truncated or
                 # re-appended by the fixed-width write-back.
-                order = np.lexsort((merged_p, merged_d))[:k]
+                order = kernels.merge_topk(merged_d, merged_p, k)
                 self._nd[row] = merged_d[order]
                 self._npid[row] = merged_p[order]
                 merged_any = True
@@ -470,7 +466,7 @@ class KnnJoinState:
             dx = self._oxs[rows] - cand_xs[cols]
             dy = self._oys[rows] - cand_ys[cols]
             bound2 = np.square(radii[rows]) * (1.0 + 1e-12)
-            hit = dx * dx + dy * dy <= bound2
+            hit = kernels.ball_mask(dx, dy, bound2)
             return rows[hit], cols[hit]
         out_rows: list[np.ndarray] = []
         out_cols: list[np.ndarray] = []
@@ -480,7 +476,7 @@ class KnnJoinState:
             stop = min(start + _JOIN_CHUNK, len(self._oxs))
             dx = self._oxs[start:stop, None] - cand_xs[None, :]
             dy = self._oys[start:stop, None] - cand_ys[None, :]
-            r, c = np.nonzero(dx * dx + dy * dy <= bound2[start:stop, None])
+            r, c = np.nonzero(kernels.ball_mask(dx, dy, bound2[start:stop, None]))
             out_rows.append(r + start)
             out_cols.append(c)
         return np.concatenate(out_rows), np.concatenate(out_cols)

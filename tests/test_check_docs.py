@@ -57,5 +57,6 @@ def test_docstring_check_covers_the_serving_surface():
         "repro.stream",
         "repro.obs",
         "repro.durable",
+        "repro.kernels",
     }
     assert module.check_docstrings() == []

@@ -1,0 +1,85 @@
+"""Batched cross-shard kNN parity against the scalar border-expansion search."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import clustered_points, uniform_points
+from repro.exceptions import InvalidParameterError
+from repro.geometry import Point, Rect
+from repro.query.dataset import Dataset
+from repro.shard.batch import sharded_knn_batch
+from repro.shard.dataset import ShardedDataset
+from repro.shard.knn import sharded_knn
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def _sharded(points, num_shards):
+    dataset = Dataset.from_points("rel", points, bounds=BOUNDS)
+    return ShardedDataset(dataset, num_shards=num_shards)
+
+
+def _queries(seed, n=120):
+    rng = np.random.default_rng(seed)
+    inside = rng.uniform(0.0, 1000.0, size=(n - 20, 2))
+    outside = rng.uniform(-500.0, 1500.0, size=(20, 2))
+    return np.concatenate([inside, outside])
+
+
+def _assert_parity(sharded, coords, k):
+    batched = sharded_knn_batch(sharded, coords, k)
+    assert len(batched) == len(coords)
+    for (x, y), nbr in zip(coords, batched):
+        scalar = sharded_knn(sharded, Point(float(x), float(y)), k)
+        assert [p.pid for p in nbr] == [p.pid for p in scalar]
+        assert nbr.distances == scalar.distances
+
+
+@pytest.mark.parametrize(
+    "n,num_shards,k",
+    [(300, 4, 5), (50, 8, 12), (1000, 6, 3), (40, 4, 60)],
+)
+def test_batch_matches_scalar_uniform(n, num_shards, k):
+    sharded = _sharded(uniform_points(n, BOUNDS, seed=n), num_shards)
+    _assert_parity(sharded, _queries(seed=n + 1), k)
+
+
+def test_batch_matches_scalar_clustered():
+    points = clustered_points(5, 80, BOUNDS, cluster_radius=40.0, seed=21)
+    _assert_parity(_sharded(points, 6), _queries(seed=22), 7)
+
+
+def test_batch_with_duplicate_coordinates():
+    base = uniform_points(100, BOUNDS, seed=31)
+    dupes = [Point(p.x, p.y, 10_000 + i) for i, p in enumerate(base[:30])]
+    _assert_parity(_sharded(base + dupes, 4), _queries(seed=32), 6)
+
+
+def test_batch_accepts_point_sequences():
+    sharded = _sharded(uniform_points(200, BOUNDS, seed=41), 4)
+    pts = [Point(100.0, 100.0, 7), Point(900.0, 900.0, 8)]
+    out = sharded_knn_batch(sharded, pts, 3)
+    assert [nbr.center.pid for nbr in out] == [7, 8]
+    for p, nbr in zip(pts, out):
+        scalar = sharded_knn(sharded, p, 3)
+        assert [q.pid for q in nbr] == [q.pid for q in scalar]
+
+
+def test_batch_single_shard_fast_path():
+    sharded = _sharded(uniform_points(150, BOUNDS, seed=51), 1)
+    _assert_parity(sharded, _queries(seed=52, n=40), 5)
+
+
+def test_batch_empty_query_set():
+    sharded = _sharded(uniform_points(50, BOUNDS, seed=61), 4)
+    assert sharded_knn_batch(sharded, np.empty((0, 2)), 3) == []
+
+
+def test_batch_rejects_bad_inputs():
+    sharded = _sharded(uniform_points(50, BOUNDS, seed=71), 4)
+    with pytest.raises(InvalidParameterError):
+        sharded_knn_batch(sharded, np.zeros((2, 3)), 3)
+    with pytest.raises(InvalidParameterError):
+        sharded_knn_batch(sharded, np.zeros((2, 2)), 0)

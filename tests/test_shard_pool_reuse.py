@@ -1,0 +1,115 @@
+"""S2 regression: mutation-heavy workloads stop respawning the worker pool.
+
+The PR 7 protocol discarded (and re-forked) the process pool on every
+routed mutation.  Under the shared-memory generation protocol the pool
+*survives*: mutations publish a new segment generation instead, counted by
+``shard_pool_reuses_total``, and ``shard_pool_respawns_total`` stays flat.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+
+import pytest
+
+from repro.datagen import uniform_points
+from repro.geometry import Point, Rect
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend requires the fork start method",
+)
+
+
+def _engine(segment_mode: str) -> ShardedEngine:
+    engine = ShardedEngine(
+        num_shards=4,
+        backend="process",
+        max_workers=2,
+        segment_mode=segment_mode,
+    )
+    engine.register(name="a", points=uniform_points(300, BOUNDS, seed=81), bounds=BOUNDS)
+    engine.register(
+        name="b",
+        points=uniform_points(400, BOUNDS, seed=82, start_pid=10_000),
+        bounds=BOUNDS,
+    )
+    return engine
+
+
+def _serve_cycle(engine: ShardedEngine, i: int) -> None:
+    engine.insert("a", [Point(10.0 + i, 10.0 + i)])
+    engine.run(Query(KnnJoin(outer="a", inner="b", k=3)))
+    engine.run(Query(KnnSelect(relation="b", focal=Point(500.0, 500.0), k=5)))
+
+
+@needs_fork
+def test_mutation_heavy_workload_stops_respawning_under_segments():
+    with _engine("auto") as engine:
+        engine.run(Query(KnnJoin(outer="a", inner="b", k=3)))  # fork the pool
+        assert engine.pool_respawns == 0
+        for i in range(6):
+            _serve_cycle(engine, i)
+        assert engine.pool_respawns == 0  # the pool survived every mutation
+        assert engine.pool_reuses >= 6
+        snapshot = engine.metrics()
+        assert snapshot["pool_respawns"] == 0
+        assert snapshot["pool"]["segments"] is True
+
+
+@needs_fork
+def test_segments_off_restores_respawn_per_mutation():
+    with _engine("off") as engine:
+        engine.run(Query(KnnJoin(outer="a", inner="b", k=3)))
+        for i in range(4):
+            _serve_cycle(engine, i)
+        assert engine.pool_reuses == 0
+        assert engine.pool_respawns == 4  # one per mutation, as in PR 7
+        assert engine.metrics()["pool"]["segments"] is False
+
+
+@needs_fork
+def test_segment_and_respawn_protocols_agree():
+    query = Query(KnnJoin(outer="a", inner="b", k=4))
+    with _engine("auto") as seg, _engine("off") as legacy:
+        for i in range(3):
+            for engine in (seg, legacy):
+                _serve_cycle(engine, i)
+        a = seg.run(query)
+        b = legacy.run(query)
+        assert sorted(p.pids for p in a.pairs) == sorted(p.pids for p in b.pairs)
+
+
+@needs_fork
+def test_engine_close_releases_all_segments():
+    engine = _engine("auto")
+    engine.run(Query(KnnSelect(relation="a", focal=Point(1.0, 1.0), k=2)))
+    assert engine.pool_respawns == 0
+    # Scope to this engine's own generations: other tests may hold live
+    # (not-yet-collected) engines whose segments are legitimately present.
+    owned = {
+        f"/dev/shm/{name}" for name in engine._pool.segment_names().values()
+    }
+    assert owned and all(glob.glob(path) for path in owned)
+    engine.close()
+    assert not any(glob.glob(path) for path in owned)
+
+
+def test_serial_backend_reuses_pool_on_mutation():
+    engine = ShardedEngine(num_shards=3, backend="serial")
+    engine.register(name="a", points=uniform_points(120, BOUNDS, seed=91), bounds=BOUNDS)
+    query = Query(KnnSelect(relation="a", focal=Point(500.0, 500.0), k=4))
+    engine.run(query)
+    for i in range(3):
+        engine.insert("a", [Point(20.0 + i, 20.0 + i)])
+        engine.run(query)
+    # Serial workers execute against the live objects: nothing to respawn.
+    assert engine.pool_respawns == 0
+    assert engine.pool_reuses == 3
+    engine.close()

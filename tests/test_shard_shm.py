@@ -1,0 +1,150 @@
+"""Shared-memory segment generations: publish/attach parity and lifecycle."""
+
+from __future__ import annotations
+
+import glob
+import os
+
+import numpy as np
+import pytest
+
+from repro.datagen import uniform_points
+from repro.geometry import Point, Rect
+from repro.query.dataset import Dataset
+from repro.shard.dataset import ShardedDataset
+from repro.shard.knn import sharded_knn
+from repro.shard.shm import (
+    SegmentPublisher,
+    attach_segment,
+    publish_segment,
+    segment_name,
+    sweep_orphan_segments,
+)
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+
+def _sharded(n: int = 300, num_shards: int = 4, seed: int = 5) -> ShardedDataset:
+    points = uniform_points(n, BOUNDS, seed=seed)
+    dataset = Dataset.from_points("rel", points, bounds=BOUNDS)
+    return ShardedDataset(dataset, num_shards=num_shards)
+
+
+def _live_segments() -> list[str]:
+    return glob.glob("/dev/shm/repro-*")
+
+
+def test_segment_name_is_portable_and_deterministic():
+    a = segment_name("tok", "rel", 3)
+    b = segment_name("tok", "rel", 3)
+    assert a == b
+    assert len(a) <= 31  # portable shm name limit
+    assert a != segment_name("tok", "rel", 4)
+    assert a != segment_name("tok", "other", 3)
+    assert str(os.getpid()) in a
+
+
+def test_publish_attach_round_trip_bit_identical():
+    sharded = _sharded()
+    handle = publish_segment("tok-rt", sharded)
+    try:
+        runtime = attach_segment(handle.name)
+        assert runtime.name == "rel"
+        assert runtime.version == sharded.version
+        assert runtime.num_shards == sharded.num_shards
+        assert len(runtime) == len(sharded.base)
+        for p in uniform_points(40, BOUNDS, seed=77):
+            live = sharded_knn(sharded, p, 5)
+            shm = sharded_knn(runtime, p, 5)
+            assert [q.pid for q in live] == [q.pid for q in shm]
+            assert live.distances == shm.distances
+        runtime.close()
+    finally:
+        handle.unlink()
+        handle.close()
+
+
+def test_attached_columns_are_read_only():
+    sharded = _sharded()
+    handle = publish_segment("tok-ro", sharded)
+    try:
+        runtime = attach_segment(handle.name)
+        _, dataset = next(runtime.populated())
+        with pytest.raises(ValueError):
+            dataset.store.xs[0] = 123.0
+        runtime.close()
+    finally:
+        handle.unlink()
+        handle.close()
+
+
+def test_publisher_generations_and_close_release_segments():
+    before = set(_live_segments())
+    sharded = _sharded()
+    with SegmentPublisher("tok-gen") as pub:
+        first = pub.publish(sharded)
+        assert pub.names() == {"rel": first}
+        # Idempotent per version.
+        assert pub.publish(sharded) == first
+        sharded.insert([Point(1.5, 2.5, 999_999)])
+        sharded.ensure_synced()
+        second = pub.publish(sharded)
+        assert second != first
+        assert pub.names() == {"rel": second}
+        # The new generation is attachable and reflects the mutation.
+        runtime = attach_segment(second)
+        assert runtime.version == sharded.version
+        assert len(runtime) == len(sharded.base)
+        runtime.close()
+    assert set(_live_segments()) == before  # close() unlinked everything
+
+
+def test_publisher_forget_drops_one_relation():
+    sharded = _sharded()
+    pub = SegmentPublisher("tok-fgt")
+    name = pub.publish(sharded)
+    assert os.path.exists(f"/dev/shm/{name}")
+    pub.forget("rel")
+    assert pub.names() == {}
+    assert not os.path.exists(f"/dev/shm/{name}")
+    pub.close()
+
+
+def test_attach_missing_segment_raises_file_not_found():
+    with pytest.raises(FileNotFoundError):
+        attach_segment(segment_name("tok-none", "rel", 12345))
+
+
+def test_orphan_sweep_removes_dead_publishers_only():
+    sharded = _sharded(n=60, num_shards=2)
+    live = publish_segment("tok-sweep", sharded)
+    # Forge a segment whose embedded pid cannot be alive.
+    dead_pid = 2_000_000  # beyond default pid_max
+    dead_name = segment_name("tok-dead", "rel", 1, pid=dead_pid)
+    from multiprocessing import shared_memory
+
+    dead = shared_memory.SharedMemory(name=dead_name, create=True, size=64)
+    try:
+        removed = sweep_orphan_segments()
+        assert dead_name in removed
+        assert live.name not in removed
+        assert os.path.exists(f"/dev/shm/{live.name}")
+        assert not os.path.exists(f"/dev/shm/{dead_name}")
+    finally:
+        try:
+            dead.unlink()
+        except FileNotFoundError:
+            # The sweep already unlinked it.  Pre-3.13 trackers were
+            # unregistered by the sweep's own unlink; 3.13+ sweeps attach
+            # with track=False, whose unlink skips the unregister, so this
+            # process's creation-time registration must be cleared here.
+            if hasattr(dead, "_track"):
+                from multiprocessing import resource_tracker
+
+                try:
+                    resource_tracker.unregister(dead._name, "shared_memory")
+                except Exception:
+                    pass
+        dead.close()
+        live.unlink()
+        live.close()
