@@ -1,12 +1,15 @@
 """Live terminal dashboard over the engine's observability instruments.
 
 A dispatch service runs a mixed workload — repeated kNN queries, live
-courier updates, and a standing query maintained by the stream engine —
-while a periodic dashboard renders the health signals an operator would
-watch: plan/statistics cache hit rates, query latency quantiles (p50/p99
-from the registry's histograms), stream guard-violation rate, and the most
-recent structured events.  Everything shown is read from the single
-:class:`repro.obs.Observability` bundle the whole stack shares.
+courier updates, a standing query maintained by the stream engine, and a
+sharded analytics join fanned out over a worker pool — while a periodic
+dashboard renders the health signals an operator would watch:
+plan/statistics cache hit rates, query latency quantiles (p50/p99 from the
+registry's histograms), per-shard latency spread (stitched `shard-task`
+spans from the distributed trace), stream guard-violation rate, the last
+slow query caught by the slow-query log, and the most recent structured
+events.  Everything shown is read from the engines' shared
+:class:`repro.obs.Observability` instruments.
 
 Run with::
 
@@ -20,6 +23,7 @@ import random
 from repro import KnnJoin, KnnSelect, Point, Query, SpatialEngine
 from repro.datagen import uniform_points
 from repro.geometry import Rect
+from repro.shard import ShardedEngine
 from repro.stream import StreamEngine
 
 EXTENT = Rect(0.0, 0.0, 10_000.0, 10_000.0)
@@ -37,7 +41,49 @@ def _quantile_ms(histogram, q: float) -> str:
     return f"{value * 1e3:7.2f}ms" if value is not None else "       -"
 
 
-def render_dashboard(round_no: int, engine: SpatialEngine, stream: StreamEngine) -> None:
+def _shard_spread_line(sharded: ShardedEngine) -> str:
+    """Per-shard latency spread from the last stitched distributed trace."""
+    for trace in reversed(sharded.traces()):
+        fan = trace.find("shard-fan-out")
+        if fan is None:
+            continue
+        durations = sorted(
+            span.duration * 1e3
+            for span in fan.children
+            if span.name == "shard-task" and span.duration is not None
+        )
+        if durations:
+            return (
+                f"  shard fan-out   min {durations[0]:7.2f}ms   "
+                f"max {durations[-1]:7.2f}ms   "
+                f"spread {durations[-1] - durations[0]:.2f}ms "
+                f"across {len(durations)} shards"
+            )
+    return "  shard fan-out   (no stitched trace yet)"
+
+
+def _last_slow_line(*engines) -> str:
+    """The most recent slow-query record across every engine's log."""
+    records = [record for engine in engines for record in engine.slow_queries(n=1)]
+    if not records:
+        return "  slow queries    (none above threshold yet)"
+    latest = max(records, key=lambda record: record["timestamp"])
+    resources = latest["resources"] or {}
+    return (
+        f"  last slow query {latest['query_class']}/{latest['strategy']} "
+        f"{latest['wall_seconds'] * 1e3:.2f}ms "
+        f"(threshold {latest['threshold_seconds'] * 1e3:.0f}ms, "
+        f"rows scanned {resources.get('rows_scanned', 0)}, "
+        f"kernel dispatches {resources.get('kernel_dispatches', 0)})"
+    )
+
+
+def render_dashboard(
+    round_no: int,
+    engine: SpatialEngine,
+    stream: StreamEngine,
+    sharded: ShardedEngine,
+) -> None:
     """One dashboard frame, straight off the shared registry."""
     registry = engine.obs.registry
     plan = engine.plan_cache.stats()
@@ -65,6 +111,8 @@ def render_dashboard(round_no: int, engine: SpatialEngine, stream: StreamEngine)
         if batches
         else "  stream          (no pushes yet)"
     )
+    print(_shard_spread_line(sharded))
+    print(_last_slow_line(engine, sharded, stream))
     recent = engine.events(n=3)
     if recent:
         print("  recent events:")
@@ -76,6 +124,9 @@ def render_dashboard(round_no: int, engine: SpatialEngine, stream: StreamEngine)
 def main() -> None:
     rng = random.Random(42)
     engine = SpatialEngine()
+    # Anything slower than 2ms lands in the slow-query log, so the
+    # dashboard's "last slow query" line has something to show.
+    engine.obs.slow.threshold_seconds = 0.002
     engine.register(
         name="couriers",
         points=uniform_points(400, EXTENT, seed=1),
@@ -89,7 +140,25 @@ def main() -> None:
         cells_per_side=16,
     )
 
-    with StreamEngine(engine) as stream:
+    # A sharded analytics replica fans the same join out over a worker
+    # pool; its stitched traces feed the per-shard latency spread line.
+    sharded = ShardedEngine(
+        num_shards=4,
+        backend="thread",
+        max_workers=2,
+        prefer_fanout=True,
+        slow_query_threshold=0.002,
+    )
+    sharded.register(
+        name="couriers", points=uniform_points(400, EXTENT, seed=1), bounds=EXTENT
+    )
+    sharded.register(
+        name="restaurants",
+        points=uniform_points(1_500, EXTENT, seed=2, start_pid=100_000),
+        bounds=EXTENT,
+    )
+
+    with sharded, StreamEngine(engine) as stream:
         # A standing query: the 5 couriers nearest the depot, kept fresh
         # incrementally as courier positions stream in.
         depot = Point(5_000.0, 5_000.0)
@@ -114,8 +183,10 @@ def main() -> None:
             if round_no % 2 == 0 and standing.result():
                 updates.remove(standing.result()[0][1])  # rows are (distance, pid)
             updates.flush()
+            # The analytics join fans out across the shard pool each round.
+            sharded.run(Query(KnnJoin(outer="couriers", inner="restaurants", k=3)))
 
-            render_dashboard(round_no, engine, stream)
+            render_dashboard(round_no, engine, stream, sharded)
 
         print("\nlast trace of the run:")
         print("\n".join("  " + line for line in engine.traces()[-1].summary_lines()))

@@ -5,7 +5,8 @@ Four checks, all fatal on failure:
 
 1. **Overhead budget** — the figure-27 workload (repeated chained A→B→C
    kNN-join queries against a long-lived engine) runs on two engines, one
-   with the default always-on instrumentation and one with
+   with the default always-on instrumentation — which since the flight tier
+   includes per-query resource capture — and one with
    ``Observability.disabled()``.  Best-of-``--repeats`` wall times must stay
    within ``--max-overhead`` (default 5 %).
 2. **Event coverage** — a sharded + streamed segment must produce a
@@ -15,9 +16,14 @@ Four checks, all fatal on failure:
 3. **Span trees** — the recorded traces must contain the documented phases
    (``plan`` / ``execute`` / ``calibrate``, ``shard-fan-out``,
    ``stream-maintain``).
-4. **Exporters** — the combined registries dump to ``OBS_SNAPSHOT.json``
+4. **Distributed capture** — a process-pool sharded workload must yield a
+   stitched trace with per-shard worker ``shard-task`` spans under
+   ``shard-fan-out`` (foreign worker pids) and fleet-wide kernel-dispatch
+   counters > 0 at the hub after worker-delta merging.
+5. **Exporters** — the combined registries dump to ``OBS_SNAPSHOT.json``
    (schema-checked by ``repro.obs.validate_snapshot``) and
-   ``OBS_SNAPSHOT.prom`` (Prometheus exposition text).
+   ``OBS_SNAPSHOT.prom`` (Prometheus exposition text); the slow-query log
+   of a zero-threshold segment lands in ``OBS_SLOW_QUERIES.json``.
 
 Run from the repository root (CI does)::
 
@@ -28,6 +34,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import multiprocessing
+import os
 import sys
 import time
 from pathlib import Path
@@ -108,6 +116,59 @@ def _mispredicting_engine(obs: Observability) -> tuple[SpatialEngine, Query]:
     return engine, query
 
 
+def check_distributed_capture() -> tuple[list[str], list[dict]]:
+    """Process-pool fan-out: worker spans stitched, kernel deltas merged.
+
+    Falls back to the thread backend (with a notice) when the platform has
+    no fork start method — the stitched trace shape is identical by
+    construction, only the worker pids stop being foreign.
+    """
+    errors: list[str] = []
+    backend = "process" if "fork" in multiprocessing.get_all_start_methods() else "thread"
+    if backend != "process":
+        print("obs_smoke: no fork start method; distributed check uses threads")
+    obs = Observability(name="obs-smoke-distributed")
+    obs.slow.threshold_seconds = 0.0  # record every query for the artifact
+    with ShardedEngine(
+        num_shards=4, backend=backend, max_workers=2, prefer_fanout=True, obs=obs
+    ) as sharded:
+        sharded.register(
+            name="a", points=uniform_points(400, BOUNDS, seed=21), bounds=BOUNDS
+        )
+        sharded.register(
+            name="b",
+            points=uniform_points(400, BOUNDS, seed=22, start_pid=80_000),
+            bounds=BOUNDS,
+        )
+        sharded.run(Query(KnnJoin(outer="a", inner="b", k=2)))
+        trace = sharded.obs.tracer.last()
+        fan = trace.find("shard-fan-out") if trace is not None else None
+        shard_tasks = (
+            [s for s in fan.children if s.name == "shard-task"] if fan is not None else []
+        )
+        if not shard_tasks:
+            errors.append("no worker shard-task spans grafted under shard-fan-out")
+        if backend == "process" and shard_tasks:
+            pids = {s.attributes.get("worker_pid") for s in shard_tasks}
+            if not pids or any(pid == os.getpid() for pid in pids):
+                errors.append(f"process workers reported coordinator pids: {pids}")
+        usage = trace.root.attributes.get("resources") if trace is not None else None
+        if not usage or usage.get("kernel_dispatches", 0) < 1:
+            errors.append(f"fleet kernel dispatches not accounted: {usage}")
+        snapshot = sharded.metrics_snapshot()
+        fleet = sum(
+            c["value"]
+            for c in snapshot["counters"]
+            if c["name"] == "query_resource_kernel_dispatches_total"
+        )
+        if fleet < 1:
+            errors.append("hub registry shows zero merged worker kernel dispatches")
+        slow = sharded.slow_queries()
+        if not slow:
+            errors.append("zero-threshold sharded segment logged no slow queries")
+        return errors, slow
+
+
 def run_stack_workload() -> tuple[list[str], list[dict], str]:
     """Sharded + streamed segment; returns (errors, snapshots, prometheus)."""
     errors: list[str] = []
@@ -174,11 +235,14 @@ def main() -> int:
     parser.add_argument("--max-overhead", type=float, default=0.05)
     parser.add_argument("--json", type=Path, default=Path("OBS_SNAPSHOT.json"))
     parser.add_argument("--prom", type=Path, default=Path("OBS_SNAPSHOT.prom"))
+    parser.add_argument("--slow-json", type=Path, default=Path("OBS_SLOW_QUERIES.json"))
     args = parser.parse_args()
 
     errors = check_overhead(args.scale, args.queries, args.repeats, args.max_overhead)
     stack_errors, snapshots, prom = run_stack_workload()
     errors += stack_errors
+    distributed_errors, slow_records = check_distributed_capture()
+    errors += distributed_errors
 
     for snapshot in snapshots:
         errors += validate_snapshot(snapshot)
@@ -186,14 +250,21 @@ def main() -> int:
         json.dumps({"registries": snapshots}, indent=2) + "\n", encoding="utf-8"
     )
     args.prom.write_text(prom + "\n", encoding="utf-8")
-    print(f"obs_smoke: wrote {args.json} ({len(snapshots)} registries) and {args.prom}")
+    args.slow_json.write_text(json.dumps(slow_records, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"obs_smoke: wrote {args.json} ({len(snapshots)} registries), {args.prom} "
+        f"and {args.slow_json} ({len(slow_records)} slow-query records)"
+    )
 
     if errors:
         print(f"obs_smoke: {len(errors)} problem(s):")
         for error in errors:
             print(f"  {error}")
         return 1
-    print("obs_smoke: overhead, events, traces and exporters all pass")
+    print(
+        "obs_smoke: overhead, events, traces, distributed capture and "
+        "exporters all pass"
+    )
     return 0
 
 

@@ -20,7 +20,12 @@ Observability: checkpoints and recoveries run under tracer spans
 and bytes, checkpoints, recoveries, replayed batches, torn tails, and
 mutations that bypassed the durable write path (``durable_bypass_total``,
 also emitted as a ``durable_bypass`` event — those batches are *not* logged
-and will not survive a crash).
+and will not survive a crash).  A :class:`~repro.obs.flight.FlightRecorder`
+persists ``flight_record.json`` under the root on creation, recovery and
+every checkpoint, and — crucially — when a crash (including injected
+``BaseException`` faults) interrupts the durable write path, so post-mortem
+forensics always have the recent traces, events, metrics and slow queries
+that led up to the failure.
 """
 
 from __future__ import annotations
@@ -34,6 +39,7 @@ from repro.durable.dataset import MANIFEST_NAME, DurableDataset, RecoveryReport
 from repro.durable.state import load_engine_state, save_engine_state, warm_plans
 from repro.engine.session import SpatialEngine
 from repro.exceptions import InvalidParameterError, UnsupportedQueryError
+from repro.obs.flight import FlightRecorder
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.query.dataset import Dataset, IndexKind
@@ -43,6 +49,9 @@ __all__ = ["DurableEngine"]
 
 #: Auto-checkpoint after this many WAL records per relation (0 disables).
 DEFAULT_CHECKPOINT_INTERVAL = 256
+
+#: File name of the crash flight record persisted under the durable root.
+FLIGHT_RECORD_NAME = "flight_record.json"
 
 
 class DurableEngine:
@@ -81,6 +90,10 @@ class DurableEngine:
         self._torn_tails = registry.counter("wal_torn_tails_total")
         self._bypasses = registry.counter("durable_bypass_total")
         registry.gauge("durable_relations", fn=lambda: len(self._durables))
+        #: The crash flight recorder over the wrapped engine's bundle.
+        self.flight = FlightRecorder(engine.obs)
+        #: Where :meth:`record_flight` persists the flight record.
+        self.flight_record_path = self.root / FLIGHT_RECORD_NAME
         # Mutations routed through this wrapper set the flag; the listener
         # fires for *every* engine mutation, so a set flag distinguishes the
         # durable path from a caller mutating the inner engine directly.
@@ -109,6 +122,7 @@ class DurableEngine:
         durable = cls(root, engine, checkpoint_interval)
         for name, dataset in engine.datasets.items():
             durable._durables[name] = DurableDataset.create(root / name, dataset)
+        durable.record_flight("create")
         return durable
 
     @classmethod
@@ -157,6 +171,7 @@ class DurableEngine:
             )
             durable._register_inner(dataset_dir.dataset)
         durable.warmed_plans = warm_plans(engine, signatures)
+        durable.record_flight("recovery")
         return durable
 
     def _register_inner(self, dataset: Dataset) -> None:
@@ -229,20 +244,27 @@ class DurableEngine:
         :attr:`checkpoint_interval` records.
         """
         durable = self._durable(name)
-        self._in_mutation.active = True
         try:
-            applied = self.engine.apply_update(name, batch)
-        finally:
-            self._in_mutation.active = False
-        if applied.size:
-            written = durable.log(batch)
-            self._wal_appends.inc()
-            self._wal_bytes.inc(written)
-            if (
-                self.checkpoint_interval
-                and durable.records_since_checkpoint >= self.checkpoint_interval
-            ):
-                self.checkpoint(name)
+            self._in_mutation.active = True
+            try:
+                applied = self.engine.apply_update(name, batch)
+            finally:
+                self._in_mutation.active = False
+            if applied.size:
+                written = durable.log(batch)
+                self._wal_appends.inc()
+                self._wal_bytes.inc(written)
+                if (
+                    self.checkpoint_interval
+                    and durable.records_since_checkpoint >= self.checkpoint_interval
+                ):
+                    self.checkpoint(name)
+        except BaseException as error:
+            # BaseException on purpose: injected crash faults derive from it
+            # so they cannot be swallowed by ordinary handlers.  Leave the
+            # flight record behind, then let the crash proceed.
+            self.record_flight("crash", error=repr(error))
+            raise
         return applied
 
     def insert(self, name: str, points: Iterable[Point | tuple[float, float]]) -> int:
@@ -256,6 +278,18 @@ class DurableEngine:
     def move(self, name: str, moves: Iterable[tuple[int, float, float]]) -> int:
         """Durably relocate points (see :meth:`SpatialEngine.move`)."""
         return self.apply_update(name, UpdateBatch(moves=moves)).size
+
+    def record_flight(self, reason: str, error: str | None = None) -> None:
+        """Persist the crash flight record under the durable root.
+
+        Failures here are swallowed: the record is forensic garnish and must
+        never mask the original crash (or fail a healthy checkpoint) — e.g.
+        when the root itself became unwritable.
+        """
+        try:
+            self.flight.persist(self.flight_record_path, reason, error=error)
+        except Exception:
+            pass
 
     def _on_engine_mutation(self, name: str) -> None:
         if getattr(self._in_mutation, "active", False):
@@ -279,19 +313,24 @@ class DurableEngine:
         """
         targets = [self._durable(name)] if name is not None else list(self._durables.values())
         tracer = self.engine.obs.tracer
-        for durable in targets:
-            with tracer.span(
-                "durable.checkpoint",
-                relation=durable.name,
-                wal_records=durable.records_since_checkpoint,
-            ):
-                generation = durable.checkpoint()
-            self._checkpoints.inc()
-            self.engine.obs.events.emit(
-                "durable_checkpoint", relation=durable.name, generation=generation
-            )
+        try:
+            for durable in targets:
+                with tracer.span(
+                    "durable.checkpoint",
+                    relation=durable.name,
+                    wal_records=durable.records_since_checkpoint,
+                ):
+                    generation = durable.checkpoint()
+                self._checkpoints.inc()
+                self.engine.obs.events.emit(
+                    "durable_checkpoint", relation=durable.name, generation=generation
+                )
+        except BaseException as error:
+            self.record_flight("crash", error=repr(error))
+            raise
         if targets:
             save_engine_state(self.root, self.engine)
+            self.record_flight("checkpoint")
         return len(targets)
 
     def close(self) -> None:

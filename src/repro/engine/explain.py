@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from enum import Enum
 
+from repro.obs.flight import ResourceUsage
 from repro.planner.plan import PhysicalPlan
 
 __all__ = ["Explain"]
@@ -54,6 +55,10 @@ class Explain:
         Indented per-phase timing lines from the plan's most recent traced
         execution (empty until the plan has run under an enabled tracer;
         see :meth:`repro.obs.trace.Trace.summary_lines`).
+    resources:
+        The plan's most recent execution's
+        :class:`~repro.obs.flight.ResourceUsage` record (``None`` until the
+        plan has run under an enabled bundle).
     """
 
     query_class: str
@@ -65,6 +70,7 @@ class Explain:
     observed_total: float | None = None
     observations: int = 0
     trace_summary: tuple[str, ...] = ()
+    resources: ResourceUsage | None = None
 
     @classmethod
     def from_plan(cls, plan: PhysicalPlan, relations: frozenset[str]) -> "Explain":
@@ -88,6 +94,10 @@ class Explain:
     def with_trace(self, lines: "tuple[str, ...] | list[str]") -> "Explain":
         """A copy carrying the latest execution's span-tree summary."""
         return replace(self, trace_summary=tuple(lines))
+
+    def with_resources(self, usage: ResourceUsage) -> "Explain":
+        """A copy carrying the latest execution's resource accounting."""
+        return replace(self, resources=usage)
 
     @property
     def misprediction_ratio(self) -> float | None:
@@ -122,6 +132,13 @@ class Explain:
             lines.append(
                 f"    observed  = {self.observed_total:.2f} (n={self.observations})"
             )
+        if self.resources is not None:
+            lines.append("  resources:")
+            for key, value in sorted(self.resources.to_dict().items()):
+                if key == "wall_seconds":
+                    lines.append(f"    {key} = {value:.4f}")
+                else:
+                    lines.append(f"    {key} = {value}")
         if self.trace_summary:
             lines.append("  trace:")
             for line in self.trace_summary:

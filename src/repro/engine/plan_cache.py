@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 from repro.engine.explain import Explain
 from repro.exceptions import InvalidParameterError
+from repro.obs.flight import ResourceUsage
 from repro.obs.metrics import Counter, MetricsRegistry
 from repro.obs.trace import Trace
 from repro.planner.plan import PhysicalPlan
@@ -60,6 +61,10 @@ class CachedPlan:
     #: The most recent execution's span tree (``None`` until the plan has
     #: run under an enabled tracer); summarized into EXPLAIN's trace block.
     last_trace: Trace | None = None
+    #: The most recent execution's resource accounting (``None`` until the
+    #: plan has run under an enabled bundle); shown in EXPLAIN's resources
+    #: block and aggregated per signature in the registry.
+    last_resources: ResourceUsage | None = None
 
     def record_observation(self, observed: float, alpha: float = 0.3) -> None:
         """Fold one execution's observed abstract cost into the EWMA."""
@@ -70,12 +75,15 @@ class CachedPlan:
         self.observations += 1
 
     def explain_with_feedback(self) -> Explain:
-        """The EXPLAIN record, enriched with observed cost and the last trace."""
+        """The EXPLAIN record, enriched with observed cost, the last trace
+        and the last execution's resource accounting."""
         record = self.explain
         if self.observations and self.observed_total is not None:
             record = record.with_observed(self.observed_total, self.observations)
         if self.last_trace is not None:
             record = record.with_trace(self.last_trace.summary_lines())
+        if self.last_resources is not None:
+            record = record.with_resources(self.last_resources)
         return record
 
 

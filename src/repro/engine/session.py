@@ -34,6 +34,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 from repro import kernels
 from repro.engine.executor import ReadWriteLock, SharedNeighborhoodCaches, run_batch
+from repro.kernels import dispatch
 from repro.engine.explain import Explain
 from repro.engine.plan_cache import CachedPlan, PlanCache
 from repro.engine.stats_cache import StatsCache
@@ -43,6 +44,7 @@ from repro.geometry.rectangle import Rect
 from repro.index.stats import IndexStats
 from repro.obs import Observability
 from repro.obs.events import Event
+from repro.obs.flight import ResourceUsage, record_usage
 from repro.obs.metrics import LATENCY_BUCKETS
 from repro.obs.trace import Trace
 from repro.planner.calibrate import CalibrationStore, Observation, observed_cost
@@ -463,6 +465,8 @@ class SpatialEngine:
         execution re-plans against the recorded observations.
         """
         tracer = self.obs.tracer
+        capture = self.obs.enabled
+        usage: ResourceUsage | None = None
         with tracer.span("query") as root:
             with self._rw.read():
                 with tracer.span("plan"):
@@ -473,6 +477,7 @@ class SpatialEngine:
                     strategy=entry.plan.strategy,
                     kernel_backend=kernels.backend(),
                 )
+                kernel_before = dispatch.counter_values() if capture else None
                 started = perf_counter()
                 with tracer.span("execute"):
                     result = query.run(
@@ -485,8 +490,33 @@ class SpatialEngine:
                 observed = self._observe(entry, result, wall)
             if observed is not None:
                 root.annotate(observed_cost=round(observed, 4))
+            if capture:
+                stats = result.stats
+                usage = ResourceUsage(
+                    wall_seconds=wall,
+                    rows_scanned=stats.points_considered,
+                    candidates_pruned=stats.points_pruned,
+                    kernel_dispatches=int(
+                        sum(d["delta"] for d in dispatch.counter_deltas(kernel_before))
+                    ),
+                )
+                root.annotate(resources=usage.to_dict())
         if root.enabled:
             entry.last_trace = Trace(root)
+        if usage is not None:
+            entry.last_resources = usage
+            record_usage(self.obs.registry, str(entry.signature), usage)
+            slow = self.obs.slow
+            if slow.would_record(wall):
+                slow.record(
+                    signature=str(entry.signature),
+                    query_class=entry.plan.query_class,
+                    strategy=entry.plan.strategy,
+                    wall_seconds=wall,
+                    resources=usage,
+                    explain=entry.explain_with_feedback().render(),
+                    trace_summary=Trace(root).summary_lines(),
+                )
         self._queries.inc()
         self._query_latency.observe(wall)
         return result
@@ -625,6 +655,30 @@ class SpatialEngine:
                         observed = self._observe(entry, result, wall)
                     if observed is not None:
                         root.annotate(observed_cost=round(observed, 4))
+                    if self.obs.enabled:
+                        # Batch jobs share the process-global kernel registry
+                        # across concurrent threads, so a per-job dispatch
+                        # delta would be racy — report scan/prune work only.
+                        stats = result.stats
+                        usage = ResourceUsage(
+                            wall_seconds=wall,
+                            rows_scanned=stats.points_considered,
+                            candidates_pruned=stats.points_pruned,
+                        )
+                        root.annotate(resources=usage.to_dict())
+                        entry.last_resources = usage
+                        record_usage(self.obs.registry, str(entry.signature), usage)
+                        slow = self.obs.slow
+                        if slow.would_record(wall):
+                            slow.record(
+                                signature=str(entry.signature),
+                                query_class=entry.plan.query_class,
+                                strategy=entry.plan.strategy,
+                                wall_seconds=wall,
+                                resources=usage,
+                                explain=entry.explain_with_feedback().render(),
+                                trace_summary=Trace(root).summary_lines(),
+                            )
                 if root.enabled:
                     entry.last_trace = Trace(root)
                 self._query_latency.observe(wall)
@@ -707,6 +761,11 @@ class SpatialEngine:
     def events(self, kind: str | None = None, n: int | None = None) -> tuple[Event, ...]:
         """Recent structured events (plan demotions, index repairs, ...)."""
         return self.obs.events.events(kind, n)
+
+    def slow_queries(self, n: int | None = None) -> list[dict]:
+        """Recent slow-query records, oldest first (see
+        :class:`~repro.obs.flight.SlowQueryLog`)."""
+        return self.obs.slow.records(n)
 
     @property
     def plan_cache(self) -> PlanCache:

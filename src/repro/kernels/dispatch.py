@@ -45,8 +45,11 @@ __all__ = [
     "backend",
     "ball_mask",
     "block_matrices",
+    "counter_deltas",
+    "counter_values",
     "dispatch_registry",
     "knn_head",
+    "merge_counts",
     "merge_topk",
     "point_block_maxdists",
     "point_block_mindists",
@@ -91,6 +94,43 @@ def dispatch_registry() -> MetricsRegistry:
     backend activation so the per-call cost is one attribute addition.
     """
     return _REGISTRY
+
+
+def counter_values() -> dict[tuple, float]:
+    """Current dispatch-counter values keyed by ``(name, labels)``.
+
+    Snapshot this before a unit of work, then :func:`counter_deltas` after,
+    to attribute kernel dispatches to that work — the worker-telemetry
+    capture path does exactly this around each shard task.
+    """
+    return {(c.name, c.labels): c.value for c in _REGISTRY.counters()}
+
+
+def counter_deltas(before: Mapping[tuple, float]) -> list[dict]:
+    """Positive dispatch-counter increases since a :func:`counter_values` call.
+
+    Each delta is ``{"name", "labels": {...}, "delta"}`` — a picklable,
+    JSON-able shape shipped from process workers back to the coordinator.
+    """
+    deltas = []
+    for counter in _REGISTRY.counters():
+        delta = counter.value - before.get((counter.name, counter.labels), 0.0)
+        if delta > 0:
+            deltas.append(
+                {"name": counter.name, "labels": dict(counter.labels), "delta": delta}
+            )
+    return deltas
+
+
+def merge_counts(deltas: list[dict]) -> None:
+    """Fold worker-reported :func:`counter_deltas` into this process's registry.
+
+    The coordinator calls this for telemetry shipped from *other* processes
+    only — serial/thread backends already incremented the live registry, so
+    merging their deltas would double-count.
+    """
+    for delta in deltas:
+        _REGISTRY.counter(delta["name"], **delta["labels"]).add(delta["delta"])
 
 
 def _resolve_counters(name: str) -> dict[str, Counter]:

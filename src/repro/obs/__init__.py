@@ -35,6 +35,16 @@ from __future__ import annotations
 from repro.obs import hub
 from repro.obs.events import NULL_EVENTS, Event, EventLog
 from repro.obs.export import prometheus_text, registry_snapshot, validate_snapshot
+from repro.obs.flight import (
+    NULL_SLOW_LOG,
+    FlightRecorder,
+    ResourceUsage,
+    SlowQueryLog,
+    TaskCounters,
+    capture_task_counters,
+    record_usage,
+    task_counters,
+)
 from repro.obs.metrics import (
     LATENCY_BUCKETS,
     NULL_REGISTRY,
@@ -64,6 +74,14 @@ __all__ = [
     "EventLog",
     "Event",
     "NULL_EVENTS",
+    "FlightRecorder",
+    "ResourceUsage",
+    "SlowQueryLog",
+    "TaskCounters",
+    "NULL_SLOW_LOG",
+    "capture_task_counters",
+    "record_usage",
+    "task_counters",
     "prometheus_text",
     "registry_snapshot",
     "validate_snapshot",
@@ -83,12 +101,17 @@ class Observability:
         Explicit components; fresh defaults are created when omitted.
     trace_capacity / event_capacity:
         Ring-buffer sizes of the default tracer / event log.
+    slow:
+        Explicit :class:`~repro.obs.flight.SlowQueryLog`; a fresh one is
+        created from the threshold/capacity parameters when omitted.
+    slow_query_threshold / slow_query_capacity:
+        Latency threshold (seconds) and ring size of the default slow log.
     register_global:
         Add the registry to the process-global hub (the default; disabled
         bundles never register).
     """
 
-    __slots__ = ("name", "registry", "tracer", "events")
+    __slots__ = ("name", "registry", "tracer", "events", "slow")
 
     def __init__(
         self,
@@ -98,6 +121,9 @@ class Observability:
         events: EventLog | None = None,
         trace_capacity: int = 256,
         event_capacity: int = 512,
+        slow: SlowQueryLog | None = None,
+        slow_query_threshold: float = 0.25,
+        slow_query_capacity: int = 128,
         register_global: bool = True,
     ) -> None:
         #: Bundle name (also the default registry's name).
@@ -108,12 +134,20 @@ class Observability:
         self.tracer = tracer if tracer is not None else Tracer(capacity=trace_capacity)
         #: The structured event log.
         self.events = events if events is not None else EventLog(capacity=event_capacity)
+        #: The slow-query log (threshold-exceeding query forensics).
+        self.slow = (
+            slow
+            if slow is not None
+            else SlowQueryLog(
+                threshold_seconds=slow_query_threshold, capacity=slow_query_capacity
+            )
+        )
         if register_global and self.registry.enabled:
             hub.register(self.registry)
 
     @classmethod
     def disabled(cls) -> "Observability":
-        """A no-op bundle: null registry, null tracer, null event log.
+        """A no-op bundle: null registry, tracer, event log and slow log.
 
         Engines constructed with it run the identical instrumentation code
         path, but every increment, span and event vanishes — the baseline
@@ -124,6 +158,7 @@ class Observability:
             registry=NULL_REGISTRY,
             tracer=NULL_TRACER,
             events=NULL_EVENTS,
+            slow=NULL_SLOW_LOG,
             register_global=False,
         )
 
@@ -133,8 +168,17 @@ class Observability:
         return self.registry.enabled
 
     def snapshot(self) -> dict[str, object]:
-        """JSON-able snapshot of the bundle's registry."""
-        return registry_snapshot(self.registry)
+        """JSON-able snapshot of the bundle's registry (+ slow-query ring).
+
+        The ``slow_queries`` section is only present when the bundle's slow
+        log has records, keeping the schema backward compatible with
+        snapshots taken before the flight tier existed.
+        """
+        snapshot = registry_snapshot(self.registry)
+        slow = self.slow.records()
+        if slow:
+            snapshot["slow_queries"] = slow
+        return snapshot
 
     def prometheus(self) -> str:
         """Prometheus text-format exposition of the bundle's registry."""

@@ -10,6 +10,10 @@ update batches stream in — and prints the resulting metrics:
 * ``--prometheus``: Prometheus text-format exposition instead;
 * ``--validate``: run :func:`repro.obs.export.validate_snapshot` over every
   registry snapshot and exit non-zero on schema errors;
+* ``--slow``: dump the demo's slow-query log (the demo runs with a zero
+  latency threshold, so every query is recorded);
+* ``--diff A.json B.json``: print the counter/histogram delta between two
+  exported JSON snapshots (no demo workload runs);
 * ``--queries`` / ``--points`` / ``--seed``: workload knobs.
 
 This is a demonstration and a smoke check, not a benchmark —
@@ -29,14 +33,22 @@ from repro.query.predicates import KnnJoin, KnnSelect
 from repro.query.query import Query
 
 
-def _run_demo(points: int, queries: int, seed: int) -> Observability:
-    """Exercise an engine + stream stack; returns its observability bundle."""
+def _run_demo(
+    points: int, queries: int, seed: int, slow_threshold: float | None = None
+) -> Observability:
+    """Exercise an engine + stream stack; returns its observability bundle.
+
+    ``slow_threshold`` overrides the bundle's slow-query latency threshold
+    (``--slow`` passes ``0.0`` so every demo query lands in the log).
+    """
     # Imported here so ``--help`` stays fast and dependency-light.
     from repro.engine.session import SpatialEngine
     from repro.stream.engine import StreamEngine
 
     rng = random.Random(seed)
     obs = Observability(name="demo")
+    if slow_threshold is not None:
+        obs.slow.threshold_seconds = slow_threshold
     engine = SpatialEngine(obs=obs)
     coords = lambda n: [(rng.uniform(0, 100), rng.uniform(0, 100)) for _ in range(n)]
     engine.register(name="cafes", points=coords(points))
@@ -64,6 +76,83 @@ def _run_demo(points: int, queries: int, seed: int) -> Observability:
     return obs
 
 
+def _snapshot_registries(payload: object, where: str) -> list[dict]:
+    """Normalize an exported snapshot file to a list of registry snapshots.
+
+    Accepts the three shapes the tooling writes: a global snapshot
+    (``{"registries": [...]}``, e.g. ``OBS_SNAPSHOT.json``), a bare list of
+    registry snapshots, or one registry snapshot dict.
+    """
+    if isinstance(payload, dict) and isinstance(payload.get("registries"), list):
+        return [r for r in payload["registries"] if isinstance(r, dict)]
+    if isinstance(payload, list):
+        return [r for r in payload if isinstance(r, dict)]
+    if isinstance(payload, dict):
+        return [payload]
+    raise ValueError(f"{where}: unrecognized snapshot shape ({type(payload).__name__})")
+
+
+def _index_samples(registries: list[dict]) -> tuple[dict, dict]:
+    """Key counters and histograms by (registry, name, sorted labels)."""
+    counters: dict[tuple, float] = {}
+    histograms: dict[tuple, dict] = {}
+    for snap in registries:
+        registry = str(snap.get("registry", ""))
+        for item in snap.get("counters", []):
+            key = (registry, item["name"], tuple(sorted(item.get("labels", {}).items())))
+            counters[key] = counters.get(key, 0.0) + float(item["value"])
+        for item in snap.get("histograms", []):
+            key = (registry, item["name"], tuple(sorted(item.get("labels", {}).items())))
+            histograms[key] = {
+                "count": int(item.get("count", 0)),
+                "sum": float(item.get("sum", 0.0)),
+            }
+    return counters, histograms
+
+
+def snapshot_diff(before: object, after: object) -> dict[str, list[dict]]:
+    """The sample-by-sample delta between two exported snapshot payloads.
+
+    Returns ``{"counters": [...], "histograms": [...]}`` where each entry
+    carries the registry, metric name, labels and the ``after - before``
+    delta (counters: value; histograms: count and sum).  Samples present in
+    only one snapshot diff against zero; zero-delta samples are omitted.
+    """
+    counters_a, hists_a = _index_samples(_snapshot_registries(before, "before"))
+    counters_b, hists_b = _index_samples(_snapshot_registries(after, "after"))
+    counter_rows = []
+    for key in sorted(set(counters_a) | set(counters_b)):
+        delta = counters_b.get(key, 0.0) - counters_a.get(key, 0.0)
+        if delta:
+            registry, name, labels = key
+            counter_rows.append(
+                {
+                    "registry": registry,
+                    "name": name,
+                    "labels": dict(labels),
+                    "delta": delta,
+                }
+            )
+    hist_rows = []
+    empty = {"count": 0, "sum": 0.0}
+    for key in sorted(set(hists_a) | set(hists_b)):
+        a, b = hists_a.get(key, empty), hists_b.get(key, empty)
+        count_delta = b["count"] - a["count"]
+        sum_delta = b["sum"] - a["sum"]
+        if count_delta or sum_delta:
+            registry, name, labels = key
+            hist_rows.append(
+                {
+                    "registry": registry,
+                    "name": name,
+                    "labels": dict(labels),
+                    "count_delta": count_delta,
+                    "sum_delta": sum_delta,
+                }
+            )
+    return {"counters": counter_rows, "histograms": hist_rows}
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI driver; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -79,25 +168,60 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--validate", action="store_true", help="schema-check every registry snapshot"
     )
+    parser.add_argument(
+        "--slow",
+        action="store_true",
+        help="print the demo slow-query log (demo runs with a zero threshold)",
+    )
+    parser.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("BEFORE", "AFTER"),
+        help="print the counter/histogram delta between two snapshot JSON files",
+    )
     parser.add_argument("--points", type=int, default=500, help="points per relation")
     parser.add_argument("--queries", type=int, default=40, help="queries to run")
     parser.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     args = parser.parse_args(argv)
 
-    _run_demo(points=args.points, queries=args.queries, seed=args.seed)
+    if args.diff:
+        before_path, after_path = args.diff
+        with open(before_path, "r", encoding="utf-8") as handle:
+            before = json.load(handle)
+        with open(after_path, "r", encoding="utf-8") as handle:
+            after = json.load(handle)
+        try:
+            diff = snapshot_diff(before, after)
+        except ValueError as error:
+            print(f"--diff: {error}", file=sys.stderr)
+            return 1
+        json.dump(diff, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+        return 0
+
+    obs = _run_demo(
+        points=args.points,
+        queries=args.queries,
+        seed=args.seed,
+        slow_threshold=0.0 if args.slow else None,
+    )
 
     if args.validate:
         errors: list[str] = []
         for registry in hub.registries():
             errors.extend(validate_snapshot(registry.snapshot()))
+        errors.extend(validate_snapshot(obs.snapshot()))
         if errors:
             for error in errors:
                 print(f"invalid snapshot: {error}", file=sys.stderr)
             return 1
         print(f"{len(hub.registries())} registry snapshot(s) valid", file=sys.stderr)
+    if args.slow:
+        json.dump(obs.slow.records(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
     if args.prometheus:
         sys.stdout.write(hub.global_prometheus())
-    if args.dump or not (args.prometheus or args.validate):
+    if args.dump or not (args.prometheus or args.validate or args.slow):
         json.dump(hub.global_snapshot(), sys.stdout, indent=2, sort_keys=True)
         sys.stdout.write("\n")
     return 0

@@ -20,6 +20,11 @@ job runs against real workload dumps)::
                       "counts": [int...],       # len(buckets) + 1 (+Inf overflow)
                       "count": int, "sum": number,
                       "min": number|null, "max": number|null}],
+      # optional — present when the bundle's slow-query log has records:
+      "slow_queries": [{"signature": str, "query_class": str, "strategy": str,
+                        "wall_seconds": number, "threshold_seconds": number,
+                        "resources": {str: number}|null, "explain": str,
+                        "trace_summary": [str...], "timestamp": number}],
     }
 """
 
@@ -201,4 +206,30 @@ def validate_snapshot(snapshot: object) -> list[str]:
                     and sum(counts) != item["count"]
                 ):
                     errors.append(f"{where}.count: does not equal the bucket-count sum")
+    if "slow_queries" in snapshot:
+        slow = snapshot["slow_queries"]
+        if not isinstance(slow, list):
+            errors.append("snapshot.slow_queries: expected a list")
+        else:
+            for i, record in enumerate(slow):
+                where = f"snapshot.slow_queries[{i}]"
+                if not isinstance(record, dict):
+                    errors.append(f"{where}: expected a dict")
+                    continue
+                for key in ("signature", "query_class", "strategy"):
+                    if not isinstance(record.get(key), str):
+                        errors.append(f"{where}.{key}: expected a string")
+                _check_number(record.get("wall_seconds"), f"{where}.wall_seconds", errors)
+                resources = record.get("resources")
+                if resources is not None:
+                    if not isinstance(resources, dict):
+                        errors.append(f"{where}.resources: expected a dict or null")
+                    else:
+                        for key, value in resources.items():
+                            _check_number(value, f"{where}.resources.{key}", errors)
+                summary = record.get("trace_summary")
+                if not isinstance(summary, list) or any(
+                    not isinstance(line, str) for line in summary
+                ):
+                    errors.append(f"{where}.trace_summary: expected a list of strings")
     return errors

@@ -1,0 +1,306 @@
+"""Per-query resource accounting, slow-query log, and crash flight recorder.
+
+Three cross-process observability primitives live here, all
+dependency-light (this module must not import engine/shard/stream code —
+those layers import *it*):
+
+- :class:`ResourceUsage` — the per-query resource record (wall time, rows
+  scanned, candidates pruned, kernel dispatches, shards touched, shared-
+  memory bytes attached) attached to every ``Explain`` and root span and
+  aggregated per query signature in the registry.
+- :class:`TaskCounters` + :func:`capture_task_counters` — a thread-local
+  capture context the shard execution path reports scan/prune/attach
+  counts into.  When no capture is active the reporting cost is a single
+  ``getattr`` returning ``None``, so the disabled-instrumentation budget
+  is unaffected.
+- :class:`SlowQueryLog` — a bounded ring of structured records for queries
+  exceeding a configurable latency threshold, exposed via
+  ``engine.slow_queries()`` and ``python -m repro.obs --slow``.
+- :class:`FlightRecorder` — serializes the most recent traces, events and
+  a metrics snapshot to a ``flight_record.json`` for post-crash forensics;
+  ``DurableEngine`` persists one on checkpoints, recovery, and crash-point
+  trips.
+
+See ``docs/observability.md`` for the record formats.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = [
+    "FlightRecorder",
+    "NULL_SLOW_LOG",
+    "ResourceUsage",
+    "SlowQueryLog",
+    "TaskCounters",
+    "capture_task_counters",
+    "record_usage",
+    "task_counters",
+]
+
+
+@dataclass
+class ResourceUsage:
+    """Resources one query consumed, end to end.
+
+    Sharded runs sum the per-shard worker counters (rows scanned,
+    candidates pruned, shm bytes attached) with the coordinator's own
+    kernel-dispatch delta; unsharded runs report the coordinator numbers
+    alone with ``shards_touched == 0``.
+    """
+
+    wall_seconds: float = 0.0
+    rows_scanned: int = 0
+    candidates_pruned: int = 0
+    kernel_dispatches: int = 0
+    shards_touched: int = 0
+    shm_bytes_attached: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-able mapping with one key per field."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "rows_scanned": self.rows_scanned,
+            "candidates_pruned": self.candidates_pruned,
+            "kernel_dispatches": self.kernel_dispatches,
+            "shards_touched": self.shards_touched,
+            "shm_bytes_attached": self.shm_bytes_attached,
+        }
+
+    def add(self, other: "ResourceUsage") -> None:
+        """Accumulate ``other`` into this record (wall times sum too)."""
+        self.wall_seconds += other.wall_seconds
+        self.rows_scanned += other.rows_scanned
+        self.candidates_pruned += other.candidates_pruned
+        self.kernel_dispatches += other.kernel_dispatches
+        self.shards_touched += other.shards_touched
+        self.shm_bytes_attached += other.shm_bytes_attached
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ResourceUsage":
+        """Rebuild a record from :meth:`to_dict` output (unknown keys ignored)."""
+        return cls(
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            rows_scanned=int(data.get("rows_scanned", 0)),
+            candidates_pruned=int(data.get("candidates_pruned", 0)),
+            kernel_dispatches=int(data.get("kernel_dispatches", 0)),
+            shards_touched=int(data.get("shards_touched", 0)),
+            shm_bytes_attached=int(data.get("shm_bytes_attached", 0)),
+        )
+
+
+def record_usage(registry: Any, signature: str, usage: ResourceUsage) -> None:
+    """Aggregate one query's resources per signature into ``registry``.
+
+    Emits the ``query_resource_*_total{signature=}`` counter family (one
+    series per query signature) so operators can attribute fleet resource
+    consumption to query shapes.  ``registry`` is duck-typed (anything with
+    ``counter(name, **labels)``) to keep this module dependency-light.
+    """
+    registry.counter("query_resource_queries_total", signature=signature).inc()
+    registry.counter("query_resource_wall_seconds_total", signature=signature).add(
+        usage.wall_seconds
+    )
+    registry.counter("query_resource_rows_scanned_total", signature=signature).inc(
+        usage.rows_scanned
+    )
+    registry.counter("query_resource_candidates_pruned_total", signature=signature).inc(
+        usage.candidates_pruned
+    )
+    registry.counter("query_resource_kernel_dispatches_total", signature=signature).inc(
+        usage.kernel_dispatches
+    )
+    registry.counter("query_resource_shards_touched_total", signature=signature).inc(
+        usage.shards_touched
+    )
+    registry.counter("query_resource_shm_bytes_attached_total", signature=signature).inc(
+        usage.shm_bytes_attached
+    )
+
+
+@dataclass
+class TaskCounters:
+    """Mutable per-task resource counters the shard execution path fills in."""
+
+    rows_scanned: int = 0
+    candidates_pruned: int = 0
+    shm_bytes_attached: int = 0
+
+
+_ACTIVE = threading.local()
+
+
+def task_counters() -> TaskCounters | None:
+    """The capture context active on this thread, or ``None``.
+
+    Hot-path call sites guard their counting with this — one attribute
+    lookup when capture is off.
+    """
+    return getattr(_ACTIVE, "counters", None)
+
+
+@contextmanager
+def capture_task_counters(counters: TaskCounters) -> Iterator[TaskCounters]:
+    """Make ``counters`` the active capture context for this thread.
+
+    Thread-local (not process-global) because the thread pool backend runs
+    shard tasks concurrently in one process; nesting restores the outer
+    context on exit.
+    """
+    previous = getattr(_ACTIVE, "counters", None)
+    _ACTIVE.counters = counters
+    try:
+        yield counters
+    finally:
+        _ACTIVE.counters = previous
+
+
+@dataclass
+class SlowQueryLog:
+    """Bounded ring of structured records for threshold-exceeding queries.
+
+    Each record carries the query signature, chosen strategy, rendered
+    ``Explain``, stitched trace summary and :class:`ResourceUsage` — the
+    forensic bundle an operator wants when a query misses its latency
+    budget.  ``threshold_seconds`` is mutable at runtime; callers should
+    pre-check :meth:`would_record` so the expensive explain/trace
+    rendering only happens for queries that will actually be logged.
+    """
+
+    threshold_seconds: float = 0.25
+    capacity: int = 128
+    enabled: bool = True
+    _records: list[dict[str, Any]] = field(default_factory=list, repr=False)
+    _recorded: int = field(default=0, repr=False)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def would_record(self, wall_seconds: float) -> bool:
+        """Cheap pre-check: would a query of this wall time be logged?"""
+        return self.enabled and wall_seconds >= self.threshold_seconds
+
+    def record(
+        self,
+        *,
+        signature: str,
+        query_class: str,
+        strategy: str,
+        wall_seconds: float,
+        resources: ResourceUsage | None = None,
+        explain: str = "",
+        trace_summary: tuple[str, ...] = (),
+    ) -> None:
+        """Append one structured record (oldest entries fall off the ring)."""
+        if not self.enabled:
+            return
+        entry = {
+            "signature": signature,
+            "query_class": query_class,
+            "strategy": strategy,
+            "wall_seconds": wall_seconds,
+            "threshold_seconds": self.threshold_seconds,
+            "resources": resources.to_dict() if resources is not None else None,
+            "explain": explain,
+            "trace_summary": list(trace_summary),
+            "timestamp": time.time(),
+        }
+        with self._lock:
+            self._records.append(entry)
+            self._recorded += 1
+            overflow = len(self._records) - self.capacity
+            if overflow > 0:
+                del self._records[:overflow]
+
+    def records(self, n: int | None = None) -> list[dict[str, Any]]:
+        """The most recent ``n`` records (all retained records by default)."""
+        with self._lock:
+            records = list(self._records)
+        return records if n is None else records[-n:]
+
+    @property
+    def recorded(self) -> int:
+        """Lifetime count of records, including ones the ring dropped."""
+        return self._recorded
+
+    def clear(self) -> None:
+        """Drop every retained record (lifetime count is preserved)."""
+        with self._lock:
+            del self._records[:]
+
+
+class _NullSlowLog(SlowQueryLog):
+    """Shared no-op slow log used by ``Observability.disabled()``."""
+
+    def __init__(self) -> None:
+        super().__init__(threshold_seconds=float("inf"), capacity=0, enabled=False)
+
+    def would_record(self, wall_seconds: float) -> bool:
+        """Always ``False`` — nothing is ever slow enough to log."""
+        return False
+
+    def record(self, **_kwargs: Any) -> None:  # type: ignore[override]
+        """Discard the record."""
+
+
+#: Shared no-op slow log handed out by ``Observability.disabled()``.
+NULL_SLOW_LOG = _NullSlowLog()
+
+
+class FlightRecorder:
+    """Persists a bounded forensic snapshot of an ``Observability`` bundle.
+
+    The recorder does not duplicate any runtime state — the bundle's
+    tracer, event log and registry already ring-buffer the recent past —
+    so attaching one costs nothing on the query path.  :meth:`persist`
+    serializes the last ``capacity`` traces and events, a full metrics
+    snapshot, the slow-query ring, and any :meth:`mark` annotations into
+    one JSON file via an atomic rename, so a crash mid-write can never
+    leave a torn record behind.
+    """
+
+    def __init__(self, obs: Any, capacity: int = 64) -> None:
+        self.obs = obs
+        self.capacity = capacity
+        self._marks: list[dict[str, Any]] = []
+
+    def mark(self, label: str, **attributes: Any) -> None:
+        """Append a small annotation carried in every subsequent record."""
+        self._marks.append({"label": label, "attributes": dict(attributes)})
+        overflow = len(self._marks) - self.capacity
+        if overflow > 0:
+            del self._marks[:overflow]
+
+    def snapshot(self, reason: str, error: str | None = None) -> dict[str, Any]:
+        """The flight-record payload as a dict (what :meth:`persist` writes)."""
+        traces = [t.to_dict() for t in self.obs.tracer.recent(self.capacity)]
+        events = [e.to_dict() for e in self.obs.events.events(n=self.capacity)]
+        slow = getattr(self.obs, "slow", None)
+        return {
+            "reason": reason,
+            "error": error,
+            "pid": os.getpid(),
+            "timestamp": time.time(),
+            "traces": traces,
+            "events": events,
+            "metrics": self.obs.snapshot(),
+            "slow_queries": slow.records() if slow is not None else [],
+            "marks": list(self._marks),
+        }
+
+    def persist(self, path: Any, reason: str, error: str | None = None) -> None:
+        """Atomically write the flight record to ``path`` (tmp + rename)."""
+        payload = self.snapshot(reason, error=error)
+        path = os.fspath(path)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=repr)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)

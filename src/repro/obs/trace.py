@@ -111,15 +111,38 @@ class Span:
             "children": [child.to_dict() for child in self.children],
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        """Rebuild a detached span subtree from :meth:`to_dict` output.
+
+        The result has no tracer (it is never re-recorded); the coordinator
+        grafts worker-captured subtrees under its own open spans with this
+        — the distributed-trace stitching path (see ``docs/observability.md``).
+        """
+        span = cls(None, str(data.get("name", "span")), dict(data.get("attributes") or {}))
+        duration_ms = data.get("duration_ms")
+        span.duration = None if duration_ms is None else float(duration_ms) / 1000.0
+        span.children = [cls.from_dict(child) for child in data.get("children") or []]
+        return span
+
+    def graft(self, child: "Span") -> "Span":
+        """Append a detached subtree as a child; returns the grafted child."""
+        self.children.append(child)
+        return child
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         ms = "?" if self.duration is None else f"{self.duration * 1000.0:.2f}ms"
         return f"Span({self.name!r}, {ms}, children={len(self.children)})"
 
 
 def _jsonable(value: object) -> object:
-    """Coerce an attribute value to something JSON-serializable."""
+    """Coerce an attribute value to something JSON-serializable (recursively)."""
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
     return repr(value)
 
 

@@ -36,6 +36,7 @@ from repro.exceptions import EmptyDatasetError, InvalidParameterError
 from repro.geometry.point import Point
 from repro.locality.batch import get_knn_batch
 from repro.locality.neighborhood import Neighborhood
+from repro.obs.flight import task_counters
 from repro.operators.merge import merge_neighborhoods
 
 __all__ = ["sharded_knn_batch"]
@@ -107,6 +108,13 @@ def sharded_knn_batch(sharded, coords, k: int) -> list[Neighborhood]:
     reach = mind2 <= bound2[:, None] * (1.0 + _BOUND_SLACK)
     reach[np.isinf(bound2)] = True  # under-filled: every shard may contribute
     reach[np.arange(n), primary] = False
+    counters = task_counters()
+    if counters is not None:
+        # (point, shard) pairs the bound proved unreachable — the primary
+        # visits from round 1 are neither visited-again nor pruned here.
+        counters.candidates_pruned += int(
+            n * len(datasets) - np.count_nonzero(reach) - n
+        )
     for sid in np.nonzero(reach.any(axis=0))[0]:
         group = np.nonzero(reach[:, sid])[0]
         nbrs = get_knn_batch(datasets[sid].index, group_queries(group), k)

@@ -33,6 +33,7 @@ back.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 from time import perf_counter
 from typing import Callable, Iterable, Mapping, Sequence
@@ -45,10 +46,12 @@ from repro.exceptions import StaleShardError, UnsupportedQueryError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.index.stats import IndexStats
+from repro.kernels import dispatch
 from repro.obs import Observability
 from repro.obs.events import Event
+from repro.obs.flight import ResourceUsage, record_usage
 from repro.obs.metrics import LATENCY_BUCKETS
-from repro.obs.trace import Trace
+from repro.obs.trace import Span, Trace
 from repro.planner.optimizer import Optimizer
 from repro.planner.plan import PhysicalPlan
 from repro.query.dataset import Dataset, IndexKind
@@ -91,6 +94,17 @@ class ShardedEngine:
         Forwarded to the wrapped :class:`SpatialEngine`.
     seed:
         Sampling seed for the ``"sample"`` partitioner.
+    prefer_fanout:
+        Force the coordinator's fan-out decision for top-level kNN/range
+        selects: ``True`` always fans out over every shard, ``False``
+        always answers coordinator-side via border expansion, ``None``
+        (default) follows the pool's parallelism.  Pinning this makes the
+        distributed trace shape identical across backends — the
+        trace-stitching invariant tests rely on it.
+    slow_query_threshold:
+        When given, overrides the bundle's slow-query log latency threshold
+        (seconds); queries at or above it are recorded in
+        :meth:`slow_queries`.
     obs:
         The observability bundle (:class:`~repro.obs.Observability`),
         *shared* with the wrapped planning engine so coordinator counters,
@@ -108,6 +122,8 @@ class ShardedEngine:
         optimizer: Optimizer | None = None,
         plan_cache_size: int = 256,
         seed: int = 0,
+        prefer_fanout: bool | None = None,
+        slow_query_threshold: float | None = None,
         obs: Observability | None = None,
     ) -> None:
         self.num_shards = num_shards
@@ -116,8 +132,11 @@ class ShardedEngine:
         self.max_workers = max_workers
         self.segment_mode = segment_mode
         self.seed = seed
+        self.prefer_fanout = prefer_fanout
         #: The observability bundle, shared with the wrapped engine.
         self.obs = obs if obs is not None else Observability(name="sharded-engine")
+        if slow_query_threshold is not None:
+            self.obs.slow.threshold_seconds = slow_query_threshold
         self._engine = SpatialEngine(
             optimizer=optimizer,
             plan_cache_size=plan_cache_size,
@@ -454,11 +473,20 @@ class ShardedEngine:
         in canonical order (kNN rows by ``(distance, pid)``, pair/triplet
         rows by pid keys).  On a version-check failure during execution the
         engine resyncs its shards, re-plans and retries once.
+
+        With instrumentation enabled, every shard task executes under
+        worker-side telemetry capture: the coordinator grafts the returned
+        ``shard-task`` span subtrees under its ``shard-fan-out`` span,
+        merges process-worker kernel-dispatch deltas into the hub registry
+        and attaches a :class:`~repro.obs.flight.ResourceUsage` to the plan
+        entry (and root span) — see ``docs/observability.md``.
         """
         tracer = self.obs.tracer
+        capture = self.obs.enabled
         last_error: StaleShardError | None = None
         for attempt in range(2):
             self._resync_if_stale(query.relations())
+            usage = ResourceUsage() if capture else None
             with tracer.span("query", sharded=True, attempt=attempt) as root:
                 with self._rw.read():
                     self._require(*query.relations())
@@ -472,11 +500,23 @@ class ShardedEngine:
                         kernel_backend=kernels.backend(),
                     )
                     pool = self._ensure_pool()
+                    prefer = (
+                        pool.parallel
+                        if self.prefer_fanout is None
+                        else self.prefer_fanout
+                    )
                     try:
                         started = perf_counter()
+                        kernel_before = dispatch.counter_values() if capture else None
                         with tracer.span("shard-fan-out", backend=pool.backend) as fan:
+                            if capture:
+                                runner = lambda tasks: self._run_stitched(  # noqa: E731
+                                    pool, fan, usage, tasks
+                                )
+                            else:
+                                runner = pool.run
                             result, ntasks = sharded_execute(
-                                plan, query, self._sharded, pool.run, pool.parallel
+                                plan, query, self._sharded, runner, prefer
                             )
                             fan.annotate(tasks=ntasks)
                         wall = perf_counter() - started
@@ -495,6 +535,17 @@ class ShardedEngine:
                         observed = self._engine.record_execution(entry, result, wall)
                     if observed is not None:
                         root.annotate(observed_cost=round(observed, 4))
+                    if usage is not None:
+                        # Worker deltas were merged during stitching, so the
+                        # coordinator-side registry delta is the fleet total.
+                        usage.wall_seconds = wall
+                        usage.kernel_dispatches = int(
+                            sum(
+                                d["delta"]
+                                for d in dispatch.counter_deltas(kernel_before)
+                            )
+                        )
+                        root.annotate(resources=usage.to_dict())
             if last_error is not None:
                 self._stale.inc()
                 self.obs.events.emit(
@@ -507,6 +558,20 @@ class ShardedEngine:
                 continue
             if root.enabled:
                 entry.last_trace = Trace(root)
+            if usage is not None:
+                entry.last_resources = usage
+                record_usage(self.obs.registry, str(entry.signature), usage)
+                slow = self.obs.slow
+                if slow.would_record(wall):
+                    slow.record(
+                        signature=str(entry.signature),
+                        query_class=plan.query_class,
+                        strategy=plan.strategy,
+                        wall_seconds=wall,
+                        resources=usage,
+                        explain=entry.explain_with_feedback().render(),
+                        trace_summary=Trace(root).summary_lines(),
+                    )
             self._queries.inc()
             self._tasks.inc(ntasks)
             self._fanout_latency.observe(wall)
@@ -514,6 +579,43 @@ class ShardedEngine:
         raise StaleShardError(
             "sharded execution kept racing dataset mutations; giving up after retry"
         )
+
+    def _run_stitched(
+        self,
+        pool: ShardWorkerPool,
+        fan: Span,
+        usage: ResourceUsage,
+        tasks: Sequence,
+    ) -> list[object]:
+        """Capture-enabled task runner: execute, then stitch worker telemetry.
+
+        Each task's detached ``shard-task`` span (annotated ``shard=`` /
+        ``worker_pid=`` plus its resource counters) is grafted under the
+        open ``shard-fan-out`` span; kernel-dispatch deltas from *other*
+        processes are merged into this process's hub-registered registry
+        (serial/thread tasks already incremented it live — merging theirs
+        would double-count).  Per-shard resource counters accumulate into
+        the query's :class:`~repro.obs.flight.ResourceUsage`.
+        """
+        pairs = pool.run_captured(tasks)
+        coordinator_pid = os.getpid()
+        results: list[object] = []
+        for result, telemetry in pairs:
+            results.append(result)
+            fan.graft(Span.from_dict(telemetry["span"]))
+            if telemetry["worker_pid"] != coordinator_pid:
+                dispatch.merge_counts(telemetry["counters"])
+            resources = telemetry["resources"]
+            usage.rows_scanned += resources["rows_scanned"]
+            usage.candidates_pruned += resources["candidates_pruned"]
+            usage.shm_bytes_attached += resources["shm_bytes_attached"]
+            usage.shards_touched += 1
+        return results
+
+    def slow_queries(self, n: int | None = None) -> list[dict]:
+        """Recent slow-query records, oldest first (see
+        :class:`~repro.obs.flight.SlowQueryLog`)."""
+        return self.obs.slow.records(n)
 
     def run_many(self, queries: Sequence[Query]) -> list[QueryResult]:
         """Execute a batch of queries, returning results in input order.

@@ -38,6 +38,7 @@ from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.locality.knn import get_knn
 from repro.locality.neighborhood import Neighborhood
+from repro.obs.flight import task_counters
 from repro.operators.intersection import intersect_pairs_on_inner, intersect_points
 from repro.operators.merge import (
     merge_neighborhoods,
@@ -150,6 +151,11 @@ def execute_shard_task(
     driving = datasets[task.relation].shard(task.shard_id)
     if driving is None:  # shard emptied by a racing (version-checked) mutation
         return []
+    counters = task_counters()
+    if counters is not None:
+        # Every kind reads the driving shard's columns end to end (the
+        # window-filtered join also masks over all rows first).
+        counters.rows_scanned += len(driving.store)
 
     if task.kind == "knn":
         focal, k = task.payload
@@ -216,6 +222,10 @@ def _join_batched(driving, inner, k, select_pids, inner_window, outer_window):
             outer_window.ymax,
         )
         rows = np.nonzero(mask)[0]
+        counters = task_counters()
+        if counters is not None:
+            # Driving rows the outer window eliminated before any kNN work.
+            counters.candidates_pruned += len(store) - len(rows)
     else:
         rows = np.arange(len(store))
     if not len(rows):

@@ -37,6 +37,8 @@ from functools import partial
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 from repro.exceptions import InvalidParameterError, StaleShardError
+from repro.obs.flight import TaskCounters, capture_task_counters, task_counters
+from repro.obs.trace import Span
 from repro.shard.executor import ShardTask, execute_shard_task
 from repro.shard.shm import AttachedRuntime, SegmentPublisher, attach_segment, segment_name
 
@@ -125,6 +127,9 @@ def _reconcile(
             if runtime is not None:
                 runtime.close()
             _ATTACHED[key] = runtime = fresh
+            counters = task_counters()
+            if counters is not None:
+                counters.shm_bytes_attached += fresh.nbytes
         if merged is None:
             merged = dict(datasets)
         merged[name] = runtime
@@ -140,6 +145,58 @@ def _invoke(token: str, task: ShardTask) -> object:
     if datasets is None:
         raise StaleShardError(f"no shard runtime registered under token {token!r}")
     return execute_shard_task(_reconcile(token, datasets, task), task)
+
+
+def _invoke_captured(token: str, task: ShardTask) -> tuple[object, dict]:
+    """Execute one task with worker-local telemetry capture.
+
+    Returns ``(result, telemetry)`` where the telemetry envelope is a small
+    picklable dict shipped back through the pool result path:
+
+    - ``worker_pid`` — the executing process (the coordinator compares it
+      with its own pid to decide whether kernel deltas need hub-merging);
+    - ``span`` — a detached ``shard-task`` span subtree
+      (:meth:`repro.obs.trace.Span.to_dict` shape) the coordinator grafts
+      under its ``shard-fan-out`` span, annotated with ``shard=`` /
+      ``worker_pid=`` / resource counters;
+    - ``counters`` — kernel ``counter_deltas`` attributable to this task;
+    - ``resources`` — the per-shard resource dict (wall seconds, rows
+      scanned, candidates pruned, kernel dispatches, shm bytes attached).
+
+    Serial and thread backends run this in the coordinator process, so all
+    three backends produce identical trace shapes.
+    """
+    from repro.kernels import dispatch
+
+    datasets = _RUNTIMES.get(token)
+    if datasets is None:
+        raise StaleShardError(f"no shard runtime registered under token {token!r}")
+    before = dispatch.counter_values()
+    counters = TaskCounters()
+    span = Span(
+        None,
+        "shard-task",
+        {"shard": task.shard_id, "kind": task.kind, "relation": task.relation},
+    )
+    with span, capture_task_counters(counters):
+        result = execute_shard_task(_reconcile(token, datasets, task), task)
+    deltas = dispatch.counter_deltas(before)
+    dispatches = int(sum(d["delta"] for d in deltas))
+    resources = {
+        "wall_seconds": span.duration or 0.0,
+        "rows_scanned": counters.rows_scanned,
+        "candidates_pruned": counters.candidates_pruned,
+        "kernel_dispatches": dispatches,
+        "shm_bytes_attached": counters.shm_bytes_attached,
+    }
+    span.annotate(worker_pid=os.getpid(), **resources)
+    telemetry = {
+        "worker_pid": os.getpid(),
+        "span": span.to_dict(),
+        "counters": deltas,
+        "resources": resources,
+    }
+    return result, telemetry
 
 
 def resolve_backend(backend: str) -> str:
@@ -283,6 +340,24 @@ class ShardWorkerPool:
         if not self.parallel or len(tasks) == 1:
             return [_invoke(self.token, task) for task in tasks]
         return list(self._ensure_executor().map(partial(_invoke, self.token), tasks))
+
+    def run_captured(
+        self, tasks: Sequence[ShardTask]
+    ) -> list[tuple[object, dict]]:
+        """Execute ``tasks`` with worker telemetry capture, in input order.
+
+        Each element is the ``(result, telemetry)`` pair described by
+        :func:`_invoke_captured`; the coordinator stitches the telemetry
+        into its own trace/registry.  Exceptions propagate exactly like
+        :meth:`run`.
+        """
+        if not tasks:
+            return []
+        if not self.parallel or len(tasks) == 1:
+            return [_invoke_captured(self.token, task) for task in tasks]
+        return list(
+            self._ensure_executor().map(partial(_invoke_captured, self.token), tasks)
+        )
 
     def close(self) -> None:
         """Shut the executor down, unlink segments, drop the registration."""

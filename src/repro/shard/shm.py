@@ -231,6 +231,15 @@ class AttachedRuntime:
         """Published segments are reconciled by construction."""
         return self.version
 
+    @property
+    def nbytes(self) -> int:
+        """Size of the attached shared-memory segment in bytes.
+
+        The worker-telemetry capture path charges this to a task's
+        ``shm_bytes_attached`` resource counter at attach time.
+        """
+        return int(self._shm.size)
+
     def shard(self, shard_id: int) -> Dataset | None:
         """The dataset of one shard over the segment's columns (lazy, cached)."""
         ds = self._shards.get(shard_id)

@@ -311,7 +311,25 @@ class StreamEngine:
                 root.annotate(subscriptions=maintained)
             self._batches.inc()
             self._updates.inc(batch.size)
-            self._push_latency.observe(perf_counter() - started)
+            wall = perf_counter() - started
+            self._push_latency.observe(wall)
+            slow = self.obs.slow
+            if slow.would_record(wall):
+                # Slow pushes land in the shared slow-query log so operators
+                # see maintenance stalls next to slow reads.
+                slow.record(
+                    signature=f"stream-push:{relation}",
+                    query_class="stream-push",
+                    strategy="maintain",
+                    wall_seconds=wall,
+                    explain=(
+                        f"stream push relation={relation} size={batch.size} "
+                        f"subscriptions={maintained}"
+                    ),
+                    trace_summary=(
+                        Trace(root).summary_lines() if root.enabled else ()
+                    ),
+                )
             return deltas
 
     def poll(self, sub: Subscription | str) -> Delta:
@@ -455,6 +473,11 @@ class StreamEngine:
     def events(self, kind: str | None = None, n: int | None = None) -> tuple[Event, ...]:
         """Recent structured events (guard violations, stale subscriptions, ...)."""
         return self.obs.events.events(kind, n)
+
+    def slow_queries(self, n: int | None = None) -> list[dict]:
+        """Recent slow records from the shared log — slow queries of the
+        wrapped engine plus threshold-exceeding stream pushes."""
+        return self.obs.slow.records(n)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -1,0 +1,114 @@
+"""Crash flight recorder integration: ``flight_record.json`` under the root.
+
+The ``DurableEngine`` persists a flight record on creation, recovery and
+every checkpoint, and — the part that matters — when an injected crash
+(``BaseException``) interrupts the durable write path.  Whatever moment the
+process dies, a readable JSON forensic snapshot of the recent traces,
+events, metrics and slow queries is sitting next to the data.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from faultfs import FaultInjector, InjectedCrash
+
+from repro.durable import DurableEngine
+from repro.durable.engine import FLIGHT_RECORD_NAME
+from repro.geometry.point import Point
+from repro.obs import validate_snapshot
+from repro.query.predicates import KnnSelect
+from repro.query.query import Query
+from repro.storage.update import UpdateBatch
+
+
+def points_a() -> list[Point]:
+    return [Point(float(3 * i % 97), float(5 * i % 89), i) for i in range(40)]
+
+
+def make_durable(tmp_path) -> DurableEngine:
+    engine = DurableEngine.create(tmp_path / "root", checkpoint_interval=0)
+    engine.register(name="a", points=points_a())
+    return engine
+
+
+def load_record(tmp_path) -> dict:
+    path = tmp_path / "root" / FLIGHT_RECORD_NAME
+    assert path.exists(), "flight record missing"
+    return json.loads(path.read_text())
+
+
+class TestFlightRecordLifecycle:
+    def test_create_leaves_a_record(self, tmp_path):
+        engine = make_durable(tmp_path)
+        record = load_record(tmp_path)
+        assert record["reason"] == "create"
+        assert record["error"] is None
+        assert record["pid"] == os.getpid()
+        engine.close()
+
+    def test_checkpoint_refreshes_the_record(self, tmp_path):
+        engine = make_durable(tmp_path)
+        engine.run(Query(KnnSelect(relation="a", focal=Point(30.0, 30.0), k=3)))
+        engine.apply_update("a", UpdateBatch(inserts=[(50.5, 50.5)]))
+        engine.checkpoint()
+        record = load_record(tmp_path)
+        assert record["reason"] == "checkpoint"
+        # The engine's recent past rides along: the query trace and the full
+        # metrics snapshot (which must satisfy the exported schema).
+        assert any(t["name"] == "query" for t in record["traces"])
+        assert validate_snapshot(record["metrics"]) == []
+        engine.close()
+
+    def test_recovery_leaves_a_record(self, tmp_path):
+        make_durable(tmp_path).close()
+        reopened = DurableEngine.open(tmp_path / "root")
+        record = load_record(tmp_path)
+        assert record["reason"] == "recovery"
+        assert any(e["kind"] == "durable_recovery" for e in record["events"])
+        reopened.close()
+
+
+class TestCrashFlightRecord:
+    @pytest.mark.parametrize("point", ["wal:mid-append", "wal:before-fsync"])
+    def test_injected_wal_crash_persists_a_crash_record(self, tmp_path, point):
+        engine = make_durable(tmp_path)
+        engine.run(Query(KnnSelect(relation="a", focal=Point(30.0, 30.0), k=3)))
+        with FaultInjector(point) as injector:
+            with pytest.raises(InjectedCrash):
+                engine.apply_update("a", UpdateBatch(inserts=[(70.5, 70.5)]))
+        assert injector.fired
+        record = load_record(tmp_path)
+        assert record["reason"] == "crash"
+        assert point in record["error"]
+        assert any(t["name"] == "query" for t in record["traces"])
+        # The crashed root still recovers; recovery then overwrites the
+        # record with its own reason.
+        recovered = DurableEngine.open(tmp_path / "root")
+        assert load_record(tmp_path)["reason"] == "recovery"
+        recovered.close()
+
+    def test_checkpoint_crash_persists_a_crash_record(self, tmp_path):
+        engine = make_durable(tmp_path)
+        engine.apply_update("a", UpdateBatch(inserts=[(50.5, 50.5)]))
+        with FaultInjector("checkpoint:before-manifest") as injector:
+            with pytest.raises(InjectedCrash):
+                engine.checkpoint()
+        assert injector.fired
+        record = load_record(tmp_path)
+        assert record["reason"] == "crash"
+        assert "checkpoint:before-manifest" in record["error"]
+
+    def test_slow_queries_ride_in_the_crash_record(self, tmp_path):
+        engine = make_durable(tmp_path)
+        engine.obs.slow.threshold_seconds = 0.0  # record every query
+        engine.run(Query(KnnSelect(relation="a", focal=Point(30.0, 30.0), k=3)))
+        with FaultInjector("wal:mid-append"):
+            with pytest.raises(InjectedCrash):
+                engine.apply_update("a", UpdateBatch(inserts=[(70.5, 70.5)]))
+        record = load_record(tmp_path)
+        assert record["slow_queries"]
+        assert record["slow_queries"][0]["query_class"] == "single-select"

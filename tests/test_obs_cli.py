@@ -1,0 +1,112 @@
+"""Tests for the ``python -m repro.obs`` CLI: --slow and --diff."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main, snapshot_diff
+
+
+def _run(capsys, *argv: str) -> tuple[int, str]:
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+class TestSlowFlag:
+    def test_dumps_the_demo_slow_query_log(self, capsys):
+        code, out = _run(capsys, "--slow", "--queries", "4", "--points", "50")
+        assert code == 0
+        records = json.loads(out)
+        assert records, "zero-threshold demo must log every query"
+        for record in records:
+            assert record["threshold_seconds"] == 0.0
+            assert record["wall_seconds"] >= 0.0
+            assert record["signature"]
+        # Query records carry resource accounting; stream-push records are
+        # the ones allowed to leave it null.
+        with_resources = [r for r in records if r["resources"] is not None]
+        assert with_resources
+        for record in with_resources:
+            assert record["resources"]["kernel_dispatches"] >= 0
+        assert any(r["query_class"] == "stream-push" for r in records)
+
+    def test_slow_plus_validate_checks_the_slow_schema(self, capsys):
+        code, _ = _run(capsys, "--slow", "--validate", "--queries", "3", "--points", "40")
+        assert code == 0
+
+
+class TestDiffFlag:
+    def _snapshot(self, counters: dict[str, float]) -> dict:
+        return {
+            "registries": [
+                {
+                    "registry": "demo",
+                    "counters": [
+                        {"name": name, "labels": {}, "value": value}
+                        for name, value in counters.items()
+                    ],
+                    "gauges": [],
+                    "histograms": [
+                        {
+                            "name": "latency",
+                            "labels": {},
+                            "buckets": [1.0],
+                            "counts": [int(sum(counters.values())), 0],
+                            "count": int(sum(counters.values())),
+                            "sum": sum(counters.values()) / 10.0,
+                            "min": None,
+                            "max": None,
+                        }
+                    ],
+                }
+            ]
+        }
+
+    def test_prints_counter_and_histogram_deltas(self, capsys, tmp_path):
+        before = tmp_path / "a.json"
+        after = tmp_path / "b.json"
+        before.write_text(json.dumps(self._snapshot({"queries": 2.0, "same": 1.0})))
+        after.write_text(json.dumps(self._snapshot({"queries": 5.0, "same": 1.0})))
+        code, out = _run(capsys, "--diff", str(before), str(after))
+        assert code == 0
+        diff = json.loads(out)
+        assert diff["counters"] == [
+            {"registry": "demo", "name": "queries", "labels": {}, "delta": 3.0}
+        ]
+        (hist,) = diff["histograms"]
+        assert hist["name"] == "latency"
+        assert hist["count_delta"] == 3
+        assert hist["sum_delta"] == pytest.approx(0.3)
+
+    def test_diff_skips_the_demo_workload(self, capsys, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(self._snapshot({"c": 1.0})))
+        code, out = _run(capsys, "--diff", str(path), str(path))
+        assert code == 0
+        assert json.loads(out) == {"counters": [], "histograms": []}
+
+    def test_diff_rejects_unrecognized_shapes(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        good = tmp_path / "good.json"
+        bad.write_text('"just a string"')
+        good.write_text(json.dumps(self._snapshot({})))
+        code, _ = _run(capsys, "--diff", str(bad), str(good))
+        assert code == 1
+
+
+class TestSnapshotDiffShapes:
+    def test_accepts_bare_registry_and_list_shapes(self):
+        single = {"registry": "r", "counters": [{"name": "c", "labels": {}, "value": 1.0}]}
+        listed = [dict(single, counters=[{"name": "c", "labels": {}, "value": 4.0}])]
+        diff = snapshot_diff(single, listed)
+        assert diff["counters"] == [
+            {"registry": "r", "name": "c", "labels": {}, "delta": 3.0}
+        ]
+
+    def test_samples_missing_on_one_side_diff_against_zero(self):
+        before = {"registry": "r", "counters": []}
+        after = {"registry": "r", "counters": [{"name": "new", "labels": {}, "value": 2.0}]}
+        assert snapshot_diff(before, after)["counters"][0]["delta"] == 2.0
+        assert snapshot_diff(after, before)["counters"][0]["delta"] == -2.0

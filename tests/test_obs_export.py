@@ -102,6 +102,60 @@ class TestValidateSnapshot:
         snapshot["gauges"][0]["value"] = float("nan")
         assert any("NaN" in e for e in validate_snapshot(snapshot))
 
+    def _slow_record(self, **overrides):
+        record = {
+            "signature": "('auto', ...)",
+            "query_class": "single-select",
+            "strategy": "knn-select",
+            "wall_seconds": 0.3,
+            "threshold_seconds": 0.25,
+            "resources": {"rows_scanned": 10, "kernel_dispatches": 3},
+            "explain": "EXPLAIN\n  ...",
+            "trace_summary": ["query 1.0ms", "  execute 0.5ms"],
+            "timestamp": 1.0,
+        }
+        record.update(overrides)
+        return record
+
+    def test_accepts_well_formed_slow_queries(self):
+        snapshot = registry_snapshot(_sample_registry())
+        snapshot["slow_queries"] = [
+            self._slow_record(),
+            self._slow_record(resources=None),  # stream pushes carry no usage
+        ]
+        assert validate_snapshot(snapshot) == []
+
+    def test_rejects_slow_query_shape_errors(self):
+        snapshot = registry_snapshot(_sample_registry())
+        snapshot["slow_queries"] = {"not": "a list"}
+        assert any("slow_queries" in e for e in validate_snapshot(snapshot))
+
+    def test_rejects_slow_query_field_errors(self):
+        snapshot = registry_snapshot(_sample_registry())
+        snapshot["slow_queries"] = [
+            self._slow_record(signature=7),
+            self._slow_record(wall_seconds="fast"),
+            self._slow_record(resources={"rows_scanned": "many"}),
+            self._slow_record(trace_summary="query 1.0ms"),
+        ]
+        errors = validate_snapshot(snapshot)
+        assert any("slow_queries[0].signature" in e for e in errors)
+        assert any("slow_queries[1].wall_seconds" in e for e in errors)
+        assert any("slow_queries[2].resources.rows_scanned" in e for e in errors)
+        assert any("slow_queries[3].trace_summary" in e for e in errors)
+
+    def test_bundle_snapshot_with_slow_records_validates(self):
+        from repro.obs import Observability
+
+        obs = Observability(name="slow-test", register_global=False)
+        obs.slow.threshold_seconds = 0.0
+        obs.slow.record(
+            signature="s", query_class="q", strategy="x", wall_seconds=0.1
+        )
+        snapshot = obs.snapshot()
+        assert snapshot["slow_queries"]
+        assert validate_snapshot(snapshot) == []
+
 
 class TestHub:
     def test_registries_auto_register_and_weakly_vanish(self):

@@ -1,0 +1,169 @@
+"""Unit tests for the flight tier: resource accounting, slow log, recorder."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.flight import (
+    NULL_SLOW_LOG,
+    FlightRecorder,
+    ResourceUsage,
+    SlowQueryLog,
+    TaskCounters,
+    capture_task_counters,
+    record_usage,
+    task_counters,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestResourceUsage:
+    def test_round_trips_through_dict(self):
+        usage = ResourceUsage(
+            wall_seconds=0.5,
+            rows_scanned=10,
+            candidates_pruned=3,
+            kernel_dispatches=7,
+            shards_touched=4,
+            shm_bytes_attached=4096,
+        )
+        assert ResourceUsage.from_dict(usage.to_dict()) == usage
+
+    def test_from_dict_ignores_unknown_keys_and_defaults_missing(self):
+        usage = ResourceUsage.from_dict({"rows_scanned": 5, "future_field": 1})
+        assert usage.rows_scanned == 5
+        assert usage.kernel_dispatches == 0
+
+    def test_add_accumulates_every_field(self):
+        total = ResourceUsage(wall_seconds=1.0, rows_scanned=1, shards_touched=1)
+        total.add(ResourceUsage(wall_seconds=0.5, rows_scanned=2, shards_touched=3))
+        assert total.wall_seconds == 1.5
+        assert total.rows_scanned == 3
+        assert total.shards_touched == 4
+
+
+class TestRecordUsage:
+    def test_aggregates_per_signature_counters(self):
+        registry = MetricsRegistry("t")
+        usage = ResourceUsage(wall_seconds=0.25, rows_scanned=10, kernel_dispatches=2)
+        record_usage(registry, "sig-a", usage)
+        record_usage(registry, "sig-a", usage)
+        record_usage(registry, "sig-b", usage)
+        values = {(c.name, dict(c.labels)["signature"]): c.value for c in registry.counters()}
+        assert values[("query_resource_queries_total", "sig-a")] == 2
+        assert values[("query_resource_queries_total", "sig-b")] == 1
+        assert values[("query_resource_rows_scanned_total", "sig-a")] == 20
+        assert values[("query_resource_wall_seconds_total", "sig-a")] == pytest.approx(0.5)
+
+
+class TestTaskCounterCapture:
+    def test_inactive_by_default(self):
+        assert task_counters() is None
+
+    def test_capture_sets_and_restores(self):
+        counters = TaskCounters()
+        with capture_task_counters(counters) as active:
+            assert active is counters
+            assert task_counters() is counters
+            inner = TaskCounters()
+            with capture_task_counters(inner):
+                assert task_counters() is inner
+            assert task_counters() is counters  # nesting restores the outer
+        assert task_counters() is None
+
+    def test_capture_is_thread_local(self):
+        seen: list[TaskCounters | None] = []
+        with capture_task_counters(TaskCounters()):
+            thread = threading.Thread(target=lambda: seen.append(task_counters()))
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+
+class TestSlowQueryLog:
+    def test_records_only_above_threshold(self):
+        log = SlowQueryLog(threshold_seconds=0.1)
+        assert not log.would_record(0.05)
+        assert log.would_record(0.1)
+        log.record(
+            signature="s", query_class="q", strategy="x", wall_seconds=0.2,
+            resources=ResourceUsage(wall_seconds=0.2),
+        )
+        (entry,) = log.records()
+        assert entry["signature"] == "s"
+        assert entry["resources"]["wall_seconds"] == 0.2
+        assert entry["threshold_seconds"] == 0.1
+
+    def test_ring_bounds_and_lifetime_count(self):
+        log = SlowQueryLog(threshold_seconds=0.0, capacity=3)
+        for i in range(5):
+            log.record(
+                signature=f"s{i}", query_class="q", strategy="x", wall_seconds=1.0
+            )
+        assert [r["signature"] for r in log.records()] == ["s2", "s3", "s4"]
+        assert [r["signature"] for r in log.records(1)] == ["s4"]
+        assert log.recorded == 5
+        log.clear()
+        assert log.records() == []
+        assert log.recorded == 5
+
+    def test_null_log_never_records(self):
+        assert not NULL_SLOW_LOG.would_record(float("inf"))
+        NULL_SLOW_LOG.record(
+            signature="s", query_class="q", strategy="x", wall_seconds=99.0
+        )
+        assert NULL_SLOW_LOG.records() == []
+
+    def test_disabled_bundle_uses_the_null_log(self):
+        assert Observability.disabled().slow is NULL_SLOW_LOG
+
+
+class TestFlightRecorder:
+    def _bundle(self) -> Observability:
+        obs = Observability(name="flight-test", register_global=False)
+        obs.slow.threshold_seconds = 0.0
+        with obs.tracer.span("query") as root:
+            with obs.tracer.span("execute"):
+                pass
+            root.annotate(strategy="knn-select")
+        obs.events.emit("plan_demotion", signature="s")
+        obs.registry.counter("queries_total").inc()
+        obs.slow.record(
+            signature="s", query_class="q", strategy="x", wall_seconds=1.0
+        )
+        return obs
+
+    def test_snapshot_carries_traces_events_metrics_and_slow_queries(self):
+        obs = self._bundle()
+        recorder = FlightRecorder(obs)
+        recorder.mark("checkpoint", relation="a")
+        payload = recorder.snapshot("test")
+        assert payload["reason"] == "test"
+        assert payload["error"] is None
+        assert payload["traces"][0]["name"] == "query"
+        assert payload["events"][0]["kind"] == "plan_demotion"
+        assert payload["metrics"]["registry"] == "flight-test"
+        assert payload["slow_queries"][0]["signature"] == "s"
+        assert payload["marks"] == [
+            {"label": "checkpoint", "attributes": {"relation": "a"}}
+        ]
+
+    def test_mark_ring_is_bounded(self):
+        recorder = FlightRecorder(self._bundle(), capacity=2)
+        for i in range(4):
+            recorder.mark(f"m{i}")
+        assert [m["label"] for m in recorder.snapshot("t")["marks"]] == ["m2", "m3"]
+
+    def test_persist_writes_readable_json_atomically(self, tmp_path):
+        recorder = FlightRecorder(self._bundle())
+        path = tmp_path / "flight_record.json"
+        recorder.persist(path, "crash", error="InjectedCrash('wal:mid-append')")
+        loaded = json.loads(path.read_text())
+        assert loaded["reason"] == "crash"
+        assert "InjectedCrash" in loaded["error"]
+        assert loaded["traces"] and loaded["metrics"]["counters"]
+        assert not list(tmp_path.glob("*.tmp.*"))  # no torn temp files left

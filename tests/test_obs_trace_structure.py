@@ -110,11 +110,21 @@ class TestShardedSpanTrees:
             engine.run(Query(KnnJoin(outer="a", inner="b", k=2)))
             trace = engine.obs.tracer.last()
             _assert_well_formed(trace, "query")
-            assert trace.phases() == ("query", "plan", "shard-fan-out", "calibrate")
+            phases = trace.phases()
+            assert phases[:3] == ("query", "plan", "shard-fan-out")
+            assert phases[-1] == "calibrate"
             assert trace.root.attributes["sharded"] is True
             fan = trace.find("shard-fan-out")
             assert fan.attributes["backend"] == "serial"
             assert fan.attributes["tasks"] >= 1
+            # Every dispatched task's captured span is grafted under the
+            # fan-out span, annotated with its shard and worker pid.
+            shard_tasks = [s for s in fan.children if s.name == "shard-task"]
+            assert len(shard_tasks) == fan.attributes["tasks"]
+            for span in shard_tasks:
+                assert span.attributes["worker_pid"] >= 1
+                assert span.attributes["shard"] >= 0
+                assert span.attributes["rows_scanned"] >= 0
 
     def test_sharded_select_traces_too(self):
         with ShardedEngine(num_shards=4, backend="serial") as engine:
@@ -125,6 +135,60 @@ class TestShardedSpanTrees:
             trace = engine.obs.tracer.last()
             _assert_well_formed(trace, "query")
             assert trace.root.attributes["query_class"] == "single-select"
+
+    def test_root_span_carries_the_resource_record(self):
+        with ShardedEngine(num_shards=4, backend="serial") as engine:
+            engine.register(
+                name="a", points=uniform_points(150, BOUNDS, seed=4), bounds=BOUNDS
+            )
+            query = Query(KnnSelect(relation="a", focal=FOCAL, k=5))
+            engine.run(query)
+            resources = engine.obs.tracer.last().root.attributes["resources"]
+            assert resources["wall_seconds"] > 0.0
+            assert resources["kernel_dispatches"] >= 1
+            assert engine.explain(query).resources is not None
+
+
+def _trace_shape(trace) -> list[tuple[int, str]]:
+    """The (depth, name) skeleton of a trace — what must not vary by backend."""
+    return [(depth, span.name) for depth, span in trace.walk()]
+
+
+class TestCrossBackendTraceInvariance:
+    """Serial, thread and process backends must stitch identical trace shapes.
+
+    ``prefer_fanout=True`` pins the execution route so every backend
+    dispatches the same per-shard tasks; only worker pids and timings may
+    differ between the stitched trees.
+    """
+
+    BACKENDS = ("serial", "thread", "process")
+
+    @pytest.mark.parametrize("query_class", sorted(QUERIES))
+    def test_identical_distributed_trace_shape(self, query_class):
+        import multiprocessing
+
+        query = QUERIES[query_class]
+        shapes = {}
+        for backend in self.BACKENDS:
+            if backend == "process" and (
+                "fork" not in multiprocessing.get_all_start_methods()
+            ):
+                continue
+            with ShardedEngine(
+                num_shards=4, backend=backend, max_workers=2, prefer_fanout=True
+            ) as engine:
+                for name, seed, start in (("a", 4, 0), ("b", 5, 1_000), ("c", 6, 2_000)):
+                    engine.register(
+                        name=name,
+                        points=uniform_points(150, BOUNDS, seed=seed, start_pid=start),
+                        bounds=BOUNDS,
+                    )
+                engine.run(query)
+                trace = engine.obs.tracer.last()
+                _assert_well_formed(trace, "query")
+                shapes[backend] = _trace_shape(trace)
+        assert len(set(map(tuple, shapes.values()))) == 1, shapes
 
 
 class TestStreamSpanTrees:

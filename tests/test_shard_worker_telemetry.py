@@ -1,0 +1,116 @@
+"""Cross-process telemetry: worker span capture, stitching, counter merging.
+
+The regression this suite pins: before the flight tier, kernel dispatches
+executed inside process-pool workers incremented a registry in the *child*
+process and vanished — the coordinator's ``kernel_dispatch_total`` reported
+only its own dispatches.  Worker capture ships the per-task deltas back with
+the result and merges them into the hub registry, so fleet-wide counters and
+the stitched distributed trace agree across backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.datagen import uniform_points
+from repro.geometry import Point, Rect
+from repro.kernels import dispatch
+from repro.query.predicates import KnnJoin, KnnSelect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+
+BOUNDS = Rect(0.0, 0.0, 1000.0, 1000.0)
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="process backend needs fork",
+)
+
+
+def _fleet_dispatch_total() -> float:
+    return sum(
+        value
+        for (name, _labels), value in dispatch.counter_values().items()
+        if name == "kernel_dispatch_total"
+    )
+
+
+def _make_engine(backend: str) -> ShardedEngine:
+    engine = ShardedEngine(
+        num_shards=4, backend=backend, max_workers=2, prefer_fanout=True
+    )
+    engine.register(name="a", points=uniform_points(200, BOUNDS, seed=7), bounds=BOUNDS)
+    engine.register(
+        name="b",
+        points=uniform_points(200, BOUNDS, seed=8, start_pid=1_000),
+        bounds=BOUNDS,
+    )
+    return engine
+
+
+@needs_fork
+class TestProcessWorkerTelemetry:
+    def test_worker_spans_are_grafted_with_foreign_pids(self):
+        with _make_engine("process") as engine:
+            engine.run(Query(KnnSelect(relation="a", focal=Point(500.0, 500.0), k=5)))
+            fan = engine.obs.tracer.last().find("shard-fan-out")
+            shard_tasks = [s for s in fan.children if s.name == "shard-task"]
+            assert len(shard_tasks) == fan.attributes["tasks"] >= 1
+            pids = {s.attributes["worker_pid"] for s in shard_tasks}
+            assert pids and all(pid != os.getpid() for pid in pids)
+            shards = sorted(s.attributes["shard"] for s in shard_tasks)
+            assert shards == sorted(set(shards))  # one capture per shard
+            for span in shard_tasks:
+                assert span.duration is not None and span.duration >= 0.0
+
+    def test_worker_kernel_dispatches_reach_the_hub(self):
+        with _make_engine("process") as engine:
+            before = _fleet_dispatch_total()
+            engine.run(Query(KnnJoin(outer="a", inner="b", k=2)))
+            after = _fleet_dispatch_total()
+            # The join math runs inside the pool workers; without delta
+            # merging the hub total would not move at all.
+            assert after > before
+            usage = engine.explain(Query(KnnJoin(outer="a", inner="b", k=2))).resources
+            assert usage is not None
+            assert usage.kernel_dispatches >= 1
+            assert usage.shards_touched >= 1
+            assert usage.rows_scanned >= 1
+
+    def test_shared_memory_attach_bytes_are_accounted(self):
+        with _make_engine("process") as engine:
+            query = Query(KnnSelect(relation="a", focal=Point(500.0, 500.0), k=5))
+            engine.run(query)  # spawn the pool (fork inherits current segments)
+            # A mutation publishes a new segment generation; the next fanned-
+            # out query makes the live workers attach it — those attach bytes
+            # must land in the query's resource record.
+            engine.insert("a", [(1.0, 2.0), (3.0, 4.0)])
+            engine.run(query)
+            usage = engine.explain(query).resources
+            assert usage is not None and usage.shm_bytes_attached > 0
+
+
+class TestInProcessBackendsDoNotDoubleCount:
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_fleet_total_matches_the_query_usage_delta(self, backend):
+        with _make_engine(backend) as engine:
+            query = Query(KnnSelect(relation="a", focal=Point(500.0, 500.0), k=5))
+            before = _fleet_dispatch_total()
+            engine.run(query)
+            after = _fleet_dispatch_total()
+            usage = engine.explain(query).resources
+            # Serial/thread tasks increment the live registry directly; their
+            # telemetry deltas must NOT be merged on top (double counting).
+            assert after - before == usage.kernel_dispatches >= 1
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_worker_spans_still_captured_in_process(self, backend):
+        with _make_engine(backend) as engine:
+            engine.run(Query(KnnSelect(relation="a", focal=Point(500.0, 500.0), k=5)))
+            fan = engine.obs.tracer.last().find("shard-fan-out")
+            shard_tasks = [s for s in fan.children if s.name == "shard-task"]
+            assert shard_tasks
+            assert all(s.attributes["worker_pid"] == os.getpid() for s in shard_tasks)
