@@ -1,0 +1,70 @@
+"""Algebra pushdown: composed trees on the engine vs naive re-execution.
+
+Figure 33's geofence-analytics dashboard at the smoke sweep point.  Besides
+recording both series, this module *gates* the PR's acceptance metric: the
+plan-cache-warmed algebra path must answer the identical dashboard at least
+2x faster than re-evaluating every tree with the brute-force reference
+evaluator.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import build_figure_runners
+from repro.bench.workloads import ALGEBRA_FIGURE
+
+pytestmark = pytest.mark.benchmark(group="algebra-pushdown")
+
+#: The smoke-scale gate; the full-scale figure is recorded by
+#: ``python -m repro.bench --figure 33`` (see BENCH_algebra.json).
+SMOKE_SPEEDUP_FLOOR = 2.0
+
+_WORKLOAD, _RELATION_SIZE, _RUNNERS = build_figure_runners(
+    ALGEBRA_FIGURE, sweep_index=-1
+)
+
+
+def test_naive_reexecution(benchmark):
+    """The dashboard via the brute-force reference evaluator."""
+    rows = benchmark.pedantic(_RUNNERS["naive-reexec"], rounds=1, iterations=1)
+    assert len(rows) == 4 and all(rows)
+
+
+def test_algebra_pushdown(benchmark):
+    """The same dashboard through the rewrite + index pushdown path."""
+    rows = benchmark.pedantic(_RUNNERS["algebra-pushdown"], rounds=1, iterations=1)
+    assert len(rows) == 4 and all(rows)
+
+
+def test_both_series_answer_identically():
+    """Every dashboard tree yields the same canonical rows on both paths."""
+    naive = _RUNNERS["naive-reexec"]()
+    pushdown = _RUNNERS["algebra-pushdown"]()
+    assert len(naive) == len(pushdown)
+    for index, (theirs, ours) in enumerate(zip(naive, pushdown)):
+        assert ours == theirs, f"tree #{index} diverged"
+
+
+def test_algebra_smoke_speedup_gate():
+    """Acceptance gate: algebra path >= 2x over naive at smoke scale."""
+
+    def best_of(runner, rounds: int = 3) -> float:
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            runner()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    naive = best_of(_RUNNERS["naive-reexec"])
+    pushdown = best_of(_RUNNERS["algebra-pushdown"])
+    speedup = naive / pushdown
+    assert speedup >= SMOKE_SPEEDUP_FLOOR, (
+        f"algebra pushdown speedup {speedup:.2f}x below the "
+        f"{SMOKE_SPEEDUP_FLOOR}x smoke floor "
+        f"(naive {naive * 1e3:.1f} ms vs pushdown {pushdown * 1e3:.1f} ms "
+        f"at relation size {_RELATION_SIZE})"
+    )

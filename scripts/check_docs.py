@@ -9,8 +9,9 @@ Two checks, both fatal on failure:
    anchors are ignored; ``path#anchor`` links are checked for the path part.
 2. **Public API docstrings** — every public module, class, function, method
    and property reachable from the ``repro.engine``, ``repro.planner``,
-   ``repro.shard``, ``repro.stream`` and ``repro.obs`` packages (the serving
-   surface this repo documents in ``docs/``) must carry a docstring.
+   ``repro.shard``, ``repro.stream``, ``repro.obs``, ``repro.durable``,
+   ``repro.kernels`` and ``repro.algebra`` packages (the serving surface
+   this repo documents in ``docs/``) must carry a docstring.
 
 Run from the repository root (CI does)::
 
@@ -36,6 +37,7 @@ DOCUMENTED_PACKAGES = (
     "repro.obs",
     "repro.durable",
     "repro.kernels",
+    "repro.algebra",
 )
 
 #: Markdown files/directories scanned for intra-repo links.

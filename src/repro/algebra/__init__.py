@@ -1,0 +1,86 @@
+"""``repro.algebra`` — composable logical query algebra.
+
+The generalization layer over the paper's six fixed query classes: operator
+trees (:mod:`~repro.algebra.tree`) composed of scans, per-point filters
+(range ∧ kNN ∧ payload attributes), arbitrarily chained kNN joins, spatial
+aggregates and top-k; a rewrite-rule engine (:mod:`~repro.algebra.rules`)
+whose catalog subsumes the paper's select/join validity results; a compiler
+(:mod:`~repro.algebra.compile`) producing cacheable physical plans with
+per-operator calibrated estimates; an index-backed evaluator
+(:mod:`~repro.algebra.evaluate`); and an independent brute-force reference
+implementation (:mod:`~repro.algebra.reference`) that defines the semantics
+the parity suite checks every layer against.
+
+Entry point for users: build a tree and wrap it in a query::
+
+    from repro.algebra import GridAggregate, RangeFilter, Scan, TopK
+    from repro.query import Query
+
+    hotspots = Query.from_tree(
+        TopK(GridAggregate(RangeFilter(Scan("vehicles"), downtown), 24), 5)
+    )
+    result = engine.run(hotspots)   # result.records: ((ix, iy), count) rows
+
+See ``docs/algebra.md`` for the tree grammar, the rule catalog with validity
+arguments, and the stream guard-composition soundness sketch.
+"""
+
+from repro.algebra.compile import NODE_PROFILE_STRATEGY, compile_tree, rewritten_tree
+from repro.algebra.decompose import (
+    ScanGuard,
+    chain_window,
+    local_decomposition,
+    scan_guards,
+)
+from repro.algebra.evaluate import DatasetContext, EvalContext, EvalOutput, evaluate
+from repro.algebra.reference import reference_evaluate, reference_rows
+from repro.algebra.rules import (
+    DEFAULT_RULES,
+    RewriteRule,
+    RuleEngine,
+    default_engine,
+    validate_tree,
+)
+from repro.algebra.tree import (
+    AlgebraNode,
+    AttrFilter,
+    GridAggregate,
+    KnnFilter,
+    KnnJoinOp,
+    RangeFilter,
+    RegionAggregate,
+    Scan,
+    TopK,
+    tree_from_signature,
+)
+
+__all__ = [
+    "AlgebraNode",
+    "AttrFilter",
+    "DEFAULT_RULES",
+    "DatasetContext",
+    "EvalContext",
+    "EvalOutput",
+    "GridAggregate",
+    "KnnFilter",
+    "KnnJoinOp",
+    "NODE_PROFILE_STRATEGY",
+    "RangeFilter",
+    "RegionAggregate",
+    "RewriteRule",
+    "RuleEngine",
+    "Scan",
+    "ScanGuard",
+    "TopK",
+    "chain_window",
+    "compile_tree",
+    "default_engine",
+    "evaluate",
+    "local_decomposition",
+    "scan_guards",
+    "reference_evaluate",
+    "reference_rows",
+    "rewritten_tree",
+    "tree_from_signature",
+    "validate_tree",
+]

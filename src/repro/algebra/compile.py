@@ -1,0 +1,191 @@
+"""Compile an algebra tree into a :class:`~repro.planner.plan.PhysicalPlan`.
+
+Compilation is rewrite + costing:
+
+1. the :class:`~repro.algebra.rules.RuleEngine` rewrites the tree to
+   fixpoint, recording the fired-rule trail;
+2. every node of the optimized tree gets a cost estimate in the planner's
+   abstract currency (neighborhood computations and tuple checks, see
+   :mod:`repro.planner.cost`); nodes whose **per-operator calibration
+   profile** is warm — observations recorded under the node's signature by
+   the engine after previous executions — are estimated from observed work
+   instead of the static model.
+
+The resulting plan's ``query_class`` is ``"algebra"`` and its strategy
+``"algebra-tree"``; ``decisions`` carries the optimized tree's rendering,
+the rule trail (which :class:`~repro.engine.explain.Explain` shows), and the
+per-node estimate table.  The plan is cached under the query's signature
+exactly like six-class plans; because signatures exclude parameter values,
+execution re-derives the rewritten tree from the *actual* query via
+:func:`rewritten_tree` rather than trusting the cached rendering.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+from repro.planner.plan import PhysicalPlan
+from repro.algebra.rules import RuleEngine, default_engine
+from repro.algebra.tree import (
+    AlgebraNode,
+    AttrFilter,
+    GridAggregate,
+    KnnFilter,
+    KnnJoinOp,
+    RangeFilter,
+    RegionAggregate,
+    Scan,
+    TopK,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.planner.calibrate import CalibrationStore
+    from repro.planner.cost import CostModel
+    from repro.query.dataset import Dataset
+
+__all__ = [
+    "compile_tree",
+    "observed_node_cost",
+    "rewritten_tree",
+    "NODE_PROFILE_STRATEGY",
+]
+
+#: Strategy name under which per-operator observations are recorded in the
+#: calibration store (keyed by the node's signature).
+NODE_PROFILE_STRATEGY = "algebra-node"
+
+#: Fallback selectivity for predicates whose true fraction is unknowable
+#: statically (attribute equality, windows over unbounded relations).
+_DEFAULT_SELECTIVITY = 0.5
+
+
+def rewritten_tree(tree: AlgebraNode, engine: RuleEngine | None = None) -> tuple[AlgebraNode, tuple[str, ...]]:
+    """Rewrite ``tree`` to fixpoint; returns ``(optimized, rule trail)``."""
+    return (engine or default_engine()).rewrite(tree)
+
+
+def observed_node_cost(
+    signature: tuple, units: float, cost_model: "CostModel"
+) -> float:
+    """Convert one node's evaluator work units into the estimate currency.
+
+    The evaluator charges kNN/join nodes one unit per neighborhood (already
+    the cost model's unit) and every other node one unit per row touched,
+    which the estimates price at ``tuple_check_cost``.  Using the same
+    conversion on the observed side keeps the per-node profiles
+    unit-consistent with :func:`compile_tree`'s static estimates.
+    """
+    kind = signature[0] if isinstance(signature, tuple) and signature else ""
+    if kind in ("knn", "join"):
+        return float(units)
+    return float(units) * cost_model.tuple_check_cost
+
+
+def compile_tree(
+    tree: AlgebraNode,
+    datasets: Mapping[str, "Dataset"],
+    cost_model: "CostModel",
+    calibration: "CalibrationStore | None" = None,
+    rule_engine: RuleEngine | None = None,
+) -> PhysicalPlan:
+    """Compile ``tree`` against ``datasets`` into a cacheable physical plan."""
+    optimized, trail = rewritten_tree(tree, rule_engine)
+    estimates: list[tuple[str, float]] = []
+    calibrated = 0
+    total = 0.0
+    for node in optimized.walk():
+        cost, _rows = _estimate(node, datasets, cost_model)
+        profile = _node_profile(node, datasets, calibration)
+        if profile is not None:
+            cost = profile.observed_total
+            calibrated += 1
+        estimates.append((node.label(), cost))
+        total += cost
+    decisions: dict[str, object] = {
+        "tree": optimized.label(),
+        "rule_trail": trail,
+        "node_estimates": tuple(estimates),
+    }
+    if calibrated:
+        decisions["calibrated"] = True
+        decisions["calibrated_nodes"] = calibrated
+    return PhysicalPlan(
+        "algebra", "algebra-tree", decisions, {"algebra-tree": total}
+    )
+
+
+def _node_profile(
+    node: AlgebraNode,
+    datasets: Mapping[str, "Dataset"],
+    calibration: "CalibrationStore | None",
+):
+    if calibration is None:
+        return None
+    profile = calibration.profiles(node.signature(datasets)).get(NODE_PROFILE_STRATEGY)
+    if profile is not None and profile.warm(calibration.min_observations):
+        return profile
+    return None
+
+
+def _estimate(
+    node: AlgebraNode, datasets: Mapping[str, "Dataset"], cost_model: "CostModel"
+) -> tuple[float, float]:
+    """Static ``(own cost, output rows)`` of one node — children excluded.
+
+    Costs use the planner's currency: one unit per neighborhood computation,
+    ``tuple_check_cost`` per per-row predicate test.  Cardinalities chain
+    through children (a join multiplies by k, a window filter by its area
+    fraction of the relation bounds), so each node's own cost can be summed
+    over a tree walk without double counting.
+    """
+    tc = cost_model.tuple_check_cost
+    if isinstance(node, Scan):
+        n = float(len(datasets[node.relation]))
+        return n * tc, n
+    if isinstance(node, RangeFilter):
+        _cost, rows_in = _estimate(node.child, datasets, cost_model)
+        fraction = _window_fraction(node, datasets)
+        rows_out = rows_in * fraction
+        if isinstance(node.child, Scan):
+            # Index fast path: blocks disjoint from the window are pruned, so
+            # only the expected survivors (plus one block pass) are touched —
+            # the Scan below was never materialized, hence the negative
+            # correction is folded in by charging survivors only.
+            return cost_model.block_check_cost + rows_out * tc, rows_out
+        return rows_in * tc, rows_out
+    if isinstance(node, AttrFilter):
+        _cost, rows_in = _estimate(node.child, datasets, cost_model)
+        return rows_in * tc, rows_in * _DEFAULT_SELECTIVITY
+    if isinstance(node, KnnFilter):
+        if isinstance(node.child, Scan):
+            # Index fast path: one neighborhood, the scan is never touched.
+            return 1.0, float(min(node.k, len(datasets[node.child.relation])))
+        _cost, rows_in = _estimate(node.child, datasets, cost_model)
+        return rows_in * tc, float(min(node.k, int(rows_in)))
+    if isinstance(node, KnnJoinOp):
+        _cost, rows_in = _estimate(node.outer, datasets, cost_model)
+        # One neighborhood per outer row; batching dedupes repeated focals,
+        # modelled as a flat discount on the chained second hop.
+        per_row = 0.5 if node.batch_inner else 1.0
+        return rows_in * per_row, rows_in * node.k
+    if isinstance(node, (GridAggregate, RegionAggregate)):
+        _cost, rows_in = _estimate(node.children()[0], datasets, cost_model)
+        groups = (
+            float(len(node.regions))
+            if isinstance(node, RegionAggregate)
+            else float(node.cells_per_side**2)
+        )
+        return rows_in * tc, min(rows_in, groups)
+    if isinstance(node, TopK):
+        _cost, rows_in = _estimate(node.child, datasets, cost_model)
+        return rows_in * tc, float(min(node.limit, int(rows_in) or 1))
+    raise AssertionError(f"unreachable node type {type(node).__name__}")  # pragma: no cover
+
+
+def _window_fraction(node: RangeFilter, datasets: Mapping[str, "Dataset"]) -> float:
+    relation = node.child.relations()
+    for name in relation:
+        dataset = datasets.get(name)
+        if dataset is not None and dataset.bounds is not None and dataset.bounds.area > 0:
+            return min(1.0, node.window.area / dataset.bounds.area)
+    return _DEFAULT_SELECTIVITY

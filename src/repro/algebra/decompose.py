@@ -1,0 +1,193 @@
+"""Structural decompositions of algebra trees, shared across layers.
+
+Two consumers need to reason about a tree's *shape* without evaluating it:
+
+* the sharded coordinator (:mod:`repro.shard.executor`) fans
+  local-decomposable trees out over the driving relation's shards and needs
+  to know which trees qualify (:func:`local_decomposition`) and which shards
+  can be pruned (:func:`chain_window`);
+* the stream maintainer (:mod:`repro.stream.maintain`) derives each standing
+  tree's **compositional guard regions** (:func:`scan_guards`) — the
+  per-relation relevance tests that let provably answer-preserving update
+  batches be skipped without re-execution.
+
+Keeping both here means the fan-out layer and the maintenance layer can
+never disagree about what a "filter chain over one scan" is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.tree import (
+    AlgebraNode,
+    AttrFilter,
+    GridAggregate,
+    KnnFilter,
+    KnnJoinOp,
+    RangeFilter,
+    RegionAggregate,
+    Scan,
+    TopK,
+)
+from repro.geometry.rectangle import Rect
+
+__all__ = [
+    "ScanGuard",
+    "chain_window",
+    "local_decomposition",
+    "scan_guards",
+]
+
+
+def local_decomposition(
+    tree: AlgebraNode,
+) -> "tuple[AlgebraNode, GridAggregate | RegionAggregate | None, TopK | None, str] | None":
+    """Split ``tree`` into shard-local parts, or ``None`` when not possible.
+
+    A tree is local-decomposable when it is a chain of point-column
+    range/attribute filters over one scan, optionally topped by a spatial
+    aggregate and a top-k: filters distribute over the driving relation's
+    partition (survivors per shard concatenate losslessly), and count-based
+    aggregates distribute as summable per-group partials.  kNN filters and
+    joins do not (a shard's k nearest are not the relation's), so trees
+    containing them evaluate coordinator-side instead.
+
+    Returns ``(filter chain, aggregate node or None, TopK or None, driving
+    relation)``.
+    """
+    topk: TopK | None = None
+    node = tree
+    if isinstance(node, TopK):
+        topk = node
+        node = node.child
+    agg: GridAggregate | RegionAggregate | None = None
+    if isinstance(node, (GridAggregate, RegionAggregate)):
+        agg = node
+        node = node.children()[0]
+    elif topk is not None:  # pragma: no cover - TopK requires aggregate input
+        return None
+    chain = node
+    while isinstance(node, (RangeFilter, AttrFilter)):
+        if node.on != "point":  # pragma: no cover - width-1 chains are "point"
+            return None
+        node = node.child
+    if not isinstance(node, Scan):
+        return None
+    return chain, agg, topk, node.relation
+
+
+def chain_window(chain: AlgebraNode) -> Rect | None:
+    """Intersection of a filter chain's range windows (``None`` = unbounded).
+
+    Every row a chain emits passed each of its windows, so anything outside
+    their intersection — a shard's extent, an update's coordinates — cannot
+    contribute to (or leave) the chain's output.  Disjoint windows make the
+    chain provably empty; a degenerate zero-area marker rectangle is
+    returned so containment/intersection tests stay conservative.
+    """
+    window: Rect | None = None
+    node = chain
+    while isinstance(node, (RangeFilter, AttrFilter)):
+        if isinstance(node, RangeFilter):
+            if window is None:
+                window = node.window
+            else:
+                merged = window.intersection(node.window)
+                if merged is None:
+                    # Disjoint windows: an empty result; keep a degenerate
+                    # marker rectangle that intersects (almost) nothing.
+                    return Rect(
+                        node.window.xmin, node.window.ymin,
+                        node.window.xmin, node.window.ymin,
+                    )
+                window = merged
+        node = node.child
+    return window
+
+
+@dataclass(frozen=True)
+class ScanGuard:
+    """The guard region one :class:`Scan` leaf contributes to its relation.
+
+    An update batch on ``relation`` is *relevant* to the standing tree if it
+    triggers any of the relation's scan guards; a batch triggering none is
+    provably answer-preserving (see ``docs/algebra.md`` for the soundness
+    sketch) and the maintainer skips it.
+
+    Resolution order: ``always`` dominates (any update relevant), then
+    ``empty`` (chain provably produces nothing — no update relevant), then
+    ``window`` (relevant iff some update coordinate lies inside); a guard
+    with neither flag nor window has no spatial constraint and treats every
+    update as relevant.
+    """
+
+    relation: str
+    window: Rect | None
+    always: bool
+    empty: bool = False
+
+
+def scan_guards(tree: AlgebraNode) -> list[ScanGuard]:
+    """Derive the compositional guard region of every scan in ``tree``.
+
+    Guards compose structurally, top-down:
+
+    * point-column :class:`RangeFilter` windows on a scan's chain
+      **intersect** (conjunction narrows relevance — a point outside any
+      window can neither enter nor leave the chain's output, whether
+      inserted, removed or moved, because containment is a necessary
+      condition for a row's existence);
+    * :class:`AttrFilter` and ``on="outer"`` filters are ignored — dropping
+      a constraint only *widens* a guard, which is always sound;
+    * :class:`KnnFilter` marks every scan beneath it **always-relevant**.
+      This is deliberate: the filtered-subset k-th-neighbor distance is at
+      least the whole-relation one, so a ball guard derived from a global
+      kNN under-covers the subset query and would be *unsound* — any update
+      to the feeding relations can change which points survive into the
+      subset and therefore the subset's k nearest;
+    * :class:`KnnJoinOp` marks its inner relation always-relevant (an inner
+      mutation can displace any row's neighbors) and resets the outer side's
+      window to the filters *below* the join (those above constrain the
+      joined inner column, not the outer rows);
+    * aggregates and top-k pass guards through unchanged — every surviving
+      input point contributes to some group, so the child's relevance is the
+      aggregate's.
+    """
+    guards: list[ScanGuard] = []
+
+    def visit(node: AlgebraNode, window: Rect | None, always: bool, empty: bool) -> None:
+        if isinstance(node, Scan):
+            guards.append(ScanGuard(node.relation, window, always, empty))
+            return
+        if always:
+            # Dominates every refinement below; no need to track windows.
+            for child in node.children():
+                visit(child, None, True, False)
+            return
+        if isinstance(node, KnnFilter):
+            for child in node.children():
+                visit(child, None, True, False)
+            return
+        if isinstance(node, KnnJoinOp):
+            visit(node.outer, None, False, False)
+            visit(node.inner, None, True, False)
+            return
+        if isinstance(node, RangeFilter) and node.on == "point":
+            if window is None:
+                window = node.window
+            else:
+                merged = window.intersection(node.window)
+                if merged is None:
+                    empty = True
+                else:
+                    window = merged
+            visit(node.child, window, always, empty)
+            return
+        # AttrFilter, on="outer" filters, aggregates, top-k: ignoring the
+        # constraint widens the guard, which is sound.
+        for child in node.children():
+            visit(child, window, always, empty)
+
+    visit(tree, None, False, False)
+    return guards

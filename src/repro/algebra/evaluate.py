@@ -1,0 +1,362 @@
+"""Tree evaluation: execute a (rewritten) algebra tree against an engine context.
+
+Evaluation is row-at-a-time over tuples of :class:`~repro.geometry.point.Point`
+columns, with three index-backed fast paths that carry the performance story:
+
+* ``RangeFilter(Scan)`` → one index range-select (block pruning instead of a
+  full scan);
+* ``KnnFilter(Scan)`` → one index kNN (the paper's kNN-select);
+* ``KnnJoinOp`` → one batched kNN over the focal column's coordinates, with
+  focal deduplication when the rewrite engine set ``batch_inner``.
+
+The :class:`EvalContext` protocol abstracts where points and neighborhoods
+come from, so the same evaluator runs unsharded (:class:`DatasetContext`),
+against the sharded runtime (exact cross-shard kNN — see
+:mod:`repro.shard.executor`), and inside stream refreshes.  Per-node work is
+accumulated into ``node_costs`` — the engine records those under each node's
+signature, which is how calibration learns **per-operator** profiles.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping as _abc_Mapping
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.stats import PruningStats
+from repro.exceptions import UnsupportedQueryError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.locality.batch import get_knn_batch
+from repro.locality.knn import get_knn
+from repro.locality.neighborhood import Neighborhood
+from repro.operators.range_select import range_select
+from repro.operators.results import JoinPair, JoinTriplet, pair_key
+from repro.algebra.tree import (
+    AlgebraNode,
+    AttrFilter,
+    GridAggregate,
+    KnnFilter,
+    KnnJoinOp,
+    RangeFilter,
+    RegionAggregate,
+    Scan,
+    TopK,
+)
+
+__all__ = [
+    "EvalContext",
+    "DatasetContext",
+    "EvalOutput",
+    "cell_of",
+    "evaluate",
+    "package_output",
+]
+
+#: One result row: a tuple of point columns, or an aggregate ``(key, value)``.
+Row = tuple
+
+
+class EvalContext(Protocol):
+    """What tree evaluation may ask of its engine/runtime."""
+
+    def points(self, relation: str) -> list[Point]:
+        """Every point of the named relation (any order)."""
+        ...
+
+    def bounds(self, relation: str) -> Rect | None:
+        """The relation's declared bounds (grid-cell decomposition frame)."""
+        ...
+
+    def knn(self, relation: str, focal: Point, k: int) -> Neighborhood:
+        """Exact k-neighborhood over the whole relation."""
+        ...
+
+    def knn_batch(self, relation: str, coords: np.ndarray, k: int) -> list[Neighborhood]:
+        """Exact k-neighborhoods of many query coordinates, in input order."""
+        ...
+
+    def range(self, relation: str, window: Rect) -> list[Point]:
+        """Points of the relation inside ``window`` (index-pruned)."""
+        ...
+
+
+class DatasetContext:
+    """The unsharded :class:`EvalContext`: answers straight from the indexes."""
+
+    def __init__(self, datasets: Mapping[str, "object"]) -> None:
+        self.datasets = datasets
+        #: Abstract work counters shared by every fast path in one evaluation.
+        self.stats = PruningStats()
+
+    def points(self, relation: str) -> list[Point]:
+        """Materialized points of the relation's store."""
+        return list(self.datasets[relation].store.iter_points())
+
+    def bounds(self, relation: str) -> Rect | None:
+        """Declared dataset bounds, falling back to the index's bounds."""
+        dataset = self.datasets[relation]
+        if dataset.bounds is not None:
+            return dataset.bounds
+        try:
+            return dataset.index.bounds
+        except AttributeError:  # pragma: no cover - every index exposes bounds
+            return None
+
+    def knn(self, relation: str, focal: Point, k: int) -> Neighborhood:
+        """One exact index kNN (counted as one neighborhood)."""
+        self.stats.neighborhoods_computed += 1
+        return get_knn(self.datasets[relation].index, focal, k)
+
+    def knn_batch(self, relation: str, coords: np.ndarray, k: int) -> list[Neighborhood]:
+        """Batched exact index kNN (one neighborhood per coordinate)."""
+        self.stats.neighborhoods_computed += len(coords)
+        return get_knn_batch(self.datasets[relation].index, coords, k)
+
+    def range(self, relation: str, window: Rect) -> list[Point]:
+        """One index range-select (block-pruned window scan)."""
+        return list(range_select(self.datasets[relation].index, window))
+
+
+@dataclass
+class EvalOutput:
+    """The rows a (sub)tree produced plus the per-node work ledger."""
+
+    #: ``width`` point columns per row, or ``(key, value)`` aggregate rows.
+    rows: list[Row]
+    #: Point columns per row; 0 marks aggregate output.
+    width: int
+    #: Abstract work units per node, keyed by the node object (structural
+    #: equality merges repeated identical subtrees — deliberately).
+    node_costs: dict[AlgebraNode, float] = field(default_factory=dict)
+
+
+def evaluate(
+    tree: AlgebraNode, ctx: EvalContext, stats: PruningStats | None = None
+) -> EvalOutput:
+    """Execute ``tree`` against ``ctx`` and return its rows.
+
+    ``stats`` (when given) accumulates the neighborhood counters the
+    six-class executors report, so the engine's calibration and EXPLAIN
+    feedback work unchanged; per-point work lands in ``node_costs``.
+    """
+    out = _Evaluator(ctx, stats or PruningStats()).run(tree)
+    return out
+
+
+class _Evaluator:
+    """Single-evaluation state: the context plus the shared counters."""
+
+    def __init__(self, ctx: EvalContext, stats: PruningStats) -> None:
+        self.ctx = ctx
+        self.stats = stats
+        self.node_costs: dict[AlgebraNode, float] = {}
+
+    def run(self, tree: AlgebraNode) -> EvalOutput:
+        rows, width = self._eval(tree)
+        return EvalOutput(rows=rows, width=width, node_costs=self.node_costs)
+
+    def _charge(self, node: AlgebraNode, units: float) -> None:
+        self.node_costs[node] = self.node_costs.get(node, 0.0) + float(units)
+
+    # -- dispatch -------------------------------------------------------
+    def _eval(self, node: AlgebraNode) -> tuple[list[Row], int]:
+        if isinstance(node, Scan):
+            points = self.ctx.points(node.relation)
+            self._charge(node, len(points))
+            return [(p,) for p in points], 1
+        if isinstance(node, RangeFilter):
+            return self._eval_range(node)
+        if isinstance(node, AttrFilter):
+            return self._eval_attr(node)
+        if isinstance(node, KnnFilter):
+            return self._eval_knn(node)
+        if isinstance(node, KnnJoinOp):
+            return self._eval_join(node)
+        if isinstance(node, GridAggregate):
+            return self._eval_grid(node)
+        if isinstance(node, RegionAggregate):
+            return self._eval_region(node)
+        if isinstance(node, TopK):
+            return self._eval_topk(node)
+        raise UnsupportedQueryError(f"unknown algebra node: {type(node).__name__}")
+
+    @staticmethod
+    def _column(width: int, on: str) -> int:
+        return 0 if on == "outer" else width - 1
+
+    def _eval_range(self, node: RangeFilter) -> tuple[list[Row], int]:
+        if isinstance(node.child, Scan):
+            # Fast path: the index prunes blocks disjoint from the window.
+            points = self.ctx.range(node.child.relation, node.window)
+            self._charge(node, len(points))
+            return [(p,) for p in points], 1
+        rows, width = self._eval(node.child)
+        self._charge(node, len(rows))
+        col = self._column(width, node.on)
+        window = node.window
+        kept = [row for row in rows if window.contains_point(row[col])]
+        return kept, width
+
+    def _eval_attr(self, node: AttrFilter) -> tuple[list[Row], int]:
+        rows, width = self._eval(node.child)
+        self._charge(node, len(rows))
+        col = self._column(width, node.on)
+        kept = [row for row in rows if _attr_match(row[col], node.key, node.value)]
+        return kept, width
+
+    def _eval_knn(self, node: KnnFilter) -> tuple[list[Row], int]:
+        if isinstance(node.child, Scan):
+            # Fast path: one index kNN instead of scanning the relation.
+            nbr = self.ctx.knn(node.child.relation, node.focal, node.k)
+            self._charge(node, 1.0)
+            return [(p,) for p in nbr], 1
+        rows, width = self._eval(node.child)
+        self._charge(node, len(rows))
+        col = self._column(width, node.on)
+        selected = _knn_of_subset(
+            {row[col].pid: row[col] for row in rows}.values(), node.focal, node.k
+        )
+        kept = [row for row in rows if row[col].pid in selected]
+        return kept, width
+
+    def _eval_join(self, node: KnnJoinOp) -> tuple[list[Row], int]:
+        rows, width = self._eval(node.outer)
+        if not rows:
+            self._charge(node, 0.0)
+            return [], width + 1
+        assert isinstance(node.inner, Scan)
+        inner = node.inner.relation
+        if node.batch_inner:
+            # Chained-join precomputation: one neighborhood per *distinct*
+            # focal, shared by every row that repeats it.
+            focals: dict[int, Point] = {row[-1].pid: row[-1] for row in rows}
+            order = list(focals.values())
+            coords = np.array([(p.x, p.y) for p in order], dtype=np.float64)
+            neighborhoods = self.ctx.knn_batch(inner, coords, node.k)
+            by_pid = {p.pid: nbr for p, nbr in zip(order, neighborhoods)}
+            self._charge(node, len(order))
+            joined = [row + (e2,) for row in rows for e2 in by_pid[row[-1].pid]]
+        else:
+            coords = np.array([(row[-1].x, row[-1].y) for row in rows], dtype=np.float64)
+            neighborhoods = self.ctx.knn_batch(inner, coords, node.k)
+            self._charge(node, len(rows))
+            joined = [
+                row + (e2,) for row, nbr in zip(rows, neighborhoods) for e2 in nbr
+            ]
+        return joined, width + 1
+
+    def _eval_grid(self, node: GridAggregate) -> tuple[list[Row], int]:
+        rows, _width = self._eval(node.child)
+        self._charge(node, len(rows))
+        bounds = self._grid_bounds(node)
+        counts: dict[tuple[int, int], int] = {}
+        for row in rows:
+            cell = cell_of(row[-1], bounds, node.cells_per_side)
+            counts[cell] = counts.get(cell, 0) + 1
+        return grid_rows(counts, node, bounds), 0
+
+    def _grid_bounds(self, node: GridAggregate) -> Rect:
+        bounds = self.ctx.bounds(node.target_relation())
+        if bounds is None:
+            raise UnsupportedQueryError(
+                "GridAggregate needs the target relation's bounds; build the "
+                "dataset with explicit bounds"
+            )
+        return bounds
+
+    def _eval_region(self, node: RegionAggregate) -> tuple[list[Row], int]:
+        rows, _width = self._eval(node.child)
+        self._charge(node, len(rows) * len(node.regions))
+        out: list[Row] = []
+        for name, rect in node.regions:
+            count = sum(1 for row in rows if rect.contains_point(row[-1]))
+            out.append((name, count))
+        return out, 0
+
+    def _eval_topk(self, node: TopK) -> tuple[list[Row], int]:
+        rows, _width = self._eval(node.child)
+        self._charge(node, len(rows))
+        return topk_rows(rows, node.limit), 0
+
+
+def package_output(out: EvalOutput) -> dict[str, tuple]:
+    """Canonicalize an evaluation's rows into ``QueryResult`` field values.
+
+    Returns a single-entry dict naming the populated field: ``points``
+    (width 1, sorted by pid), ``pairs`` (width 2, sorted by pid key),
+    ``triplets`` (width 3, sorted by pid triple), or ``records``
+    (aggregate rows as produced; joins deeper than three as pid-sorted
+    point tuples).  Shared by the unsharded runner and the sharded
+    coordinator so both layers canonicalize identically.
+    """
+    if out.width == 1:
+        points = sorted((row[0] for row in out.rows), key=lambda p: p.pid)
+        return {"points": tuple(points)}
+    if out.width == 2:
+        pairs = sorted((JoinPair(*row) for row in out.rows), key=pair_key)
+        return {"pairs": tuple(pairs)}
+    if out.width == 3:
+        triplets = sorted((JoinTriplet(*row) for row in out.rows), key=lambda t: t.pids)
+        return {"triplets": tuple(triplets)}
+    if out.width == 0:
+        return {"records": tuple(out.rows)}
+    records = sorted(out.rows, key=lambda row: tuple(p.pid for p in row))
+    return {"records": tuple(records)}
+
+
+# ----------------------------------------------------------------------
+# Shared aggregate helpers (the sharded coordinator and the stream
+# maintainer reuse these so every layer canonicalizes identically)
+# ----------------------------------------------------------------------
+def cell_of(p: Point, bounds: Rect, cells_per_side: int) -> tuple[int, int]:
+    """Grid cell ``(ix, iy)`` of a point — same clipping as ``GridIndex``."""
+    cw = bounds.width / cells_per_side
+    ch = bounds.height / cells_per_side
+    ix = int((p.x - bounds.xmin) / cw) if cw > 0 else 0
+    iy = int((p.y - bounds.ymin) / ch) if ch > 0 else 0
+    ix = min(max(ix, 0), cells_per_side - 1)
+    iy = min(max(iy, 0), cells_per_side - 1)
+    return ix, iy
+
+
+def grid_rows(
+    counts: Mapping[tuple[int, int], int], node: GridAggregate, bounds: Rect
+) -> list[Row]:
+    """Canonical ``((ix, iy), value)`` rows: non-empty cells, sorted by cell."""
+    if node.measure == "density":
+        area = (bounds.width / node.cells_per_side) * (bounds.height / node.cells_per_side)
+        scale = 1.0 / area if area > 0 else 0.0
+        return [
+            (cell, counts[cell] * scale) for cell in sorted(counts) if counts[cell]
+        ]
+    return [(cell, counts[cell]) for cell in sorted(counts) if counts[cell]]
+
+
+def topk_rows(rows: Sequence[Row], limit: int) -> list[Row]:
+    """Highest-valued aggregate rows: descending value, ascending key ties."""
+    return sorted(rows, key=lambda row: (-row[1], row[0]))[:limit]
+
+
+def _attr_match(point: Point, key: str, value: object) -> bool:
+    """Payload side-table equality test (non-mapping payloads never match)."""
+    payload = point.payload
+    # collections.abc, not typing: this runs once per candidate row and the
+    # typing alias pays a pure-Python __instancecheck__ on every call.
+    if not isinstance(payload, _abc_Mapping):
+        return False
+    return key in payload and payload[key] == value
+
+
+def _knn_of_subset(points: Iterable[Point], focal: Point, k: int) -> set[int]:
+    """Pids of the k nearest points of a materialized subset.
+
+    Ascending ``(distance, pid)`` order — identical tie-breaking to the
+    index kNN, so filtered-subset kNN and bare-scan kNN agree on duplicates.
+    """
+    ranked = sorted(
+        points, key=lambda p: ((p.x - focal.x) ** 2 + (p.y - focal.y) ** 2, p.pid)
+    )
+    return {p.pid for p in ranked[:k]}

@@ -1,0 +1,290 @@
+"""The rewrite-rule engine: validity-checked logical-tree transformations.
+
+This module generalizes :mod:`repro.planner.rules` — the paper's fixed
+select/join validity results — into a catalog of :class:`RewriteRule` objects
+applied to algebra trees until fixpoint.  The paper's central theorem shows
+up as **two rules among many**:
+
+* :data:`PUSH_FILTER_BELOW_JOIN_OUTER` *fires*: a filter on the join's
+  outer column commutes with the join (pushing it down evaluates fewer
+  neighborhoods but never changes any of them);
+* :data:`NO_FILTER_BELOW_JOIN_INNER` *never fires*: pushing a filter below
+  the inner relation would rank neighbors within the restriction — every
+  neighborhood changes.  The rule exists so the catalog documents the
+  invalidity; :func:`validate_tree` enforces it structurally on every
+  rewritten tree (and :class:`~repro.algebra.tree.KnnJoinOp` refuses to
+  construct a restricted inner in the first place).
+
+Each rule's docstring carries its validity argument; ``docs/algebra.md``
+collects them.  :meth:`RuleEngine.rewrite` returns the optimized tree plus
+the ordered trail of fired rule names, which
+:class:`~repro.engine.explain.Explain` renders alongside
+estimated-vs-observed costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+from repro.exceptions import InvalidPlanError
+from repro.algebra.tree import (
+    AlgebraNode,
+    AttrFilter,
+    GridAggregate,
+    KnnFilter,
+    KnnJoinOp,
+    RangeFilter,
+    Scan,
+)
+
+__all__ = [
+    "RewriteRule",
+    "RuleEngine",
+    "DEFAULT_RULES",
+    "default_engine",
+    "validate_tree",
+]
+
+#: Filters that test a single row column (share the ``on`` selector).
+_FILTERS = (RangeFilter, AttrFilter, KnnFilter)
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """One named, validity-argued tree transformation.
+
+    ``apply`` inspects a single node and returns the rewritten node, or
+    ``None`` when the pattern does not match.  Rules must be semantics
+    preserving — the validity argument lives in the rule's ``validity``
+    string (and docs/algebra.md); the Hypothesis parity suite checks every
+    rewritten tree against the brute-force reference evaluator.
+    """
+
+    name: str
+    validity: str
+    apply: Callable[[AlgebraNode], AlgebraNode | None]
+
+
+def _push_outer_filter(node: AlgebraNode) -> AlgebraNode | None:
+    """Push an outer-column filter below the join it sits on."""
+    if not isinstance(node, _FILTERS) or node.on != "outer":
+        return None
+    join = node.child
+    assert isinstance(join, KnnJoinOp)
+    pushed_on = "outer" if isinstance(join.outer, KnnJoinOp) else "point"
+    pushed = replace(node, child=join.outer, on=pushed_on)
+    return replace(join, outer=pushed)
+
+
+PUSH_FILTER_BELOW_JOIN_OUTER = RewriteRule(
+    name="push-filter-below-join-outer",
+    validity=(
+        "A filter on the join's outer column commutes with the kNN join: the "
+        "join computes one neighborhood per outer row, so dropping a row "
+        "before the join removes exactly the pairs the filter would have "
+        "dropped after it, and no other row's neighborhood is affected. "
+        "Pushing down evaluates strictly fewer neighborhoods (the paper's "
+        "select-outer-of-join pushdown, footnote 1 extends it to ranges)."
+    ),
+    apply=_push_outer_filter,
+)
+
+
+NO_FILTER_BELOW_JOIN_INNER = RewriteRule(
+    name="no-filter-below-join-inner",
+    validity=(
+        "A filter on the join's inner column must NOT be pushed below the "
+        "join: the join would then rank neighbors within the filtered "
+        "subset, changing every neighborhood (the paper's select-inner-of-"
+        "join invalidity, Sec. 3). The correct plans — evaluate the join "
+        "then filter, or the Counting / Block-Marking prunings — keep the "
+        "filter above; this rule never fires and validate_tree enforces it."
+    ),
+    apply=lambda node: None,
+)
+
+
+def _fuse_ranges(node: AlgebraNode) -> AlgebraNode | None:
+    """Fuse adjacent same-column range filters into their intersection."""
+    if not (isinstance(node, RangeFilter) and isinstance(node.child, RangeFilter)):
+        return None
+    inner = node.child
+    if node.on != inner.on:
+        return None
+    merged = node.window.intersection(inner.window)
+    if merged is None or merged.width <= 0.0 or merged.height <= 0.0:
+        return None  # disjoint / degenerate: leave both, the result is empty anyway
+    return replace(inner, window=merged)
+
+
+FUSE_RANGE_FILTERS = RewriteRule(
+    name="fuse-range-filters",
+    validity=(
+        "Window containment is a per-row predicate, so two nested range "
+        "filters on the same column are the conjunction of two containment "
+        "tests — exactly containment in the windows' intersection. Fusing "
+        "halves the passes (select-fusion); disjoint windows are left "
+        "unfused because their intersection is not a valid window (the "
+        "result is empty either way)."
+    ),
+    apply=_fuse_ranges,
+)
+
+
+def _order_point_filters(node: AlgebraNode) -> AlgebraNode | None:
+    """Sink a range filter below an adjacent attribute filter."""
+    if not (isinstance(node, RangeFilter) and isinstance(node.child, AttrFilter)):
+        return None
+    attr = node.child
+    if node.on != "point" or attr.on != "point":
+        return None
+    return replace(attr, child=replace(node, child=attr.child))
+
+
+ORDER_POINT_FILTERS = RewriteRule(
+    name="order-point-filters",
+    validity=(
+        "Range and attribute filters on the same column are independent "
+        "per-row predicates; conjunction commutes, so any evaluation order "
+        "yields the same rows. Canonically the range filter runs first "
+        "(innermost): it is one vectorized window kernel — and over a bare "
+        "scan an index range-select — while the attribute test is a "
+        "per-point side-table lookup, cheapest on the fewest survivors."
+    ),
+    apply=_order_point_filters,
+)
+
+
+def _prune_aggregate(node: AlgebraNode) -> AlgebraNode | None:
+    """Annotate an aggregate with the window bounding all its input points."""
+    if not isinstance(node, GridAggregate) or node.prune is not None:
+        return None
+    child = node.child
+    while isinstance(child, _FILTERS):
+        if isinstance(child, RangeFilter) and child.on == "point":
+            return replace(node, prune=child.window)
+        child = child.child
+    return None
+
+
+PRUNE_AGGREGATE_WINDOW = RewriteRule(
+    name="prune-aggregate-window",
+    validity=(
+        "Every point reaching the aggregate passed the point-column range "
+        "filter below it, so grid cells disjoint from that window hold zero "
+        "points. Recording the window on the aggregate (aggregate pushdown "
+        "into the pruned phase) lets the sharded fan-out skip disjoint "
+        "shards and the stream maintainer bound its dirty-cell set, without "
+        "changing any emitted row."
+    ),
+    apply=_prune_aggregate,
+)
+
+
+def _batch_inner_chain(node: AlgebraNode) -> AlgebraNode | None:
+    """Mark nested joins for deduplicated inner-neighborhood batching."""
+    if (
+        isinstance(node, KnnJoinOp)
+        and isinstance(node.outer, KnnJoinOp)
+        and not node.batch_inner
+    ):
+        return replace(node, batch_inner=True)
+    return None
+
+
+BATCH_INNER_CHAIN = RewriteRule(
+    name="batch-inner-chain",
+    validity=(
+        "In a join chain the focal column of the second hop repeats (many "
+        "rows share the same just-joined point), and kNN is a pure function "
+        "of the focal coordinates — deduplicating focals computes each "
+        "distinct neighborhood exactly once, the paper's chained-join "
+        "precomputation generalized to any depth. A physical join-ordering "
+        "annotation: output rows are unchanged."
+    ),
+    apply=_batch_inner_chain,
+)
+
+
+#: The default rule catalog, applied in order at every node until fixpoint.
+DEFAULT_RULES: tuple[RewriteRule, ...] = (
+    PUSH_FILTER_BELOW_JOIN_OUTER,
+    NO_FILTER_BELOW_JOIN_INNER,
+    FUSE_RANGE_FILTERS,
+    ORDER_POINT_FILTERS,
+    PRUNE_AGGREGATE_WINDOW,
+    BATCH_INNER_CHAIN,
+)
+
+#: Rewrite passes are bounded; each fired rule strictly shrinks or annotates
+#: the tree, so real trees converge in a handful of passes.
+_MAX_PASSES = 32
+
+
+class RuleEngine:
+    """Applies a rule catalog to a tree until fixpoint, recording the trail."""
+
+    def __init__(self, rules: tuple[RewriteRule, ...] = DEFAULT_RULES) -> None:
+        self.rules = tuple(rules)
+
+    def rewrite(self, tree: AlgebraNode) -> tuple[AlgebraNode, tuple[str, ...]]:
+        """Return ``(optimized tree, ordered fired-rule names)``.
+
+        Rules are applied bottom-up (children first, so a pushed-down filter
+        immediately becomes fusable below), restarting after every changed
+        pass; the rewritten tree is re-validated before being returned.
+        """
+        trail: list[str] = []
+        for _ in range(_MAX_PASSES):
+            rewritten = self._pass(tree, trail)
+            if rewritten == tree:
+                break
+            tree = rewritten
+        validate_tree(tree)
+        return tree, tuple(trail)
+
+    def _pass(self, node: AlgebraNode, trail: list[str]) -> AlgebraNode:
+        rebuilt = node
+        for child in node.children():
+            new_child = self._pass(child, trail)
+            if new_child is not child and new_child != child:
+                rebuilt = _swap_child(rebuilt, child, new_child)
+        for rule in self.rules:
+            replacement = rule.apply(rebuilt)
+            if replacement is not None and replacement != rebuilt:
+                trail.append(rule.name)
+                rebuilt = replacement
+        return rebuilt
+
+
+def _swap_child(node: AlgebraNode, old: AlgebraNode, new: AlgebraNode) -> AlgebraNode:
+    """Rebuild ``node`` with ``old`` replaced by ``new`` (first match)."""
+    from dataclasses import fields
+
+    for f in fields(node):
+        if getattr(node, f.name) == old:
+            return replace(node, **{f.name: new})
+    raise InvalidPlanError("rewrite lost track of a child node")  # pragma: no cover
+
+
+def validate_tree(tree: AlgebraNode) -> None:
+    """Reject trees that violate the paper's inner-restriction theorem.
+
+    Subsumes :func:`repro.planner.rules.validate_plan` for algebra trees:
+    every join's inner input must be a bare scan — a restricted inner
+    relation computes neighborhoods within the restriction, which answers a
+    different (and, for the paper's query classes, wrong) question.  The
+    node constructor already enforces this; validating again here means a
+    buggy rewrite rule can never smuggle a filter below an inner side.
+    """
+    for node in tree.walk():
+        if isinstance(node, KnnJoinOp) and not isinstance(node.inner, Scan):
+            raise InvalidPlanError(
+                "rewritten tree pushed a filter below a join's inner relation"
+            )
+
+
+def default_engine() -> RuleEngine:
+    """The engine over :data:`DEFAULT_RULES` (a fresh instance; rules are shared)."""
+    return RuleEngine(DEFAULT_RULES)

@@ -21,6 +21,7 @@ from repro.bench.figures import run_and_format, run_all_figures
 from repro.bench.harness import FigureResult
 from repro.bench.plotting import format_ascii_chart
 from repro.bench.workloads import (
+    ALGEBRA_FIGURE,
     ALL_FIGURES,
     COLUMNAR_SPEEDUP_FIGURE,
     ENGINE_THROUGHPUT_FIGURE,
@@ -48,6 +49,7 @@ def _build_parser() -> argparse.ArgumentParser:
             STREAM_THROUGHPUT_FIGURE,
             PLANNER_CALIBRATION_FIGURE,
             KERNELS_FANOUT_FIGURE,
+            ALGEBRA_FIGURE,
         ),
         help=(
             f"reproduce a single figure ({ENGINE_THROUGHPUT_FIGURE} = engine "
@@ -55,7 +57,8 @@ def _build_parser() -> argparse.ArgumentParser:
             f"{COLUMNAR_SPEEDUP_FIGURE} = columnar speedup, "
             f"{STREAM_THROUGHPUT_FIGURE} = stream throughput, "
             f"{PLANNER_CALIBRATION_FIGURE} = planner calibration, "
-            f"{KERNELS_FANOUT_FIGURE} = kernel-tier fan-out; all beyond the paper)"
+            f"{KERNELS_FANOUT_FIGURE} = kernel-tier fan-out, "
+            f"{ALGEBRA_FIGURE} = algebra pushdown; all beyond the paper)"
         ),
     )
     target.add_argument("--all", action="store_true", help="reproduce every figure")

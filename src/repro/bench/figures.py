@@ -6,6 +6,7 @@ from typing import Callable, Iterable
 
 from repro.bench.harness import FigureResult, format_table, run_figure
 from repro.bench.workloads import (
+    ALGEBRA_FIGURE,
     ALL_FIGURES,
     COLUMNAR_SPEEDUP_FIGURE,
     ENGINE_THROUGHPUT_FIGURE,
@@ -22,6 +23,7 @@ __all__ = [
     "run_columnar_speedup",
     "run_stream_throughput",
     "run_planner_calibration",
+    "run_algebra_pushdown",
 ]
 
 
@@ -153,6 +155,28 @@ def run_planner_calibration(
     """
     return run_and_format(
         PLANNER_CALIBRATION_FIGURE,
+        scale=scale,
+        repeats=repeats,
+        sweep_values=sweep_values,
+        progress=progress,
+    )
+
+
+def run_algebra_pushdown(
+    scale: float = 0.05,
+    repeats: int = 1,
+    sweep_values: tuple | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> tuple[FigureResult, str]:
+    """Run the algebra workload (pushdown + aggregation vs naive re-execution).
+
+    This is not a paper figure; it measures what the ``repro.algebra`` layer
+    buys on a composed analytics dashboard — windowed hotspot top-k, per-kind
+    density grid, region rollup — against re-evaluating the same trees with
+    the brute-force reference evaluator over materialized point lists.
+    """
+    return run_and_format(
+        ALGEBRA_FIGURE,
         scale=scale,
         repeats=repeats,
         sweep_values=sweep_values,

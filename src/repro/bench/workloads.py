@@ -46,6 +46,7 @@ __all__ = [
     "STREAM_THROUGHPUT_FIGURE",
     "PLANNER_CALIBRATION_FIGURE",
     "KERNELS_FANOUT_FIGURE",
+    "ALGEBRA_FIGURE",
 ]
 
 #: The figures reproduced by the harness.
@@ -72,6 +73,10 @@ PLANNER_CALIBRATION_FIGURE = 31
 #: Extra (non-paper) workload: the zero-copy segment / batched-kernel shard
 #: fan-out vs the PR 7 respawn-per-mutation, per-point protocol.
 KERNELS_FANOUT_FIGURE = 32
+
+#: Extra (non-paper) workload: composable-algebra pushdown + aggregation vs
+#: naive re-execution of the same trees over materialized point lists.
+ALGEBRA_FIGURE = 33
 
 #: Spatial extent shared by every benchmark dataset (same as the generators').
 EXTENT = Rect(0.0, 0.0, 40_000.0, 40_000.0)
@@ -919,6 +924,115 @@ def _fig32(scale: float) -> FigureWorkload:
     )
 
 
+# ----------------------------------------------------------------------
+# Figure 33 (beyond the paper): algebra pushdown vs naive re-execution
+# ----------------------------------------------------------------------
+def _fig33(scale: float) -> FigureWorkload:
+    """Composable-algebra dashboard: pushdown + aggregation vs naive loops.
+
+    A geofence-analytics "dashboard" evaluates four composed trees over a
+    moving relation ``a`` and a depot relation ``b`` — a windowed per-cell
+    top-k hotspot query (with a *redundant* nested window the rewrite engine
+    fuses away), a per-kind density grid, a region-count rollup, and a
+    per-cell aggregate over a windowed kNN join (nearest depots of every
+    vehicle inside the fence).  Two executions answer the identical
+    dashboard:
+
+    * ``naive-reexec`` — :func:`repro.algebra.reference.reference_rows`:
+      plain Python loops over the materialized point lists, every filter
+      re-scanning the full relation and every join row sorting the whole
+      inner relation (the reference evaluator is documented as this
+      figure's baseline).
+    * ``algebra-pushdown`` — ``engine.run(Query.from_tree(tree))`` on a
+      plan-cache-warmed :class:`~repro.engine.session.SpatialEngine`: the
+      rewrite engine fuses the nested windows and annotates the aggregate
+      prune window, the fused chains evaluate through the grid index
+      (touching only cells intersecting the window), and the join runs as
+      one batched index kNN over the surviving outer rows.
+
+    Both series return the same canonical row keys per tree, so the
+    benchmark gate checks parity and speedup on identical answers.  The
+    recorded speedup (``naive-reexec`` / ``algebra-pushdown``) is the PR's
+    acceptance metric.
+    """
+    from repro.algebra import (
+        AttrFilter,
+        GridAggregate,
+        KnnJoinOp,
+        RangeFilter,
+        RegionAggregate,
+        Scan,
+        TopK,
+    )
+    from repro.algebra.reference import reference_rows
+    from repro.engine.session import SpatialEngine
+    from repro.query.query import Query
+    from repro.stream.delta import result_rows
+
+    sweep = tuple(_scaled(n, scale) for n in (32_000, 64_000, 128_000))
+    cells = 16
+    reps = 1  # dashboard evaluations per timed call (naive join is quadratic)
+    # The analytics window covers 1/16 of the extent around the focal point;
+    # the hotspot tree nests a redundant wider window for the fuser to fold.
+    window = Rect(15_000.0, 15_000.0, 25_000.0, 25_000.0)
+    wide = Rect(10_000.0, 10_000.0, 30_000.0, 30_000.0)
+    mid_x = (window.xmin + window.xmax) / 2.0
+    regions = (
+        ("west", Rect(window.xmin, window.ymin, mid_x, window.ymax)),
+        ("east", Rect(mid_x, window.ymin, window.xmax, window.ymax)),
+    )
+    trees = (
+        TopK(GridAggregate(RangeFilter(RangeFilter(Scan("a"), wide), window), cells), 10),
+        GridAggregate(
+            AttrFilter(RangeFilter(Scan("a"), window), "kind", "bus"),
+            cells,
+            measure="density",
+        ),
+        RegionAggregate(RangeFilter(Scan("a"), window), regions),
+        GridAggregate(KnnJoinOp(RangeFilter(Scan("a"), window), Scan("b"), 2), cells),
+    )
+
+    def build(relation_size: int) -> SeriesBuilders:
+        base = berlinmod_snapshot(n=relation_size, seed=3300)
+        points = [
+            Point(p.x, p.y, p.pid, {"kind": "bus" if p.pid % 3 else "taxi"})
+            for p in base
+        ]
+        depots = berlinmod_snapshot(n=relation_size, seed=3301, start_pid=10_000_000)
+        relations = {"a": points, "b": depots}
+        frames = {"a": EXTENT, "b": EXTENT}
+
+        engine = SpatialEngine()
+        engine.register(name="a", points=points, bounds=EXTENT, cells_per_side=CELLS_PER_SIDE)
+        engine.register(name="b", points=depots, bounds=EXTENT, cells_per_side=CELLS_PER_SIDE)
+        queries = tuple(Query.from_tree(tree) for tree in trees)
+        for query in queries:  # warm the plan cache outside the timed region
+            engine.run(query)
+
+        def naive() -> list:
+            out = []
+            for _ in range(reps):
+                out = [reference_rows(tree, relations, frames) for tree in trees]
+            return out
+
+        def pushdown() -> list:
+            out = []
+            for _ in range(reps):
+                out = [result_rows(engine.run(query)) for query in queries]
+            return out
+
+        return {"naive-reexec": naive, "algebra-pushdown": pushdown}
+
+    return FigureWorkload(
+        figure=ALGEBRA_FIGURE,
+        title="Algebra pushdown + aggregation vs naive re-execution",
+        sweep_name="relation size",
+        sweep_values=sweep,
+        series=("naive-reexec", "algebra-pushdown"),
+        builder=build,
+    )
+
+
 _FACTORIES: dict[int, Callable[[float], FigureWorkload]] = {
     19: _fig19,
     20: _fig20,
@@ -934,6 +1048,7 @@ _FACTORIES: dict[int, Callable[[float], FigureWorkload]] = {
     STREAM_THROUGHPUT_FIGURE: _fig30,
     PLANNER_CALIBRATION_FIGURE: _fig31,
     KERNELS_FANOUT_FIGURE: _fig32,
+    ALGEBRA_FIGURE: _fig33,
 }
 
 

@@ -51,6 +51,13 @@ class Explain:
         run at least once; see ``docs/planner.md``).
     observations:
         How many executions the observed figure averages over.
+    rule_trail:
+        For algebra plans: the rewrite rules that fired, in application
+        order (empty for the six paper classes and for trees no rule
+        matched).
+    node_estimates:
+        For algebra plans: the per-operator cost table ``(node label,
+        estimate)`` of the optimized tree, in tree-walk order.
     trace_summary:
         Indented per-phase timing lines from the plan's most recent traced
         execution (empty until the plan has run under an enabled tracer;
@@ -69,6 +76,8 @@ class Explain:
     estimated_total: float | None = None
     observed_total: float | None = None
     observations: int = 0
+    rule_trail: tuple[str, ...] = ()
+    node_estimates: tuple[tuple[str, float], ...] = ()
     trace_summary: tuple[str, ...] = ()
     resources: ResourceUsage | None = None
 
@@ -76,13 +85,24 @@ class Explain:
     def from_plan(cls, plan: PhysicalPlan, relations: frozenset[str]) -> "Explain":
         """Build the record for a freshly derived plan."""
         estimated = plan.estimates.get(plan.strategy)
+        decisions = dict(plan.decisions)
+        # Algebra plans carry structured rewrite/costing artifacts in their
+        # decisions dict; lift those into dedicated fields so render() can
+        # lay them out instead of flattening them into one decision line.
+        rule_trail = tuple(decisions.pop("rule_trail", ()))
+        node_estimates = tuple(
+            (str(label), float(cost))
+            for label, cost in decisions.pop("node_estimates", ())
+        )
         return cls(
             query_class=plan.query_class,
             strategy=plan.strategy,
             relations=tuple(sorted(relations)),
-            decisions=tuple(sorted((k, _fmt(v)) for k, v in plan.decisions.items())),
+            decisions=tuple(sorted((k, _fmt(v)) for k, v in decisions.items())),
             estimates=tuple(sorted((k, float(v)) for k, v in plan.estimates.items())),
             estimated_total=float(estimated) if estimated is not None else None,
+            rule_trail=rule_trail,
+            node_estimates=node_estimates,
         )
 
     def with_observed(self, observed_total: float, observations: int) -> "Explain":
@@ -118,6 +138,14 @@ class Explain:
             lines.append("  decisions:")
             for key, value in self.decisions:
                 lines.append(f"    {key} = {value}")
+        if self.rule_trail:
+            lines.append("  rewrite rules fired:")
+            for index, name in enumerate(self.rule_trail, start=1):
+                lines.append(f"    {index}. {name}")
+        if self.node_estimates:
+            lines.append("  operator estimates:")
+            for label, cost in self.node_estimates:
+                lines.append(f"    {label} = {cost:.2f}")
         if self.estimates:
             lines.append("  cost estimates:")
             width = max(len(name) for name, _ in self.estimates)

@@ -425,12 +425,28 @@ class SpatialEngine:
         versions = self._versions_of(query.relations())
         # Plan with this engine's optimizer, cached statistics and the
         # calibration store's observed profiles.
-        planner = Query(*query.predicates, strategy=query.strategy, optimizer=self.optimizer)
+        planner = Query(
+            *query.predicates,
+            strategy=query.strategy,
+            optimizer=self.optimizer,
+            tree=query.tree,
+        )
         plan = planner.plan(
             self._datasets,
             stats_provider=self._stats_provider,
             calibration=self.calibration,
         )
+        if plan.query_class == "algebra":
+            # Surface the rewrite outcome once per plan derivation (cache
+            # hits skip straight past this, so the event stream mirrors the
+            # optimizer's actual work).
+            trail = plan.decisions.get("rule_trail", ())
+            self.obs.events.emit(
+                "algebra_rewrite",
+                signature=str(signature),
+                rules=",".join(trail) if trail else "",
+                fired=len(trail),
+            )
         entry = CachedPlan(
             signature=signature,
             plan=plan,
@@ -556,9 +572,12 @@ class SpatialEngine:
         no observable cost or the plan carries no calibration key) so run
         paths can annotate their root span with it.
         """
-        observed = observed_cost(
-            entry.plan.strategy, result.stats, self.optimizer.cost_model
-        )
+        if result.node_costs:
+            observed = self._record_node_costs(result, wall)
+        else:
+            observed = observed_cost(
+                entry.plan.strategy, result.stats, self.optimizer.cost_model
+            )
         if observed is None or entry.calibration_key is None:
             return None
         stats = result.stats
@@ -607,6 +626,33 @@ class SpatialEngine:
                         ratio=round(observed / estimated, 4),
                     )
             return observed
+
+    def _record_node_costs(self, result: QueryResult, wall: float) -> float:
+        """Record an algebra execution's per-operator work; return its total.
+
+        Each ``(node signature, units)`` entry becomes one calibration
+        observation under the node's own signature (strategy
+        ``"algebra-node"``), so the compiler's next plan estimates that
+        operator from its observed history.  The whole-plan observed cost is
+        the converted sum — the same currency as the plan's estimate.
+        """
+        from repro.algebra.compile import NODE_PROFILE_STRATEGY, observed_node_cost
+
+        cost_model = self.optimizer.cost_model
+        total = 0.0
+        for node_signature, units in result.node_costs:
+            cost = observed_node_cost(node_signature, units, cost_model)
+            total += cost
+            self.calibration.record(
+                node_signature,
+                Observation(
+                    strategy=NODE_PROFILE_STRATEGY,
+                    observed_total=cost,
+                    wall_seconds=wall,
+                ),
+            )
+            self._calibration_observations.inc()
+        return total
 
     def run_many(
         self,

@@ -18,6 +18,14 @@ These rules encode the paper's correctness results:
 ``validate_plan`` walks a logical plan tree and raises
 :class:`~repro.exceptions.InvalidPlanError` when it finds the invalid
 select-below-inner pattern.
+
+These fixed predicates are the special case the general rewrite-rule engine
+(:mod:`repro.algebra.rules`) subsumes: there, push-below-outer is the
+``push-filter-below-join-outer`` rule, push-below-inner is the
+(never-firing) ``no-filter-below-join-inner`` rule, and the invalidity is
+additionally *structural* — :class:`repro.algebra.tree.KnnJoinOp` refuses
+any inner input that is not a bare scan.  This module remains the paper's
+six-class formulation, used by the classic per-class planner.
 """
 
 from __future__ import annotations

@@ -8,7 +8,25 @@ from repro.exceptions import InvalidParameterError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 
-__all__ = ["KnnSelect", "KnnJoin", "RangeSelect"]
+__all__ = ["KnnSelect", "KnnJoin", "RangeSelect", "validate_window"]
+
+
+def validate_window(window: Rect, what: str) -> None:
+    """Reject degenerate query windows at predicate construction time.
+
+    A :class:`Rect` may legitimately be a zero-extent sliver (index blocks
+    collapse to lines and points at dataset edges), but a *query window* with
+    zero width or height selects a measure-zero region — always a caller bug,
+    rejected with :class:`InvalidParameterError` exactly like ``k <= 0``.
+    Inverted and NaN-cornered rectangles never get this far: ``Rect`` itself
+    refuses to construct them (``GeometryError``, also a ``ValueError``).
+    """
+    if not isinstance(window, Rect):
+        raise InvalidParameterError(f"{what} must be a Rect, got {window!r}")
+    if window.width <= 0.0 or window.height <= 0.0:
+        raise InvalidParameterError(
+            f"{what} is degenerate (zero/negative extent): {window!r}"
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,6 +61,7 @@ class RangeSelect:
     def __post_init__(self) -> None:
         if not self.relation:
             raise InvalidParameterError("RangeSelect.relation must be non-empty")
+        validate_window(self.window, "RangeSelect.window")
 
 
 @dataclass(frozen=True, slots=True)

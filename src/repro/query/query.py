@@ -36,6 +36,7 @@ from repro.core.select_join.range_inner import (
     range_inner_join_baseline,
     range_inner_join_block_marking,
 )
+from repro.algebra.tree import AlgebraNode, tree_from_signature
 from repro.exceptions import InvalidParameterError, UnsupportedQueryError
 from repro.index.stats import IndexStats
 from repro.locality.neighborhood import Neighborhood
@@ -83,6 +84,10 @@ class Query:
         algorithm.
     optimizer:
         Optional custom :class:`~repro.planner.optimizer.Optimizer`.
+    tree:
+        An :class:`~repro.algebra.tree.AlgebraNode` operator tree instead of
+        predicates (see :meth:`from_tree`).  Tree queries are planned by the
+        algebra's rewrite-rule engine; ``strategy`` must stay ``"auto"``.
     """
 
     def __init__(
@@ -90,17 +95,45 @@ class Query:
         *predicates: Predicate,
         strategy: str = "auto",
         optimizer: Optimizer | None = None,
+        tree: AlgebraNode | None = None,
     ) -> None:
-        if not 1 <= len(predicates) <= 2:
-            raise UnsupportedQueryError("a query must have one or two kNN predicates")
-        for predicate in predicates:
-            if not isinstance(predicate, (KnnSelect, KnnJoin, RangeSelect)):
-                raise InvalidParameterError(f"unsupported predicate: {predicate!r}")
-        if strategy not in ("auto", "baseline", "counting", "block_marking"):
-            raise InvalidParameterError(f"unknown strategy: {strategy!r}")
+        if tree is not None:
+            if predicates:
+                raise InvalidParameterError(
+                    "a query takes predicates or a tree, not both"
+                )
+            if not isinstance(tree, AlgebraNode):
+                raise InvalidParameterError(f"unsupported tree: {tree!r}")
+            if strategy != "auto":
+                raise InvalidParameterError(
+                    "algebra queries are planned by the rewrite engine; "
+                    f"strategy must be 'auto', got {strategy!r}"
+                )
+        else:
+            if not 1 <= len(predicates) <= 2:
+                raise UnsupportedQueryError("a query must have one or two kNN predicates")
+            for predicate in predicates:
+                if not isinstance(predicate, (KnnSelect, KnnJoin, RangeSelect)):
+                    raise InvalidParameterError(f"unsupported predicate: {predicate!r}")
+            if strategy not in ("auto", "baseline", "counting", "block_marking"):
+                raise InvalidParameterError(f"unknown strategy: {strategy!r}")
         self.predicates: tuple[Predicate, ...] = tuple(predicates)
+        self.tree = tree
         self.strategy = strategy
         self.optimizer = optimizer or Optimizer()
+
+    @classmethod
+    def from_tree(cls, tree: AlgebraNode, optimizer: Optimizer | None = None) -> "Query":
+        """Build a query over a composable algebra tree.
+
+        The tree is compiled by the rewrite-rule engine
+        (:mod:`repro.algebra.rules`) into an ``"algebra"``-class physical
+        plan; results arrive as points, pairs or triplets when the tree's
+        output width matches a paper shape, and as generic
+        :attr:`~repro.query.results.QueryResult.records` for aggregates and
+        deeper join chains.
+        """
+        return cls(tree=tree, optimizer=optimizer)
 
     # ------------------------------------------------------------------
     # Signature (plan-cache key)
@@ -117,6 +150,8 @@ class Query:
         traffic.
         """
         self._check_relations_exist(datasets)
+        if self.tree is not None:
+            return (self.strategy, (("algebra", self.tree.signature(datasets)),))
         entries: list[tuple] = []
         for predicate in self.predicates:
             if isinstance(predicate, KnnSelect):
@@ -167,6 +202,8 @@ class Query:
 
         try:
             strategy, entries = signature
+            if len(entries) == 1 and entries[0][0] == "algebra":
+                return cls(tree=tree_from_signature(entries[0][1]), strategy=strategy)
             predicates: list[Predicate] = []
             for entry in entries:
                 if entry[0] == "knn_select":
@@ -211,6 +248,8 @@ class Query:
 
     def relations(self) -> frozenset[str]:
         """Names of every relation this query touches."""
+        if self.tree is not None:
+            return self.tree.relations()
         names: set[str] = set()
         for predicate in self.predicates:
             if isinstance(predicate, (KnnSelect, RangeSelect)):
@@ -254,6 +293,13 @@ class Query:
                 ).items()
                 if profile.warm(calibration.min_observations)
             }
+        if self.tree is not None:
+            from repro.algebra.compile import compile_tree
+
+            plan = compile_tree(
+                self.tree, datasets, self.optimizer.cost_model, calibration
+            )
+            return self._blend_observed(plan, profiles)
         selects = [p for p in self.predicates if isinstance(p, KnnSelect)]
         joins = [p for p in self.predicates if isinstance(p, KnnJoin)]
         ranges = [p for p in self.predicates if isinstance(p, RangeSelect)]
@@ -553,6 +599,10 @@ class Query:
         ranges = [p for p in self.predicates if isinstance(p, RangeSelect)]
 
         query_class = plan.query_class
+        if query_class == "algebra":
+            if self.tree is None:
+                raise UnsupportedQueryError("cached algebra plan does not fit this query")
+            return self._run_algebra(datasets)
         if query_class == "single-select":
             return self._run_single_select(selects[0], datasets)
         if query_class == "single-range":
@@ -590,6 +640,34 @@ class Query:
         missing = sorted(n for n in self.relations() if n not in datasets)
         if missing:
             raise UnsupportedQueryError(f"datasets missing for relations: {', '.join(missing)}")
+
+    # -- algebra trees --------------------------------------------------
+    def _run_algebra(self, datasets: Mapping[str, Dataset]) -> QueryResult:
+        """Evaluate the rewritten tree and package its rows canonically.
+
+        The rewrite runs fresh on *this* query's tree (not the cached plan's
+        rendering) because plan-cache signatures exclude parameter values —
+        two same-shape queries share a plan but not their windows/focals.
+        Point results sort by pid, pair/triplet rows by their pid keys;
+        aggregates and deeper joins arrive as generic ``records``.
+        """
+        from repro.algebra.compile import rewritten_tree
+        from repro.algebra.evaluate import DatasetContext, evaluate, package_output
+
+        assert self.tree is not None
+        optimized, _trail = rewritten_tree(self.tree)
+        ctx = DatasetContext(datasets)
+        out = evaluate(optimized, ctx, ctx.stats)
+        node_costs = tuple(
+            (node.signature(datasets), cost) for node, cost in out.node_costs.items()
+        )
+        return QueryResult(
+            strategy="algebra-tree",
+            query_class="algebra",
+            stats=ctx.stats,
+            node_costs=node_costs,
+            **package_output(out),
+        )
 
     # -- single-predicate queries --------------------------------------
     def _run_single_select(

@@ -33,6 +33,10 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro import kernels
+from repro.algebra.compile import rewritten_tree
+from repro.algebra.decompose import chain_window, local_decomposition
+from repro.algebra.evaluate import cell_of, evaluate, grid_rows, package_output, topk_rows
+from repro.algebra.tree import AlgebraNode, GridAggregate, RegionAggregate, TopK
 from repro.exceptions import StaleShardError, UnsupportedQueryError
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
@@ -61,6 +65,7 @@ __all__ = [
     "ShardTask",
     "batched_fanout",
     "execute_shard_task",
+    "relation_bounds",
     "set_batched_fanout",
     "sharded_execute",
 ]
@@ -104,7 +109,7 @@ class ShardTask:
     ----------
     kind:
         Worker dispatch key (``knn`` / ``two_knn`` / ``range`` / ``join`` /
-        ``chained``).
+        ``chained`` / ``algebra``).
     relation:
         The driving relation whose shard this task covers.
     shard_id:
@@ -199,7 +204,55 @@ def execute_shard_task(
                     cache[b_point.pid] = c_nbr
                 triplets.extend(JoinTriplet(a, b_point, c_point) for c_point in c_nbr)
         return triplets
+    if task.kind == "algebra":
+        subtree, agg, bounds = task.payload
+        out = evaluate(subtree, _ShardLocalContext(driving, bounds))
+        points = [row[-1] for row in out.rows]
+        if agg is None:
+            return points
+        agg_kind, spec = agg
+        if agg_kind == "grid":
+            counts: dict[tuple[int, int], int] = {}
+            for p in points:
+                cell = cell_of(p, bounds, spec)
+                counts[cell] = counts.get(cell, 0) + 1
+            return counts
+        return {
+            name: sum(1 for p in points if rect.contains_point(p))
+            for name, rect in spec
+        }
     raise UnsupportedQueryError(f"unknown shard task kind {task.kind!r}")
+
+
+class _ShardLocalContext:
+    """Eval context over one driving shard, for local-decomposable subtrees.
+
+    The coordinator only dispatches filter chains (range/attribute filters
+    over one scan) here, so the kNN entry points are unreachable — a filter
+    chain's output over a partition is exactly the union of its per-shard
+    outputs, which is what makes the fan-out lossless.  ``bounds`` is the
+    *global* relation extent, so per-shard grid cells line up with the
+    unsharded decomposition.
+    """
+
+    def __init__(self, shard, bounds: Rect | None) -> None:
+        self._shard = shard
+        self._bounds = bounds
+
+    def points(self, relation: str) -> list[Point]:
+        return list(self._shard.store.iter_points())
+
+    def bounds(self, relation: str) -> Rect | None:
+        return self._bounds
+
+    def range(self, relation: str, window: Rect) -> list[Point]:
+        return list(range_select(self._shard.index, window))
+
+    def knn(self, relation, focal, k):  # pragma: no cover - never dispatched
+        raise UnsupportedQueryError("kNN subtrees are not shard-local")
+
+    def knn_batch(self, relation, coords, k):  # pragma: no cover - never dispatched
+        raise UnsupportedQueryError("kNN subtrees are not shard-local")
 
 
 def _join_batched(driving, inner, k, select_pids, inner_window, outer_window):
@@ -386,6 +439,12 @@ class _Coordinator:
         cls = plan.query_class
         strategy = f"sharded:{plan.strategy}"
 
+        if cls == "algebra":
+            if query.tree is None:
+                raise UnsupportedQueryError(
+                    "cached algebra plan does not fit this query"
+                )
+            return self._algebra(strategy, query.tree)
         if cls == "single-select":
             s = selects[0]
             return self._points(
@@ -436,6 +495,84 @@ class _Coordinator:
         if cls == "unchained-joins":
             return self._unchained(strategy, joins[0], joins[1])
         raise UnsupportedQueryError(f"unknown query class in plan: {cls!r}")
+
+    # -- algebra trees --------------------------------------------------
+    def _algebra(self, strategy: str, tree: AlgebraNode) -> QueryResult:
+        """Execute an algebra tree against the shard runtime, exactly.
+
+        Local-decomposable trees — filter chains over one scan, optionally
+        under a spatial aggregate (and top-k) — fan out one task per driving
+        shard: each worker evaluates the chain against its partition and
+        ships back either its surviving points or its **partial aggregate**
+        (per-cell / per-region counts), which the coordinator merges by
+        concatenation or summation.  Everything else (kNN filters, joins)
+        evaluates coordinator-side through a context whose kNN entry points
+        are the exact cross-shard primitives (border expansion / batched
+        fan-out), so results match unsharded execution row for row.
+        """
+        optimized, _trail = rewritten_tree(tree)
+        local = local_decomposition(optimized)
+        if local is not None:
+            return self._algebra_fanout(strategy, local)
+        out = evaluate(optimized, _CoordinatorEvalContext(self), self.work)
+        return QueryResult(
+            strategy=strategy,
+            query_class="algebra",
+            stats=self.work,
+            **package_output(out),
+        )
+
+    def _algebra_fanout(
+        self,
+        strategy: str,
+        local: "tuple[AlgebraNode, GridAggregate | RegionAggregate | None, TopK | None, str]",
+    ) -> QueryResult:
+        chain, agg, topk, relation = local
+        sharded = self.datasets[relation]
+        bounds = relation_bounds(sharded)
+        if agg is not None and bounds is None:
+            raise UnsupportedQueryError(
+                "spatial aggregates need the target relation's bounds; build "
+                "the dataset with explicit bounds"
+            )
+        if agg is None:
+            agg_spec = None
+        elif isinstance(agg, GridAggregate):
+            agg_spec = ("grid", agg.cells_per_side)
+        else:
+            agg_spec = ("region", agg.regions)
+        versions = self._versions(relation)
+        window = chain_window(chain)
+        tasks = [
+            ShardTask("algebra", relation, sid, (chain, agg_spec, bounds), versions)
+            for sid, ds in sharded.populated()
+            if window is None or ds.index.bounds.intersects(window)
+        ]
+        partials = self._run(tasks)
+        if agg is None:
+            points = merge_point_partials(partials)  # type: ignore[arg-type]
+            return QueryResult(
+                strategy=strategy,
+                query_class="algebra",
+                points=tuple(points),
+                stats=self.work,
+            )
+        counts: dict = {}
+        for partial in partials:
+            for key, value in partial.items():  # type: ignore[union-attr]
+                counts[key] = counts.get(key, 0) + value
+        if isinstance(agg, GridAggregate):
+            rows = grid_rows(counts, agg, bounds)
+        else:
+            rows = [(name, counts.get(name, 0)) for name, _rect in agg.regions]
+        if topk is not None:
+            rows = topk_rows(rows, topk.limit)
+        return QueryResult(
+            strategy=strategy,
+            query_class="algebra",
+            records=tuple(rows),
+            stats=self.work,
+        )
 
     def _two_selects(
         self, strategy: str, first: KnnSelect, second: KnnSelect
@@ -513,6 +650,46 @@ class _Coordinator:
             triplets=tuple(triplets),
             stats=self.work,
         )
+
+
+def relation_bounds(sharded: ShardedDataset) -> Rect | None:
+    """The relation's global extent: declared bounds, else shard union."""
+    if sharded.base.bounds is not None:
+        return sharded.base.bounds
+    extent: Rect | None = None
+    for _sid, ds in sharded.populated():
+        b = ds.index.bounds
+        extent = b if extent is None else extent.union(b)
+    return extent
+
+
+class _CoordinatorEvalContext:
+    """Eval context answering from the shard runtime, coordinator-side.
+
+    Scans and bounds come from the authoritative base dataset; kNN entry
+    points are the exact cross-shard primitives (border expansion and the
+    batched fan-out), and range selects fan out per shard — so a tree that
+    is not local-decomposable still returns exactly the unsharded rows.
+    """
+
+    def __init__(self, coordinator: "_Coordinator") -> None:
+        self._c = coordinator
+
+    def points(self, relation: str) -> list[Point]:
+        return list(self._c.datasets[relation].base.store.iter_points())
+
+    def bounds(self, relation: str) -> Rect | None:
+        return relation_bounds(self._c.datasets[relation])
+
+    def knn(self, relation: str, focal: Point, k: int) -> Neighborhood:
+        return self._c._fanout_knn(relation, focal, k)
+
+    def knn_batch(self, relation: str, coords: np.ndarray, k: int) -> list[Neighborhood]:
+        self._c.work.neighborhoods_computed += len(coords)
+        return sharded_knn_batch(self._c.datasets[relation], coords, k)
+
+    def range(self, relation: str, window: Rect) -> list[Point]:
+        return self._c._fanout_range(relation, window)
 
 
 def sharded_execute(

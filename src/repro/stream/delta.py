@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.geometry.point import Point
 from repro.query.results import QueryResult
 
 __all__ = ["Delta", "diff_rows", "result_rows"]
@@ -75,10 +76,17 @@ def result_rows(result: QueryResult) -> tuple:
     Point results key on ``pid``, pair results on ``(outer pid, inner pid)``
     and triplet results on ``(a pid, b pid, c pid)`` — the same identifier
     keys the sharded merge sorts by, so from-scratch runs of either engine
-    canonicalize identically.
+    canonicalize identically.  Algebra record results key on the row itself
+    (``(group key, value)`` aggregate rows) or, for deep-join point rows, on
+    the row's pid tuple.
     """
     if result.pairs:
         return tuple(sorted(pair.pids for pair in result.pairs))
     if result.triplets:
         return tuple(sorted(triplet.pids for triplet in result.triplets))
+    if result.records:
+        first = result.records[0]
+        if isinstance(first, tuple) and first and isinstance(first[0], Point):
+            return tuple(sorted(tuple(p.pid for p in row) for row in result.records))
+        return tuple(sorted(result.records))
     return tuple(sorted(point.pid for point in result.points))

@@ -44,6 +44,7 @@ import numpy as np
 from repro.engine.session import SpatialEngine
 from repro.exceptions import InvalidParameterError, UnsupportedQueryError
 from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
 from repro.locality.batch import get_knn_batch
 from repro.locality.knn import get_knn
 from repro.locality.neighborhood import Neighborhood
@@ -55,6 +56,7 @@ from repro.query.query import Query
 from repro.query.results import QueryResult
 from repro.shard.batch import sharded_knn_batch
 from repro.shard.engine import ShardedEngine
+from repro.shard.executor import relation_bounds
 from repro.shard.knn import sharded_knn
 from repro.storage.pointstore import PointStore
 from repro.storage.update import UpdateBatch
@@ -394,6 +396,21 @@ class StreamEngine:
         if self._sharded:
             return self.engine.sharded_dataset(relation).base.store  # type: ignore[union-attr]
         return self.engine.dataset(relation).store  # type: ignore[union-attr]
+
+    def bounds(self, relation: str) -> Rect | None:
+        """The relation's extent — the same frame every evaluation layer uses
+        for grid-cell decomposition (declared bounds, else index/shard union),
+        so incrementally maintained aggregate cells line up with re-executed
+        ones."""
+        if self._sharded:
+            return relation_bounds(self.engine.sharded_dataset(relation))  # type: ignore[union-attr]
+        dataset = self.engine.dataset(relation)  # type: ignore[union-attr]
+        if dataset.bounds is not None:
+            return dataset.bounds
+        try:
+            return dataset.index.bounds
+        except AttributeError:  # pragma: no cover - every index exposes bounds
+            return None
 
     def run(self, query: Query) -> QueryResult:
         """Execute a query from scratch through the wrapped engine.

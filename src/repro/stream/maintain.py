@@ -25,6 +25,13 @@ it.  The guard invariants (proved in ``docs/stream.md``):
   is provably answer-preserving and is skipped without touching the engine;
   otherwise the query re-executes through the engine's plan cache and the
   delta is the row diff.
+* **algebra trees** — guards are derived *compositionally* from the tree's
+  structure (:func:`repro.algebra.decompose.scan_guards`): window filters on
+  a scan chain intersect, kNN-filtered and join-inner scans become
+  always-relevant.  Local-decomposable aggregate shapes (filter chain →
+  grid/region aggregate → optional top-k) skip re-execution entirely:
+  :class:`AlgebraAggregateState` maintains the per-cell/per-region counts
+  through a membership map, repairing only the groups the batch touched.
 
 States receive the *effective* update
 (:class:`~repro.storage.update.AppliedUpdate`) **after** the engine applied
@@ -39,6 +46,15 @@ from typing import Protocol
 import numpy as np
 
 from repro import kernels
+from repro.algebra.compile import rewritten_tree
+from repro.algebra.decompose import (
+    ScanGuard,
+    chain_window,
+    local_decomposition,
+    scan_guards,
+)
+from repro.algebra.evaluate import _attr_match, cell_of, grid_rows, topk_rows
+from repro.algebra.tree import AlgebraNode, GridAggregate, RangeFilter, Scan
 from repro.geometry.point import Point
 from repro.geometry.rectangle import Rect
 from repro.locality.neighborhood import Neighborhood
@@ -54,6 +70,8 @@ __all__ = [
     "KnnSelectState",
     "RangeSelectState",
     "KnnJoinState",
+    "AlgebraAggregateState",
+    "AlgebraRefreshState",
     "RefreshState",
     "make_state",
     "SKIPPED",
@@ -97,6 +115,10 @@ class MaintenanceContext(Protocol):
 
     def store(self, relation: str) -> PointStore:
         """The named relation's current columnar store."""
+        ...
+
+    def bounds(self, relation: str) -> Rect | None:
+        """The relation's extent (the grid-cell decomposition frame)."""
         ...
 
     def run(self, query: Query) -> QueryResult:
@@ -483,6 +505,218 @@ class KnnJoinState:
 
 
 # ----------------------------------------------------------------------
+# Algebra trees
+# ----------------------------------------------------------------------
+class AlgebraAggregateState:
+    """Incrementally maintained spatial aggregate (per-cell dirty sets).
+
+    Applies to local-decomposable aggregate trees — a point-filter chain
+    over one scan under a :class:`~repro.algebra.tree.GridAggregate` or
+    :class:`~repro.algebra.tree.RegionAggregate`, optionally topped by a
+    :class:`~repro.algebra.tree.TopK` (the same shape the sharded
+    coordinator fans out).  The state keeps a **membership map** (member pid
+    → its group keys) plus the per-group counts; an update batch repairs the
+    counts locally:
+
+    * a removed member's groups come from the membership map — no position
+      or payload needed;
+    * inserted and moved points re-test the filter chain against the
+      post-batch store (payloads live in the store's side-table, not in the
+      update's columns) and increment exactly the groups they land in;
+    * a batch touching no member and placing nothing inside the chain's
+      window intersection is skipped outright.
+
+    The derived rows always equal a from-scratch evaluation's: counts are
+    additive over per-point contributions, so add/drop in any order
+    converges to the rescan's totals.
+    """
+
+    __slots__ = (
+        "query",
+        "_chain",
+        "_agg",
+        "_topk",
+        "_relation",
+        "_bounds",
+        "_window",
+        "_groups",
+        "_counts",
+        "_rows",
+    )
+
+    def __init__(self, query: Query, ctx: MaintenanceContext) -> None:
+        self.query = query
+        assert query.tree is not None
+        optimized, _trail = rewritten_tree(query.tree)
+        local = local_decomposition(optimized)
+        assert local is not None and local[1] is not None
+        self._chain, self._agg, self._topk, self._relation = local
+        self._bounds = ctx.bounds(self._relation)
+        self._window = chain_window(self._chain)
+        self._groups: dict[int, tuple] = {}
+        self._counts: dict = {}
+        self._rows: tuple | None = None
+        self.refresh(ctx)
+
+    def rows(self) -> tuple:
+        """Canonical rows: the aggregate's records, sorted (see delta docs)."""
+        if self._rows is None:
+            if isinstance(self._agg, GridAggregate):
+                rows = grid_rows(self._counts, self._agg, self._bounds)
+            else:
+                rows = [(name, self._counts[name]) for name, _rect in self._agg.regions]
+            if self._topk is not None:
+                rows = topk_rows(rows, self._topk.limit)
+            self._rows = tuple(sorted(rows))
+        return self._rows
+
+    def refresh(self, ctx: MaintenanceContext) -> None:
+        """Rebuild membership and counts from the relation's store."""
+        self._groups = {}
+        if isinstance(self._agg, GridAggregate):
+            self._counts = {}
+        else:
+            self._counts = {name: 0 for name, _rect in self._agg.regions}
+        for point in ctx.store(self._relation).iter_points():
+            self._add_point(point)
+        self._rows = None
+
+    # -- per-point membership -------------------------------------------
+    def _accepts(self, point: Point) -> bool:
+        """Evaluate the filter chain on one point (same semantics as eval)."""
+        node = self._chain
+        while not isinstance(node, Scan):
+            if isinstance(node, RangeFilter):
+                if not node.window.contains_point(point):
+                    return False
+            else:  # AttrFilter
+                if not _attr_match(point, node.key, node.value):
+                    return False
+            node = node.child
+        return True
+
+    def _group_keys(self, point: Point) -> tuple:
+        if isinstance(self._agg, GridAggregate):
+            return (cell_of(point, self._bounds, self._agg.cells_per_side),)
+        return tuple(
+            name for name, rect in self._agg.regions if rect.contains_point(point)
+        )
+
+    def _add_point(self, point: Point) -> bool:
+        if not self._accepts(point):
+            return False
+        keys = self._group_keys(point)
+        if not keys:  # passes the chain but lands in no region
+            return False
+        self._groups[point.pid] = keys
+        for key in keys:
+            self._counts[key] = self._counts.get(key, 0) + 1
+        return True
+
+    def _drop_pid(self, pid: int) -> bool:
+        keys = self._groups.pop(pid, None)
+        if keys is None:
+            return False
+        grid = isinstance(self._agg, GridAggregate)
+        for key in keys:
+            remaining = self._counts[key] - 1
+            if remaining == 0 and grid:
+                del self._counts[key]  # grid rows list non-empty cells only
+            else:
+                self._counts[key] = remaining
+        return True
+
+    def apply(self, applied: AppliedUpdate, relation: str, ctx: MaintenanceContext) -> str:
+        """Repair the counts through one update batch (never re-executes)."""
+        touched = applied.touched_pids()
+        member_touched = any(int(pid) in self._groups for pid in touched)
+        if not member_touched and self._window is not None:
+            cand_xs, cand_ys, _cand_pids = applied.candidate_columns()
+            if not _in_window(self._window, cand_xs, cand_ys).any():
+                return SKIPPED
+        changed = False
+        for pid in applied.removed_pids.tolist():
+            changed |= self._drop_pid(pid)
+        store = ctx.store(self._relation)
+        if len(applied.moved_pids):
+            rows = aligned_rows(store.pids, applied.moved_pids)
+            for pid, row in zip(applied.moved_pids.tolist(), rows.tolist()):
+                changed |= self._drop_pid(pid)
+                if row >= 0:
+                    changed |= self._add_point(store.point_at(row))
+        if len(applied.inserted_pids):
+            rows = aligned_rows(store.pids, applied.inserted_pids)
+            for row in rows.tolist():
+                if row >= 0:
+                    changed |= self._add_point(store.point_at(row))
+        if not changed:
+            return SKIPPED
+        self._rows = None
+        return REPAIRED
+
+
+class AlgebraRefreshState:
+    """General algebra trees: compositionally-guarded re-execution.
+
+    The fallback maintainer for trees the aggregate state cannot repair
+    (kNN filters, joins, bare point chains).  Guards are derived *from the
+    tree's structure* by :func:`~repro.algebra.decompose.scan_guards` — the
+    intersection of each scan chain's filter windows, with kNN-filtered and
+    join-inner scans marked always-relevant — so an update batch that
+    triggers no scan guard of the updated relation provably preserves the
+    answer and is skipped; anything else re-executes through the engine's
+    plan cache and the delta is the row diff.
+    """
+
+    __slots__ = ("query", "_guards", "_rows")
+
+    def __init__(self, query: Query, ctx: MaintenanceContext) -> None:
+        self.query = query
+        assert query.tree is not None
+        optimized, _trail = rewritten_tree(query.tree)
+        self._guards: dict[str, list[ScanGuard]] = {}
+        for guard in scan_guards(optimized):
+            self._guards.setdefault(guard.relation, []).append(guard)
+        self._rows: tuple = ()
+        self.refresh(ctx)
+
+    def rows(self) -> tuple:
+        """Canonical rows of the tree's result (see :func:`result_rows`)."""
+        return self._rows
+
+    def refresh(self, ctx: MaintenanceContext) -> None:
+        """Re-execute the standing tree through the engine."""
+        self._rows = result_rows(ctx.run(self.query))
+
+    def apply(self, applied: AppliedUpdate, relation: str, ctx: MaintenanceContext) -> str:
+        """Skip provably guard-clean batches; re-execute otherwise."""
+        guards = self._guards.get(relation)
+        if guards is not None and not any(
+            _guard_relevant(guard, applied) for guard in guards
+        ):
+            return SKIPPED
+        self._rows = result_rows(ctx.run(self.query))
+        return REFRESHED
+
+
+def _guard_relevant(guard: ScanGuard, applied: AppliedUpdate) -> bool:
+    """Whether an update batch triggers one scan's compositional guard."""
+    if guard.always:
+        return True
+    if guard.empty:
+        return False  # disjoint windows: the chain can never produce rows
+    window = guard.window
+    if window is None:
+        return True  # no spatial constraint on this scan
+    return bool(
+        _in_window(window, applied.inserted_xs, applied.inserted_ys).any()
+        or _in_window(window, applied.removed_xs, applied.removed_ys).any()
+        or _in_window(window, applied.moved_old_xs, applied.moved_old_ys).any()
+        or _in_window(window, applied.moved_new_xs, applied.moved_new_ys).any()
+    )
+
+
+# ----------------------------------------------------------------------
 # Two-predicate classes: guard-filtered re-execution
 # ----------------------------------------------------------------------
 class _SelectGuard:
@@ -613,11 +847,33 @@ class RefreshState:
 
 
 #: Union of the concrete maintenance-state types.
-MaintenanceState = KnnSelectState | RangeSelectState | KnnJoinState | RefreshState
+MaintenanceState = (
+    KnnSelectState
+    | RangeSelectState
+    | KnnJoinState
+    | AlgebraAggregateState
+    | AlgebraRefreshState
+    | RefreshState
+)
 
 
 def make_state(query_class: str, query: Query, ctx: MaintenanceContext) -> "MaintenanceState":
-    """Build the maintenance state for a planned query's class."""
+    """Build the maintenance state for a planned query's class.
+
+    Algebra trees pick between the two algebra states structurally:
+    local-decomposable aggregate shapes (whose grid frame is known) maintain
+    per-cell counts incrementally; everything else falls back to
+    compositionally-guarded re-execution.
+    """
+    if query_class == "algebra":
+        assert query.tree is not None
+        optimized, _trail = rewritten_tree(query.tree)
+        local = local_decomposition(optimized)
+        if local is not None and local[1] is not None:
+            agg, relation = local[1], local[3]
+            if not isinstance(agg, GridAggregate) or ctx.bounds(relation) is not None:
+                return AlgebraAggregateState(query, ctx)
+        return AlgebraRefreshState(query, ctx)
     if query_class == "single-select":
         return KnnSelectState(query.predicates[0], ctx)  # type: ignore[arg-type]
     if query_class == "single-range":

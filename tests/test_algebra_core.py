@@ -1,0 +1,245 @@
+"""Unit tests for the algebra core: trees, rewrite rules and compilation.
+
+The base layer of the composable algebra (``src/repro/algebra``): node
+structure and validation, plan-cache signatures round-tripping through
+``Query.from_signature`` for every tree shape, each rewrite rule's fire
+conditions, and ``compile_tree``'s per-operator estimate table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (
+    AttrFilter,
+    DEFAULT_RULES,
+    GridAggregate,
+    KnnFilter,
+    KnnJoinOp,
+    RangeFilter,
+    RegionAggregate,
+    Scan,
+    TopK,
+    compile_tree,
+    default_engine,
+    tree_from_signature,
+    validate_tree,
+)
+from repro.engine.session import SpatialEngine
+from repro.exceptions import InvalidParameterError, InvalidPlanError
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.planner.cost import CostModel
+from repro.query.query import Query
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+W1 = Rect(10.0, 10.0, 60.0, 60.0)
+W2 = Rect(30.0, 20.0, 90.0, 80.0)
+FAR = Rect(95.0, 95.0, 99.0, 99.0)
+FOCAL = Point(50.0, 50.0)
+REGIONS = (("west", Rect(0.0, 0.0, 50.0, 100.0)), ("east", Rect(50.0, 0.0, 100.0, 100.0)))
+
+
+def every_shape() -> dict[str, object]:
+    """One representative tree per node kind and composition."""
+    return {
+        "scan": Scan("a"),
+        "range": RangeFilter(Scan("a"), W1),
+        "attr": AttrFilter(Scan("a"), "kind", "bus"),
+        "knn": KnnFilter(Scan("a"), FOCAL, 5),
+        "chain": KnnFilter(AttrFilter(RangeFilter(Scan("a"), W1), "kind", "bus"), FOCAL, 3),
+        "join": KnnJoinOp(Scan("a"), Scan("b"), 2),
+        "join-filtered": RangeFilter(KnnJoinOp(RangeFilter(Scan("a"), W1), Scan("b"), 2), W2),
+        "join-outer": RangeFilter(KnnJoinOp(Scan("a"), Scan("b"), 2), W1, on="outer"),
+        "deep-join": KnnJoinOp(KnnJoinOp(Scan("a"), Scan("b"), 2), Scan("a"), 2),
+        "grid": GridAggregate(RangeFilter(Scan("a"), W1), 8),
+        "density": GridAggregate(Scan("a"), 4, measure="density"),
+        "region": RegionAggregate(Scan("a"), REGIONS),
+        "topk": TopK(GridAggregate(RangeFilter(Scan("a"), W1), 8), 5),
+    }
+
+
+@pytest.fixture(scope="module")
+def engine():
+    e = SpatialEngine()
+    e.register(name="a", points=[(10.0 + i, 20.0 + i) for i in range(20)], bounds=BOUNDS)
+    e.register(name="b", points=[(30.0 + i, 40.0) for i in range(8)], bounds=BOUNDS)
+    return e
+
+
+class TestTreeStructure:
+    def test_width_counts_point_columns(self):
+        assert Scan("a").width() == 1
+        assert KnnJoinOp(Scan("a"), Scan("b"), 2).width() == 2
+        assert KnnJoinOp(KnnJoinOp(Scan("a"), Scan("b"), 2), Scan("a"), 1).width() == 3
+        assert GridAggregate(Scan("a"), 4).width() == 0
+        assert TopK(GridAggregate(Scan("a"), 4), 3).width() == 0
+
+    def test_relations_and_target(self):
+        tree = RangeFilter(KnnJoinOp(Scan("a"), Scan("b"), 2), W1)
+        assert tree.relations() == frozenset({"a", "b"})
+        assert tree.target_relation() == "b"  # last joined column
+        assert GridAggregate(Scan("a"), 4).target_relation() == "a"
+
+    def test_walk_is_preorder(self):
+        tree = GridAggregate(RangeFilter(Scan("a"), W1), 4)
+        kinds = [type(n).__name__ for n in tree.walk()]
+        assert kinds == ["GridAggregate", "RangeFilter", "Scan"]
+
+    def test_join_inner_must_be_bare_scan(self):
+        with pytest.raises(InvalidPlanError):
+            KnnJoinOp(Scan("a"), RangeFilter(Scan("b"), W1), 2)
+        with pytest.raises(InvalidPlanError):
+            KnnJoinOp(Scan("a"), KnnFilter(Scan("b"), FOCAL, 3), 2)
+
+    def test_join_outer_must_produce_points(self):
+        with pytest.raises(InvalidParameterError):
+            KnnJoinOp(GridAggregate(Scan("a"), 4), Scan("b"), 2)
+
+    def test_outer_selector_only_above_joins(self):
+        with pytest.raises(InvalidParameterError):
+            RangeFilter(Scan("a"), W1, on="outer")
+        with pytest.raises(InvalidParameterError):
+            AttrFilter(Scan("a"), "kind", "bus", on="sideways")
+
+    def test_aggregate_rejects_aggregate_input(self):
+        with pytest.raises(InvalidParameterError):
+            GridAggregate(GridAggregate(Scan("a"), 4), 4)
+        with pytest.raises(InvalidParameterError):
+            TopK(Scan("a"), 3)
+
+
+class TestSignatures:
+    def test_signature_round_trips_every_shape(self, engine):
+        """``signature()`` ↔ ``tree_from_signature`` is stable for all shapes."""
+        datasets = {"a": engine.dataset("a"), "b": engine.dataset("b")}
+        for name, tree in every_shape().items():
+            sig = tree.signature(datasets)
+            rebuilt = tree_from_signature(sig)
+            assert rebuilt.signature(datasets) == sig, name
+
+    def test_query_signature_round_trips_every_shape(self, engine):
+        datasets = {"a": engine.dataset("a"), "b": engine.dataset("b")}
+        for name, tree in every_shape().items():
+            query = Query.from_tree(tree)
+            sig = query.signature(datasets)
+            rebuilt = Query.from_signature(sig)
+            assert rebuilt.tree is not None, name
+            assert rebuilt.signature(datasets) == sig, name
+
+    def test_signature_excludes_parameters_but_keeps_shape(self, engine):
+        datasets = {"a": engine.dataset("a"), "b": engine.dataset("b")}
+        a = RangeFilter(Scan("a"), W1).signature(datasets)
+        b = RangeFilter(Scan("a"), W2).signature(datasets)
+        assert a == b  # windows excluded
+        k3 = KnnFilter(Scan("a"), FOCAL, 3).signature(datasets)
+        k4 = KnnFilter(Scan("a"), FOCAL, 4).signature(datasets)
+        k9 = KnnFilter(Scan("a"), FOCAL, 9).signature(datasets)
+        assert k3 == k4  # same power-of-two bucket
+        assert k3 != k9
+
+    def test_malformed_signature_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            tree_from_signature(("warp", "a"))
+        with pytest.raises(InvalidParameterError):
+            tree_from_signature(("range",))
+
+
+class TestRewriteRules:
+    def test_outer_filter_pushes_below_join(self):
+        tree = RangeFilter(KnnJoinOp(Scan("a"), Scan("b"), 2), W1, on="outer")
+        optimized, trail = default_engine().rewrite(tree)
+        assert "push-filter-below-join-outer" in trail
+        assert isinstance(optimized, KnnJoinOp)
+        pushed = optimized.outer
+        assert isinstance(pushed, RangeFilter) and pushed.on == "point"
+        assert pushed.window == W1
+
+    def test_inner_filter_rule_never_fires(self):
+        """The catalog documents the invalidity; the rule cannot match."""
+        rule = next(r for r in DEFAULT_RULES if r.name == "no-filter-below-join-inner")
+        for tree in every_shape().values():
+            for node in tree.walk():
+                assert rule.apply(node) is None
+
+    def test_nested_ranges_fuse_to_intersection(self):
+        tree = RangeFilter(RangeFilter(Scan("a"), W1), W2)
+        optimized, trail = default_engine().rewrite(tree)
+        assert "fuse-range-filters" in trail
+        assert isinstance(optimized, RangeFilter)
+        assert optimized.window == W1.intersection(W2)
+        assert isinstance(optimized.child, Scan)
+
+    def test_disjoint_ranges_stay_unfused(self):
+        tree = RangeFilter(RangeFilter(Scan("a"), W1), FAR)
+        optimized, trail = default_engine().rewrite(tree)
+        assert "fuse-range-filters" not in trail
+        assert optimized == tree
+
+    def test_range_sinks_below_attr_filter(self):
+        tree = RangeFilter(AttrFilter(Scan("a"), "kind", "bus"), W1)
+        optimized, trail = default_engine().rewrite(tree)
+        assert "order-point-filters" in trail
+        assert isinstance(optimized, AttrFilter)
+        assert isinstance(optimized.child, RangeFilter)
+
+    def test_aggregate_annotated_with_prune_window(self):
+        tree = GridAggregate(RangeFilter(Scan("a"), W1), 8)
+        optimized, trail = default_engine().rewrite(tree)
+        assert "prune-aggregate-window" in trail
+        assert optimized.prune == W1
+
+    def test_chained_join_batches_inner(self):
+        tree = KnnJoinOp(KnnJoinOp(Scan("a"), Scan("b"), 2), Scan("a"), 2)
+        optimized, trail = default_engine().rewrite(tree)
+        assert "batch-inner-chain" in trail
+        assert optimized.batch_inner
+
+    def test_rewrite_reaches_fixpoint_with_composed_trail(self):
+        """Pushed-down filter immediately fuses with the one already below."""
+        tree = RangeFilter(
+            KnnJoinOp(RangeFilter(Scan("a"), W1), Scan("b"), 2), W2, on="outer"
+        )
+        optimized, trail = default_engine().rewrite(tree)
+        assert trail.index("push-filter-below-join-outer") < trail.index(
+            "fuse-range-filters"
+        )
+        assert isinstance(optimized, KnnJoinOp)
+        fused = optimized.outer
+        assert isinstance(fused, RangeFilter) and fused.window == W1.intersection(W2)
+
+    def test_validate_tree_catches_smuggled_inner_filter(self):
+        """A buggy rule cannot sneak a filter below an inner side."""
+        bad = object.__new__(KnnJoinOp)
+        object.__setattr__(bad, "outer", Scan("a"))
+        object.__setattr__(bad, "inner", RangeFilter(Scan("b"), W1))
+        object.__setattr__(bad, "k", 2)
+        object.__setattr__(bad, "batch_inner", False)
+        with pytest.raises(InvalidPlanError):
+            validate_tree(bad)
+
+
+class TestCompile:
+    def test_plan_carries_trail_and_node_estimates(self, engine):
+        datasets = {"a": engine.dataset("a"), "b": engine.dataset("b")}
+        tree = TopK(GridAggregate(RangeFilter(RangeFilter(Scan("a"), W1), W2), 8), 3)
+        plan = compile_tree(tree, datasets, CostModel())
+        assert plan.query_class == "algebra"
+        assert plan.strategy == "algebra-tree"
+        assert "fuse-range-filters" in plan.decisions["rule_trail"]
+        labels = [label for label, _ in plan.decisions["node_estimates"]]
+        # One estimate per node of the *optimized* tree (ranges fused: 4 nodes).
+        assert len(labels) == 4
+        assert labels[0].startswith("topk")
+        total = plan.estimates["algebra-tree"]
+        assert total == pytest.approx(
+            sum(cost for _, cost in plan.decisions["node_estimates"])
+        )
+        assert total > 0.0
+
+    def test_estimates_scale_with_relation_size(self, engine):
+        datasets = {"a": engine.dataset("a"), "b": engine.dataset("b")}
+        small = compile_tree(KnnJoinOp(Scan("b"), Scan("a"), 2), datasets, CostModel())
+        large = compile_tree(KnnJoinOp(Scan("a"), Scan("b"), 2), datasets, CostModel())
+        # One neighborhood per outer row: 20-point outer costs more than 8.
+        assert large.estimates["algebra-tree"] > small.estimates["algebra-tree"]

@@ -1,0 +1,136 @@
+"""Engine-layer tests for algebra queries: caching, EXPLAIN, calibration.
+
+Algebra trees flow through the same engine machinery as the six paper
+classes: plans are cached under parameter-free signatures, EXPLAIN renders
+the rewrite-rule trail and the per-operator estimate table, every execution
+records per-node work under the ``"algebra-node"`` calibration strategy, and
+plan derivations emit an ``algebra_rewrite`` event.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (
+    AttrFilter,
+    GridAggregate,
+    KnnFilter,
+    KnnJoinOp,
+    NODE_PROFILE_STRATEGY,
+    RangeFilter,
+    Scan,
+    TopK,
+    compile_tree,
+)
+from repro.engine.session import SpatialEngine
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.query import Query
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+W1 = Rect(10.0, 10.0, 60.0, 60.0)
+W2 = Rect(20.0, 20.0, 80.0, 80.0)
+FOCAL = Point(50.0, 50.0)
+
+
+@pytest.fixture()
+def engine():
+    e = SpatialEngine()
+    e.register(
+        name="a",
+        points=[
+            Point(3.0 * i % 97.0, 7.0 * i % 89.0, i, {"kind": "bus" if i % 2 else "taxi"})
+            for i in range(60)
+        ],
+        bounds=BOUNDS,
+    )
+    e.register(name="b", points=[(11.0 * i % 93.0, 5.0 * i % 83.0) for i in range(15)], bounds=BOUNDS)
+    return e
+
+
+def test_same_shape_queries_share_one_cached_plan(engine):
+    first = Query.from_tree(TopK(GridAggregate(RangeFilter(Scan("a"), W1), 8), 4))
+    second = Query.from_tree(TopK(GridAggregate(RangeFilter(Scan("a"), W2), 8), 4))
+    engine.run(first)
+    misses = engine.plan_cache.misses
+    hits = engine.plan_cache.hits
+    engine.run(second)  # same shape, different window: cache hit
+    assert engine.plan_cache.hits == hits + 1
+    assert engine.plan_cache.misses == misses
+    # Different shape (extra filter) misses.
+    engine.run(Query.from_tree(TopK(GridAggregate(AttrFilter(RangeFilter(Scan("a"), W1), "kind", "bus"), 8), 4)))
+    assert engine.plan_cache.misses == misses + 1
+
+
+def test_explain_renders_rule_trail_and_operator_estimates(engine):
+    query = Query.from_tree(
+        GridAggregate(RangeFilter(RangeFilter(Scan("a"), W1), W2), 8)
+    )
+    record = engine.explain(query)
+    assert record.query_class == "algebra"
+    assert record.strategy == "algebra-tree"
+    assert "fuse-range-filters" in record.rule_trail
+    assert "prune-aggregate-window" in record.rule_trail
+    assert record.node_estimates and all(cost >= 0.0 for _, cost in record.node_estimates)
+    text = record.render()
+    assert "rewrite rules fired:" in text
+    assert "operator estimates:" in text
+    assert "grid_agg[8x8 count]" in text
+
+
+def test_explain_reports_observed_cost_feedback(engine):
+    query = Query.from_tree(KnnFilter(RangeFilter(Scan("a"), W1), FOCAL, 5))
+    engine.run(query)
+    record = engine.explain(query)
+    assert record.observed_total is not None
+    assert record.observations == 1
+    assert "cost feedback:" in record.render()
+
+
+def test_executions_calibrate_per_node_profiles(engine):
+    """Each operator's observed work lands under its own node signature."""
+    tree = GridAggregate(RangeFilter(Scan("a"), W1), 8)
+    query = Query.from_tree(tree)
+    for _ in range(4):
+        engine.run(query)
+    datasets = {"a": engine.dataset("a")}
+    # The Scan leaf is folded into the range filter's index fast path (it is
+    # never materialized), so the two evaluated operators carry profiles.
+    for node in (tree, tree.child):
+        profile = engine.calibration.profile(node.signature(datasets), NODE_PROFILE_STRATEGY)
+        assert profile is not None, node.label()
+        assert profile.observations == 4
+
+    # A warm store changes compilation: estimates switch to observed costs.
+    plan = compile_tree(
+        tree, datasets, engine.optimizer.cost_model, engine.calibration
+    )
+    assert plan.decisions.get("calibrated") is True
+    assert plan.decisions["calibrated_nodes"] == 2
+
+
+def test_plan_derivation_emits_algebra_rewrite_event(engine):
+    query = Query.from_tree(
+        GridAggregate(RangeFilter(RangeFilter(Scan("a"), W1), W2), 8)
+    )
+    engine.run(query)
+    (event,) = engine.events(kind="algebra_rewrite")
+    assert "fuse-range-filters" in event.attributes["rules"]
+    assert event.attributes["fired"] >= 2
+    # Cache hits skip rewriting — no second event.
+    engine.run(query)
+    assert len(engine.events(kind="algebra_rewrite")) == 1
+
+
+def test_result_shapes_match_tree_width(engine):
+    points = engine.run(Query.from_tree(RangeFilter(Scan("a"), W1)))
+    assert points.points and not points.pairs and not points.records
+    pairs = engine.run(Query.from_tree(KnnJoinOp(RangeFilter(Scan("a"), W1), Scan("b"), 2)))
+    assert pairs.pairs and not pairs.points
+    triple = engine.run(
+        Query.from_tree(KnnJoinOp(KnnJoinOp(RangeFilter(Scan("a"), W1), Scan("b"), 2), Scan("a"), 1))
+    )
+    assert triple.triplets
+    agg = engine.run(Query.from_tree(GridAggregate(Scan("a"), 4)))
+    assert agg.records and not agg.points
+    assert sum(count for _cell, count in agg.records) == 60

@@ -1,0 +1,148 @@
+"""Shard-layer tests for algebra trees: fan-out, partial aggregation, pruning.
+
+Local-decomposable trees (filter chains, optionally aggregated and top-k'd)
+fan out one task per driving shard; workers ship back surviving points or
+per-group *partial counts*, which the coordinator merges exactly.  Trees
+with kNN filters or joins evaluate coordinator-side through the cross-shard
+primitives.  Either way, results match the unsharded engine row for row.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (
+    AttrFilter,
+    GridAggregate,
+    KnnFilter,
+    KnnJoinOp,
+    RangeFilter,
+    RegionAggregate,
+    Scan,
+    TopK,
+    chain_window,
+    local_decomposition,
+    rewritten_tree,
+)
+from repro.engine.session import SpatialEngine
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+from repro.shard.executor import ShardTask, execute_shard_task, sharded_execute
+from repro.stream.delta import result_rows
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+W1 = Rect(10.0, 10.0, 60.0, 60.0)
+FAR = Rect(98.0, 98.0, 99.0, 99.0)  # contains no points
+FOCAL = Point(50.0, 50.0)
+REGIONS = (("west", Rect(0.0, 0.0, 50.0, 100.0)), ("east", Rect(50.0, 0.0, 100.0, 100.0)))
+
+
+def make_points(n: int, start: int = 0) -> list[Point]:
+    return [
+        Point(
+            (13.0 * i + 7.0) % 97.0,
+            (29.0 * i + 3.0) % 89.0,
+            start + i,
+            {"kind": "bus" if i % 3 else "taxi"},
+        )
+        for i in range(n)
+    ]
+
+
+TREES = {
+    "chain": AttrFilter(RangeFilter(Scan("a"), W1), "kind", "bus"),
+    "grid": GridAggregate(RangeFilter(Scan("a"), W1), 8),
+    "density": GridAggregate(Scan("a"), 4, measure="density"),
+    "region": RegionAggregate(AttrFilter(Scan("a"), "kind", "bus"), REGIONS),
+    "topk": TopK(GridAggregate(RangeFilter(Scan("a"), W1), 8), 3),
+    "knn": KnnFilter(RangeFilter(Scan("a"), W1), FOCAL, 7),
+    "join": RangeFilter(KnnJoinOp(RangeFilter(Scan("a"), W1), Scan("b"), 2), W1),
+    "join-agg": GridAggregate(KnnJoinOp(Scan("b"), Scan("a"), 3), 4),
+}
+
+
+@pytest.fixture(scope="module", params=["serial", "thread"])
+def engines(request):
+    flat = SpatialEngine()
+    sharded = ShardedEngine(num_shards=4, backend=request.param, seed=1)
+    for engine in (flat, sharded):
+        engine.register(name="a", points=make_points(120), bounds=BOUNDS)
+        engine.register(name="b", points=make_points(20, start=10_000), bounds=BOUNDS)
+    yield flat, sharded
+    sharded.close()
+
+
+def test_every_tree_shape_matches_unsharded(engines):
+    flat, sharded = engines
+    for name, tree in TREES.items():
+        query = Query.from_tree(tree)
+        assert result_rows(sharded.run(query)) == result_rows(flat.run(query)), name
+
+
+def test_local_decomposition_classifies_trees():
+    local = local_decomposition(TREES["topk"])
+    assert local is not None
+    chain, agg, topk, relation = local
+    assert isinstance(agg, GridAggregate) and topk.limit == 3 and relation == "a"
+    assert chain_window(chain) == W1
+    assert local_decomposition(TREES["chain"])[1] is None  # no aggregate
+    # kNN filters and joins are not shard-local.
+    assert local_decomposition(TREES["knn"]) is None
+    assert local_decomposition(rewritten_tree(TREES["join"])[0]) is None
+
+
+def test_worker_task_returns_partial_grid_counts():
+    """One shard's task ships per-cell counts of its own partition only."""
+    engine = ShardedEngine(num_shards=4, backend="serial", seed=1)
+    engine.register(name="a", points=make_points(120), bounds=BOUNDS)
+    try:
+        sharded = engine.sharded_dataset("a")
+        datasets = {"a": sharded}
+        versions = (("a", sharded.version),)
+        chain = RangeFilter(Scan("a"), W1)
+        merged: dict[tuple[int, int], int] = {}
+        per_shard_totals = []
+        for sid, _ds in sharded.populated():
+            task = ShardTask("algebra", "a", sid, (chain, ("grid", 8), BOUNDS), versions)
+            partial = execute_shard_task(datasets, task)
+            assert isinstance(partial, dict)
+            per_shard_totals.append(sum(partial.values()))
+            for cell, count in partial.items():
+                merged[cell] = merged.get(cell, 0) + count
+        # Partials are genuinely partial (no shard saw everything) and their
+        # sum is exactly the unsharded count inside the window.
+        expected = sum(1 for p in make_points(120) if W1.contains_point(p))
+        assert sum(per_shard_totals) == expected
+        assert max(per_shard_totals) < expected
+        flat = SpatialEngine()
+        flat.register(name="a", points=make_points(120), bounds=BOUNDS)
+        rows = flat.run(Query.from_tree(GridAggregate(RangeFilter(Scan("a"), W1), 8))).records
+        assert dict(rows) == {cell: c for cell, c in merged.items() if c}
+    finally:
+        engine.close()
+
+
+def test_fanout_prunes_shards_disjoint_from_chain_window():
+    """Tasks are only dispatched to shards intersecting the chain's window."""
+    engine = ShardedEngine(num_shards=4, backend="serial", seed=1)
+    engine.register(name="a", points=make_points(120), bounds=BOUNDS)
+    try:
+        sharded = {"a": engine.sharded_dataset("a")}
+        runner = lambda tasks: [execute_shard_task(sharded, t) for t in tasks]  # noqa: E731
+        all_shards = len(list(sharded["a"].populated()))
+
+        from repro.planner.plan import PhysicalPlan
+
+        plan = PhysicalPlan("algebra", "algebra-tree")
+        wide = Query.from_tree(GridAggregate(RangeFilter(Scan("a"), BOUNDS), 8))
+        _result, ntasks = sharded_execute(plan, wide, sharded, runner)
+        assert ntasks == all_shards
+
+        narrow = Query.from_tree(GridAggregate(RangeFilter(Scan("a"), FAR), 8))
+        result, ntasks = sharded_execute(plan, narrow, sharded, runner)
+        assert ntasks < all_shards
+        assert result.records == ()
+    finally:
+        engine.close()

@@ -1,0 +1,189 @@
+"""Stream-layer tests for standing algebra queries: guards and maintenance.
+
+Two maintenance paths (``repro.stream.maintain``):
+
+* :class:`AlgebraAggregateState` — local-decomposable aggregate trees keep a
+  pid→group membership map and per-group counts, repaired in place per
+  update batch (never a from-scratch refresh);
+* :class:`AlgebraRefreshState` — everything else derives compositional
+  **scan guards** (:func:`repro.algebra.decompose.scan_guards`): window
+  filters intersect along a scan's chain, kNN filters and join inners are
+  always-relevant, and batches triggering no guard are skipped as provably
+  answer-preserving.
+
+Every maintained result is checked against a from-scratch engine run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra import (
+    AttrFilter,
+    GridAggregate,
+    KnnFilter,
+    KnnJoinOp,
+    RangeFilter,
+    RegionAggregate,
+    Scan,
+    ScanGuard,
+    TopK,
+    scan_guards,
+)
+from repro.geometry.point import Point
+from repro.geometry.rectangle import Rect
+from repro.query.query import Query
+from repro.shard.engine import ShardedEngine
+from repro.storage.update import UpdateBatch
+from repro.stream import StreamEngine
+from repro.stream.delta import result_rows
+from repro.stream.maintain import AlgebraAggregateState, AlgebraRefreshState
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+W1 = Rect(10.0, 10.0, 70.0, 70.0)
+W2 = Rect(30.0, 5.0, 95.0, 60.0)
+FAR = Rect(80.0, 80.0, 99.0, 99.0)  # disjoint from W1
+REGIONS = (("west", Rect(0.0, 0.0, 50.0, 100.0)), ("east", Rect(50.0, 0.0, 100.0, 100.0)))
+FOCAL = Point(50.0, 50.0)
+
+
+class TestScanGuards:
+    def test_chain_windows_intersect(self):
+        (guard,) = scan_guards(RangeFilter(RangeFilter(Scan("a"), W1), W2))
+        assert guard == ScanGuard("a", W1.intersection(W2), always=False)
+
+    def test_attr_filters_widen_soundly(self):
+        (guard,) = scan_guards(AttrFilter(RangeFilter(Scan("a"), W1), "kind", "bus"))
+        assert guard.window == W1 and not guard.always
+
+    def test_disjoint_windows_mark_guard_empty(self):
+        (guard,) = scan_guards(RangeFilter(RangeFilter(Scan("a"), W1), FAR))
+        assert guard.empty
+
+    def test_knn_filter_makes_scans_always_relevant(self):
+        """A subset kNN's k-th distance exceeds the global one: a ball guard
+        would be unsound, so the guard must degrade to always-relevant."""
+        (guard,) = scan_guards(KnnFilter(RangeFilter(Scan("a"), W1), FOCAL, 5))
+        assert guard.always
+
+    def test_join_inner_always_relevant_outer_keeps_below_join_window(self):
+        tree = RangeFilter(KnnJoinOp(RangeFilter(Scan("a"), W1), Scan("b"), 3), W2)
+        outer, inner = scan_guards(tree)
+        assert outer.relation == "a" and outer.window == W1 and not outer.always
+        assert inner.relation == "b" and inner.always
+
+    def test_aggregates_pass_guards_through(self):
+        (guard,) = scan_guards(TopK(GridAggregate(RangeFilter(Scan("a"), W1), 8), 4))
+        assert guard.window == W1 and not guard.always
+
+
+def make_stream(sharded: bool = False) -> tuple[StreamEngine, random.Random]:
+    rng = random.Random(7)
+
+    def mkpoints(n, start=0):
+        return [
+            Point(
+                rng.uniform(0, 100),
+                rng.uniform(0, 100),
+                start + i,
+                payload={"kind": rng.choice(["bus", "taxi"])},
+            )
+            for i in range(n)
+        ]
+
+    engine = ShardedEngine(num_shards=4, backend="serial", seed=1) if sharded else None
+    stream = StreamEngine(engine) if engine is not None else StreamEngine()
+    stream.register(name="a", points=mkpoints(250), bounds=BOUNDS, cells_per_side=8)
+    stream.register(name="b", points=mkpoints(80, start=1000), bounds=BOUNDS, cells_per_side=8)
+    return stream, rng
+
+
+TREES = {
+    "grid": TopK(GridAggregate(RangeFilter(Scan("a"), W1), 8), 6),
+    "grid_attr": GridAggregate(
+        AttrFilter(RangeFilter(Scan("a"), W1), "kind", "bus"), 8, measure="density"
+    ),
+    "region": RegionAggregate(RangeFilter(Scan("a"), W2), REGIONS),
+    "range_chain": RangeFilter(RangeFilter(Scan("a"), W1), W2),
+    "knn_filter": KnnFilter(RangeFilter(Scan("a"), W1), FOCAL, 7),
+    "join": RangeFilter(KnnJoinOp(RangeFilter(Scan("a"), W1), Scan("b"), 3), W2),
+}
+
+AGGREGATE_SHAPES = ("grid", "grid_attr", "region")
+
+
+def random_batch(stream, rng, next_pid):
+    inserts, removes, moves = [], [], []
+    for _ in range(rng.randrange(0, 6)):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        inserts.append(Point(x, y, next_pid[0], payload={"kind": rng.choice(["bus", "taxi"])}))
+        next_pid[0] += 1
+    pids = stream.store("a").pids.tolist()
+    used = set()
+    for _ in range(rng.randrange(0, 4)):
+        pid = rng.choice(pids)
+        if pid in used:
+            continue
+        used.add(pid)
+        if rng.random() < 0.5:
+            moves.append((pid, rng.uniform(0, 100), rng.uniform(0, 100)))
+        else:
+            removes.append(pid)
+            pids.remove(pid)
+    if not inserts and not removes and not moves:
+        inserts.append(Point(50.0, 50.0, next_pid[0], payload={"kind": "bus"}))
+        next_pid[0] += 1
+    return UpdateBatch(inserts=inserts, removes=removes, moves=moves)
+
+
+class TestAlgebraMaintenance:
+    def test_state_classes_chosen_by_tree_shape(self):
+        stream, _rng = make_stream()
+        subs = {name: stream.subscribe(Query.from_tree(t)) for name, t in TREES.items()}
+        for name in AGGREGATE_SHAPES:
+            assert isinstance(subs[name]._state, AlgebraAggregateState), name
+        for name in ("range_chain", "knn_filter", "join"):
+            assert isinstance(subs[name]._state, AlgebraRefreshState), name
+
+    @pytest.mark.parametrize("sharded", [False, True], ids=["unsharded", "sharded"])
+    def test_maintained_results_track_engine_over_random_ticks(self, sharded):
+        stream, rng = make_stream(sharded)
+        subs = {name: stream.subscribe(Query.from_tree(t)) for name, t in TREES.items()}
+        next_pid = [5000]
+        for tick in range(10):
+            stream.push("a", random_batch(stream, rng, next_pid))
+            for name, tree in TREES.items():
+                want = result_rows(stream.engine.run(Query.from_tree(tree)))
+                assert subs[name].result() == want, (tick, name)
+        # Aggregate states repair locally: a from-scratch refresh is a bug.
+        for name in AGGREGATE_SHAPES:
+            assert subs[name].refreshes == 0, name
+            assert subs[name].local_repairs > 0, name
+
+    def test_push_on_other_relation_routes_by_guards(self):
+        stream, _rng = make_stream()
+        subs = {name: stream.subscribe(Query.from_tree(t)) for name, t in TREES.items()}
+        # Only the join tree scans relation "b" (via its always-relevant
+        # inner guard); every other subscription is untouched.
+        deltas = stream.push("b", UpdateBatch(inserts=[Point(40.0, 40.0, 9000)]))
+        assert set(deltas) == {subs["join"].id}
+        assert subs["join"].result() == result_rows(
+            stream.engine.run(Query.from_tree(TREES["join"]))
+        )
+
+    def test_updates_outside_every_guard_window_are_skipped(self):
+        stream, _rng = make_stream()
+        subs = {name: stream.subscribe(Query.from_tree(t)) for name, t in TREES.items()}
+        before = {name: sub.skips for name, sub in subs.items()}
+        # (99.5, 99.5) is outside W1 and W2: windowed guards skip, the
+        # always-relevant kNN tree must not.
+        stream.push("a", UpdateBatch(inserts=[Point(99.5, 99.5, 9100, payload={"kind": "bus"})]))
+        for name in ("grid", "grid_attr", "region", "range_chain", "join"):
+            assert subs[name].skips == before[name] + 1, name
+        assert subs["knn_filter"].skips == before["knn_filter"]
+        for name, tree in TREES.items():
+            assert subs[name].result() == result_rows(
+                stream.engine.run(Query.from_tree(tree))
+            ), name

@@ -58,5 +58,6 @@ def test_docstring_check_covers_the_serving_surface():
         "repro.obs",
         "repro.durable",
         "repro.kernels",
+        "repro.algebra",
     }
     assert module.check_docstrings() == []

@@ -150,3 +150,55 @@ def test_reopened_engine_recovered_the_data_too(converged_root):
         assert len(warm.dataset("inner").store) == 400
     finally:
         warm.close()
+
+
+def test_algebra_plans_warm_restart(tmp_path):
+    """Persisted algebra plans re-plan to cache hits after reopen.
+
+    Algebra signatures key on tree *shape* (node kinds, relations, k's,
+    grid resolution), not on literal windows — so the durable warm replays
+    them through :meth:`Query.from_signature` placeholder trees and the
+    first post-restart run of the real query is a plan-cache hit.
+    """
+    from repro.algebra import (
+        GridAggregate,
+        KnnJoinOp,
+        RangeFilter,
+        Scan,
+        TopK,
+    )
+
+    root = tmp_path / "algebra-root"
+    outer, inner, _ = workload()
+    window = Rect(FOCAL.x - 3_000.0, FOCAL.y - 3_000.0, FOCAL.x + 3_000.0, FOCAL.y + 3_000.0)
+    queries = [
+        Query.from_tree(TopK(GridAggregate(RangeFilter(Scan("outer"), window), 8), 5)),
+        Query.from_tree(KnnJoinOp(RangeFilter(Scan("outer"), window), Scan("inner"), 3)),
+    ]
+
+    engine = DurableEngine.create(root, checkpoint_interval=0)
+    register(engine, outer, inner)
+    pre = []
+    for query in queries:
+        engine.run(query)
+        pre.append(result_rows(engine.run(query)))
+    signatures = engine.plan_cache.signatures()
+    algebra_sigs = [s for s in signatures if any("algebra" in str(e) for e in s[1])]
+    assert len(algebra_sigs) == len(queries)
+    engine.checkpoint()
+    engine.close()
+
+    warm = DurableEngine.open(root)
+    try:
+        assert warm.warmed_plans == len(signatures)
+        assert warm.plan_cache.signatures() == signatures
+        snapshot = warm.metrics_snapshot()
+        hits = counter_value(snapshot, "plan_cache_hits_total")
+        misses = counter_value(snapshot, "plan_cache_misses_total")
+        for query, expected in zip(queries, pre):
+            assert result_rows(warm.run(query)) == expected
+        after = warm.metrics_snapshot()
+        assert counter_value(after, "plan_cache_hits_total") == hits + len(queries)
+        assert counter_value(after, "plan_cache_misses_total") == misses
+    finally:
+        warm.close()

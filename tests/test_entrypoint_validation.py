@@ -235,3 +235,105 @@ class TestMismatchedColumns:
             UpdateBatch(removes=[1], moves=[(1, 0.0, 0.0)])
         with pytest.raises(ValueError):
             UpdateBatch(inserts=[Point(0.0, 0.0, 5)], removes=[5])
+
+
+class TestDegenerateQueryWindows:
+    """Degenerate windows raise ``ValueError`` at dataclass construction.
+
+    NaN-cornered and inverted rectangles never reach a predicate —
+    ``Rect.__init__`` refuses them (``GeometryError``); zero-extent windows
+    are legal rectangles but illegal *query windows*, rejected with
+    ``InvalidParameterError`` in every predicate's ``__post_init__`` —
+    uniformly across the classic predicates and the algebra nodes, before
+    any planning or index work.
+    """
+
+    def test_rect_refuses_nan_corners_and_inverted_extents(self):
+        for bad in BAD_COORDS:
+            with pytest.raises(ValueError):
+                Rect(bad, 0.0, 1.0, 1.0)
+            with pytest.raises(ValueError):
+                Rect(0.0, 0.0, 1.0, bad)
+        with pytest.raises(ValueError):
+            Rect(5.0, 0.0, 1.0, 1.0)  # xmin > xmax
+        with pytest.raises(ValueError):
+            Rect(0.0, 5.0, 1.0, 1.0)  # ymin > ymax
+
+    @pytest.mark.parametrize(
+        "window",
+        [
+            Rect(0.0, 0.0, 0.0, 10.0),  # zero width
+            Rect(0.0, 0.0, 10.0, 0.0),  # zero height
+            Rect(3.0, 3.0, 3.0, 3.0),  # point sliver
+        ],
+    )
+    def test_zero_extent_rejected_at_predicate_construction(self, window):
+        from repro.algebra import RangeFilter, RegionAggregate, Scan
+        from repro.query.predicates import RangeSelect
+
+        with pytest.raises(InvalidParameterError):
+            RangeSelect(relation="rel", window=window)
+        with pytest.raises(InvalidParameterError):
+            RangeFilter(Scan("rel"), window)
+        with pytest.raises(InvalidParameterError):
+            RegionAggregate(Scan("rel"), (("r", window),))
+
+    def test_non_rect_window_rejected(self):
+        from repro.algebra import RangeFilter, Scan
+        from repro.query.predicates import RangeSelect
+
+        with pytest.raises(InvalidParameterError):
+            RangeSelect(relation="rel", window=(0.0, 0.0, 1.0, 1.0))  # type: ignore[arg-type]
+        with pytest.raises(InvalidParameterError):
+            RangeFilter(Scan("rel"), None)  # type: ignore[arg-type]
+
+    def test_rejected_window_never_reaches_the_planner(self):
+        engine = SpatialEngine()
+        engine.register(name="rel", points=POINTS, bounds=BOUNDS)
+        from repro.query.predicates import RangeSelect
+
+        with pytest.raises(ValueError):
+            Query(RangeSelect(relation="rel", window=Rect(1.0, 1.0, 1.0, 9.0)))
+        assert len(engine.plan_cache) == 0
+
+
+class TestEmptyAttributeClauses:
+    """Empty attribute-filter clauses raise at node construction."""
+
+    @pytest.mark.parametrize("key", ["", None, 3, b"kind"])
+    def test_attr_filter_key_must_be_nonempty_string(self, key):
+        from repro.algebra import AttrFilter, Scan
+
+        with pytest.raises(InvalidParameterError):
+            AttrFilter(Scan("rel"), key)  # type: ignore[arg-type]
+
+    def test_region_aggregate_requires_regions_and_names(self):
+        from repro.algebra import RegionAggregate, Scan
+
+        with pytest.raises(InvalidParameterError):
+            RegionAggregate(Scan("rel"), ())
+        with pytest.raises(InvalidParameterError):
+            RegionAggregate(Scan("rel"), (("", Rect(0, 0, 1, 1)),))
+        with pytest.raises(InvalidParameterError):
+            RegionAggregate(
+                Scan("rel"),
+                (("a", Rect(0, 0, 1, 1)), ("a", Rect(1, 1, 2, 2))),  # duplicate
+            )
+
+    def test_algebra_k_and_limits_validated_like_classic_k(self):
+        from repro.algebra import (
+            GridAggregate,
+            KnnFilter,
+            KnnJoinOp,
+            Scan,
+            TopK,
+        )
+
+        with pytest.raises(ValueError):
+            KnnFilter(Scan("rel"), FOCAL, 0)
+        with pytest.raises(ValueError):
+            KnnJoinOp(Scan("a"), Scan("b"), -1)
+        with pytest.raises(ValueError):
+            GridAggregate(Scan("rel"), 0)
+        with pytest.raises(ValueError):
+            TopK(GridAggregate(Scan("rel"), 4), 0)
